@@ -1,0 +1,217 @@
+// Command benchrunner regenerates the paper's evaluation artefacts
+// (§6, Figs. 7, 9, 10, 12, 13, 15, 16 and 18). Each experiment prints the
+// same rows/series the paper reports.
+//
+// Usage:
+//
+//	benchrunner -exp all            # every experiment, paper-scale
+//	benchrunner -exp fig18 -quick   # one experiment, scaled down
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"unicache/internal/experiments"
+	"unicache/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig7|fig9|fig10|fig12|fig13|fig15|fig16|fig18|all")
+	quick := flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("fig7", func() error { return runFig7(*quick) })
+	run("fig9", func() error { return runFig9(*quick) })
+	run("fig10", func() error { return runFig10(*quick) })
+	run("fig12", func() error { return runFig12(*quick) })
+	run("fig13", func() error { return runFig13(*quick) })
+	run("fig15", func() error { return runFig15(*quick, *seed) })
+	run("fig16", func() error { return runFig16(*quick, *seed) })
+	run("fig18", func() error { return runFig18(*quick, *seed) })
+}
+
+func runFig7(quick bool) error {
+	cfg := experiments.Fig7Config{Iterations: 100_000, Rounds: 30}
+	if quick {
+		cfg = experiments.Fig7Config{Iterations: 10_000, Rounds: 5}
+	}
+	rows, err := experiments.Fig7(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Execution cost of built-in functions (µs per invocation)")
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s  %s\n",
+		"built-in", "min", "p25", "p50", "p75", "max", "samples")
+	for _, r := range rows {
+		fmt.Printf("%-12s %10.4f %10.4f %10.4f %10.4f %10.4f  %d\n",
+			r.Builtin, r.Cost.Min, r.Cost.P25, r.Cost.P50, r.Cost.P75, r.Cost.Max, r.Samples)
+	}
+	return nil
+}
+
+func delayTable(rows []experiments.DelayResult) {
+	fmt.Printf("%-10s %-10s %10s %10s %10s %10s\n",
+		"automata", "Δt", "mean(ms)", "σ(ms)", "min(ms)", "max(ms)")
+	for _, r := range rows {
+		fmt.Printf("%-10d %-10s %10.4f %10.4f %10.4f %10.4f\n",
+			r.Config.Automata, r.Config.Interarrival, r.MeanMs, r.StdMs, r.MinMs, r.MaxMs)
+	}
+}
+
+func runFig9(quick bool) error {
+	events, batch := 1000, 125
+	if quick {
+		events, batch = 400, 50
+	}
+	rows, err := experiments.Fig9(nil, 8*time.Millisecond, events, batch)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Delay vs. #automata (Δt = 8 ms)")
+	delayTable(rows)
+	return nil
+}
+
+func runFig10(quick bool) error {
+	events, batch := 1000, 125
+	if quick {
+		events, batch = 400, 50
+	}
+	rows, err := experiments.Fig10(nil, 4, events, batch)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Delay vs. event inter-arrival (4 automata)")
+	delayTable(rows)
+	return nil
+}
+
+func stressTable(rows []experiments.StressResult, label func(experiments.StressConfig) string) {
+	fmt.Printf("%-12s %-8s %12s %12s %10s\n", label(experiments.StressConfig{}), "mode", "inserts", "inserts/s", "echoed")
+	for _, r := range rows {
+		mode := "1-way"
+		if r.Config.TwoWay {
+			mode = "2-way"
+		}
+		fmt.Printf("%-12s %-8s %12d %12.0f %10d\n",
+			label(r.Config), mode, r.Inserts, r.InsertsPerSec, r.Echoed)
+	}
+}
+
+func runFig12(quick bool) error {
+	dur := 2 * time.Second
+	if quick {
+		dur = 300 * time.Millisecond
+	}
+	rows, err := experiments.Fig12(nil, dur)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Integer stress test: inserts/sec vs. #integer attributes")
+	stressTable(rows, func(c experiments.StressConfig) string {
+		if c.IntAttrs == 0 {
+			return "#attrs"
+		}
+		return fmt.Sprint(c.IntAttrs)
+	})
+	return nil
+}
+
+func runFig13(quick bool) error {
+	dur := 2 * time.Second
+	if quick {
+		dur = 300 * time.Millisecond
+	}
+	rows, err := experiments.Fig13(nil, dur)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Character string stress test: inserts/sec vs. buffer size (RPC fragments at 1024 B)")
+	stressTable(rows, func(c experiments.StressConfig) string {
+		if c.StrLen == 0 {
+			return "bytes"
+		}
+		return fmt.Sprint(c.StrLen)
+	})
+	return nil
+}
+
+func runFig15(quick bool, seed int64) error {
+	requests, hosts := workload.HTTPRequests, workload.HTTPHosts
+	if quick {
+		requests, hosts = 50_000, 2000
+	}
+	rows := experiments.Fig15(seed, requests, hosts)
+	fmt.Printf("Requests per Web page by popularity (%d requests, %d distinct hosts)\n",
+		requests, len(rows))
+	fmt.Printf("%-8s %10s\n", "rank", "#requests")
+	// Log-spaced ranks, like the paper's log-log plot.
+	printed := map[int]bool{}
+	for _, rank := range []int{1, 2, 3, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000} {
+		if rank <= len(rows) && !printed[rank] {
+			fmt.Printf("%-8d %10d\n", rank, rows[rank-1].Requests)
+			printed[rank] = true
+		}
+	}
+	fmt.Printf("%-8d %10d\n", len(rows), rows[len(rows)-1].Requests)
+	return nil
+}
+
+func runFig16(quick bool, seed int64) error {
+	cfg := experiments.Fig16Config{
+		Seed:     seed,
+		Requests: workload.HTTPRequests,
+		Ks:       []int{10, 20, 50, 100, 200, 500, 1000},
+	}
+	if quick {
+		cfg.Requests = 30_000
+		cfg.Ks = []int{10, 100, 1000}
+	}
+	rows, err := experiments.Fig16(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Coefficient of variation of per-event cost: imperative vs. built-in frequent")
+	fmt.Printf("%-8s %14s %14s %14s %14s\n", "k", "imperative CV", "built-in CV", "imp mean(µs)", "blt mean(µs)")
+	for _, r := range rows {
+		fmt.Printf("%-8d %14.3f %14.3f %14.4f %14.4f\n",
+			r.K, r.ImperativeCV, r.BuiltinCV, r.ImperativeUs, r.BuiltinUs)
+	}
+	return nil
+}
+
+func runFig18(quick bool, seed int64) error {
+	cfg := experiments.Fig18Config{Seed: seed, Events: workload.StockEvents, Symbols: 50}
+	if quick {
+		cfg.Events = 20_000
+	}
+	rows, err := experiments.Fig18(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Benchmarking against Cayuga (%d stock events, %d symbols)\n", cfg.Events, cfg.Symbols)
+	fmt.Printf("%-6s %12s %12s %10s %14s %14s\n",
+		"query", "cache(s)", "cayuga(s)", "speedup", "cache matches", "cayuga matches")
+	for _, r := range rows {
+		fmt.Printf("%-6s %12.3f %12.3f %9.1fx %14d %14d\n",
+			r.Query, r.CacheSec, r.CayugaSec, r.Speedup, r.CacheMatches, r.CayugaMatches)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Command cachectl is the application-side CLI for a running cached
+// instance. It plays the three application roles of §3: populating tables
+// with events, retrieving data with ad hoc selects, and registering
+// automata to be notified when complex event patterns are detected.
+//
+// Usage:
+//
+//	cachectl -addr 127.0.0.1:7654 exec "create table Flows (nbytes integer)"
+//	cachectl exec "insert into Flows values (1500)"
+//	cachectl exec "select * from Flows [rows 10]"
+//	cachectl register bandwidth.gapl        # registers and streams send() events
+//	cachectl tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"unicache/internal/rpc"
+	"unicache/internal/sql"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "cached address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	cl, err := rpc.Dial(*addr)
+	if err != nil {
+		fail(err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	switch args[0] {
+	case "exec":
+		if len(args) < 2 {
+			usage()
+		}
+		res, err := cl.Exec(strings.Join(args[1:], " "))
+		if err != nil {
+			fail(err)
+		}
+		printResult(res)
+	case "register":
+		if len(args) != 2 {
+			usage()
+		}
+		src, err := os.ReadFile(args[1])
+		if err != nil {
+			fail(err)
+		}
+		id, err := cl.Register(string(src))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("registered automaton %d; streaming send() events (^C to stop)\n", id)
+		done := make(chan os.Signal, 1)
+		signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+		for {
+			select {
+			case ev, ok := <-cl.Events():
+				if !ok {
+					return
+				}
+				parts := make([]string, len(ev.Vals))
+				for i, v := range ev.Vals {
+					parts[i] = v.String()
+				}
+				fmt.Printf("[automaton %d] %s\n", ev.AutomatonID, strings.Join(parts, " | "))
+			case <-done:
+				return
+			}
+		}
+	case "ping":
+		if err := cl.Ping(); err != nil {
+			fail(err)
+		}
+		fmt.Println("ok")
+	default:
+		usage()
+	}
+}
+
+func printResult(res *sql.Result) {
+	if len(res.Cols) == 0 {
+		fmt.Printf("ok (%d row(s) affected)\n", res.Affected)
+		return
+	}
+	fmt.Println(strings.Join(res.Cols, "\t"))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	fmt.Printf("(%d row(s))\n", len(res.Rows))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cachectl [-addr host:port] exec "<sql>"
+  cachectl [-addr host:port] register <file.gapl>
+  cachectl [-addr host:port] ping`)
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cachectl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command cached runs the unified publish/subscribe cache as a network
+// daemon: a centralised, topic-based cache that applications talk to over
+// the RPC mechanism (create tables, insert tuples, run ad hoc selects,
+// register automata).
+//
+// Usage:
+//
+//	cached -addr :7654 -init schema.sql -timer 1s
+//
+// The init file holds one SQL statement per line (or separated by blank
+// lines); '#' and '--' comments are ignored. It typically creates the
+// tables the deployment needs, exactly like the paper's cache
+// initialization from a configuration file (§4.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"unicache/internal/cache"
+	"unicache/internal/rpc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
+	initFile := flag.String("init", "", "SQL file executed at startup (table definitions)")
+	timer := flag.Duration("timer", time.Second, "Timer topic period (0 disables)")
+	ringCap := flag.Int("ring", 0, "ephemeral table ring-buffer capacity (0 = default)")
+	autoCreate := flag.Bool("auto-create-streams", false,
+		"create streams on the fly when automata publish to unknown topics (§8 extension)")
+	flag.Parse()
+
+	period := *timer
+	if period == 0 {
+		period = -1
+	}
+	c, err := cache.New(cache.Config{
+		TimerPeriod:       period,
+		EphemeralCapacity: *ringCap,
+		AutoCreateStreams: *autoCreate,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+
+	if *initFile != "" {
+		if err := execInitFile(c, *initFile); err != nil {
+			fail(err)
+		}
+	}
+
+	srv := rpc.NewServer(c)
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-done
+		fmt.Println("shutting down")
+		_ = srv.Close()
+	}()
+
+	fmt.Printf("cached listening on %s (tables: %s)\n", *addr, strings.Join(c.Tables(), ", "))
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fail(err)
+	}
+}
+
+func execInitFile(c *cache.Cache, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range splitStatements(string(data)) {
+		if _, err := c.Exec(stmt); err != nil {
+			return fmt.Errorf("init %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// splitStatements splits an init file into statements: semicolon-separated,
+// with '#' and '--' line comments removed.
+func splitStatements(src string) []string {
+	var lines []string
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "--"); i >= 0 {
+			line = line[:i]
+		}
+		lines = append(lines, line)
+	}
+	var out []string
+	for _, stmt := range strings.Split(strings.Join(lines, "\n"), ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt != "" {
+			out = append(out, stmt)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cached:", err)
+	os.Exit(1)
+}

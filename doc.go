@@ -1,0 +1,18 @@
+// Package unicache is a from-scratch Go reproduction of Sventek &
+// Koliousis, "Unification of Publish/Subscribe Systems and Stream
+// Databases: The Impact on Complex Event Processing" (Middleware 2012).
+//
+// The system is a centralised, topic-based publish/subscribe cache: every
+// table is simultaneously a topic; ad hoc SQL queries (extended with the
+// continuous operators `since τ`, `[range N seconds]` and `[rows N]`) read
+// the cached streams and relations; and imperative GAPL automata —
+// compiled to bytecode and animated one goroutine each — detect complex
+// event patterns over them, publishing derived events back into the cache
+// or send()ing notifications to their registering applications over RPC.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record of every evaluation
+// figure. The packages live under internal/; cmd/ holds the daemon
+// (cached), client (cachectl) and experiment runner (benchrunner);
+// examples/ holds five runnable scenarios.
+package unicache

@@ -1,0 +1,129 @@
+// Bandwidth accounting: the paper's motivating hybrid scenario (§4.3).
+//
+// A cache daemon holds the Flows stream plus two persistent relations —
+// Allowances (policy) and BWUsage (state). The Fig. 4 automaton joins the
+// live Flows stream against the relations and notifies the registering
+// policy application when a household member exceeds their monthly
+// allowance. Everything runs over the real RPC system on a loopback TCP
+// connection: one process plays the cache, the router (inserting flows)
+// and the policy manager (registering the automaton).
+//
+// Run with: go run ./examples/bandwidth
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"unicache/internal/cache"
+	"unicache/internal/rpc"
+	"unicache/internal/types"
+	"unicache/internal/workload"
+)
+
+const bandwidthAutomaton = `
+subscribe f to Flows;
+associate a with Allowances;
+associate b with BWUsage;
+int n, limit;
+identifier ip;
+sequence s;
+behavior {
+	ip = Identifier(f.dstip);
+	if (hasEntry(a, ip)) {
+		limit = seqElement(lookup(a, ip), 1);
+		if (hasEntry(b, ip))
+			n = seqElement(lookup(b, ip), 1);
+		else
+			n = 0;
+		n += f.nbytes;
+		s = Sequence(f.dstip, n);
+		if (n > limit)
+			send(s, limit, 'limit exceeded');
+		insert(b, ip, s);
+	}
+}
+`
+
+func main() {
+	// --- the cache daemon ---
+	c, err := cache.New(cache.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	srv := rpc.NewServer(c)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+	addr := ln.Addr().String()
+
+	// --- the network-management utility: tables and policy ---
+	admin, err := rpc.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = admin.Close() }()
+	for _, stmt := range []string{
+		`create table Flows (protocol integer, srcip varchar(16), sport integer,
+			dstip varchar(16), dport integer, npkts integer, nbytes integer)`,
+		`create persistenttable Allowances (ipaddr varchar(16) primary key, bytes integer)`,
+		`create persistenttable BWUsage (ipaddr varchar(16) primary key, bytes integer)`,
+		// Two monitored flatmates with very different allowances.
+		`insert into Allowances values ('192.168.1.2', 2000000)`,
+		`insert into Allowances values ('192.168.1.3', 300000)`,
+	} {
+		if _, err := admin.Exec(stmt); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- the policy manager: registers the automaton ---
+	policy, err := rpc.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = policy.Close() }()
+	if _, err := policy.Register(bandwidthAutomaton); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- the router: inserts flow records ---
+	router, err := rpc.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = router.Close() }()
+	flows := workload.FlowTrace(7, 4000, 4) // dst hosts 192.168.1.1..4
+	for _, f := range flows {
+		err := router.Insert("Flows",
+			types.Int(f.Protocol), types.Str(f.SrcIP), types.Int(f.SrcPort),
+			types.Str(f.DstIP), types.Int(f.DstPort), types.Int(f.NPkts), types.Int(f.NBytes))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// First notifications arrive while flows are still streaming.
+	fmt.Println("policy notifications:")
+	for i := 0; i < 3; i++ {
+		ev := <-policy.Events()
+		seq := ev.Vals[0].Seq()
+		fmt.Printf("  %s: used %s bytes (limit %s) — %s\n",
+			seq.At(0), seq.At(1), ev.Vals[1], ev.Vals[2])
+	}
+
+	// Ad hoc query over the same state the automaton maintains.
+	res, err := admin.Exec(`select ipaddr, bytes from BWUsage order by bytes desc`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accumulated usage (BWUsage):")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-14s %s bytes\n", row[0], row[1])
+	}
+}

@@ -1,0 +1,110 @@
+// Frequent items over web traffic: the paper's §6.4 scenario.
+//
+// A synthetic Homework-router HTTP log (Zipfian host popularity, Fig. 15)
+// streams through the Urls topic. Two automata summarise it concurrently:
+// the imperative Fig. 14 implementation of the Misra-Gries "frequent"
+// algorithm and the frequent() built-in. The example prints both summaries
+// and the exact top hosts for comparison.
+//
+// Run with: go run ./examples/frequent
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"unicache/internal/automaton"
+	"unicache/internal/cache"
+	"unicache/internal/experiments"
+	"unicache/internal/types"
+	"unicache/internal/workload"
+)
+
+func main() {
+	const k = 10
+	trace := workload.HTTPTrace(8, 120_000, 3000)
+
+	c, err := cache.New(cache.Config{TimerPeriod: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`create table Urls (host varchar)`); err != nil {
+		log.Fatal(err)
+	}
+	// Report topics let the automata ship their summaries out when asked.
+	if _, err := c.Exec(`create table Report (which varchar)`); err != nil {
+		log.Fatal(err)
+	}
+
+	results := make(chan []types.Value, 4)
+	sink := func(vals []types.Value) error { results <- vals; return nil }
+
+	// The imperative Fig. 14 automaton runs alongside for comparison.
+	if _, err := c.Register(experiments.ProgFrequentImperative(k), automaton.DiscardSink); err != nil {
+		log.Fatal(err)
+	}
+	// A reporting variant: on a Report event, send the whole summary map.
+	reporting := fmt.Sprintf(`
+subscribe e to Urls;
+subscribe rep to Report;
+map T;
+initialization { T = Map(int); }
+behavior {
+	if (currentTopic() == 'Urls')
+		frequent(T, Identifier(e.host), %d);
+	else
+		send('builtin', T);
+}
+`, k)
+	if _, err := c.Register(reporting, sink); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range trace {
+		if err := c.Insert("Urls", types.Str(r.Host)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := c.Exec(`insert into Report values ('now')`); err != nil {
+		log.Fatal(err)
+	}
+	if !c.Registry().WaitIdle(time.Minute) {
+		log.Fatal("automata did not quiesce")
+	}
+
+	vals := <-results
+	summary := vals[1].Map()
+	fmt.Printf("frequent() built-in summary (k = %d, %d counters):\n", k, summary.Size())
+	for _, key := range summary.Keys() {
+		v, _ := summary.Lookup(key)
+		fmt.Printf("  %-28s %s\n", key, v)
+	}
+
+	// Ground truth for comparison.
+	counts := map[string]int{}
+	for _, r := range trace {
+		counts[r.Host]++
+	}
+	type hc struct {
+		host string
+		n    int
+	}
+	var top []hc
+	for h, n := range counts {
+		top = append(top, hc{h, n})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].n > top[j].n })
+	fmt.Printf("exact top-5 of %d hosts over %d requests:\n", len(counts), len(trace))
+	for _, t := range top[:5] {
+		marker := " "
+		if summary.Has(t.host) {
+			marker = "*" // captured by the sketch
+		}
+		fmt.Printf("  %s %-28s %d\n", marker, t.host, t.n)
+	}
+	fmt.Println("(* = present in the Misra-Gries summary; every host with",
+		"frequency > n/k is guaranteed to be)")
+}

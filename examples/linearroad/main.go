@@ -1,0 +1,151 @@
+// Linear Road: the stream benchmark the paper names as its next
+// comparative target (§8, reference [25]).
+//
+// A simplified variant of the benchmark's continuous queries runs as one
+// merged GAPL automaton — the operator-fusion style of §5.1:
+//
+//   - accident detection: a car reporting speed 0 from the same position
+//     for 4 consecutive reports marks its segment as having an accident;
+//   - segment statistics: per-segment car counts and average speeds over
+//     the current reporting interval;
+//   - toll notification: when a car enters a congested segment (average
+//     speed < 40 and ≥ 5 cars) with no accident, it is assessed a toll and
+//     notified; cars entering an accident segment are notified to exit.
+//
+// Run with: go run ./examples/linearroad
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"unicache/internal/cache"
+	"unicache/internal/types"
+	"unicache/internal/workload"
+)
+
+const lrAutomaton = `
+subscribe p to Position;
+map carSeg;       # car -> current segment
+map stopCount;    # car -> consecutive stopped reports
+map stopPos;      # car -> position of the stop streak
+map accident;     # segment -> remaining clear-down counter
+map segCars;      # segment -> cars seen this interval
+map segSpeed;     # segment -> (count, speed-sum) this interval
+identifier car, seg;
+sequence ss;
+int n, cnt;
+real avg;
+initialization {
+	carSeg = Map(int);
+	stopCount = Map(int);
+	stopPos = Map(int);
+	accident = Map(int);
+	segCars = Map(int);
+	segSpeed = Map(sequence);
+}
+behavior {
+	car = Identifier(p.car);
+	seg = Identifier(p.seg);
+
+	# --- accident detection: 4 consecutive stopped reports at one spot ---
+	if (p.speed == 0) {
+		if (hasEntry(stopCount, car) && lookup(stopPos, car) == p.pos)
+			insert(stopCount, car, lookup(stopCount, car) + 1);
+		else {
+			insert(stopCount, car, 1);
+			insert(stopPos, car, p.pos);
+		}
+		if (lookup(stopCount, car) == 4) {
+			insert(accident, seg, 10);
+			send('ACCIDENT', p.seg, p.pos);
+		}
+	} else {
+		remove(stopCount, car);
+		remove(stopPos, car);
+	}
+
+	# --- segment statistics for the current interval ---
+	if (hasEntry(segCars, seg))
+		insert(segCars, seg, lookup(segCars, seg) + 1);
+	else
+		insert(segCars, seg, 1);
+	if (hasEntry(segSpeed, seg)) {
+		ss = lookup(segSpeed, seg);
+		seqSet(ss, 0, seqElement(ss, 0) + 1);
+		seqSet(ss, 1, seqElement(ss, 1) + p.speed);
+	} else
+		insert(segSpeed, seg, Sequence(1, p.speed));
+
+	# --- toll notification on segment entry ---
+	if (!hasEntry(carSeg, car) || lookup(carSeg, car) != p.seg) {
+		insert(carSeg, car, p.seg);
+		if (hasEntry(accident, seg)) {
+			send('EXIT-ADVICE', p.car, p.seg);
+		} else if (hasEntry(segSpeed, seg)) {
+			ss = lookup(segSpeed, seg);
+			cnt = seqElement(ss, 0);
+			if (cnt >= 5) {
+				avg = float(seqElement(ss, 1)) / float(cnt);
+				if (avg < 40.0) {
+					n = int((40.0 - avg) * (40.0 - avg) / 10.0);
+					send('TOLL', p.car, p.seg, n);
+				}
+			}
+		}
+	}
+}
+`
+
+func main() {
+	c, err := cache.New(cache.Config{TimerPeriod: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`create table Position (tick integer, car integer, speed integer, seg integer, pos integer)`); err != nil {
+		log.Fatal(err)
+	}
+
+	var accidents, tolls, exits int
+	var tollSum int64
+	sink := func(vals []types.Value) error {
+		kind, _ := vals[0].AsStr()
+		switch kind {
+		case "ACCIDENT":
+			accidents++
+		case "TOLL":
+			tolls++
+			n, _ := vals[3].AsInt()
+			tollSum += n
+		case "EXIT-ADVICE":
+			exits++
+		}
+		return nil
+	}
+	if _, err := c.Register(lrAutomaton, sink); err != nil {
+		log.Fatal(err)
+	}
+
+	trace := workload.LRTrace(workload.DefaultLRConfig(7))
+	start := time.Now()
+	for _, r := range trace {
+		err := c.Insert("Position",
+			types.Int(r.Tick), types.Int(r.Car), types.Int(r.Speed),
+			types.Int(r.Seg), types.Int(r.Pos))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !c.Registry().WaitIdle(time.Minute) {
+		log.Fatal("automaton did not quiesce")
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("processed %d position reports in %.2fs (%.0f reports/s)\n",
+		len(trace), elapsed.Seconds(), float64(len(trace))/elapsed.Seconds())
+	fmt.Printf("accidents detected:   %d\n", accidents)
+	fmt.Printf("exit advisories sent: %d\n", exits)
+	fmt.Printf("tolls assessed:       %d (total %d units)\n", tolls, tollSum)
+}

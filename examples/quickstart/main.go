@@ -1,0 +1,91 @@
+// Quickstart: an in-process cache, one stream table, one automaton.
+//
+// The example creates a Readings stream, registers an automaton that
+// watches for readings over a threshold, inserts a handful of tuples, and
+// prints both the automaton's notifications and an ad hoc SQL view of the
+// same stream — the two faces of the unified system.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"unicache/internal/cache"
+	"unicache/internal/types"
+)
+
+func main() {
+	// A cache with the built-in 1 Hz Timer topic.
+	c, err := cache.New(cache.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Tables are topics: every insert is published to subscribed automata.
+	if _, err := c.Exec(`create table Readings (sensor varchar, celsius real)`); err != nil {
+		log.Fatal(err)
+	}
+
+	// The automaton detects the complex event "temperature above 30".
+	notifications := make(chan string, 16)
+	_, err = c.Register(`
+subscribe r to Readings;
+int count;
+behavior {
+	if (r.celsius > 30.0) {
+		count += 1;
+		send(r.sensor, r.celsius, count);
+	}
+}
+`, func(vals []types.Value) error {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = v.String()
+		}
+		notifications <- strings.Join(parts, " ")
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Populate the stream.
+	data := []struct {
+		sensor string
+		temp   float64
+	}{
+		{"kitchen", 21.5}, {"attic", 33.0}, {"kitchen", 22.1},
+		{"server-room", 41.7}, {"attic", 29.9},
+	}
+	for _, d := range data {
+		if err := c.Insert("Readings", types.Str(d.sensor), types.Real(d.temp)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The pub/sub face: notifications pushed by the automaton.
+	fmt.Println("notifications:")
+	for i := 0; i < 2; i++ {
+		select {
+		case n := <-notifications:
+			fmt.Println("  over threshold:", n)
+		case <-time.After(5 * time.Second):
+			log.Fatal("timed out waiting for notifications")
+		}
+	}
+
+	// The stream-database face: the same events answer ad hoc queries.
+	res, err := c.Exec(`select sensor, max(celsius) as hottest from Readings group by sensor order by hottest desc`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hottest reading per sensor:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-12s %s\n", row[0], row[1])
+	}
+}

@@ -1,0 +1,353 @@
+// Package automaton implements the execution model of §5: each registered
+// automaton is compiled to bytecode, bound to its own goroutine (the Go
+// analogue of the paper's PThread-per-automaton), and driven by an
+// unbounded FIFO inbox fed by the cache's publish path. The runtime
+// guarantees tuples are delivered to an automaton in strict
+// time-of-insertion order.
+package automaton
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unicache/internal/gapl"
+	"unicache/internal/pubsub"
+	"unicache/internal/table"
+	"unicache/internal/types"
+	"unicache/internal/vm"
+)
+
+// Sink receives the values of a send() call, i.e. the derived events an
+// automaton reports to its registering application.
+type Sink func(vals []types.Value) error
+
+// DiscardSink drops send() output; use it for automata that only print or
+// publish.
+func DiscardSink([]types.Value) error { return nil }
+
+// Services is the cache surface the runtime needs. The cache implements it.
+type Services interface {
+	// Now returns the cache clock.
+	Now() types.Timestamp
+	// CommitInsert inserts a tuple into a table, publishing it on the
+	// table's topic (the commit path assigns the global sequence number).
+	CommitInsert(tableName string, vals []types.Value) error
+	// PersistentTable resolves an association target.
+	PersistentTable(name string) (*table.Persistent, error)
+	// Schemas returns a snapshot of all table schemas by name.
+	Schemas() map[string]*types.Schema
+	// Subscribe attaches a subscriber to a topic under the automaton id.
+	Subscribe(id int64, topic string, sub pubsub.Subscriber) error
+	// Unsubscribe detaches the automaton from all topics.
+	Unsubscribe(id int64)
+}
+
+// Config tunes a Registry.
+type Config struct {
+	// PrintWriter receives print() output (default os.Stdout).
+	PrintWriter io.Writer
+	// OnRuntimeError observes behaviour-clause failures; the automaton
+	// keeps running (default: write to os.Stderr).
+	OnRuntimeError func(id int64, err error)
+	// MaxSteps bounds instructions per clause execution (0 = unlimited).
+	MaxSteps int
+}
+
+// Registry manages the set of live automata for one cache.
+type Registry struct {
+	svc    Services
+	cfg    Config
+	printM sync.Mutex
+
+	mu     sync.Mutex
+	autos  map[int64]*Automaton
+	nextID int64
+}
+
+// NewRegistry builds an empty registry over the given services.
+func NewRegistry(svc Services, cfg Config) *Registry {
+	if cfg.PrintWriter == nil {
+		cfg.PrintWriter = os.Stdout
+	}
+	if cfg.OnRuntimeError == nil {
+		cfg.OnRuntimeError = func(id int64, err error) {
+			fmt.Fprintf(os.Stderr, "automaton %d: %v\n", id, err)
+		}
+	}
+	return &Registry{svc: svc, cfg: cfg, autos: make(map[int64]*Automaton)}
+}
+
+// Automaton is one registered, running automaton.
+type Automaton struct {
+	id     int64
+	reg    *Registry
+	prog   *gapl.Compiled
+	inbox  *pubsub.Inbox
+	vm     *vm.VM
+	sink   Sink
+	done   chan struct{}
+	busy   atomic.Bool
+	nProc  atomic.Uint64
+	nErr   atomic.Uint64
+	closed atomic.Bool
+}
+
+// ID returns the management identifier handed to the registering
+// application.
+func (a *Automaton) ID() int64 { return a.id }
+
+// Processed returns the number of events whose behaviour execution has
+// completed.
+func (a *Automaton) Processed() uint64 { return a.nProc.Load() }
+
+// RuntimeErrors returns the number of behaviour executions that failed.
+func (a *Automaton) RuntimeErrors() uint64 { return a.nErr.Load() }
+
+// Idle reports whether the automaton has an empty inbox and is not
+// executing its behaviour clause.
+func (a *Automaton) Idle() bool { return a.inbox.Len() == 0 && !a.busy.Load() }
+
+// Register compiles, binds, initializes and starts an automaton. Compile
+// and bind problems — and initialization-clause failures — are returned to
+// the registering application, mirroring the paper's error RPC. On success
+// the returned automaton is already subscribed and processing events.
+func (r *Registry) Register(source string, sink Sink) (*Automaton, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("automaton: nil sink (use DiscardSink)")
+	}
+	prog, err := gapl.Compile(source)
+	if err != nil {
+		return nil, fmt.Errorf("automaton: compile: %w", err)
+	}
+	if err := prog.Bind(r.svc.Schemas()); err != nil {
+		return nil, fmt.Errorf("automaton: bind: %w", err)
+	}
+	// Validate associations against persistent tables up front.
+	for _, as := range prog.Associations() {
+		if _, err := r.svc.PersistentTable(as.Table); err != nil {
+			return nil, fmt.Errorf("automaton: association %s: %w", as.Name, err)
+		}
+	}
+
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	r.mu.Unlock()
+
+	a := &Automaton{
+		id:    id,
+		reg:   r,
+		prog:  prog,
+		inbox: pubsub.NewInbox(),
+		sink:  sink,
+		done:  make(chan struct{}),
+	}
+	machine, err := vm.New(prog, &host{a: a})
+	if err != nil {
+		return nil, fmt.Errorf("automaton: %w", err)
+	}
+	machine.MaxSteps = r.cfg.MaxSteps
+	a.vm = machine
+
+	// Initialization runs before any event can arrive (we subscribe after).
+	if err := machine.RunInit(); err != nil {
+		return nil, fmt.Errorf("automaton: initialization: %w", err)
+	}
+
+	for _, sub := range prog.Subscriptions() {
+		if err := r.svc.Subscribe(id, sub.Topic, a.inbox); err != nil {
+			r.svc.Unsubscribe(id)
+			return nil, fmt.Errorf("automaton: %w", err)
+		}
+	}
+
+	r.mu.Lock()
+	r.autos[id] = a
+	r.mu.Unlock()
+
+	go a.run()
+	return a, nil
+}
+
+func (a *Automaton) run() {
+	defer close(a.done)
+	for {
+		ev, ok := a.inbox.Pop()
+		if !ok {
+			return
+		}
+		a.busy.Store(true)
+		if err := a.vm.Deliver(ev); err != nil {
+			a.nErr.Add(1)
+			a.reg.cfg.OnRuntimeError(a.id, err)
+		}
+		a.busy.Store(false)
+		a.nProc.Add(1)
+	}
+}
+
+// Get returns the automaton with the given id.
+func (r *Registry) Get(id int64) (*Automaton, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.autos[id]
+	return a, ok
+}
+
+// Len returns the number of live automata.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.autos)
+}
+
+// Unregister detaches and stops the automaton, draining nothing: queued
+// events are discarded. It blocks until the goroutine exits.
+func (r *Registry) Unregister(id int64) error {
+	r.mu.Lock()
+	a, ok := r.autos[id]
+	delete(r.autos, id)
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("automaton: no automaton %d", id)
+	}
+	a.closed.Store(true)
+	r.svc.Unsubscribe(id)
+	a.inbox.Close()
+	<-a.done
+	return nil
+}
+
+// Close unregisters every automaton.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	ids := make([]int64, 0, len(r.autos))
+	for id := range r.autos {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	for _, id := range ids {
+		_ = r.Unregister(id)
+	}
+}
+
+// WaitIdle blocks until every automaton has drained its inbox (or the
+// timeout elapses); it reports whether quiescence was reached. Benchmarks
+// use it to bracket complete processing of a workload.
+func (r *Registry) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		idle := true
+		r.mu.Lock()
+		for _, a := range r.autos {
+			if !a.Idle() {
+				idle = false
+				break
+			}
+		}
+		r.mu.Unlock()
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// host adapts an automaton to the vm.Host interface.
+type host struct {
+	a *Automaton
+}
+
+var _ vm.Host = (*host)(nil)
+
+func (h *host) Now() types.Timestamp { return h.a.reg.svc.Now() }
+
+func (h *host) Publish(topic string, vals []types.Value) error {
+	return h.a.reg.svc.CommitInsert(topic, vals)
+}
+
+func (h *host) Send(vals []types.Value) error {
+	return h.a.sink(vals)
+}
+
+func (h *host) Print(s string) {
+	r := h.a.reg
+	r.printM.Lock()
+	defer r.printM.Unlock()
+	fmt.Fprintln(r.cfg.PrintWriter, s)
+}
+
+func (h *host) AssocLookup(tbl, key string) (types.Value, bool, error) {
+	pt, err := h.a.reg.svc.PersistentTable(tbl)
+	if err != nil {
+		return types.Nil, false, err
+	}
+	row, ok := pt.Get(key)
+	if !ok {
+		return types.Nil, false, nil
+	}
+	return types.SeqV(types.NewSequence(row.Vals...)), true, nil
+}
+
+// AssocInsert builds a full row from v and commits it through the cache so
+// the update is published on the table's topic. v may be a sequence (the
+// full row) or, for two-column tables, a scalar value paired with the key.
+func (h *host) AssocInsert(tbl, key string, v types.Value) error {
+	pt, err := h.a.reg.svc.PersistentTable(tbl)
+	if err != nil {
+		return err
+	}
+	schema := pt.Schema()
+	var row []types.Value
+	if seq := v.Seq(); seq != nil {
+		row = append([]types.Value(nil), seq.Values()...)
+	} else if schema.NumCols() == 2 && v.Kind().Scalar() {
+		if schema.Key == 0 {
+			row = []types.Value{types.Str(key), v}
+		} else {
+			row = []types.Value{v, types.Str(key)}
+		}
+	} else {
+		return fmt.Errorf("insert() into %s needs a full row sequence", tbl)
+	}
+	if len(row) != schema.NumCols() {
+		return fmt.Errorf("insert() into %s: row has %d values, table has %d columns",
+			tbl, len(row), schema.NumCols())
+	}
+	if got := types.KeyString(row[schema.Key]); got != key {
+		return fmt.Errorf("insert() into %s: key %q does not match row's primary key %q",
+			tbl, key, got)
+	}
+	return h.a.reg.svc.CommitInsert(tbl, row)
+}
+
+func (h *host) AssocHas(tbl, key string) (bool, error) {
+	pt, err := h.a.reg.svc.PersistentTable(tbl)
+	if err != nil {
+		return false, err
+	}
+	return pt.Has(key), nil
+}
+
+func (h *host) AssocRemove(tbl, key string) (bool, error) {
+	pt, err := h.a.reg.svc.PersistentTable(tbl)
+	if err != nil {
+		return false, err
+	}
+	return pt.Delete(key), nil
+}
+
+func (h *host) AssocSize(tbl string) (int, error) {
+	pt, err := h.a.reg.svc.PersistentTable(tbl)
+	if err != nil {
+		return 0, err
+	}
+	return pt.Len(), nil
+}

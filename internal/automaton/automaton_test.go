@@ -1,0 +1,459 @@
+package automaton
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unicache/internal/pubsub"
+	"unicache/internal/table"
+	"unicache/internal/types"
+)
+
+// fakeServices is a minimal cache stand-in: a broker plus a set of tables.
+type fakeServices struct {
+	broker *pubsub.Broker
+	mu     sync.Mutex
+	tables map[string]table.Table
+	clock  types.Timestamp
+	seq    uint64
+}
+
+func newFakeServices(t *testing.T) *fakeServices {
+	t.Helper()
+	svc := &fakeServices{
+		broker: pubsub.NewBroker(),
+		tables: make(map[string]table.Table),
+		clock:  1000,
+	}
+	flows, err := types.NewSchema("Flows", false, -1,
+		types.Column{Name: "dstip", Type: types.ColVarchar},
+		types.Column{Name: "nbytes", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.addTable(t, flows)
+	usage, err := types.NewSchema("Usage", true, 0,
+		types.Column{Name: "k", Type: types.ColVarchar},
+		types.Column{Name: "v", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.addTable(t, usage)
+	wide, err := types.NewSchema("Wide", true, 1,
+		types.Column{Name: "a", Type: types.ColInt},
+		types.Column{Name: "k", Type: types.ColVarchar},
+		types.Column{Name: "b", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.addTable(t, wide)
+	return svc
+}
+
+func (s *fakeServices) addTable(t *testing.T, schema *types.Schema) {
+	t.Helper()
+	tb, err := table.New(schema, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.tables[schema.Name] = tb
+	if err := s.broker.CreateTopic(schema.Name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (s *fakeServices) Now() types.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock++
+	return s.clock
+}
+
+func (s *fakeServices) CommitInsert(name string, vals []types.Value) error {
+	s.mu.Lock()
+	tb, ok := s.tables[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("no such table %q", name)
+	}
+	coerced, err := tb.Schema().Coerce(vals)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.seq++
+	s.clock++
+	tup := &types.Tuple{Seq: s.seq, TS: s.clock, Vals: coerced}
+	if _, err := tb.Insert(tup); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	ev := &types.Event{Topic: name, Schema: tb.Schema(), Tuple: tup}
+	s.mu.Unlock()
+	return s.broker.Publish(ev)
+}
+
+func (s *fakeServices) PersistentTable(name string) (*table.Persistent, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tb, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("no such table %q", name)
+	}
+	pt, ok := tb.(*table.Persistent)
+	if !ok {
+		return nil, fmt.Errorf("table %q is not persistent", name)
+	}
+	return pt, nil
+}
+
+func (s *fakeServices) Schemas() map[string]*types.Schema {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*types.Schema, len(s.tables))
+	for name, tb := range s.tables {
+		out[name] = tb.Schema()
+	}
+	return out
+}
+
+func (s *fakeServices) Subscribe(id int64, topic string, sub pubsub.Subscriber) error {
+	return s.broker.Subscribe(id, topic, sub)
+}
+
+func (s *fakeServices) Unsubscribe(id int64) { s.broker.Unsubscribe(id) }
+
+func newRegistry(t *testing.T) (*fakeServices, *Registry) {
+	t.Helper()
+	svc := newFakeServices(t)
+	reg := NewRegistry(svc, Config{
+		PrintWriter:    &strings.Builder{},
+		OnRuntimeError: func(int64, error) {},
+		MaxSteps:       1_000_000,
+	})
+	t.Cleanup(reg.Close)
+	return svc, reg
+}
+
+func flowVals(dst string, n int64) []types.Value {
+	return []types.Value{types.Str(dst), types.Int(n)}
+}
+
+func TestRegisterRunsAndSends(t *testing.T) {
+	svc, reg := newRegistry(t)
+	var mu sync.Mutex
+	var got [][]types.Value
+	a, err := reg.Register(`
+subscribe f to Flows;
+behavior { send(f.nbytes * 2); }
+`, func(vals []types.Value) error {
+		mu.Lock()
+		got = append(got, vals)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() <= 0 {
+		t.Error("id should be positive")
+	}
+	if err := svc.CommitInsert("Flows", flowVals("d", 21)); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("sends = %d", len(got))
+	}
+	if n, _ := got[0][0].AsInt(); n != 42 {
+		t.Errorf("send value = %v", got[0][0])
+	}
+	if a.Processed() != 1 || a.RuntimeErrors() != 0 {
+		t.Errorf("counters: processed=%d errors=%d", a.Processed(), a.RuntimeErrors())
+	}
+}
+
+func TestRegisterValidationErrors(t *testing.T) {
+	_, reg := newRegistry(t)
+	if _, err := reg.Register(`subscribe f to Flows; behavior { send(f.nbytes); }`, nil); err == nil {
+		t.Error("nil sink should be rejected")
+	}
+	if _, err := reg.Register(`not gapl at all`, DiscardSink); err == nil {
+		t.Error("parse error should surface")
+	}
+	if _, err := reg.Register(`subscribe f to Nope; behavior { send(1); }`, DiscardSink); err == nil {
+		t.Error("bind error should surface")
+	}
+	if _, err := reg.Register(`
+subscribe f to Flows;
+associate u with Flows;
+behavior { send(1); }
+`, DiscardSink); err == nil {
+		t.Error("association to ephemeral table should be rejected")
+	}
+	if reg.Len() != 0 {
+		t.Errorf("failed registrations left %d automata", reg.Len())
+	}
+}
+
+func TestUnregisterLifecycle(t *testing.T) {
+	svc, reg := newRegistry(t)
+	a, err := reg.Register(`subscribe f to Flows; behavior { send(f.nbytes); }`, DiscardSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := reg.Get(a.ID()); !ok || got != a {
+		t.Error("Get should find the automaton")
+	}
+	if reg.Len() != 1 {
+		t.Errorf("Len = %d", reg.Len())
+	}
+	if err := reg.Unregister(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Unregister(a.ID()); err == nil {
+		t.Error("double unregister should error")
+	}
+	if _, ok := reg.Get(a.ID()); ok {
+		t.Error("Get after unregister should fail")
+	}
+	// Events after unregister are dropped silently.
+	if err := svc.CommitInsert("Flows", flowVals("d", 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeErrorCallbackAndCounters(t *testing.T) {
+	svc := newFakeServices(t)
+	var mu sync.Mutex
+	errCount := 0
+	reg := NewRegistry(svc, Config{
+		PrintWriter: &strings.Builder{},
+		OnRuntimeError: func(_ int64, err error) {
+			mu.Lock()
+			errCount++
+			mu.Unlock()
+		},
+	})
+	defer reg.Close()
+	a, err := reg.Register(`
+subscribe f to Flows;
+int x;
+behavior { x = 1 / f.nbytes; }
+`, DiscardSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = svc.CommitInsert("Flows", flowVals("d", 0)) // division by zero
+	_ = svc.CommitInsert("Flows", flowVals("d", 2)) // fine
+	if !reg.WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if errCount != 1 || a.RuntimeErrors() != 1 {
+		t.Errorf("errors: callback=%d counter=%d", errCount, a.RuntimeErrors())
+	}
+	if a.Processed() != 2 {
+		t.Errorf("processed = %d (failed deliveries still count)", a.Processed())
+	}
+}
+
+func TestDefaultConfigDoesNotPanic(t *testing.T) {
+	svc := newFakeServices(t)
+	reg := NewRegistry(svc, Config{})
+	defer reg.Close()
+	if _, err := reg.Register(`subscribe f to Flows; behavior { send(1); }`, DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintGoesToConfiguredWriter(t *testing.T) {
+	svc := newFakeServices(t)
+	var buf strings.Builder
+	var mu sync.Mutex
+	syncW := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	reg := NewRegistry(svc, Config{PrintWriter: syncW})
+	defer reg.Close()
+	if _, err := reg.Register(`
+subscribe f to Flows;
+behavior { print(String('got: ', f.nbytes)); }
+`, DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+	_ = svc.CommitInsert("Flows", flowVals("d", 7))
+	if !reg.WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(buf.String(), "got: 7") {
+		t.Errorf("print output = %q", buf.String())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestAssocInsertScalarConvenience(t *testing.T) {
+	svc, reg := newRegistry(t)
+	// Two-column table: insert(assoc, id, scalar) builds the row.
+	if _, err := reg.Register(`
+subscribe f to Flows;
+associate u with Usage;
+behavior { insert(u, Identifier(f.dstip), f.nbytes); }
+`, DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+	_ = svc.CommitInsert("Flows", flowVals("10.0.0.9", 500))
+	if !reg.WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	pt, _ := svc.PersistentTable("Usage")
+	row, ok := pt.Get("10.0.0.9")
+	if !ok {
+		t.Fatal("row missing")
+	}
+	if n, _ := row.Vals[1].AsInt(); n != 500 {
+		t.Errorf("scalar convenience row = %v", row.Vals)
+	}
+}
+
+func TestAssocInsertKeyMismatchRejected(t *testing.T) {
+	svc := newFakeServices(t)
+	var mu sync.Mutex
+	var errs []error
+	reg := NewRegistry(svc, Config{
+		PrintWriter: &strings.Builder{},
+		OnRuntimeError: func(_ int64, err error) {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+		},
+	})
+	defer reg.Close()
+	// Row's primary key 'other' does not match the insert key.
+	if _, err := reg.Register(`
+subscribe f to Flows;
+associate u with Usage;
+behavior { insert(u, Identifier('mykey'), Sequence('other', 1)); }
+`, DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+	_ = svc.CommitInsert("Flows", flowVals("d", 1))
+	if !reg.WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "does not match") {
+		t.Errorf("key mismatch error missing: %v", errs)
+	}
+}
+
+func TestAssocInsertArityAndNonKeyedScalar(t *testing.T) {
+	svc := newFakeServices(t)
+	var mu sync.Mutex
+	var errs []error
+	reg := NewRegistry(svc, Config{
+		PrintWriter: &strings.Builder{},
+		OnRuntimeError: func(_ int64, err error) {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+		},
+	})
+	defer reg.Close()
+	// Wide has 3 columns: a scalar insert cannot build the row, and a
+	// 2-element sequence has the wrong arity.
+	if _, err := reg.Register(`
+subscribe f to Flows;
+associate w with Wide;
+behavior {
+	insert(w, Identifier('k'), 5);
+}
+`, DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+	_ = svc.CommitInsert("Flows", flowVals("d", 1))
+	if !reg.WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "full row sequence") {
+		t.Errorf("arity error missing: %v", errs)
+	}
+}
+
+func TestWideAssocRowInsertWithMidKey(t *testing.T) {
+	svc, reg := newRegistry(t)
+	// Wide's primary key is its second column.
+	if _, err := reg.Register(`
+subscribe f to Flows;
+associate w with Wide;
+behavior { insert(w, Identifier(f.dstip), Sequence(1, f.dstip, f.nbytes)); }
+`, DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+	_ = svc.CommitInsert("Flows", flowVals("kk", 9))
+	if !reg.WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	pt, _ := svc.PersistentTable("Wide")
+	if _, ok := pt.Get("kk"); !ok {
+		t.Error("mid-key row not stored")
+	}
+}
+
+func TestManyAutomataFanout(t *testing.T) {
+	svc, reg := newRegistry(t)
+	const n = 16
+	var counter sync.Map
+	for i := 0; i < n; i++ {
+		id := i
+		if _, err := reg.Register(`
+subscribe f to Flows;
+behavior { send(f.nbytes); }
+`, func(vals []types.Value) error {
+			v, _ := counter.LoadOrStore(id, new(int))
+			*(v.(*int))++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const events = 50
+	for i := 0; i < events; i++ {
+		if err := svc.CommitInsert("Flows", flowVals("d", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reg.WaitIdle(10 * time.Second) {
+		t.Fatal("not idle")
+	}
+	total := 0
+	counter.Range(func(_, v any) bool {
+		total += *(v.(*int))
+		return true
+	})
+	if total != n*events {
+		t.Errorf("fanout delivered %d, want %d", total, n*events)
+	}
+	reg.Close()
+	if reg.Len() != 0 {
+		t.Errorf("Close left %d automata", reg.Len())
+	}
+}

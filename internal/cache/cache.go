@@ -1,0 +1,341 @@
+// Package cache implements the paper's core contribution: a centralised,
+// topic-based publish/subscribe cache unifying stream-database tables with
+// a publish/subscribe infrastructure (§3). Every table doubles as a topic;
+// every insert is published to all subscribed automata; ad hoc SQL queries
+// (with the continuous extensions) can be issued at any time; GAPL automata
+// registered against the cache detect complex event patterns over the
+// cached streams and relations.
+package cache
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"unicache/internal/automaton"
+	"unicache/internal/pubsub"
+	"unicache/internal/sql"
+	"unicache/internal/table"
+	"unicache/internal/types"
+)
+
+// TimerTopic is the built-in topic that delivers a punctuation tuple once
+// per period (§4.2); its schema is Timer(ts tstamp).
+const TimerTopic = "Timer"
+
+// Config tunes a Cache.
+type Config struct {
+	// EphemeralCapacity is the ring-buffer size for stream tables
+	// (default table.DefaultEphemeralCapacity).
+	EphemeralCapacity int
+	// TimerPeriod is the built-in Timer topic's period. The paper uses one
+	// second; tests and benchmarks may shorten it. Zero means 1s; negative
+	// disables the timer.
+	TimerPeriod time.Duration
+	// Clock overrides the time source (default wall clock).
+	Clock func() types.Timestamp
+	// PrintWriter receives automata print() output (default os.Stdout).
+	PrintWriter io.Writer
+	// OnRuntimeError observes automaton behaviour failures.
+	OnRuntimeError func(id int64, err error)
+	// MaxAutomatonSteps bounds instructions per clause execution (0 =
+	// unlimited).
+	MaxAutomatonSteps int
+	// AutoCreateStreams enables the §8 future-work extension: publishing
+	// into a topic that does not exist creates the stream on the fly with
+	// a schema inferred from the published values.
+	AutoCreateStreams bool
+}
+
+// Cache is a working instance of the unified system.
+type Cache struct {
+	cfg    Config
+	broker *pubsub.Broker
+	reg    *automaton.Registry
+	clock  func() types.Timestamp
+
+	// commitMu serialises the commit path: sequence assignment, table
+	// insert and topic publish happen atomically, which is what guarantees
+	// that every automaton observes the same global time-of-insertion
+	// order (§5).
+	commitMu sync.Mutex
+	seq      uint64
+
+	tablesMu sync.RWMutex
+	tables   map[string]table.Table
+
+	timerStop chan struct{}
+	timerDone chan struct{}
+	closeOnce sync.Once
+}
+
+var (
+	_ sql.Engine         = (*Cache)(nil)
+	_ automaton.Services = (*Cache)(nil)
+	_ pubsub.Subscriber  = (*subscriberFunc)(nil)
+)
+
+// subscriberFunc adapts a function to pubsub.Subscriber (used by Watch).
+type subscriberFunc struct {
+	fn func(*types.Event)
+}
+
+func (s *subscriberFunc) Deliver(ev *types.Event) { s.fn(ev) }
+
+// New creates a cache, installs the built-in Timer table/topic and starts
+// the timer.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = types.Now
+	}
+	if cfg.TimerPeriod == 0 {
+		cfg.TimerPeriod = time.Second
+	}
+	c := &Cache{
+		cfg:    cfg,
+		broker: pubsub.NewBroker(),
+		clock:  cfg.Clock,
+		tables: make(map[string]table.Table),
+	}
+	c.reg = automaton.NewRegistry(c, automaton.Config{
+		PrintWriter:    cfg.PrintWriter,
+		OnRuntimeError: cfg.OnRuntimeError,
+		MaxSteps:       cfg.MaxAutomatonSteps,
+	})
+	timerSchema, err := types.NewSchema(TimerTopic, false, -1,
+		types.Column{Name: "ts", Type: types.ColTstamp})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.CreateTable(timerSchema); err != nil {
+		return nil, err
+	}
+	if cfg.TimerPeriod > 0 {
+		c.timerStop = make(chan struct{})
+		c.timerDone = make(chan struct{})
+		go c.runTimer(cfg.TimerPeriod)
+	}
+	return c, nil
+}
+
+func (c *Cache) runTimer(period time.Duration) {
+	defer close(c.timerDone)
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.timerStop:
+			return
+		case <-tick.C:
+			_ = c.CommitInsert(TimerTopic, []types.Value{types.Stamp(c.clock())})
+		}
+	}
+}
+
+// Close stops the timer and all automata.
+func (c *Cache) Close() {
+	c.closeOnce.Do(func() {
+		if c.timerStop != nil {
+			close(c.timerStop)
+			<-c.timerDone
+		}
+		c.reg.Close()
+	})
+}
+
+// Now implements sql.Engine and automaton.Services.
+func (c *Cache) Now() types.Timestamp { return c.clock() }
+
+// Registry exposes the automaton registry (for WaitIdle etc.).
+func (c *Cache) Registry() *automaton.Registry { return c.reg }
+
+// Broker exposes the pub/sub broker (read-only uses).
+func (c *Cache) Broker() *pubsub.Broker { return c.broker }
+
+// --- tables & topics ---
+
+// CreateTable installs a table and its topic. Implements sql.Engine.
+func (c *Cache) CreateTable(schema *types.Schema) error {
+	if schema == nil {
+		return fmt.Errorf("cache: nil schema")
+	}
+	c.tablesMu.Lock()
+	defer c.tablesMu.Unlock()
+	if _, dup := c.tables[schema.Name]; dup {
+		return fmt.Errorf("cache: table %q already exists", schema.Name)
+	}
+	tb, err := table.New(schema, c.cfg.EphemeralCapacity)
+	if err != nil {
+		return err
+	}
+	if err := c.broker.CreateTopic(schema.Name); err != nil {
+		return err
+	}
+	c.tables[schema.Name] = tb
+	return nil
+}
+
+// LookupTable implements sql.Engine.
+func (c *Cache) LookupTable(name string) (table.Table, error) {
+	c.tablesMu.RLock()
+	defer c.tablesMu.RUnlock()
+	tb, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("cache: no such table %q", name)
+	}
+	return tb, nil
+}
+
+// PersistentTable implements automaton.Services.
+func (c *Cache) PersistentTable(name string) (*table.Persistent, error) {
+	tb, err := c.LookupTable(name)
+	if err != nil {
+		return nil, err
+	}
+	pt, ok := tb.(*table.Persistent)
+	if !ok {
+		return nil, fmt.Errorf("cache: table %q is not persistent", name)
+	}
+	return pt, nil
+}
+
+// Schemas implements automaton.Services.
+func (c *Cache) Schemas() map[string]*types.Schema {
+	c.tablesMu.RLock()
+	defer c.tablesMu.RUnlock()
+	out := make(map[string]*types.Schema, len(c.tables))
+	for name, tb := range c.tables {
+		out[name] = tb.Schema()
+	}
+	return out
+}
+
+// Tables returns the table names in topic order.
+func (c *Cache) Tables() []string { return c.broker.Topics() }
+
+// --- commit path ---
+
+// CommitInsert coerces, stamps, stores and publishes one tuple. It is the
+// single write path shared by SQL inserts, RPC inserts, automata publish()
+// calls and the Timer. Implements sql.Engine and automaton.Services.
+func (c *Cache) CommitInsert(tableName string, vals []types.Value) error {
+	tb, err := c.LookupTable(tableName)
+	if err != nil {
+		if c.cfg.AutoCreateStreams {
+			tb, err = c.autoCreateStream(tableName, vals)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	coerced, err := tb.Schema().Coerce(vals)
+	if err != nil {
+		return err
+	}
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	c.seq++
+	t := &types.Tuple{Seq: c.seq, TS: c.clock(), Vals: coerced}
+	if _, err := tb.Insert(t); err != nil {
+		return err
+	}
+	ev := &types.Event{Topic: tableName, Schema: tb.Schema(), Tuple: t}
+	return c.broker.Publish(ev)
+}
+
+// autoCreateStream implements the §8 "create streams on the fly" extension:
+// infer a schema from the published values.
+func (c *Cache) autoCreateStream(name string, vals []types.Value) (table.Table, error) {
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("cache: cannot infer a schema for empty tuple on %q", name)
+	}
+	cols := make([]types.Column, len(vals))
+	for i, v := range vals {
+		col := types.Column{Name: fmt.Sprintf("v%d", i)}
+		switch v.Kind() {
+		case types.KindInt:
+			col.Type = types.ColInt
+		case types.KindReal:
+			col.Type = types.ColReal
+		case types.KindBool:
+			col.Type = types.ColBool
+		case types.KindTstamp:
+			col.Type = types.ColTstamp
+		case types.KindString, types.KindIdentifier, types.KindSequence:
+			// Sequences are stored in their textual form.
+			col.Type = types.ColVarchar
+		default:
+			return nil, fmt.Errorf("cache: cannot infer a column type for %s", v.Kind())
+		}
+		cols[i] = col
+	}
+	schema, err := types.NewSchema(name, false, -1, cols...)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.CreateTable(schema); err != nil {
+		return nil, err
+	}
+	return c.LookupTable(name)
+}
+
+// DeleteRow implements sql.Engine.
+func (c *Cache) DeleteRow(tableName, key string) (bool, error) {
+	pt, err := c.PersistentTable(tableName)
+	if err != nil {
+		return false, err
+	}
+	return pt.Delete(key), nil
+}
+
+// Insert is the fast-path typed insert used by the RPC layer and
+// applications (equivalent to `insert into` without SQL parsing).
+func (c *Cache) Insert(tableName string, vals ...types.Value) error {
+	return c.CommitInsert(tableName, vals)
+}
+
+// Exec parses and executes one SQL statement.
+func (c *Cache) Exec(src string) (*sql.Result, error) {
+	return sql.ExecString(c, src)
+}
+
+// --- automata ---
+
+// Register compiles and starts an automaton; the sink receives its send()
+// events. On error (lexical, parse, bind, or initialization failure) the
+// error is returned and nothing is registered.
+func (c *Cache) Register(source string, sink automaton.Sink) (*automaton.Automaton, error) {
+	return c.reg.Register(source, sink)
+}
+
+// Unregister stops an automaton by id.
+func (c *Cache) Unregister(id int64) error { return c.reg.Unregister(id) }
+
+// Subscribe implements automaton.Services.
+func (c *Cache) Subscribe(id int64, topic string, sub pubsub.Subscriber) error {
+	return c.broker.Subscribe(id, topic, sub)
+}
+
+// Unsubscribe implements automaton.Services.
+func (c *Cache) Unsubscribe(id int64) { c.broker.Unsubscribe(id) }
+
+// Watch attaches a raw event observer to a topic under a fresh negative id
+// (application-side taps, used by tests and tools). It returns the id for
+// Unsubscribe.
+func (c *Cache) Watch(topic string, fn func(*types.Event)) (int64, error) {
+	c.commitMu.Lock()
+	c.seq++ // reuse the sequence space for watcher ids, negated
+	id := -int64(c.seq)
+	c.commitMu.Unlock()
+	if err := c.broker.Subscribe(id, topic, &subscriberFunc{fn: fn}); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// TickTimer publishes one Timer tuple immediately (useful for tests and
+// deterministic benchmarks that disable the periodic timer).
+func (c *Cache) TickTimer() error {
+	return c.CommitInsert(TimerTopic, []types.Value{types.Stamp(c.clock())})
+}

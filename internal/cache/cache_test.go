@@ -1,0 +1,595 @@
+package cache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unicache/internal/automaton"
+	"unicache/internal/types"
+)
+
+func newTestCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{
+		TimerPeriod:       -1, // deterministic tests drive TickTimer directly
+		MaxAutomatonSteps: 50_000_000,
+		PrintWriter:       &strings.Builder{},
+		OnRuntimeError:    func(int64, error) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// sinkRecorder collects send() payloads thread-safely.
+type sinkRecorder struct {
+	mu   sync.Mutex
+	evs  [][]types.Value
+	cond *sync.Cond
+}
+
+func newSinkRecorder() *sinkRecorder {
+	s := &sinkRecorder{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *sinkRecorder) sink(vals []types.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evs = append(s.evs, vals)
+	s.cond.Broadcast()
+	return nil
+}
+
+func (s *sinkRecorder) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.evs)
+}
+
+func (s *sinkRecorder) waitFor(t *testing.T, n int, timeout time.Duration) [][]types.Value {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.evs) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d send events (have %d)", n, len(s.evs))
+		}
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		s.mu.Lock()
+	}
+	out := make([][]types.Value, len(s.evs))
+	copy(out, s.evs)
+	return out
+}
+
+func mustExec(t *testing.T, c *Cache, src string) {
+	t.Helper()
+	if _, err := c.Exec(src); err != nil {
+		t.Fatalf("exec %q: %v", src, err)
+	}
+}
+
+func TestEndToEndInsertTriggersAutomaton(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table Readings (sensor varchar, v integer)`)
+	rec := newSinkRecorder()
+	_, err := c.Register(`
+subscribe r to Readings;
+behavior {
+	if (r.v > 100)
+		send(Sequence(r.sensor, r.v), 'threshold');
+}
+`, rec.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, c, `insert into Readings values ('s1', 50)`)
+	mustExec(t, c, `insert into Readings values ('s2', 150)`)
+	mustExec(t, c, `insert into Readings values ('s3', 250)`)
+
+	evs := rec.waitFor(t, 2, 5*time.Second)
+	if len(evs) != 2 {
+		t.Fatalf("got %d notifications", len(evs))
+	}
+	seq := evs[0][0].Seq()
+	if seq == nil || seq.At(0).String() != "s2" {
+		t.Errorf("first notification = %+v", evs[0])
+	}
+}
+
+func TestBandwidthScenarioFromPaper(t *testing.T) {
+	c := newTestCache(t)
+	// Fig. 3 tables.
+	mustExec(t, c, `create table Flows (protocol integer, srcip varchar(16), sport integer,
+		dstip varchar(16), dport integer, npkts integer, nbytes integer)`)
+	mustExec(t, c, `create persistenttable Allowances (ipaddr varchar(16) primary key, bytes integer)`)
+	mustExec(t, c, `create persistenttable BWUsage (ipaddr varchar(16) primary key, bytes integer)`)
+
+	// A network-management utility populates the monthly allowances.
+	mustExec(t, c, `insert into Allowances values ('192.168.1.10', 1000)`)
+
+	rec := newSinkRecorder()
+	// Fig. 4 automaton.
+	_, err := c.Register(`
+subscribe f to Flows;
+associate a with Allowances;
+associate b with BWUsage;
+int n, limit;
+identifier ip;
+sequence s;
+behavior {
+	ip = Identifier(f.dstip);
+	if (hasEntry(a, ip)) {
+		limit = seqElement(lookup(a, ip), 1);
+		if (hasEntry(b, ip))
+			n = seqElement(lookup(b, ip), 1);
+		else
+			n = 0;
+		n += f.nbytes;
+		s = Sequence(f.dstip, n);
+		if (n > limit)
+			send(s, limit, 'limit exceeded');
+		insert(b, ip, s);
+	}
+}
+`, rec.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flow := func(dst string, nbytes int) {
+		mustExec(t, c, fmt.Sprintf(
+			`insert into Flows values (6, '10.0.0.1', 1234, '%s', 80, 10, %d)`, dst, nbytes))
+	}
+	flow("8.8.8.8", 400)      // unmonitored
+	flow("192.168.1.10", 400) // 400/1000
+	flow("192.168.1.10", 400) // 800/1000
+	flow("192.168.1.10", 400) // 1200/1000 -> notify
+	flow("192.168.1.10", 100) // 1300/1000 -> notify again
+
+	evs := rec.waitFor(t, 2, 5*time.Second)
+	if got := evs[0][2].String(); got != "limit exceeded" {
+		t.Errorf("notification text = %q", got)
+	}
+	if lim, _ := evs[0][1].AsInt(); lim != 1000 {
+		t.Errorf("notification limit = %d", lim)
+	}
+
+	// Global state is immediately visible to ad hoc queries.
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("automata did not quiesce")
+	}
+	res, err := c.Exec(`select bytes from BWUsage where ipaddr = '192.168.1.10'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "1300" {
+		t.Errorf("BWUsage = %+v", res.Rows)
+	}
+	// Unmonitored IP never recorded.
+	res, _ = c.Exec(`select count(*) from BWUsage`)
+	if res.Rows[0][0].String() != "1" {
+		t.Errorf("BWUsage rows = %v", res.Rows[0])
+	}
+}
+
+func TestPublishCascadesBetweenAutomata(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table Raw (v integer)`)
+	mustExec(t, c, `create table Derived (v integer)`)
+
+	_, err := c.Register(`
+subscribe r to Raw;
+behavior { publish('Derived', r.v * 10); }
+`, automaton.DiscardSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := newSinkRecorder()
+	_, err = c.Register(`
+subscribe d to Derived;
+behavior { send(d.v); }
+`, rec.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 1; i <= 3; i++ {
+		if err := c.Insert("Raw", types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := rec.waitFor(t, 3, 5*time.Second)
+	for i, ev := range evs {
+		if n, _ := ev[0].AsInt(); n != int64((i+1)*10) {
+			t.Errorf("cascaded value %d = %v", i, ev[0])
+		}
+	}
+	// The Derived stream is also a queryable table (materialised view).
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	res, err := c.Exec(`select count(*) from Derived`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != "3" {
+		t.Errorf("Derived rows = %v", res.Rows[0])
+	}
+}
+
+func TestStrictInsertionOrderAcrossTopics(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table A (v integer)`)
+	mustExec(t, c, `create table B (v integer)`)
+	rec := newSinkRecorder()
+	_, err := c.Register(`
+subscribe a to A;
+subscribe b to B;
+behavior {
+	if (currentTopic() == 'A')
+		send('A', a.v);
+	else
+		send('B', b.v);
+}
+`, rec.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		topic := "A"
+		if i%2 == 1 {
+			topic = "B"
+		}
+		if err := c.Insert(topic, types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := rec.waitFor(t, n, 10*time.Second)
+	for i, ev := range evs {
+		wantTopic := "A"
+		if i%2 == 1 {
+			wantTopic = "B"
+		}
+		if s, _ := ev[0].AsStr(); s != wantTopic {
+			t.Fatalf("event %d came from %s, want %s (order violated)", i, s, wantTopic)
+		}
+		if v, _ := ev[1].AsInt(); v != int64(i) {
+			t.Fatalf("event %d carries %d (order violated)", i, v)
+		}
+	}
+}
+
+func TestConcurrentInsertersGlobalOrder(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table T (src integer, v integer)`)
+	var mu sync.Mutex
+	var seqs []uint64
+	if _, err := c.Watch("T", func(ev *types.Event) {
+		mu.Lock()
+		seqs = append(seqs, ev.Tuple.Seq)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = c.Insert("T", types.Int(int64(w)), types.Int(int64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) != writers*per {
+		t.Fatalf("observed %d events", len(seqs))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("sequence order violated at %d: %d after %d", i, seqs[i], seqs[i-1])
+		}
+	}
+}
+
+func TestTimerTopicDelivers(t *testing.T) {
+	c, err := New(Config{TimerPeriod: 5 * time.Millisecond, PrintWriter: &strings.Builder{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rec := newSinkRecorder()
+	if _, err := c.Register(`
+subscribe t to Timer;
+behavior { send(t.ts); }
+`, rec.sink); err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.waitFor(t, 3, 5*time.Second)
+	if ts, ok := evs[0][0].AsStamp(); !ok || ts == 0 {
+		t.Errorf("timer tuple = %+v", evs[0])
+	}
+}
+
+func TestTickTimerDeterministic(t *testing.T) {
+	c := newTestCache(t)
+	rec := newSinkRecorder()
+	if _, err := c.Register(`
+subscribe t to Timer;
+int n;
+behavior { n += 1; send(n); }
+`, rec.sink); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.TickTimer(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := rec.waitFor(t, 3, 5*time.Second)
+	if n, _ := evs[2][0].AsInt(); n != 3 {
+		t.Errorf("third tick n = %d", n)
+	}
+}
+
+func TestRegistrationErrorsReported(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table T (v integer)`)
+	cases := []struct {
+		name, src, want string
+	}{
+		{"parse error", `subscribe t to T behavior {}`, "expected"},
+		{"compile error", `subscribe t to T; behavior { x = 1; }`, "undeclared"},
+		{"bind error unknown topic", `subscribe t to Missing; behavior { print('x'); }`, "Missing"},
+		{"bind error unknown attr", `subscribe t to T; int n; behavior { n = t.nope; }`, "nope"},
+		{"assoc not persistent", `subscribe t to T; associate a with T; behavior { print('x'); }`, "not persistent"},
+		{"assoc missing", `subscribe t to T; associate a with Nope; behavior { print('x'); }`, "Nope"},
+		{"init failure", `subscribe t to T; int z, v; initialization { v = 1 / z; } behavior { print('x'); }`, "zero"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := c.Register(tt.src, automaton.DiscardSink)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("want error containing %q, got %v", tt.want, err)
+			}
+		})
+	}
+	if c.Registry().Len() != 0 {
+		t.Errorf("failed registrations must not leave automata behind: %d", c.Registry().Len())
+	}
+}
+
+func TestRuntimeErrorKeepsAutomatonAlive(t *testing.T) {
+	var mu sync.Mutex
+	var errs []error
+	c, err := New(Config{
+		TimerPeriod: -1,
+		PrintWriter: &strings.Builder{},
+		OnRuntimeError: func(_ int64, e error) {
+			mu.Lock()
+			errs = append(errs, e)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mustExec(t, c, `create table T (v integer)`)
+	rec := newSinkRecorder()
+	a, err := c.Register(`
+subscribe t to T;
+int x;
+behavior {
+	x = 10 / t.v;   # explodes when v == 0
+	send(x);
+}
+`, rec.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Insert("T", types.Int(0)) // error
+	_ = c.Insert("T", types.Int(2)) // fine
+	rec.waitFor(t, 1, 5*time.Second)
+	mu.Lock()
+	nerr := len(errs)
+	mu.Unlock()
+	if nerr != 1 {
+		t.Errorf("runtime errors observed = %d, want 1", nerr)
+	}
+	if a.RuntimeErrors() != 1 {
+		t.Errorf("RuntimeErrors() = %d", a.RuntimeErrors())
+	}
+	if got, _ := rec.evs[0][0].AsInt(); got != 5 {
+		t.Errorf("post-error delivery = %v", rec.evs[0][0])
+	}
+}
+
+func TestUnregisterStopsDelivery(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table T (v integer)`)
+	rec := newSinkRecorder()
+	a, err := c.Register(`subscribe t to T; behavior { send(t.v); }`, rec.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Insert("T", types.Int(1))
+	rec.waitFor(t, 1, 5*time.Second)
+	if err := c.Unregister(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Insert("T", types.Int(2))
+	time.Sleep(20 * time.Millisecond)
+	if rec.count() != 1 {
+		t.Errorf("unregistered automaton still receiving: %d sends", rec.count())
+	}
+	if err := c.Unregister(a.ID()); err == nil {
+		t.Error("double unregister should error")
+	}
+}
+
+func TestAssocInsertPublishesOnTopic(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table Trigger (v integer)`)
+	mustExec(t, c, `create persistenttable State (k varchar primary key, v integer)`)
+
+	// Automaton B watches the persistent table's topic: materialised views
+	// are event sources too (§3).
+	rec := newSinkRecorder()
+	if _, err := c.Register(`
+subscribe s to State;
+behavior { send(s.k, s.v); }
+`, rec.sink); err != nil {
+		t.Fatal(err)
+	}
+	// Automaton A writes to the persistent table via its association.
+	if _, err := c.Register(`
+subscribe t to Trigger;
+associate st with State;
+behavior { insert(st, Identifier('counter'), Sequence('counter', t.v)); }
+`, automaton.DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Insert("Trigger", types.Int(42))
+	evs := rec.waitFor(t, 1, 5*time.Second)
+	if k, _ := evs[0][0].AsStr(); k != "counter" {
+		t.Errorf("state event key = %q", k)
+	}
+	if v, _ := evs[0][1].AsInt(); v != 42 {
+		t.Errorf("state event value = %v", evs[0][1])
+	}
+}
+
+func TestAutoCreateStreamsExtension(t *testing.T) {
+	c, err := New(Config{
+		TimerPeriod:       -1,
+		AutoCreateStreams: true,
+		PrintWriter:       &strings.Builder{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mustExec(t, c, `create table In (v integer)`)
+	if _, err := c.Register(`
+subscribe i to In;
+behavior { publish('OnTheFly', i.v, 'tag'); }
+`, automaton.DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Insert("In", types.Int(9))
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	res, err := c.Exec(`select * from OnTheFly`)
+	if err != nil {
+		t.Fatalf("auto-created stream not queryable: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "9" {
+		t.Errorf("OnTheFly rows = %+v", res.Rows)
+	}
+	// Without the extension, publishing to a missing topic is an error.
+	c2 := newTestCache(t)
+	mustExec(t, c2, `create table In (v integer)`)
+	errCh := make(chan error, 1)
+	c2e, err := New(Config{
+		TimerPeriod: -1,
+		PrintWriter: &strings.Builder{},
+		OnRuntimeError: func(_ int64, e error) {
+			select {
+			case errCh <- e:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2e.Close()
+	if _, err := c2e.Exec(`create table In (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2e.Register(`
+subscribe i to In;
+behavior { publish('Nope', i.v); }
+`, automaton.DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+	_ = c2e.Insert("In", types.Int(1))
+	select {
+	case e := <-errCh:
+		if !strings.Contains(e.Error(), "Nope") {
+			t.Errorf("unexpected runtime error: %v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("publish to missing topic should produce a runtime error")
+	}
+}
+
+func TestSQLOverCache(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table Stocks (name varchar, price real)`)
+	for i := 0; i < 5; i++ {
+		mustExec(t, c, fmt.Sprintf(`insert into Stocks values ('ACME', %d.5)`, 10+i))
+	}
+	res, err := c.Exec(`select name, max(price) as hi from Stocks group by name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].String() != "14.5" {
+		t.Errorf("group-by result = %+v", res.Rows)
+	}
+	// The continuous form: select ... since.
+	res, err = c.Exec(`select count(*) from Stocks since 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != "5" {
+		t.Errorf("since-0 count = %v", res.Rows[0])
+	}
+}
+
+func TestCacheTableManagement(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table T (v integer)`)
+	if _, err := c.Exec(`create table T (v integer)`); err == nil {
+		t.Error("duplicate table should error")
+	}
+	if _, err := c.LookupTable("Nope"); err == nil {
+		t.Error("missing table should error")
+	}
+	if _, err := c.PersistentTable("T"); err == nil {
+		t.Error("PersistentTable on stream should error")
+	}
+	names := c.Tables()
+	// Timer is built in.
+	if len(names) != 2 || names[0] != "T" && names[1] != "T" {
+		t.Errorf("tables = %v", names)
+	}
+	schemas := c.Schemas()
+	if _, ok := schemas[TimerTopic]; !ok {
+		t.Error("Timer schema missing")
+	}
+}
+
+func TestWaitIdleTimesOut(t *testing.T) {
+	c := newTestCache(t)
+	if !c.Registry().WaitIdle(time.Second) {
+		t.Error("empty registry should be idle")
+	}
+}

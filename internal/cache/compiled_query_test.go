@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"unicache/internal/cayuga"
+	"unicache/internal/types"
+)
+
+// TestCompiledCayugaQueryOnLiveCache registers a ToGAPL-compiled Cayuga
+// query against a running cache: the §8 vision of higher-level pattern
+// languages compiling down to automata, end to end. Auto-created streams
+// receive the compiled query's emissions with an inferred schema.
+func TestCompiledCayugaQueryOnLiveCache(t *testing.T) {
+	c, err := New(Config{TimerPeriod: -1, AutoCreateStreams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	mustExec(t, c, `create table Stocks (name varchar, price real, volume integer)`)
+
+	src, err := cayuga.ToGAPL(cayuga.RisingRunQuery("Stocks", "Runs", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(src, func([]types.Value) error { return nil }); err != nil {
+		t.Fatalf("compiled query rejected by cache: %v", err)
+	}
+
+	feed := func(name string, price float64) {
+		t.Helper()
+		if err := c.Insert("Stocks", types.Str(name), types.Real(price), types.Int(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []float64{10, 11, 12, 13, 9} {
+		feed("ACME", p)
+	}
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	res, err := c.Exec(`select count(*) from Runs`)
+	if err != nil {
+		t.Fatalf("auto-created Runs stream missing: %v", err)
+	}
+	if res.Rows[0][0].String() != "1" {
+		t.Errorf("compiled query found %v maximal runs, want 1", res.Rows[0][0])
+	}
+
+	// The compiled double-top query coexists on the same cache.
+	src2, err := cayuga.ToGAPL(cayuga.DoubleTopQuery("Stocks", "M"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(src2, func([]types.Value) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{10, 14, 20, 17, 15, 17, 19, 16, 14, 13} {
+		feed("ZZZ", p)
+	}
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	res, err = c.Exec(`select count(*) from M`)
+	if err != nil {
+		t.Fatalf("auto-created M stream missing: %v", err)
+	}
+	if res.Rows[0][0].String() != "1" {
+		t.Errorf("compiled double-top found %v matches, want 1", res.Rows[0][0])
+	}
+}

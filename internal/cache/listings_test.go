@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"unicache/internal/types"
+)
+
+// TestFig2ContinuousQueryModel runs the paper's Fig. 2 automaton — the
+// Tapestry continuous-query execution model — against a live cache: events
+// accumulate in a time window, and every Timer tick ships the window to
+// the application and opens a fresh one.
+func TestFig2ContinuousQueryModel(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table Topic (attribute integer)`)
+	rec := newSinkRecorder()
+	_, err := c.Register(`
+subscribe event to Topic;
+subscribe x to Timer;
+window w;
+initialization {
+	w = Window(sequence, SECS, 3600);
+}
+behavior {
+	if (currentTopic() == 'Topic')
+		append(w, Sequence(event.attribute));
+	else
+		if (currentTopic() == 'Timer') {
+			send(w);
+			w = Window(sequence, SECS, 3600);
+		}
+}
+`, rec.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 1; i <= 3; i++ {
+		if err := c.Insert("Topic", types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.TickTimer(); err != nil {
+		t.Fatal(err)
+	}
+	// Second batch: the window must have been reset.
+	for i := 10; i <= 11; i++ {
+		if err := c.Insert("Topic", types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.TickTimer(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := rec.waitFor(t, 2, 5*time.Second)
+	w1 := evs[0][0].Win()
+	if w1 == nil || w1.Len() != 3 {
+		t.Fatalf("first window = %v", evs[0][0])
+	}
+	if seq := w1.At(0).Seq(); seq == nil || seq.At(0).String() != "1" {
+		t.Errorf("first window head = %v", w1.At(0))
+	}
+	w2 := evs[1][0].Win()
+	if w2 == nil || w2.Len() != 2 {
+		t.Fatalf("second window = %v (window not reset between ticks?)", evs[1][0])
+	}
+	if seq := w2.At(0).Seq(); seq == nil || seq.At(0).String() != "10" {
+		t.Errorf("second window head = %v", w2.At(0))
+	}
+}
+
+// TestKleeneClosureMapOfWindows exercises the §7 idiom: SASE's Kleene
+// closure over partition-contiguous events, implemented with a map of
+// windows — one window of readings per partition, emitted when the closing
+// condition fires.
+func TestKleeneClosureMapOfWindows(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table Readings (part varchar, v integer)`)
+	rec := newSinkRecorder()
+	// Collect a+ b per partition: accumulate positive readings, emit the
+	// accumulated closure when a zero arrives (the closing event).
+	_, err := c.Register(`
+subscribe r to Readings;
+map W;
+identifier id;
+window w;
+initialization { W = Map(window); }
+behavior {
+	id = Identifier(r.part);
+	if (!hasEntry(W, id))
+		insert(W, id, Window(int, ROWS, 64));
+	w = lookup(W, id);
+	if (r.v > 0)
+		append(w, r.v);
+	else {
+		if (winSize(w) > 0) {
+			send(r.part, w);
+			insert(W, id, Window(int, ROWS, 64));
+		}
+	}
+}
+`, rec.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feed := func(part string, v int64) {
+		t.Helper()
+		if err := c.Insert("Readings", types.Str(part), types.Int(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Interleaved partitions; closure is per-partition contiguous.
+	feed("A", 1)
+	feed("B", 7)
+	feed("A", 2)
+	feed("A", 3)
+	feed("B", 8)
+	feed("A", 0) // closes A: [1 2 3]
+	feed("B", 0) // closes B: [7 8]
+	feed("A", 0) // empty closure: no emission
+
+	evs := rec.waitFor(t, 2, 5*time.Second)
+	if got, _ := evs[0][0].AsStr(); got != "A" {
+		t.Errorf("first closure from %q", got)
+	}
+	wa := evs[0][1].Win()
+	if wa == nil || wa.Len() != 3 || wa.At(2).String() != "3" {
+		t.Errorf("closure A = %v", evs[0][1])
+	}
+	wb := evs[1][1].Win()
+	if wb == nil || wb.Len() != 2 || wb.At(0).String() != "7" {
+		t.Errorf("closure B = %v", evs[1][1])
+	}
+	// The empty third closure must not have emitted.
+	time.Sleep(10 * time.Millisecond)
+	if rec.count() != 2 {
+		t.Errorf("empty closure emitted: %d sends", rec.count())
+	}
+}
+
+// TestTimerIsQueryable: the built-in Timer topic is an ordinary table.
+func TestTimerIsQueryable(t *testing.T) {
+	c := newTestCache(t)
+	for i := 0; i < 3; i++ {
+		if err := c.TickTimer(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Exec(`select count(*) from Timer`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != "3" {
+		t.Errorf("Timer rows = %v", res.Rows[0])
+	}
+}
+
+// TestMaterializedViewChain: §3's "complex patterns presented as
+// materialised views, and materialised views used to derive complex
+// patterns" — a three-stage automaton chain where each stage's output
+// stream is queryable.
+func TestMaterializedViewChain(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table L0 (v integer)`)
+	mustExec(t, c, `create table L1 (v integer)`)
+	mustExec(t, c, `create table L2 (v integer)`)
+	for _, prog := range []string{
+		`subscribe e to L0; behavior { if (e.v % 2 == 0) publish('L1', e.v); }`,
+		`subscribe e to L1; behavior { if (e.v % 3 == 0) publish('L2', e.v); }`,
+	} {
+		if _, err := c.Register(prog, func([]types.Value) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 30; i++ {
+		if err := c.Insert("L0", types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("not idle")
+	}
+	res, err := c.Exec(`select count(*) from L2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiples of 6 in 1..30: 5.
+	if res.Rows[0][0].String() != "5" {
+		t.Errorf("L2 rows = %v", res.Rows[0])
+	}
+}
+
+// TestSelectSinceSupportsPolling exercises the Fig. 1 polling pattern: a
+// client repeatedly selects `since τ` with τ = last seen timestamp.
+func TestSelectSinceSupportsPolling(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table S (v integer)`)
+	var last types.Timestamp // zero: everything is newer
+	seen := 0
+	poll := func() {
+		t.Helper()
+		var res *sqlResult
+		r, err := c.Exec("select tstamp, v from S since " + types.Stamp(last).String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = &sqlResult{r.Rows}
+		for _, row := range res.rows {
+			ts, _ := row[0].AsStamp()
+			if ts <= last {
+				t.Fatalf("since returned old tuple ts=%d last=%d", ts, last)
+			}
+			last = ts
+			seen++
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Insert("S", types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		poll()
+	}
+	poll() // nothing new
+	if seen != 4 {
+		t.Errorf("polling saw %d tuples, want 4", seen)
+	}
+}
+
+type sqlResult struct{ rows [][]types.Value }

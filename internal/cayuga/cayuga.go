@@ -1,0 +1,292 @@
+// Package cayuga reimplements the subset of the Cayuga complex-event
+// engine the paper benchmarks against (§6.5): a non-deterministic finite
+// automaton model in which each query compiles to an NFA, each partial
+// match is an automaton *instance* carrying an attribute binding, every
+// event may spawn a fresh instance (overlapping matches), and accepted
+// matches are materialised as events on an output stream that re-enters
+// the engine (Cayuga's intermediate event streams).
+//
+// These properties — per-instance bindings, instance multiplication, and
+// intermediate stream materialisation — are precisely the costs the
+// paper's imperative automata avoid, so reproducing them faithfully is
+// what makes the Fig. 18 comparison meaningful.
+package cayuga
+
+import (
+	"container/heap"
+	"fmt"
+
+	"unicache/internal/types"
+)
+
+// Event is one event instance: a named stream plus attribute values.
+// Cayuga's algebra is schema-flexible, so attributes live in a map (the
+// generality the engine pays for on every access).
+type Event struct {
+	Stream string
+	Attrs  map[string]types.Value
+}
+
+// Binding is the variable environment an NFA instance carries.
+type Binding map[string]types.Value
+
+// clone copies a binding (instances must not alias environments).
+func (b Binding) clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Transition is one guarded edge of the NFA. Guards and updates are
+// interpreted expression/action trees (see expr.go), exactly as Cayuga
+// evaluates its compiled query language at run time.
+type Transition struct {
+	// Pred guards the edge (nil = always).
+	Pred Expr
+	// Do updates the binding when the edge fires.
+	Do []Action
+	// Target is the destination state index; for Loop edges it is ignored.
+	Target int
+}
+
+// State is one NFA state with an optional self-loop (the FOLD iterate
+// edge) and an optional forward edge. Edge priority is loop first, then
+// forward; if neither fires for an event in the instance's partition the
+// instance dies (predicate-based garbage collection).
+type State struct {
+	Loop    *Transition
+	Forward *Transition
+}
+
+// Query is one registered pattern: an NFA over an input stream publishing
+// accepted matches to an output stream.
+type Query struct {
+	Name string
+	// In is the input stream.
+	In string
+	// Out is the stream accepted matches are published to.
+	Out string
+	// Partition names the attribute that partitions instances (e.g. the
+	// stock name); empty means no partitioning.
+	Partition string
+	// Start guards instance creation (nil = every event spawns one).
+	Start Expr
+	// OnStart seeds the binding of a fresh instance.
+	OnStart []Action
+	// States are the NFA states; an instance reaching state len(States)
+	// accepts.
+	States []State
+	// Emit projects the accepted binding to the output event's attributes;
+	// nil emits the whole environment (SELECT *).
+	Emit []EmitSpec
+}
+
+// instance is one partial match.
+type instance struct {
+	state int
+	env   Binding
+	part  string
+}
+
+// queuedEvent is one entry of the engine's timestamp-ordered input queue
+// (Cayuga processes events in temporal order through a priority queue;
+// derived events re-enter the queue).
+type queuedEvent struct {
+	ts    uint64
+	depth int
+	ev    Event
+}
+
+// eventHeap is a min-heap on timestamps.
+type eventHeap []queuedEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].ts < h[j].ts }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(queuedEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Stats counts the engine work performed; the Fig. 18 analysis uses them
+// to show where Cayuga's time goes.
+type Stats struct {
+	Events       uint64 // events processed (including intermediate streams)
+	Spawned      uint64 // instances created
+	Transitions  uint64 // edges fired
+	Died         uint64 // instances garbage-collected
+	Accepted     uint64 // matches emitted
+	Materialised uint64 // events appended to output streams
+}
+
+// Engine hosts registered queries and their live instances.
+type Engine struct {
+	queries  map[string][]*Query // input stream -> queries
+	live     map[*Query][]*instance
+	streams  map[string][]Event // materialised output streams
+	queue    eventHeap
+	nextTS   uint64
+	stats    Stats
+	maxDepth int
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		queries:  make(map[string][]*Query),
+		live:     make(map[*Query][]*instance),
+		streams:  make(map[string][]Event),
+		maxDepth: 16,
+	}
+}
+
+// Register installs a query.
+func (e *Engine) Register(q *Query) error {
+	if q == nil || q.In == "" || q.Out == "" {
+		return fmt.Errorf("cayuga: query needs input and output streams")
+	}
+	if len(q.States) == 0 {
+		return fmt.Errorf("cayuga: query %s has no states", q.Name)
+	}
+	e.queries[q.In] = append(e.queries[q.In], q)
+	return nil
+}
+
+// Stats returns a copy of the work counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Stream returns the materialised contents of an output stream.
+func (e *Engine) Stream(name string) []Event { return e.streams[name] }
+
+// Process feeds one event through the engine's timestamp-ordered queue;
+// any accepted matches are materialised on their output streams and
+// re-enter the queue (bounded by a re-derivation depth to defend against
+// self-feeding query graphs).
+func (e *Engine) Process(ev Event) {
+	e.enqueue(ev, 0)
+	e.drain()
+}
+
+// ProcessAll feeds a batch in order.
+func (e *Engine) ProcessAll(evs []Event) {
+	for _, ev := range evs {
+		e.enqueue(ev, 0)
+		e.drain()
+	}
+}
+
+func (e *Engine) enqueue(ev Event, depth int) {
+	e.nextTS++
+	heap.Push(&e.queue, queuedEvent{ts: e.nextTS, depth: depth, ev: ev})
+}
+
+func (e *Engine) drain() {
+	for e.queue.Len() > 0 {
+		qe := heap.Pop(&e.queue).(queuedEvent)
+		if qe.depth > e.maxDepth {
+			continue
+		}
+		e.stats.Events++
+		for _, q := range e.queries[qe.ev.Stream] {
+			e.advance(q, qe.ev, qe.depth)
+		}
+	}
+}
+
+func (e *Engine) advance(q *Query, ev Event, depth int) {
+	part := ""
+	if q.Partition != "" {
+		part = types.KeyString(ev.Attrs[q.Partition])
+	}
+
+	// 1. Every event may start a new instance (overlapping matches). The
+	// fresh instance participates in this event's transition evaluation,
+	// so unary queries accept on the triggering event itself.
+	if truthy(q.Start, nil, ev) {
+		env := make(Binding, 8)
+		for _, a := range q.OnStart {
+			a.Apply(env, ev)
+		}
+		e.stats.Spawned++
+		e.live[q] = append(e.live[q], &instance{state: 0, env: env, part: part})
+	}
+
+	// 2. Instances in this partition step with true NFA semantics: when
+	// both the self-loop and the forward edge are enabled the instance is
+	// cloned and both paths are explored (the non-determinism Cayuga's
+	// FOLD is named for). An instance with no enabled edge dies.
+	kept := e.live[q][:0]
+	var accepted []Binding
+	for _, in := range e.live[q] {
+		if q.Partition != "" && in.part != part {
+			kept = append(kept, in)
+			continue
+		}
+		st := q.States[in.state]
+		loopOK := st.Loop != nil && truthy(st.Loop.Pred, in.env, ev)
+		fwdOK := st.Forward != nil && truthy(st.Forward.Pred, in.env, ev)
+		if loopOK && fwdOK {
+			// Clone for the forward path; the original keeps looping.
+			fork := &instance{state: in.state, env: in.env.clone(), part: in.part}
+			e.stats.Spawned++
+			for _, a := range st.Forward.Do {
+				a.Apply(fork.env, ev)
+			}
+			e.stats.Transitions++
+			fork.state = st.Forward.Target
+			if fork.state >= len(q.States) {
+				accepted = append(accepted, fork.env)
+				e.stats.Accepted++
+			} else {
+				kept = append(kept, fork)
+			}
+		}
+		switch {
+		case loopOK:
+			for _, a := range st.Loop.Do {
+				a.Apply(in.env, ev)
+			}
+			e.stats.Transitions++
+			kept = append(kept, in)
+		case fwdOK:
+			for _, a := range st.Forward.Do {
+				a.Apply(in.env, ev)
+			}
+			e.stats.Transitions++
+			in.state = st.Forward.Target
+			if in.state >= len(q.States) {
+				accepted = append(accepted, in.env)
+				e.stats.Accepted++
+			} else {
+				kept = append(kept, in)
+			}
+		default:
+			e.stats.Died++
+		}
+	}
+	e.live[q] = kept
+
+	// 3. Materialise accepted matches and re-enter the engine through the
+	// event queue.
+	for _, env := range accepted {
+		var attrs map[string]types.Value
+		if q.Emit == nil {
+			attrs = emitAll(env)
+		} else {
+			attrs = emit(q.Emit, env)
+		}
+		out := Event{Stream: q.Out, Attrs: attrs}
+		e.streams[q.Out] = append(e.streams[q.Out], out)
+		e.stats.Materialised++
+		e.enqueue(out, depth+1)
+	}
+}
+
+// LiveInstances returns the number of live instances for a query (tests).
+func (e *Engine) LiveInstances(q *Query) int { return len(e.live[q]) }

@@ -1,0 +1,219 @@
+package cayuga
+
+import (
+	"testing"
+
+	"unicache/internal/types"
+	"unicache/internal/workload"
+)
+
+func stockEv(name string, price float64) Event {
+	return Event{
+		Stream: "Stocks",
+		Attrs: map[string]types.Value{
+			"name":   types.Str(name),
+			"price":  types.Real(price),
+			"volume": types.Int(100),
+		},
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	e := NewEngine()
+	if err := e.Register(nil); err == nil {
+		t.Error("nil query rejected")
+	}
+	if err := e.Register(&Query{In: "S"}); err == nil {
+		t.Error("missing out stream rejected")
+	}
+	if err := e.Register(&Query{In: "S", Out: "T"}); err == nil {
+		t.Error("no states rejected")
+	}
+}
+
+func TestPassthroughQuery(t *testing.T) {
+	e := NewEngine()
+	q := PassthroughQuery("Stocks", "T")
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		e.Process(stockEv("ACME", float64(10+i)))
+	}
+	out := e.Stream("T")
+	if len(out) != 5 {
+		t.Fatalf("materialised %d events, want 5", len(out))
+	}
+	if out[2].Attrs["price"].String() != "12.0" {
+		t.Errorf("passthrough attrs = %v", out[2].Attrs)
+	}
+	st := e.Stats()
+	if st.Accepted != 5 || st.Spawned != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if e.LiveInstances(q) != 0 {
+		t.Errorf("passthrough should leave no live instances, got %d", e.LiveInstances(q))
+	}
+}
+
+func TestDoubleTopDetectsMShape(t *testing.T) {
+	e := NewEngine()
+	q := DoubleTopQuery("Stocks", "M")
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	// A=10 rise to B=20 fall to C=15 rise to D=19 fall below C.
+	prices := []float64{10, 14, 20, 17, 15, 17, 19, 16, 14}
+	for _, p := range prices {
+		e.Process(stockEv("ACME", p))
+	}
+	out := e.Stream("M")
+	if len(out) == 0 {
+		t.Fatal("double top not detected")
+	}
+	m := out[0].Attrs
+	if m["name"].String() != "ACME" {
+		t.Errorf("match name = %v", m["name"])
+	}
+	if b, _ := m["B"].AsReal(); b != 20 {
+		t.Errorf("B = %v", m["B"])
+	}
+	if c, _ := m["C"].AsReal(); c != 15 {
+		t.Errorf("C = %v", m["C"])
+	}
+	if d, _ := m["D"].AsReal(); d != 19 {
+		t.Errorf("D = %v", m["D"])
+	}
+}
+
+func TestDoubleTopRespectsPartition(t *testing.T) {
+	e := NewEngine()
+	q := DoubleTopQuery("Stocks", "M")
+	_ = e.Register(q)
+	// Interleave two stocks; only ACME forms the M shape.
+	acme := []float64{10, 20, 15, 19, 16, 14}
+	flat := []float64{50, 50, 50, 50, 50, 50}
+	for i := range acme {
+		e.Process(stockEv("ACME", acme[i]))
+		e.Process(stockEv("FLAT", flat[i]))
+	}
+	for _, m := range e.Stream("M") {
+		if m.Attrs["name"].String() != "ACME" {
+			t.Errorf("match from wrong partition: %v", m.Attrs["name"])
+		}
+	}
+	if len(e.Stream("M")) == 0 {
+		t.Error("interleaved M shape missed")
+	}
+}
+
+func TestDoubleTopRejectsValleyBelowStart(t *testing.T) {
+	e := NewEngine()
+	_ = e.Register(DoubleTopQuery("Stocks", "M"))
+	// Valley dips below A: not a valid double top from A's anchor.
+	for _, p := range []float64{10, 20, 5, 19, 3} {
+		e.Process(stockEv("X", p))
+	}
+	for _, m := range e.Stream("M") {
+		a, _ := m.Attrs["A"].AsReal()
+		c, _ := m.Attrs["C"].AsReal()
+		if c <= a {
+			t.Errorf("accepted match with valley %v below start %v", c, a)
+		}
+	}
+}
+
+func TestRisingRunQuery(t *testing.T) {
+	e := NewEngine()
+	q := RisingRunQuery("Stocks", "Runs", 3)
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{10, 11, 12, 13, 9, 10, 9} {
+		e.Process(stockEv("ACME", p))
+	}
+	out := e.Stream("Runs")
+	if len(out) == 0 {
+		t.Fatal("no runs detected")
+	}
+	// The longest run 10,11,12,13 must be among the emitted (overlapping
+	// suffixes are legitimate FOLD matches).
+	best := 0
+	for _, ev := range out {
+		if n, _ := ev.Attrs["len"].AsInt(); int(n) > best {
+			best = int(n)
+		}
+	}
+	if best != 4 {
+		t.Errorf("longest emitted run = %d, want 4", best)
+	}
+}
+
+func TestRisingRunMinLength(t *testing.T) {
+	e := NewEngine()
+	_ = e.Register(RisingRunQuery("Stocks", "Runs", 4))
+	for _, p := range []float64{10, 11, 12, 9} { // run of 3 < minLen 4
+		e.Process(stockEv("ACME", p))
+	}
+	if got := len(e.Stream("Runs")); got != 0 {
+		t.Errorf("short run emitted %d matches", got)
+	}
+}
+
+func TestIntermediateStreamsReenterEngine(t *testing.T) {
+	e := NewEngine()
+	_ = e.Register(PassthroughQuery("Stocks", "Mid"))
+	_ = e.Register(PassthroughQuery("Mid", "Final"))
+	e.Process(stockEv("ACME", 10))
+	if len(e.Stream("Mid")) != 1 || len(e.Stream("Final")) != 1 {
+		t.Errorf("chained streams: mid=%d final=%d",
+			len(e.Stream("Mid")), len(e.Stream("Final")))
+	}
+}
+
+func TestSelfFeedingQueryBounded(t *testing.T) {
+	e := NewEngine()
+	// Pathological: a query that publishes to its own input.
+	_ = e.Register(PassthroughQuery("Loop", "Loop"))
+	e.Process(Event{Stream: "Loop", Attrs: map[string]types.Value{"v": types.Int(1)}})
+	// Must terminate (depth-bounded); the stream holds a bounded number of
+	// copies.
+	if n := len(e.Stream("Loop")); n == 0 || n > 64 {
+		t.Errorf("self-feeding loop materialised %d events", n)
+	}
+}
+
+func TestStockStreamConversion(t *testing.T) {
+	trace := workload.StockTrace(workload.StockConfig{
+		Seed: 1, Events: 100, Symbols: 5,
+	})
+	evs := StockStream(trace)
+	if len(evs) != 100 {
+		t.Fatalf("converted %d events", len(evs))
+	}
+	if evs[0].Stream != "Stocks" {
+		t.Error("stream name wrong")
+	}
+	if _, ok := evs[0].Attrs["price"]; !ok {
+		t.Error("price attribute missing")
+	}
+}
+
+func TestPaperTraceFindsPatterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace in -short mode")
+	}
+	trace := workload.StockTrace(workload.StockConfig{
+		Seed: 42, Events: 20_000, Symbols: 20, DoubleTops: 50, RunLength: 8, Runs: 100,
+	})
+	e := NewEngine()
+	_ = e.Register(DoubleTopQuery("Stocks", "M"))
+	_ = e.Register(RisingRunQuery("Stocks", "Runs", 5))
+	e.ProcessAll(StockStream(trace))
+	if len(e.Stream("M")) == 0 {
+		t.Error("planted double tops not detected in synthetic trace")
+	}
+	if len(e.Stream("Runs")) == 0 {
+		t.Error("planted rising runs not detected in synthetic trace")
+	}
+}

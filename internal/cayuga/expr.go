@@ -1,0 +1,198 @@
+package cayuga
+
+import (
+	"unicache/internal/types"
+)
+
+// Cayuga compiles its query language into predicate and action expression
+// trees that the engine evaluates interpretively per instance per event —
+// the same interpretation cost the Cache pays in its bytecode VM. This
+// file is that expression layer.
+
+// Expr evaluates against an instance environment and the incoming event.
+type Expr interface {
+	Eval(b Binding, ev Event) types.Value
+}
+
+// Attr references an attribute of the incoming event.
+type Attr struct{ Name string }
+
+// Env references a bound variable of the instance environment.
+type Env struct{ Name string }
+
+// Const is a literal.
+type Const struct{ V types.Value }
+
+// Cmp compares two subexpressions with a relational operator.
+type Cmp struct {
+	Op   string // "==", "!=", "<", "<=", ">", ">="
+	L, R Expr
+}
+
+// And is logical conjunction; Or disjunction; Not negation.
+type And struct{ L, R Expr }
+
+// Or is logical disjunction.
+type Or struct{ L, R Expr }
+
+// Not is logical negation.
+type Not struct{ X Expr }
+
+// Eval implements Expr.
+func (e Attr) Eval(_ Binding, ev Event) types.Value { return ev.Attrs[e.Name] }
+
+// Eval implements Expr.
+func (e Env) Eval(b Binding, _ Event) types.Value { return b[e.Name] }
+
+// Eval implements Expr.
+func (e Const) Eval(Binding, Event) types.Value { return e.V }
+
+// Eval implements Expr.
+func (e Cmp) Eval(b Binding, ev Event) types.Value {
+	v, err := types.CompareOp(e.Op, e.L.Eval(b, ev), e.R.Eval(b, ev))
+	if err != nil {
+		return types.Bool(false)
+	}
+	return v
+}
+
+// Eval implements Expr.
+func (e And) Eval(b Binding, ev Event) types.Value {
+	if l, _ := e.L.Eval(b, ev).AsBool(); !l {
+		return types.Bool(false)
+	}
+	r, _ := e.R.Eval(b, ev).AsBool()
+	return types.Bool(r)
+}
+
+// Eval implements Expr.
+func (e Or) Eval(b Binding, ev Event) types.Value {
+	if l, _ := e.L.Eval(b, ev).AsBool(); l {
+		return types.Bool(true)
+	}
+	r, _ := e.R.Eval(b, ev).AsBool()
+	return types.Bool(r)
+}
+
+// Eval implements Expr.
+func (e Not) Eval(b Binding, ev Event) types.Value {
+	v, _ := e.X.Eval(b, ev).AsBool()
+	return types.Bool(!v)
+}
+
+// truthy evaluates a predicate expression (nil = true).
+func truthy(e Expr, b Binding, ev Event) bool {
+	if e == nil {
+		return true
+	}
+	v, _ := e.Eval(b, ev).AsBool()
+	return v
+}
+
+// Action mutates an instance environment when a transition fires.
+type Action interface {
+	Apply(b Binding, ev Event)
+}
+
+// Bind sets an environment variable from an expression.
+type Bind struct {
+	Var  string
+	From Expr
+}
+
+// BindAll copies every event attribute into the environment (SELECT *).
+type BindAll struct{}
+
+// AppendSeq appends an expression value to a sequence-valued variable.
+type AppendSeq struct {
+	Var  string
+	From Expr
+}
+
+// NewSeq binds a fresh single-element sequence.
+type NewSeq struct {
+	Var  string
+	From Expr
+}
+
+// SnapshotSeq replaces a sequence variable with a private copy (used when
+// a forked instance must stop sharing its FOLD accumulator).
+type SnapshotSeq struct{ Var string }
+
+// SeqLenInto binds the current length of a sequence variable.
+type SeqLenInto struct {
+	Var string // destination
+	Seq string // sequence variable
+}
+
+// Apply implements Action.
+func (a Bind) Apply(b Binding, ev Event) { b[a.Var] = a.From.Eval(b, ev) }
+
+// Apply implements Action.
+func (BindAll) Apply(b Binding, ev Event) {
+	for k, v := range ev.Attrs {
+		b[k] = v
+	}
+}
+
+// Apply implements Action.
+func (a AppendSeq) Apply(b Binding, ev Event) {
+	if s := b[a.Var].Seq(); s != nil {
+		s.Append(a.From.Eval(b, ev))
+	}
+}
+
+// Apply implements Action.
+func (a NewSeq) Apply(b Binding, ev Event) {
+	b[a.Var] = types.SeqV(types.NewSequence(a.From.Eval(b, ev)))
+}
+
+// Apply implements Action.
+func (a SnapshotSeq) Apply(b Binding, _ Event) {
+	if s := b[a.Var].Seq(); s != nil {
+		b[a.Var] = types.SeqV(s.Clone())
+	}
+}
+
+// Apply implements Action.
+func (a SeqLenInto) Apply(b Binding, _ Event) {
+	if s := b[a.Seq].Seq(); s != nil {
+		b[a.Var] = types.Int(int64(s.Len()))
+	}
+}
+
+// SeqLenAtLeast is a predicate on a sequence variable's length.
+type SeqLenAtLeast struct {
+	Var string
+	N   int
+}
+
+// Eval implements Expr.
+func (e SeqLenAtLeast) Eval(b Binding, _ Event) types.Value {
+	s := b[e.Var].Seq()
+	return types.Bool(s != nil && s.Len() >= e.N)
+}
+
+// EmitSpec projects one output attribute from the accepted environment.
+type EmitSpec struct {
+	Name string
+	From Expr
+}
+
+// emit builds the output attribute map interpretively.
+func emit(specs []EmitSpec, b Binding) map[string]types.Value {
+	out := make(map[string]types.Value, len(specs))
+	for _, s := range specs {
+		out[s.Name] = s.From.Eval(b, Event{})
+	}
+	return out
+}
+
+// emitAll copies the whole environment (SELECT *).
+func emitAll(b Binding) map[string]types.Value {
+	out := make(map[string]types.Value, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}

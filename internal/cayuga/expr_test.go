@@ -1,0 +1,139 @@
+package cayuga
+
+import (
+	"testing"
+
+	"unicache/internal/types"
+)
+
+func testEvent() Event {
+	return Event{
+		Stream: "S",
+		Attrs: map[string]types.Value{
+			"name":  types.Str("ACME"),
+			"price": types.Real(10.5),
+		},
+	}
+}
+
+func TestExprLeaves(t *testing.T) {
+	ev := testEvent()
+	b := Binding{"x": types.Int(7)}
+	if v := (Attr{Name: "name"}).Eval(b, ev); v.String() != "ACME" {
+		t.Errorf("Attr = %v", v)
+	}
+	if v := (Env{Name: "x"}).Eval(b, ev); v.String() != "7" {
+		t.Errorf("Env = %v", v)
+	}
+	if v := (Const{V: types.Bool(true)}).Eval(b, ev); v.String() != "true" {
+		t.Errorf("Const = %v", v)
+	}
+	// Missing names evaluate to nil values, not panics.
+	if v := (Attr{Name: "zz"}).Eval(b, ev); !v.IsNil() {
+		t.Errorf("missing attr = %v", v)
+	}
+}
+
+func TestCmpAndLogic(t *testing.T) {
+	ev := testEvent()
+	b := Binding{"lo": types.Real(10.0)}
+	gt := Cmp{Op: ">", L: Attr{Name: "price"}, R: Env{Name: "lo"}}
+	if v, _ := gt.Eval(b, ev).AsBool(); !v {
+		t.Error("10.5 > 10.0 should hold")
+	}
+	lt := Cmp{Op: "<", L: Attr{Name: "price"}, R: Env{Name: "lo"}}
+	if v, _ := lt.Eval(b, ev).AsBool(); v {
+		t.Error("10.5 < 10.0 should not hold")
+	}
+	// Incomparable kinds yield false rather than an error (NFA guards
+	// simply fail).
+	bad := Cmp{Op: "<", L: Attr{Name: "name"}, R: Env{Name: "lo"}}
+	if v, _ := bad.Eval(b, ev).AsBool(); v {
+		t.Error("incomparable guard should be false")
+	}
+	and := And{L: gt, R: Not{X: lt}}
+	if v, _ := and.Eval(b, ev).AsBool(); !v {
+		t.Error("and/not wrong")
+	}
+	or := Or{L: lt, R: gt}
+	if v, _ := or.Eval(b, ev).AsBool(); !v {
+		t.Error("or wrong")
+	}
+	if !truthy(nil, b, ev) {
+		t.Error("nil predicate is true")
+	}
+}
+
+func TestActions(t *testing.T) {
+	ev := testEvent()
+	b := Binding{}
+	Bind{Var: "p", From: Attr{Name: "price"}}.Apply(b, ev)
+	if b["p"].String() != "10.5" {
+		t.Errorf("Bind = %v", b["p"])
+	}
+	BindAll{}.Apply(b, ev)
+	if b["name"].String() != "ACME" {
+		t.Errorf("BindAll missing name: %v", b)
+	}
+	NewSeq{Var: "run", From: Attr{Name: "price"}}.Apply(b, ev)
+	if b["run"].Seq().Len() != 1 {
+		t.Error("NewSeq wrong")
+	}
+	AppendSeq{Var: "run", From: Const{V: types.Real(11)}}.Apply(b, ev)
+	if b["run"].Seq().Len() != 2 {
+		t.Error("AppendSeq wrong")
+	}
+	SeqLenInto{Var: "len", Seq: "run"}.Apply(b, ev)
+	if b["len"].String() != "2" {
+		t.Errorf("SeqLenInto = %v", b["len"])
+	}
+	if v, _ := (SeqLenAtLeast{Var: "run", N: 2}).Eval(b, ev).AsBool(); !v {
+		t.Error("SeqLenAtLeast(2) should hold")
+	}
+	if v, _ := (SeqLenAtLeast{Var: "run", N: 3}).Eval(b, ev).AsBool(); v {
+		t.Error("SeqLenAtLeast(3) should not hold")
+	}
+	// Snapshot decouples the copy from the shared accumulator.
+	shared := b["run"].Seq()
+	SnapshotSeq{Var: "run"}.Apply(b, ev)
+	shared.Append(types.Real(99))
+	if b["run"].Seq().Len() != 2 {
+		t.Error("SnapshotSeq did not decouple")
+	}
+}
+
+func TestBindingClone(t *testing.T) {
+	b := Binding{"a": types.Int(1)}
+	c := b.clone()
+	c["a"] = types.Int(2)
+	if b["a"].String() != "1" {
+		t.Error("clone aliases parent")
+	}
+}
+
+func TestEmitHelpers(t *testing.T) {
+	b := Binding{"x": types.Int(1), "y": types.Str("s")}
+	out := emit([]EmitSpec{{Name: "only", From: Env{Name: "x"}}}, b)
+	if len(out) != 1 || out["only"].String() != "1" {
+		t.Errorf("emit = %v", out)
+	}
+	all := emitAll(b)
+	if len(all) != 2 || all["y"].String() != "s" {
+		t.Errorf("emitAll = %v", all)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	e := NewEngine()
+	_ = e.Register(PassthroughQuery("Stocks", "T"))
+	for i := 0; i < 10; i++ {
+		e.Process(stockEv("A", float64(i)))
+	}
+	st := e.Stats()
+	if st.Events != 20 { // 10 raw + 10 materialised re-entries
+		t.Errorf("Events = %d", st.Events)
+	}
+	if st.Spawned != 10 || st.Accepted != 10 || st.Materialised != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+}

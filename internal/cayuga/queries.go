@@ -1,0 +1,199 @@
+package cayuga
+
+import (
+	"unicache/internal/types"
+	"unicache/internal/workload"
+)
+
+// StockStream converts the synthetic stock trace into Cayuga events on the
+// "Stocks" stream (the dataset both engines consume in Fig. 18).
+func StockStream(trace []workload.StockEvent) []Event {
+	out := make([]Event, len(trace))
+	for i, s := range trace {
+		out[i] = StockEvent(s)
+	}
+	return out
+}
+
+// StockEvent converts one tick into the engine's native event form.
+func StockEvent(s workload.StockEvent) Event {
+	return Event{
+		Stream: "Stocks",
+		Attrs: map[string]types.Value{
+			"name":   types.Str(s.Name),
+			"price":  types.Real(s.Price),
+			"volume": types.Int(s.Volume),
+		},
+	}
+}
+
+// price and prev shorthands for the query definitions below.
+var (
+	price = Attr{Name: "price"}
+	prev  = Env{Name: "prev"}
+)
+
+// PassthroughQuery is the paper's Q1: SELECT * FROM Stocks PUBLISH T.
+// Every event spawns an instance that immediately accepts, materialising a
+// copy on the output stream.
+func PassthroughQuery(in, out string) *Query {
+	return &Query{
+		Name: "Q1-passthrough",
+		In:   in,
+		Out:  out,
+		States: []State{{
+			Forward: &Transition{
+				Do:     []Action{BindAll{}},
+				Target: 1,
+			},
+		}},
+		Emit: nil, // SELECT *
+	}
+}
+
+// DoubleTopQuery is the paper's Q2: detect the M-shaped double-top price
+// formation per stock (states A-F of Fig. 17). The NFA binds A at the
+// start, rides two rising and two falling legs, and accepts when the price
+// closes below the valley C.
+//
+// State map (after the initial bind):
+//
+//	0: bind A             (every event)
+//	1: rising leg to B    (loop while rising; forward on first fall, B must exceed A)
+//	2: falling leg to C   (loop while falling above A; forward on first rise, C above A)
+//	3: rising leg to D    (loop while rising; forward on first fall, D must exceed C)
+//	4: falling leg to E/F (loop while falling above C; accept when price < C)
+func DoubleTopQuery(in, out string) *Query {
+	bindPrev := Bind{Var: "prev", From: price}
+	rising := Cmp{Op: ">", L: price, R: prev}
+	falling := Cmp{Op: "<", L: price, R: prev}
+
+	return &Query{
+		Name:      "Q2-double-top",
+		In:        in,
+		Out:       out,
+		Partition: "name",
+		States: []State{
+			{ // 0: bind A on the triggering event
+				Forward: &Transition{
+					Do: []Action{
+						Bind{Var: "name", From: Attr{Name: "name"}},
+						Bind{Var: "A", From: price},
+						bindPrev,
+					},
+					Target: 1,
+				},
+			},
+			{ // 1: rise to B
+				Loop: &Transition{Pred: rising, Do: []Action{bindPrev}},
+				Forward: &Transition{
+					Pred: And{L: falling, R: Cmp{Op: ">", L: prev, R: Env{Name: "A"}}},
+					Do: []Action{
+						Bind{Var: "B", From: prev},
+						bindPrev,
+					},
+					Target: 2,
+				},
+			},
+			{ // 2: fall to C (valley must stay above A)
+				Loop: &Transition{
+					Pred: And{L: falling, R: Cmp{Op: ">", L: price, R: Env{Name: "A"}}},
+					Do:   []Action{bindPrev},
+				},
+				Forward: &Transition{
+					Pred: And{L: rising, R: Cmp{Op: ">", L: prev, R: Env{Name: "A"}}},
+					Do: []Action{
+						Bind{Var: "C", From: prev},
+						bindPrev,
+					},
+					Target: 3,
+				},
+			},
+			{ // 3: rise to D (second top must exceed the valley)
+				Loop: &Transition{Pred: rising, Do: []Action{bindPrev}},
+				Forward: &Transition{
+					Pred: And{L: falling, R: Cmp{Op: ">", L: prev, R: Env{Name: "C"}}},
+					Do: []Action{
+						Bind{Var: "D", From: prev},
+						bindPrev,
+					},
+					Target: 4,
+				},
+			},
+			{ // 4: fall through the valley -> accept
+				Loop: &Transition{
+					Pred: And{L: falling, R: Cmp{Op: ">=", L: price, R: Env{Name: "C"}}},
+					Do:   []Action{bindPrev},
+				},
+				Forward: &Transition{
+					Pred:   Cmp{Op: "<", L: price, R: Env{Name: "C"}},
+					Do:     []Action{Bind{Var: "end", From: price}},
+					Target: 5,
+				},
+			},
+		},
+		Emit: []EmitSpec{
+			{Name: "name", From: Env{Name: "name"}},
+			{Name: "A", From: Env{Name: "A"}},
+			{Name: "B", From: Env{Name: "B"}},
+			{Name: "C", From: Env{Name: "C"}},
+			{Name: "D", From: Env{Name: "D"}},
+			{Name: "end", From: Env{Name: "end"}},
+		},
+	}
+}
+
+// RisingRunQuery is the paper's Q3: the FOLD example — detect runs of
+// increasing prices per stock of at least minLen events and emit the
+// sequence of events constituting each run. The stop edge is enabled as
+// soon as the run is long enough, whether or not the run continues: the
+// genuine non-determinism of FOLD. The engine clones instances and emits
+// every qualifying run — the work the paper's imperative automata avoid by
+// detecting maximal runs directly.
+func RisingRunQuery(in, out string, minLen int) *Query {
+	if minLen < 2 {
+		minLen = 2
+	}
+	return &Query{
+		Name:      "Q3-rising-run",
+		In:        in,
+		Out:       out,
+		Partition: "name",
+		States: []State{
+			{ // 0: bind the run start
+				Forward: &Transition{
+					Do: []Action{
+						Bind{Var: "name", From: Attr{Name: "name"}},
+						Bind{Var: "last", From: price},
+						NewSeq{Var: "run", From: price},
+					},
+					Target: 1,
+				},
+			},
+			{ // 1: FOLD while prices increase; stop any time once long enough
+				Loop: &Transition{
+					Pred: Cmp{Op: ">", L: price, R: Env{Name: "last"}},
+					Do: []Action{
+						Bind{Var: "last", From: price},
+						AppendSeq{Var: "run", From: price},
+					},
+				},
+				Forward: &Transition{
+					Pred: SeqLenAtLeast{Var: "run", N: minLen},
+					Do: []Action{
+						// Snapshot: the looping sibling keeps extending the
+						// shared accumulator.
+						SnapshotSeq{Var: "run"},
+						SeqLenInto{Var: "len", Seq: "run"},
+					},
+					Target: 2,
+				},
+			},
+		},
+		Emit: []EmitSpec{
+			{Name: "name", From: Env{Name: "name"}},
+			{Name: "len", From: Env{Name: "len"}},
+			{Name: "run", From: Env{Name: "run"}},
+		},
+	}
+}

@@ -1,0 +1,326 @@
+package cayuga
+
+import (
+	"fmt"
+	"strings"
+
+	"unicache/internal/types"
+)
+
+// ToGAPL compiles a Cayuga query into an equivalent GAPL automaton — the
+// compilation path the paper names as started work in §8 ("compilation of
+// stream expressions for complex event patterns, such as Cayuga's, into
+// equivalent automata").
+//
+// The translation keeps one state machine per partition in a map (the
+// §6.5 implementation style): each entry is a sequence holding the state
+// index followed by the query's bound variables. Semantics are the
+// deterministic approximation the paper's hand-written automata use —
+// first match per partition, restarting from the current event after a
+// match or a dead transition — rather than the NFA's overlapping-instance
+// semantics. Accepted matches are published to the query's output stream.
+//
+// Requirements on the query shape (all of this package's queries satisfy
+// them): state 0 must be a forward-only seeding state, and every referenced
+// environment variable must be written by some action before use.
+func ToGAPL(q *Query) (string, error) {
+	if q == nil || len(q.States) == 0 {
+		return "", fmt.Errorf("togapl: empty query")
+	}
+	s0 := q.States[0]
+	if s0.Loop != nil || s0.Forward == nil || s0.Forward.Pred != nil {
+		return "", fmt.Errorf("togapl: state 0 must be an unconditional seeding forward state")
+	}
+	tr := &translator{q: q, varIdx: map[string]int{}}
+	// Collect environment variables in deterministic first-write order.
+	for _, st := range q.States {
+		for _, t := range []*Transition{st.Loop, st.Forward} {
+			if t == nil {
+				continue
+			}
+			for _, a := range t.Do {
+				tr.collectAction(a)
+			}
+		}
+	}
+	return tr.emit()
+}
+
+type translator struct {
+	q       *Query
+	varIdx  map[string]int // env var -> sequence slot (slot 0 = state)
+	order   []string
+	bindAll bool
+}
+
+func (tr *translator) slot(name string) int {
+	if i, ok := tr.varIdx[name]; ok {
+		return i
+	}
+	i := len(tr.order) + 1 // slot 0 holds the state index
+	tr.varIdx[name] = i
+	tr.order = append(tr.order, name)
+	return i
+}
+
+func (tr *translator) collectAction(a Action) {
+	switch act := a.(type) {
+	case Bind:
+		tr.slot(act.Var)
+	case NewSeq:
+		tr.slot(act.Var)
+	case AppendSeq:
+		tr.slot(act.Var)
+	case SnapshotSeq:
+		tr.slot(act.Var)
+	case SeqLenInto:
+		tr.slot(act.Var)
+		tr.slot(act.Seq)
+	case BindAll:
+		tr.bindAll = true
+		tr.slot("*all")
+	}
+}
+
+// expr renders a predicate/projection expression as GAPL source.
+func (tr *translator) expr(e Expr) (string, error) {
+	switch x := e.(type) {
+	case Attr:
+		return "ev." + x.Name, nil
+	case Env:
+		i, ok := tr.varIdx[x.Name]
+		if !ok {
+			return "", fmt.Errorf("togapl: variable %q read before any write", x.Name)
+		}
+		return fmt.Sprintf("seqElement(m, %d)", i), nil
+	case Const:
+		return gaplLiteral(x.V)
+	case Cmp:
+		l, err := tr.expr(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := tr.expr(x.R)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s %s %s)", l, x.Op, r), nil
+	case And:
+		l, err := tr.expr(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := tr.expr(x.R)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s && %s)", l, r), nil
+	case Or:
+		l, err := tr.expr(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := tr.expr(x.R)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s || %s)", l, r), nil
+	case Not:
+		s, err := tr.expr(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "(!" + s + ")", nil
+	case SeqLenAtLeast:
+		i, ok := tr.varIdx[x.Var]
+		if !ok {
+			return "", fmt.Errorf("togapl: sequence %q read before any write", x.Var)
+		}
+		return fmt.Sprintf("(seqSize(seqElement(m, %d)) >= %d)", i, x.N), nil
+	}
+	return "", fmt.Errorf("togapl: unsupported expression %T", e)
+}
+
+func gaplLiteral(v types.Value) (string, error) {
+	switch v.Kind() {
+	case types.KindInt, types.KindReal, types.KindBool:
+		return v.String(), nil
+	case types.KindString, types.KindIdentifier:
+		s, _ := v.AsStr()
+		return "'" + strings.ReplaceAll(s, "'", "\\'") + "'", nil
+	}
+	return "", fmt.Errorf("togapl: unsupported literal kind %s", v.Kind())
+}
+
+// actions renders a transition's action list, indented.
+func (tr *translator) actions(acts []Action, indent string) (string, error) {
+	var b strings.Builder
+	for _, a := range acts {
+		switch act := a.(type) {
+		case Bind:
+			src, err := tr.expr(act.From)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%sseqSet(m, %d, %s);\n", indent, tr.varIdx[act.Var], src)
+		case NewSeq:
+			src, err := tr.expr(act.From)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%sseqSet(m, %d, Sequence(%s));\n", indent, tr.varIdx[act.Var], src)
+		case AppendSeq:
+			src, err := tr.expr(act.From)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%sappend(seqElement(m, %d), %s);\n", indent, tr.varIdx[act.Var], src)
+		case SnapshotSeq:
+			// Deterministic translation has no forked sibling sharing the
+			// accumulator; snapshotting is a no-op.
+		case SeqLenInto:
+			fmt.Fprintf(&b, "%sseqSet(m, %d, seqSize(seqElement(m, %d)));\n",
+				indent, tr.varIdx[act.Var], tr.varIdx[act.Seq])
+		case BindAll:
+			// seqSet materialises the event to its attribute sequence.
+			fmt.Fprintf(&b, "%sseqSet(m, %d, ev);\n", indent, tr.varIdx["*all"])
+		default:
+			return "", fmt.Errorf("togapl: unsupported action %T", a)
+		}
+	}
+	return b.String(), nil
+}
+
+// emitPublish renders the accept-time publication.
+func (tr *translator) emitPublish(indent string) (string, error) {
+	if tr.q.Emit == nil {
+		if !tr.bindAll {
+			return "", fmt.Errorf("togapl: SELECT * emission without BindAll")
+		}
+		return fmt.Sprintf("%spublish('%s', seqElement(m, %d));\n",
+			indent, tr.q.Out, tr.varIdx["*all"]), nil
+	}
+	args := make([]string, 0, len(tr.q.Emit)+1)
+	args = append(args, "'"+tr.q.Out+"'")
+	for _, spec := range tr.q.Emit {
+		src, err := tr.expr(spec.From)
+		if err != nil {
+			return "", err
+		}
+		args = append(args, src)
+	}
+	return indent + "publish(" + strings.Join(args, ", ") + ");\n", nil
+}
+
+func (tr *translator) emit() (string, error) {
+	q := tr.q
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Compiled from Cayuga query %q (deterministic first-match semantics).\n", q.Name)
+	fmt.Fprintf(&b, "subscribe ev to %s;\n", q.In)
+	b.WriteString("map st;\nidentifier part;\nsequence m;\nint state;\n")
+	b.WriteString("initialization { st = Map(sequence); }\n")
+	b.WriteString("behavior {\n")
+	if q.Partition != "" {
+		fmt.Fprintf(&b, "\tpart = Identifier(ev.%s);\n", q.Partition)
+	} else {
+		b.WriteString("\tpart = Identifier('_global_');\n")
+	}
+
+	// Fresh machines start in state 0 with zeroed slots.
+	zeros := make([]string, len(tr.order)+1)
+	for i := range zeros {
+		zeros[i] = "0"
+	}
+	fmt.Fprintf(&b, "\tif (!hasEntry(st, part))\n\t\tinsert(st, part, Sequence(%s));\n",
+		strings.Join(zeros, ", "))
+	b.WriteString("\tm = lookup(st, part);\n")
+	b.WriteString("\tstate = seqElement(m, 0);\n")
+
+	seed, err := tr.actions(q.States[0].Forward.Do, "\t\t")
+	if err != nil {
+		return "", err
+	}
+	reseed := strings.ReplaceAll(seed, "\t\t", "\t\t\t")
+
+	accept := len(q.States)
+
+	// State 0: unconditional seeding. A unary query (state 0 forwards
+	// straight to accept) publishes immediately and stays in state 0.
+	b.WriteString("\tif (state == 0) {\n")
+	b.WriteString(seed)
+	if q.States[0].Forward.Target >= accept {
+		pub, err := tr.emitPublish("\t\t")
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(pub)
+	} else {
+		b.WriteString("\t\tseqSet(m, 0, 1);\n")
+	}
+	b.WriteString("\t}\n")
+	for i := 1; i < len(q.States); i++ {
+		st := q.States[i]
+		fmt.Fprintf(&b, "\telse if (state == %d) {\n", i)
+		first := true
+		branch := func(cond string) {
+			if first {
+				fmt.Fprintf(&b, "\t\tif (%s) {\n", cond)
+				first = false
+			} else {
+				fmt.Fprintf(&b, "\t\telse if (%s) {\n", cond)
+			}
+		}
+		if st.Loop != nil {
+			cond := "true"
+			if st.Loop.Pred != nil {
+				cond, err = tr.expr(st.Loop.Pred)
+				if err != nil {
+					return "", err
+				}
+			}
+			branch(cond)
+			acts, err := tr.actions(st.Loop.Do, "\t\t\t")
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(acts)
+			b.WriteString("\t\t}\n")
+		}
+		if st.Forward != nil {
+			cond := "true"
+			if st.Forward.Pred != nil {
+				cond, err = tr.expr(st.Forward.Pred)
+				if err != nil {
+					return "", err
+				}
+			}
+			branch(cond)
+			acts, err := tr.actions(st.Forward.Do, "\t\t\t")
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(acts)
+			if st.Forward.Target >= accept {
+				pub, err := tr.emitPublish("\t\t\t")
+				if err != nil {
+					return "", err
+				}
+				b.WriteString(pub)
+				// Restart from the current event.
+				b.WriteString(reseed)
+				b.WriteString("\t\t\tseqSet(m, 0, 1);\n")
+			} else {
+				fmt.Fprintf(&b, "\t\t\tseqSet(m, 0, %d);\n", st.Forward.Target)
+			}
+			b.WriteString("\t\t}\n")
+		}
+		// Dead transition: restart the machine from the current event.
+		b.WriteString("\t\telse {\n")
+		b.WriteString(reseed)
+		b.WriteString("\t\t\tseqSet(m, 0, 1);\n\t\t}\n")
+		b.WriteString("\t}\n")
+	}
+	b.WriteString("\tinsert(st, part, m);\n")
+	b.WriteString("}\n")
+	return b.String(), nil
+}

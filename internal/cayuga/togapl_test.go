@@ -1,0 +1,220 @@
+package cayuga
+
+import (
+	"strings"
+	"testing"
+
+	"unicache/internal/gapl"
+	"unicache/internal/types"
+	"unicache/internal/vm"
+)
+
+// gaplRunner executes a compiled-from-Cayuga automaton over stock events,
+// collecting its publishes.
+type gaplRunner struct {
+	vm        *vm.VM
+	published []publishedEvent
+	clock     types.Timestamp
+	schema    *types.Schema
+	seq       uint64
+}
+
+type publishedEvent struct {
+	topic string
+	vals  []types.Value
+}
+
+func newGaplRunner(t *testing.T, q *Query) *gaplRunner {
+	t.Helper()
+	src, err := ToGAPL(q)
+	if err != nil {
+		t.Fatalf("ToGAPL: %v", err)
+	}
+	prog, err := gapl.Compile(src)
+	if err != nil {
+		t.Fatalf("compiled GAPL does not compile:\n%s\nerror: %v", src, err)
+	}
+	schema, err := types.NewSchema("Stocks", false, -1,
+		types.Column{Name: "name", Type: types.ColVarchar},
+		types.Column{Name: "price", Type: types.ColReal},
+		types.Column{Name: "volume", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Bind(map[string]*types.Schema{"Stocks": schema}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	r := &gaplRunner{schema: schema}
+	machine, err := vm.New(prog, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.MaxSteps = 10_000_000
+	if err := machine.RunInit(); err != nil {
+		t.Fatal(err)
+	}
+	r.vm = machine
+	return r
+}
+
+func (r *gaplRunner) feed(t *testing.T, name string, price float64) {
+	t.Helper()
+	r.seq++
+	r.clock++
+	ev := &types.Event{
+		Topic:  "Stocks",
+		Schema: r.schema,
+		Tuple: &types.Tuple{Seq: r.seq, TS: r.clock,
+			Vals: []types.Value{types.Str(name), types.Real(price), types.Int(100)}},
+	}
+	if err := r.vm.Deliver(ev); err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+}
+
+func (r *gaplRunner) Now() types.Timestamp { return r.clock }
+func (r *gaplRunner) Publish(topic string, vals []types.Value) error {
+	r.published = append(r.published, publishedEvent{topic: topic, vals: vals})
+	return nil
+}
+func (r *gaplRunner) Send([]types.Value) error { return nil }
+func (r *gaplRunner) Print(string)             {}
+func (r *gaplRunner) AssocLookup(string, string) (types.Value, bool, error) {
+	return types.Nil, false, nil
+}
+func (r *gaplRunner) AssocInsert(string, string, types.Value) error { return nil }
+func (r *gaplRunner) AssocHas(string, string) (bool, error)         { return false, nil }
+func (r *gaplRunner) AssocRemove(string, string) (bool, error)      { return false, nil }
+func (r *gaplRunner) AssocSize(string) (int, error)                 { return 0, nil }
+
+func TestToGAPLPassthrough(t *testing.T) {
+	r := newGaplRunner(t, PassthroughQuery("Stocks", "T"))
+	for i := 0; i < 5; i++ {
+		r.feed(t, "ACME", float64(10+i))
+	}
+	if len(r.published) != 5 {
+		t.Fatalf("passthrough published %d, want 5", len(r.published))
+	}
+	p := r.published[2]
+	if p.topic != "T" || len(p.vals) != 3 {
+		t.Fatalf("publish = %+v", p)
+	}
+	if p.vals[1].String() != "12.0" {
+		t.Errorf("price attr = %v", p.vals[1])
+	}
+}
+
+func TestToGAPLDoubleTop(t *testing.T) {
+	r := newGaplRunner(t, DoubleTopQuery("Stocks", "M"))
+	// The clean M: A=10 B=20 C=15 D=19 then fall through C.
+	for _, p := range []float64{10, 14, 20, 17, 15, 17, 19, 16, 14, 13} {
+		r.feed(t, "ACME", p)
+	}
+	if len(r.published) == 0 {
+		t.Fatal("compiled double-top automaton found nothing")
+	}
+	m := r.published[0]
+	if m.topic != "M" || len(m.vals) != 6 {
+		t.Fatalf("match = %+v", m)
+	}
+	// Emit order: name, A, B, C, D, end.
+	if m.vals[0].String() != "ACME" {
+		t.Errorf("name = %v", m.vals[0])
+	}
+	if b, _ := m.vals[2].NumAsReal(); b != 20 {
+		t.Errorf("B = %v", m.vals[2])
+	}
+	if c, _ := m.vals[3].NumAsReal(); c != 15 {
+		t.Errorf("C = %v", m.vals[3])
+	}
+}
+
+func TestToGAPLDoubleTopPartitioned(t *testing.T) {
+	r := newGaplRunner(t, DoubleTopQuery("Stocks", "M"))
+	acme := []float64{10, 20, 15, 19, 16, 14}
+	flat := []float64{50, 50, 50, 50, 50, 50}
+	for i := range acme {
+		r.feed(t, "ACME", acme[i])
+		r.feed(t, "FLAT", flat[i])
+	}
+	if len(r.published) == 0 {
+		t.Fatal("interleaved M missed")
+	}
+	for _, p := range r.published {
+		if p.vals[0].String() != "ACME" {
+			t.Errorf("match from wrong partition: %v", p.vals[0])
+		}
+	}
+}
+
+func TestToGAPLRisingRun(t *testing.T) {
+	r := newGaplRunner(t, RisingRunQuery("Stocks", "Runs", 3))
+	for _, p := range []float64{10, 11, 12, 13, 9, 10, 11, 12, 8} {
+		r.feed(t, "ACME", p)
+	}
+	// Deterministic semantics: maximal runs only — (10..13) and (9..12).
+	if len(r.published) != 2 {
+		t.Fatalf("runs published = %d, want 2 maximal runs", len(r.published))
+	}
+	if n, _ := r.published[0].vals[1].AsInt(); n != 4 {
+		t.Errorf("first run length = %v", r.published[0].vals[1])
+	}
+	if n, _ := r.published[1].vals[1].AsInt(); n != 4 {
+		t.Errorf("second run length = %v", r.published[1].vals[1])
+	}
+	// The run sequence itself is carried in the emission.
+	runSeq := r.published[0].vals[2].Seq()
+	if runSeq == nil || runSeq.Len() != 4 || runSeq.At(0).String() != "10.0" {
+		t.Errorf("run sequence = %v", r.published[0].vals[2])
+	}
+}
+
+func TestToGAPLAgreesWithEngineOnPlantedTrace(t *testing.T) {
+	// On a clean planted pattern both semantics must find it; the NFA may
+	// find more (overlaps), never fewer.
+	q := DoubleTopQuery("Stocks", "M")
+	r := newGaplRunner(t, q)
+	eng := NewEngine()
+	_ = eng.Register(DoubleTopQuery("Stocks", "M"))
+	prices := []float64{10, 14, 20, 17, 15, 17, 19, 16, 14, 13, 30, 31, 28, 26,
+		29, 33, 30, 27, 25, 24}
+	for _, p := range prices {
+		r.feed(t, "X", p)
+		eng.Process(stockEv("X", p))
+	}
+	if len(r.published) == 0 {
+		t.Fatal("compiled automaton found nothing")
+	}
+	if len(eng.Stream("M")) < len(r.published) {
+		t.Errorf("NFA found %d, compiled automaton %d — NFA must find at least as many",
+			len(eng.Stream("M")), len(r.published))
+	}
+}
+
+func TestToGAPLValidation(t *testing.T) {
+	if _, err := ToGAPL(nil); err == nil {
+		t.Error("nil query rejected")
+	}
+	if _, err := ToGAPL(&Query{In: "S", Out: "T", States: []State{}}); err == nil {
+		t.Error("empty states rejected")
+	}
+	// State 0 with a predicate is not a pure seeding state.
+	bad := &Query{In: "S", Out: "T", States: []State{
+		{Forward: &Transition{Pred: Cmp{Op: ">", L: price, R: Const{V: types.Real(1)}}, Target: 1}},
+	}}
+	if _, err := ToGAPL(bad); err == nil {
+		t.Error("guarded state 0 rejected")
+	}
+}
+
+func TestToGAPLSourceIsReadable(t *testing.T) {
+	src, err := ToGAPL(RisingRunQuery("Stocks", "Runs", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"subscribe ev to Stocks", "behavior {", "Map(sequence)", "publish('Runs'"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q:\n%s", want, src)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"unicache/internal/gapl"
+	"unicache/internal/types"
+)
+
+func TestPaperProgramsCompile(t *testing.T) {
+	sources := map[string]string{
+		"fig2":      ProgContinuousQuery("Topic", "attribute", 10),
+		"fig4":      ProgBandwidth,
+		"fig8":      DelayProbeProgram("A", 1000),
+		"fig11-1":   StressProgram(false),
+		"fig11-2":   StressProgram(true),
+		"fig14":     ProgFrequentImperative(100),
+		"frequent":  ProgFrequentBuiltin(100),
+		"q1":        ProgQ1,
+		"q2":        ProgQ2,
+		"q3-detect": ProgQ3Detector(5),
+		"q3-report": ProgQ3Reporter,
+	}
+	for name, src := range sources {
+		if _, err := gapl.Compile(src); err != nil {
+			t.Errorf("%s does not compile: %v", name, err)
+		}
+	}
+	for _, bc := range BuiltinCostCases(1000) {
+		if _, err := gapl.Compile(BuiltinCostProgram(bc)); err != nil {
+			t.Errorf("builtin cost template %s does not compile: %v", bc.Name, err)
+		}
+	}
+}
+
+func TestFig7Small(t *testing.T) {
+	rows, err := Fig7(Fig7Config{Iterations: 2000, Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9 built-ins", len(rows))
+	}
+	byName := map[string]Fig7Row{}
+	for _, r := range rows {
+		if r.Samples != 3 {
+			t.Errorf("%s: %d samples, want 3", r.Builtin, r.Samples)
+		}
+		if r.Cost.Min < 0 || r.Cost.Max < r.Cost.Min {
+			t.Errorf("%s: bad summary %+v", r.Builtin, r.Cost)
+		}
+		byName[r.Builtin] = r
+	}
+	// Paper shape: every built-in costs at least as much as the bare loop,
+	// and send (an RPC) costs more than publish.
+	nothing := byName["nothing"].Cost.P50
+	for _, name := range []string{"seqElement", "insert", "lookup", "Identifier", "publish", "send"} {
+		if byName[name].Cost.P50 < nothing*0.5 {
+			t.Errorf("%s median %.3fus below bare loop %.3fus", name, byName[name].Cost.P50, nothing)
+		}
+	}
+	if byName["send"].Cost.P50 <= byName["publish"].Cost.P50 {
+		t.Errorf("send (%.3fus) should cost more than publish (%.3fus)",
+			byName["send"].Cost.P50, byName["publish"].Cost.P50)
+	}
+}
+
+func TestDelayExperimentSmall(t *testing.T) {
+	res, err := DelayExperiment(DelayConfig{
+		Automata: 2, Interarrival: 0, Events: 300, Batch: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches < 2*(300/50) {
+		t.Errorf("batches = %d", res.Batches)
+	}
+	if res.MeanMs < 0 || res.MaxMs < res.MinMs {
+		t.Errorf("delay stats: %+v", res)
+	}
+	// Delays on a loopback in-process path are well under a second.
+	if res.MeanMs > 1000 {
+		t.Errorf("implausible mean delay %v ms", res.MeanMs)
+	}
+}
+
+func TestStressExperimentSmall(t *testing.T) {
+	oneWay, err := StressExperiment(StressConfig{
+		IntAttrs: 2, TwoWay: false, Duration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneWay.Inserts == 0 || oneWay.InsertsPerSec <= 0 {
+		t.Fatalf("one-way made no progress: %+v", oneWay)
+	}
+	twoWay, err := StressExperiment(StressConfig{
+		IntAttrs: 2, TwoWay: true, Duration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoWay.Echoed == 0 {
+		t.Errorf("two-way echoed nothing: %+v", twoWay)
+	}
+	// Echo path must return one event per insert (allowing stragglers cut
+	// off at close).
+	if twoWay.Echoed > twoWay.Inserts {
+		t.Errorf("echoed %d > inserts %d", twoWay.Echoed, twoWay.Inserts)
+	}
+}
+
+func TestStressStringPayload(t *testing.T) {
+	res, err := StressExperiment(StressConfig{
+		StrLen: 2000, Duration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserts == 0 {
+		t.Error("string stress made no progress")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	rows := Fig15(7, 20_000, 500)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if rows[0].Rank != 1 {
+		t.Error("ranks should start at 1")
+	}
+	total := 0
+	for i, r := range rows {
+		total += r.Requests
+		if i > 0 && r.Requests > rows[i-1].Requests {
+			t.Fatal("rows not sorted by frequency")
+		}
+	}
+	if total != 20_000 {
+		t.Errorf("total requests = %d", total)
+	}
+	// Zipf: the head dominates.
+	if rows[0].Requests < 10*rows[len(rows)-1].Requests {
+		t.Errorf("distribution not skewed: head %d tail %d",
+			rows[0].Requests, rows[len(rows)-1].Requests)
+	}
+}
+
+func TestFig16Small(t *testing.T) {
+	rows, err := Fig16(Fig16Config{Seed: 3, Requests: 4000, Hosts: 800, Ks: []int{10, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ImperativeUs <= 0 || r.BuiltinUs <= 0 {
+			t.Errorf("k=%d: non-positive means %+v", r.K, r)
+		}
+		if r.ImperativeCV < 0 || r.BuiltinCV < 0 {
+			t.Errorf("k=%d: negative CV %+v", r.K, r)
+		}
+	}
+}
+
+func TestFig18Small(t *testing.T) {
+	// Symbol count matches the paper-scale configuration: the NFA's
+	// per-event instance scan is proportional to live instances across
+	// partitions, so too few symbols under-represents the baseline's work.
+	rows, err := Fig18(Fig18Config{Seed: 11, Events: 16000, Symbols: 40, MinRun: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CacheSec <= 0 || r.CayugaSec <= 0 {
+			t.Errorf("%s: non-positive timings %+v", r.Query, r)
+		}
+	}
+	// Q1: both engines pass every event through.
+	if rows[0].CacheMatches != 16000 || rows[0].CayugaMatches != 16000 {
+		t.Errorf("Q1 matches = %d / %d, want 16000 each",
+			rows[0].CacheMatches, rows[0].CayugaMatches)
+	}
+	// Q2/Q3: both detect patterns in the planted trace; the Cache's
+	// algorithmic detector reports maximal matches so it may find fewer
+	// than the NFA's overlapping semantics, but never zero.
+	for _, r := range rows[1:] {
+		if r.CacheMatches == 0 {
+			t.Errorf("%s: cache found no matches", r.Query)
+		}
+		if r.CayugaMatches == 0 {
+			t.Errorf("%s: cayuga found no matches", r.Query)
+		}
+	}
+	// The headline result: the Cache wins every query.
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Errorf("%s: cache not faster (speedup %.2f)", r.Query, r.Speedup)
+		}
+	}
+}
+
+func TestReplayRigPublishRouting(t *testing.T) {
+	rig := newReplayRig(stockSchemas())
+	if _, err := rig.register(ProgQ3Detector(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.register(ProgQ3Reporter); err != nil {
+		t.Fatal(err)
+	}
+	feed := func(name string, price float64) {
+		t.Helper()
+		vals := []types.Value{types.Str(name), types.Real(price), types.Int(100)}
+		if err := rig.feed("Stocks", vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []float64{1, 2, 3, 4, 1} {
+		feed("ACME", p)
+	}
+	if len(rig.streams["Runs"]) != 1 {
+		t.Fatalf("runs published = %d", len(rig.streams["Runs"]))
+	}
+	if len(rig.sent) != 1 {
+		t.Fatalf("reporter sent = %d", len(rig.sent))
+	}
+}

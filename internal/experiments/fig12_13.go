@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"unicache/internal/cache"
+	"unicache/internal/rpc"
+	"unicache/internal/types"
+)
+
+// StressConfig parameterises the performance-at-stress experiments (§6.3,
+// Figs. 12 and 13): a single application inserting into a Test table as
+// rapidly as possible over the RPC system.
+type StressConfig struct {
+	// IntAttrs > 0 gives Test that many integer columns (Fig. 12).
+	IntAttrs int
+	// StrLen > 0 gives Test one varchar column carrying strings of this
+	// length (Fig. 13); exclusive with IntAttrs.
+	StrLen int
+	// TwoWay echoes every insert back to the application via send().
+	TwoWay bool
+	// Duration of the insert loop.
+	Duration time.Duration
+}
+
+// StressResult reports the sustained insert rate.
+type StressResult struct {
+	Config        StressConfig
+	Inserts       int
+	Echoed        int
+	InsertsPerSec float64
+}
+
+// StressExperiment runs the Fig. 11 automaton against a real TCP loopback
+// connection: the client inserts as fast as the request/response protocol
+// allows; in 2-way mode the automaton send()s each event back.
+func StressExperiment(cfg StressConfig) (StressResult, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.IntAttrs <= 0 && cfg.StrLen <= 0 {
+		cfg.IntAttrs = 1
+	}
+
+	c, err := cache.New(cache.Config{
+		TimerPeriod: time.Second,
+		// Client tear-down races in-flight echoes; those send failures are
+		// expected.
+		OnRuntimeError: func(int64, error) {},
+	})
+	if err != nil {
+		return StressResult{}, err
+	}
+	defer c.Close()
+
+	var create strings.Builder
+	create.WriteString("create table Test (")
+	if cfg.IntAttrs > 0 {
+		for i := 0; i < cfg.IntAttrs; i++ {
+			if i > 0 {
+				create.WriteString(", ")
+			}
+			fmt.Fprintf(&create, "a%d integer", i)
+		}
+	} else {
+		create.WriteString("s varchar")
+	}
+	create.WriteString(")")
+	if _, err := c.Exec(create.String()); err != nil {
+		return StressResult{}, err
+	}
+
+	srv := rpc.NewServer(c)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return StressResult{}, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+
+	cl, err := rpc.Dial(ln.Addr().String())
+	if err != nil {
+		return StressResult{}, err
+	}
+	defer func() { _ = cl.Close() }()
+
+	if _, err := cl.Register(StressProgram(cfg.TwoWay)); err != nil {
+		return StressResult{}, err
+	}
+
+	// Drain echoes concurrently, counting only Test echoes (the automaton
+	// also reports 'stress' counts on Timer ticks).
+	var echoed atomic.Int64
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		for ev := range cl.Events() {
+			if len(ev.Vals) > 0 {
+				if s, ok := ev.Vals[0].AsStr(); ok && s == "stress" {
+					continue
+				}
+			}
+			echoed.Add(1)
+		}
+	}()
+
+	vals := make([]types.Value, 0, cfg.IntAttrs+1)
+	if cfg.IntAttrs > 0 {
+		for i := 0; i < cfg.IntAttrs; i++ {
+			vals = append(vals, types.Int(int64(i)))
+		}
+	} else {
+		vals = append(vals, types.Str(strings.Repeat("x", cfg.StrLen)))
+	}
+
+	// Warm up the connection, the schema coercion path and the runtime
+	// before the timed window (the paper's runs lasted minutes; ours are
+	// seconds, so cold-start would otherwise skew the first sweep point).
+	warmup := time.Now().Add(cfg.Duration / 4)
+	for time.Now().Before(warmup) {
+		if err := cl.Insert("Test", vals...); err != nil {
+			return StressResult{}, err
+		}
+	}
+	// Let warm-up echoes drain, then count only the timed window's.
+	time.Sleep(50 * time.Millisecond)
+	echoed.Store(0)
+
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	inserts := 0
+	for time.Now().Before(deadline) {
+		if err := cl.Insert("Test", vals...); err != nil {
+			return StressResult{}, err
+		}
+		inserts++
+	}
+	elapsed := time.Since(start)
+	if cfg.TwoWay {
+		// Give the echo path a moment to drain before counting.
+		waitUntil := time.Now().Add(2 * time.Second)
+		for int(echoed.Load()) < inserts && time.Now().Before(waitUntil) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	_ = cl.Close()
+	<-drainDone
+
+	return StressResult{
+		Config:        cfg,
+		Inserts:       inserts,
+		Echoed:        int(echoed.Load()),
+		InsertsPerSec: float64(inserts) / elapsed.Seconds(),
+	}, nil
+}
+
+// Fig12 sweeps the number of integer attributes (the paper: 1,2,4,8,16),
+// 1-way and 2-way.
+func Fig12(attrs []int, dur time.Duration) ([]StressResult, error) {
+	if len(attrs) == 0 {
+		attrs = []int{1, 2, 4, 8, 16}
+	}
+	var out []StressResult
+	for _, twoWay := range []bool{false, true} {
+		for _, n := range attrs {
+			r, err := StressExperiment(StressConfig{IntAttrs: n, TwoWay: twoWay, Duration: dur})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Fig13 sweeps the varchar payload size (the paper: 10^1..10^4 bytes),
+// 1-way and 2-way; the 1024-byte RPC fragmentation shows as a linear drop
+// past 1 KiB.
+func Fig13(sizes []int, dur time.Duration) ([]StressResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10, 100, 1000, 10000}
+	}
+	var out []StressResult
+	for _, twoWay := range []bool{false, true} {
+		for _, n := range sizes {
+			r, err := StressExperiment(StressConfig{StrLen: n, TwoWay: twoWay, Duration: dur})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"unicache/internal/stats"
+	"unicache/internal/types"
+	"unicache/internal/workload"
+)
+
+// Fig15Row is one rank of the Zipfian rank/frequency plot (§6.4, Fig. 15).
+type Fig15Row struct {
+	Rank     int
+	Host     string
+	Requests int
+}
+
+// Fig15 generates the synthetic Homework HTTP trace and computes the
+// rank/frequency distribution. With the paper's dimensions (264,745
+// requests, 5,572 hosts) the plot is the Zipfian line of Fig. 15.
+func Fig15(seed int64, requests, hosts int) []Fig15Row {
+	if requests <= 0 {
+		requests = workload.HTTPRequests
+	}
+	if hosts <= 0 {
+		hosts = workload.HTTPHosts
+	}
+	trace := workload.HTTPTrace(seed, requests, hosts)
+	counts := make(map[string]int)
+	for _, r := range trace {
+		counts[r.Host]++
+	}
+	rows := make([]Fig15Row, 0, len(counts))
+	for h, n := range counts {
+		rows = append(rows, Fig15Row{Host: h, Requests: n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Requests != rows[j].Requests {
+			return rows[i].Requests > rows[j].Requests
+		}
+		return rows[i].Host < rows[j].Host
+	})
+	for i := range rows {
+		rows[i].Rank = i + 1
+	}
+	return rows
+}
+
+// Fig16Config parameterises the imperative-vs-built-in frequent comparison
+// (§6.4, Fig. 16).
+type Fig16Config struct {
+	Seed     int64
+	Requests int
+	Hosts    int
+	Ks       []int
+}
+
+// Fig16Row reports the coefficient of variation of per-event execution
+// time for both implementations at one k.
+type Fig16Row struct {
+	K            int
+	ImperativeCV float64
+	BuiltinCV    float64
+	ImperativeUs float64 // mean per-event µs
+	BuiltinUs    float64
+}
+
+// Fig16 replays the HTTP trace through the Urls topic and times each
+// behaviour execution of the imperative (Fig. 14) and built-in (§6.4)
+// frequent automata. As in the paper, the imperative variant's cost
+// becomes dominated by the O(k) decrement sweep as k grows, so its
+// coefficient of variation rises with k while the built-in's stays flat.
+func Fig16(cfg Fig16Config) ([]Fig16Row, error) {
+	if cfg.Requests <= 0 {
+		cfg.Requests = 50_000
+	}
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = workload.HTTPHosts
+	}
+	if len(cfg.Ks) == 0 {
+		cfg.Ks = []int{10, 100, 1000}
+	}
+	trace := workload.HTTPTrace(cfg.Seed, cfg.Requests, cfg.Hosts)
+	urls := mustSchema("Urls", types.Column{Name: "host", Type: types.ColVarchar})
+	schemas := map[string]*types.Schema{"Urls": urls, "Timer": timerSchema()}
+
+	var rows []Fig16Row
+	for _, k := range cfg.Ks {
+		row := Fig16Row{K: k}
+		for _, variant := range []struct {
+			src  string
+			cv   *float64
+			mean *float64
+		}{
+			{ProgFrequentImperative(k), &row.ImperativeCV, &row.ImperativeUs},
+			{ProgFrequentBuiltin(k), &row.BuiltinCV, &row.BuiltinUs},
+		} {
+			rig := newReplayRig(schemas)
+			m, err := rig.register(variant.src)
+			if err != nil {
+				return nil, fmt.Errorf("fig16 k=%d: %w", k, err)
+			}
+			costs := make([]float64, 0, len(trace))
+			for i, req := range trace {
+				ev := &types.Event{
+					Topic:  "Urls",
+					Schema: urls,
+					Tuple: &types.Tuple{Seq: uint64(i + 1), TS: types.Timestamp(i + 1),
+						Vals: []types.Value{types.Str(req.Host)}},
+				}
+				t0 := time.Now()
+				if err := m.Deliver(ev); err != nil {
+					return nil, fmt.Errorf("fig16 k=%d: %w", k, err)
+				}
+				costs = append(costs, float64(time.Since(t0).Nanoseconds())/1000.0)
+			}
+			*variant.cv = stats.CV(costs)
+			*variant.mean = stats.Mean(costs)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

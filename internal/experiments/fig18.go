@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"unicache/internal/cayuga"
+	"unicache/internal/types"
+	"unicache/internal/workload"
+)
+
+// Fig18Config parameterises the Cayuga comparison (§6.5).
+type Fig18Config struct {
+	Seed    int64
+	Events  int
+	Symbols int
+	// MinRun is Q3's minimum run length.
+	MinRun int
+}
+
+// Fig18Row is the outcome for one query: wall-clock for both engines on
+// the identical trace, match counts, and the Cache's speedup factor.
+type Fig18Row struct {
+	Query         string
+	CacheSec      float64
+	CayugaSec     float64
+	CacheMatches  int
+	CayugaMatches int
+	Speedup       float64
+}
+
+// stockSchemas builds the topic schemas both Cache-side replays use.
+func stockSchemas() map[string]*types.Schema {
+	return map[string]*types.Schema{
+		"Stocks": mustSchema("Stocks",
+			types.Column{Name: "name", Type: types.ColVarchar},
+			types.Column{Name: "price", Type: types.ColReal},
+			types.Column{Name: "volume", Type: types.ColInt},
+		),
+		"T": mustSchema("T",
+			types.Column{Name: "name", Type: types.ColVarchar},
+			types.Column{Name: "price", Type: types.ColReal},
+			types.Column{Name: "volume", Type: types.ColInt},
+		),
+		"Runs": mustSchema("Runs",
+			types.Column{Name: "name", Type: types.ColVarchar},
+			types.Column{Name: "len", Type: types.ColInt},
+		),
+		"Timer": timerSchema(),
+	}
+}
+
+// Fig18 runs Q1 (passthrough publish), Q2 (double-top) and Q3 (FOLD
+// rising runs) on both engines over the same synthetic stock trace,
+// following the paper's methodology: all events are first materialised in
+// memory, then each engine iterates over them (§6.5).
+func Fig18(cfg Fig18Config) ([]Fig18Row, error) {
+	if cfg.Events <= 0 {
+		cfg.Events = workload.StockEvents
+	}
+	if cfg.Symbols <= 0 {
+		cfg.Symbols = 50
+	}
+	// The paper's Q3 has no minimum run length beyond "a run": two or more
+	// increasing prices. The non-deterministic FOLD therefore matches at
+	// every extension of every suffix, which is exactly the work the
+	// paper's imperative detector avoids.
+	if cfg.MinRun < 2 {
+		cfg.MinRun = 2
+	}
+	trace := workload.StockTrace(workload.StockConfig{
+		Seed:       cfg.Seed,
+		Events:     cfg.Events,
+		Symbols:    cfg.Symbols,
+		DoubleTops: cfg.Events / 500,
+		RunLength:  cfg.MinRun + 3,
+		Runs:       cfg.Events / 250,
+	})
+
+	type queryCase struct {
+		name    string
+		sources []string
+		// cacheMatches extracts the match count from the rig after replay.
+		cacheMatches func(r *replayRig) int
+		cayugaQs     func() []*cayuga.Query
+		// cayugaMatches names the output stream counted.
+		outStream string
+	}
+	cases := []queryCase{
+		{
+			name:    "Q1",
+			sources: []string{ProgQ1},
+			cacheMatches: func(r *replayRig) int {
+				return len(r.streams["T"])
+			},
+			cayugaQs: func() []*cayuga.Query {
+				return []*cayuga.Query{cayuga.PassthroughQuery("Stocks", "T")}
+			},
+			outStream: "T",
+		},
+		{
+			name:    "Q2",
+			sources: []string{ProgQ2},
+			cacheMatches: func(r *replayRig) int {
+				return len(r.sent)
+			},
+			cayugaQs: func() []*cayuga.Query {
+				return []*cayuga.Query{cayuga.DoubleTopQuery("Stocks", "M")}
+			},
+			outStream: "M",
+		},
+		{
+			name:    "Q3",
+			sources: []string{ProgQ3Detector(cfg.MinRun), ProgQ3Reporter},
+			cacheMatches: func(r *replayRig) int {
+				return len(r.sent)
+			},
+			cayugaQs: func() []*cayuga.Query {
+				return []*cayuga.Query{cayuga.RisingRunQuery("Stocks", "Runs", cfg.MinRun)}
+			},
+			outStream: "Runs",
+		},
+	}
+
+	var rows []Fig18Row
+	for _, qc := range cases {
+		// --- Cache side: automata over the replay rig.
+		rig := newReplayRig(stockSchemas())
+		for _, src := range qc.sources {
+			if _, err := rig.register(src); err != nil {
+				return nil, fmt.Errorf("fig18 %s: %w", qc.name, err)
+			}
+		}
+		start := time.Now()
+		for _, ev := range trace {
+			vals := []types.Value{
+				types.Str(ev.Name), types.Real(ev.Price), types.Int(ev.Volume),
+			}
+			if err := rig.feed("Stocks", vals); err != nil {
+				return nil, fmt.Errorf("fig18 %s: %w", qc.name, err)
+			}
+		}
+		cacheSec := time.Since(start).Seconds()
+		cacheMatches := qc.cacheMatches(rig)
+
+		// --- Cayuga side: the NFA engine over the identical trace. Both
+		// engines convert raw ticks to their native event form inside the
+		// timed region.
+		eng := cayuga.NewEngine()
+		for _, q := range qc.cayugaQs() {
+			if err := eng.Register(q); err != nil {
+				return nil, fmt.Errorf("fig18 %s: %w", qc.name, err)
+			}
+		}
+		start = time.Now()
+		for _, ev := range trace {
+			eng.Process(cayuga.StockEvent(ev))
+		}
+		cayugaSec := time.Since(start).Seconds()
+		cayugaMatches := len(eng.Stream(qc.outStream))
+
+		speedup := 0.0
+		if cacheSec > 0 {
+			speedup = cayugaSec / cacheSec
+		}
+		rows = append(rows, Fig18Row{
+			Query:         qc.name,
+			CacheSec:      cacheSec,
+			CayugaSec:     cayugaSec,
+			CacheMatches:  cacheMatches,
+			CayugaMatches: cayugaMatches,
+			Speedup:       speedup,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"unicache/internal/cache"
+	"unicache/internal/rpc"
+	"unicache/internal/stats"
+	"unicache/internal/types"
+)
+
+// Fig7Config parameterises the built-in cost experiment (§6.1).
+type Fig7Config struct {
+	// Iterations per Timer tick (the paper's limit: 100000; publish and
+	// send scale down as in the paper).
+	Iterations int
+	// Rounds is the number of Timer ticks measured (the paper ran each
+	// automaton for 2 minutes, i.e. ~120 rounds).
+	Rounds int
+}
+
+// Fig7Row is the five-number summary of one built-in's per-invocation cost
+// in microseconds.
+type Fig7Row struct {
+	Builtin string
+	Limit   int
+	Samples int
+	Cost    stats.FiveNum // µs per invocation
+}
+
+// Fig7 measures the execution cost of built-in functions using the Fig. 6
+// template automaton, exactly as §6.1 does: the automaton times a tight
+// loop of limit invocations per Timer tick and prints the per-invocation
+// cost; the harness collects the printed samples.
+func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 100_000
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 20
+	}
+	var rows []Fig7Row
+	for _, bc := range BuiltinCostCases(cfg.Iterations) {
+		row, err := fig7One(bc, cfg.Rounds)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// fig7One measures one built-in. The automaton is registered through the
+// real RPC system over TCP loopback, so send() pays its full cost — an RPC
+// to the external registering application — while publish() pays only the
+// in-cache commit path, as in the paper.
+func fig7One(bc BuiltinCostCase, rounds int) (Fig7Row, error) {
+	parser := newPrintParser()
+	c, err := cache.New(cache.Config{
+		TimerPeriod: -1, // ticks driven explicitly for determinism
+		PrintWriter: parser,
+	})
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	defer c.Close()
+	// publish() needs a target stream.
+	if _, err := c.Exec(`create table Sink (v integer)`); err != nil {
+		return Fig7Row{}, err
+	}
+
+	srv := rpc.NewServer(c)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+	cl, err := rpc.Dial(ln.Addr().String())
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	defer func() { _ = cl.Close() }()
+	// The registering application drains send() notifications.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range cl.Events() {
+		}
+	}()
+
+	if _, err := cl.Register(BuiltinCostProgram(bc)); err != nil {
+		return Fig7Row{}, fmt.Errorf("fig7 %s: %w", bc.Name, err)
+	}
+	for i := 0; i < rounds; i++ {
+		if err := c.TickTimer(); err != nil {
+			return Fig7Row{}, err
+		}
+		// Let the tick drain before the next so rounds do not overlap.
+		if !c.Registry().WaitIdle(time.Minute) {
+			return Fig7Row{}, fmt.Errorf("fig7 %s: automaton did not quiesce", bc.Name)
+		}
+	}
+	_ = cl.Close()
+	<-drained
+	samples := parser.values(bc.Name)
+	if len(samples) == 0 {
+		return Fig7Row{}, fmt.Errorf("fig7 %s: no samples collected", bc.Name)
+	}
+	return Fig7Row{
+		Builtin: bc.Name,
+		Limit:   bc.Limit,
+		Samples: len(samples),
+		Cost:    stats.Summary(samples),
+	}, nil
+}
+
+// timerSchemaCols is shared by experiment rigs that need the Timer topic.
+func timerSchema() *types.Schema {
+	return mustSchema(cache.TimerTopic, types.Column{Name: "ts", Type: types.ColTstamp})
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"unicache/internal/cache"
+	"unicache/internal/stats"
+	"unicache/internal/types"
+)
+
+// DelayConfig parameterises the performance-at-scale experiments (§6.2,
+// Figs. 9 and 10): #automata subscribed to Flows and the tuple insertion
+// period Δt.
+type DelayConfig struct {
+	Automata     int
+	Interarrival time.Duration
+	// Events inserted in total.
+	Events int
+	// Batch is the probe's reporting batch (the paper reports per 1000
+	// events; scaled runs use smaller batches).
+	Batch int
+}
+
+// DelayResult aggregates the probes' reports: the mean and standard
+// deviation of the per-batch average delays across all automata, plus the
+// extreme delays observed (all in milliseconds).
+type DelayResult struct {
+	Config  DelayConfig
+	MeanMs  float64
+	StdMs   float64
+	MinMs   float64
+	MaxMs   float64
+	Batches int
+}
+
+// DelayExperiment runs the Fig. 8 probe automaton: delay is measured from
+// tuple insertion (f.tstamp) to behaviour execution (tstampNow) inside
+// each automaton.
+func DelayExperiment(cfg DelayConfig) (DelayResult, error) {
+	if cfg.Automata <= 0 {
+		cfg.Automata = 1
+	}
+	if cfg.Events <= 0 {
+		cfg.Events = 1000
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 100
+	}
+	c, err := cache.New(cache.Config{TimerPeriod: -1})
+	if err != nil {
+		return DelayResult{}, err
+	}
+	defer c.Close()
+	if _, err := c.Exec(`create table Flows (protocol integer, srcip varchar(16), sport integer,
+		dstip varchar(16), dport integer, npkts integer, nbytes integer)`); err != nil {
+		return DelayResult{}, err
+	}
+
+	var mu sync.Mutex
+	var aves, mins, maxs []float64
+	sink := func(vals []types.Value) error {
+		if len(vals) != 4 {
+			return fmt.Errorf("probe report arity %d", len(vals))
+		}
+		ave, _ := vals[1].NumAsReal()
+		lo, _ := vals[2].NumAsReal()
+		hi, _ := vals[3].NumAsReal()
+		mu.Lock()
+		aves = append(aves, ave)
+		mins = append(mins, lo)
+		maxs = append(maxs, hi)
+		mu.Unlock()
+		return nil
+	}
+	for i := 0; i < cfg.Automata; i++ {
+		src := DelayProbeProgram(fmt.Sprintf("A%d", i), cfg.Batch)
+		if _, err := c.Register(src, sink); err != nil {
+			return DelayResult{}, err
+		}
+	}
+
+	vals := []types.Value{
+		types.Int(6), types.Str("10.0.0.1"), types.Int(1234),
+		types.Str("192.168.1.1"), types.Int(80), types.Int(10), types.Int(1500),
+	}
+	next := time.Now()
+	for i := 0; i < cfg.Events; i++ {
+		if cfg.Interarrival > 0 {
+			next = next.Add(cfg.Interarrival)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if err := c.Insert("Flows", vals...); err != nil {
+			return DelayResult{}, err
+		}
+	}
+	if !c.Registry().WaitIdle(time.Minute) {
+		return DelayResult{}, fmt.Errorf("delay experiment: automata did not quiesce")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(aves) == 0 {
+		return DelayResult{}, fmt.Errorf("delay experiment: no probe reports (events %d < batch %d?)",
+			cfg.Events, cfg.Batch)
+	}
+	res := DelayResult{
+		Config:  cfg,
+		MeanMs:  stats.Mean(aves),
+		StdMs:   stats.Stddev(aves),
+		MinMs:   stats.Percentile(mins, 0),
+		MaxMs:   stats.Percentile(maxs, 100),
+		Batches: len(aves),
+	}
+	return res, nil
+}
+
+// Fig9 sweeps the number of automata at fixed Δt (the paper: 1,2,4,8 at
+// Δt = 8 ms).
+func Fig9(automata []int, dt time.Duration, events, batch int) ([]DelayResult, error) {
+	if len(automata) == 0 {
+		automata = []int{1, 2, 4, 8}
+	}
+	var out []DelayResult
+	for _, n := range automata {
+		r, err := DelayExperiment(DelayConfig{
+			Automata: n, Interarrival: dt, Events: events, Batch: batch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Fig10 sweeps Δt at a fixed number of automata (the paper: 4 automata,
+// Δt ∈ {4,8,16,32,64} ms).
+func Fig10(dts []time.Duration, automata, events, batch int) ([]DelayResult, error) {
+	if len(dts) == 0 {
+		dts = []time.Duration{4, 8, 16, 32, 64}
+		for i := range dts {
+			dts[i] *= time.Millisecond
+		}
+	}
+	if automata <= 0 {
+		automata = 4
+	}
+	var out []DelayResult
+	for _, dt := range dts {
+		r, err := DelayExperiment(DelayConfig{
+			Automata: automata, Interarrival: dt, Events: events, Batch: batch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,405 @@
+// Package experiments contains one driver per measured table/figure of the
+// paper's evaluation (§6), plus the GAPL listings from the paper as working
+// programs. The drivers are shared by cmd/benchrunner and the repository's
+// bench_test.go, and EXPERIMENTS.md records their output against the
+// paper's reported shapes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ProgContinuousQuery is Fig. 2: the Tapestry continuous-query execution
+// model expressed as an automaton — batch events in a time window and ship
+// the window on every Timer tick.
+func ProgContinuousQuery(topic, attribute string, seconds int) string {
+	return fmt.Sprintf(`
+# Fig. 2: the continuous query execution model as an automaton.
+subscribe event to %[1]s;
+subscribe x to Timer;
+window w;
+initialization {
+	w = Window(sequence, SECS, %[3]d);
+}
+behavior {
+	if (currentTopic() == '%[1]s')
+		append(w, Sequence(event.%[2]s));
+	else
+		if (currentTopic() == 'Timer') {
+			send(w);
+			w = Window(sequence, SECS, %[3]d);
+		}
+}
+`, topic, attribute, seconds)
+}
+
+// ProgBandwidth is Fig. 4: the hybrid bandwidth-usage automaton over the
+// Fig. 3 tables (attribute names follow the Fig. 3 schema).
+const ProgBandwidth = `
+# Fig. 4: bandwidth usage consumption.
+subscribe f to Flows;
+associate a with Allowances;
+associate b with BWUsage;
+int n, limit;
+identifier ip;
+sequence s;
+behavior {
+	ip = Identifier(f.dstip);
+	if (hasEntry(a, ip)) {
+		limit = seqElement(lookup(a, ip), 1);
+		if (hasEntry(b, ip))
+			n = seqElement(lookup(b, ip), 1);
+		else
+			n = 0;
+		n += f.nbytes;
+		s = Sequence(f.dstip, n);
+		if (n > limit)
+			send(s, limit, 'limit exceeded');
+		insert(b, ip, s);
+	}
+}
+`
+
+// BuiltinCostCase parameterises the Fig. 6 template for one built-in.
+type BuiltinCostCase struct {
+	Name  string
+	Limit int    // loop iterations per Timer tick
+	Decl  string // extra declarations
+	Init  string // extra initialization statements
+	Call  string // the invocation placed in the loop body
+}
+
+// BuiltinCostCases are the nine built-ins whose costs Fig. 7 reports, with
+// the paper's iteration limits (100000 default, 50000 for publish, 1000
+// for send).
+func BuiltinCostCases(limit int) []BuiltinCostCase {
+	if limit <= 0 {
+		limit = 100_000
+	}
+	pub := limit / 2
+	if pub < 1 {
+		pub = 1
+	}
+	snd := limit / 100
+	if snd < 1 {
+		snd = 1
+	}
+	return []BuiltinCostCase{
+		{Name: "nothing", Limit: limit},
+		{
+			Name: "seqElement", Limit: limit,
+			Decl: "sequence s;\nint v;",
+			Init: "s = Sequence(1, 2, 3);",
+			Call: "v = seqElement(s, 1);",
+		},
+		{
+			Name: "hourInDay", Limit: limit,
+			Decl: "tstamp ts;\nint v;",
+			Init: "ts = tstampNow();",
+			Call: "v = hourInDay(ts);",
+		},
+		{
+			Name: "insert", Limit: limit,
+			Decl: "map m;\nidentifier id;",
+			Init: "m = Map(int);\nid = Identifier('key');",
+			Call: "insert(m, id, i);",
+		},
+		{
+			Name: "hasEntry", Limit: limit,
+			Decl: "map m;\nidentifier id;\nbool b;",
+			Init: "m = Map(int);\nid = Identifier('key');\ninsert(m, id, 1);",
+			Call: "b = hasEntry(m, id);",
+		},
+		{
+			Name: "lookup", Limit: limit,
+			Decl: "map m;\nidentifier id;\nint v;",
+			Init: "m = Map(int);\nid = Identifier('key');\ninsert(m, id, 1);",
+			Call: "v = lookup(m, id);",
+		},
+		{
+			Name: "Identifier", Limit: limit,
+			Decl: "identifier id;",
+			Call: "id = Identifier('10.20.30.40');",
+		},
+		{
+			Name: "publish", Limit: pub,
+			Call: "publish('Sink', i);",
+		},
+		{
+			Name: "send", Limit: snd,
+			Call: "send(i);",
+		},
+	}
+}
+
+// BuiltinCostProgram instantiates the Fig. 6 template for one case. The
+// automaton prints "<name>: <microseconds-per-invocation>" once per Timer
+// tick.
+func BuiltinCostProgram(c BuiltinCostCase) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+# Fig. 6: built-in cost template for %s.
+subscribe t to Timer;
+int i;
+int limit;
+tstamp start;
+int diff;
+`, c.Name)
+	if c.Decl != "" {
+		b.WriteString(c.Decl)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "initialization {\n\tlimit = %d;\n", c.Limit)
+	if c.Init != "" {
+		b.WriteString("\t" + strings.ReplaceAll(c.Init, "\n", "\n\t") + "\n")
+	}
+	b.WriteString("}\n")
+	b.WriteString("behavior {\n\ti = 0;\n\tstart = tstampNow();\n\twhile (i < limit) {\n")
+	if c.Call != "" {
+		b.WriteString("\t\t" + c.Call + "\n")
+	}
+	b.WriteString("\t\ti += 1;\n\t}\n")
+	fmt.Fprintf(&b,
+		"\tdiff = tstampDiff(tstampNow(), start);\n"+
+			"\tprint(String('%s: ', float(diff) / (float(limit) * 1000.0)));\n}\n",
+		c.Name)
+	return b.String()
+}
+
+// DelayProbeProgram is Fig. 8: the performance-at-scale probe. Every
+// event's insert-to-processing delay is accumulated; every batchSize events
+// the automaton reports (id, ave, min, max) in milliseconds via send().
+func DelayProbeProgram(id string, batchSize int) string {
+	return fmt.Sprintf(`
+# Fig. 8: performance at scale template.
+subscribe f to Flows;
+real min, max, ave, r;
+int count, nsecs;
+string id;
+initialization {
+	min = 1000.;
+	max = 0.;
+	ave = 0.;
+	id = '%s';
+	count = 0;
+}
+behavior {
+	count = count + 1;
+	nsecs = tstampDiff(tstampNow(), f.tstamp);
+	r = float(nsecs) / 1000000.;
+	ave = ave + (r - ave) / float(count);
+	if (r > max)
+		max = r;
+	if (r < min)
+		min = r;
+	if (count >= %d) {
+		send(id, ave, min, max);
+		count = 0;
+		min = 1000.;
+		max = 0.;
+		ave = 0.;
+	}
+}
+`, id, batchSize)
+}
+
+// StressProgram is Fig. 11: the 1-way/2-way stress automaton. In 2-way
+// mode every Test event is echoed back to the application via send().
+func StressProgram(twoWay bool) string {
+	echo := "# send(s); (1-way test)"
+	if twoWay {
+		echo = "send(s); # 2-way test"
+	}
+	return fmt.Sprintf(`
+# Fig. 11: performance at stress template.
+subscribe t to Timer;
+subscribe s to Test;
+int count;
+initialization {
+	count = 0;
+}
+behavior {
+	if (currentTopic() == 'Timer') {
+		if (count > 0)
+			send('stress', count);
+		count = 0;
+	} else {
+		count += 1;
+		%s
+	}
+}
+`, echo)
+}
+
+// ProgFrequentImperative is Fig. 14: the Misra-Gries frequent algorithm
+// written imperatively in GAPL.
+func ProgFrequentImperative(k int) string {
+	return fmt.Sprintf(`
+# Fig. 14: the "frequent" algorithm.
+subscribe e to Urls;
+map T;
+iterator i;
+identifier id;
+int count;
+int k;
+initialization {
+	k = %d;
+	T = Map(int);
+}
+behavior {
+	id = Identifier(e.host);
+	if (hasEntry(T, id)) {
+		count = lookup(T, id);
+		count += 1;
+		insert(T, id, count);
+	} else if (mapSize(T) < (k-1))
+		insert(T, id, 1);
+	else {
+		i = Iterator(T);
+		while (hasNext(i)) {
+			id = next(i);
+			count = lookup(T, id);
+			count -= 1;
+			if (count == 0)
+				remove(T, id);
+			else
+				insert(T, id, count);
+		}
+	}
+}
+`, k)
+}
+
+// ProgFrequentBuiltin is the §6.4 one-liner using the frequent() built-in.
+func ProgFrequentBuiltin(k int) string {
+	return fmt.Sprintf(`
+# §6.4: built-in variant of the frequent algorithm.
+subscribe e to Urls;
+map T;
+initialization { T = Map(int); }
+behavior { frequent(T, Identifier(e.host), %d); }
+`, k)
+}
+
+// ProgQ1 is the Cache side of Fig. 18's Q1: subscribe to Stocks and
+// publish every event to stream T.
+const ProgQ1 = `
+# §6.5 Q1: SELECT * FROM Stocks PUBLISH T.
+subscribe s to Stocks;
+behavior { publish('T', s); }
+`
+
+// ProgQ2 is the Cache side of Q2: the algorithmic double-top (M-shaped)
+// detector. Each entry of the map is a small state machine
+// (state, A, B, C, prev); the algorithm backtracks to previous states or
+// proceeds according to the current price, as §6.5 describes.
+const ProgQ2 = `
+# §6.5 Q2: double-top (M-shape) detection, one state machine per stock.
+subscribe s to Stocks;
+map st;
+identifier id;
+sequence m;
+int state;
+real p, a, b, c, prev;
+initialization { st = Map(sequence); }
+behavior {
+	id = Identifier(s.name);
+	p = s.price;
+	if (!hasEntry(st, id)) {
+		insert(st, id, Sequence(1, p, 0.0, 0.0, p));
+	} else {
+		m = lookup(st, id);
+		state = seqElement(m, 0);
+		a = seqElement(m, 1);
+		b = seqElement(m, 2);
+		c = seqElement(m, 3);
+		prev = seqElement(m, 4);
+		if (state == 1) {				# rising towards B
+			if (p < prev) {
+				if (prev > a) {			# first top found
+					seqSet(m, 0, 2);
+					seqSet(m, 2, prev);	# B
+				} else
+					seqSet(m, 1, p);	# restart anchor A
+			}
+		} else if (state == 2) {		# falling towards C
+			if (p > prev) {
+				if (prev > a) {			# valley found above anchor
+					seqSet(m, 0, 3);
+					seqSet(m, 3, prev);	# C
+				} else {
+					seqSet(m, 0, 1);	# backtrack: restart
+					seqSet(m, 1, p);
+				}
+			} else if (p <= a) {
+				seqSet(m, 0, 1);		# dipped below anchor: restart
+				seqSet(m, 1, p);
+			}
+		} else if (state == 3) {		# rising towards D
+			if (p < prev) {
+				if (prev > c) {			# second top found
+					seqSet(m, 0, 4);
+				} else {
+					seqSet(m, 0, 2);	# backtrack to descending leg
+				}
+			}
+		} else if (state == 4) {		# falling towards E/F
+			if (p < c) {				# closed below the valley: match
+				send(s.name, a, b, c, p);
+				seqSet(m, 0, 1);
+				seqSet(m, 1, p);
+			} else if (p > prev) {
+				seqSet(m, 0, 3);		# backtrack: another run at a top
+			}
+		}
+		seqSet(m, 4, p);
+		insert(st, id, m);
+	}
+}
+`
+
+// ProgQ3Detector is the first of the two automata implementing Q3: detect
+// continuous runs of increasing prices per stock and publish each completed
+// run of at least minLen ticks into the Runs stream.
+func ProgQ3Detector(minLen int) string {
+	return fmt.Sprintf(`
+# §6.5 Q3 (automaton 1 of 2): detect increasing-price runs per stock.
+subscribe s to Stocks;
+map last;
+map runs;
+identifier id;
+sequence r;
+real p, prev;
+initialization {
+	last = Map(real);
+	runs = Map(sequence);
+}
+behavior {
+	id = Identifier(s.name);
+	p = s.price;
+	if (hasEntry(last, id)) {
+		prev = lookup(last, id);
+		r = lookup(runs, id);
+		if (p > prev) {
+			append(r, p);
+		} else {
+			if (seqSize(r) >= %d)
+				publish('Runs', s.name, seqSize(r));
+			insert(runs, id, Sequence(p));
+		}
+	} else {
+		insert(runs, id, Sequence(p));
+	}
+	insert(last, id, p);
+}
+`, minLen)
+}
+
+// ProgQ3Reporter is the second Q3 automaton: forward each completed run to
+// the registering application.
+const ProgQ3Reporter = `
+# §6.5 Q3 (automaton 2 of 2): report completed runs.
+subscribe r to Runs;
+behavior { send(r); }
+`

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"unicache/internal/gapl"
+	"unicache/internal/types"
+	"unicache/internal/vm"
+)
+
+// replayRig executes automata over an in-memory event replay, the way the
+// paper timed the Cache against Cayuga ("we derive our timings by first
+// appending all events in a window, and then iterate over the window and
+// execute the queries", §6.5). It preserves the cache's delivery
+// semantics — published tuples re-enter processing in insertion order —
+// without the commit-path locking that a live cache pays.
+type replayRig struct {
+	schemas map[string]*types.Schema
+	subs    map[string][]*vm.VM
+	streams map[string][][]types.Value
+	sent    [][]types.Value
+	queue   []rigEvent
+	clock   types.Timestamp
+	seq     uint64
+}
+
+type rigEvent struct {
+	topic string
+	vals  []types.Value
+}
+
+var _ vm.Host = (*replayRig)(nil)
+
+func newReplayRig(schemas map[string]*types.Schema) *replayRig {
+	return &replayRig{
+		schemas: schemas,
+		subs:    make(map[string][]*vm.VM),
+		streams: make(map[string][][]types.Value),
+		clock:   1,
+	}
+}
+
+// register compiles and binds an automaton source, wiring its
+// subscriptions into the rig.
+func (r *replayRig) register(source string) (*vm.VM, error) {
+	prog, err := gapl.Compile(source)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Bind(r.schemas); err != nil {
+		return nil, err
+	}
+	m, err := vm.New(prog, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.RunInit(); err != nil {
+		return nil, err
+	}
+	for _, s := range prog.Subscriptions() {
+		r.subs[s.Topic] = append(r.subs[s.Topic], m)
+	}
+	return m, nil
+}
+
+// feed delivers one event and drains any events published during its
+// processing, in order.
+func (r *replayRig) feed(topic string, vals []types.Value) error {
+	r.queue = append(r.queue, rigEvent{topic: topic, vals: vals})
+	for len(r.queue) > 0 {
+		ev := r.queue[0]
+		r.queue = r.queue[1:]
+		r.clock++
+		r.seq++
+		schema := r.schemas[ev.topic]
+		if schema == nil {
+			return fmt.Errorf("replay: no schema for topic %q", ev.topic)
+		}
+		subs := r.subs[ev.topic]
+		if len(subs) == 0 {
+			continue
+		}
+		tuple := &types.Tuple{Seq: r.seq, TS: r.clock, Vals: ev.vals}
+		event := &types.Event{Topic: ev.topic, Schema: schema, Tuple: tuple}
+		for _, m := range subs {
+			if err := m.Deliver(event); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Now implements vm.Host with a logical clock (the stock queries are not
+// time-dependent; a logical clock avoids syscall noise in timings).
+func (r *replayRig) Now() types.Timestamp { return r.clock }
+
+// Publish implements vm.Host: materialise and queue for redelivery.
+func (r *replayRig) Publish(topic string, vals []types.Value) error {
+	if _, ok := r.schemas[topic]; !ok {
+		return fmt.Errorf("replay: no such topic %q", topic)
+	}
+	r.streams[topic] = append(r.streams[topic], vals)
+	r.queue = append(r.queue, rigEvent{topic: topic, vals: vals})
+	return nil
+}
+
+// Send implements vm.Host.
+func (r *replayRig) Send(vals []types.Value) error {
+	r.sent = append(r.sent, vals)
+	return nil
+}
+
+// Print implements vm.Host (discarded).
+func (r *replayRig) Print(string) {}
+
+// Associations are not used by the replay experiments.
+func (r *replayRig) AssocLookup(tbl, _ string) (types.Value, bool, error) {
+	return types.Nil, false, fmt.Errorf("replay: no association %q", tbl)
+}
+
+// AssocInsert implements vm.Host.
+func (r *replayRig) AssocInsert(tbl, _ string, _ types.Value) error {
+	return fmt.Errorf("replay: no association %q", tbl)
+}
+
+// AssocHas implements vm.Host.
+func (r *replayRig) AssocHas(tbl, _ string) (bool, error) {
+	return false, fmt.Errorf("replay: no association %q", tbl)
+}
+
+// AssocRemove implements vm.Host.
+func (r *replayRig) AssocRemove(tbl, _ string) (bool, error) {
+	return false, fmt.Errorf("replay: no association %q", tbl)
+}
+
+// AssocSize implements vm.Host.
+func (r *replayRig) AssocSize(tbl string) (int, error) {
+	return 0, fmt.Errorf("replay: no association %q", tbl)
+}
+
+// mustSchema builds a stream schema or panics (experiment-internal tables).
+func mustSchema(name string, cols ...types.Column) *types.Schema {
+	s, err := types.NewSchema(name, false, -1, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// printParser collects "label: value" lines emitted by print() and makes
+// the values available per label. It implements io.Writer for use as a
+// cache PrintWriter.
+type printParser struct {
+	mu   sync.Mutex
+	vals map[string][]float64
+	buf  strings.Builder
+}
+
+func newPrintParser() *printParser {
+	return &printParser{vals: make(map[string][]float64)}
+}
+
+func (p *printParser) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf.Write(b)
+	for {
+		s := p.buf.String()
+		i := strings.IndexByte(s, '\n')
+		if i < 0 {
+			return len(b), nil
+		}
+		line := s[:i]
+		p.buf.Reset()
+		p.buf.WriteString(s[i+1:])
+		if j := strings.Index(line, ": "); j > 0 {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(line[j+2:]), 64); err == nil {
+				label := line[:j]
+				p.vals[label] = append(p.vals[label], f)
+			}
+		}
+	}
+}
+
+func (p *printParser) values(label string) []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]float64(nil), p.vals[label]...)
+}

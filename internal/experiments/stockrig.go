@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"unicache/internal/types"
+	"unicache/internal/workload"
+)
+
+// StockRig is the exported form of the Fig. 18 Cache-side replay harness,
+// used by the repository's benchmark targets: the given GAPL sources run
+// over the stock topic set (Stocks, T, Runs) with in-memory delivery.
+type StockRig struct {
+	rig *replayRig
+}
+
+// NewStockRigE builds a rig with the stock schemas and registers each
+// source.
+func NewStockRigE(sources []string) (*StockRig, error) {
+	rig := newReplayRig(stockSchemas())
+	for _, src := range sources {
+		if _, err := rig.register(src); err != nil {
+			return nil, err
+		}
+	}
+	return &StockRig{rig: rig}, nil
+}
+
+// NewStockRig is NewStockRigE with a fataler (testing.B satisfies it).
+func NewStockRig(tb interface{ Fatal(args ...any) }, sources []string) *StockRig {
+	r, err := NewStockRigE(sources)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
+
+// Feed delivers one stock tick to the registered automata.
+func (s *StockRig) Feed(ev workload.StockEvent) error {
+	return s.rig.feed("Stocks", []types.Value{
+		types.Str(ev.Name), types.Real(ev.Price), types.Int(ev.Volume),
+	})
+}
+
+// Sent returns how many send() notifications the automata produced.
+func (s *StockRig) Sent() int { return len(s.rig.sent) }
+
+// StreamLen returns the number of tuples published into a stream.
+func (s *StockRig) StreamLen(topic string) int { return len(s.rig.streams[topic]) }

@@ -1,0 +1,94 @@
+// Package freq implements the Misra-Gries "frequent" algorithm for finding
+// frequent items in data streams (§6.4 of the paper, after Cormode &
+// Hadjieleftheriou). A Summary with parameter k stores at most k-1
+// counters; after observing n items, every item whose true frequency
+// exceeds n/k is guaranteed to be present.
+package freq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Summary is a Misra-Gries sketch.
+type Summary struct {
+	k      int
+	counts map[string]int64
+	n      int64
+}
+
+// New creates a summary with parameter k (at most k-1 counters); k must be
+// at least 2.
+func New(k int) (*Summary, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("freq: k must be >= 2, got %d", k)
+	}
+	return &Summary{k: k, counts: make(map[string]int64, k)}, nil
+}
+
+// K returns the summary parameter.
+func (s *Summary) K() int { return s.k }
+
+// N returns the number of observed items.
+func (s *Summary) N() int64 { return s.n }
+
+// Len returns the number of counters currently held (always < k).
+func (s *Summary) Len() int { return len(s.counts) }
+
+// Observe feeds one item.
+func (s *Summary) Observe(item string) {
+	s.n++
+	if _, ok := s.counts[item]; ok {
+		s.counts[item]++
+		return
+	}
+	if len(s.counts) < s.k-1 {
+		s.counts[item] = 1
+		return
+	}
+	for key, c := range s.counts {
+		if c <= 1 {
+			delete(s.counts, key)
+		} else {
+			s.counts[key] = c - 1
+		}
+	}
+}
+
+// Count returns the sketch counter for item (a lower bound on its true
+// frequency; 0 if absent).
+func (s *Summary) Count(item string) int64 { return s.counts[item] }
+
+// Has reports whether item currently holds a counter.
+func (s *Summary) Has(item string) bool {
+	_, ok := s.counts[item]
+	return ok
+}
+
+// Item is one (item, counter) pair.
+type Item struct {
+	Key   string
+	Count int64
+}
+
+// Items returns the counters sorted by descending count, ties broken by
+// key, so output is deterministic.
+func (s *Summary) Items() []Item {
+	out := make([]Item, 0, len(s.counts))
+	for k, c := range s.counts {
+		out = append(out, Item{Key: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Reset clears the summary.
+func (s *Summary) Reset() {
+	s.counts = make(map[string]int64, s.k)
+	s.n = 0
+}

@@ -1,0 +1,129 @@
+package freq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("k=1 rejected")
+	}
+	s, err := New(2)
+	if err != nil || s.K() != 2 {
+		t.Fatalf("New(2) = %v, %v", s, err)
+	}
+}
+
+func TestBasicCounting(t *testing.T) {
+	s, _ := New(10)
+	for i := 0; i < 5; i++ {
+		s.Observe("a")
+	}
+	s.Observe("b")
+	if s.N() != 6 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Count("a") != 5 || s.Count("b") != 1 || s.Count("zz") != 0 {
+		t.Errorf("counts: a=%d b=%d", s.Count("a"), s.Count("b"))
+	}
+	if !s.Has("a") || s.Has("zz") {
+		t.Error("Has wrong")
+	}
+	items := s.Items()
+	if len(items) != 2 || items[0].Key != "a" {
+		t.Errorf("Items = %v", items)
+	}
+	s.Reset()
+	if s.N() != 0 || s.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestCounterBound(t *testing.T) {
+	s, _ := New(5)
+	for i := 0; i < 1000; i++ {
+		s.Observe(fmt.Sprintf("item%d", i%50))
+	}
+	if s.Len() >= 5 {
+		t.Errorf("summary holds %d counters, must stay < k=5", s.Len())
+	}
+}
+
+// The Misra-Gries guarantee: every item with true frequency > n/k is in the
+// summary, and sketch counts never exceed true counts.
+func TestMisraGriesGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s, _ := New(8)
+	truth := map[string]int64{}
+	// Skewed stream: item0 is heavy.
+	for i := 0; i < 20_000; i++ {
+		var item string
+		if rng.Intn(3) == 0 {
+			item = "heavy"
+		} else {
+			item = fmt.Sprintf("light%d", rng.Intn(500))
+		}
+		s.Observe(item)
+		truth[item]++
+	}
+	threshold := s.N() / int64(s.K())
+	for item, count := range truth {
+		if count > threshold && !s.Has(item) {
+			t.Errorf("guarantee violated: %s has %d > n/k=%d but is absent",
+				item, count, threshold)
+		}
+	}
+	for item := range truth {
+		if s.Count(item) > truth[item] {
+			t.Errorf("sketch overcounts %s: %d > %d", item, s.Count(item), truth[item])
+		}
+	}
+}
+
+// Property: guarantee holds for arbitrary small streams.
+func TestGuaranteeProperty(t *testing.T) {
+	f := func(stream []uint8, kRaw uint8) bool {
+		k := int(kRaw%14) + 2
+		s, err := New(k)
+		if err != nil {
+			return false
+		}
+		truth := map[string]int64{}
+		for _, b := range stream {
+			item := fmt.Sprintf("i%d", b%16)
+			s.Observe(item)
+			truth[item]++
+		}
+		if s.Len() >= k {
+			return false
+		}
+		threshold := s.N() / int64(k)
+		for item, count := range truth {
+			if count > threshold && !s.Has(item) {
+				return false
+			}
+			if s.Count(item) > count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItemsDeterministicOrder(t *testing.T) {
+	s, _ := New(10)
+	for _, item := range []string{"b", "a", "b", "a", "c"} {
+		s.Observe(item)
+	}
+	items := s.Items()
+	// a and b tie at 2 -> ordered by key; c has 1.
+	if items[0].Key != "a" || items[1].Key != "b" || items[2].Key != "c" {
+		t.Errorf("order = %v", items)
+	}
+}

@@ -1,0 +1,191 @@
+package gapl
+
+import "unicache/internal/types"
+
+// Program is a parsed automaton: subscriptions, associations, variable
+// declarations and the two clauses.
+type Program struct {
+	Subs   []SubDecl
+	Assocs []AssocDecl
+	Decls  []VarDecl
+	Init   *Block // may be nil
+	Behav  *Block // required
+}
+
+// SubDecl is `subscribe var to Topic;`.
+type SubDecl struct {
+	Var   string
+	Topic string
+	Line  int
+}
+
+// AssocDecl is `associate var with Table;`.
+type AssocDecl struct {
+	Var   string
+	Table string
+	Line  int
+}
+
+// VarDecl declares one local variable of a GAPL kind.
+type VarDecl struct {
+	Name string
+	Kind types.Kind
+	Line int
+}
+
+// Stmt is any statement.
+type Stmt interface{ stmtNode() }
+
+// Block is `{ stmt* }`.
+type Block struct {
+	Stmts []Stmt
+}
+
+// AssignStmt is `name op expr;` where op is one of = += -= *= /= %=.
+type AssignStmt struct {
+	Name string
+	Op   string
+	X    Expr
+	Line int
+}
+
+// IfStmt is if (cond) stmt [else stmt].
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Line int
+}
+
+// WhileStmt is while (cond) stmt.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+// ExprStmt is an expression evaluated for effect (a call).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*Block) stmtNode()      {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()   {}
+
+// Expr is any expression.
+type Expr interface{ exprNode() }
+
+// IntLit / RealLit / StrLit / BoolLit are literals.
+type IntLit struct {
+	V    int64
+	Line int
+}
+
+// RealLit is a real literal.
+type RealLit struct {
+	V    float64
+	Line int
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	V    string
+	Line int
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	V    bool
+	Line int
+}
+
+// VarRef references a declared variable, subscription or association.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// FieldRef is `var.attr`, an attribute of the last event received on the
+// subscription bound to var.
+type FieldRef struct {
+	Var   string
+	Field string
+	Line  int
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// CallExpr invokes a built-in function or constructor.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// TypeArg is a type keyword used as a constructor argument, e.g.
+// Map(int) or Window(sequence, SECS, t).
+type TypeArg struct {
+	Kind types.Kind
+	Line int
+}
+
+// ModeArg is the SECS/ROWS/MSECS argument of the Window constructor.
+type ModeArg struct {
+	Mode string // "SECS", "ROWS", "MSECS"
+	Line int
+}
+
+func (*IntLit) exprNode()     {}
+func (*RealLit) exprNode()    {}
+func (*StrLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*VarRef) exprNode()     {}
+func (*FieldRef) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*TypeArg) exprNode()    {}
+func (*ModeArg) exprNode()    {}
+
+// KindOfTypeWord maps a type keyword to its value kind.
+func KindOfTypeWord(word string) (types.Kind, bool) {
+	switch word {
+	case "int":
+		return types.KindInt, true
+	case "real":
+		return types.KindReal, true
+	case "bool":
+		return types.KindBool, true
+	case "string":
+		return types.KindString, true
+	case "tstamp":
+		return types.KindTstamp, true
+	case "sequence":
+		return types.KindSequence, true
+	case "map":
+		return types.KindMap, true
+	case "window":
+		return types.KindWindow, true
+	case "identifier":
+		return types.KindIdentifier, true
+	case "iterator":
+		return types.KindIterator, true
+	}
+	return types.KindNil, false
+}

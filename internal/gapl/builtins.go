@@ -1,0 +1,117 @@
+package gapl
+
+import "unicache/internal/types"
+
+// BuiltinID identifies a built-in function; ids index the VM's dispatch
+// table (§6.1 of the paper characterises their costs).
+type BuiltinID int
+
+// The built-in functions and constructors of the language.
+const (
+	BSequence   BuiltinID = iota // Sequence(v...) -> sequence
+	BMap                         // Map(type) -> map
+	BWindow                      // Window(type, SECS|ROWS|MSECS, n) -> window
+	BIdentifier                  // Identifier(v...) -> identifier
+	BIterator                    // Iterator(map|window|sequence) -> iterator
+	BString                      // String(v...) -> string (concatenation)
+
+	BLookup   // lookup(map|assoc, id) -> value / row sequence
+	BInsert   // insert(map|assoc, id, v)
+	BHasEntry // hasEntry(map|assoc, id) -> bool
+	BRemove   // remove(map|assoc, id)
+	BMapSize  // mapSize(map|assoc) -> int
+
+	BHasNext // hasNext(iterator) -> bool
+	BNext    // next(iterator) -> value
+
+	BSeqElement // seqElement(seq, i) -> value (0-based)
+	BSeqSize    // seqSize(seq) -> int
+	BSeqSet     // seqSet(seq, i, v) — replace element i
+
+	BAppend  // append(window|sequence, v)
+	BWinSize // winSize(window) -> int
+	BDelete  // delete(aggregate) — advise storage release (clears it)
+
+	BCurrentTopic // currentTopic() -> string
+	BSend         // send(v...) — RPC to the registering application
+	BPublish      // publish('Topic', v...) — insert into another stream
+
+	BTstampNow  // tstampNow() -> tstamp
+	BTstampDiff // tstampDiff(a, b) -> int (ns)
+	BHourInDay  // hourInDay(tstamp) -> int
+	BDayInWeek  // dayInWeek(tstamp) -> int
+
+	BFloat // float(x) -> real
+	BInt   // int(x) -> int (truncates)
+	BPrint // print(v...)
+
+	BAbs  // abs(x)
+	BMin2 // min(a, b)
+	BMax2 // max(a, b)
+	BSqrt // sqrt(x) -> real
+	BPow  // pow(a, b) -> real
+
+	BFrequent // frequent(map, id, k) — built-in Misra-Gries step (§6.4)
+	BLsf      // lsf(window) -> sequence(slope, intercept) least-squares fit
+
+	NumBuiltins // sentinel
+)
+
+// BuiltinSig describes a built-in for the static checker.
+type BuiltinSig struct {
+	ID      BuiltinID
+	Name    string
+	MinArgs int
+	MaxArgs int // -1 = variadic
+	Result  types.Kind
+}
+
+// Builtins maps source names to signatures. Result KindNil means the result
+// kind is dynamic (e.g. lookup) or the builtin is void.
+var Builtins = map[string]BuiltinSig{
+	"Sequence":   {BSequence, "Sequence", 0, -1, types.KindSequence},
+	"Map":        {BMap, "Map", 1, 1, types.KindMap},
+	"Window":     {BWindow, "Window", 3, 3, types.KindWindow},
+	"Identifier": {BIdentifier, "Identifier", 1, -1, types.KindIdentifier},
+	"Iterator":   {BIterator, "Iterator", 1, 1, types.KindIterator},
+	"String":     {BString, "String", 0, -1, types.KindString},
+
+	"lookup":   {BLookup, "lookup", 2, 2, types.KindNil},
+	"insert":   {BInsert, "insert", 3, 3, types.KindNil},
+	"hasEntry": {BHasEntry, "hasEntry", 2, 2, types.KindBool},
+	"remove":   {BRemove, "remove", 2, 2, types.KindNil},
+	"mapSize":  {BMapSize, "mapSize", 1, 1, types.KindInt},
+
+	"hasNext": {BHasNext, "hasNext", 1, 1, types.KindBool},
+	"next":    {BNext, "next", 1, 1, types.KindNil},
+
+	"seqElement": {BSeqElement, "seqElement", 2, 2, types.KindNil},
+	"seqSize":    {BSeqSize, "seqSize", 1, 1, types.KindInt},
+	"seqSet":     {BSeqSet, "seqSet", 3, 3, types.KindNil},
+
+	"append":  {BAppend, "append", 2, 2, types.KindNil},
+	"winSize": {BWinSize, "winSize", 1, 1, types.KindInt},
+	"delete":  {BDelete, "delete", 1, 1, types.KindNil},
+
+	"currentTopic": {BCurrentTopic, "currentTopic", 0, 0, types.KindString},
+	"send":         {BSend, "send", 1, -1, types.KindNil},
+	"publish":      {BPublish, "publish", 1, -1, types.KindNil},
+
+	"tstampNow":  {BTstampNow, "tstampNow", 0, 0, types.KindTstamp},
+	"tstampDiff": {BTstampDiff, "tstampDiff", 2, 2, types.KindInt},
+	"hourInDay":  {BHourInDay, "hourInDay", 1, 1, types.KindInt},
+	"dayInWeek":  {BDayInWeek, "dayInWeek", 1, 1, types.KindInt},
+
+	"float": {BFloat, "float", 1, 1, types.KindReal},
+	"int":   {BInt, "int", 1, 1, types.KindInt},
+	"print": {BPrint, "print", 0, -1, types.KindNil},
+
+	"abs":  {BAbs, "abs", 1, 1, types.KindNil},
+	"min":  {BMin2, "min", 2, 2, types.KindNil},
+	"max":  {BMax2, "max", 2, 2, types.KindNil},
+	"sqrt": {BSqrt, "sqrt", 1, 1, types.KindReal},
+	"pow":  {BPow, "pow", 2, 2, types.KindReal},
+
+	"frequent": {BFrequent, "frequent", 3, 3, types.KindNil},
+	"lsf":      {BLsf, "lsf", 1, 1, types.KindSequence},
+}

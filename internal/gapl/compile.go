@@ -1,0 +1,445 @@
+package gapl
+
+import (
+	"fmt"
+
+	"unicache/internal/types"
+)
+
+// Compile parses, checks and lowers an automaton source to bytecode. The
+// returned Compiled must still be Bind()-ed against the cache's schemas
+// before execution.
+func Compile(src string) (*Compiled, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		out:       &Compiled{Source: src},
+		slotByVar: make(map[string]int),
+		constIdx:  make(map[string]int),
+		fieldIdx:  make(map[string]int),
+	}
+	return c.compile(prog)
+}
+
+type compiler struct {
+	out       *Compiled
+	slotByVar map[string]int
+	constIdx  map[string]int
+	fieldIdx  map[string]int
+	code      []Instr
+}
+
+func (c *compiler) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (c *compiler) declare(name string, spec SlotSpec, line int) (int, error) {
+	if _, dup := c.slotByVar[name]; dup {
+		return 0, c.errf(line, "variable %q declared twice", name)
+	}
+	// Variables may shadow built-in names: the paper's Fig. 8 automaton
+	// declares `real min, max`. Call syntax still resolves to the built-in.
+	idx := len(c.out.Slots)
+	c.out.Slots = append(c.out.Slots, spec)
+	c.slotByVar[name] = idx
+	return idx, nil
+}
+
+func (c *compiler) compile(prog *Program) (*Compiled, error) {
+	for _, s := range prog.Subs {
+		spec := SlotSpec{Name: s.Var, Role: SlotSub, Kind: types.KindEvent, Topic: s.Topic}
+		if _, err := c.declare(s.Var, spec, s.Line); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range prog.Assocs {
+		spec := SlotSpec{Name: a.Var, Role: SlotAssoc, Kind: types.KindAssoc, Table: a.Table}
+		if _, err := c.declare(a.Var, spec, a.Line); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range prog.Decls {
+		spec := SlotSpec{Name: d.Name, Role: SlotVar, Kind: d.Kind}
+		if _, err := c.declare(d.Name, spec, d.Line); err != nil {
+			return nil, err
+		}
+	}
+
+	if prog.Init != nil {
+		c.code = nil
+		if err := c.stmt(prog.Init); err != nil {
+			return nil, err
+		}
+		c.emit(Instr{Op: OpHalt})
+		c.out.Init = c.code
+	}
+	c.code = nil
+	if err := c.stmt(prog.Behav); err != nil {
+		return nil, err
+	}
+	c.emit(Instr{Op: OpHalt})
+	c.out.Behavior = c.code
+	return c.out, nil
+}
+
+func (c *compiler) emit(ins Instr) int {
+	c.code = append(c.code, ins)
+	return len(c.code) - 1
+}
+
+func (c *compiler) patch(pc int, target int) {
+	c.code[pc].A = int32(target)
+}
+
+func (c *compiler) constant(v types.Value) int32 {
+	key := v.Kind().String() + "\x00" + v.String()
+	if i, ok := c.constIdx[key]; ok {
+		return int32(i)
+	}
+	i := len(c.out.Consts)
+	c.out.Consts = append(c.out.Consts, v)
+	c.constIdx[key] = i
+	return int32(i)
+}
+
+func (c *compiler) fieldName(name string) int32 {
+	if i, ok := c.fieldIdx[name]; ok {
+		return int32(i)
+	}
+	i := len(c.out.FieldNames)
+	c.out.FieldNames = append(c.out.FieldNames, name)
+	c.fieldIdx[name] = i
+	return int32(i)
+}
+
+// --- statements ---
+
+func (c *compiler) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		for _, sub := range st.Stmts {
+			if err := c.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *AssignStmt:
+		return c.assign(st)
+	case *IfStmt:
+		return c.ifStmt(st)
+	case *WhileStmt:
+		return c.whileStmt(st)
+	case *ExprStmt:
+		kind, err := c.expr(st.X)
+		if err != nil {
+			return err
+		}
+		_ = kind
+		c.emit(Instr{Op: OpPop, Line: int32(st.Line)})
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+func (c *compiler) assign(st *AssignStmt) error {
+	slot, ok := c.slotByVar[st.Name]
+	if !ok {
+		return c.errf(st.Line, "undeclared variable %q", st.Name)
+	}
+	spec := c.out.Slots[slot]
+	if spec.Role != SlotVar {
+		return c.errf(st.Line, "cannot assign to %s variable %q",
+			map[SlotKind]string{SlotSub: "subscription", SlotAssoc: "association"}[spec.Role], st.Name)
+	}
+	var srcKind types.Kind
+	if st.Op == "=" {
+		k, err := c.expr(st.X)
+		if err != nil {
+			return err
+		}
+		srcKind = k
+	} else {
+		// Compound assignment: load var, evaluate, combine.
+		c.emit(Instr{Op: OpLoad, A: int32(slot), Line: int32(st.Line)})
+		rk, err := c.expr(st.X)
+		if err != nil {
+			return err
+		}
+		var op Op
+		switch st.Op {
+		case "+=":
+			op = OpAdd
+		case "-=":
+			op = OpSub
+		case "*=":
+			op = OpMul
+		case "/=":
+			op = OpDiv
+		case "%=":
+			op = OpMod
+		default:
+			return c.errf(st.Line, "unknown assignment operator %q", st.Op)
+		}
+		srcKind = c.arithKind(op, spec.Kind, rk)
+		c.emit(Instr{Op: op, Line: int32(st.Line)})
+	}
+	if srcKind != types.KindNil && !types.AssignCompatible(spec.Kind, srcKind) {
+		return c.errf(st.Line, "cannot assign %s to %s variable %q",
+			srcKind, spec.Kind, st.Name)
+	}
+	c.emit(Instr{Op: OpStore, A: int32(slot), Line: int32(st.Line)})
+	return nil
+}
+
+func (c *compiler) condition(x Expr, line int) error {
+	kind, err := c.expr(x)
+	if err != nil {
+		return err
+	}
+	if kind != types.KindNil && kind != types.KindBool {
+		return c.errf(line, "condition must be bool, got %s", kind)
+	}
+	return nil
+}
+
+func (c *compiler) ifStmt(st *IfStmt) error {
+	if err := c.condition(st.Cond, st.Line); err != nil {
+		return err
+	}
+	jz := c.emit(Instr{Op: OpJz, Line: int32(st.Line)})
+	if err := c.stmt(st.Then); err != nil {
+		return err
+	}
+	if st.Else == nil {
+		c.patch(jz, len(c.code))
+		return nil
+	}
+	jmp := c.emit(Instr{Op: OpJmp, Line: int32(st.Line)})
+	c.patch(jz, len(c.code))
+	if err := c.stmt(st.Else); err != nil {
+		return err
+	}
+	c.patch(jmp, len(c.code))
+	return nil
+}
+
+func (c *compiler) whileStmt(st *WhileStmt) error {
+	start := len(c.code)
+	if err := c.condition(st.Cond, st.Line); err != nil {
+		return err
+	}
+	jz := c.emit(Instr{Op: OpJz, Line: int32(st.Line)})
+	if err := c.stmt(st.Body); err != nil {
+		return err
+	}
+	c.emit(Instr{Op: OpJmp, A: int32(start), Line: int32(st.Line)})
+	c.patch(jz, len(c.code))
+	return nil
+}
+
+// --- expressions ---
+
+// expr compiles x and returns its statically inferred kind (KindNil when
+// unknown until runtime).
+func (c *compiler) expr(x Expr) (types.Kind, error) {
+	switch e := x.(type) {
+	case *IntLit:
+		c.emit(Instr{Op: OpConst, A: c.constant(types.Int(e.V)), Line: int32(e.Line)})
+		return types.KindInt, nil
+	case *RealLit:
+		c.emit(Instr{Op: OpConst, A: c.constant(types.Real(e.V)), Line: int32(e.Line)})
+		return types.KindReal, nil
+	case *StrLit:
+		c.emit(Instr{Op: OpConst, A: c.constant(types.Str(e.V)), Line: int32(e.Line)})
+		return types.KindString, nil
+	case *BoolLit:
+		c.emit(Instr{Op: OpConst, A: c.constant(types.Bool(e.V)), Line: int32(e.Line)})
+		return types.KindBool, nil
+	case *VarRef:
+		slot, ok := c.slotByVar[e.Name]
+		if !ok {
+			return 0, c.errf(e.Line, "undeclared variable %q", e.Name)
+		}
+		c.emit(Instr{Op: OpLoad, A: int32(slot), Line: int32(e.Line)})
+		return c.out.Slots[slot].Kind, nil
+	case *FieldRef:
+		slot, ok := c.slotByVar[e.Var]
+		if !ok {
+			return 0, c.errf(e.Line, "undeclared variable %q", e.Var)
+		}
+		if c.out.Slots[slot].Role != SlotSub {
+			return 0, c.errf(e.Line, "%q is not a subscription variable; '.' needs one", e.Var)
+		}
+		c.emit(Instr{Op: OpField, A: int32(slot), B: c.fieldName(e.Field), Line: int32(e.Line)})
+		return types.KindNil, nil // resolved at bind time
+	case *UnaryExpr:
+		kind, err := c.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == "-" {
+			if kind != types.KindNil && !kind.Numeric() {
+				return 0, c.errf(e.Line, "operator - needs a numeric operand, got %s", kind)
+			}
+			c.emit(Instr{Op: OpNeg, Line: int32(e.Line)})
+			return kind, nil
+		}
+		if kind != types.KindNil && kind != types.KindBool {
+			return 0, c.errf(e.Line, "operator ! needs a bool operand, got %s", kind)
+		}
+		c.emit(Instr{Op: OpNot, Line: int32(e.Line)})
+		return types.KindBool, nil
+	case *BinaryExpr:
+		return c.binary(e)
+	case *CallExpr:
+		return c.call(e)
+	case *TypeArg:
+		return 0, c.errf(e.Line, "type name only allowed inside Map() or Window()")
+	case *ModeArg:
+		return 0, c.errf(e.Line, "%s only allowed inside Window()", e.Mode)
+	}
+	return 0, fmt.Errorf("unknown expression %T", x)
+}
+
+func (c *compiler) binary(e *BinaryExpr) (types.Kind, error) {
+	switch e.Op {
+	case "&&", "||":
+		if err := c.boolOperand(e.L, e.Line); err != nil {
+			return 0, err
+		}
+		var jmp int
+		if e.Op == "&&" {
+			jmp = c.emit(Instr{Op: OpJzPeek, Line: int32(e.Line)})
+		} else {
+			jmp = c.emit(Instr{Op: OpJnzPeek, Line: int32(e.Line)})
+		}
+		c.emit(Instr{Op: OpPop, Line: int32(e.Line)})
+		if err := c.boolOperand(e.R, e.Line); err != nil {
+			return 0, err
+		}
+		c.patch(jmp, len(c.code))
+		return types.KindBool, nil
+	}
+
+	lk, err := c.expr(e.L)
+	if err != nil {
+		return 0, err
+	}
+	rk, err := c.expr(e.R)
+	if err != nil {
+		return 0, err
+	}
+	switch e.Op {
+	case "+", "-", "*", "/", "%":
+		op := map[string]Op{"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod}[e.Op]
+		if err := c.checkArith(op, lk, rk, e.Line); err != nil {
+			return 0, err
+		}
+		c.emit(Instr{Op: op, Line: int32(e.Line)})
+		return c.arithKind(op, lk, rk), nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		op := map[string]Op{"==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}[e.Op]
+		c.emit(Instr{Op: op, Line: int32(e.Line)})
+		return types.KindBool, nil
+	}
+	return 0, c.errf(e.Line, "unknown operator %q", e.Op)
+}
+
+func (c *compiler) boolOperand(x Expr, line int) error {
+	kind, err := c.expr(x)
+	if err != nil {
+		return err
+	}
+	if kind != types.KindNil && kind != types.KindBool {
+		return c.errf(line, "logical operator needs bool operands, got %s", kind)
+	}
+	return nil
+}
+
+func (c *compiler) checkArith(op Op, lk, rk types.Kind, line int) error {
+	if lk == types.KindNil || rk == types.KindNil {
+		return nil // dynamic
+	}
+	if op == OpAdd && (lk == types.KindString || lk == types.KindIdentifier) &&
+		(rk == types.KindString || rk == types.KindIdentifier) {
+		return nil
+	}
+	if !lk.Numeric() || !rk.Numeric() {
+		return c.errf(line, "arithmetic needs numeric operands, got %s and %s", lk, rk)
+	}
+	if op == OpMod && (lk == types.KindReal || rk == types.KindReal) {
+		return c.errf(line, "operator %% needs int operands")
+	}
+	return nil
+}
+
+// arithKind predicts the result kind of an arithmetic op.
+func (c *compiler) arithKind(op Op, lk, rk types.Kind) types.Kind {
+	if lk == types.KindNil || rk == types.KindNil {
+		return types.KindNil
+	}
+	if op == OpAdd && (lk == types.KindString || lk == types.KindIdentifier) {
+		return types.KindString
+	}
+	if lk == types.KindReal || rk == types.KindReal {
+		return types.KindReal
+	}
+	if lk == types.KindTstamp && rk == types.KindTstamp {
+		if op == OpSub {
+			return types.KindInt
+		}
+		return types.KindTstamp
+	}
+	if lk == types.KindTstamp || rk == types.KindTstamp {
+		return types.KindTstamp
+	}
+	return types.KindInt
+}
+
+func (c *compiler) call(e *CallExpr) (types.Kind, error) {
+	sig, ok := Builtins[e.Name]
+	if !ok {
+		return 0, c.errf(e.Line, "unknown function %q", e.Name)
+	}
+	if len(e.Args) < sig.MinArgs {
+		return 0, c.errf(e.Line, "%s expects at least %d argument(s), got %d",
+			e.Name, sig.MinArgs, len(e.Args))
+	}
+	if sig.MaxArgs >= 0 && len(e.Args) > sig.MaxArgs {
+		return 0, c.errf(e.Line, "%s expects at most %d argument(s), got %d",
+			e.Name, sig.MaxArgs, len(e.Args))
+	}
+	switch sig.ID {
+	case BMap:
+		ta, ok := e.Args[0].(*TypeArg)
+		if !ok {
+			return 0, c.errf(e.Line, "Map() expects a type name, e.g. Map(int)")
+		}
+		c.emit(Instr{Op: OpConst, A: c.constant(types.Int(int64(ta.Kind))), Line: int32(e.Line)})
+	case BWindow:
+		ta, ok := e.Args[0].(*TypeArg)
+		if !ok {
+			return 0, c.errf(e.Line, "Window() expects a type name first, e.g. Window(sequence, SECS, 60)")
+		}
+		ma, ok := e.Args[1].(*ModeArg)
+		if !ok {
+			return 0, c.errf(e.Line, "Window() expects SECS, MSECS or ROWS second")
+		}
+		mode := map[string]int64{"ROWS": 1, "SECS": 2, "MSECS": 3}[ma.Mode]
+		c.emit(Instr{Op: OpConst, A: c.constant(types.Int(int64(ta.Kind))), Line: int32(e.Line)})
+		c.emit(Instr{Op: OpConst, A: c.constant(types.Int(mode)), Line: int32(e.Line)})
+		if _, err := c.expr(e.Args[2]); err != nil {
+			return 0, err
+		}
+	default:
+		for _, a := range e.Args {
+			if _, err := c.expr(a); err != nil {
+				return 0, err
+			}
+		}
+	}
+	c.emit(Instr{Op: OpCall, A: int32(sig.ID), B: int32(len(e.Args)), Line: int32(e.Line)})
+	return sig.Result, nil
+}

@@ -1,0 +1,195 @@
+package gapl
+
+import (
+	"strings"
+	"testing"
+
+	"unicache/internal/types"
+)
+
+func TestNestedControlFlowCompiles(t *testing.T) {
+	src := `
+subscribe t to Timer;
+int i, j, acc;
+behavior {
+	i = 0;
+	while (i < 3) {
+		j = 0;
+		while (j < 3) {
+			if (i == j)
+				acc += 1;
+			else if (i > j) {
+				acc += 10;
+			} else {
+				acc += 100;
+				if (acc > 1000)
+					acc = 1000;
+			}
+			j += 1;
+		}
+		i += 1;
+	}
+}
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All jump targets must land inside the code.
+	for i, ins := range c.Behavior {
+		switch ins.Op {
+		case OpJmp, OpJz, OpJzPeek, OpJnzPeek:
+			if ins.A < 0 || int(ins.A) > len(c.Behavior) {
+				t.Errorf("instr %d: jump target %d out of range", i, ins.A)
+			}
+		}
+	}
+}
+
+func TestEmptyStatementAndBlocks(t *testing.T) {
+	src := `
+subscribe t to Timer;
+behavior {
+	;
+	{ }
+	{ ; ; }
+	if (true) ; else ;
+}
+`
+	if _, err := Compile(src); err != nil {
+		t.Fatalf("empty statements should compile: %v", err)
+	}
+}
+
+func TestDanglingElseBindsToNearestIf(t *testing.T) {
+	prog, err := Parse(`
+subscribe t to Timer;
+int x;
+behavior {
+	if (true)
+		if (false)
+			x = 1;
+		else
+			x = 2;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog.Behav.Stmts[0].(*IfStmt)
+	if outer.Else != nil {
+		t.Error("dangling else attached to outer if")
+	}
+	inner, ok := outer.Then.(*IfStmt)
+	if !ok || inner.Else == nil {
+		t.Error("dangling else should attach to the inner if")
+	}
+}
+
+func TestAllBinaryOperatorPrecedences(t *testing.T) {
+	// (1+2*3 < 10-2) && (4/2 == 2 || false) ==> true && true
+	src := `
+subscribe t to Timer;
+bool r;
+behavior { r = 1 + 2 * 3 < 10 - 2 && (4 / 2 == 2 || false); }
+`
+	if _, err := Compile(src); err != nil {
+		t.Fatalf("operator soup should compile: %v", err)
+	}
+}
+
+func TestWindowConstructorVariants(t *testing.T) {
+	for _, src := range []string{
+		`subscribe t to Timer; window w; behavior { w = Window(int, ROWS, 5); }`,
+		`subscribe t to Timer; window w; behavior { w = Window(sequence, SECS, 60); }`,
+		`subscribe t to Timer; window w; behavior { w = Window(real, MSECS, 250); }`,
+		`subscribe t to Timer; window w; int n; behavior { n = 3; w = Window(int, ROWS, n * 2); }`,
+	} {
+		if _, err := Compile(src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestMapConstructorAllTypes(t *testing.T) {
+	for _, ty := range []string{"int", "real", "bool", "string", "tstamp",
+		"sequence", "map", "window", "identifier"} {
+		src := `subscribe t to Timer; map m; behavior { m = Map(` + ty + `); }`
+		if _, err := Compile(src); err != nil {
+			t.Errorf("Map(%s): %v", ty, err)
+		}
+	}
+}
+
+func TestCommentStylesAndWhitespace(t *testing.T) {
+	src := "subscribe t to Timer;\r\n# hash comment\n// slash comment\nbehavior { print('x'); } # trailing"
+	if _, err := Compile(src); err != nil {
+		t.Fatalf("comments should lex: %v", err)
+	}
+}
+
+func TestBindPreservesInitFieldRefs(t *testing.T) {
+	// Field references inside initialization are bound too (they error at
+	// run time if no event arrived, but must resolve).
+	c, err := Compile(`
+subscribe f to Flows;
+int n;
+initialization { n = 0; }
+behavior { n = f.nbytes; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind(testSchemas(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompiledSourceRetained(t *testing.T) {
+	src := minimalAutomaton
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Source != src {
+		t.Error("compiled unit should retain its source for management tools")
+	}
+}
+
+func TestSlotSpecKinds(t *testing.T) {
+	c, err := Compile(`
+subscribe f to Flows;
+associate a with P;
+window w;
+tstamp ts;
+behavior { print('x'); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]types.Kind{}
+	roles := map[string]SlotKind{}
+	for _, s := range c.Slots {
+		kinds[s.Name] = s.Kind
+		roles[s.Name] = s.Role
+	}
+	if roles["f"] != SlotSub || kinds["f"] != types.KindEvent {
+		t.Error("subscription slot wrong")
+	}
+	if roles["a"] != SlotAssoc || kinds["a"] != types.KindAssoc {
+		t.Error("association slot wrong")
+	}
+	if roles["w"] != SlotVar || kinds["w"] != types.KindWindow {
+		t.Error("window slot wrong")
+	}
+	if kinds["ts"] != types.KindTstamp {
+		t.Error("tstamp slot wrong")
+	}
+}
+
+func TestErrorMessagesCarryLineNumbers(t *testing.T) {
+	_, err := Compile("subscribe t to Timer;\nint x;\nbehavior {\n\tx = 'nope';\n}\n")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error should carry line 4: %v", err)
+	}
+}

@@ -1,0 +1,449 @@
+package gapl
+
+import (
+	"strings"
+	"testing"
+
+	"unicache/internal/types"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`subscribe f to Flows; # comment
+		int n; // also comment
+		n = 1 + 2.5 * 'str';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	// Spot checks.
+	if toks[0].Kind != TokKeyword || toks[0].Text != "subscribe" {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "f" {
+		t.Errorf("tok1 = %+v", toks[1])
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("missing EOF token")
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokReal && tok.Text == "2.5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("real literal not lexed: %v", kinds)
+	}
+}
+
+func TestLexTrailingDotReal(t *testing.T) {
+	// Fig. 8 of the paper writes `min = 1000.;`
+	toks, err := Lex(`min = 1000.;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokReal || toks[2].Text != "1000." {
+		t.Errorf("trailing-dot real = %+v", toks[2])
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`s = 'a\n\t\'b';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Text != "a\n\t'b" {
+		t.Errorf("escaped string = %q", toks[2].Text)
+	}
+	if _, err := Lex(`s = 'unterminated`); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex(`s = 'bad\q';`); err == nil {
+		t.Error("unknown escape should fail")
+	}
+	if _, err := Lex("s = 'new\nline';"); err == nil {
+		t.Error("newline in string should fail")
+	}
+	if _, err := Lex("@"); err == nil {
+		t.Error("stray character should fail")
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, err := Lex("a\nb\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[2].Line != 3 {
+		t.Errorf("line numbers: %+v", toks[:3])
+	}
+}
+
+const minimalAutomaton = `
+subscribe t to Timer;
+behavior { print('tick'); }
+`
+
+func TestParseMinimal(t *testing.T) {
+	prog, err := Parse(minimalAutomaton)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Subs) != 1 || prog.Subs[0].Topic != "Timer" {
+		t.Errorf("subs = %+v", prog.Subs)
+	}
+	if prog.Init != nil {
+		t.Error("no init expected")
+	}
+	if prog.Behav == nil || len(prog.Behav.Stmts) != 1 {
+		t.Error("behavior missing")
+	}
+}
+
+func TestParseFullHeader(t *testing.T) {
+	prog, err := Parse(`
+subscribe f to Flows;
+subscribe x to Timer;
+associate a with Allowances;
+int n, limit;
+identifier ip;
+window w;
+initialization { n = 0; }
+behavior { n += 1; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Subs) != 2 || len(prog.Assocs) != 1 {
+		t.Errorf("header: %d subs %d assocs", len(prog.Subs), len(prog.Assocs))
+	}
+	if len(prog.Decls) != 4 {
+		t.Errorf("decls = %+v", prog.Decls)
+	}
+	if prog.Decls[0].Kind != types.KindInt || prog.Decls[3].Kind != types.KindWindow {
+		t.Error("decl kinds wrong")
+	}
+	if prog.Init == nil {
+		t.Error("init missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no behavior", `subscribe t to Timer;`, "behavior"},
+		{"no subscription", `behavior { print('x'); }`, "subscribe"},
+		{"bad subscribe", `subscribe to Timer; behavior {}`, "identifier"},
+		{"missing to", `subscribe t Timer; behavior {}`, `"to"`},
+		{"missing semicolon", `subscribe t to Timer behavior {}`, `";"`},
+		{"dup behavior", minimalAutomaton + `behavior { print('x'); }`, "duplicate"},
+		{"dup init", `subscribe t to Timer; initialization {} initialization {} behavior {}`, "duplicate"},
+		{"unterminated block", `subscribe t to Timer; behavior { print('x');`, "unterminated"},
+		{"garbage clause", `subscribe t to Timer; wibble {}`, "clause"},
+		{"bad expr", `subscribe t to Timer; behavior { x = ; }`, "unexpected"},
+		{"missing paren", `subscribe t to Timer; behavior { if (true print('x'); }`, `")"`},
+		{"field on literal", `subscribe t to Timer; behavior { x = 3.a; }`, ""},
+		{"keyword in expr", `subscribe t to Timer; behavior { x = while; }`, "keyword"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatalf("expected error for %q", tt.src)
+			}
+			if tt.want != "" && !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse(`
+subscribe t to Timer;
+int x;
+behavior { x = 1 + 2 * 3; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := prog.Behav.Stmts[0].(*AssignStmt)
+	add, ok := assign.X.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top op = %+v", assign.X)
+	}
+	mul, ok := add.R.(*BinaryExpr)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("rhs = %+v", add.R)
+	}
+}
+
+func TestCompileMinimal(t *testing.T) {
+	c, err := Compile(minimalAutomaton)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Slots) != 1 || c.Slots[0].Role != SlotSub {
+		t.Errorf("slots = %+v", c.Slots)
+	}
+	if c.Init != nil {
+		t.Error("no init code expected")
+	}
+	if len(c.Behavior) == 0 || c.Behavior[len(c.Behavior)-1].Op != OpHalt {
+		t.Error("behavior must end with halt")
+	}
+	if c.Bound() {
+		t.Error("fresh compile must not be bound")
+	}
+}
+
+func TestCompileStaticErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undeclared var", `subscribe t to Timer; behavior { x = 1; }`, "undeclared"},
+		{"undeclared in expr", `subscribe t to Timer; int x; behavior { x = y; }`, "undeclared"},
+		{"assign to subscription", `subscribe t to Timer; behavior { t = 1; }`, "subscription"},
+		{"assign to assoc", `subscribe t to Timer; associate a with T; behavior { a = 1; }`, "association"},
+		{"dup variable", `subscribe t to Timer; int x; real x; behavior {}`, "twice"},
+		{"dup sub/var", `subscribe t to Timer; int t; behavior {}`, "twice"},
+		{"kind mismatch", `subscribe t to Timer; int x; behavior { x = 'str'; }`, "cannot assign"},
+		{"real to int", `subscribe t to Timer; int x; behavior { x = 1.5; }`, "cannot assign"},
+		{"bad condition", `subscribe t to Timer; behavior { if (1) print('x'); }`, "bool"},
+		{"bad while cond", `subscribe t to Timer; behavior { while ('s') print('x'); }`, "bool"},
+		{"unknown function", `subscribe t to Timer; behavior { wibble(); }`, "unknown function"},
+		{"too few args", `subscribe t to Timer; behavior { tstampDiff(1); }`, "at least"},
+		{"too many args", `subscribe t to Timer; behavior { mapSize(1, 2); }`, "at most"},
+		{"map needs type", `subscribe t to Timer; map m; behavior { m = Map(3); }`, "type name"},
+		{"window needs mode", `subscribe t to Timer; window w; behavior { w = Window(int, 5, 5); }`, "SECS"},
+		{"stray type arg", `subscribe t to Timer; behavior { print(int); }`, "keyword"},
+		{"arith on strings", `subscribe t to Timer; int x; behavior { x = 'a' - 'b'; }`, "numeric"},
+		{"mod on real", `subscribe t to Timer; int x; behavior { x = 1.5 % 2; }`, "int operands"},
+		{"logic on ints", `subscribe t to Timer; behavior { if (1 && true) print('x'); }`, "bool"},
+		{"not on int", `subscribe t to Timer; behavior { if (!1) print('x'); }`, "bool"},
+		{"neg on string", `subscribe t to Timer; int x; behavior { x = -'a'; }`, "numeric"},
+		{"field on non-sub", `subscribe t to Timer; int x; behavior { x = x.foo; }`, "subscription"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Compile(tt.src)
+			if err == nil {
+				t.Fatalf("expected compile error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompileAllowedConversions(t *testing.T) {
+	// int -> real widening, tstamp <-> int, identifier <-> string.
+	src := `
+subscribe t to Timer;
+real r;
+tstamp ts;
+int n;
+string s;
+identifier id;
+behavior {
+	r = 1;
+	ts = 5;
+	n = ts;
+	id = Identifier('x');
+	s = id;
+	r += n;
+}
+`
+	if _, err := Compile(src); err != nil {
+		t.Fatalf("legal conversions rejected: %v", err)
+	}
+}
+
+func testSchemas(t *testing.T) map[string]*types.Schema {
+	t.Helper()
+	flows, err := types.NewSchema("Flows", false, -1,
+		types.Column{Name: "srcip", Type: types.ColVarchar},
+		types.Column{Name: "nbytes", Type: types.ColInt},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer, err := types.NewSchema("Timer", false, -1,
+		types.Column{Name: "ts", Type: types.ColTstamp},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*types.Schema{"Flows": flows, "Timer": timer}
+}
+
+func TestBindResolvesFields(t *testing.T) {
+	c, err := Compile(`
+subscribe f to Flows;
+int n;
+tstamp ts;
+behavior {
+	n = f.nbytes;
+	ts = f.tstamp;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind(testSchemas(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Bound() {
+		t.Error("Bound() should be true")
+	}
+	// Find the two OpField instructions: nbytes -> col 1, tstamp -> -1.
+	var fields []int32
+	for _, ins := range c.Behavior {
+		if ins.Op == OpField {
+			fields = append(fields, ins.B)
+		}
+	}
+	if len(fields) != 2 || fields[0] != 1 || fields[1] != -1 {
+		t.Errorf("bound field operands = %v, want [1 -1]", fields)
+	}
+	// Double bind rejected.
+	if err := c.Bind(testSchemas(t)); err == nil {
+		t.Error("second Bind should error")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	c, err := Compile(`subscribe f to NoSuchTopic; behavior { print('x'); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind(testSchemas(t)); err == nil || !strings.Contains(err.Error(), "NoSuchTopic") {
+		t.Errorf("unknown topic: %v", err)
+	}
+
+	c, err = Compile(`subscribe f to Flows; int n; behavior { n = f.nosuch; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind(testSchemas(t)); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("unknown attribute: %v", err)
+	}
+}
+
+func TestSubscriptionsAndAssociationsAccessors(t *testing.T) {
+	c, err := Compile(`
+subscribe f to Flows;
+subscribe t to Timer;
+associate a with Allowances;
+behavior { print('x'); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := c.Subscriptions()
+	if len(subs) != 2 || subs[0].Topic != "Flows" || subs[1].Topic != "Timer" {
+		t.Errorf("subscriptions = %+v", subs)
+	}
+	assocs := c.Associations()
+	if len(assocs) != 1 || assocs[0].Table != "Allowances" {
+		t.Errorf("associations = %+v", assocs)
+	}
+}
+
+func TestConstPoolDeduplicates(t *testing.T) {
+	c, err := Compile(`
+subscribe t to Timer;
+int a, b, c;
+behavior { a = 7; b = 7; c = 7; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, v := range c.Consts {
+		if n, ok := v.AsInt(); ok && n == 7 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("constant 7 appears %d times in pool", count)
+	}
+}
+
+func TestPaperProgramsParseAndCompile(t *testing.T) {
+	// Fig. 2: the continuous query execution model as an automaton.
+	fig2 := `
+subscribe event to Topic;
+subscribe x to Timer;
+window w;
+initialization {
+	w = Window(sequence, SECS, 10);
+}
+behavior {
+	if (currentTopic() == 'Topic')
+		append(w, Sequence(event.attribute));
+	else
+		if (currentTopic() == 'Timer') {
+			send(w);
+			w = Window(sequence, SECS, 10);
+		}
+}
+`
+	// Fig. 14: the frequent algorithm.
+	fig14 := `
+subscribe e to Urls;
+map T;
+iterator i;
+identifier id;
+int count;
+int k;
+initialization {
+	k = 100;
+	T = Map(int);
+}
+behavior {
+	id = Identifier(e.host);
+	if (hasEntry(T, id)) {
+		count = lookup(T, id);
+		count += 1;
+		insert(T, id, count);
+	} else if (mapSize(T) < (k-1))
+		insert(T, id, 1);
+	else {
+		i = Iterator(T);
+		while (hasNext(i)) {
+			id = next(i);
+			count = lookup(T, id);
+			count -= 1;
+			if (count == 0)
+				remove(T, id);
+			else
+				insert(T, id, count);
+		}
+	}
+}
+`
+	for name, src := range map[string]string{"fig2": fig2, "fig14": fig14} {
+		if _, err := Compile(src); err != nil {
+			t.Errorf("%s does not compile: %v", name, err)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpCall.String() != "call" {
+		t.Error("op names wrong")
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Error("unknown op should show number")
+	}
+}

@@ -1,0 +1,468 @@
+package gapl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse lexes and parses an automaton source into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKeyword(word string) bool {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == word {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.Kind == TokPunct && t.Text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.peek()
+	if t.Kind == TokPunct && t.Text == s {
+		p.pos++
+		return nil
+	}
+	return p.errf(t.Line, "expected %q, got %q", s, t.Text)
+}
+
+func (p *parser) expectKeyword(word string) error {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == word {
+		p.pos++
+		return nil
+	}
+	return p.errf(t.Line, "expected %q, got %q", word, t.Text)
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return t, p.errf(t.Line, "expected an identifier, got %q", t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	// Header section: subscriptions, associations, declarations in any
+	// interleaving, then the clauses.
+	for {
+		t := p.peek()
+		if t.Kind != TokKeyword {
+			break
+		}
+		switch t.Text {
+		case "subscribe":
+			p.pos++
+			v, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("to"); err != nil {
+				return nil, err
+			}
+			topic, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			prog.Subs = append(prog.Subs, SubDecl{Var: v.Text, Topic: topic.Text, Line: t.Line})
+		case "associate":
+			p.pos++
+			v, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("with"); err != nil {
+				return nil, err
+			}
+			tbl, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			prog.Assocs = append(prog.Assocs, AssocDecl{Var: v.Text, Table: tbl.Text, Line: t.Line})
+		default:
+			if kind, ok := KindOfTypeWord(t.Text); ok {
+				p.pos++
+				for {
+					name, err := p.expectIdent()
+					if err != nil {
+						return nil, err
+					}
+					prog.Decls = append(prog.Decls, VarDecl{Name: name.Text, Kind: kind, Line: name.Line})
+					if p.acceptPunct(",") {
+						continue
+					}
+					break
+				}
+				if err := p.expectPunct(";"); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			goto clauses
+		}
+	}
+
+clauses:
+	for {
+		t := p.peek()
+		switch {
+		case t.Kind == TokKeyword && t.Text == "initialization":
+			p.pos++
+			if prog.Init != nil {
+				return nil, p.errf(t.Line, "duplicate initialization clause")
+			}
+			b, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			prog.Init = b
+		case t.Kind == TokKeyword && t.Text == "behavior":
+			p.pos++
+			if prog.Behav != nil {
+				return nil, p.errf(t.Line, "duplicate behavior clause")
+			}
+			b, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			prog.Behav = b
+		case t.Kind == TokEOF:
+			if prog.Behav == nil {
+				return nil, p.errf(t.Line, "automaton needs a behavior clause")
+			}
+			if len(prog.Subs) == 0 {
+				return nil, p.errf(t.Line, "automaton must subscribe to at least one topic")
+			}
+			return prog, nil
+		default:
+			return nil, p.errf(t.Line, "expected initialization or behavior clause, got %q", t.Text)
+		}
+	}
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for {
+		t := p.peek()
+		if t.Kind == TokPunct && t.Text == "}" {
+			p.pos++
+			return b, nil
+		}
+		if t.Kind == TokEOF {
+			return nil, p.errf(t.Line, "unterminated block")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, st)
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokPunct && t.Text == "{":
+		return p.parseBlock()
+	case t.Kind == TokPunct && t.Text == ";":
+		p.pos++
+		return &Block{}, nil
+	case t.Kind == TokKeyword && t.Text == "if":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+		if p.acceptKeyword("else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case t.Kind == TokKeyword && t.Text == "while":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+	case t.Kind == TokIdent:
+		// Assignment if followed by an assignment operator.
+		if p.pos+1 < len(p.toks) {
+			nxt := p.toks[p.pos+1]
+			if nxt.Kind == TokPunct {
+				switch nxt.Text {
+				case "=", "+=", "-=", "*=", "/=", "%=":
+					p.pos += 2
+					x, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					if err := p.expectPunct(";"); err != nil {
+						return nil, err
+					}
+					return &AssignStmt{Name: t.Text, Op: nxt.Text, X: x, Line: t.Line}, nil
+				}
+			}
+		}
+		fallthrough
+	default:
+		x, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Line: t.Line}, nil
+	}
+}
+
+func binPrec(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "==", "!=":
+		return 3
+	case "<", "<=", ">", ">=":
+		return 4
+	case "+", "-":
+		return 5
+	case "*", "/", "%":
+		return 6
+	}
+	return 0
+}
+
+func (p *parser) parseExpr(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokPunct {
+			return left, nil
+		}
+		prec := binPrec(t.Text)
+		if prec == 0 || prec <= minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseExpr(prec)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: t.Text, L: left, R: right, Line: t.Line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokPunct && (t.Text == "-" || t.Text == "!") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x, Line: t.Line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct(".") {
+		// Attribute names may collide with type keywords (e.g. the tstamp
+		// pseudo-attribute of Fig. 8), so accept keywords here too.
+		field := p.peek()
+		if field.Kind != TokIdent && field.Kind != TokKeyword {
+			return nil, p.errf(field.Line, "expected an attribute name, got %q", field.Text)
+		}
+		p.pos++
+		v, ok := x.(*VarRef)
+		if !ok {
+			return nil, p.errf(field.Line, "attribute access requires a subscription variable on the left of '.'")
+		}
+		x = &FieldRef{Var: v.Name, Field: field.Text, Line: field.Line}
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt:
+		p.pos++
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t.Line, "bad integer literal %q", t.Text)
+		}
+		return &IntLit{V: n, Line: t.Line}, nil
+	case TokReal:
+		p.pos++
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf(t.Line, "bad real literal %q", t.Text)
+		}
+		return &RealLit{V: f, Line: t.Line}, nil
+	case TokString:
+		p.pos++
+		return &StrLit{V: t.Text, Line: t.Line}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "true":
+			p.pos++
+			return &BoolLit{V: true, Line: t.Line}, nil
+		case "false":
+			p.pos++
+			return &BoolLit{V: false, Line: t.Line}, nil
+		case "int", "string":
+			// int(x) and string-typed conversion calls share their name
+			// with type keywords.
+			if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Text == "(" {
+				p.pos++
+				return p.parseCall(t)
+			}
+		}
+		return nil, p.errf(t.Line, "unexpected keyword %q in expression", t.Text)
+	case TokIdent:
+		p.pos++
+		if p.peek().Kind == TokPunct && p.peek().Text == "(" {
+			return p.parseCall(t)
+		}
+		return &VarRef{Name: t.Text, Line: t.Line}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.pos++
+			x, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, p.errf(t.Line, "unexpected token %q in expression", t.Text)
+}
+
+func (p *parser) parseCall(name Token) (Expr, error) {
+	// consume '('
+	p.pos++
+	call := &CallExpr{Name: name.Text, Line: name.Line}
+	if p.acceptPunct(")") {
+		return call, nil
+	}
+	for {
+		arg, err := p.parseCallArg(name.Text)
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+// parseCallArg allows type keywords (Map(int), Window(sequence, ...)) and
+// window-mode words (SECS/ROWS/MSECS) as constructor arguments.
+func (p *parser) parseCallArg(fn string) (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword {
+		if kind, ok := KindOfTypeWord(t.Text); ok && (fn == "Map" || fn == "Window") {
+			p.pos++
+			return &TypeArg{Kind: kind, Line: t.Line}, nil
+		}
+	}
+	if t.Kind == TokIdent && fn == "Window" {
+		switch t.Text {
+		case "SECS", "ROWS", "MSECS":
+			p.pos++
+			return &ModeArg{Mode: t.Text, Line: t.Line}, nil
+		}
+	}
+	return p.parseExpr(0)
+}

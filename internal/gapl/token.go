@@ -1,0 +1,188 @@
+// Package gapl implements the Glasgow Automaton Programming Language: the
+// imperative, C-like language in which cache users write automata (§4 of
+// the paper). The package contains the lexer, parser, static checker and
+// the compiler that lowers automata to bytecode for the stack machine in
+// package vm.
+//
+// An automaton has the general form (§4.2):
+//
+//	subscribe f to Flows;
+//	associate a with Allowances;
+//	int n, limit;
+//	identifier ip;
+//	initialization { ... }
+//	behavior { ... }
+package gapl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokReal
+	TokString
+	TokPunct
+)
+
+// Token is one lexical token with its source line for error reporting.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+}
+
+var keywords = map[string]bool{
+	"subscribe": true, "to": true, "associate": true, "with": true,
+	"initialization": true, "behavior": true,
+	"if": true, "else": true, "while": true,
+	"true": true, "false": true,
+	"int": true, "real": true, "bool": true, "string": true, "tstamp": true,
+	"sequence": true, "map": true, "window": true, "identifier": true,
+	"iterator": true,
+}
+
+// IsTypeKeyword reports whether word names a GAPL data type.
+func IsTypeKeyword(word string) bool {
+	switch word {
+	case "int", "real", "bool", "string", "tstamp",
+		"sequence", "map", "window", "identifier", "iterator":
+		return true
+	}
+	return false
+}
+
+// Lex tokenizes GAPL source. Comments run from '#' or "//" to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: word, Line: line})
+		case c >= '0' && c <= '9':
+			start := i
+			isReal := false
+			for i < n {
+				ch := src[i]
+				if ch >= '0' && ch <= '9' {
+					i++
+					continue
+				}
+				if ch == '.' && !isReal {
+					isReal = true
+					i++
+					continue
+				}
+				break
+			}
+			kind := TokInt
+			if isReal {
+				kind = TokReal
+			}
+			toks = append(toks, Token{Kind: kind, Text: src[start:i], Line: line})
+		case c == '\'' || c == '"':
+			quote := c
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				ch := src[i]
+				if ch == '\\' && i+1 < n {
+					i++
+					switch src[i] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '\\':
+						b.WriteByte('\\')
+					case '\'':
+						b.WriteByte('\'')
+					case '"':
+						b.WriteByte('"')
+					default:
+						return nil, fmt.Errorf("line %d: unknown escape \\%c", line, src[i])
+					}
+					i++
+					continue
+				}
+				if ch == quote {
+					i++
+					closed = true
+					break
+				}
+				if ch == '\n' {
+					return nil, fmt.Errorf("line %d: newline in string literal", line)
+				}
+				b.WriteByte(ch)
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("line %d: unterminated string literal", line)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: b.String(), Line: line})
+		default:
+			matched := false
+			for _, op := range []string{"==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%="} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, Token{Kind: TokPunct, Text: op, Line: line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			switch c {
+			case ';', ',', '(', ')', '{', '}', '.', '=', '<', '>', '+', '-', '*', '/', '%', '!':
+				toks = append(toks, Token{Kind: TokPunct, Text: string(c), Line: line})
+				i++
+			default:
+				return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

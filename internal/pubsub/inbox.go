@@ -1,0 +1,94 @@
+package pubsub
+
+import (
+	"sync"
+
+	"unicache/internal/types"
+)
+
+// Inbox is an unbounded FIFO event queue connecting the cache commit path
+// (producer) to one automaton goroutine (consumer). Enqueueing never
+// blocks; the consumer blocks in Pop until an event arrives or the inbox is
+// closed. It is the Go analogue of the per-automaton PThread mailbox in the
+// paper's runtime (§5).
+type Inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*types.Event
+	head   int
+	closed bool
+}
+
+var _ Subscriber = (*Inbox)(nil)
+
+// NewInbox returns an empty open inbox.
+func NewInbox() *Inbox {
+	in := &Inbox{}
+	in.cond = sync.NewCond(&in.mu)
+	return in
+}
+
+// Deliver implements Subscriber: non-blocking FIFO enqueue. Events
+// delivered to a closed inbox are dropped.
+func (in *Inbox) Deliver(ev *types.Event) {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.q = append(in.q, ev)
+	in.mu.Unlock()
+	in.cond.Signal()
+}
+
+// Pop blocks until an event is available and returns it; ok is false once
+// the inbox is closed and drained.
+func (in *Inbox) Pop() (*types.Event, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for in.head >= len(in.q) && !in.closed {
+		in.cond.Wait()
+	}
+	if in.head >= len(in.q) {
+		return nil, false
+	}
+	ev := in.q[in.head]
+	in.q[in.head] = nil
+	in.head++
+	if in.head > 256 && in.head*2 >= len(in.q) {
+		// Reclaim consumed prefix.
+		in.q = append(in.q[:0], in.q[in.head:]...)
+		in.head = 0
+	}
+	return ev, true
+}
+
+// TryPop returns the next event without blocking; ok is false if none is
+// queued.
+func (in *Inbox) TryPop() (*types.Event, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.head >= len(in.q) {
+		return nil, false
+	}
+	ev := in.q[in.head]
+	in.q[in.head] = nil
+	in.head++
+	return ev, true
+}
+
+// Len returns the number of queued events.
+func (in *Inbox) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.q) - in.head
+}
+
+// Close marks the inbox closed and wakes the consumer. Pending events may
+// still be drained with Pop; Deliver becomes a no-op.
+func (in *Inbox) Close() {
+	in.mu.Lock()
+	in.closed = true
+	in.mu.Unlock()
+	in.cond.Broadcast()
+}

@@ -1,0 +1,143 @@
+// Package pubsub implements the topic-based publish/subscribe substrate of
+// the unified cache. Every table in the cache corresponds to a topic with
+// the same name; each tuple insertion is published as an event on that
+// topic and delivered to all subscribed automata in strict
+// time-of-insertion order (§3, §5 of the paper).
+//
+// Delivery never blocks the publisher: each subscriber owns an unbounded
+// FIFO inbox (see Inbox). This is what makes publish() from inside an
+// automaton re-entrant — an automaton may publish into a topic it is itself
+// subscribed to without deadlock.
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"unicache/internal/types"
+)
+
+// Subscriber consumes events. Deliver must not block (Inbox satisfies
+// this); it is called with the broker's topic lock held so that the global
+// event interleaving is identical for every subscriber.
+type Subscriber interface {
+	Deliver(ev *types.Event)
+}
+
+// Broker routes published events to topic subscribers.
+type Broker struct {
+	mu     sync.RWMutex
+	topics map[string]*topic
+}
+
+type topic struct {
+	name string
+	mu   sync.Mutex
+	subs map[int64]Subscriber
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{topics: make(map[string]*topic)}
+}
+
+// CreateTopic registers a topic name. Creating an existing topic is an
+// error (mirrors create table semantics).
+func (b *Broker) CreateTopic(name string) error {
+	if name == "" {
+		return fmt.Errorf("topic needs a name")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.topics[name]; ok {
+		return fmt.Errorf("topic %s already exists", name)
+	}
+	b.topics[name] = &topic{name: name, subs: make(map[int64]Subscriber)}
+	return nil
+}
+
+// HasTopic reports whether the topic exists.
+func (b *Broker) HasTopic(name string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, ok := b.topics[name]
+	return ok
+}
+
+// Topics returns the topic names in lexical order.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subscribe attaches sub to the named topic under the given subscriber id.
+// One id may subscribe to many topics; Unsubscribe(id) detaches it from all
+// of them.
+func (b *Broker) Subscribe(id int64, name string, sub Subscriber) error {
+	if sub == nil {
+		return fmt.Errorf("nil subscriber")
+	}
+	b.mu.RLock()
+	t, ok := b.topics[name]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("no such topic %q", name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.subs[id]; dup {
+		return fmt.Errorf("subscriber %d already subscribed to %s", id, name)
+	}
+	t.subs[id] = sub
+	return nil
+}
+
+// Unsubscribe detaches subscriber id from every topic.
+func (b *Broker) Unsubscribe(id int64) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, t := range b.topics {
+		t.mu.Lock()
+		delete(t.subs, id)
+		t.mu.Unlock()
+	}
+}
+
+// Subscribers returns the number of subscribers on a topic.
+func (b *Broker) Subscribers(name string) int {
+	b.mu.RLock()
+	t, ok := b.topics[name]
+	b.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.subs)
+}
+
+// Publish delivers ev to every subscriber of ev.Topic. The caller (the
+// cache commit path) is responsible for assigning ev.Tuple.Seq before
+// publishing; the per-topic lock guarantees all subscribers observe the
+// same interleaving.
+func (b *Broker) Publish(ev *types.Event) error {
+	b.mu.RLock()
+	t, ok := b.topics[ev.Topic]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("no such topic %q", ev.Topic)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sub := range t.subs {
+		sub.Deliver(ev)
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package pubsub
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"unicache/internal/types"
+)
+
+func mkEvent(t *testing.T, topic string, seq uint64) *types.Event {
+	t.Helper()
+	schema, err := types.NewSchema(topic, false, -1,
+		types.Column{Name: "v", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &types.Event{
+		Topic:  topic,
+		Schema: schema,
+		Tuple:  &types.Tuple{Seq: seq, TS: types.Timestamp(seq), Vals: []types.Value{types.Int(int64(seq))}},
+	}
+}
+
+type collector struct {
+	mu  sync.Mutex
+	evs []*types.Event
+}
+
+func (c *collector) Deliver(ev *types.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evs = append(c.evs, ev)
+}
+
+func (c *collector) seqs() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, len(c.evs))
+	for i, ev := range c.evs {
+		out[i] = ev.Tuple.Seq
+	}
+	return out
+}
+
+func TestBrokerTopicLifecycle(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("Flows"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("Flows"); err == nil {
+		t.Error("duplicate topic should error")
+	}
+	if err := b.CreateTopic(""); err == nil {
+		t.Error("empty topic name should error")
+	}
+	if !b.HasTopic("Flows") || b.HasTopic("Nope") {
+		t.Error("HasTopic wrong")
+	}
+	_ = b.CreateTopic("Alpha")
+	names := b.Topics()
+	if len(names) != 2 || names[0] != "Alpha" || names[1] != "Flows" {
+		t.Errorf("Topics() = %v", names)
+	}
+}
+
+func TestSubscribePublishUnsubscribe(t *testing.T) {
+	b := NewBroker()
+	_ = b.CreateTopic("T")
+	c1, c2 := &collector{}, &collector{}
+	if err := b.Subscribe(1, "T", c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Subscribe(2, "T", c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Subscribe(1, "T", c1); err == nil {
+		t.Error("duplicate subscription should error")
+	}
+	if err := b.Subscribe(3, "Nope", c1); err == nil {
+		t.Error("subscribe to missing topic should error")
+	}
+	if err := b.Subscribe(3, "T", nil); err == nil {
+		t.Error("nil subscriber should error")
+	}
+	if got := b.Subscribers("T"); got != 2 {
+		t.Errorf("Subscribers = %d", got)
+	}
+
+	if err := b.Publish(mkEvent(t, "T", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.seqs()) != 1 || len(c2.seqs()) != 1 {
+		t.Error("both subscribers should receive the event")
+	}
+
+	b.Unsubscribe(1)
+	if err := b.Publish(mkEvent(t, "T", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.seqs()) != 1 {
+		t.Error("unsubscribed collector should not receive")
+	}
+	if len(c2.seqs()) != 2 {
+		t.Error("remaining collector should receive")
+	}
+
+	if err := b.Publish(mkEvent(t, "Nope", 3)); err == nil {
+		t.Error("publish to missing topic should error")
+	}
+}
+
+func TestPublishOrderPreservedPerSubscriber(t *testing.T) {
+	b := NewBroker()
+	_ = b.CreateTopic("T")
+	c := &collector{}
+	_ = b.Subscribe(1, "T", c)
+	const n = 1000
+	for i := uint64(1); i <= n; i++ {
+		if err := b.Publish(mkEvent(t, "T", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs := c.seqs()
+	if len(seqs) != n {
+		t.Fatalf("received %d events, want %d", len(seqs), n)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("order violated at %d: %d", i, s)
+		}
+	}
+}
+
+func TestInboxFIFOAndClose(t *testing.T) {
+	in := NewInbox()
+	for i := uint64(1); i <= 5; i++ {
+		in.Deliver(mkEvent(t, "T", i))
+	}
+	if in.Len() != 5 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+	for i := uint64(1); i <= 5; i++ {
+		ev, ok := in.Pop()
+		if !ok || ev.Tuple.Seq != i {
+			t.Fatalf("Pop %d = %v, %v", i, ev, ok)
+		}
+	}
+	if _, ok := in.TryPop(); ok {
+		t.Error("TryPop on empty should fail")
+	}
+	in.Close()
+	if _, ok := in.Pop(); ok {
+		t.Error("Pop after close+drain should report closed")
+	}
+	in.Deliver(mkEvent(t, "T", 9))
+	if in.Len() != 0 {
+		t.Error("Deliver after close should drop")
+	}
+}
+
+func TestInboxPopBlocksUntilDeliver(t *testing.T) {
+	in := NewInbox()
+	done := make(chan uint64, 1)
+	go func() {
+		ev, ok := in.Pop()
+		if !ok {
+			done <- 0
+			return
+		}
+		done <- ev.Tuple.Seq
+	}()
+	// Give the consumer a moment to block.
+	time.Sleep(10 * time.Millisecond)
+	in.Deliver(mkEvent(t, "T", 42))
+	select {
+	case got := <-done:
+		if got != 42 {
+			t.Errorf("Pop returned %d, want 42", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not wake on Deliver")
+	}
+}
+
+func TestInboxCloseWakesBlockedPop(t *testing.T) {
+	in := NewInbox()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := in.Pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	in.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Pop after close on empty inbox should report !ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not wake blocked Pop")
+	}
+}
+
+func TestInboxCompaction(t *testing.T) {
+	in := NewInbox()
+	// Push and pop enough to trigger prefix reclamation.
+	for round := 0; round < 4; round++ {
+		for i := uint64(0); i < 300; i++ {
+			in.Deliver(mkEvent(t, "T", i))
+		}
+		for i := uint64(0); i < 300; i++ {
+			ev, ok := in.Pop()
+			if !ok || ev.Tuple.Seq != i {
+				t.Fatalf("round %d: pop %d got %v %v", round, i, ev, ok)
+			}
+		}
+	}
+	if in.Len() != 0 {
+		t.Errorf("Len = %d after drain", in.Len())
+	}
+}
+
+// Concurrent publishers on different topics: each inbox must observe its
+// own topic's events in publish order.
+func TestConcurrentPublishOrderPerTopic(t *testing.T) {
+	b := NewBroker()
+	topics := []string{"A", "B", "C", "D"}
+	inboxes := make(map[string]*Inbox)
+	for i, name := range topics {
+		_ = b.CreateTopic(name)
+		in := NewInbox()
+		inboxes[name] = in
+		if err := b.Subscribe(int64(i+1), name, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const perTopic = 500
+	var wg sync.WaitGroup
+	for _, name := range topics {
+		wg.Add(1)
+		go func(topic string) {
+			defer wg.Done()
+			for i := uint64(1); i <= perTopic; i++ {
+				_ = b.Publish(mkEvent(t, topic, i))
+			}
+		}(name)
+	}
+	wg.Wait()
+	for _, name := range topics {
+		in := inboxes[name]
+		if in.Len() != perTopic {
+			t.Fatalf("topic %s inbox has %d events", name, in.Len())
+		}
+		for i := uint64(1); i <= perTopic; i++ {
+			ev, ok := in.TryPop()
+			if !ok || ev.Tuple.Seq != i {
+				t.Fatalf("topic %s: event %d out of order (%v, %v)", name, i, ev, ok)
+			}
+		}
+	}
+}
+
+// One subscriber on two topics: when publishes are serialized by the
+// caller (as the cache commit path does), the inbox observes the global
+// order.
+func TestCrossTopicInterleavingPreserved(t *testing.T) {
+	b := NewBroker()
+	_ = b.CreateTopic("X")
+	_ = b.CreateTopic("Y")
+	in := NewInbox()
+	_ = b.Subscribe(1, "X", in)
+	_ = b.Subscribe(1, "Y", in)
+	const n = 200
+	for i := uint64(1); i <= n; i++ {
+		topic := "X"
+		if i%2 == 0 {
+			topic = "Y"
+		}
+		if err := b.Publish(mkEvent(t, topic, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= n; i++ {
+		ev, ok := in.TryPop()
+		if !ok || ev.Tuple.Seq != i {
+			t.Fatalf("global order violated at %d: got %v %v", i, ev, ok)
+		}
+	}
+}

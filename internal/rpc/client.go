@@ -1,0 +1,243 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"unicache/internal/sql"
+	"unicache/internal/types"
+	"unicache/internal/wire"
+)
+
+// SendEvent is one send() notification pushed from a registered automaton
+// to its application.
+type SendEvent struct {
+	AutomatonID int64
+	Vals        []types.Value
+}
+
+// Client is an application-side connection to the cache.
+type Client struct {
+	tr     *transport
+	events chan SendEvent
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan []byte
+	err     error
+	closed  bool
+	done    chan struct{}
+}
+
+// Dial connects to a cache server over TCP.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. one side of net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		tr:      newTransport(conn),
+		events:  make(chan SendEvent, 4096),
+		pending: make(map[uint32]chan []byte),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Events returns the channel of send() notifications from automata this
+// client registered. The channel closes when the connection dies.
+func (c *Client) Events() <-chan SendEvent { return c.events }
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.tr.close()
+	<-c.done
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		msgID, payload, err := c.tr.readMessage()
+		if err != nil {
+			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			return
+		}
+		if len(payload) == 0 {
+			continue
+		}
+		if msgID == 0 && payload[0] == msgSendEvent {
+			d := wire.NewDecoder(payload[1:])
+			id, err := d.I64()
+			if err != nil {
+				continue
+			}
+			vals, err := d.Values()
+			if err != nil {
+				continue
+			}
+			// Blocking here applies TCP backpressure to the server if the
+			// application cannot keep up.
+			c.events <- SendEvent{AutomatonID: id, Vals: vals}
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[msgID]
+		delete(c.pending, msgID)
+		c.mu.Unlock()
+		if ok {
+			ch <- payload
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint32]chan []byte)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+	close(c.events)
+}
+
+// call performs one request/response round trip.
+func (c *Client) call(payload []byte) ([]byte, error) {
+	ch := make(chan []byte, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	if c.nextID == 0 { // id 0 is reserved for pushes
+		c.nextID = 1
+	}
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.tr.writeMessage(id, payload); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("rpc: connection closed")
+		}
+		return nil, err
+	}
+	if resp[0] == msgErr {
+		d := wire.NewDecoder(resp[1:])
+		msg, err := d.Str()
+		if err != nil {
+			return nil, err
+		}
+		return nil, errors.New(msg)
+	}
+	return resp, nil
+}
+
+// Ping round-trips a no-op request.
+func (c *Client) Ping() error {
+	e := wire.NewEncoder(8)
+	e.U8(msgPing)
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return err
+	}
+	if resp[0] != msgPingOK {
+		return fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	return nil
+}
+
+// Exec runs one SQL statement and returns its result.
+func (c *Client) Exec(src string) (*sql.Result, error) {
+	e := wire.NewEncoder(64 + len(src))
+	e.U8(msgExec)
+	e.Str(src)
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if resp[0] != msgExecOK {
+		return nil, fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	return wire.NewDecoder(resp[1:]).Result()
+}
+
+// Insert is the fast-path typed insert (no SQL parsing server-side).
+func (c *Client) Insert(table string, vals ...types.Value) error {
+	e := wire.NewEncoder(64)
+	e.U8(msgInsert)
+	e.Str(table)
+	if err := e.Values(vals); err != nil {
+		return err
+	}
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return err
+	}
+	if resp[0] != msgInsertOK {
+		return fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	return nil
+}
+
+// Register submits automaton source code. On success it returns the
+// automaton id; compile/bind/init errors come back as errors.
+func (c *Client) Register(source string) (int64, error) {
+	e := wire.NewEncoder(64 + len(source))
+	e.U8(msgRegister)
+	e.Str(source)
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	if resp[0] != msgRegisterOK {
+		return 0, fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	return wire.NewDecoder(resp[1:]).I64()
+}
+
+// Unregister stops an automaton previously registered on this connection.
+func (c *Client) Unregister(id int64) error {
+	e := wire.NewEncoder(16)
+	e.U8(msgUnregister)
+	e.I64(id)
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return err
+	}
+	if resp[0] != msgUnregOK {
+		return fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	return nil
+}

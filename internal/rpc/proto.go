@@ -1,0 +1,120 @@
+// Package rpc implements the RPC mechanism through which applications and
+// the cache interact (§3, §5): SQL execution, fast-path inserts, automaton
+// registration, and the reverse channel carrying send() events from
+// automata back to their registering application.
+//
+// The wire protocol fragments and reassembles every message at 1024-byte
+// boundaries, as the paper's RPC system does (§6.3 notes the linear
+// throughput drop past 1 KiB that Fig. 13 shows).
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// FragSize is the fragmentation boundary of the RPC system.
+const FragSize = 1024
+
+// fragment header: u16 payload length | u32 message id | u8 flags.
+const fragHeaderSize = 7
+
+const flagLast = 0x1
+
+// maxMessageSize bounds reassembled messages (16 MiB).
+const maxMessageSize = 16 << 20
+
+// Message type bytes.
+const (
+	msgExec       = 1 // str sql
+	msgExecOK     = 2 // wire.Result
+	msgErr        = 3 // str error
+	msgInsert     = 4 // str table, values
+	msgInsertOK   = 5
+	msgRegister   = 6 // str source
+	msgRegisterOK = 7 // i64 id
+	msgUnregister = 8 // i64 id
+	msgUnregOK    = 9
+	msgSendEvent  = 10 // push: i64 automaton id, values
+	msgPing       = 11
+	msgPingOK     = 12
+)
+
+// transport frames messages over a net.Conn with fragmentation at FragSize
+// and serialised writes (requests and pushes interleave safely).
+type transport struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	readBuf [fragHeaderSize]byte
+	partial map[uint32][]byte
+}
+
+func newTransport(conn net.Conn) *transport {
+	return &transport{conn: conn, partial: make(map[uint32][]byte)}
+}
+
+// writeMessage fragments and writes one message.
+func (t *transport) writeMessage(msgID uint32, payload []byte) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	var hdr [fragHeaderSize]byte
+	for {
+		n := len(payload)
+		flags := byte(0)
+		if n <= FragSize {
+			flags = flagLast
+		} else {
+			n = FragSize
+		}
+		binary.BigEndian.PutUint16(hdr[0:2], uint16(n))
+		binary.BigEndian.PutUint32(hdr[2:6], msgID)
+		hdr[6] = flags
+		// Header and fragment are written separately: each fragment is an
+		// independent unit, mirroring the per-fragment cost the paper's
+		// RPC system pays.
+		if _, err := t.conn.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := t.conn.Write(payload[:n]); err != nil {
+			return err
+		}
+		if flags&flagLast != 0 {
+			return nil
+		}
+		payload = payload[n:]
+	}
+}
+
+// readMessage reassembles and returns the next complete message.
+func (t *transport) readMessage() (uint32, []byte, error) {
+	for {
+		if _, err := io.ReadFull(t.conn, t.readBuf[:]); err != nil {
+			return 0, nil, err
+		}
+		n := binary.BigEndian.Uint16(t.readBuf[0:2])
+		msgID := binary.BigEndian.Uint32(t.readBuf[2:6])
+		flags := t.readBuf[6]
+		if n > FragSize {
+			return 0, nil, fmt.Errorf("rpc: oversized fragment (%d bytes)", n)
+		}
+		frag := make([]byte, n)
+		if _, err := io.ReadFull(t.conn, frag); err != nil {
+			return 0, nil, err
+		}
+		buf := append(t.partial[msgID], frag...)
+		if len(buf) > maxMessageSize {
+			return 0, nil, fmt.Errorf("rpc: message exceeds %d bytes", maxMessageSize)
+		}
+		if flags&flagLast != 0 {
+			delete(t.partial, msgID)
+			return msgID, buf, nil
+		}
+		t.partial[msgID] = buf
+	}
+}
+
+func (t *transport) close() error { return t.conn.Close() }

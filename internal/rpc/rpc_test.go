@@ -1,0 +1,302 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unicache/internal/cache"
+	"unicache/internal/types"
+)
+
+func newServerCache(t *testing.T) *cache.Cache {
+	t.Helper()
+	c, err := cache.New(cache.Config{
+		TimerPeriod: -1,
+		PrintWriter: &strings.Builder{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// pipeClient wires a client to the server over net.Pipe.
+func pipeClient(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	cEnd, sEnd := net.Pipe()
+	go srv.ServeConn(sEnd)
+	cl := NewClient(cEnd)
+	t.Cleanup(func() { _ = cl.Close() })
+	return cl
+}
+
+func TestPingExecInsertOverPipe(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`create table T (name varchar, v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert("T", types.Str("a"), types.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`insert into T values ('b', 2)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Exec(`select name, v from T order by v desc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].String() != "b" {
+		t.Errorf("rows = %+v", res.Rows)
+	}
+}
+
+func TestExecErrorsPropagate(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	if _, err := cl.Exec(`select * from Missing`); err == nil ||
+		!strings.Contains(err.Error(), "Missing") {
+		t.Errorf("exec error = %v", err)
+	}
+	if err := cl.Insert("Missing", types.Int(1)); err == nil {
+		t.Error("insert into missing table should error")
+	}
+	if _, err := cl.Register(`this is not gapl`); err == nil {
+		t.Error("register with bad source should error")
+	}
+}
+
+func TestRegisterAndReceiveSendEvents(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+
+	if _, err := cl.Exec(`create table Readings (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.Register(`
+subscribe r to Readings;
+behavior { if (r.v > 10) send('alert', r.v); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 0 {
+		t.Fatalf("automaton id = %d", id)
+	}
+	for _, v := range []int64{5, 50, 7, 70} {
+		if err := cl.Insert("Readings", types.Int(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	timeout := time.After(5 * time.Second)
+	for len(got) < 2 {
+		select {
+		case ev := <-cl.Events():
+			if ev.AutomatonID != id {
+				t.Errorf("event from automaton %d, want %d", ev.AutomatonID, id)
+			}
+			n, _ := ev.Vals[1].AsInt()
+			got = append(got, n)
+		case <-timeout:
+			t.Fatalf("timed out; got %v", got)
+		}
+	}
+	if got[0] != 50 || got[1] != 70 {
+		t.Errorf("alerts = %v", got)
+	}
+	if err := cl.Unregister(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Unregister(id); err == nil {
+		t.Error("double unregister should error")
+	}
+}
+
+func TestUnregisterForeignAutomatonRejected(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl1 := pipeClient(t, srv)
+	cl2 := pipeClient(t, srv)
+	if _, err := cl1.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl1.Register(`subscribe t to T; behavior { send(t.v); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Unregister(id); err == nil {
+		t.Error("a connection must not unregister another connection's automaton")
+	}
+}
+
+func TestConnectionCloseUnregistersAutomata(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	if _, err := cl.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Register(`subscribe t to T; behavior { send(t.v); }`); err != nil {
+		t.Fatal(err)
+	}
+	if c.Registry().Len() != 1 {
+		t.Fatalf("registry len = %d", c.Registry().Len())
+	}
+	_ = cl.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Registry().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("automaton not unregistered after connection close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFragmentationLargePayloads(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	if _, err := cl.Exec(`create table Big (s varchar)`); err != nil {
+		t.Fatal(err)
+	}
+	// 10 KB string spans ~10 fragments in each direction.
+	big := strings.Repeat("x", 10_000)
+	if err := cl.Insert("Big", types.Str(big)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Exec(`select s from Big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].String(); got != big {
+		t.Errorf("large string corrupted: len %d vs %d", len(got), len(big))
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.Register(`subscribe t to T; behavior { send(t.v * 2); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert("T", types.Int(21)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-cl.Events():
+		if ev.AutomatonID != id {
+			t.Errorf("event automaton = %d", ev.AutomatonID)
+		}
+		if n, _ := ev.Vals[0].AsInt(); n != 42 {
+			t.Errorf("event value = %v", ev.Vals[0])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event over TCP")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl0 := pipeClient(t, srv)
+	if _, err := cl0.Exec(`create table T (w integer, v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	const clients, per = 4, 100
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		cl := pipeClient(t, srv)
+		wg.Add(1)
+		go func(w int, cl *Client) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := cl.Insert("T", types.Int(int64(w)), types.Int(int64(i))); err != nil {
+					errs <- fmt.Errorf("client %d: %w", w, err)
+					return
+				}
+			}
+		}(w, cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := cl0.Exec(`select count(*) from T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != fmt.Sprint(clients*per) {
+		t.Errorf("total rows = %v", res.Rows[0][0])
+	}
+}
+
+func TestClientFailsAfterClose(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	_ = cl.Close()
+	if err := cl.Ping(); err == nil {
+		t.Error("ping after close should fail")
+	}
+}
+
+func TestServerCloseStopsServe(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	time.Sleep(10 * time.Millisecond)
+	if srv.Addr() == nil {
+		t.Error("Addr should be set while serving")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("Serve returned %v after Close", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}

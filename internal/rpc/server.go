@@ -1,0 +1,254 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"unicache/internal/cache"
+	"unicache/internal/types"
+	"unicache/internal/wire"
+)
+
+// Server exposes a cache over the RPC protocol. Each connection's requests
+// are processed serially (the paper's cache services RPCs in its main
+// thread); different connections proceed concurrently, serialised only by
+// the cache commit path.
+type Server struct {
+	cache *cache.Cache
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*serverConn]struct{}
+	closed bool
+}
+
+// NewServer wraps a cache.
+func NewServer(c *cache.Cache) *Server {
+	return &Server{cache: c, conns: make(map[*serverConn]struct{})}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections from ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("rpc: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Addr returns the listener address (after Serve/ListenAndServe).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.shutdown()
+	}
+	return err
+}
+
+// ServeConn serves one already-established connection (used directly with
+// net.Pipe in tests). It returns when the connection dies.
+func (s *Server) ServeConn(conn net.Conn) {
+	sc := &serverConn{srv: s, tr: newTransport(conn)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.conns[sc] = struct{}{}
+	s.mu.Unlock()
+	sc.serve()
+	s.mu.Lock()
+	delete(s.conns, sc)
+	s.mu.Unlock()
+}
+
+type serverConn struct {
+	srv *Server
+	tr  *transport
+
+	mu    sync.Mutex
+	autos []int64 // automata registered by this connection
+}
+
+func (c *serverConn) shutdown() { _ = c.tr.close() }
+
+func (c *serverConn) serve() {
+	defer func() {
+		// A reaction application going away takes its automata with it.
+		c.mu.Lock()
+		autos := append([]int64(nil), c.autos...)
+		c.autos = nil
+		c.mu.Unlock()
+		for _, id := range autos {
+			_ = c.srv.cache.Unregister(id)
+		}
+		_ = c.tr.close()
+	}()
+	for {
+		msgID, payload, err := c.tr.readMessage()
+		if err != nil {
+			return
+		}
+		if len(payload) == 0 {
+			c.replyErr(msgID, errors.New("rpc: empty message"))
+			continue
+		}
+		if err := c.dispatch(msgID, payload[0], payload[1:]); err != nil {
+			return // transport write failure: connection is gone
+		}
+	}
+}
+
+func (c *serverConn) reply(msgID uint32, msgType byte, body func(*wire.Encoder) error) error {
+	e := wire.NewEncoder(64)
+	e.U8(msgType)
+	if body != nil {
+		if err := body(e); err != nil {
+			return c.replyErr(msgID, err)
+		}
+	}
+	return c.tr.writeMessage(msgID, e.Bytes())
+}
+
+func (c *serverConn) replyErr(msgID uint32, err error) error {
+	e := wire.NewEncoder(64)
+	e.U8(msgErr)
+	e.Str(err.Error())
+	return c.tr.writeMessage(msgID, e.Bytes())
+}
+
+func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
+	d := wire.NewDecoder(body)
+	switch msgType {
+	case msgPing:
+		return c.reply(msgID, msgPingOK, nil)
+
+	case msgExec:
+		src, err := d.Str()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		res, err := c.srv.cache.Exec(src)
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		return c.reply(msgID, msgExecOK, func(e *wire.Encoder) error {
+			return e.Result(res)
+		})
+
+	case msgInsert:
+		tbl, err := d.Str()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		vals, err := d.Values()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		if err := c.srv.cache.Insert(tbl, vals...); err != nil {
+			return c.replyErr(msgID, err)
+		}
+		return c.reply(msgID, msgInsertOK, nil)
+
+	case msgRegister:
+		src, err := d.Str()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		var autoID int64
+		sink := func(vals []types.Value) error {
+			e := wire.NewEncoder(128)
+			e.U8(msgSendEvent)
+			e.I64(autoID)
+			if err := e.Values(vals); err != nil {
+				return err
+			}
+			// Pushes use message id 0 (never a request id).
+			return c.tr.writeMessage(0, e.Bytes())
+		}
+		a, err := c.srv.cache.Register(src, sink)
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		autoID = a.ID()
+		c.mu.Lock()
+		c.autos = append(c.autos, autoID)
+		c.mu.Unlock()
+		return c.reply(msgID, msgRegisterOK, func(e *wire.Encoder) error {
+			e.I64(autoID)
+			return nil
+		})
+
+	case msgUnregister:
+		id, err := d.I64()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		c.mu.Lock()
+		owned := false
+		for i, a := range c.autos {
+			if a == id {
+				c.autos = append(c.autos[:i], c.autos[i+1:]...)
+				owned = true
+				break
+			}
+		}
+		c.mu.Unlock()
+		if !owned {
+			return c.replyErr(msgID, fmt.Errorf("rpc: automaton %d is not registered on this connection", id))
+		}
+		if err := c.srv.cache.Unregister(id); err != nil {
+			return c.replyErr(msgID, err)
+		}
+		return c.reply(msgID, msgUnregOK, nil)
+	}
+	return c.replyErr(msgID, fmt.Errorf("rpc: unknown message type %d", msgType))
+}

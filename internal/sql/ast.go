@@ -1,0 +1,113 @@
+package sql
+
+import (
+	"time"
+
+	"unicache/internal/types"
+)
+
+// Stmt is any parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// CreateStmt is `create table` / `create persistenttable`.
+type CreateStmt struct {
+	Schema *types.Schema
+}
+
+// InsertStmt is `insert into T [(cols)] values (...)
+// [on duplicate key update]`.
+type InsertStmt struct {
+	Table string
+	Cols  []string // empty means schema order
+	Vals  []Expr
+	OnDup bool
+}
+
+// WindowClause captures the continuous-query extensions on select.
+type WindowClause struct {
+	// Since restricts to tuples with TS strictly greater than the
+	// expression's value (the paper's `since τ`).
+	Since Expr
+	// Range keeps tuples within the trailing duration (`[range N seconds]`).
+	Range time.Duration
+	// Rows keeps the most recent N tuples (`[rows N]`).
+	Rows int
+}
+
+// SelectItem is one projection: a plain expression or an aggregate call.
+type SelectItem struct {
+	Agg  string // "", "count", "sum", "avg", "min", "max"
+	Star bool   // count(*)
+	Expr Expr   // nil for count(*)
+	As   string // output column label
+}
+
+// OrderBy names the sort column and direction.
+type OrderBy struct {
+	Col  string
+	Desc bool
+}
+
+// SelectStmt is an ad hoc query against one table.
+type SelectStmt struct {
+	Items   []SelectItem // nil means *
+	Table   string
+	Window  WindowClause
+	Where   Expr
+	GroupBy string
+	Order   *OrderBy
+	Limit   int // 0 = no limit
+}
+
+// UpdateStmt is `update T set c = e, ... [where p]` (persistent tables).
+type UpdateStmt struct {
+	Table string
+	Cols  []string
+	Vals  []Expr
+	Where Expr
+}
+
+// DeleteStmt is `delete from T [where p]` (persistent tables).
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// ShowTablesStmt is `show tables`: one row per table with its kind and
+// current row count.
+type ShowTablesStmt struct{}
+
+// DescribeStmt is `describe T`: one row per column with name, type and
+// key/kind information.
+type DescribeStmt struct {
+	Table string
+}
+
+func (*CreateStmt) stmt()     {}
+func (*InsertStmt) stmt()     {}
+func (*SelectStmt) stmt()     {}
+func (*UpdateStmt) stmt()     {}
+func (*DeleteStmt) stmt()     {}
+func (*ShowTablesStmt) stmt() {}
+func (*DescribeStmt) stmt()   {}
+
+// Expr is an evaluable expression. Row context supplies column values; it
+// is nil for row-free contexts (insert values, since clauses).
+type Expr interface {
+	Eval(row RowContext) (types.Value, error)
+	// Name returns a display label for projection headers.
+	Name() string
+}
+
+// RowContext resolves column references during evaluation.
+type RowContext interface {
+	Col(name string) (types.Value, error)
+}
+
+// Result is the answer to a select: column labels plus row values.
+type Result struct {
+	Cols []string
+	Rows [][]types.Value
+	// Affected counts rows written for insert/update/delete.
+	Affected int
+}

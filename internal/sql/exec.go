@@ -1,0 +1,592 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+
+	"unicache/internal/table"
+	"unicache/internal/types"
+)
+
+// Engine is the storage/commit surface the executor runs against. The
+// cache implements it; inserts must flow through the cache commit path so
+// that each stored tuple is also published on the table's topic.
+type Engine interface {
+	// LookupTable resolves a table by name.
+	LookupTable(name string) (table.Table, error)
+	// CreateTable installs a new table (and its topic).
+	CreateTable(schema *types.Schema) error
+	// CommitInsert coerces, stamps, stores and publishes one tuple.
+	CommitInsert(tableName string, vals []types.Value) error
+	// DeleteRow removes a persistent row by key, reporting whether it
+	// existed.
+	DeleteRow(tableName, key string) (bool, error)
+	// Tables lists the table (= topic) names.
+	Tables() []string
+	// Now returns the engine clock.
+	Now() types.Timestamp
+}
+
+// Exec runs a parsed statement against the engine.
+func Exec(eng Engine, st Stmt) (*Result, error) {
+	switch s := st.(type) {
+	case *CreateStmt:
+		if err := eng.CreateTable(s.Schema); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *InsertStmt:
+		return execInsert(eng, s)
+	case *SelectStmt:
+		return execSelect(eng, s)
+	case *UpdateStmt:
+		return execUpdate(eng, s)
+	case *DeleteStmt:
+		return execDelete(eng, s)
+	case *ShowTablesStmt:
+		return execShowTables(eng)
+	case *DescribeStmt:
+		return execDescribe(eng, s)
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %T", st)
+}
+
+func execShowTables(eng Engine) (*Result, error) {
+	res := &Result{Cols: []string{"table", "kind", "rows"}}
+	for _, name := range eng.Tables() {
+		tb, err := eng.LookupTable(name)
+		if err != nil {
+			return nil, err
+		}
+		kind := "stream"
+		if tb.Schema().Persistent {
+			kind = "persistent"
+		}
+		res.Rows = append(res.Rows, []types.Value{
+			types.Str(name), types.Str(kind), types.Int(int64(tb.Len())),
+		})
+	}
+	return res, nil
+}
+
+func execDescribe(eng Engine, s *DescribeStmt) (*Result, error) {
+	tb, err := eng.LookupTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tb.Schema()
+	res := &Result{Cols: []string{"column", "type", "key"}}
+	for i, col := range schema.Cols {
+		key := ""
+		if schema.Persistent && i == schema.Key {
+			key = "primary key"
+		} else if !schema.Persistent && i == 0 {
+			// Informational: streams are keyed by insertion time.
+		}
+		res.Rows = append(res.Rows, []types.Value{
+			types.Str(col.Name), types.Str(col.Type.String()), types.Str(key),
+		})
+	}
+	return res, nil
+}
+
+// ExecString parses and runs one statement.
+func ExecString(eng Engine, src string) (*Result, error) {
+	p := &Parser{Now: eng.Now}
+	st, err := p.ParseStmt(src)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(eng, st)
+}
+
+func execInsert(eng Engine, s *InsertStmt) (*Result, error) {
+	tb, err := eng.LookupTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tb.Schema()
+	// Note: the paper's on-duplicate-key-update modifier is implicit for
+	// persistent tables in this implementation (upsert is the only insert
+	// semantics a keyed heap supports); the parser accepts the modifier for
+	// compatibility. Using it on an ephemeral table is an error.
+	if s.OnDup && !schema.Persistent {
+		return nil, fmt.Errorf("sql: on duplicate key update needs a persistent table, %s is a stream", s.Table)
+	}
+	vals := make([]types.Value, len(s.Vals))
+	for i, e := range s.Vals {
+		v, err := e.Eval(nil)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	if len(s.Cols) > 0 {
+		reordered, err := reorderByColumns(schema, s.Cols, vals)
+		if err != nil {
+			return nil, err
+		}
+		vals = reordered
+	}
+	if err := eng.CommitInsert(s.Table, vals); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: 1}, nil
+}
+
+func reorderByColumns(schema *types.Schema, cols []string, vals []types.Value) ([]types.Value, error) {
+	if len(cols) != len(vals) {
+		return nil, fmt.Errorf("sql: %d columns but %d values", len(cols), len(vals))
+	}
+	if len(cols) != schema.NumCols() {
+		return nil, fmt.Errorf("sql: table %s has %d columns, insert names %d (partial inserts are not supported)",
+			schema.Name, schema.NumCols(), len(cols))
+	}
+	out := make([]types.Value, schema.NumCols())
+	seen := make([]bool, schema.NumCols())
+	for i, c := range cols {
+		idx := schema.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("sql: table %s has no column %q", schema.Name, c)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("sql: column %q named twice", c)
+		}
+		seen[idx] = true
+		out[idx] = vals[i]
+	}
+	return out, nil
+}
+
+func execSelect(eng Engine, s *SelectStmt) (*Result, error) {
+	tb, err := eng.LookupTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tb.Schema()
+
+	rows, err := gatherRows(eng, tb, &s.Window)
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Where != nil {
+		kept := rows[:0]
+		for _, t := range rows {
+			v, err := s.Where.Eval(tupleRow{schema: schema, tuple: t})
+			if err != nil {
+				return nil, err
+			}
+			b, ok := v.AsBool()
+			if !ok {
+				return nil, fmt.Errorf("sql: where clause must be boolean, got %s", v.Kind())
+			}
+			if b {
+				kept = append(kept, t)
+			}
+		}
+		rows = kept
+	}
+
+	hasAgg := false
+	for _, item := range s.Items {
+		if item.Agg != "" {
+			hasAgg = true
+			break
+		}
+	}
+
+	var res *Result
+	switch {
+	case s.GroupBy != "" || hasAgg:
+		res, err = aggregate(schema, s, rows)
+	default:
+		res, err = project(schema, s, rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Order != nil {
+		if err := orderResult(res, s.Order); err != nil {
+			return nil, err
+		}
+	}
+	if s.Limit > 0 && len(res.Rows) > s.Limit {
+		res.Rows = res.Rows[:s.Limit]
+	}
+	return res, nil
+}
+
+func gatherRows(eng Engine, tb table.Table, w *WindowClause) ([]*types.Tuple, error) {
+	var since types.Timestamp = -1
+	if w.Since != nil {
+		v, err := w.Since.Eval(nil)
+		if err != nil {
+			return nil, err
+		}
+		n, ok := v.NumAsInt()
+		if !ok {
+			return nil, fmt.Errorf("sql: since expects a tstamp, got %s", v.Kind())
+		}
+		since = types.Timestamp(n)
+	}
+	if w.Range > 0 {
+		cut := eng.Now().Add(-w.Range)
+		if cut > since {
+			since = cut
+		}
+	}
+	var rows []*types.Tuple
+	collect := func(t *types.Tuple) bool {
+		rows = append(rows, t)
+		return true
+	}
+	if since >= 0 {
+		tb.ScanSince(since, collect)
+	} else {
+		tb.Scan(collect)
+	}
+	if w.Rows > 0 && len(rows) > w.Rows {
+		rows = rows[len(rows)-w.Rows:]
+	}
+	return rows, nil
+}
+
+func project(schema *types.Schema, s *SelectStmt, rows []*types.Tuple) (*Result, error) {
+	res := &Result{}
+	if s.Items == nil { // select *
+		for _, c := range schema.Cols {
+			res.Cols = append(res.Cols, c.Name)
+		}
+		for _, t := range rows {
+			res.Rows = append(res.Rows, append([]types.Value(nil), t.Vals...))
+		}
+		return res, nil
+	}
+	for _, item := range s.Items {
+		res.Cols = append(res.Cols, item.As)
+	}
+	for _, t := range rows {
+		ctx := tupleRow{schema: schema, tuple: t}
+		out := make([]types.Value, len(s.Items))
+		for i, item := range s.Items {
+			v, err := item.Expr.Eval(ctx)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	first bool
+	min   types.Value
+	max   types.Value
+}
+
+func (a *aggState) observe(v types.Value) error {
+	a.count++
+	switch v.Kind() {
+	case types.KindInt, types.KindTstamp:
+		n, _ := v.NumAsInt()
+		a.sumI += n
+		a.sum += float64(n)
+		if !a.first {
+			a.isInt = true
+		}
+	case types.KindReal:
+		f, _ := v.AsReal()
+		a.sum += f
+		a.isInt = false
+	default:
+		// min/max still work for strings; sum/avg will reject later.
+		a.sum = 0
+	}
+	if !a.first {
+		a.first = true
+		a.min, a.max = v, v
+		return nil
+	}
+	if c, err := types.Compare(v, a.min); err == nil && c < 0 {
+		a.min = v
+	}
+	if c, err := types.Compare(v, a.max); err == nil && c > 0 {
+		a.max = v
+	}
+	return nil
+}
+
+func (a *aggState) result(fn string, argKind types.Kind) (types.Value, error) {
+	switch fn {
+	case "count":
+		return types.Int(a.count), nil
+	case "sum":
+		if !argKind.Numeric() && a.count > 0 {
+			return types.Nil, fmt.Errorf("sql: sum needs a numeric column")
+		}
+		if a.isInt {
+			return types.Int(a.sumI), nil
+		}
+		return types.Real(a.sum), nil
+	case "avg":
+		if a.count == 0 {
+			return types.Real(0), nil
+		}
+		if !argKind.Numeric() {
+			return types.Nil, fmt.Errorf("sql: avg needs a numeric column")
+		}
+		return types.Real(a.sum / float64(a.count)), nil
+	case "min":
+		if !a.first {
+			return types.Nil, nil
+		}
+		return a.min, nil
+	case "max":
+		if !a.first {
+			return types.Nil, nil
+		}
+		return a.max, nil
+	}
+	return types.Nil, fmt.Errorf("sql: unknown aggregate %q", fn)
+}
+
+func aggregate(schema *types.Schema, s *SelectStmt, rows []*types.Tuple) (*Result, error) {
+	if s.Items == nil {
+		return nil, fmt.Errorf("sql: group by requires an explicit select list")
+	}
+	type group struct {
+		key    string
+		sample *types.Tuple
+		states []*aggState
+	}
+	newGroup := func(key string, sample *types.Tuple) *group {
+		g := &group{key: key, sample: sample, states: make([]*aggState, len(s.Items))}
+		for i := range g.states {
+			g.states[i] = &aggState{}
+		}
+		return g
+	}
+
+	groups := make(map[string]*group)
+	var order []*group
+	for _, t := range rows {
+		key := ""
+		if s.GroupBy != "" {
+			ctx := tupleRow{schema: schema, tuple: t}
+			kv, err := ctx.Col(s.GroupBy)
+			if err != nil {
+				return nil, err
+			}
+			key = types.KeyString(kv)
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = newGroup(key, t)
+			groups[key] = g
+			order = append(order, g)
+		}
+		ctx := tupleRow{schema: schema, tuple: t}
+		for i, item := range s.Items {
+			if item.Agg == "" {
+				continue
+			}
+			if item.Star {
+				g.states[i].count++
+				continue
+			}
+			v, err := item.Expr.Eval(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.states[i].observe(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Aggregates over zero rows (no group by) still produce one row.
+	if len(order) == 0 && s.GroupBy == "" {
+		order = append(order, newGroup("", nil))
+	}
+
+	res := &Result{}
+	for _, item := range s.Items {
+		res.Cols = append(res.Cols, item.As)
+	}
+	for _, g := range order {
+		out := make([]types.Value, len(s.Items))
+		for i, item := range s.Items {
+			if item.Agg != "" {
+				argKind := types.KindInt
+				if !item.Star && g.sample != nil {
+					ctx := tupleRow{schema: schema, tuple: g.sample}
+					if v, err := item.Expr.Eval(ctx); err == nil {
+						argKind = v.Kind()
+					}
+				}
+				v, err := g.states[i].result(item.Agg, argKind)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+				continue
+			}
+			// Non-aggregate item inside an aggregate query: evaluate on a
+			// representative row of the group (the group-by column is the
+			// intended use).
+			if g.sample == nil {
+				out[i] = types.Nil
+				continue
+			}
+			v, err := item.Expr.Eval(tupleRow{schema: schema, tuple: g.sample})
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func orderResult(res *Result, ob *OrderBy) error {
+	idx := -1
+	for i, c := range res.Cols {
+		if eqFold(c, ob.Col) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("sql: order by column %q is not in the select list", ob.Col)
+	}
+	var sortErr error
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		c, err := types.Compare(res.Rows[i][idx], res.Rows[j][idx])
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		if ob.Desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	return sortErr
+}
+
+func execUpdate(eng Engine, s *UpdateStmt) (*Result, error) {
+	tb, err := eng.LookupTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tb.Schema()
+	if !schema.Persistent {
+		return nil, fmt.Errorf("sql: update needs a persistent table, %s is an append-only stream", s.Table)
+	}
+	colIdx := make([]int, len(s.Cols))
+	for i, c := range s.Cols {
+		idx := schema.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("sql: table %s has no column %q", s.Table, c)
+		}
+		colIdx[i] = idx
+	}
+
+	// Collect matching rows first, then re-insert through the commit path so
+	// updates are published like any other event.
+	var updated [][]types.Value
+	var scanErr error
+	tb.Scan(func(t *types.Tuple) bool {
+		ctx := tupleRow{schema: schema, tuple: t}
+		if s.Where != nil {
+			v, err := s.Where.Eval(ctx)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			b, ok := v.AsBool()
+			if !ok {
+				scanErr = fmt.Errorf("sql: where clause must be boolean")
+				return false
+			}
+			if !b {
+				return true
+			}
+		}
+		vals := append([]types.Value(nil), t.Vals...)
+		for i, e := range s.Vals {
+			v, err := e.Eval(ctx)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			vals[colIdx[i]] = v
+		}
+		updated = append(updated, vals)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	for _, vals := range updated {
+		if err := eng.CommitInsert(s.Table, vals); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(updated)}, nil
+}
+
+func execDelete(eng Engine, s *DeleteStmt) (*Result, error) {
+	tb, err := eng.LookupTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tb.Schema()
+	pt, ok := tb.(*table.Persistent)
+	if !ok || !schema.Persistent {
+		return nil, fmt.Errorf("sql: delete needs a persistent table, %s is an append-only stream", s.Table)
+	}
+	var keys []string
+	var scanErr error
+	tb.Scan(func(t *types.Tuple) bool {
+		if s.Where != nil {
+			v, err := s.Where.Eval(tupleRow{schema: schema, tuple: t})
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			b, bok := v.AsBool()
+			if !bok {
+				scanErr = fmt.Errorf("sql: where clause must be boolean")
+				return false
+			}
+			if !b {
+				return true
+			}
+		}
+		keys = append(keys, pt.KeyOf(t))
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	n := 0
+	for _, key := range keys {
+		existed, err := eng.DeleteRow(s.Table, key)
+		if err != nil {
+			return nil, err
+		}
+		if existed {
+			n++
+		}
+	}
+	return &Result{Affected: n}, nil
+}

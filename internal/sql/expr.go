@@ -1,0 +1,163 @@
+package sql
+
+import (
+	"fmt"
+
+	"unicache/internal/types"
+)
+
+// litExpr is a literal value.
+type litExpr struct {
+	v types.Value
+}
+
+func (e *litExpr) Eval(RowContext) (types.Value, error) { return e.v, nil }
+func (e *litExpr) Name() string                         { return e.v.String() }
+
+// colExpr references a column by name.
+type colExpr struct {
+	col string
+}
+
+func (e *colExpr) Eval(row RowContext) (types.Value, error) {
+	if row == nil {
+		return types.Nil, fmt.Errorf("column %q referenced outside a row context", e.col)
+	}
+	return row.Col(e.col)
+}
+func (e *colExpr) Name() string { return e.col }
+
+// unaryExpr is -x or not x.
+type unaryExpr struct {
+	op string
+	x  Expr
+}
+
+func (e *unaryExpr) Eval(row RowContext) (types.Value, error) {
+	v, err := e.x.Eval(row)
+	if err != nil {
+		return types.Nil, err
+	}
+	switch e.op {
+	case "-":
+		return types.Neg(v)
+	case "not":
+		return types.Not(v)
+	}
+	return types.Nil, fmt.Errorf("unknown unary operator %q", e.op)
+}
+func (e *unaryExpr) Name() string { return e.op + e.x.Name() }
+
+// binExpr is a binary operation.
+type binExpr struct {
+	op   string
+	l, r Expr
+}
+
+func (e *binExpr) Eval(row RowContext) (types.Value, error) {
+	// Short-circuit logical operators.
+	switch e.op {
+	case "and", "or":
+		lv, err := e.l.Eval(row)
+		if err != nil {
+			return types.Nil, err
+		}
+		lb, ok := lv.AsBool()
+		if !ok {
+			return types.Nil, fmt.Errorf("%s needs bool operands", e.op)
+		}
+		if e.op == "and" && !lb {
+			return types.Bool(false), nil
+		}
+		if e.op == "or" && lb {
+			return types.Bool(true), nil
+		}
+		rv, err := e.r.Eval(row)
+		if err != nil {
+			return types.Nil, err
+		}
+		rb, ok := rv.AsBool()
+		if !ok {
+			return types.Nil, fmt.Errorf("%s needs bool operands", e.op)
+		}
+		return types.Bool(rb), nil
+	}
+	lv, err := e.l.Eval(row)
+	if err != nil {
+		return types.Nil, err
+	}
+	rv, err := e.r.Eval(row)
+	if err != nil {
+		return types.Nil, err
+	}
+	switch e.op {
+	case "+":
+		return types.Add(lv, rv)
+	case "-":
+		return types.Sub(lv, rv)
+	case "*":
+		return types.Mul(lv, rv)
+	case "/":
+		return types.Div(lv, rv)
+	case "%":
+		return types.Mod(lv, rv)
+	case "=", "==":
+		return types.CompareOp("==", lv, rv)
+	case "<>", "!=":
+		return types.CompareOp("!=", lv, rv)
+	case "<", "<=", ">", ">=":
+		return types.CompareOp(e.op, lv, rv)
+	}
+	return types.Nil, fmt.Errorf("unknown operator %q", e.op)
+}
+func (e *binExpr) Name() string { return e.l.Name() + e.op + e.r.Name() }
+
+// callExpr supports the scalar function now().
+type callExpr struct {
+	fn  string
+	now func() types.Timestamp
+}
+
+func (e *callExpr) Eval(RowContext) (types.Value, error) {
+	if e.fn == "now" {
+		return types.Stamp(e.now()), nil
+	}
+	return types.Nil, fmt.Errorf("unknown function %q", e.fn)
+}
+func (e *callExpr) Name() string { return e.fn + "()" }
+
+// tupleRow adapts a tuple+schema to RowContext; the pseudo-column tstamp
+// resolves to the insertion timestamp.
+type tupleRow struct {
+	schema *types.Schema
+	tuple  *types.Tuple
+}
+
+func (r tupleRow) Col(name string) (types.Value, error) {
+	if i := r.schema.ColIndex(name); i >= 0 {
+		return r.tuple.Vals[i], nil
+	}
+	if eqFold(name, "tstamp") {
+		return types.Stamp(r.tuple.TS), nil
+	}
+	return types.Nil, fmt.Errorf("table %s has no column %q", r.schema.Name, name)
+}
+
+func eqFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

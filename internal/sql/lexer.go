@@ -1,0 +1,137 @@
+// Package sql implements the cache's SQL dialect: create table / create
+// persistenttable, insert (with on duplicate key update), and ad hoc select
+// queries augmented with the paper's continuous extensions — `since τ`,
+// `[range N seconds]` and `[rows N]` windows — plus where, group by,
+// order by and limit, and update/delete over persistent tables (§3).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers lowercased copy in lower; literals raw
+	raw  string // original spelling (for identifiers / errors)
+	pos  int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// SQL line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		raw := l.src[start:l.pos]
+		return token{kind: tokIdent, text: strings.ToLower(raw), raw: raw, pos: start}, nil
+	case c >= '0' && c <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], raw: l.src[start:l.pos], pos: start}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == quote {
+				// Doubled quote escapes itself ('' -> ').
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+					b.WriteByte(quote)
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), raw: b.String(), pos: start}, nil
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"<=", ">=", "<>", "!="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return token{kind: tokPunct, text: op, raw: op, pos: start}, nil
+			}
+		}
+		switch c {
+		case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '%', '[', ']', ';', '.':
+			l.pos++
+			s := string(c)
+			return token{kind: tokPunct, text: s, raw: s, pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

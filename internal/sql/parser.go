@@ -1,0 +1,654 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"unicache/internal/types"
+)
+
+// Parser turns SQL text into statements. Now supplies the clock used by the
+// now() scalar function (defaults to wall clock).
+type Parser struct {
+	Now func() types.Timestamp
+
+	toks []token
+	pos  int
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Stmt, error) {
+	p := &Parser{Now: types.Now}
+	return p.ParseStmt(src)
+}
+
+// ParseStmt parses a single statement using the parser's clock.
+func (p *Parser) ParseStmt(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p.toks, p.pos = toks, 0
+	if p.Now == nil {
+		p.Now = types.Now
+	}
+	var st Stmt
+	switch {
+	case p.peekIdent("create"):
+		st, err = p.parseCreate()
+	case p.peekIdent("insert"):
+		st, err = p.parseInsert()
+	case p.peekIdent("select"):
+		st, err = p.parseSelect()
+	case p.peekIdent("update"):
+		st, err = p.parseUpdate()
+	case p.peekIdent("delete"):
+		st, err = p.parseDelete()
+	case p.peekIdent("show"):
+		p.pos++
+		err = p.expectIdentWord("tables")
+		st = &ShowTablesStmt{}
+	case p.peekIdent("describe"), p.peekIdent("desc"):
+		p.pos++
+		var name string
+		name, err = p.expectName()
+		st = &DescribeStmt{Table: name}
+	default:
+		return nil, fmt.Errorf("sql: expected a statement, got %q", p.peek().raw)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.acceptPunct(";")
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input starting at %q", p.peek().raw)
+	}
+	return st, nil
+}
+
+// --- token helpers ---
+
+func (p *Parser) peek() token { return p.toks[p.pos] }
+
+func (p *Parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) peekIdent(word string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == word
+}
+
+func (p *Parser) acceptIdent(word string) bool {
+	if p.peekIdent(word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectIdentWord(word string) error {
+	if !p.acceptIdent(word) {
+		return fmt.Errorf("sql: expected %q, got %q", word, p.peek().raw)
+	}
+	return nil
+}
+
+func (p *Parser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("sql: expected %q, got %q", s, p.peek().raw)
+	}
+	return nil
+}
+
+func (p *Parser) expectName() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected a name, got %q", t.raw)
+	}
+	p.pos++
+	return t.raw, nil
+}
+
+func (p *Parser) expectInt() (int, error) {
+	t := p.peek()
+	if t.kind != tokNumber || strings.Contains(t.text, ".") {
+		return 0, fmt.Errorf("sql: expected an integer, got %q", t.raw)
+	}
+	p.pos++
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("sql: bad integer %q: %w", t.raw, err)
+	}
+	return n, nil
+}
+
+// --- statements ---
+
+func (p *Parser) parseCreate() (Stmt, error) {
+	p.pos++ // create
+	persistent := false
+	switch {
+	case p.acceptIdent("table"):
+	case p.acceptIdent("persistenttable"):
+		persistent = true
+	case p.acceptIdent("persistent"):
+		if err := p.expectIdentWord("table"); err != nil {
+			return nil, err
+		}
+		persistent = true
+	default:
+		return nil, fmt.Errorf("sql: expected TABLE or PERSISTENTTABLE after CREATE, got %q", p.peek().raw)
+	}
+	name, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []types.Column
+	key := -1
+	for {
+		colName, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		col, err := p.parseColType(colName)
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptIdent("primary") {
+			if err := p.expectIdentWord("key"); err != nil {
+				return nil, err
+			}
+			if key >= 0 {
+				return nil, fmt.Errorf("sql: table %s declares two primary keys", name)
+			}
+			key = len(cols)
+		}
+		cols = append(cols, col)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if persistent && key < 0 {
+		key = 0 // the paper: the primary key is the first defined field
+	}
+	schema, err := types.NewSchema(name, persistent, key, cols...)
+	if err != nil {
+		return nil, fmt.Errorf("sql: %w", err)
+	}
+	return &CreateStmt{Schema: schema}, nil
+}
+
+func (p *Parser) parseColType(colName string) (types.Column, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return types.Column{}, fmt.Errorf("sql: expected a type for column %s, got %q", colName, t.raw)
+	}
+	p.pos++
+	col := types.Column{Name: colName}
+	switch t.text {
+	case "integer", "int", "bigint":
+		col.Type = types.ColInt
+	case "real", "float", "double":
+		col.Type = types.ColReal
+	case "varchar", "text", "string":
+		col.Type = types.ColVarchar
+		if p.acceptPunct("(") {
+			n, err := p.expectInt()
+			if err != nil {
+				return types.Column{}, err
+			}
+			col.Width = n
+			if err := p.expectPunct(")"); err != nil {
+				return types.Column{}, err
+			}
+		}
+	case "boolean", "bool":
+		col.Type = types.ColBool
+	case "tstamp", "timestamp":
+		col.Type = types.ColTstamp
+	default:
+		return types.Column{}, fmt.Errorf("sql: unknown column type %q", t.raw)
+	}
+	return col, nil
+}
+
+func (p *Parser) parseInsert() (Stmt, error) {
+	p.pos++ // insert
+	if err := p.expectIdentWord("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	if p.acceptPunct("(") {
+		for {
+			col, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectIdentWord("values"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		st.Vals = append(st.Vals, e)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptIdent("on") {
+		for _, w := range []string{"duplicate", "key", "update"} {
+			if err := p.expectIdentWord(w); err != nil {
+				return nil, err
+			}
+		}
+		st.OnDup = true
+	}
+	return st, nil
+}
+
+func (p *Parser) parseSelect() (Stmt, error) {
+	p.pos++ // select
+	st := &SelectStmt{}
+	if p.acceptPunct("*") {
+		// all columns
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			st.Items = append(st.Items, item)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectIdentWord("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+
+	for {
+		switch {
+		case p.acceptIdent("since"):
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			st.Window.Since = e
+		case p.acceptPunct("["):
+			if err := p.parseWindowBracket(&st.Window); err != nil {
+				return nil, err
+			}
+		case p.acceptIdent("where"):
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			st.Where = e
+		case p.acceptIdent("group"):
+			if err := p.expectIdentWord("by"); err != nil {
+				return nil, err
+			}
+			col, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = col
+		case p.acceptIdent("order"):
+			if err := p.expectIdentWord("by"); err != nil {
+				return nil, err
+			}
+			col, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			ob := &OrderBy{Col: col}
+			if p.acceptIdent("desc") {
+				ob.Desc = true
+			} else {
+				p.acceptIdent("asc")
+			}
+			st.Order = ob
+		case p.acceptIdent("limit"):
+			n, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if n <= 0 {
+				return nil, fmt.Errorf("sql: limit must be positive")
+			}
+			st.Limit = n
+		default:
+			return st, nil
+		}
+	}
+}
+
+func (p *Parser) parseWindowBracket(w *WindowClause) error {
+	switch {
+	case p.acceptIdent("range"):
+		n, err := p.expectInt()
+		if err != nil {
+			return err
+		}
+		unit := time.Second
+		switch {
+		case p.acceptIdent("seconds"), p.acceptIdent("second"), p.acceptIdent("secs"), p.acceptIdent("sec"):
+		case p.acceptIdent("minutes"), p.acceptIdent("minute"), p.acceptIdent("mins"), p.acceptIdent("min"):
+			unit = time.Minute
+		case p.acceptIdent("hours"), p.acceptIdent("hour"):
+			unit = time.Hour
+		case p.acceptIdent("milliseconds"), p.acceptIdent("ms"):
+			unit = time.Millisecond
+		default:
+			return fmt.Errorf("sql: expected a time unit in [range ...], got %q", p.peek().raw)
+		}
+		w.Range = time.Duration(n) * unit
+	case p.acceptIdent("rows"):
+		n, err := p.expectInt()
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return fmt.Errorf("sql: [rows N] needs N > 0")
+		}
+		w.Rows = n
+	default:
+		return fmt.Errorf("sql: expected RANGE or ROWS in window clause, got %q", p.peek().raw)
+	}
+	return p.expectPunct("]")
+}
+
+var aggNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokIdent && aggNames[t.text] &&
+		p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+		agg := t.text
+		p.pos += 2 // name (
+		item := SelectItem{Agg: agg}
+		if p.acceptPunct("*") {
+			if agg != "count" {
+				return SelectItem{}, fmt.Errorf("sql: %s(*) is not supported; only count(*)", agg)
+			}
+			item.Star = true
+		} else {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Expr = e
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return SelectItem{}, err
+		}
+		item.As = agg + "(" + p.itemArgName(item) + ")"
+		if p.acceptIdent("as") {
+			name, err := p.expectName()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.As = name
+		}
+		return item, nil
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e, As: e.Name()}
+	if p.acceptIdent("as") {
+		name, err := p.expectName()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.As = name
+	}
+	return item, nil
+}
+
+func (p *Parser) itemArgName(item SelectItem) string {
+	if item.Star {
+		return "*"
+	}
+	return item.Expr.Name()
+}
+
+func (p *Parser) parseUpdate() (Stmt, error) {
+	p.pos++ // update
+	name, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdentWord("set"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name}
+	for {
+		col, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, col)
+		st.Vals = append(st.Vals, e)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptIdent("where") {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *Parser) parseDelete() (Stmt, error) {
+	p.pos++ // delete
+	if err := p.expectIdentWord("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name}
+	if p.acceptIdent("where") {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+// --- expressions (precedence climbing) ---
+
+func binPrec(op string) int {
+	switch op {
+	case "or":
+		return 1
+	case "and":
+		return 2
+	case "=", "==", "<>", "!=", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/", "%":
+		return 5
+	}
+	return 0
+}
+
+func (p *Parser) peekBinOp() (string, bool) {
+	t := p.peek()
+	switch t.kind {
+	case tokPunct:
+		if binPrec(t.text) > 0 {
+			return t.text, true
+		}
+	case tokIdent:
+		if t.text == "and" || t.text == "or" {
+			return t.text, true
+		}
+	}
+	return "", false
+}
+
+func (p *Parser) parseExpr(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.peekBinOp()
+		if !ok || binPrec(op) <= minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseExpr(binPrec(op))
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{op: op, l: left, r: right}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.acceptPunct("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "-", x: x}, nil
+	}
+	if p.acceptIdent("not") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: "not", x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q: %w", t.raw, err)
+			}
+			return &litExpr{v: types.Real(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q: %w", t.raw, err)
+		}
+		return &litExpr{v: types.Int(n)}, nil
+	case tokString:
+		p.pos++
+		return &litExpr{v: types.Str(t.text)}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			p.pos++
+			return &litExpr{v: types.Bool(true)}, nil
+		case "false":
+			p.pos++
+			return &litExpr{v: types.Bool(false)}, nil
+		case "now":
+			if p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == "(" {
+				p.pos += 2
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return &callExpr{fn: "now", now: p.Now}, nil
+			}
+		}
+		p.pos++
+		return &colExpr{col: t.raw}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q in expression", t.raw)
+}

@@ -1,0 +1,190 @@
+package sql
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSelectExpressionsWithoutTableColumns(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (v integer)`)
+	mustExec(t, e, `insert into T values (1)`)
+	res := mustExec(t, e, `select 1 + 2 as three, 'label' from T`)
+	if res.Rows[0][0].String() != "3" || res.Rows[0][1].String() != "label" {
+		t.Errorf("constant projection = %+v", res.Rows[0])
+	}
+}
+
+func TestWhereOnPersistentTemporalOrder(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create persistenttable KV (k varchar primary key, v integer)`)
+	mustExec(t, e, `insert into KV values ('a', 1)`)
+	mustExec(t, e, `insert into KV values ('b', 2)`)
+	mustExec(t, e, `insert into KV values ('a', 3)`) // refresh: a moves last
+	res := mustExec(t, e, `select k from KV`)
+	if len(res.Rows) != 2 || res.Rows[0][0].String() != "b" || res.Rows[1][0].String() != "a" {
+		t.Errorf("temporal order after upsert = %+v", res.Rows)
+	}
+}
+
+func TestGroupByWithWhereAndWindow(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (g varchar, v integer)`)
+	for i := 1; i <= 10; i++ {
+		g := "a"
+		if i%2 == 0 {
+			g = "b"
+		}
+		mustExec(t, e, fmt.Sprintf(`insert into T values ('%s', %d)`, g, i))
+	}
+	// Last 6 rows = 5..10; where v > 5 keeps 6..10; groups: a{7,9} b{6,8,10}.
+	res := mustExec(t, e, `select g, count(*) as n, sum(v) as s from T [rows 6] where v > 5 group by g order by g`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].String() != "a" || res.Rows[0][1].String() != "2" || res.Rows[0][2].String() != "16" {
+		t.Errorf("group a = %+v", res.Rows[0])
+	}
+	if res.Rows[1][0].String() != "b" || res.Rows[1][1].String() != "3" || res.Rows[1][2].String() != "24" {
+		t.Errorf("group b = %+v", res.Rows[1])
+	}
+}
+
+func TestOrderByTstampDesc(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (v integer)`)
+	for i := 1; i <= 3; i++ {
+		mustExec(t, e, fmt.Sprintf(`insert into T values (%d)`, i))
+	}
+	res := mustExec(t, e, `select tstamp, v from T order by tstamp desc limit 1`)
+	if res.Rows[0][1].String() != "3" {
+		t.Errorf("latest row = %+v", res.Rows[0])
+	}
+}
+
+func TestAvgOfIntsIsReal(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (v integer)`)
+	mustExec(t, e, `insert into T values (1)`)
+	mustExec(t, e, `insert into T values (2)`)
+	res := mustExec(t, e, `select avg(v) from T`)
+	if f, ok := res.Rows[0][0].AsReal(); !ok || f != 1.5 {
+		t.Errorf("avg = %v", res.Rows[0][0])
+	}
+	// sum of ints stays int.
+	res = mustExec(t, e, `select sum(v) from T`)
+	if _, ok := res.Rows[0][0].AsInt(); !ok {
+		t.Errorf("sum kind = %v", res.Rows[0][0].Kind())
+	}
+	// sum over reals is real.
+	mustExec(t, e, `create table R (v real)`)
+	mustExec(t, e, `insert into R values (1.5)`)
+	res = mustExec(t, e, `select sum(v) from R`)
+	if _, ok := res.Rows[0][0].AsReal(); !ok {
+		t.Errorf("real sum kind = %v", res.Rows[0][0].Kind())
+	}
+}
+
+func TestUpdateArithmeticReferencesOldRow(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create persistenttable KV (k varchar primary key, v integer)`)
+	mustExec(t, e, `insert into KV values ('a', 10)`)
+	mustExec(t, e, `update KV set v = v + v`)
+	res := mustExec(t, e, `select v from KV`)
+	if res.Rows[0][0].String() != "20" {
+		t.Errorf("v = %v", res.Rows[0][0])
+	}
+}
+
+func TestDivisionByZeroInWhereSurfaces(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (v integer)`)
+	mustExec(t, e, `insert into T values (0)`)
+	execErr(t, e, `select * from T where 1 / v = 1`)
+}
+
+func TestWhereMustBeBoolean(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (v integer)`)
+	mustExec(t, e, `insert into T values (1)`)
+	execErr(t, e, `select * from T where v`)
+	execErr(t, e, `update T set v = 1 where v`)
+}
+
+func TestGroupByStarRequiresExplicitList(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (g varchar, v integer)`)
+	mustExec(t, e, `insert into T values ('a', 1)`)
+	execErr(t, e, `select * from T group by g`)
+}
+
+func TestSinceWithExpression(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (v integer)`)
+	for i := 0; i < 3; i++ {
+		mustExec(t, e, fmt.Sprintf(`insert into T values (%d)`, i))
+	}
+	// TS are 1001..1003; since 1000+1 excludes the first row.
+	res := mustExec(t, e, `select count(*) from T since 1000 + 1`)
+	if res.Rows[0][0].String() != "2" {
+		t.Errorf("since expr = %v", res.Rows[0][0])
+	}
+	execErr(t, e, `select * from T since 'text'`)
+}
+
+func TestAggregatesRespectWhereBeforeGrouping(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (g varchar, v integer)`)
+	mustExec(t, e, `insert into T values ('a', 1)`)
+	mustExec(t, e, `insert into T values ('a', 100)`)
+	res := mustExec(t, e, `select g, max(v) from T where v < 50 group by g`)
+	if res.Rows[0][1].String() != "1" {
+		t.Errorf("where-then-group = %+v", res.Rows[0])
+	}
+}
+
+func TestMinMaxOverTstamp(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (v integer)`)
+	mustExec(t, e, `insert into T values (1)`)
+	mustExec(t, e, `insert into T values (2)`)
+	res := mustExec(t, e, `select min(tstamp), max(tstamp) from T`)
+	lo, _ := res.Rows[0][0].AsStamp()
+	hi, _ := res.Rows[0][1].AsStamp()
+	if lo >= hi {
+		t.Errorf("tstamp min/max = %v, %v", lo, hi)
+	}
+}
+
+func TestShowTablesAndDescribe(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table S (v integer)`)
+	mustExec(t, e, `create persistenttable P (k varchar primary key, v integer)`)
+	mustExec(t, e, `insert into S values (1)`)
+	mustExec(t, e, `insert into S values (2)`)
+
+	res := mustExec(t, e, `show tables`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("show tables rows = %d", len(res.Rows))
+	}
+	// Sorted: P then S.
+	if res.Rows[0][0].String() != "P" || res.Rows[0][1].String() != "persistent" {
+		t.Errorf("row P = %+v", res.Rows[0])
+	}
+	if res.Rows[1][0].String() != "S" || res.Rows[1][1].String() != "stream" ||
+		res.Rows[1][2].String() != "2" {
+		t.Errorf("row S = %+v", res.Rows[1])
+	}
+
+	res = mustExec(t, e, `describe P`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("describe rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].String() != "k" || res.Rows[0][2].String() != "primary key" {
+		t.Errorf("describe k = %+v", res.Rows[0])
+	}
+	// desc alias works; unknown table errors.
+	mustExec(t, e, `desc S`)
+	execErr(t, e, `describe Nope`)
+	execErr(t, e, `show banana`)
+}

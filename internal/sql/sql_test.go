@@ -1,0 +1,460 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"unicache/internal/table"
+	"unicache/internal/types"
+)
+
+// testEngine is a minimal Engine without pub/sub: inserts stamp and store.
+type testEngine struct {
+	tables map[string]table.Table
+	clock  types.Timestamp
+	seq    uint64
+}
+
+func newTestEngine() *testEngine {
+	return &testEngine{tables: make(map[string]table.Table), clock: 1000}
+}
+
+func (e *testEngine) LookupTable(name string) (table.Table, error) {
+	tb, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("no such table %q", name)
+	}
+	return tb, nil
+}
+
+func (e *testEngine) CreateTable(schema *types.Schema) error {
+	if _, dup := e.tables[schema.Name]; dup {
+		return fmt.Errorf("table %q already exists", schema.Name)
+	}
+	tb, err := table.New(schema, 1024)
+	if err != nil {
+		return err
+	}
+	e.tables[schema.Name] = tb
+	return nil
+}
+
+func (e *testEngine) CommitInsert(name string, vals []types.Value) error {
+	tb, err := e.LookupTable(name)
+	if err != nil {
+		return err
+	}
+	coerced, err := tb.Schema().Coerce(vals)
+	if err != nil {
+		return err
+	}
+	e.seq++
+	e.clock++
+	_, err = tb.Insert(&types.Tuple{Seq: e.seq, TS: e.clock, Vals: coerced})
+	return err
+}
+
+func (e *testEngine) DeleteRow(name, key string) (bool, error) {
+	tb, err := e.LookupTable(name)
+	if err != nil {
+		return false, err
+	}
+	pt, ok := tb.(*table.Persistent)
+	if !ok {
+		return false, fmt.Errorf("table %q is not persistent", name)
+	}
+	return pt.Delete(key), nil
+}
+
+func (e *testEngine) Tables() []string {
+	names := make([]string, 0, len(e.tables))
+	for name := range e.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (e *testEngine) Now() types.Timestamp { return e.clock }
+
+func mustExec(t *testing.T, e *testEngine, src string) *Result {
+	t.Helper()
+	res, err := ExecString(e, src)
+	if err != nil {
+		t.Fatalf("exec %q: %v", src, err)
+	}
+	return res
+}
+
+func execErr(t *testing.T, e *testEngine, src string) error {
+	t.Helper()
+	_, err := ExecString(e, src)
+	if err == nil {
+		t.Fatalf("exec %q: expected error", src)
+	}
+	return err
+}
+
+func setupFlows(t *testing.T) *testEngine {
+	t.Helper()
+	e := newTestEngine()
+	mustExec(t, e, `create table Flows (protocol integer, srcip varchar(16),
+		sport integer, dstip varchar(16), dport integer, npkts integer, nbytes integer)`)
+	return e
+}
+
+func TestCreateTableFromPaper(t *testing.T) {
+	e := setupFlows(t)
+	tb, err := e.LookupTable("Flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.Schema()
+	if s.Persistent || s.NumCols() != 7 || s.Key != -1 {
+		t.Errorf("Flows schema wrong: %s", s)
+	}
+	if s.Cols[1].Width != 16 {
+		t.Errorf("varchar width = %d", s.Cols[1].Width)
+	}
+}
+
+func TestCreatePersistentTableFromPaper(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create persistenttable Allowances (ipaddr varchar(16) primary key, bytes integer)`)
+	tb, _ := e.LookupTable("Allowances")
+	s := tb.Schema()
+	if !s.Persistent || s.Key != 0 {
+		t.Errorf("Allowances schema wrong: %s", s)
+	}
+	// "create persistent table" (two words) also accepted.
+	mustExec(t, e, `create persistent table BWUsage (ipaddr varchar(16) primary key, bytes integer)`)
+	// Primary key defaults to the first field when not named.
+	mustExec(t, e, `create persistenttable P2 (k varchar, v integer)`)
+	tb, _ = e.LookupTable("P2")
+	if tb.Schema().Key != 0 {
+		t.Error("default primary key should be first column")
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	e := newTestEngine()
+	execErr(t, e, `create table`)
+	execErr(t, e, `create table T`)
+	execErr(t, e, `create table T (a integer, a integer)`)
+	execErr(t, e, `create table T (a wibble)`)
+	execErr(t, e, `create table T (a integer primary key, b integer primary key)`)
+	execErr(t, e, `create banana T (a integer)`)
+	mustExec(t, e, `create table T (a integer)`)
+	execErr(t, e, `create table T (a integer)`) // duplicate
+}
+
+func TestInsertAndSelectStar(t *testing.T) {
+	e := setupFlows(t)
+	mustExec(t, e, `insert into Flows values (6, '10.0.0.1', 1234, '8.8.8.8', 80, 10, 1500)`)
+	mustExec(t, e, `insert into Flows values (17, '10.0.0.2', 53, '1.1.1.1', 53, 2, 128)`)
+	res := mustExec(t, e, `select * from Flows`)
+	if len(res.Rows) != 2 || len(res.Cols) != 7 {
+		t.Fatalf("select * = %d rows, %d cols", len(res.Rows), len(res.Cols))
+	}
+	if v, _ := res.Rows[0][0].AsInt(); v != 6 {
+		t.Error("row order should be insertion order")
+	}
+}
+
+func TestInsertWithColumnNames(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (a integer, b varchar, c real)`)
+	mustExec(t, e, `insert into T (c, a, b) values (1.5, 7, 'x')`)
+	res := mustExec(t, e, `select a, b, c from T`)
+	row := res.Rows[0]
+	if row[0].String() != "7" || row[1].String() != "x" || row[2].String() != "1.5" {
+		t.Errorf("reordered insert wrong: %v", row)
+	}
+	execErr(t, e, `insert into T (a, b) values (1, 'x')`)       // partial
+	execErr(t, e, `insert into T (a, a, b) values (1, 2, 'x')`) // dup col
+	execErr(t, e, `insert into T (a, b, z) values (1, 'x', 2)`) // unknown col
+}
+
+func TestInsertOnDuplicateKeyUpdate(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create persistenttable KV (k varchar primary key, v integer)`)
+	mustExec(t, e, `insert into KV values ('a', 1)`)
+	mustExec(t, e, `insert into KV values ('a', 2) on duplicate key update`)
+	res := mustExec(t, e, `select v from KV where k = 'a'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "2" {
+		t.Errorf("upsert result: %+v", res.Rows)
+	}
+	// The modifier is rejected on streams.
+	mustExec(t, e, `create table S (v integer)`)
+	execErr(t, e, `insert into S values (1) on duplicate key update`)
+}
+
+func TestSelectWhereProjectionArithmetic(t *testing.T) {
+	e := setupFlows(t)
+	for i := 1; i <= 5; i++ {
+		mustExec(t, e, fmt.Sprintf(
+			`insert into Flows values (6, '10.0.0.%d', 1, 'd', 80, %d, %d)`, i, i, i*100))
+	}
+	res := mustExec(t, e, `select srcip, nbytes * 8 as bits from Flows where nbytes >= 300`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("where filter kept %d rows", len(res.Rows))
+	}
+	if res.Cols[1] != "bits" {
+		t.Errorf("alias not applied: %v", res.Cols)
+	}
+	if res.Rows[0][1].String() != "2400" {
+		t.Errorf("arithmetic projection wrong: %v", res.Rows[0])
+	}
+	// Logical operators.
+	res = mustExec(t, e, `select * from Flows where nbytes > 100 and nbytes < 500`)
+	if len(res.Rows) != 3 {
+		t.Errorf("and filter kept %d rows", len(res.Rows))
+	}
+	res = mustExec(t, e, `select * from Flows where nbytes = 100 or nbytes = 500`)
+	if len(res.Rows) != 2 {
+		t.Errorf("or filter kept %d rows", len(res.Rows))
+	}
+	res = mustExec(t, e, `select * from Flows where not (nbytes = 100)`)
+	if len(res.Rows) != 4 {
+		t.Errorf("not filter kept %d rows", len(res.Rows))
+	}
+}
+
+func TestSelectSince(t *testing.T) {
+	e := setupFlows(t)
+	for i := 1; i <= 4; i++ {
+		mustExec(t, e, fmt.Sprintf(`insert into Flows values (6,'s',1,'d',1,1,%d)`, i))
+	}
+	// Clock starts at 1000 and ticks once per insert: TS = 1001..1004.
+	res := mustExec(t, e, `select nbytes from Flows since 1002`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("since kept %d rows, want 2", len(res.Rows))
+	}
+	if res.Rows[0][0].String() != "3" {
+		t.Errorf("since should keep strictly-later tuples: %v", res.Rows)
+	}
+	// tstamp pseudo-column usable in where/projection.
+	res = mustExec(t, e, `select tstamp, nbytes from Flows where tstamp > 1003`)
+	if len(res.Rows) != 1 || res.Rows[0][1].String() != "4" {
+		t.Errorf("tstamp pseudo-column: %+v", res.Rows)
+	}
+}
+
+func TestSelectWindowClauses(t *testing.T) {
+	e := setupFlows(t)
+	for i := 1; i <= 10; i++ {
+		mustExec(t, e, fmt.Sprintf(`insert into Flows values (6,'s',1,'d',1,1,%d)`, i))
+	}
+	res := mustExec(t, e, `select nbytes from Flows [rows 3]`)
+	if len(res.Rows) != 3 || res.Rows[0][0].String() != "8" {
+		t.Errorf("[rows 3] = %+v", res.Rows)
+	}
+	// Range: clock is 1010 now; inserts at 1001..1010 (ns scale). A range of
+	// 1 second covers everything; combined with since it narrows.
+	res = mustExec(t, e, `select nbytes from Flows [range 1 seconds] since 1008`)
+	if len(res.Rows) != 2 {
+		t.Errorf("range+since = %d rows", len(res.Rows))
+	}
+	execErr(t, e, `select * from Flows [rows 0]`)
+	execErr(t, e, `select * from Flows [banana 3]`)
+	execErr(t, e, `select * from Flows [range 5 parsecs]`)
+}
+
+func TestSelectOrderByLimit(t *testing.T) {
+	e := setupFlows(t)
+	vals := []int{5, 2, 9, 1}
+	for _, v := range vals {
+		mustExec(t, e, fmt.Sprintf(`insert into Flows values (6,'s',1,'d',1,1,%d)`, v))
+	}
+	res := mustExec(t, e, `select nbytes from Flows order by nbytes`)
+	got := []string{}
+	for _, r := range res.Rows {
+		got = append(got, r[0].String())
+	}
+	if strings.Join(got, ",") != "1,2,5,9" {
+		t.Errorf("order by asc = %v", got)
+	}
+	res = mustExec(t, e, `select nbytes from Flows order by nbytes desc limit 2`)
+	if len(res.Rows) != 2 || res.Rows[0][0].String() != "9" || res.Rows[1][0].String() != "5" {
+		t.Errorf("order by desc limit = %+v", res.Rows)
+	}
+	execErr(t, e, `select nbytes from Flows order by nosuchcol`)
+	execErr(t, e, `select nbytes from Flows limit 0`)
+}
+
+func TestSelectAggregates(t *testing.T) {
+	e := setupFlows(t)
+	data := []struct {
+		src string
+		n   int
+	}{{"a", 100}, {"a", 200}, {"b", 50}}
+	for _, d := range data {
+		mustExec(t, e, fmt.Sprintf(`insert into Flows values (6,'%s',1,'d',1,1,%d)`, d.src, d.n))
+	}
+	res := mustExec(t, e, `select count(*), sum(nbytes), avg(nbytes), min(nbytes), max(nbytes) from Flows`)
+	row := res.Rows[0]
+	if row[0].String() != "3" || row[1].String() != "350" || row[3].String() != "50" || row[4].String() != "200" {
+		t.Errorf("aggregates = %v", row)
+	}
+	if f, _ := row[2].AsReal(); f < 116 || f > 117 {
+		t.Errorf("avg = %v", row[2])
+	}
+
+	res = mustExec(t, e, `select srcip, sum(nbytes) as total from Flows group by srcip order by total desc`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("group by produced %d rows", len(res.Rows))
+	}
+	if res.Rows[0][0].String() != "a" || res.Rows[0][1].String() != "300" {
+		t.Errorf("group a = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].String() != "b" || res.Rows[1][1].String() != "50" {
+		t.Errorf("group b = %v", res.Rows[1])
+	}
+}
+
+func TestAggregateEdgeCases(t *testing.T) {
+	e := setupFlows(t)
+	// Aggregate over empty table yields one row.
+	res := mustExec(t, e, `select count(*) from Flows`)
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "0" {
+		t.Errorf("count over empty = %+v", res.Rows)
+	}
+	// sum over string column errors.
+	mustExec(t, e, `insert into Flows values (6,'s',1,'d',1,1,10)`)
+	execErr(t, e, `select sum(srcip) from Flows`)
+	execErr(t, e, `select avg(srcip) from Flows`)
+	// min/max over strings fine.
+	res = mustExec(t, e, `select min(srcip), max(srcip) from Flows`)
+	if res.Rows[0][0].String() != "s" {
+		t.Errorf("min string = %v", res.Rows[0])
+	}
+	// sum(*) invalid.
+	execErr(t, e, `select sum(*) from Flows`)
+}
+
+func TestUpdatePersistent(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create persistenttable KV (k varchar primary key, v integer)`)
+	mustExec(t, e, `insert into KV values ('a', 1)`)
+	mustExec(t, e, `insert into KV values ('b', 2)`)
+	res := mustExec(t, e, `update KV set v = v * 10 where k = 'a'`)
+	if res.Affected != 1 {
+		t.Errorf("update affected %d", res.Affected)
+	}
+	got := mustExec(t, e, `select v from KV where k = 'a'`)
+	if got.Rows[0][0].String() != "10" {
+		t.Errorf("updated value = %v", got.Rows[0])
+	}
+	// Update all rows.
+	res = mustExec(t, e, `update KV set v = 0`)
+	if res.Affected != 2 {
+		t.Errorf("update all affected %d", res.Affected)
+	}
+	// Update on stream rejected.
+	mustExec(t, e, `create table S (v integer)`)
+	execErr(t, e, `update S set v = 1`)
+	execErr(t, e, `update KV set nosuch = 1`)
+}
+
+func TestDeletePersistent(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create persistenttable KV (k varchar primary key, v integer)`)
+	for i := 0; i < 4; i++ {
+		mustExec(t, e, fmt.Sprintf(`insert into KV values ('k%d', %d)`, i, i))
+	}
+	res := mustExec(t, e, `delete from KV where v >= 2`)
+	if res.Affected != 2 {
+		t.Errorf("delete affected %d", res.Affected)
+	}
+	got := mustExec(t, e, `select count(*) from KV`)
+	if got.Rows[0][0].String() != "2" {
+		t.Errorf("rows left = %v", got.Rows[0])
+	}
+	res = mustExec(t, e, `delete from KV`)
+	if res.Affected != 2 {
+		t.Errorf("delete all affected %d", res.Affected)
+	}
+	mustExec(t, e, `create table S (v integer)`)
+	execErr(t, e, `delete from S`)
+}
+
+func TestParserErrors(t *testing.T) {
+	e := newTestEngine()
+	cases := []string{
+		``,
+		`banana`,
+		`select`,
+		`select * from`,
+		`select * frm T`,
+		`insert T values (1)`,
+		`insert into T values`,
+		`select * from T where`,
+		`select * from T order by`,
+		`select a from T group`,
+		`select count( from T`,
+		`select * from T since`,
+		`select 'unterminated from T`,
+		`select * from T; extra`,
+		`select @ from T`,
+	}
+	for _, src := range cases {
+		if _, err := ExecString(e, src); err == nil {
+			t.Errorf("%q: expected parse/exec error", src)
+		}
+	}
+}
+
+func TestSelectAgainstMissingTable(t *testing.T) {
+	e := newTestEngine()
+	execErr(t, e, `select * from Nope`)
+	execErr(t, e, `insert into Nope values (1)`)
+	execErr(t, e, `update Nope set v = 1`)
+	execErr(t, e, `delete from Nope`)
+}
+
+func TestStringEscapesAndComments(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (s varchar) -- trailing comment`)
+	mustExec(t, e, `insert into T values ('it''s')`)
+	res := mustExec(t, e, `select s from T`)
+	if res.Rows[0][0].String() != "it's" {
+		t.Errorf("escaped quote = %q", res.Rows[0][0])
+	}
+	mustExec(t, e, `insert into T values ("double")`)
+	res = mustExec(t, e, `select count(*) from T where s = "double"`)
+	if res.Rows[0][0].String() != "1" {
+		t.Error("double-quoted strings should work")
+	}
+}
+
+func TestNowFunction(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (v integer)`)
+	mustExec(t, e, `insert into T values (1)`)
+	// now() = clock (1001 after one insert); every tuple is older.
+	res := mustExec(t, e, `select * from T where tstamp <= now()`)
+	if len(res.Rows) != 1 {
+		t.Errorf("now() comparison failed: %d rows", len(res.Rows))
+	}
+	res = mustExec(t, e, `select * from T since now()`)
+	if len(res.Rows) != 0 {
+		t.Errorf("since now() should exclude existing rows, got %d", len(res.Rows))
+	}
+}
+
+func TestSelectBooleanLiteralsAndUnaryMinus(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table B (flag boolean, v integer)`)
+	mustExec(t, e, `insert into B values (true, -5)`)
+	mustExec(t, e, `insert into B values (false, 5)`)
+	res := mustExec(t, e, `select v from B where flag = true`)
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "-5" {
+		t.Errorf("bool filter = %+v", res.Rows)
+	}
+	res = mustExec(t, e, `select v from B where v < -1`)
+	if len(res.Rows) != 1 {
+		t.Errorf("negative literal filter = %d rows", len(res.Rows))
+	}
+}

@@ -1,0 +1,173 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: percentiles (Fig. 7), mean/standard deviation and coefficient of
+// variation (Fig. 16), online Welford accumulation (Fig. 8's probe), and
+// least-squares fitting (the DEBS operator-10 trend detector).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// CV returns the coefficient of variation σ/µ (0 when µ == 0).
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return Stddev(xs) / m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. The input need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FiveNum is the five-number summary the paper's Fig. 7 boxes report:
+// minimum, 25th, 50th, 75th percentiles and maximum.
+type FiveNum struct {
+	Min, P25, P50, P75, Max float64
+}
+
+// Summary computes the five-number summary.
+func Summary(xs []float64) FiveNum {
+	return FiveNum{
+		Min: Percentile(xs, 0),
+		P25: Percentile(xs, 25),
+		P50: Percentile(xs, 50),
+		P75: Percentile(xs, 75),
+		Max: Percentile(xs, 100),
+	}
+}
+
+// String renders the summary as "min/p25/p50/p75/max".
+func (f FiveNum) String() string {
+	return fmt.Sprintf("%.3g/%.3g/%.3g/%.3g/%.3g", f.Min, f.P25, f.P50, f.P75, f.Max)
+}
+
+// Welford accumulates mean and variance online (one pass, numerically
+// stable). The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add feeds one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Stddev returns the population standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 if none).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 if none).
+func (w *Welford) Max() float64 { return w.max }
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// LeastSquares fits y = slope*x + intercept. It returns an error for fewer
+// than two points or degenerate x values.
+func LeastSquares(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, fmt.Errorf("stats: x and y lengths differ (%d vs %d)", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0, 0, fmt.Errorf("stats: need at least 2 points, got %d", n)
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("stats: degenerate x values")
+	}
+	slope = (fn*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / fn
+	return slope, intercept, nil
+}

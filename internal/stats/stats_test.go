@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanStddevCV(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := Stddev(xs); !approx(s, 2, 1e-9) {
+		t.Errorf("Stddev = %v", s)
+	}
+	if cv := CV(xs); !approx(cv, 0.4, 1e-9) {
+		t.Errorf("CV = %v", cv)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || CV(nil) != 0 {
+		t.Error("empty slices should give 0")
+	}
+	if CV([]float64{0, 0}) != 0 {
+		t.Error("zero mean CV should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if p := Percentile(xs, 0); p != 15 {
+		t.Errorf("P0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 50 {
+		t.Errorf("P100 = %v", p)
+	}
+	if p := Percentile(xs, 50); p != 35 {
+		t.Errorf("P50 = %v", p)
+	}
+	// Interpolated: rank 0.25*(5-1)=1 -> exactly 20.
+	if p := Percentile(xs, 25); p != 20 {
+		t.Errorf("P25 = %v", p)
+	}
+	// Between ranks: P40 -> rank 1.6 -> 20 + 0.6*15 = 29.
+	if p := Percentile(xs, 40); !approx(p, 29, 1e-9) {
+		t.Errorf("P40 = %v", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Input must not be mutated (sorted copy).
+	ys := []float64{3, 1, 2}
+	_ = Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	f := Summary(xs)
+	if f.Min != 1 || f.Max != 5 || f.P50 != 3 || f.P25 != 2 || f.P75 != 4 {
+		t.Errorf("Summary = %+v", f)
+	}
+	if f.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d", w.N())
+	}
+	if !approx(w.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Welford mean = %v vs %v", w.Mean(), Mean(xs))
+	}
+	if !approx(w.Stddev(), Stddev(xs), 1e-9) {
+		t.Errorf("Welford stddev = %v vs %v", w.Stddev(), Stddev(xs))
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v", w.Min(), w.Max())
+	}
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 || w.Var() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestLeastSquares(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	slope, icept, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(slope, 2, 1e-9) || !approx(icept, 1, 1e-9) {
+		t.Errorf("fit = %v, %v", slope, icept)
+	}
+	if _, _, err := LeastSquares([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, _, err := LeastSquares(xs, ys[:2]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, _, err := LeastSquares([]float64{5, 5}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x should error")
+	}
+}
+
+// Property: Welford matches batch statistics for arbitrary data.
+func TestWelfordBatchEquivalenceProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, r := range raw {
+			xs[i] = float64(r)
+			w.Add(float64(r))
+		}
+		return approx(w.Mean(), Mean(xs), 1e-6) && approx(w.Stddev(), Stddev(xs), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		lo, hi := Percentile(xs, 0), Percentile(xs, 100)
+		return pa <= pb && pa >= lo && pb <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,340 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"unicache/internal/types"
+)
+
+func streamSchema(t *testing.T) *types.Schema {
+	t.Helper()
+	s, err := types.NewSchema("S", false, -1,
+		types.Column{Name: "v", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func kvSchema(t *testing.T) *types.Schema {
+	t.Helper()
+	s, err := types.NewSchema("KV", true, 0,
+		types.Column{Name: "k", Type: types.ColVarchar},
+		types.Column{Name: "v", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func tup(seq uint64, ts types.Timestamp, vals ...types.Value) *types.Tuple {
+	return &types.Tuple{Seq: seq, TS: ts, Vals: vals}
+}
+
+func TestEphemeralBasics(t *testing.T) {
+	e, err := NewEphemeral(streamSchema(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Capacity() != 4 {
+		t.Fatalf("Capacity = %d", e.Capacity())
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := e.Insert(tup(uint64(i), types.Timestamp(i), types.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", e.Len())
+	}
+	var got []int64
+	e.Scan(func(tp *types.Tuple) bool {
+		n, _ := tp.Vals[0].AsInt()
+		got = append(got, n)
+		return true
+	})
+	for i, n := range got {
+		if n != int64(i+1) {
+			t.Fatalf("scan order wrong: %v", got)
+		}
+	}
+}
+
+func TestEphemeralRingEviction(t *testing.T) {
+	e, _ := NewEphemeral(streamSchema(t), 3)
+	for i := 1; i <= 7; i++ {
+		_, _ = e.Insert(tup(uint64(i), types.Timestamp(i), types.Int(int64(i))))
+	}
+	if e.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", e.Len())
+	}
+	var got []int64
+	e.Scan(func(tp *types.Tuple) bool {
+		n, _ := tp.Vals[0].AsInt()
+		got = append(got, n)
+		return true
+	})
+	want := []int64{5, 6, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ring contents = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEphemeralScanEarlyStopAndSince(t *testing.T) {
+	e, _ := NewEphemeral(streamSchema(t), 8)
+	for i := 1; i <= 5; i++ {
+		_, _ = e.Insert(tup(uint64(i), types.Timestamp(i*10), types.Int(int64(i))))
+	}
+	count := 0
+	e.Scan(func(*types.Tuple) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop scan visited %d", count)
+	}
+	var since []int64
+	e.ScanSince(30, func(tp *types.Tuple) bool {
+		n, _ := tp.Vals[0].AsInt()
+		since = append(since, n)
+		return true
+	})
+	// TS 30 itself excluded (strictly greater).
+	if len(since) != 2 || since[0] != 4 || since[1] != 5 {
+		t.Errorf("ScanSince = %v, want [4 5]", since)
+	}
+}
+
+func TestEphemeralValidation(t *testing.T) {
+	if _, err := NewEphemeral(nil, 4); err == nil {
+		t.Error("nil schema should be rejected")
+	}
+	ps := kvSchema(t)
+	if _, err := NewEphemeral(ps, 4); err == nil {
+		t.Error("persistent schema should be rejected by ephemeral store")
+	}
+	e, _ := NewEphemeral(streamSchema(t), 0)
+	if e.Capacity() != DefaultEphemeralCapacity {
+		t.Error("default capacity not applied")
+	}
+	if _, err := e.Insert(nil); err == nil {
+		t.Error("nil tuple should be rejected")
+	}
+}
+
+func TestPersistentUpsert(t *testing.T) {
+	p, err := NewPersistent(kvSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaced, err := p.Insert(tup(1, 10, types.Str("a"), types.Int(1)))
+	if err != nil || replaced {
+		t.Fatalf("first insert replaced=%v err=%v", replaced, err)
+	}
+	replaced, err = p.Insert(tup(2, 20, types.Str("b"), types.Int(2)))
+	if err != nil || replaced {
+		t.Fatal("second insert should not replace")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	// Duplicate key updates.
+	replaced, err = p.Insert(tup(3, 30, types.Str("a"), types.Int(100)))
+	if err != nil || !replaced {
+		t.Fatalf("upsert replaced=%v err=%v", replaced, err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len after upsert = %d, want 2", p.Len())
+	}
+	row, ok := p.Get("a")
+	if !ok {
+		t.Fatal("row a missing")
+	}
+	if n, _ := row.Vals[1].AsInt(); n != 100 {
+		t.Errorf("upsert value = %d, want 100", n)
+	}
+	// Temporal order: "a" was updated last, so it scans after "b".
+	keys := p.Keys()
+	if len(keys) != 2 || keys[0] != "b" || keys[1] != "a" {
+		t.Errorf("temporal order = %v, want [b a]", keys)
+	}
+}
+
+func TestPersistentDelete(t *testing.T) {
+	p, _ := NewPersistent(kvSchema(t))
+	_, _ = p.Insert(tup(1, 1, types.Str("a"), types.Int(1)))
+	if !p.Delete("a") {
+		t.Error("delete existing should report true")
+	}
+	if p.Delete("a") {
+		t.Error("delete absent should report false")
+	}
+	if p.Len() != 0 || p.Has("a") {
+		t.Error("row not deleted")
+	}
+}
+
+func TestPersistentCompaction(t *testing.T) {
+	p, _ := NewPersistent(kvSchema(t))
+	const rounds = 500
+	for i := 0; i < rounds; i++ {
+		key := fmt.Sprintf("k%d", i%5)
+		_, err := p.Insert(tup(uint64(i), types.Timestamp(i), types.Str(key), types.Int(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", p.Len())
+	}
+	// order slice must have been compacted well below rounds entries.
+	if len(p.order) > 64 {
+		t.Errorf("order not compacted: %d entries", len(p.order))
+	}
+	// Every key holds its latest value.
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		row, ok := p.Get(key)
+		if !ok {
+			t.Fatalf("missing %s", key)
+		}
+		want := int64(rounds - 5 + i)
+		if n, _ := row.Vals[1].AsInt(); n != want {
+			t.Errorf("%s = %d, want %d", key, n, want)
+		}
+	}
+}
+
+func TestPersistentScanSince(t *testing.T) {
+	p, _ := NewPersistent(kvSchema(t))
+	_, _ = p.Insert(tup(1, 10, types.Str("a"), types.Int(1)))
+	_, _ = p.Insert(tup(2, 20, types.Str("b"), types.Int(2)))
+	var got []string
+	p.ScanSince(10, func(tp *types.Tuple) bool {
+		s, _ := tp.Vals[0].AsStr()
+		got = append(got, s)
+		return true
+	})
+	if len(got) != 1 || got[0] != "b" {
+		t.Errorf("ScanSince = %v, want [b]", got)
+	}
+}
+
+func TestPersistentValidation(t *testing.T) {
+	if _, err := NewPersistent(nil); err == nil {
+		t.Error("nil schema rejected")
+	}
+	if _, err := NewPersistent(streamSchema(t)); err == nil {
+		t.Error("ephemeral schema should be rejected by persistent store")
+	}
+	p, _ := NewPersistent(kvSchema(t))
+	if _, err := p.Insert(nil); err == nil {
+		t.Error("nil tuple rejected")
+	}
+	if _, err := p.Insert(tup(1, 1, types.Str("a"))); err == nil {
+		t.Error("arity mismatch rejected")
+	}
+}
+
+func TestNewDispatch(t *testing.T) {
+	tb, err := New(kvSchema(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.(*Persistent); !ok {
+		t.Error("persistent schema should build Persistent")
+	}
+	tb, err = New(streamSchema(t), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.(*Ephemeral); !ok {
+		t.Error("stream schema should build Ephemeral")
+	}
+}
+
+// Property: ephemeral ring always returns the last min(n, cap) tuples in
+// insertion order.
+func TestEphemeralRingProperty(t *testing.T) {
+	schema := streamSchema(t)
+	f := func(capRaw uint8, nRaw uint16) bool {
+		capacity := int(capRaw%32) + 1
+		n := int(nRaw % 200)
+		e, err := NewEphemeral(schema, capacity)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if _, err := e.Insert(tup(uint64(i), types.Timestamp(i), types.Int(int64(i)))); err != nil {
+				return false
+			}
+		}
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		if e.Len() != want {
+			return false
+		}
+		expect := int64(n - want)
+		ok := true
+		e.Scan(func(tp *types.Tuple) bool {
+			v, _ := tp.Vals[0].AsInt()
+			if v != expect {
+				ok = false
+				return false
+			}
+			expect++
+			return true
+		})
+		return ok && expect == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: persistent table behaves as a map from key to latest value.
+func TestPersistentMapEquivalenceProperty(t *testing.T) {
+	schema := kvSchema(t)
+	f := func(ops []uint16) bool {
+		p, err := NewPersistent(schema)
+		if err != nil {
+			return false
+		}
+		ref := map[string]int64{}
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", op%16)
+			if op%5 == 0 {
+				p.Delete(key)
+				delete(ref, key)
+				continue
+			}
+			if _, err := p.Insert(tup(uint64(i), types.Timestamp(i),
+				types.Str(key), types.Int(int64(i)))); err != nil {
+				return false
+			}
+			ref[key] = int64(i)
+		}
+		if p.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			row, ok := p.Get(k)
+			if !ok {
+				return false
+			}
+			if n, _ := row.Vals[1].AsInt(); n != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

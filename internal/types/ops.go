@@ -1,0 +1,208 @@
+package types
+
+import "fmt"
+
+// Arithmetic and logic on values, shared by the GAPL VM and the SQL
+// expression evaluator.
+//
+// Numeric promotion rules: int op int -> int; any real operand -> real;
+// tstamp +/- int -> tstamp; tstamp - tstamp -> int (nanoseconds). String +
+// string concatenates (a convenience extension; the paper's programs use the
+// String() constructor for concatenation).
+
+func numericPair(a, b Value, op string) (float64, float64, error) {
+	af, aok := a.NumAsReal()
+	bf, bok := b.NumAsReal()
+	if !aok || !bok {
+		return 0, 0, fmt.Errorf("operator %s needs numeric operands, got %s and %s",
+			op, a.Kind(), b.Kind())
+	}
+	return af, bf, nil
+}
+
+func bothIntegral(a, b Value) bool {
+	return a.Kind() != KindReal && b.Kind() != KindReal &&
+		a.Kind().Numeric() && b.Kind().Numeric()
+}
+
+// Add computes a + b.
+func Add(a, b Value) (Value, error) {
+	if sa, ok := a.AsStr(); ok {
+		if sb, ok2 := b.AsStr(); ok2 {
+			return Str(sa + sb), nil
+		}
+	}
+	if bothIntegral(a, b) {
+		sum := a.n + b.n
+		if a.Kind() == KindTstamp || b.Kind() == KindTstamp {
+			return Stamp(Timestamp(sum)), nil
+		}
+		return Int(sum), nil
+	}
+	af, bf, err := numericPair(a, b, "+")
+	if err != nil {
+		return Nil, err
+	}
+	return Real(af + bf), nil
+}
+
+// Sub computes a - b.
+func Sub(a, b Value) (Value, error) {
+	if bothIntegral(a, b) {
+		diff := a.n - b.n
+		switch {
+		case a.Kind() == KindTstamp && b.Kind() == KindTstamp:
+			return Int(diff), nil // duration in ns
+		case a.Kind() == KindTstamp:
+			return Stamp(Timestamp(diff)), nil
+		}
+		return Int(diff), nil
+	}
+	af, bf, err := numericPair(a, b, "-")
+	if err != nil {
+		return Nil, err
+	}
+	return Real(af - bf), nil
+}
+
+// Mul computes a * b.
+func Mul(a, b Value) (Value, error) {
+	if a.Kind() == KindInt && b.Kind() == KindInt {
+		return Int(a.n * b.n), nil
+	}
+	af, bf, err := numericPair(a, b, "*")
+	if err != nil {
+		return Nil, err
+	}
+	return Real(af * bf), nil
+}
+
+// Div computes a / b. Integer division truncates; division by zero is an
+// error for integers and yields ±Inf for reals (IEEE semantics).
+func Div(a, b Value) (Value, error) {
+	if a.Kind() == KindInt && b.Kind() == KindInt {
+		if b.n == 0 {
+			return Nil, fmt.Errorf("integer division by zero")
+		}
+		return Int(a.n / b.n), nil
+	}
+	af, bf, err := numericPair(a, b, "/")
+	if err != nil {
+		return Nil, err
+	}
+	return Real(af / bf), nil
+}
+
+// Mod computes a % b for integers.
+func Mod(a, b Value) (Value, error) {
+	an, aok := a.AsInt()
+	bn, bok := b.AsInt()
+	if !aok || !bok {
+		return Nil, fmt.Errorf("operator %% needs int operands, got %s and %s",
+			a.Kind(), b.Kind())
+	}
+	if bn == 0 {
+		return Nil, fmt.Errorf("integer modulo by zero")
+	}
+	return Int(an % bn), nil
+}
+
+// Neg computes -a.
+func Neg(a Value) (Value, error) {
+	switch a.Kind() {
+	case KindInt:
+		return Int(-a.n), nil
+	case KindReal:
+		return Real(-a.f), nil
+	}
+	return Nil, fmt.Errorf("operator - needs a numeric operand, got %s", a.Kind())
+}
+
+// Not computes !a.
+func Not(a Value) (Value, error) {
+	b, ok := a.AsBool()
+	if !ok {
+		return Nil, fmt.Errorf("operator ! needs a bool operand, got %s", a.Kind())
+	}
+	return Bool(!b), nil
+}
+
+// CompareOp evaluates a relational operator ("==", "!=", "<", "<=", ">",
+// ">=") over two values.
+func CompareOp(op string, a, b Value) (Value, error) {
+	switch op {
+	case "==":
+		return Bool(Equal(a, b)), nil
+	case "!=":
+		return Bool(!Equal(a, b)), nil
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return Nil, err
+	}
+	switch op {
+	case "<":
+		return Bool(c < 0), nil
+	case "<=":
+		return Bool(c <= 0), nil
+	case ">":
+		return Bool(c > 0), nil
+	case ">=":
+		return Bool(c >= 0), nil
+	}
+	return Nil, fmt.Errorf("unknown comparison operator %q", op)
+}
+
+// AssignCompatible reports whether a value of kind src may be stored in a
+// variable declared with kind dst. Identifiers and strings interconvert;
+// ints may be stored in tstamp variables (and vice versa, for durations).
+func AssignCompatible(dst, src Kind) bool {
+	if dst == src || src == KindNil {
+		return true
+	}
+	switch dst {
+	case KindTstamp:
+		return src == KindInt
+	case KindInt:
+		return src == KindTstamp
+	case KindReal:
+		// Implicit int->real widening; the reverse requires int().
+		return src == KindInt
+	case KindString:
+		return src == KindIdentifier
+	case KindIdentifier:
+		return src == KindString
+	}
+	return false
+}
+
+// ConvertAssign converts v for storage in a variable of kind dst, applying
+// the AssignCompatible conversions.
+func ConvertAssign(dst Kind, v Value) (Value, error) {
+	if v.Kind() == dst || v.IsNil() {
+		return v, nil
+	}
+	switch dst {
+	case KindTstamp:
+		if n, ok := v.AsInt(); ok {
+			return Stamp(Timestamp(n)), nil
+		}
+	case KindInt:
+		if ts, ok := v.AsStamp(); ok {
+			return Int(int64(ts)), nil
+		}
+	case KindReal:
+		if n, ok := v.AsInt(); ok {
+			return Real(float64(n)), nil
+		}
+	case KindString:
+		if s, ok := v.AsStr(); ok {
+			return Str(s), nil
+		}
+	case KindIdentifier:
+		if s, ok := v.AsStr(); ok {
+			return Ident(s), nil
+		}
+	}
+	return Nil, fmt.Errorf("cannot assign %s to %s variable", v.Kind(), dst)
+}

@@ -1,0 +1,219 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdd(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want string
+	}{
+		{Int(2), Int(3), "5"},
+		{Int(2), Real(0.5), "2.5"},
+		{Real(1.5), Real(1.5), "3.0"},
+		{Stamp(100), Int(50), "150"},
+		{Int(50), Stamp(100), "150"},
+		{Str("ab"), Str("cd"), "abcd"},
+	}
+	for _, tt := range tests {
+		got, err := Add(tt.a, tt.b)
+		if err != nil {
+			t.Errorf("Add(%v,%v): %v", tt.a, tt.b, err)
+			continue
+		}
+		if got.String() != tt.want {
+			t.Errorf("Add(%v,%v) = %v, want %s", tt.a, tt.b, got, tt.want)
+		}
+	}
+	if v, _ := Add(Stamp(100), Int(50)); v.Kind() != KindTstamp {
+		t.Error("tstamp + int should stay tstamp")
+	}
+	if _, err := Add(Bool(true), Int(1)); err == nil {
+		t.Error("bool + int should error")
+	}
+}
+
+func TestSub(t *testing.T) {
+	if v, err := Sub(Stamp(150), Stamp(100)); err != nil || v.Kind() != KindInt || v.String() != "50" {
+		t.Errorf("tstamp - tstamp = %v (%v), want int 50", v, err)
+	}
+	if v, err := Sub(Stamp(150), Int(100)); err != nil || v.Kind() != KindTstamp {
+		t.Errorf("tstamp - int should be tstamp, got %v (%v)", v.Kind(), err)
+	}
+	if v, _ := Sub(Int(3), Int(5)); v.String() != "-2" {
+		t.Error("int subtraction wrong")
+	}
+	if v, _ := Sub(Real(3), Int(1)); v.Kind() != KindReal || v.String() != "2.0" {
+		t.Error("mixed subtraction should be real")
+	}
+	if _, err := Sub(Str("a"), Int(1)); err == nil {
+		t.Error("string - int should error")
+	}
+}
+
+func TestMulDivMod(t *testing.T) {
+	if v, _ := Mul(Int(6), Int(7)); v.String() != "42" {
+		t.Error("int mul wrong")
+	}
+	if v, _ := Mul(Int(2), Real(1.5)); v.Kind() != KindReal || v.String() != "3.0" {
+		t.Error("mixed mul should be real")
+	}
+	if v, _ := Div(Int(7), Int(2)); v.String() != "3" {
+		t.Error("int div should truncate")
+	}
+	if _, err := Div(Int(1), Int(0)); err == nil {
+		t.Error("int division by zero should error")
+	}
+	if v, _ := Div(Real(1), Real(4)); v.String() != "0.25" {
+		t.Error("real div wrong")
+	}
+	if v, _ := Mod(Int(7), Int(3)); v.String() != "1" {
+		t.Error("mod wrong")
+	}
+	if _, err := Mod(Int(1), Int(0)); err == nil {
+		t.Error("mod by zero should error")
+	}
+	if _, err := Mod(Real(1), Int(2)); err == nil {
+		t.Error("mod on real should error")
+	}
+}
+
+func TestNegNot(t *testing.T) {
+	if v, _ := Neg(Int(5)); v.String() != "-5" {
+		t.Error("neg int wrong")
+	}
+	if v, _ := Neg(Real(2.5)); v.String() != "-2.5" {
+		t.Error("neg real wrong")
+	}
+	if _, err := Neg(Str("x")); err == nil {
+		t.Error("neg string should error")
+	}
+	if v, _ := Not(Bool(true)); v.String() != "false" {
+		t.Error("not wrong")
+	}
+	if _, err := Not(Int(1)); err == nil {
+		t.Error("not int should error")
+	}
+}
+
+func TestCompareOp(t *testing.T) {
+	tests := []struct {
+		op   string
+		a, b Value
+		want bool
+	}{
+		{"==", Int(1), Int(1), true},
+		{"!=", Int(1), Int(2), true},
+		{"<", Int(1), Int(2), true},
+		{"<=", Int(2), Int(2), true},
+		{">", Real(2.5), Int(2), true},
+		{">=", Str("b"), Str("a"), true},
+		{"==", Str("a"), Ident("a"), true},
+	}
+	for _, tt := range tests {
+		v, err := CompareOp(tt.op, tt.a, tt.b)
+		if err != nil {
+			t.Errorf("CompareOp(%s,%v,%v): %v", tt.op, tt.a, tt.b, err)
+			continue
+		}
+		if b, _ := v.AsBool(); b != tt.want {
+			t.Errorf("CompareOp(%s,%v,%v) = %v, want %v", tt.op, tt.a, tt.b, b, tt.want)
+		}
+	}
+	if _, err := CompareOp("<", Str("a"), Int(1)); err == nil {
+		t.Error("ordering string vs int should error")
+	}
+	if _, err := CompareOp("~", Int(1), Int(1)); err == nil {
+		t.Error("unknown operator should error")
+	}
+	// == on mixed kinds is false, not an error.
+	if v, err := CompareOp("==", Str("a"), Int(1)); err != nil {
+		t.Error(err)
+	} else if b, _ := v.AsBool(); b {
+		t.Error("string == int should be false")
+	}
+}
+
+func TestConvertAssign(t *testing.T) {
+	// int -> tstamp
+	v, err := ConvertAssign(KindTstamp, Int(123))
+	if err != nil || v.Kind() != KindTstamp {
+		t.Errorf("int->tstamp: %v (%v)", v, err)
+	}
+	// tstamp -> int
+	v, err = ConvertAssign(KindInt, Stamp(456))
+	if err != nil || v.Kind() != KindInt {
+		t.Errorf("tstamp->int: %v (%v)", v, err)
+	}
+	// identifier -> string and back
+	v, err = ConvertAssign(KindString, Ident("x"))
+	if err != nil || v.Kind() != KindString {
+		t.Errorf("ident->string: %v (%v)", v, err)
+	}
+	v, err = ConvertAssign(KindIdentifier, Str("x"))
+	if err != nil || v.Kind() != KindIdentifier {
+		t.Errorf("string->ident: %v (%v)", v, err)
+	}
+	// incompatible
+	if _, err = ConvertAssign(KindInt, Str("x")); err == nil {
+		t.Error("string->int should error")
+	}
+	// same kind is identity
+	if v, err = ConvertAssign(KindReal, Real(1)); err != nil || v.Kind() != KindReal {
+		t.Error("identity convert failed")
+	}
+}
+
+func TestAssignCompatible(t *testing.T) {
+	if !AssignCompatible(KindTstamp, KindInt) || !AssignCompatible(KindInt, KindTstamp) {
+		t.Error("int<->tstamp should be compatible")
+	}
+	if !AssignCompatible(KindString, KindIdentifier) {
+		t.Error("identifier should store into string")
+	}
+	if AssignCompatible(KindInt, KindString) {
+		t.Error("string into int should be incompatible")
+	}
+	if !AssignCompatible(KindMap, KindNil) {
+		t.Error("nil is assignable anywhere")
+	}
+}
+
+// Property: integer Add/Sub round-trips.
+func TestAddSubRoundTripProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		sum, err := Add(Int(a), Int(b))
+		if err != nil {
+			return false
+		}
+		back, err := Sub(sum, Int(b))
+		if err != nil {
+			return false
+		}
+		n, _ := back.AsInt()
+		return n == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mod result has |r| < |b| and sign rules of Go.
+func TestModRangeProperty(t *testing.T) {
+	f := func(a int64, b int64) bool {
+		if b == 0 {
+			return true
+		}
+		v, err := Mod(Int(a), Int(b))
+		if err != nil {
+			return false
+		}
+		r, _ := v.AsInt()
+		return r == a%b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func flowsSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("Flows", false, -1,
+		Column{Name: "protocol", Type: ColInt},
+		Column{Name: "srcip", Type: ColVarchar, Width: 16},
+		Column{Name: "nbytes", Type: ColInt},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("", false, -1, Column{Name: "a", Type: ColInt}); err == nil {
+		t.Error("empty table name should be rejected")
+	}
+	if _, err := NewSchema("T", false, -1); err == nil {
+		t.Error("zero columns should be rejected")
+	}
+	if _, err := NewSchema("T", true, -1, Column{Name: "a", Type: ColInt}); err == nil {
+		t.Error("persistent table without key should be rejected")
+	}
+	if _, err := NewSchema("T", true, 5, Column{Name: "a", Type: ColInt}); err == nil {
+		t.Error("persistent table with out-of-range key should be rejected")
+	}
+	if _, err := NewSchema("T", false, -1,
+		Column{Name: "a", Type: ColInt}, Column{Name: "A", Type: ColInt}); err == nil {
+		t.Error("duplicate column names (case-insensitive) should be rejected")
+	}
+	if _, err := NewSchema("T", false, -1, Column{Type: ColInt}); err == nil {
+		t.Error("unnamed column should be rejected")
+	}
+}
+
+func TestSchemaColIndexCaseInsensitive(t *testing.T) {
+	s := flowsSchema(t)
+	if s.ColIndex("NBYTES") != 2 {
+		t.Error("ColIndex should be case-insensitive")
+	}
+	if s.ColIndex("absent") != -1 {
+		t.Error("absent column should return -1")
+	}
+	if s.NumCols() != 3 {
+		t.Error("NumCols wrong")
+	}
+}
+
+func TestSchemaKeyForcedForEphemeral(t *testing.T) {
+	s, err := NewSchema("T", false, 2, Column{Name: "a", Type: ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Key != -1 {
+		t.Errorf("ephemeral table Key = %d, want -1", s.Key)
+	}
+}
+
+func TestSchemaCoerce(t *testing.T) {
+	s := flowsSchema(t)
+	vals := []Value{Int(6), Str("10.0.0.1"), Int(1500)}
+	out, err := s.Coerce(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatal("wrong arity out")
+	}
+
+	// Wrong arity.
+	if _, err := s.Coerce([]Value{Int(1)}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	// Identifier into varchar column.
+	out, err = s.Coerce([]Value{Int(6), Ident("10.0.0.1"), Int(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1].Kind() != KindString {
+		t.Errorf("identifier should coerce to string, got %s", out[1].Kind())
+	}
+	// Incompatible.
+	if _, err := s.Coerce([]Value{Str("x"), Str("y"), Int(1)}); err == nil {
+		t.Error("string into int column should error")
+	}
+}
+
+func TestSchemaCoerceNumericWidening(t *testing.T) {
+	s, err := NewSchema("P", false, -1,
+		Column{Name: "price", Type: ColReal},
+		Column{Name: "ts", Type: ColTstamp},
+		Column{Name: "ok", Type: ColBool},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Coerce([]Value{Int(10), Int(123456), Bool(true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Kind() != KindReal {
+		t.Errorf("int should widen to real, got %s", out[0].Kind())
+	}
+	if out[1].Kind() != KindTstamp {
+		t.Errorf("int should widen to tstamp, got %s", out[1].Kind())
+	}
+	// Coerce must not mutate the caller's slice.
+	orig := []Value{Int(10), Int(123456), Bool(true)}
+	if _, err := s.Coerce(orig); err != nil {
+		t.Fatal(err)
+	}
+	if orig[0].Kind() != KindInt {
+		t.Error("Coerce mutated its input slice")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s, _ := NewSchema("Allowances", true, 0,
+		Column{Name: "ipaddr", Type: ColVarchar, Width: 16},
+		Column{Name: "bytes", Type: ColInt},
+	)
+	str := s.String()
+	if !strings.Contains(str, "primary key") || !strings.Contains(str, "Allowances") {
+		t.Errorf("schema string = %q", str)
+	}
+}
+
+func TestEventFieldAccess(t *testing.T) {
+	s := flowsSchema(t)
+	tup := &Tuple{Seq: 1, TS: 999, Vals: []Value{Int(6), Str("1.2.3.4"), Int(100)}}
+	ev := &Event{Topic: "Flows", Schema: s, Tuple: tup}
+
+	v, err := ev.Field("nbytes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := v.AsInt(); n != 100 {
+		t.Errorf("Field(nbytes) = %v", v)
+	}
+	// Pseudo-attribute tstamp resolves to insertion time.
+	v, err = ev.Field("tstamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts, _ := v.AsStamp(); ts != 999 {
+		t.Errorf("Field(tstamp) = %v", v)
+	}
+	if _, err := ev.Field("nosuch"); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	// FieldAt with -1 is the compiled pseudo-attribute.
+	if ts, _ := ev.FieldAt(-1).AsStamp(); ts != 999 {
+		t.Error("FieldAt(-1) should be insertion tstamp")
+	}
+	if !ev.FieldAt(17).IsNil() {
+		t.Error("FieldAt out of range should be nil")
+	}
+	if got := ev.AsSequence().Len(); got != 3 {
+		t.Errorf("AsSequence len = %d", got)
+	}
+	if !strings.HasPrefix(ev.String(), "Flows(") {
+		t.Errorf("event string = %q", ev.String())
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	tup := &Tuple{Seq: 5, TS: 10, Vals: []Value{Int(1)}}
+	c := tup.Clone()
+	c.Vals[0] = Int(99)
+	if n, _ := tup.Vals[0].AsInt(); n != 1 {
+		t.Error("Clone must not alias Vals")
+	}
+}
+
+func TestColTypeKindRoundTrip(t *testing.T) {
+	pairs := map[ColType]Kind{
+		ColInt: KindInt, ColReal: KindReal, ColVarchar: KindString,
+		ColBool: KindBool, ColTstamp: KindTstamp,
+	}
+	for ct, k := range pairs {
+		if ct.Kind() != k {
+			t.Errorf("%v.Kind() = %v, want %v", ct, ct.Kind(), k)
+		}
+	}
+}

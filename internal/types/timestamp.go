@@ -1,0 +1,29 @@
+package types
+
+import "time"
+
+// Timestamp is nanoseconds since the Unix epoch, the paper's tstamp type
+// (a 64-bit value; we use int64 internally, which covers dates to 2262).
+type Timestamp int64
+
+// Now returns the current wall-clock time as a Timestamp.
+func Now() Timestamp { return Timestamp(time.Now().UnixNano()) }
+
+// FromTime converts a time.Time to a Timestamp.
+func FromTime(t time.Time) Timestamp { return Timestamp(t.UnixNano()) }
+
+// Time converts the Timestamp to a time.Time.
+func (t Timestamp) Time() time.Time { return time.Unix(0, int64(t)) }
+
+// Add offsets the Timestamp by a duration.
+func (t Timestamp) Add(d time.Duration) Timestamp { return t + Timestamp(d) }
+
+// Sub returns the duration t-u.
+func (t Timestamp) Sub(u Timestamp) time.Duration { return time.Duration(t - u) }
+
+// HourInDay returns the hour of day (0-23) in UTC, matching the paper's
+// hourInDay built-in.
+func (t Timestamp) HourInDay() int { return t.Time().UTC().Hour() }
+
+// DayInWeek returns the day of week (0=Sunday .. 6=Saturday) in UTC.
+func (t Timestamp) DayInWeek() int { return int(t.Time().UTC().Weekday()) }

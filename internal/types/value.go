@@ -1,0 +1,375 @@
+// Package types defines the value system shared by every layer of the
+// unified cache: the five basic GAPL data types (int, real, tstamp, bool,
+// string), the aggregate types (sequence, map, window) and their supporting
+// types (identifier, iterator), plus the relational data plane (column
+// types, schemas, tuples and events).
+//
+// The package corresponds to Tables 1 and 2 of the paper.
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the dynamic type of a Value.
+type Kind uint8
+
+// The kinds, mirroring Tables 1 and 2 of the paper. KindEvent represents a
+// tuple delivered on a subscribed topic (the value bound to a subscription
+// variable), and KindAssoc a persistent table bound via an `associate`
+// header. KindNil is the zero Value.
+const (
+	KindNil Kind = iota
+	KindInt
+	KindReal
+	KindTstamp
+	KindBool
+	KindString
+	KindIdentifier
+	KindSequence
+	KindMap
+	KindWindow
+	KindIterator
+	KindEvent
+	KindAssoc
+)
+
+var kindNames = [...]string{
+	KindNil:        "nil",
+	KindInt:        "int",
+	KindReal:       "real",
+	KindTstamp:     "tstamp",
+	KindBool:       "bool",
+	KindString:     "string",
+	KindIdentifier: "identifier",
+	KindSequence:   "sequence",
+	KindMap:        "map",
+	KindWindow:     "window",
+	KindIterator:   "iterator",
+	KindEvent:      "event",
+	KindAssoc:      "association",
+}
+
+// String returns the GAPL name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Scalar reports whether the kind is one of the five basic data types.
+func (k Kind) Scalar() bool {
+	switch k {
+	case KindInt, KindReal, KindTstamp, KindBool, KindString:
+		return true
+	}
+	return false
+}
+
+// Numeric reports whether values of the kind participate in arithmetic.
+func (k Kind) Numeric() bool {
+	return k == KindInt || k == KindReal || k == KindTstamp
+}
+
+// Value is a tagged union holding any GAPL value. The zero Value is nil.
+//
+// Scalars are stored inline (no heap allocation); aggregates are stored as a
+// pointer in the agg field. Values are passed by value; aggregates therefore
+// have reference semantics, exactly as in the paper's runtime.
+type Value struct {
+	kind Kind
+	n    int64   // KindInt, KindTstamp (ns since epoch), KindBool (0/1)
+	f    float64 // KindReal
+	s    string  // KindString, KindIdentifier
+	agg  any     // *Sequence, *Map, *Window, *Iterator, *Event, *Assoc
+}
+
+// Nil is the nil value.
+var Nil = Value{}
+
+// Int returns an int value.
+func Int(v int64) Value { return Value{kind: KindInt, n: v} }
+
+// Real returns a real (double-precision) value.
+func Real(v float64) Value { return Value{kind: KindReal, f: v} }
+
+// Bool returns a bool value.
+func Bool(v bool) Value {
+	var n int64
+	if v {
+		n = 1
+	}
+	return Value{kind: KindBool, n: n}
+}
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Ident returns an identifier value (a map key).
+func Ident(v string) Value { return Value{kind: KindIdentifier, s: v} }
+
+// Stamp returns a tstamp value from nanoseconds since the epoch.
+func Stamp(ns Timestamp) Value { return Value{kind: KindTstamp, n: int64(ns)} }
+
+// SeqV wraps a *Sequence.
+func SeqV(s *Sequence) Value { return Value{kind: KindSequence, agg: s} }
+
+// MapV wraps a *Map.
+func MapV(m *Map) Value { return Value{kind: KindMap, agg: m} }
+
+// WinV wraps a *Window.
+func WinV(w *Window) Value { return Value{kind: KindWindow, agg: w} }
+
+// IterV wraps an *Iterator.
+func IterV(it *Iterator) Value { return Value{kind: KindIterator, agg: it} }
+
+// EventV wraps an *Event.
+func EventV(e *Event) Value { return Value{kind: KindEvent, agg: e} }
+
+// AssocV wraps an *Assoc.
+func AssocV(a *Assoc) Value { return Value{kind: KindAssoc, agg: a} }
+
+// Kind returns the value's dynamic kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether the value is the nil value.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// AsInt returns the int payload; ok is false if the kind is not int.
+func (v Value) AsInt() (int64, bool) { return v.n, v.kind == KindInt }
+
+// AsReal returns the real payload; ok is false if the kind is not real.
+func (v Value) AsReal() (float64, bool) { return v.f, v.kind == KindReal }
+
+// AsBool returns the bool payload; ok is false if the kind is not bool.
+func (v Value) AsBool() (bool, bool) { return v.n != 0, v.kind == KindBool }
+
+// AsStr returns the string payload for strings and identifiers.
+func (v Value) AsStr() (string, bool) {
+	return v.s, v.kind == KindString || v.kind == KindIdentifier
+}
+
+// AsStamp returns the tstamp payload; ok is false if the kind is not tstamp.
+func (v Value) AsStamp() (Timestamp, bool) {
+	return Timestamp(v.n), v.kind == KindTstamp
+}
+
+// Seq returns the wrapped sequence or nil.
+func (v Value) Seq() *Sequence {
+	if v.kind == KindSequence {
+		return v.agg.(*Sequence)
+	}
+	return nil
+}
+
+// Map returns the wrapped map or nil.
+func (v Value) Map() *Map {
+	if v.kind == KindMap {
+		return v.agg.(*Map)
+	}
+	return nil
+}
+
+// Win returns the wrapped window or nil.
+func (v Value) Win() *Window {
+	if v.kind == KindWindow {
+		return v.agg.(*Window)
+	}
+	return nil
+}
+
+// Iter returns the wrapped iterator or nil.
+func (v Value) Iter() *Iterator {
+	if v.kind == KindIterator {
+		return v.agg.(*Iterator)
+	}
+	return nil
+}
+
+// Event returns the wrapped event or nil.
+func (v Value) Event() *Event {
+	if v.kind == KindEvent {
+		return v.agg.(*Event)
+	}
+	return nil
+}
+
+// Assoc returns the wrapped association or nil.
+func (v Value) Assoc() *Assoc {
+	if v.kind == KindAssoc {
+		return v.agg.(*Assoc)
+	}
+	return nil
+}
+
+// Truthy reports whether the value is considered true in a condition.
+// Only booleans are truthy/falsy; every other kind returns an error.
+func (v Value) Truthy() (bool, error) {
+	if v.kind != KindBool {
+		return false, fmt.Errorf("condition must be bool, got %s", v.kind)
+	}
+	return v.n != 0, nil
+}
+
+// NumAsReal converts any numeric payload to float64.
+func (v Value) NumAsReal() (float64, bool) {
+	switch v.kind {
+	case KindInt, KindTstamp:
+		return float64(v.n), true
+	case KindReal:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// NumAsInt converts any numeric payload to int64 (truncating reals).
+func (v Value) NumAsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt, KindTstamp:
+		return v.n, true
+	case KindReal:
+		return int64(v.f), true
+	}
+	return 0, false
+}
+
+// String renders the value the way the print() built-in displays it.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return strconv.FormatInt(v.n, 10)
+	case KindReal:
+		return formatReal(v.f)
+	case KindTstamp:
+		return strconv.FormatUint(uint64(v.n), 10)
+	case KindBool:
+		if v.n != 0 {
+			return "true"
+		}
+		return "false"
+	case KindString, KindIdentifier:
+		return v.s
+	case KindSequence:
+		return v.Seq().String()
+	case KindMap:
+		return v.Map().String()
+	case KindWindow:
+		return v.Win().String()
+	case KindIterator:
+		return "<iterator>"
+	case KindEvent:
+		return v.Event().String()
+	case KindAssoc:
+		return "<association " + v.Assoc().Table + ">"
+	}
+	return "<invalid>"
+}
+
+func formatReal(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Keep reals visually distinct from ints, as the paper's print() does.
+	if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+		s += ".0"
+	}
+	return s
+}
+
+// KeyString renders the canonical identifier form used for map keys and
+// persistent-table primary keys. Sequences use a '|'-joined form so that a
+// multi-attribute key is stable.
+func KeyString(v Value) string {
+	switch v.kind {
+	case KindSequence:
+		s := v.Seq()
+		parts := make([]string, s.Len())
+		for i := 0; i < s.Len(); i++ {
+			parts[i] = KeyString(s.At(i))
+		}
+		return strings.Join(parts, "|")
+	default:
+		return v.String()
+	}
+}
+
+// Equal reports deep equality of two values. Numeric kinds compare by value
+// across int/real/tstamp; string and identifier compare by contents.
+func Equal(a, b Value) bool {
+	if a.kind.Numeric() && b.kind.Numeric() {
+		af, _ := a.NumAsReal()
+		bf, _ := b.NumAsReal()
+		return af == bf
+	}
+	switch {
+	case (a.kind == KindString || a.kind == KindIdentifier) &&
+		(b.kind == KindString || b.kind == KindIdentifier):
+		return a.s == b.s
+	case a.kind != b.kind:
+		return false
+	}
+	switch a.kind {
+	case KindNil:
+		return true
+	case KindBool:
+		return a.n == b.n
+	case KindSequence:
+		as, bs := a.Seq(), b.Seq()
+		if as.Len() != bs.Len() {
+			return false
+		}
+		for i := 0; i < as.Len(); i++ {
+			if !Equal(as.At(i), bs.At(i)) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a.agg == b.agg
+	}
+}
+
+// Compare orders two values: -1, 0, +1. Numeric kinds are mutually
+// comparable; strings/identifiers compare lexicographically; booleans order
+// false < true. Mixed or aggregate comparisons return an error.
+func Compare(a, b Value) (int, error) {
+	if a.kind.Numeric() && b.kind.Numeric() {
+		// Compare in int64 space when both sides are integral to avoid
+		// float rounding on large timestamps.
+		if a.kind != KindReal && b.kind != KindReal {
+			switch {
+			case a.n < b.n:
+				return -1, nil
+			case a.n > b.n:
+				return 1, nil
+			}
+			return 0, nil
+		}
+		af, _ := a.NumAsReal()
+		bf, _ := b.NumAsReal()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if (a.kind == KindString || a.kind == KindIdentifier) &&
+		(b.kind == KindString || b.kind == KindIdentifier) {
+		return strings.Compare(a.s, b.s), nil
+	}
+	if a.kind == KindBool && b.kind == KindBool {
+		switch {
+		case a.n < b.n:
+			return -1, nil
+		case a.n > b.n:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("cannot compare %s with %s", a.kind, b.kind)
+}

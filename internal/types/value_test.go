@@ -1,0 +1,210 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{"int", Int(42), KindInt, "42"},
+		{"negative int", Int(-7), KindInt, "-7"},
+		{"real", Real(2.5), KindReal, "2.5"},
+		{"real integral", Real(3), KindReal, "3.0"},
+		{"bool true", Bool(true), KindBool, "true"},
+		{"bool false", Bool(false), KindBool, "false"},
+		{"string", Str("abc"), KindString, "abc"},
+		{"identifier", Ident("key"), KindIdentifier, "key"},
+		{"tstamp", Stamp(1234), KindTstamp, "1234"},
+		{"nil", Nil, KindNil, "nil"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Kind(); got != tt.kind {
+				t.Errorf("Kind() = %v, want %v", got, tt.kind)
+			}
+			if got := tt.v.String(); got != tt.str {
+				t.Errorf("String() = %q, want %q", got, tt.str)
+			}
+		})
+	}
+}
+
+func TestValueAccessorsRejectWrongKind(t *testing.T) {
+	if _, ok := Str("x").AsInt(); ok {
+		t.Error("AsInt on string should fail")
+	}
+	if _, ok := Int(1).AsStr(); ok {
+		t.Error("AsStr on int should fail")
+	}
+	if _, ok := Int(1).AsBool(); ok {
+		t.Error("AsBool on int should fail")
+	}
+	if _, ok := Int(1).AsStamp(); ok {
+		t.Error("AsStamp on int should fail")
+	}
+	if Int(1).Seq() != nil || Int(1).Map() != nil || Int(1).Win() != nil {
+		t.Error("aggregate accessors on scalar should return nil")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if b, err := Bool(true).Truthy(); err != nil || !b {
+		t.Errorf("Bool(true).Truthy() = %v, %v", b, err)
+	}
+	if b, err := Bool(false).Truthy(); err != nil || b {
+		t.Errorf("Bool(false).Truthy() = %v, %v", b, err)
+	}
+	if _, err := Int(1).Truthy(); err == nil {
+		t.Error("Int.Truthy() should error: conditions must be bool")
+	}
+}
+
+func TestEqualNumericCoercion(t *testing.T) {
+	if !Equal(Int(3), Real(3.0)) {
+		t.Error("Int(3) should equal Real(3.0)")
+	}
+	if !Equal(Int(5), Stamp(5)) {
+		t.Error("Int(5) should equal Stamp(5)")
+	}
+	if Equal(Int(3), Real(3.5)) {
+		t.Error("Int(3) should not equal Real(3.5)")
+	}
+	if !Equal(Str("a"), Ident("a")) {
+		t.Error("string and identifier with same contents should be equal")
+	}
+	if Equal(Str("a"), Int(0)) {
+		t.Error("string should not equal int")
+	}
+	if !Equal(Nil, Nil) {
+		t.Error("nil should equal nil")
+	}
+}
+
+func TestEqualSequences(t *testing.T) {
+	a := SeqV(NewSequence(Int(1), Str("x")))
+	b := SeqV(NewSequence(Int(1), Str("x")))
+	c := SeqV(NewSequence(Int(1), Str("y")))
+	d := SeqV(NewSequence(Int(1)))
+	if !Equal(a, b) {
+		t.Error("equal sequences should compare equal")
+	}
+	if Equal(a, c) {
+		t.Error("differing element should break equality")
+	}
+	if Equal(a, d) {
+		t.Error("differing length should break equality")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Int(1), Real(1.5), -1},
+		{Real(2.5), Int(2), 1},
+		{Stamp(10), Stamp(20), -1},
+		{Stamp(10), Int(10), 0},
+		{Str("a"), Str("b"), -1},
+		{Ident("b"), Str("a"), 1},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, tt := range tests {
+		got, err := Compare(tt.a, tt.b)
+		if err != nil {
+			t.Errorf("Compare(%v, %v) error: %v", tt.a, tt.b, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+	if _, err := Compare(Str("a"), Int(1)); err == nil {
+		t.Error("comparing string with int should error")
+	}
+	if _, err := Compare(Bool(true), Int(1)); err == nil {
+		t.Error("comparing bool with int should error")
+	}
+}
+
+func TestCompareLargeTimestampsNoFloatRounding(t *testing.T) {
+	// Two timestamps differing by 1 ns beyond float64 precision.
+	a := Stamp(1 << 60)
+	b := Stamp(1<<60 + 1)
+	c, err := Compare(a, b)
+	if err != nil || c != -1 {
+		t.Errorf("Compare large timestamps = %d, %v; want -1, nil", c, err)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Int(7), "7"},
+		{Str("host"), "host"},
+		{Ident("host"), "host"},
+		{Real(1.5), "1.5"},
+		{Bool(true), "true"},
+		{SeqV(NewSequence(Str("a"), Int(2))), "a|2"},
+	}
+	for _, tt := range tests {
+		if got := KeyString(tt.v); got != tt.want {
+			t.Errorf("KeyString(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || KindWindow.String() != "window" {
+		t.Error("kind names wrong")
+	}
+	if !KindInt.Scalar() || KindSequence.Scalar() {
+		t.Error("Scalar() classification wrong")
+	}
+	if !KindTstamp.Numeric() || KindString.Numeric() {
+		t.Error("Numeric() classification wrong")
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for ints.
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		c1, err1 := Compare(x, y)
+		c2, err2 := Compare(y, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == Equal(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KeyString is injective over ints (decimal form).
+func TestKeyStringIntInjectiveProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a == b {
+			return KeyString(Int(a)) == KeyString(Int(b))
+		}
+		return KeyString(Int(a)) != KeyString(Int(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,375 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"unicache/internal/types"
+)
+
+func TestSeqSetBuiltin(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+sequence s;
+int v;
+behavior {
+	s = Sequence(1, 2, 3);
+	seqSet(s, 1, 99);
+	v = seqElement(s, 1);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "v"); got != 99 {
+		t.Errorf("seqSet result = %d", got)
+	}
+}
+
+func TestSeqSetErrors(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+sequence s;
+behavior {
+	s = Sequence(1);
+	seqSet(s, 5, 0);
+}
+`)
+	err := m.Deliver(timerEvent(t, 1))
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("seqSet out of range: %v", err)
+	}
+}
+
+func TestIteratorOverWindowAndSequenceInGAPL(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+window w;
+sequence s;
+iterator i;
+int wsum, ssum;
+initialization {
+	w = Window(int, ROWS, 8);
+}
+behavior {
+	append(w, 5); append(w, 6);
+	i = Iterator(w);
+	while (hasNext(i))
+		wsum += next(i);
+	s = Sequence(1, 2, 3);
+	i = Iterator(s);
+	while (hasNext(i))
+		ssum += next(i);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if slotInt(t, m, "wsum") != 11 {
+		t.Errorf("window iterator sum = %d", slotInt(t, m, "wsum"))
+	}
+	if slotInt(t, m, "ssum") != 6 {
+		t.Errorf("sequence iterator sum = %d", slotInt(t, m, "ssum"))
+	}
+}
+
+func TestMsecsWindow(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+window w;
+int n;
+initialization { w = Window(int, MSECS, 50); }
+behavior {
+	append(w, 1);
+	n = winSize(w);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if slotInt(t, m, "n") != 1 {
+		t.Fatal("first append missing")
+	}
+	// Advance the fake clock by 60 ms: entry expires.
+	h.clock = h.clock.Add(60_000_000)
+	if err := m.Deliver(timerEvent(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if slotInt(t, m, "n") != 1 {
+		t.Errorf("after expiry winSize = %d, want 1 (only the fresh append)", slotInt(t, m, "n"))
+	}
+}
+
+func TestIntOfBoolAndFloatErrors(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+int a, b;
+behavior {
+	a = int(true);
+	b = int(false);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if slotInt(t, m, "a") != 1 || slotInt(t, m, "b") != 0 {
+		t.Error("int(bool) wrong")
+	}
+
+	m2 := compileVM(t, h, `
+subscribe t to Timer;
+real r;
+behavior { r = float('nope'); }
+`)
+	if err := m2.Deliver(timerEvent(t, 1)); err == nil {
+		t.Error("float(string) should error")
+	}
+}
+
+func TestHourDayErrors(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+int x;
+behavior { x = hourInDay(5); }
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err == nil {
+		t.Error("hourInDay(int) should error (needs tstamp)")
+	}
+}
+
+func TestStringOfAggregates(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+map T;
+window w;
+string s;
+initialization {
+	T = Map(int);
+	insert(T, Identifier('a'), 1);
+	w = Window(int, ROWS, 4);
+	append(w, 9);
+}
+behavior {
+	s = String(T, ' / ', w, ' / ', Sequence(1, 'x'));
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Slot("s")
+	got, _ := v.AsStr()
+	if got != "{a: 1} / [9] / (1, x)" {
+		t.Errorf("String of aggregates = %q", got)
+	}
+}
+
+func TestFrequentBuiltinErrors(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe e to Urls;
+map T;
+initialization { T = Map(int); }
+behavior { frequent(T, Identifier(e.host), 1); }
+`)
+	if err := m.Deliver(urlEvent(t, 1, "h")); err == nil ||
+		!strings.Contains(err.Error(), "k >= 2") {
+		t.Errorf("frequent k=1: %v", err)
+	}
+
+	m2 := compileVM(t, h, `
+subscribe e to Urls;
+int x;
+behavior { x = 0; frequent(x, Identifier(e.host), 5); }
+`)
+	if err := m2.Deliver(urlEvent(t, 1, "h")); err == nil {
+		t.Error("frequent on int should error")
+	}
+}
+
+func TestLsfErrors(t *testing.T) {
+	h := newFakeHost()
+	cases := []struct {
+		name, src, want string
+	}{
+		{"too few points", `
+subscribe t to Timer;
+window w;
+sequence f;
+initialization { w = Window(sequence, ROWS, 8); }
+behavior { append(w, Sequence(1, 2.0)); f = lsf(w); }`, "at least 2"},
+		{"degenerate x", `
+subscribe t to Timer;
+window w;
+sequence f;
+initialization { w = Window(sequence, ROWS, 8); }
+behavior {
+	append(w, Sequence(1, 2.0));
+	append(w, Sequence(1, 3.0));
+	f = lsf(w);
+}`, "degenerate"},
+		{"non numeric", `
+subscribe t to Timer;
+window w;
+sequence f;
+initialization { w = Window(sequence, ROWS, 8); }
+behavior {
+	append(w, Sequence('a', 'b'));
+	append(w, Sequence('c', 'd'));
+	f = lsf(w);
+}`, "numeric"},
+		{"not a window", `
+subscribe t to Timer;
+sequence f;
+int x;
+behavior { x = 1; f = lsf(x); }`, "window"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			m := compileVM(t, h, tt.src)
+			err := m.Deliver(timerEvent(t, 1))
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("want %q, got %v", tt.want, err)
+			}
+		})
+	}
+}
+
+func TestLsfScalarWindowUsesIndex(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+window w;
+sequence f;
+real slope;
+initialization { w = Window(real, ROWS, 8); }
+behavior {
+	append(w, 10.0);
+	append(w, 12.0);
+	append(w, 14.0);
+	f = lsf(w);
+	slope = seqElement(f, 0);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Slot("slope")
+	if f, _ := v.AsReal(); f < 1.999 || f > 2.001 {
+		t.Errorf("scalar-window slope = %v, want 2", f)
+	}
+}
+
+func TestTstampDiffOrderAndMixed(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+tstamp a, bts;
+int d1, d2;
+behavior {
+	a = 100;
+	bts = 40;
+	d1 = tstampDiff(a, bts);
+	d2 = tstampDiff(bts, a);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if slotInt(t, m, "d1") != 60 || slotInt(t, m, "d2") != -60 {
+		t.Errorf("tstampDiff = %d, %d", slotInt(t, m, "d1"), slotInt(t, m, "d2"))
+	}
+}
+
+func TestSendEventDirectly(t *testing.T) {
+	// Fig. 11 does send(s) with s a subscription variable.
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe f to Flows;
+behavior { send(f); }
+`)
+	if err := m.Deliver(flowEvent(t, 1, "src", "dst", 77)); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 1 {
+		t.Fatal("send(event) did not send")
+	}
+	seq := h.sent[0][0].Seq()
+	if seq == nil || seq.Len() != 4 {
+		t.Fatalf("sent event should materialise as its attribute sequence: %v", h.sent[0][0])
+	}
+	if n, _ := seq.At(3).AsInt(); n != 77 {
+		t.Errorf("sent nbytes = %v", seq.At(3))
+	}
+}
+
+func TestPublishStringTopicRequired(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+behavior { publish(7, 1); }
+`)
+	err := m.Deliver(timerEvent(t, 1))
+	if err == nil || !strings.Contains(err.Error(), "topic name") {
+		t.Errorf("publish(int,...) should error: %v", err)
+	}
+}
+
+func TestDeliverAfterRuntimeErrorStillWorks(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe f to Flows;
+int acc;
+behavior {
+	acc += 100 / f.nbytes;
+}
+`)
+	if err := m.Deliver(flowEvent(t, 1, "s", "d", 0)); err == nil {
+		t.Fatal("expected division by zero")
+	}
+	// The VM must remain usable: state intact, next event processed.
+	if err := m.Deliver(flowEvent(t, 2, "s", "d", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "acc"); got != 25 {
+		t.Errorf("acc = %d, want 25", got)
+	}
+}
+
+func TestValueKindConversionsOnStore(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+real r;
+tstamp ts;
+identifier id;
+string s;
+behavior {
+	r = 3;           # int literal into real slot
+	ts = 12345;      # int into tstamp slot
+	id = Identifier('k');
+	s = id;          # identifier into string slot
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := m.Slot("r")
+	if r.Kind() != types.KindReal {
+		t.Errorf("r kind = %s", r.Kind())
+	}
+	ts, _ := m.Slot("ts")
+	if ts.Kind() != types.KindTstamp {
+		t.Errorf("ts kind = %s", ts.Kind())
+	}
+	s, _ := m.Slot("s")
+	if s.Kind() != types.KindString {
+		t.Errorf("s kind = %s", s.Kind())
+	}
+}

@@ -1,0 +1,845 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"unicache/internal/gapl"
+	"unicache/internal/types"
+)
+
+// fakeHost implements Host over in-memory state.
+type fakeHost struct {
+	clock     types.Timestamp
+	published []publishRec
+	sent      [][]types.Value
+	printed   []string
+	assocs    map[string]*types.Map // table -> key -> row sequence
+}
+
+type publishRec struct {
+	topic string
+	vals  []types.Value
+}
+
+func newFakeHost() *fakeHost {
+	return &fakeHost{clock: 1_000_000, assocs: make(map[string]*types.Map)}
+}
+
+func (h *fakeHost) Now() types.Timestamp { return h.clock }
+
+func (h *fakeHost) Publish(topic string, vals []types.Value) error {
+	h.published = append(h.published, publishRec{topic: topic, vals: vals})
+	return nil
+}
+
+func (h *fakeHost) Send(vals []types.Value) error {
+	h.sent = append(h.sent, vals)
+	return nil
+}
+
+func (h *fakeHost) Print(s string) { h.printed = append(h.printed, s) }
+
+func (h *fakeHost) table(tbl string) (*types.Map, error) {
+	m, ok := h.assocs[tbl]
+	if !ok {
+		return nil, fmt.Errorf("no such table %q", tbl)
+	}
+	return m, nil
+}
+
+func (h *fakeHost) AssocLookup(tbl, key string) (types.Value, bool, error) {
+	m, err := h.table(tbl)
+	if err != nil {
+		return types.Nil, false, err
+	}
+	v, ok := m.Lookup(key)
+	return v, ok, nil
+}
+
+func (h *fakeHost) AssocInsert(tbl, key string, v types.Value) error {
+	m, err := h.table(tbl)
+	if err != nil {
+		return err
+	}
+	return m.Insert(key, v)
+}
+
+func (h *fakeHost) AssocHas(tbl, key string) (bool, error) {
+	m, err := h.table(tbl)
+	if err != nil {
+		return false, err
+	}
+	return m.Has(key), nil
+}
+
+func (h *fakeHost) AssocRemove(tbl, key string) (bool, error) {
+	m, err := h.table(tbl)
+	if err != nil {
+		return false, err
+	}
+	return m.Remove(key), nil
+}
+
+func (h *fakeHost) AssocSize(tbl string) (int, error) {
+	m, err := h.table(tbl)
+	if err != nil {
+		return 0, err
+	}
+	return m.Size(), nil
+}
+
+// --- helpers ---
+
+func schemas(t *testing.T) map[string]*types.Schema {
+	t.Helper()
+	mk := func(name string, cols ...types.Column) *types.Schema {
+		s, err := types.NewSchema(name, false, -1, cols...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return map[string]*types.Schema{
+		"Timer": mk("Timer", types.Column{Name: "ts", Type: types.ColTstamp}),
+		"Flows": mk("Flows",
+			types.Column{Name: "protocol", Type: types.ColInt},
+			types.Column{Name: "srcip", Type: types.ColVarchar},
+			types.Column{Name: "dstip", Type: types.ColVarchar},
+			types.Column{Name: "nbytes", Type: types.ColInt},
+		),
+		"Urls": mk("Urls", types.Column{Name: "host", Type: types.ColVarchar}),
+	}
+}
+
+func compileVM(t *testing.T, h Host, src string) *VM {
+	t.Helper()
+	c, err := gapl.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := c.Bind(schemas(t)); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	m, err := New(c, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = 10_000_000
+	if err := m.RunInit(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	return m
+}
+
+func timerEvent(t *testing.T, ts types.Timestamp) *types.Event {
+	t.Helper()
+	return &types.Event{
+		Topic:  "Timer",
+		Schema: schemas(t)["Timer"],
+		Tuple:  &types.Tuple{Seq: 1, TS: ts, Vals: []types.Value{types.Stamp(ts)}},
+	}
+}
+
+func flowEvent(t *testing.T, seq uint64, src, dst string, nbytes int64) *types.Event {
+	t.Helper()
+	return &types.Event{
+		Topic:  "Flows",
+		Schema: schemas(t)["Flows"],
+		Tuple: &types.Tuple{Seq: seq, TS: types.Timestamp(seq),
+			Vals: []types.Value{types.Int(6), types.Str(src), types.Str(dst), types.Int(nbytes)}},
+	}
+}
+
+func urlEvent(t *testing.T, seq uint64, host string) *types.Event {
+	t.Helper()
+	return &types.Event{
+		Topic:  "Urls",
+		Schema: schemas(t)["Urls"],
+		Tuple:  &types.Tuple{Seq: seq, TS: types.Timestamp(seq), Vals: []types.Value{types.Str(host)}},
+	}
+}
+
+func slotInt(t *testing.T, m *VM, name string) int64 {
+	t.Helper()
+	v, ok := m.Slot(name)
+	if !ok {
+		t.Fatalf("no slot %q", name)
+	}
+	n, ok := v.NumAsInt()
+	if !ok {
+		t.Fatalf("slot %q is %s, not numeric", name, v.Kind())
+	}
+	return n
+}
+
+// --- tests ---
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+int sum, i;
+initialization { sum = 0; }
+behavior {
+	i = 1;
+	while (i <= 10) {
+		if (i % 2 == 0)
+			sum += i;
+		i += 1;
+	}
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "sum"); got != 30 {
+		t.Errorf("sum of evens 1..10 = %d, want 30", got)
+	}
+}
+
+func TestCompoundAssignOperators(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+int a, b, c, d, e;
+behavior {
+	a = 10; a += 5;
+	b = 10; b -= 3;
+	c = 10; c *= 4;
+	d = 10; d /= 3;
+	e = 10; e %= 3;
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{"a": 15, "b": 7, "c": 40, "d": 3, "e": 1} {
+		if got := slotInt(t, m, name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	h := newFakeHost()
+	// Division by zero on the right side must not be evaluated when the
+	// left side short-circuits.
+	m := compileVM(t, h, `
+subscribe t to Timer;
+int zero, hits;
+bool b;
+behavior {
+	zero = 0;
+	b = false && (1 / zero == 1);
+	if (!b) hits += 1;
+	b = true || (1 / zero == 1);
+	if (b) hits += 1;
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "hits"); got != 2 {
+		t.Errorf("hits = %d, want 2 (short-circuit failed)", got)
+	}
+}
+
+func TestEventFieldAccessAndCurrentTopic(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe f to Flows;
+subscribe t to Timer;
+int n;
+string topic;
+tstamp ts;
+behavior {
+	topic = currentTopic();
+	if (topic == 'Flows') {
+		n += f.nbytes;
+		ts = f.tstamp;
+	}
+}
+`)
+	if err := m.Deliver(flowEvent(t, 7, "a", "b", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deliver(flowEvent(t, 9, "a", "b", 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Deliver(timerEvent(t, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "n"); got != 150 {
+		t.Errorf("n = %d, want 150", got)
+	}
+	if got := slotInt(t, m, "ts"); got != 9 {
+		t.Errorf("ts = %d, want 9 (insertion tstamp pseudo-attribute)", got)
+	}
+	v, _ := m.Slot("topic")
+	if s, _ := v.AsStr(); s != "Timer" {
+		t.Errorf("currentTopic after Timer event = %q", s)
+	}
+}
+
+func TestFieldAccessBeforeEventErrors(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe f to Flows;
+subscribe t to Timer;
+int n;
+behavior { n = f.nbytes; }
+`)
+	err := m.Deliver(timerEvent(t, 1))
+	if err == nil || !strings.Contains(err.Error(), "no event received") {
+		t.Errorf("expected field-before-event error, got %v", err)
+	}
+}
+
+func TestSequenceBuiltins(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+sequence s;
+int n, size;
+behavior {
+	s = Sequence('a', 2, 3.5);
+	append(s, 99);
+	size = seqSize(s);
+	n = seqElement(s, 3);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "size"); got != 4 {
+		t.Errorf("seqSize = %d", got)
+	}
+	if got := slotInt(t, m, "n"); got != 99 {
+		t.Errorf("seqElement(3) = %d", got)
+	}
+}
+
+func TestMapBuiltins(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+map T;
+identifier id;
+int size, v, removedSize;
+bool has, hasAfter;
+initialization { T = Map(int); }
+behavior {
+	id = Identifier('key1');
+	insert(T, id, 10);
+	insert(T, Identifier('key2'), 20);
+	has = hasEntry(T, id);
+	v = lookup(T, id);
+	size = mapSize(T);
+	remove(T, id);
+	hasAfter = hasEntry(T, id);
+	removedSize = mapSize(T);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "v"); got != 10 {
+		t.Errorf("lookup = %d", got)
+	}
+	if got := slotInt(t, m, "size"); got != 2 {
+		t.Errorf("mapSize = %d", got)
+	}
+	if got := slotInt(t, m, "removedSize"); got != 1 {
+		t.Errorf("size after remove = %d", got)
+	}
+	vHas, _ := m.Slot("has")
+	vHasAfter, _ := m.Slot("hasAfter")
+	if b, _ := vHas.AsBool(); !b {
+		t.Error("hasEntry before remove should be true")
+	}
+	if b, _ := vHasAfter.AsBool(); b {
+		t.Error("hasEntry after remove should be false")
+	}
+}
+
+func TestIteratorOverMap(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+map T;
+iterator i;
+identifier id;
+int sum;
+initialization {
+	T = Map(int);
+	insert(T, Identifier('a'), 1);
+	insert(T, Identifier('b'), 2);
+	insert(T, Identifier('c'), 4);
+}
+behavior {
+	i = Iterator(T);
+	while (hasNext(i)) {
+		id = next(i);
+		sum += lookup(T, id);
+	}
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "sum"); got != 7 {
+		t.Errorf("sum over map = %d, want 7", got)
+	}
+}
+
+func TestWindowBuiltinsRowsAndTime(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+window w, tw;
+int n, tn;
+initialization {
+	w = Window(int, ROWS, 3);
+	tw = Window(int, SECS, 10);
+}
+behavior {
+	append(w, 1); append(w, 2); append(w, 3); append(w, 4);
+	n = winSize(w);
+	append(tw, 7);
+	tn = winSize(tw);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "n"); got != 3 {
+		t.Errorf("row window size = %d, want 3", got)
+	}
+	if got := slotInt(t, m, "tn"); got != 1 {
+		t.Errorf("time window size = %d, want 1", got)
+	}
+	// Advance the clock past the window span: winSize must expire entries.
+	h.clock = h.clock.Add(11_000_000_000) // +11s
+	m2src := m                            // reuse: deliver again, but only check tw via winSize
+	if err := m2src.Deliver(timerEvent(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// After this delivery tw got one fresh element appended; the stale one
+	// from the first delivery must be gone.
+	if got := slotInt(t, m, "tn"); got != 1 {
+		t.Errorf("time window after expiry = %d, want 1", got)
+	}
+}
+
+func TestPublishFlattensSequencesAndEvents(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe f to Flows;
+behavior {
+	publish('T', Sequence(f.srcip, f.nbytes));
+	publish('U', f.nbytes, 7);
+	publish('V', f);
+}
+`)
+	if err := m.Deliver(flowEvent(t, 1, "10.0.0.1", "d", 123)); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.published) != 3 {
+		t.Fatalf("published %d", len(h.published))
+	}
+	p := h.published[0]
+	if p.topic != "T" || len(p.vals) != 2 || p.vals[1].String() != "123" {
+		t.Errorf("publish seq = %+v", p)
+	}
+	p = h.published[1]
+	if p.topic != "U" || len(p.vals) != 2 || p.vals[0].String() != "123" || p.vals[1].String() != "7" {
+		t.Errorf("publish scalars = %+v", p)
+	}
+	p = h.published[2]
+	if p.topic != "V" || len(p.vals) != 4 {
+		t.Errorf("publish event should flatten to attrs: %+v", p)
+	}
+}
+
+func TestSendDeliversValues(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe f to Flows;
+sequence s;
+behavior {
+	s = Sequence(f.dstip, f.nbytes);
+	send(s, 100, 'limit exceeded');
+}
+`)
+	if err := m.Deliver(flowEvent(t, 1, "s", "8.8.8.8", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 1 {
+		t.Fatalf("sent %d", len(h.sent))
+	}
+	vals := h.sent[0]
+	if len(vals) != 3 {
+		t.Fatalf("send arity = %d", len(vals))
+	}
+	if seq := vals[0].Seq(); seq == nil || seq.At(0).String() != "8.8.8.8" {
+		t.Errorf("send[0] = %v", vals[0])
+	}
+	if vals[2].String() != "limit exceeded" {
+		t.Errorf("send[2] = %v", vals[2])
+	}
+}
+
+func TestTimeBuiltins(t *testing.T) {
+	h := newFakeHost()
+	h.clock = 5_000_000_000
+	m := compileVM(t, h, `
+subscribe t to Timer;
+tstamp start;
+int diff, hour, day;
+behavior {
+	start = tstampNow();
+	diff = tstampDiff(tstampNow(), start);
+	hour = hourInDay(start);
+	day = dayInWeek(start);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "start"); got != 5_000_000_000 {
+		t.Errorf("tstampNow = %d", got)
+	}
+	if got := slotInt(t, m, "diff"); got != 0 {
+		t.Errorf("tstampDiff = %d", got)
+	}
+	// 1970-01-01T00:00:05Z is hour 0, Thursday (4).
+	if got := slotInt(t, m, "hour"); got != 0 {
+		t.Errorf("hourInDay = %d", got)
+	}
+	if got := slotInt(t, m, "day"); got != 4 {
+		t.Errorf("dayInWeek = %d", got)
+	}
+}
+
+func TestConversionsAndMath(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+real r, sq, pw;
+int i, a, mn, mx;
+behavior {
+	r = float(7) / 2.0;
+	i = int(3.9);
+	a = abs(0 - 5);
+	mn = min(3, 9);
+	mx = max(3, 9);
+	sq = sqrt(16.0);
+	pw = pow(2.0, 10.0);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Slot("r")
+	if f, _ := v.AsReal(); f != 3.5 {
+		t.Errorf("float div = %v", f)
+	}
+	if got := slotInt(t, m, "i"); got != 3 {
+		t.Errorf("int(3.9) = %d", got)
+	}
+	if got := slotInt(t, m, "a"); got != 5 {
+		t.Errorf("abs = %d", got)
+	}
+	if slotInt(t, m, "mn") != 3 || slotInt(t, m, "mx") != 9 {
+		t.Error("min/max wrong")
+	}
+	v, _ = m.Slot("sq")
+	if f, _ := v.AsReal(); f != 4.0 {
+		t.Errorf("sqrt = %v", f)
+	}
+	v, _ = m.Slot("pw")
+	if f, _ := v.AsReal(); f != 1024.0 {
+		t.Errorf("pow = %v", f)
+	}
+}
+
+func TestPrintAndStringConcat(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+behavior {
+	print(String('value: ', 42, ' / ', 2.5));
+	print('a', 'b');
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.printed) != 2 {
+		t.Fatalf("printed %d lines", len(h.printed))
+	}
+	if h.printed[0] != "value: 42 / 2.5" {
+		t.Errorf("String concat = %q", h.printed[0])
+	}
+	if h.printed[1] != "a b" {
+		t.Errorf("print join = %q", h.printed[1])
+	}
+}
+
+func TestDeleteClearsAggregates(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+map T;
+window w;
+int msize, wsize;
+initialization {
+	T = Map(int);
+	w = Window(int, ROWS, 8);
+}
+behavior {
+	insert(T, Identifier('x'), 1);
+	append(w, 1);
+	delete(T);
+	delete(w);
+	msize = mapSize(T);
+	wsize = winSize(w);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if slotInt(t, m, "msize") != 0 || slotInt(t, m, "wsize") != 0 {
+		t.Error("delete() should clear aggregates")
+	}
+}
+
+func TestAssociationOps(t *testing.T) {
+	h := newFakeHost()
+	h.assocs["Allowances"] = types.NewMap(types.KindNil)
+	_ = h.assocs["Allowances"].Insert("8.8.8.8",
+		types.SeqV(types.NewSequence(types.Str("8.8.8.8"), types.Int(1000))))
+	h.assocs["BWUsage"] = types.NewMap(types.KindNil)
+
+	// The paper's Fig. 4 bandwidth automaton (attribute names per Fig. 3).
+	m := compileVM(t, h, `
+subscribe f to Flows;
+associate a with Allowances;
+associate b with BWUsage;
+int n, limit;
+identifier ip;
+sequence s;
+behavior {
+	ip = Identifier(f.dstip);
+	if (hasEntry(a, ip)) {
+		limit = seqElement(lookup(a, ip), 1);
+		if (hasEntry(b, ip))
+			n = seqElement(lookup(b, ip), 1);
+		else
+			n = 0;
+		n += f.nbytes;
+		s = Sequence(f.dstip, n);
+		if (n > limit)
+			send(s, limit, 'limit exceeded');
+		insert(b, ip, s);
+	}
+}
+`)
+	// Unmonitored destination: ignored.
+	if err := m.Deliver(flowEvent(t, 1, "10.0.0.1", "1.1.1.1", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if h.assocs["BWUsage"].Size() != 0 {
+		t.Error("unmonitored flow should not record usage")
+	}
+	// Monitored destination accumulates.
+	if err := m.Deliver(flowEvent(t, 2, "10.0.0.1", "8.8.8.8", 600)); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 0 {
+		t.Error("no notification below the limit")
+	}
+	if err := m.Deliver(flowEvent(t, 3, "10.0.0.1", "8.8.8.8", 600)); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 1 {
+		t.Fatalf("limit exceeded should notify once, sent=%d", len(h.sent))
+	}
+	row, ok := h.assocs["BWUsage"].Lookup("8.8.8.8")
+	if !ok {
+		t.Fatal("usage row missing")
+	}
+	if n, _ := row.Seq().At(1).AsInt(); n != 1200 {
+		t.Errorf("accumulated usage = %d, want 1200", n)
+	}
+}
+
+func TestFrequentBuiltinMatchesMisraGries(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe e to Urls;
+map T;
+int k;
+initialization {
+	k = 4;
+	T = Map(int);
+}
+behavior { frequent(T, Identifier(e.host), k); }
+`)
+	// Stream where "heavy" occurs > n/k times.
+	stream := []string{
+		"heavy", "a", "heavy", "b", "heavy", "c", "heavy", "d",
+		"heavy", "e", "heavy", "f", "heavy", "g", "heavy", "h",
+	}
+	for i, hst := range stream {
+		if err := m.Deliver(urlEvent(t, uint64(i+1), hst)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _ := m.Slot("T")
+	mp := v.Map()
+	if mp == nil {
+		t.Fatal("T is not a map")
+	}
+	// Misra-Gries guarantee: any item with frequency > n/k must be present.
+	// heavy appears 8 times in 16 events; n/k = 4 -> must be present.
+	if !mp.Has("heavy") {
+		t.Errorf("frequent lost the heavy hitter; summary = %s", mp)
+	}
+	if mp.Size() > 3 {
+		t.Errorf("summary holds %d > k-1 entries", mp.Size())
+	}
+}
+
+func TestLsfBuiltin(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+window w;
+sequence fit;
+real slope, icept;
+initialization { w = Window(sequence, ROWS, 16); }
+behavior {
+	append(w, Sequence(0, 1.0));
+	append(w, Sequence(1, 3.0));
+	append(w, Sequence(2, 5.0));
+	append(w, Sequence(3, 7.0));
+	fit = lsf(w);
+	slope = seqElement(fit, 0);
+	icept = seqElement(fit, 1);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Slot("slope")
+	if f, _ := v.AsReal(); f < 1.999 || f > 2.001 {
+		t.Errorf("slope = %v, want 2", f)
+	}
+	v, _ = m.Slot("icept")
+	if f, _ := v.AsReal(); f < 0.999 || f > 1.001 {
+		t.Errorf("intercept = %v, want 1", f)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"lookup missing", `subscribe t to Timer; map T; int v;
+			initialization { T = Map(int); }
+			behavior { v = lookup(T, Identifier('x')); }`, "no entry"},
+		{"seq out of range", `subscribe t to Timer; sequence s; int v;
+			behavior { s = Sequence(1); v = seqElement(s, 5); }`, "out of range"},
+		{"div by zero", `subscribe t to Timer; int z, v;
+			behavior { z = 0; v = 1 / z; }`, "zero"},
+		{"iterator on int", `subscribe t to Timer; iterator i; int x;
+			behavior { x = 1; i = Iterator(x); }`, "Iterator"},
+		{"append on int", `subscribe t to Timer; int x;
+			behavior { x = 1; append(x, 2); }`, "append"},
+		{"bad window constraint", `subscribe t to Timer; window w;
+			behavior { w = Window(int, ROWS, 0); }`, "positive"},
+		{"assoc missing table", `subscribe t to Timer; associate a with NoTable; int n;
+			behavior { n = mapSize(a); }`, "no such table"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			h := newFakeHost()
+			m := compileVM(t, h, tt.src)
+			err := m.Deliver(timerEvent(t, 1))
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("want error containing %q, got %v", tt.want, err)
+			}
+		})
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	h := newFakeHost()
+	c, err := gapl.Compile(`
+subscribe t to Timer;
+behavior { while (true) { } }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind(schemas(t)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(c, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = 1000
+	err = m.Deliver(timerEvent(t, 1))
+	if err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Errorf("infinite loop should trip MaxSteps, got %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, newFakeHost()); err == nil {
+		t.Error("nil program rejected")
+	}
+	c, _ := gapl.Compile(minSrc)
+	// Unbound program rejected.
+	if _, err := New(c, newFakeHost()); err == nil {
+		t.Error("unbound program rejected")
+	}
+}
+
+const minSrc = `
+subscribe t to Timer;
+behavior { print('x'); }
+`
+
+func TestDeliverUnknownTopic(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, minSrc)
+	err := m.Deliver(flowEvent(t, 1, "a", "b", 1))
+	if err == nil || !strings.Contains(err.Error(), "not subscribed") {
+		t.Errorf("unknown topic: %v", err)
+	}
+}
+
+func TestDuplicateTopicSubscriptionRejected(t *testing.T) {
+	h := newFakeHost()
+	c, err := gapl.Compile(`
+subscribe a to Timer;
+subscribe b to Timer;
+behavior { print('x'); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind(schemas(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(c, h); err == nil {
+		t.Error("duplicate topic subscription should be rejected")
+	}
+}

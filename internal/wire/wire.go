@@ -1,0 +1,381 @@
+// Package wire implements the binary codec used by the cache's RPC
+// mechanism: values, tuples and query results are encoded into
+// length-delimited binary form using only encoding/binary primitives.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"unicache/internal/sql"
+	"unicache/internal/types"
+)
+
+// Encoder appends primitive and composite encodings to a byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with optional pre-allocated capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset clears the buffer for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a big-endian uint16.
+func (e *Encoder) U16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a big-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a big-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+
+// I64 appends an int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends an IEEE-754 double.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Value appends one value. Iterators, events and associations are not
+// wire-able as such; events are materialised to sequences by the caller.
+func (e *Encoder) Value(v types.Value) error {
+	if ev := v.Event(); ev != nil {
+		v = types.SeqV(ev.AsSequence())
+	}
+	e.U8(uint8(v.Kind()))
+	switch v.Kind() {
+	case types.KindNil:
+	case types.KindInt:
+		n, _ := v.AsInt()
+		e.I64(n)
+	case types.KindTstamp:
+		ts, _ := v.AsStamp()
+		e.I64(int64(ts))
+	case types.KindReal:
+		f, _ := v.AsReal()
+		e.F64(f)
+	case types.KindBool:
+		b, _ := v.AsBool()
+		if b {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+	case types.KindString, types.KindIdentifier:
+		s, _ := v.AsStr()
+		e.Str(s)
+	case types.KindSequence:
+		seq := v.Seq()
+		e.U32(uint32(seq.Len()))
+		for i := 0; i < seq.Len(); i++ {
+			if err := e.Value(seq.At(i)); err != nil {
+				return err
+			}
+		}
+	case types.KindMap:
+		m := v.Map()
+		e.U8(uint8(m.ElemKind()))
+		keys := m.Keys()
+		e.U32(uint32(len(keys)))
+		for _, k := range keys {
+			e.Str(k)
+			val, _ := m.Lookup(k)
+			if err := e.Value(val); err != nil {
+				return err
+			}
+		}
+	case types.KindWindow:
+		w := v.Win()
+		e.U8(uint8(w.ElemKind()))
+		e.U32(uint32(w.Len()))
+		for i := 0; i < w.Len(); i++ {
+			e.I64(int64(w.TsAt(i)))
+			if err := e.Value(w.At(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("wire: %s values cannot be encoded", v.Kind())
+	}
+	return nil
+}
+
+// Values appends a u16-counted slice of values.
+func (e *Encoder) Values(vals []types.Value) error {
+	e.U16(uint16(len(vals)))
+	for _, v := range vals {
+		if err := e.Value(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result appends a query result.
+func (e *Encoder) Result(r *sql.Result) error {
+	e.U16(uint16(len(r.Cols)))
+	for _, c := range r.Cols {
+		e.Str(c)
+	}
+	e.U32(uint32(len(r.Rows)))
+	for _, row := range r.Rows {
+		if err := e.Values(row); err != nil {
+			return err
+		}
+	}
+	e.U32(uint32(r.Affected))
+	return nil
+}
+
+// Decoder consumes encodings produced by Encoder.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+// NewDecoder wraps a buffer.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+func (d *Decoder) need(n int) error {
+	if d.pos+n > len(d.buf) {
+		return fmt.Errorf("wire: truncated message (need %d bytes, have %d)", n, len(d.buf)-d.pos)
+	}
+	return nil
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() (uint8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v, nil
+}
+
+// U16 reads a big-endian uint16.
+func (d *Decoder) U16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.pos:])
+	d.pos += 2
+	return v, nil
+}
+
+// U32 reads a big-endian uint32.
+func (d *Decoder) U32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+// U64 reads a big-endian uint64.
+func (d *Decoder) U64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() (int64, error) {
+	v, err := d.U64()
+	return int64(v), err
+}
+
+// F64 reads an IEEE-754 double.
+func (d *Decoder) F64() (float64, error) {
+	v, err := d.U64()
+	return math.Float64frombits(v), err
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() (string, error) {
+	n, err := d.U32()
+	if err != nil {
+		return "", err
+	}
+	if err := d.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+// Value reads one value.
+func (d *Decoder) Value() (types.Value, error) {
+	kb, err := d.U8()
+	if err != nil {
+		return types.Nil, err
+	}
+	switch types.Kind(kb) {
+	case types.KindNil:
+		return types.Nil, nil
+	case types.KindInt:
+		n, err := d.I64()
+		return types.Int(n), err
+	case types.KindTstamp:
+		n, err := d.I64()
+		return types.Stamp(types.Timestamp(n)), err
+	case types.KindReal:
+		f, err := d.F64()
+		return types.Real(f), err
+	case types.KindBool:
+		b, err := d.U8()
+		return types.Bool(b != 0), err
+	case types.KindString:
+		s, err := d.Str()
+		return types.Str(s), err
+	case types.KindIdentifier:
+		s, err := d.Str()
+		return types.Ident(s), err
+	case types.KindSequence:
+		n, err := d.U32()
+		if err != nil {
+			return types.Nil, err
+		}
+		seq := types.NewSequence()
+		for i := uint32(0); i < n; i++ {
+			v, err := d.Value()
+			if err != nil {
+				return types.Nil, err
+			}
+			seq.Append(v)
+		}
+		return types.SeqV(seq), nil
+	case types.KindMap:
+		elem, err := d.U8()
+		if err != nil {
+			return types.Nil, err
+		}
+		n, err := d.U32()
+		if err != nil {
+			return types.Nil, err
+		}
+		m := types.NewMap(types.Kind(elem))
+		for i := uint32(0); i < n; i++ {
+			k, err := d.Str()
+			if err != nil {
+				return types.Nil, err
+			}
+			v, err := d.Value()
+			if err != nil {
+				return types.Nil, err
+			}
+			if err := m.Insert(k, v); err != nil {
+				return types.Nil, err
+			}
+		}
+		return types.MapV(m), nil
+	case types.KindWindow:
+		elem, err := d.U8()
+		if err != nil {
+			return types.Nil, err
+		}
+		n, err := d.U32()
+		if err != nil {
+			return types.Nil, err
+		}
+		// Decoded windows are row-constrained snapshots: the receiver gets
+		// the contents, not the eviction policy.
+		capacity := int(n)
+		if capacity == 0 {
+			capacity = 1
+		}
+		w, err := types.NewRowWindow(types.Kind(elem), capacity)
+		if err != nil {
+			return types.Nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			ts, err := d.I64()
+			if err != nil {
+				return types.Nil, err
+			}
+			v, err := d.Value()
+			if err != nil {
+				return types.Nil, err
+			}
+			if err := w.Append(v, types.Timestamp(ts)); err != nil {
+				return types.Nil, err
+			}
+		}
+		return types.WinV(w), nil
+	}
+	return types.Nil, fmt.Errorf("wire: unknown value kind %d", kb)
+}
+
+// Values reads a u16-counted slice of values.
+func (d *Decoder) Values() ([]types.Value, error) {
+	n, err := d.U16()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]types.Value, n)
+	for i := range out {
+		v, err := d.Value()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Result reads a query result.
+func (d *Decoder) Result() (*sql.Result, error) {
+	ncols, err := d.U16()
+	if err != nil {
+		return nil, err
+	}
+	r := &sql.Result{}
+	for i := uint16(0); i < ncols; i++ {
+		c, err := d.Str()
+		if err != nil {
+			return nil, err
+		}
+		r.Cols = append(r.Cols, c)
+	}
+	nrows, err := d.U32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nrows; i++ {
+		row, err := d.Values()
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	aff, err := d.U32()
+	if err != nil {
+		return nil, err
+	}
+	r.Affected = int(aff)
+	return r, nil
+}

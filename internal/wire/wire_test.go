@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unicache/internal/sql"
+	"unicache/internal/types"
+)
+
+func roundTrip(t *testing.T, v types.Value) types.Value {
+	t.Helper()
+	e := NewEncoder(0)
+	if err := e.Value(v); err != nil {
+		t.Fatalf("encode %v: %v", v, err)
+	}
+	d := NewDecoder(e.Bytes())
+	got, err := d.Value()
+	if err != nil {
+		t.Fatalf("decode %v: %v", v, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("decode %v left %d bytes", v, d.Remaining())
+	}
+	return got
+}
+
+func TestValueRoundTripScalars(t *testing.T) {
+	cases := []types.Value{
+		types.Nil,
+		types.Int(0), types.Int(-1), types.Int(1 << 62),
+		types.Real(3.14159), types.Real(-0.0),
+		types.Bool(true), types.Bool(false),
+		types.Str(""), types.Str("hello"), types.Str("unicode: 日本語"),
+		types.Ident("key|1"),
+		types.Stamp(types.Timestamp(1234567890)),
+	}
+	for _, v := range cases {
+		got := roundTrip(t, v)
+		if got.Kind() != v.Kind() || !types.Equal(got, v) {
+			t.Errorf("round trip %v (%s) = %v (%s)", v, v.Kind(), got, got.Kind())
+		}
+	}
+}
+
+func TestValueRoundTripNested(t *testing.T) {
+	inner := types.NewSequence(types.Int(1), types.Str("x"))
+	outer := types.NewSequence(types.SeqV(inner), types.Real(2.5), types.Nil)
+	got := roundTrip(t, types.SeqV(outer))
+	seq := got.Seq()
+	if seq == nil || seq.Len() != 3 {
+		t.Fatalf("outer = %v", got)
+	}
+	if in := seq.At(0).Seq(); in == nil || in.Len() != 2 || in.At(1).String() != "x" {
+		t.Errorf("inner = %v", seq.At(0))
+	}
+}
+
+func TestValueRoundTripMap(t *testing.T) {
+	m := types.NewMap(types.KindInt)
+	_ = m.Insert("a", types.Int(1))
+	_ = m.Insert("b", types.Int(2))
+	got := roundTrip(t, types.MapV(m)).Map()
+	if got == nil || got.Size() != 2 || got.ElemKind() != types.KindInt {
+		t.Fatalf("map round trip = %v", got)
+	}
+	keys := got.Keys()
+	if keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("insertion order lost: %v", keys)
+	}
+	if v, _ := got.Lookup("b"); v.String() != "2" {
+		t.Errorf("map value = %v", v)
+	}
+}
+
+func TestValueRoundTripWindow(t *testing.T) {
+	w, _ := types.NewRowWindow(types.KindInt, 8)
+	_ = w.Append(types.Int(10), 100)
+	_ = w.Append(types.Int(20), 200)
+	got := roundTrip(t, types.WinV(w)).Win()
+	if got == nil || got.Len() != 2 {
+		t.Fatalf("window round trip = %v", got)
+	}
+	if got.TsAt(1) != 200 || got.At(1).String() != "20" {
+		t.Errorf("window entry = ts %d v %v", got.TsAt(1), got.At(1))
+	}
+}
+
+func TestEventEncodesAsSequence(t *testing.T) {
+	schema, err := types.NewSchema("T", false, -1,
+		types.Column{Name: "v", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &types.Event{Topic: "T", Schema: schema,
+		Tuple: &types.Tuple{Vals: []types.Value{types.Int(7)}}}
+	got := roundTrip(t, types.EventV(ev))
+	if got.Kind() != types.KindSequence || got.Seq().At(0).String() != "7" {
+		t.Errorf("event round trip = %v (%s)", got, got.Kind())
+	}
+}
+
+func TestUnencodableKinds(t *testing.T) {
+	e := NewEncoder(0)
+	it := types.NewSequenceIterator(types.NewSequence())
+	if err := e.Value(types.IterV(it)); err == nil {
+		t.Error("iterator should not encode")
+	}
+	if err := e.Value(types.AssocV(&types.Assoc{Table: "T"})); err == nil {
+		t.Error("association should not encode")
+	}
+}
+
+func TestValuesRoundTrip(t *testing.T) {
+	vals := []types.Value{types.Int(1), types.Str("two"), types.Real(3.0)}
+	e := NewEncoder(0)
+	if err := e.Values(vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(e.Bytes()).Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !types.Equal(got[1], vals[1]) {
+		t.Errorf("values round trip = %v", got)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	r := &sql.Result{
+		Cols:     []string{"a", "b"},
+		Rows:     [][]types.Value{{types.Int(1), types.Str("x")}, {types.Int(2), types.Str("y")}},
+		Affected: 7,
+	}
+	e := NewEncoder(0)
+	if err := e.Result(r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(e.Bytes()).Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cols) != 2 || got.Cols[1] != "b" || got.Affected != 7 {
+		t.Errorf("result header = %+v", got)
+	}
+	if len(got.Rows) != 2 || got.Rows[1][1].String() != "y" {
+		t.Errorf("result rows = %+v", got.Rows)
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	e := NewEncoder(0)
+	_ = e.Value(types.Str("hello world"))
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		if _, err := d.Value(); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDecoderUnknownKind(t *testing.T) {
+	d := NewDecoder([]byte{255})
+	if _, err := d.Value(); err == nil {
+		t.Error("unknown kind byte should error")
+	}
+}
+
+func TestPrimitiveRoundTripProperty(t *testing.T) {
+	f := func(n int64, f64 float64, s string, b bool) bool {
+		e := NewEncoder(0)
+		e.I64(n)
+		e.F64(f64)
+		e.Str(s)
+		if b {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+		d := NewDecoder(e.Bytes())
+		gn, err1 := d.I64()
+		gf, err2 := d.F64()
+		gs, err3 := d.Str()
+		gb, err4 := d.U8()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		if gn != n || gs != s || (gb == 1) != b {
+			return false
+		}
+		// NaN != NaN; compare bit patterns via re-encode.
+		if gf != f64 && !(f64 != f64 && gf != gf) {
+			return false
+		}
+		return d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntValueRoundTripProperty(t *testing.T) {
+	f := func(n int64) bool {
+		e := NewEncoder(0)
+		if err := e.Value(types.Int(n)); err != nil {
+			return false
+		}
+		v, err := NewDecoder(e.Bytes()).Value()
+		if err != nil {
+			return false
+		}
+		got, _ := v.AsInt()
+		return got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

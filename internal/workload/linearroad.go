@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// Linear Road (Arasu et al., VLDB'04) is the stream benchmark the paper
+// names as its next comparative target (§8). This is a simplified variant
+// of its position-report workload: cars drive along an expressway divided
+// into segments, emitting periodic position reports; accidents (stopped
+// cars) and the congestion they cause drive toll assessment.
+
+// LRReport is one car position report.
+type LRReport struct {
+	// Tick is the reporting interval index (Linear Road reports every 30
+	// simulated seconds; here one tick = one interval).
+	Tick int64
+	Car  int64
+	// Speed in mph; 0 means stopped.
+	Speed int64
+	// Seg is the expressway segment (0..LRSegments-1).
+	Seg int64
+	// Pos is the position within the segment.
+	Pos int64
+}
+
+// LRSegments is the number of segments per expressway.
+const LRSegments = 100
+
+// LRConfig parameterises the generator.
+type LRConfig struct {
+	Seed  int64
+	Cars  int
+	Ticks int
+	// Accidents plants this many two-car pile-ups (two cars stopped at the
+	// same position for several ticks).
+	Accidents int
+}
+
+// DefaultLRConfig is a laptop-scale instance.
+func DefaultLRConfig(seed int64) LRConfig {
+	return LRConfig{Seed: seed, Cars: 500, Ticks: 120, Accidents: 4}
+}
+
+// LRTrace generates position reports in tick order (cars in arbitrary but
+// deterministic order within a tick).
+func LRTrace(cfg LRConfig) []LRReport {
+	if cfg.Cars <= 0 || cfg.Ticks <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type car struct {
+		seg     int64
+		pos     int64
+		speed   int64
+		stopped int // ticks remaining stopped (accident participant)
+	}
+	cars := make([]car, cfg.Cars)
+	for i := range cars {
+		cars[i] = car{
+			seg:   int64(rng.Intn(LRSegments)),
+			pos:   int64(rng.Intn(5280)),
+			speed: int64(40 + rng.Intn(40)),
+		}
+	}
+	// Plan accidents: pick a tick, a segment position, and two cars.
+	type crash struct {
+		tick    int
+		a, b    int
+		pos     int64
+		seg     int64
+		lasting int
+	}
+	var crashes []crash
+	for i := 0; i < cfg.Accidents; i++ {
+		crashes = append(crashes, crash{
+			tick:    5 + rng.Intn(cfg.Ticks*2/3),
+			a:       rng.Intn(cfg.Cars),
+			b:       rng.Intn(cfg.Cars),
+			pos:     int64(rng.Intn(5280)),
+			seg:     int64(rng.Intn(LRSegments)),
+			lasting: 6 + rng.Intn(6),
+		})
+	}
+
+	out := make([]LRReport, 0, cfg.Cars*cfg.Ticks)
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		for _, cr := range crashes {
+			if cr.tick == tick && cr.a != cr.b {
+				for _, idx := range []int{cr.a, cr.b} {
+					cars[idx].seg = cr.seg
+					cars[idx].pos = cr.pos
+					cars[idx].speed = 0
+					cars[idx].stopped = cr.lasting
+				}
+			}
+		}
+		for i := range cars {
+			c := &cars[i]
+			if c.stopped > 0 {
+				c.stopped--
+				c.speed = 0
+				if c.stopped == 0 {
+					c.speed = int64(30 + rng.Intn(30))
+				}
+			} else {
+				// Drift speed, advance position, wrap segments.
+				c.speed += int64(rng.Intn(11) - 5)
+				if c.speed < 10 {
+					c.speed = 10
+				}
+				if c.speed > 100 {
+					c.speed = 100
+				}
+				c.pos += c.speed * 44 / 30 // roughly feet per interval (scaled)
+				for c.pos >= 5280 {
+					c.pos -= 5280
+					c.seg = (c.seg + 1) % LRSegments
+				}
+			}
+			out = append(out, LRReport{
+				Tick:  int64(tick),
+				Car:   int64(i),
+				Speed: c.speed,
+				Seg:   c.seg,
+				Pos:   c.pos,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package workload
+
+import "testing"
+
+func TestLRTraceDeterministicAndWellFormed(t *testing.T) {
+	cfg := LRConfig{Seed: 3, Cars: 50, Ticks: 40, Accidents: 2}
+	a := LRTrace(cfg)
+	b := LRTrace(cfg)
+	if len(a) != 50*40 {
+		t.Fatalf("reports = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same config must give identical traces")
+		}
+	}
+	for _, r := range a {
+		if r.Seg < 0 || r.Seg >= LRSegments {
+			t.Fatalf("segment out of range: %+v", r)
+		}
+		if r.Pos < 0 || r.Pos >= 5280 {
+			t.Fatalf("position out of range: %+v", r)
+		}
+		if r.Speed < 0 || r.Speed > 100 {
+			t.Fatalf("speed out of range: %+v", r)
+		}
+	}
+	// Ticks are non-decreasing (reports stream in interval order).
+	for i := 1; i < len(a); i++ {
+		if a[i].Tick < a[i-1].Tick {
+			t.Fatal("ticks not ordered")
+		}
+	}
+}
+
+func TestLRTracePlantsAccidents(t *testing.T) {
+	trace := LRTrace(LRConfig{Seed: 9, Cars: 100, Ticks: 60, Accidents: 3})
+	// An accident shows as a car stopped (speed 0) at the same position
+	// for at least 4 consecutive ticks.
+	type key struct {
+		car int64
+		pos int64
+	}
+	streak := map[key]int{}
+	found := false
+	lastPos := map[int64]int64{}
+	run := map[int64]int{}
+	for _, r := range trace {
+		if r.Speed == 0 && lastPos[r.Car] == r.Pos {
+			run[r.Car]++
+			if run[r.Car] >= 3 { // 4 consecutive reports incl. the first
+				found = true
+			}
+		} else if r.Speed == 0 {
+			run[r.Car] = 0
+		} else {
+			run[r.Car] = -1
+		}
+		lastPos[r.Car] = r.Pos
+	}
+	_ = streak
+	if !found {
+		t.Error("planted accidents not visible as stopped-car streaks")
+	}
+}
+
+func TestLRTraceEdgeCases(t *testing.T) {
+	if LRTrace(LRConfig{Cars: 0, Ticks: 5}) != nil {
+		t.Error("zero cars should give nil")
+	}
+	if LRTrace(LRConfig{Cars: 5, Ticks: 0}) != nil {
+		t.Error("zero ticks should give nil")
+	}
+	if got := DefaultLRConfig(1); got.Cars <= 0 || got.Ticks <= 0 {
+		t.Error("default config malformed")
+	}
+}

@@ -1,0 +1,250 @@
+// Package workload generates the synthetic datasets the experiments run
+// on. Each generator substitutes for a dataset the paper used but did not
+// publish (see DESIGN.md §2):
+//
+//   - HTTPTrace replaces the Homework router's HTTP log — 264,745 requests
+//     to 5,572 unique hosts with a Zipfian rank/frequency shape (Figs. 15
+//     and 16).
+//   - StockTrace replaces the Cayuga distribution's anonymised stock feed —
+//     112,635 events with random-walk prices, planted double-top (M-shaped)
+//     patterns and monotone runs (Fig. 18, queries Q1-Q3).
+//   - FlowTrace generates network 5-tuple flow records (Figs. 9/10 and the
+//     bandwidth example).
+//   - DEBSTrace generates manufacturing-equipment sensor events in the
+//     shape of the DEBS 2012 Grand Challenge feed (§5.1).
+//
+// All generators take explicit seeds and are fully deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Paper-reported dataset dimensions.
+const (
+	// HTTPRequests is the size of the Homework HTTP log (§6.4).
+	HTTPRequests = 264745
+	// HTTPHosts is the number of unique hosts in that log.
+	HTTPHosts = 5572
+	// StockEvents is the size of the Cayuga stock dataset (§6.5).
+	StockEvents = 112635
+)
+
+// HTTPRequest is one outgoing request observation.
+type HTTPRequest struct {
+	Host string
+}
+
+// HTTPTrace generates n requests over hosts hosts with a Zipfian
+// popularity distribution (s ≈ 1.01 reproduces the rank/frequency slope of
+// Fig. 15: the top host receives a few times 10^4 requests).
+func HTTPTrace(seed int64, n, hosts int) []HTTPRequest {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.01, 1, uint64(hosts-1))
+	out := make([]HTTPRequest, n)
+	for i := range out {
+		out[i] = HTTPRequest{Host: fmt.Sprintf("host%04d.example.org", zipf.Uint64())}
+	}
+	return out
+}
+
+// PaperHTTPTrace generates the full-size substitute for the Homework log.
+func PaperHTTPTrace(seed int64) []HTTPRequest {
+	return HTTPTrace(seed, HTTPRequests, HTTPHosts)
+}
+
+// StockEvent is one tick of the stock feed.
+type StockEvent struct {
+	Name   string
+	Price  float64
+	Volume int64
+}
+
+// StockConfig parameterises the stock generator.
+type StockConfig struct {
+	Seed    int64
+	Events  int
+	Symbols int
+	// DoubleTops plants approximately this many M-shaped price patterns
+	// (Q2's target). Zero plants none.
+	DoubleTops int
+	// RunLength plants monotone increasing runs of this length at random
+	// points (Q3's target). Zero plants none.
+	RunLength int
+	Runs      int
+}
+
+// DefaultStockConfig matches the paper's dataset size.
+func DefaultStockConfig(seed int64) StockConfig {
+	return StockConfig{
+		Seed:       seed,
+		Events:     StockEvents,
+		Symbols:    50,
+		DoubleTops: 200,
+		RunLength:  8,
+		Runs:       400,
+	}
+}
+
+// StockTrace generates the synthetic feed. Prices follow independent
+// per-symbol random walks bounded away from zero; planted patterns overlay
+// deterministic shapes on randomly chosen symbols.
+func StockTrace(cfg StockConfig) []StockEvent {
+	if cfg.Events <= 0 || cfg.Symbols <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	names := make([]string, cfg.Symbols)
+	price := make([]float64, cfg.Symbols)
+	for i := range names {
+		names[i] = fmt.Sprintf("SYM%03d", i)
+		price[i] = 20 + rng.Float64()*80
+	}
+	out := make([]StockEvent, 0, cfg.Events)
+
+	// Plan planted patterns at random offsets.
+	type plant struct {
+		at   int
+		kind int // 0 = double top, 1 = increasing run
+		sym  int
+		step int
+	}
+	var plants []plant
+	for i := 0; i < cfg.DoubleTops; i++ {
+		plants = append(plants, plant{at: rng.Intn(cfg.Events), kind: 0, sym: rng.Intn(cfg.Symbols)})
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		plants = append(plants, plant{at: rng.Intn(cfg.Events), kind: 1, sym: rng.Intn(cfg.Symbols)})
+	}
+	active := make(map[int]*plant) // sym -> in-progress plant
+	next := make(map[int][]*plant) // at -> plants starting there
+	for i := range plants {
+		p := &plants[i]
+		next[p.at] = append(next[p.at], p)
+	}
+
+	// The double-top shape: A(low) B(high) C(mid) D(high) E,F(low) over 12
+	// steps: ascend, descend, ascend, descend below A.
+	dtShape := []float64{0, +4, +8, +4, +2, +4, +8, +4, 0, -2, -3, -4}
+
+	for i := 0; i < cfg.Events; i++ {
+		for _, p := range next[i] {
+			if _, busy := active[p.sym]; !busy {
+				q := p
+				q.step = 0
+				active[p.sym] = q
+			}
+		}
+		sym := rng.Intn(cfg.Symbols)
+		if p, busy := active[sym]; busy {
+			base := price[sym]
+			switch p.kind {
+			case 0:
+				price[sym] = base + dtShape[p.step] - func() float64 {
+					if p.step == 0 {
+						return 0
+					}
+					return dtShape[p.step-1]
+				}()
+				p.step++
+				if p.step >= len(dtShape) {
+					delete(active, sym)
+				}
+			case 1:
+				price[sym] = base + 0.5 + rng.Float64()
+				p.step++
+				if p.step >= cfg.RunLength {
+					delete(active, sym)
+				}
+			}
+		} else {
+			price[sym] += rng.NormFloat64()
+			if price[sym] < 1 {
+				price[sym] = 1
+			}
+		}
+		out = append(out, StockEvent{
+			Name:   names[sym],
+			Price:  float64(int(price[sym]*100)) / 100,
+			Volume: int64(100 + rng.Intn(10_000)),
+		})
+	}
+	return out
+}
+
+// Flow is one network flow record matching the paper's Flows schema
+// (Fig. 3).
+type Flow struct {
+	Protocol int64
+	SrcIP    string
+	SrcPort  int64
+	DstIP    string
+	DstPort  int64
+	NPkts    int64
+	NBytes   int64
+}
+
+// FlowTrace generates n flow records over the given number of distinct
+// destination hosts.
+func FlowTrace(seed int64, n, hosts int) []Flow {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Flow, n)
+	for i := range out {
+		proto := int64(6)
+		if rng.Intn(10) == 0 {
+			proto = 17
+		}
+		out[i] = Flow{
+			Protocol: proto,
+			SrcIP:    fmt.Sprintf("10.0.0.%d", 1+rng.Intn(250)),
+			SrcPort:  int64(1024 + rng.Intn(60000)),
+			DstIP:    fmt.Sprintf("192.168.1.%d", 1+rng.Intn(hosts)),
+			DstPort:  int64([]int{80, 443, 53, 22}[rng.Intn(4)]),
+			NPkts:    int64(1 + rng.Intn(100)),
+			NBytes:   int64(64 + rng.Intn(150_000)),
+		}
+	}
+	return out
+}
+
+// DEBSEvent is a simplified manufacturing-equipment sensor event in the
+// shape of the DEBS 2012 Grand Challenge feed: a monotone timestamp, two
+// boolean valve signals whose transitions define states S5 and S8, and an
+// analogue sensor reading.
+type DEBSEvent struct {
+	TS     int64 // ns
+	Valve1 bool
+	Valve2 bool
+	Sensor float64
+}
+
+// DEBSTrace generates n sensor events with valve state transitions every
+// ~transitionEvery events and a slow upward drift in the transition delay,
+// so that the query-1 trend detector (least-squares over a 24h window) has
+// an increase to find.
+func DEBSTrace(seed int64, n, transitionEvery int) []DEBSEvent {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]DEBSEvent, n)
+	v1, v2 := false, false
+	ts := int64(0)
+	for i := range out {
+		ts += int64(900_000 + rng.Intn(200_000)) // ~1ms cadence
+		if transitionEvery > 0 && i%transitionEvery == transitionEvery/2 {
+			v1 = !v1
+		}
+		if transitionEvery > 0 && i%transitionEvery == 0 && i > 0 {
+			// Drift: transitions of valve2 lag progressively further.
+			lag := int64(i / transitionEvery * 1000)
+			ts += lag
+			v2 = !v2
+		}
+		out[i] = DEBSEvent{
+			TS:     ts,
+			Valve1: v1,
+			Valve2: v2,
+			Sensor: 50 + 10*rng.NormFloat64(),
+		}
+	}
+	return out
+}

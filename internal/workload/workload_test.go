@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestHTTPTraceDeterministic(t *testing.T) {
+	a := HTTPTrace(1, 1000, 100)
+	b := HTTPTrace(1, 1000, 100)
+	if len(a) != 1000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical traces")
+		}
+	}
+	c := HTTPTrace(2, 1000, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestHTTPTraceZipfShape(t *testing.T) {
+	trace := HTTPTrace(7, 50_000, 2000)
+	counts := map[string]int{}
+	for _, r := range trace {
+		counts[r.Host]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	// Zipfian: the top host dominates; rank-1/rank-10 ratio is large, and
+	// rank-frequency decays roughly like 1/rank (slope ~ -1 in log-log).
+	if len(freqs) < 100 {
+		t.Fatalf("only %d distinct hosts", len(freqs))
+	}
+	if freqs[0] < 5*freqs[9] {
+		t.Errorf("not head-heavy: rank1=%d rank10=%d", freqs[0], freqs[9])
+	}
+	r1 := math.Log10(float64(freqs[0]) / float64(freqs[99]))
+	rr := math.Log10(100.0)
+	slope := r1 / rr
+	if slope < 0.5 || slope > 1.8 {
+		t.Errorf("log-log decay slope ≈ %.2f, expected roughly 1", slope)
+	}
+}
+
+func TestPaperHTTPTraceDimensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size trace in -short mode")
+	}
+	trace := PaperHTTPTrace(15)
+	if len(trace) != HTTPRequests {
+		t.Fatalf("requests = %d", len(trace))
+	}
+	hosts := map[string]struct{}{}
+	for _, r := range trace {
+		hosts[r.Host] = struct{}{}
+	}
+	// The Zipf generator draws from HTTPHosts possible hosts; nearly all
+	// should be hit at this volume.
+	if len(hosts) < HTTPHosts/2 || len(hosts) > HTTPHosts {
+		t.Errorf("distinct hosts = %d, want close to %d", len(hosts), HTTPHosts)
+	}
+}
+
+func TestStockTraceDeterministicAndBounded(t *testing.T) {
+	cfg := StockConfig{Seed: 3, Events: 5000, Symbols: 10, DoubleTops: 5, RunLength: 6, Runs: 10}
+	a := StockTrace(cfg)
+	b := StockTrace(cfg)
+	if len(a) != 5000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same config must give identical traces")
+		}
+	}
+	syms := map[string]struct{}{}
+	for _, ev := range a {
+		if ev.Price < 0 {
+			t.Fatalf("negative price %v", ev.Price)
+		}
+		if ev.Volume <= 0 {
+			t.Fatalf("non-positive volume %v", ev.Volume)
+		}
+		syms[ev.Name] = struct{}{}
+	}
+	if len(syms) != 10 {
+		t.Errorf("symbols = %d", len(syms))
+	}
+}
+
+func TestStockTracePlantsRisingRuns(t *testing.T) {
+	cfg := StockConfig{Seed: 5, Events: 20_000, Symbols: 5, RunLength: 8, Runs: 50}
+	trace := StockTrace(cfg)
+	// Look for at least one strictly increasing run of length >= 5 within a
+	// single symbol's subsequence.
+	last := map[string]float64{}
+	runLen := map[string]int{}
+	best := 0
+	for _, ev := range trace {
+		if prev, ok := last[ev.Name]; ok && ev.Price > prev {
+			runLen[ev.Name]++
+			if runLen[ev.Name] > best {
+				best = runLen[ev.Name]
+			}
+		} else {
+			runLen[ev.Name] = 0
+		}
+		last[ev.Name] = ev.Price
+	}
+	if best < 5 {
+		t.Errorf("longest rising run = %d, planted runs missing", best)
+	}
+}
+
+func TestStockTraceEdgeCases(t *testing.T) {
+	if StockTrace(StockConfig{Events: 0, Symbols: 5}) != nil {
+		t.Error("zero events should give nil")
+	}
+	if StockTrace(StockConfig{Events: 5, Symbols: 0}) != nil {
+		t.Error("zero symbols should give nil")
+	}
+}
+
+func TestDefaultStockConfig(t *testing.T) {
+	cfg := DefaultStockConfig(9)
+	if cfg.Events != StockEvents {
+		t.Errorf("events = %d", cfg.Events)
+	}
+}
+
+func TestFlowTrace(t *testing.T) {
+	flows := FlowTrace(11, 1000, 16)
+	if len(flows) != 1000 {
+		t.Fatalf("len = %d", len(flows))
+	}
+	for _, f := range flows {
+		if f.NBytes < 64 || f.NPkts < 1 {
+			t.Fatalf("bad flow %+v", f)
+		}
+		if f.Protocol != 6 && f.Protocol != 17 {
+			t.Fatalf("bad protocol %d", f.Protocol)
+		}
+	}
+	// Determinism.
+	again := FlowTrace(11, 1000, 16)
+	if again[500] != flows[500] {
+		t.Error("flow trace not deterministic")
+	}
+}
+
+func TestDEBSTrace(t *testing.T) {
+	evs := DEBSTrace(13, 10_000, 100)
+	if len(evs) != 10_000 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	// Timestamps strictly increase.
+	transitions := 0
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS <= evs[i-1].TS {
+			t.Fatalf("timestamps not monotone at %d", i)
+		}
+		if evs[i].Valve1 != evs[i-1].Valve1 {
+			transitions++
+		}
+	}
+	if transitions < 50 {
+		t.Errorf("valve transitions = %d, want ~100", transitions)
+	}
+}
