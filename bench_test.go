@@ -345,6 +345,139 @@ func BenchmarkFig18(b *testing.B) {
 	}
 }
 
+// --- Batch commit pipeline ------------------------------------------------
+
+// batchBenchCache builds a cache with one stream table T and subs drained
+// no-op inboxes subscribed to it (the Fig. 9 fan-out shape), returning the
+// cache and a stop function.
+func batchBenchCache(b *testing.B, subs int) (*cache.Cache, func()) {
+	b.Helper()
+	c, err := cache.New(cache.Config{TimerPeriod: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Exec(`create table T (v integer)`); err != nil {
+		b.Fatal(err)
+	}
+	inboxes := make([]*pubsub.Inbox, subs)
+	for i := range inboxes {
+		inboxes[i] = pubsub.NewInbox()
+		if err := c.Subscribe(int64(i+1000), "T", inboxes[i]); err != nil {
+			b.Fatal(err)
+		}
+		go func(in *pubsub.Inbox) {
+			var buf []*types.Event
+			for {
+				batch, ok := in.PopBatch(0, buf)
+				if !ok {
+					return
+				}
+				buf = batch
+			}
+		}(inboxes[i])
+	}
+	return c, func() {
+		for _, in := range inboxes {
+			in.Close()
+		}
+		c.Close()
+	}
+}
+
+func batchRows(batch int) [][]types.Value {
+	rows := make([][]types.Value, batch)
+	for i := range rows {
+		rows[i] = []types.Value{types.Int(int64(i))}
+	}
+	return rows
+}
+
+// BenchmarkBatchInsert is the single-producer cost of the batch commit
+// pipeline against 4 drained subscribers, swept over batch size. One op is
+// one batch; the tuples/sec metric is the comparable number — batching
+// amortises the commit mutex, sequence stamping and per-subscriber
+// lock+signal over the run.
+func BenchmarkBatchInsert(b *testing.B) {
+	for _, batch := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			c, stop := batchBenchCache(b, 4)
+			defer stop()
+			rows := batchRows(batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.CommitBatch("T", rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			tuples := float64(b.N) * float64(batch)
+			b.ReportMetric(tuples/b.Elapsed().Seconds(), "tuples/sec")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tuples, "ns/tuple")
+		})
+	}
+}
+
+// BenchmarkBatchFanoutMultiProducer is the contended shape: GOMAXPROCS
+// producer goroutines hammering one topic with 4 drained subscribers,
+// contrasting batch sizes 1/16/256. The batch-first pipeline's win is
+// largest here because the commit mutex is the global serialisation point.
+func BenchmarkBatchFanoutMultiProducer(b *testing.B) {
+	for _, batch := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			c, stop := batchBenchCache(b, 4)
+			defer stop()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rows := batchRows(batch)
+				for pb.Next() {
+					if err := c.CommitBatch("T", rows); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			tuples := float64(b.N) * float64(batch)
+			b.ReportMetric(tuples/b.Elapsed().Seconds(), "tuples/sec")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tuples, "ns/tuple")
+		})
+	}
+}
+
+// BenchmarkBatchInsertRPC is the end-to-end RPC shape: client-side
+// InsertBatch over TCP, one round trip per batch.
+func BenchmarkBatchInsertRPC(b *testing.B) {
+	for _, batch := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			c, stop := batchBenchCache(b, 4)
+			defer stop()
+			srv := rpc.NewServer(c)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = srv.Serve(ln) }()
+			defer func() { _ = srv.Close() }()
+			cl, err := rpc.Dial(ln.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = cl.Close() }()
+			rows := batchRows(batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cl.InsertBatch("T", rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			tuples := float64(b.N) * float64(batch)
+			b.ReportMetric(tuples/b.Elapsed().Seconds(), "tuples/sec")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tuples, "ns/tuple")
+		})
+	}
+}
+
 // --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblationVMInstructionCycle measures the stack machine's

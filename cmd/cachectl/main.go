@@ -8,24 +8,34 @@
 //	cachectl -addr 127.0.0.1:7654 exec "create table Flows (nbytes integer)"
 //	cachectl exec "insert into Flows values (1500)"
 //	cachectl exec "select * from Flows [rows 10]"
+//	cachectl exec "insert into Flows values (1), (2), (3)"   # one batch commit
+//	cachectl load Flows < flows.csv         # bulk load stdin via the RPC batcher
 //	cachectl register bandwidth.gapl        # registers and streams send() events
 //	cachectl tables
 package main
 
 import (
+	"bufio"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"unicache/internal/rpc"
 	"unicache/internal/sql"
+	"unicache/internal/types"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "cached address")
+	batchRows := flag.Int("batch-rows", 256, "load: rows per batch commit")
+	batchDelay := flag.Duration("batch-delay", 10*time.Millisecond, "load: max buffering delay before a partial batch flushes")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -78,6 +88,15 @@ func main() {
 				return
 			}
 		}
+	case "load":
+		if len(args) != 2 {
+			usage()
+		}
+		n, err := load(cl, args[1], *batchRows, *batchDelay)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded %d row(s) into %s\n", n, args[1])
 	case "ping":
 		if err := cl.Ping(); err != nil {
 			fail(err)
@@ -85,6 +104,98 @@ func main() {
 		fmt.Println("ok")
 	default:
 		usage()
+	}
+}
+
+// load bulk-inserts CSV rows from stdin through the auto-flushing RPC
+// batcher: one commit (and one delivery per subscriber) per batch instead
+// of per line. Fields are parsed against the table's declared column types
+// (fetched via describe), so `123` loads into a varchar column as the
+// string "123", not a rejected integer. Lines starting with '#' are
+// comments — quote the first field (`"#tag",1`) to load a literal leading
+// '#'.
+func load(cl *rpc.Client, table string, maxRows int, maxDelay time.Duration) (int, error) {
+	colTypes, err := fetchColumnTypes(cl, table)
+	if err != nil {
+		return 0, err
+	}
+	b := cl.NewBatcher(table, rpc.BatcherConfig{MaxRows: maxRows, MaxDelay: maxDelay})
+	r := csv.NewReader(bufio.NewReaderSize(os.Stdin, 1<<20))
+	r.Comment = '#'
+	r.TrimLeadingSpace = true
+	r.FieldsPerRecord = len(colTypes)
+	r.ReuseRecord = true
+	n := 0
+	for {
+		fields, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err // csv errors carry the input line number
+		}
+		vals := make([]types.Value, len(fields))
+		for i, f := range fields {
+			v, err := parseValue(f, colTypes[i])
+			if err != nil {
+				line, _ := r.FieldPos(i)
+				return n, fmt.Errorf("line %d, column %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		if err := b.Add(vals...); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, b.Close()
+}
+
+// fetchColumnTypes asks the server for the table's schema (describe output:
+// column, type, key) and returns the type name per column in order.
+func fetchColumnTypes(cl *rpc.Client, table string) ([]string, error) {
+	res, err := cl.Exec("describe " + table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		out[i] = row[1].String()
+	}
+	return out, nil
+}
+
+// parseValue parses a CSV field as the column's declared type.
+func parseValue(s, colType string) (types.Value, error) {
+	switch colType {
+	case "integer":
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return types.Nil, fmt.Errorf("%q is not an integer", s)
+		}
+		return types.Int(i), nil
+	case "real":
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return types.Nil, fmt.Errorf("%q is not a real", s)
+		}
+		return types.Real(f), nil
+	case "boolean":
+		switch s {
+		case "true", "1":
+			return types.Bool(true), nil
+		case "false", "0":
+			return types.Bool(false), nil
+		}
+		return types.Nil, fmt.Errorf("%q is not a boolean", s)
+	case "tstamp":
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return types.Nil, fmt.Errorf("%q is not a tstamp (nanoseconds since epoch)", s)
+		}
+		return types.Stamp(types.Timestamp(i)), nil
+	default: // varchar; CSV quoting was already resolved by the reader
+		return types.Str(s), nil
 	}
 }
 
@@ -108,6 +219,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cachectl [-addr host:port] exec "<sql>"
   cachectl [-addr host:port] register <file.gapl>
+  cachectl [-addr host:port] load <table>   # CSV rows on stdin ('#' lines are comments)
   cachectl [-addr host:port] ping`)
 	os.Exit(2)
 }

@@ -1,0 +1,3 @@
+module unicache
+
+go 1.24

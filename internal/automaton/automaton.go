@@ -173,20 +173,30 @@ func (r *Registry) Register(source string, sink Sink) (*Automaton, error) {
 	return a, nil
 }
 
+// maxDrainRun bounds how many queued events the drain loop pops per inbox
+// lock acquisition: long enough to amortise the lock/signal cost of
+// tuple-at-a-time delivery, short enough that Unregister and Idle stay
+// responsive under sustained load.
+const maxDrainRun = 256
+
 func (a *Automaton) run() {
 	defer close(a.done)
+	var buf []*types.Event
 	for {
-		ev, ok := a.inbox.Pop()
+		batch, ok := a.inbox.PopBatch(maxDrainRun, buf)
 		if !ok {
 			return
 		}
 		a.busy.Store(true)
-		if err := a.vm.Deliver(ev); err != nil {
-			a.nErr.Add(1)
-			a.reg.cfg.OnRuntimeError(a.id, err)
+		for _, ev := range batch {
+			if err := a.vm.Deliver(ev); err != nil {
+				a.nErr.Add(1)
+				a.reg.cfg.OnRuntimeError(a.id, err)
+			}
+			a.nProc.Add(1)
 		}
 		a.busy.Store(false)
-		a.nProc.Add(1)
+		buf = batch
 	}
 }
 

@@ -1,0 +1,177 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"unicache/internal/pubsub"
+	"unicache/internal/types"
+)
+
+// TestCommitOrderingInvariant drives the paper's §5 total-order guarantee
+// through both write paths at once: multiple producer goroutines committing
+// single tuples and batches into overlapping topics, with subscribers
+// attached to each topic alone and to both. Every subscriber must observe
+// (1) strictly increasing global sequence numbers, (2) for each topic, the
+// identical gap-free event sequence every other subscriber of that topic
+// observes, and (3) each producer's rows in program order. Run with -race:
+// the concurrency is the point.
+func TestCommitOrderingInvariant(t *testing.T) {
+	const (
+		producers  = 8
+		opsPerProd = 200 // commit operations per producer
+		maxBatch   = 7   // batch sizes cycle 1..maxBatch
+		ringCap    = 1 << 16
+	)
+	topics := []string{"A", "B"}
+
+	c, err := New(Config{TimerPeriod: -1, EphemeralCapacity: ringCap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, name := range topics {
+		if _, err := c.Exec(fmt.Sprintf(
+			`create table %s (producer integer, n integer)`, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Three subscriber groups: A only, B only, both. Two inboxes per group
+	// so "identical sequence" is checked between peers as well as across
+	// groups.
+	subs := map[string][]*pubsub.Inbox{}
+	id := int64(1000)
+	for _, group := range []struct {
+		name   string
+		topics []string
+	}{
+		{"A", []string{"A"}},
+		{"B", []string{"B"}},
+		{"AB", []string{"A", "B"}},
+	} {
+		for i := 0; i < 2; i++ {
+			in := pubsub.NewInbox()
+			id++
+			for _, topic := range group.topics {
+				if err := c.Subscribe(id, topic, in); err != nil {
+					t.Fatal(err)
+				}
+			}
+			subs[group.name] = append(subs[group.name], in)
+		}
+	}
+
+	// Producers alternate topics and write paths; every row carries
+	// (producer, per-producer counter) so program order is checkable.
+	perTopicCount := make(map[string]int)
+	var countMu sync.Mutex
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			n := 0
+			for op := 0; op < opsPerProd; op++ {
+				topic := topics[(p+op)%len(topics)]
+				batch := op%maxBatch + 1
+				rows := make([][]types.Value, batch)
+				for i := range rows {
+					rows[i] = []types.Value{types.Int(int64(p)), types.Int(int64(n))}
+					n++
+				}
+				var err error
+				if batch == 1 {
+					err = c.CommitInsert(topic, rows[0])
+				} else {
+					err = c.CommitBatch(topic, rows)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				countMu.Lock()
+				perTopicCount[topic] += batch
+				countMu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	type obs struct {
+		seq  uint64
+		prod int64
+		n    int64
+	}
+	drain := func(in *pubsub.Inbox) (map[string][]obs, []obs) {
+		byTopic := make(map[string][]obs)
+		var global []obs
+		lastSeq := uint64(0)
+		for {
+			ev, ok := in.TryPop()
+			if !ok {
+				break
+			}
+			if ev.Tuple.Seq <= lastSeq {
+				t.Fatalf("sequence not strictly increasing: %d after %d", ev.Tuple.Seq, lastSeq)
+			}
+			lastSeq = ev.Tuple.Seq
+			prod, _ := ev.Tuple.Vals[0].AsInt()
+			n, _ := ev.Tuple.Vals[1].AsInt()
+			o := obs{ev.Tuple.Seq, prod, n}
+			byTopic[ev.Topic] = append(byTopic[ev.Topic], o)
+			global = append(global, o)
+		}
+		return byTopic, global
+	}
+
+	observed := make(map[string][]map[string][]obs) // group -> inbox -> topic -> events
+	globals := make(map[string][][]obs)             // group -> inbox -> global stream
+	for group, inboxes := range subs {
+		for _, in := range inboxes {
+			byTopic, global := drain(in)
+			observed[group] = append(observed[group], byTopic)
+			globals[group] = append(globals[group], global)
+		}
+	}
+
+	// Canonical per-topic order comes from the first single-topic
+	// subscriber; every other subscriber of that topic must match exactly.
+	for _, topic := range topics {
+		canon := observed[topic][0][topic]
+		if len(canon) != perTopicCount[topic] {
+			t.Fatalf("topic %s: canonical subscriber saw %d events, want %d (gap)",
+				topic, len(canon), perTopicCount[topic])
+		}
+		check := func(label string, got []obs) {
+			if len(got) != len(canon) {
+				t.Fatalf("topic %s: %s saw %d events, canonical %d",
+					topic, label, len(got), len(canon))
+			}
+			for i := range got {
+				if got[i] != canon[i] {
+					t.Fatalf("topic %s: %s diverges at %d: %+v vs %+v",
+						topic, label, i, got[i], canon[i])
+				}
+			}
+		}
+		check("peer", observed[topic][1][topic])
+		check("AB[0]", observed["AB"][0][topic])
+		check("AB[1]", observed["AB"][1][topic])
+	}
+
+	// Per-producer program order within the AB subscribers' global streams:
+	// a fixed producer's n counter must increase across both topics
+	// combined, because the commit path serialises its commits.
+	for _, all := range globals["AB"] {
+		next := make(map[int64]int64)
+		for _, o := range all {
+			if o.n != next[o.prod] {
+				t.Fatalf("producer %d rows out of program order: got n=%d, want %d",
+					o.prod, o.n, next[o.prod])
+			}
+			next[o.prod] = o.n + 1
+		}
+	}
+}

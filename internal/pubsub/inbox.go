@@ -41,6 +41,32 @@ func (in *Inbox) Deliver(ev *types.Event) {
 	in.cond.Signal()
 }
 
+// DeliverBatch implements Subscriber: the whole run is enqueued under one
+// lock acquisition and the consumer is signalled once, which is what makes
+// the batch commit pipeline's fan-out cost amortise over the batch.
+func (in *Inbox) DeliverBatch(evs []*types.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.q = append(in.q, evs...)
+	in.mu.Unlock()
+	in.cond.Signal()
+}
+
+// compactLocked reclaims the consumed prefix of the backing array once it
+// dominates the queue. Callers hold in.mu.
+func (in *Inbox) compactLocked() {
+	if in.head > 256 && in.head*2 >= len(in.q) {
+		in.q = append(in.q[:0], in.q[in.head:]...)
+		in.head = 0
+	}
+}
+
 // Pop blocks until an event is available and returns it; ok is false once
 // the inbox is closed and drained.
 func (in *Inbox) Pop() (*types.Event, bool) {
@@ -55,12 +81,45 @@ func (in *Inbox) Pop() (*types.Event, bool) {
 	ev := in.q[in.head]
 	in.q[in.head] = nil
 	in.head++
-	if in.head > 256 && in.head*2 >= len(in.q) {
-		// Reclaim consumed prefix.
-		in.q = append(in.q[:0], in.q[in.head:]...)
-		in.head = 0
-	}
+	in.compactLocked()
 	return ev, true
+}
+
+// PopBatch blocks until at least one event is available, then moves a run
+// of up to max queued events (max <= 0 means all) into buf — reusing its
+// backing array — and returns it. Passing buf transfers ownership of its
+// ENTIRE capacity: every slot up to cap(buf) is cleared on entry (so a
+// consumer parked here does not pin its previous batch), so never pass a
+// subslice whose backing array still holds events in use. ok is false once
+// the inbox is closed and drained. One lock acquisition drains the whole
+// run, the batch analogue of Pop.
+func (in *Inbox) PopBatch(max int, buf []*types.Event) ([]*types.Event, bool) {
+	// Release the caller's previous batch before potentially parking in
+	// Wait: a reused buffer must not keep the last run's events reachable
+	// while the consumer sits idle.
+	for i, full := 0, buf[:cap(buf)]; i < len(full); i++ {
+		full[i] = nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for in.head >= len(in.q) && !in.closed {
+		in.cond.Wait()
+	}
+	n := len(in.q) - in.head
+	if n == 0 {
+		return nil, false
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, in.q[in.head])
+		in.q[in.head] = nil
+		in.head++
+	}
+	in.compactLocked()
+	return buf, true
 }
 
 // TryPop returns the next event without blocking; ok is false if none is
@@ -74,6 +133,7 @@ func (in *Inbox) TryPop() (*types.Event, bool) {
 	ev := in.q[in.head]
 	in.q[in.head] = nil
 	in.head++
+	in.compactLocked()
 	return ev, true
 }
 

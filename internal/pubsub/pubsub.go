@@ -18,11 +18,15 @@ import (
 	"unicache/internal/types"
 )
 
-// Subscriber consumes events. Deliver must not block (Inbox satisfies
-// this); it is called with the broker's topic lock held so that the global
-// event interleaving is identical for every subscriber.
+// Subscriber consumes events. Deliver and DeliverBatch must not block
+// (Inbox satisfies this); both are called with the broker's topic lock held
+// so that the global event interleaving is identical for every subscriber.
+// DeliverBatch receives a run of events in commit order and must not retain
+// or mutate the slice itself (the same slice is handed to every
+// subscriber); retaining the *Event pointers is fine.
 type Subscriber interface {
 	Deliver(ev *types.Event)
+	DeliverBatch(evs []*types.Event)
 }
 
 // Broker routes published events to topic subscribers.
@@ -138,6 +142,35 @@ func (b *Broker) Publish(ev *types.Event) error {
 	defer t.mu.Unlock()
 	for _, sub := range t.subs {
 		sub.Deliver(ev)
+	}
+	return nil
+}
+
+// PublishBatch delivers a run of events — all on the same topic, already
+// carrying their committed sequence numbers — to every subscriber of that
+// topic with one topic-lock acquisition and one DeliverBatch call per
+// subscriber. This is the fan-out arm of the batch commit pipeline: the
+// per-event signalling cost of Publish amortises over the run.
+func (b *Broker) PublishBatch(evs []*types.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	name := evs[0].Topic
+	for _, ev := range evs[1:] {
+		if ev.Topic != name {
+			return fmt.Errorf("publish batch mixes topics %q and %q", name, ev.Topic)
+		}
+	}
+	b.mu.RLock()
+	t, ok := b.topics[name]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("no such topic %q", name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sub := range t.subs {
+		sub.DeliverBatch(evs)
 	}
 	return nil
 }

@@ -33,6 +33,12 @@ func (c *collector) Deliver(ev *types.Event) {
 	c.evs = append(c.evs, ev)
 }
 
+func (c *collector) DeliverBatch(evs []*types.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evs = append(c.evs, evs...)
+}
+
 func (c *collector) seqs() []uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -286,5 +292,128 @@ func TestCrossTopicInterleavingPreserved(t *testing.T) {
 		if !ok || ev.Tuple.Seq != i {
 			t.Fatalf("global order violated at %d: got %v %v", i, ev, ok)
 		}
+	}
+}
+
+// --- batch delivery --------------------------------------------------------
+
+func mkBatch(t *testing.T, topic string, from, n uint64) []*types.Event {
+	t.Helper()
+	out := make([]*types.Event, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = mkEvent(t, topic, from+i)
+	}
+	return out
+}
+
+func TestPublishBatch(t *testing.T) {
+	b := NewBroker()
+	_ = b.CreateTopic("T")
+	c1, c2 := &collector{}, &collector{}
+	_ = b.Subscribe(1, "T", c1)
+	_ = b.Subscribe(2, "T", c2)
+	if err := b.PublishBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := b.PublishBatch(mkBatch(t, "T", 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*collector{c1, c2} {
+		seqs := c.seqs()
+		if len(seqs) != 5 {
+			t.Fatalf("got %d events, want 5", len(seqs))
+		}
+		for i, s := range seqs {
+			if s != uint64(i+1) {
+				t.Fatalf("order violated at %d: %d", i, s)
+			}
+		}
+	}
+	mixed := []*types.Event{mkEvent(t, "T", 6), mkEvent(t, "U", 7)}
+	if err := b.PublishBatch(mixed); err == nil {
+		t.Error("mixed-topic batch should error")
+	}
+	if err := b.PublishBatch(mkBatch(t, "Nope", 1, 1)); err == nil {
+		t.Error("batch to missing topic should error")
+	}
+}
+
+func TestInboxDeliverBatchAndPopBatch(t *testing.T) {
+	in := NewInbox()
+	in.DeliverBatch(mkBatch(t, "T", 1, 10))
+	if in.Len() != 10 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+	batch, ok := in.PopBatch(4, nil)
+	if !ok || len(batch) != 4 {
+		t.Fatalf("PopBatch(4) = %d events, ok=%v", len(batch), ok)
+	}
+	for i, ev := range batch {
+		if ev.Tuple.Seq != uint64(i+1) {
+			t.Fatalf("batch order violated at %d: %d", i, ev.Tuple.Seq)
+		}
+	}
+	// max <= 0 drains the rest, reusing the caller's buffer.
+	rest, ok := in.PopBatch(0, batch)
+	if !ok || len(rest) != 6 {
+		t.Fatalf("PopBatch(0) = %d events, ok=%v", len(rest), ok)
+	}
+	if rest[0].Tuple.Seq != 5 || rest[5].Tuple.Seq != 10 {
+		t.Fatalf("drain run wrong: %d..%d", rest[0].Tuple.Seq, rest[5].Tuple.Seq)
+	}
+	in.Close()
+	if _, ok := in.PopBatch(0, nil); ok {
+		t.Error("PopBatch after close+drain should report closed")
+	}
+	in.DeliverBatch(mkBatch(t, "T", 11, 2))
+	if in.Len() != 0 {
+		t.Error("DeliverBatch after close should drop")
+	}
+}
+
+func TestInboxPopBatchBlocksUntilDeliver(t *testing.T) {
+	in := NewInbox()
+	done := make(chan int, 1)
+	go func() {
+		batch, ok := in.PopBatch(0, nil)
+		if !ok {
+			done <- -1
+			return
+		}
+		done <- len(batch)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	in.DeliverBatch(mkBatch(t, "T", 1, 3))
+	select {
+	case got := <-done:
+		if got != 3 {
+			t.Errorf("PopBatch returned %d events, want 3", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PopBatch did not wake on DeliverBatch")
+	}
+}
+
+// TestTryPopReclaimsPrefix pins the fix for the TryPop leak: a consumer
+// draining exclusively via TryPop must not grow the backing array without
+// bound.
+func TestTryPopReclaimsPrefix(t *testing.T) {
+	in := NewInbox()
+	for round := 0; round < 8; round++ {
+		for i := uint64(0); i < 300; i++ {
+			in.Deliver(mkEvent(t, "T", i))
+		}
+		for i := uint64(0); i < 300; i++ {
+			ev, ok := in.TryPop()
+			if !ok || ev.Tuple.Seq != i {
+				t.Fatalf("round %d: TryPop %d got %v %v", round, i, ev, ok)
+			}
+		}
+	}
+	in.mu.Lock()
+	qlen, head := len(in.q), in.head
+	in.mu.Unlock()
+	if head > 512 || qlen > 1024 {
+		t.Fatalf("consumed prefix never reclaimed: head=%d len(q)=%d", head, qlen)
 	}
 }

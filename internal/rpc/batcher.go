@@ -1,0 +1,205 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"unicache/internal/types"
+	"unicache/internal/wire"
+)
+
+// batchByteBudget bounds the encoded size of one flushed chunk, leaving
+// headroom under maxMessageSize for the opcode, table name and row counts
+// so a size-bounded flush can never kill the connection.
+const batchByteBudget = maxMessageSize - 4096
+
+// BatcherConfig tunes a Batcher's flush thresholds.
+type BatcherConfig struct {
+	// MaxRows flushes when this many rows are buffered (default 256).
+	MaxRows int
+	// MaxDelay flushes a non-empty buffer this long after its first row
+	// arrived, so low-rate producers still see bounded latency
+	// (default 10ms; negative disables the timer entirely).
+	MaxDelay time.Duration
+}
+
+// Batcher accumulates rows for one table and ships them with
+// Client.InsertBatch when either threshold trips: MaxRows rows buffered, or
+// MaxDelay elapsed since the first buffered row. It is safe for concurrent
+// use; rows from all goroutines coalesce into the same batches, and
+// flushes are serialised so batches reach the server in the order their
+// rows were buffered. Errors from asynchronous (timer-driven) flushes are
+// reported on the next Add, Flush or Close call; Close waits for any
+// in-flight timer flush, ships the remainder, and surfaces any deferred
+// error, so a nil Close means every accepted row was committed.
+type Batcher struct {
+	client *Client
+	table  string
+	cfg    BatcherConfig
+
+	// flushMu serialises flush RPCs: the buffer snapshot and the round
+	// trip happen under it, so snapshot order is wire order. It is always
+	// acquired before mu.
+	flushMu sync.Mutex
+
+	mu     sync.Mutex
+	rows   [][]types.Value
+	timer  *time.Timer
+	err    error // first deferred flush error, handed to the next caller
+	closed bool
+}
+
+// NewBatcher returns an auto-flushing batcher writing to table through c.
+// Zero-valued config fields take the documented defaults.
+func (c *Client) NewBatcher(table string, cfg BatcherConfig) *Batcher {
+	if cfg.MaxRows <= 0 {
+		cfg.MaxRows = 256
+	}
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	return &Batcher{client: c, table: table, cfg: cfg}
+}
+
+// Add buffers one row, flushing if the size threshold trips. The returned
+// error is either a deferred error from an earlier timer flush or the
+// synchronous flush error this Add triggered.
+func (b *Batcher) Add(vals ...types.Value) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errors.New("rpc: batcher is closed")
+	}
+	if err := b.err; err != nil {
+		b.err = nil
+		b.mu.Unlock()
+		return err
+	}
+	b.rows = append(b.rows, vals)
+	full := len(b.rows) >= b.cfg.MaxRows
+	if !full && b.timer == nil && b.cfg.MaxDelay > 0 {
+		b.timer = time.AfterFunc(b.cfg.MaxDelay, b.timerFlush)
+	}
+	b.mu.Unlock()
+	if full {
+		return b.flush()
+	}
+	return nil
+}
+
+// Flush synchronously ships whatever is buffered (a no-op when empty) and
+// reports any deferred timer-flush error.
+func (b *Batcher) Flush() error {
+	err := b.flush()
+	b.mu.Lock()
+	if err == nil && b.err != nil {
+		err = b.err
+		b.err = nil
+	}
+	b.mu.Unlock()
+	return err
+}
+
+// Close rejects further Adds, waits for any in-flight timer flush, ships
+// the remaining rows, and returns the first error from any of that.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+	// Every row accepted before closed was set is either in the buffer
+	// (shipped by this flush) or in an in-flight timer flush (whose
+	// completion — and error, if any — this flush waits on via flushMu).
+	return b.Flush()
+}
+
+// Len returns the number of currently buffered rows.
+func (b *Batcher) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.rows)
+}
+
+// takeRows snapshots and clears the buffer, disarming the pending timer.
+func (b *Batcher) takeRows() [][]types.Value {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rows := b.rows
+	b.rows = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return rows
+}
+
+// flush ships the current buffer under flushMu, so concurrent flushes
+// cannot reorder batches on the wire. A failure is returned to the caller
+// AND recorded sticky in b.err: the buffer held rows accepted from every
+// producer, so the loss must also reach the producers (and Close) that
+// didn't trigger this flush — the error may therefore be reported more
+// than once.
+func (b *Batcher) flush() error {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	rows := b.takeRows()
+	if len(rows) == 0 {
+		return nil
+	}
+	err := b.ship(rows)
+	if err != nil {
+		b.mu.Lock()
+		if b.err == nil {
+			b.err = err
+		}
+		b.mu.Unlock()
+	}
+	return err
+}
+
+// ship sends the snapshot as one InsertBatch when it fits, splitting it
+// into size-bounded chunks when the encoded rows would exceed the RPC
+// message limit (row count alone does not bound wire size — wide varchar
+// rows can blow the 16 MiB cap). On error the remaining rows are dropped;
+// the sticky error reports the loss.
+func (b *Batcher) ship(rows [][]types.Value) error {
+	scratch := wire.NewEncoder(256)
+	start, size := 0, 0
+	for i, row := range rows {
+		scratch.Reset()
+		// Encoding errors surface from InsertBatch on the chunk itself.
+		_ = scratch.Values(row)
+		rowSize := len(scratch.Bytes())
+		if i > start && size+rowSize > batchByteBudget {
+			if err := b.client.InsertBatch(b.table, rows[start:i]); err != nil {
+				return err
+			}
+			start, size = i, 0
+		}
+		size += rowSize
+	}
+	return b.client.InsertBatch(b.table, rows[start:])
+}
+
+// timerFlush runs from the MaxDelay timer; it has no caller to return to,
+// so it relies on flush recording failures sticky in b.err (done before
+// flushMu is released, so a Flush/Close waiting on this flush observes
+// the error).
+func (b *Batcher) timerFlush() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.timer = nil
+	b.mu.Unlock()
+	_ = b.flush()
+}

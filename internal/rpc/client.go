@@ -211,6 +211,44 @@ func (c *Client) Insert(table string, vals ...types.Value) error {
 	return nil
 }
 
+// InsertBatch commits a run of rows into one table as a single batch: one
+// RPC round trip, and server-side one commit-mutex acquisition, one
+// contiguous sequence run and one publication per subscriber for the whole
+// batch. Use NewBatcher for automatic size/time-based flushing.
+func (c *Client) InsertBatch(table string, rows [][]types.Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	e := wire.NewEncoder(64 * len(rows))
+	e.U8(msgInsertBatch)
+	e.Str(table)
+	if err := e.Rows(rows); err != nil {
+		return err
+	}
+	// Reject oversized batches client-side: the server drops the whole
+	// connection on messages past maxMessageSize, which would take every
+	// in-flight call down with this one.
+	if len(e.Bytes()) > maxMessageSize {
+		return fmt.Errorf("rpc: batch of %d rows encodes to %d bytes, over the %d-byte message limit; flush smaller batches",
+			len(rows), len(e.Bytes()), maxMessageSize)
+	}
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return err
+	}
+	if resp[0] != msgInsertBatchOK {
+		return fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	n, err := wire.NewDecoder(resp[1:]).U32()
+	if err != nil {
+		return err
+	}
+	if int(n) != len(rows) {
+		return fmt.Errorf("rpc: batch committed %d of %d rows", n, len(rows))
+	}
+	return nil
+}
+
 // Register submits automaton source code. On success it returns the
 // automaton id; compile/bind/init errors come back as errors.
 func (c *Client) Register(source string) (int64, error) {

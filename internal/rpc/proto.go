@@ -29,18 +29,20 @@ const maxMessageSize = 16 << 20
 
 // Message type bytes.
 const (
-	msgExec       = 1 // str sql
-	msgExecOK     = 2 // wire.Result
-	msgErr        = 3 // str error
-	msgInsert     = 4 // str table, values
-	msgInsertOK   = 5
-	msgRegister   = 6 // str source
-	msgRegisterOK = 7 // i64 id
-	msgUnregister = 8 // i64 id
-	msgUnregOK    = 9
-	msgSendEvent  = 10 // push: i64 automaton id, values
-	msgPing       = 11
-	msgPingOK     = 12
+	msgExec          = 1 // str sql
+	msgExecOK        = 2 // wire.Result
+	msgErr           = 3 // str error
+	msgInsert        = 4 // str table, values
+	msgInsertOK      = 5
+	msgRegister      = 6 // str source
+	msgRegisterOK    = 7 // i64 id
+	msgUnregister    = 8 // i64 id
+	msgUnregOK       = 9
+	msgSendEvent     = 10 // push: i64 automaton id, values
+	msgPing          = 11
+	msgPingOK        = 12
+	msgInsertBatch   = 13 // str table, rows — one batch commit server-side
+	msgInsertBatchOK = 14 // u32 rows committed
 )
 
 // transport frames messages over a net.Conn with fragmentation at FragSize

@@ -5,6 +5,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -298,5 +299,241 @@ func TestServerCloseStopsServe(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Serve did not return after Close")
+	}
+}
+
+func TestInsertBatchOverPipe(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+
+	if _, err := cl.Exec(`create table T (name varchar, v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]types.Value, 100)
+	for i := range rows {
+		rows[i] = []types.Value{types.Str(fmt.Sprintf("r%d", i)), types.Int(int64(i))}
+	}
+	if err := cl.InsertBatch("T", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.InsertBatch("T", nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	res, err := cl.Exec(`select count(*) as n from T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != "100" {
+		t.Errorf("count = %s, want 100", res.Rows[0][0])
+	}
+	// Rows arrive in batch order.
+	res, err = cl.Exec(`select name from T [rows 2]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != "r98" || res.Rows[1][0].String() != "r99" {
+		t.Errorf("tail rows = %+v", res.Rows)
+	}
+	// A bad row rejects the whole batch.
+	bad := [][]types.Value{
+		{types.Str("ok"), types.Int(1)},
+		{types.Str("bad-arity")},
+	}
+	if err := cl.InsertBatch("T", bad); err == nil {
+		t.Error("bad row in batch should error")
+	}
+	if err := cl.InsertBatch("Nope", rows[:1]); err == nil {
+		t.Error("batch into missing table should error")
+	}
+}
+
+func TestBatcherSizeFlush(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	if _, err := cl.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	b := cl.NewBatcher("T", BatcherConfig{MaxRows: 10, MaxDelay: -1})
+	for i := 0; i < 25; i++ {
+		if err := b.Add(types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two full batches flushed, five rows still buffered.
+	res, err := cl.Exec(`select count(*) as n from T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != "20" {
+		t.Errorf("count before close = %s, want 20", res.Rows[0][0])
+	}
+	if b.Len() != 5 {
+		t.Errorf("buffered = %d, want 5", b.Len())
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = cl.Exec(`select count(*) as n from T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != "25" {
+		t.Errorf("count after close = %s, want 25", res.Rows[0][0])
+	}
+	if err := b.Add(types.Int(99)); err == nil {
+		t.Error("Add after Close should error")
+	}
+}
+
+func TestBatcherDelayFlush(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	if _, err := cl.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	b := cl.NewBatcher("T", BatcherConfig{MaxRows: 1 << 20, MaxDelay: 5 * time.Millisecond})
+	if err := b.Add(types.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		res, err := cl.Exec(`select count(*) as n from T`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].String() == "1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("delay flush never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatcherConcurrentProducers(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	if _, err := cl.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	b := cl.NewBatcher("T", BatcherConfig{MaxRows: 16})
+	const producers, perProducer = 8, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := b.Add(types.Int(int64(p*perProducer + i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Exec(`select count(*) as n from T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprint(producers * perProducer); res.Rows[0][0].String() != want {
+		t.Errorf("count = %s, want %s", res.Rows[0][0], want)
+	}
+}
+
+// TestBatcherCloseDoesNotDropConcurrentAdds pins the Close/Add race: every
+// Add that returned nil before Close must be committed server-side by the
+// time Close returns.
+func TestBatcherCloseDoesNotDropConcurrentAdds(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	if _, err := cl.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	b := cl.NewBatcher("T", BatcherConfig{MaxRows: 8, MaxDelay: time.Millisecond})
+	var accepted int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				if err := b.Add(types.Int(int64(i))); err != nil {
+					return // closed (or deferred error): stop producing
+				}
+				atomic.AddInt64(&accepted, 1)
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(20 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	res, err := cl.Exec(`select count(*) as n from T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Rows[0][0].String()
+	want := fmt.Sprint(atomic.LoadInt64(&accepted))
+	if got != want {
+		t.Errorf("server has %s rows, accepted %s Adds", got, want)
+	}
+}
+
+// TestBatcherSplitsOversizedFlush: a flush whose rows would exceed the
+// 16 MiB RPC message limit is split into size-bounded chunks rather than
+// erroring (and certainly rather than killing the connection).
+func TestBatcherSplitsOversizedFlush(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	if _, err := cl.Exec(`create table T (s varchar)`); err != nil {
+		t.Fatal(err)
+	}
+	// 20 rows of 1 MiB each: ~20 MiB total, over the 16 MiB cap.
+	big := strings.Repeat("x", 1<<20)
+	b := cl.NewBatcher("T", BatcherConfig{MaxRows: 1 << 20, MaxDelay: -1})
+	for i := 0; i < 20; i++ {
+		if err := b.Add(types.Str(big)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Exec(`select count(*) as n from T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != "20" {
+		t.Errorf("count = %s, want 20", res.Rows[0][0])
+	}
+	// A direct InsertBatch past the limit errors cleanly and the
+	// connection survives.
+	rows := make([][]types.Value, 20)
+	for i := range rows {
+		rows[i] = []types.Value{types.Str(big)}
+	}
+	if err := cl.InsertBatch("T", rows); err == nil {
+		t.Error("oversized direct InsertBatch should error")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Errorf("connection should survive the rejected batch: %v", err)
 	}
 }

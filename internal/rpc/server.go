@@ -198,6 +198,23 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 		}
 		return c.reply(msgID, msgInsertOK, nil)
 
+	case msgInsertBatch:
+		tbl, err := d.Str()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		rows, err := d.Rows()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		if err := c.srv.cache.CommitBatch(tbl, rows); err != nil {
+			return c.replyErr(msgID, err)
+		}
+		return c.reply(msgID, msgInsertBatchOK, func(e *wire.Encoder) error {
+			e.U32(uint32(len(rows)))
+			return nil
+		})
+
 	case msgRegister:
 		src, err := d.Str()
 		if err != nil {

@@ -14,12 +14,14 @@ type CreateStmt struct {
 	Schema *types.Schema
 }
 
-// InsertStmt is `insert into T [(cols)] values (...)
-// [on duplicate key update]`.
+// InsertStmt is `insert into T [(cols)] values (...), (...), ...
+// [on duplicate key update]`. Multi-row inserts commit as one batch: a
+// single contiguous sequence run, published to each subscriber with one
+// delivery.
 type InsertStmt struct {
 	Table string
 	Cols  []string // empty means schema order
-	Vals  []Expr
+	Rows  [][]Expr // one value list per row
 	OnDup bool
 }
 

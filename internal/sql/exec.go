@@ -18,6 +18,10 @@ type Engine interface {
 	CreateTable(schema *types.Schema) error
 	// CommitInsert coerces, stamps, stores and publishes one tuple.
 	CommitInsert(tableName string, vals []types.Value) error
+	// CommitBatch coerces, stamps, stores and publishes a run of tuples as
+	// one commit: contiguous sequence numbers, one publication per
+	// subscriber. Multi-row inserts flow through it.
+	CommitBatch(tableName string, rows [][]types.Value) error
 	// DeleteRow removes a persistent row by key, reporting whether it
 	// existed.
 	DeleteRow(tableName, key string) (bool, error)
@@ -113,25 +117,29 @@ func execInsert(eng Engine, s *InsertStmt) (*Result, error) {
 	if s.OnDup && !schema.Persistent {
 		return nil, fmt.Errorf("sql: on duplicate key update needs a persistent table, %s is a stream", s.Table)
 	}
-	vals := make([]types.Value, len(s.Vals))
-	for i, e := range s.Vals {
-		v, err := e.Eval(nil)
-		if err != nil {
-			return nil, err
+	rows := make([][]types.Value, len(s.Rows))
+	for r, exprs := range s.Rows {
+		vals := make([]types.Value, len(exprs))
+		for i, e := range exprs {
+			v, err := e.Eval(nil)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
 		}
-		vals[i] = v
-	}
-	if len(s.Cols) > 0 {
-		reordered, err := reorderByColumns(schema, s.Cols, vals)
-		if err != nil {
-			return nil, err
+		if len(s.Cols) > 0 {
+			reordered, err := reorderByColumns(schema, s.Cols, vals)
+			if err != nil {
+				return nil, err
+			}
+			vals = reordered
 		}
-		vals = reordered
+		rows[r] = vals
 	}
-	if err := eng.CommitInsert(s.Table, vals); err != nil {
+	if err := eng.CommitBatch(s.Table, rows); err != nil {
 		return nil, err
 	}
-	return &Result{Affected: 1}, nil
+	return &Result{Affected: len(rows)}, nil
 }
 
 func reorderByColumns(schema *types.Schema, cols []string, vals []types.Value) ([]types.Value, error) {
@@ -536,10 +544,10 @@ func execUpdate(eng Engine, s *UpdateStmt) (*Result, error) {
 	if scanErr != nil {
 		return nil, scanErr
 	}
-	for _, vals := range updated {
-		if err := eng.CommitInsert(s.Table, vals); err != nil {
-			return nil, err
-		}
+	// Re-commit all touched rows as one batch: subscribers see the whole
+	// update as a contiguous run.
+	if err := eng.CommitBatch(s.Table, updated); err != nil {
+		return nil, err
 	}
 	return &Result{Affected: len(updated)}, nil
 }

@@ -264,22 +264,16 @@ func (p *Parser) parseInsert() (Stmt, error) {
 	if err := p.expectIdentWord("values"); err != nil {
 		return nil, err
 	}
-	if err := p.expectPunct("("); err != nil {
-		return nil, err
-	}
 	for {
-		e, err := p.parseExpr(0)
+		row, err := p.parseValueList()
 		if err != nil {
 			return nil, err
 		}
-		st.Vals = append(st.Vals, e)
+		st.Rows = append(st.Rows, row)
 		if p.acceptPunct(",") {
 			continue
 		}
 		break
-	}
-	if err := p.expectPunct(")"); err != nil {
-		return nil, err
 	}
 	if p.acceptIdent("on") {
 		for _, w := range []string{"duplicate", "key", "update"} {
@@ -290,6 +284,30 @@ func (p *Parser) parseInsert() (Stmt, error) {
 		st.OnDup = true
 	}
 	return st, nil
+}
+
+// parseValueList parses one parenthesised, comma-separated expression list
+// — a single VALUES row.
+func (p *Parser) parseValueList() ([]Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var row []Expr
+	for {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, e)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return row, nil
 }
 
 func (p *Parser) parseSelect() (Stmt, error) {

@@ -188,3 +188,62 @@ func TestShowTablesAndDescribe(t *testing.T) {
 	execErr(t, e, `describe Nope`)
 	execErr(t, e, `show banana`)
 }
+
+func TestMultiRowInsert(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (g varchar, v integer)`)
+	res := mustExec(t, e, `insert into T values ('a', 1), ('b', 2), ('c', 3)`)
+	if res.Affected != 3 {
+		t.Fatalf("Affected = %d, want 3", res.Affected)
+	}
+	got := mustExec(t, e, `select g, v from T`)
+	if len(got.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(got.Rows))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if got.Rows[i][0].String() != want ||
+			got.Rows[i][1].String() != fmt.Sprint(i+1) {
+			t.Errorf("row %d = %+v", i, got.Rows[i])
+		}
+	}
+}
+
+func TestMultiRowInsertWithColumnList(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (a integer, b varchar)`)
+	mustExec(t, e, `insert into T (b, a) values ('x', 1), ('y', 2)`)
+	res := mustExec(t, e, `select a, b from T`)
+	if len(res.Rows) != 2 ||
+		res.Rows[0][0].String() != "1" || res.Rows[0][1].String() != "x" ||
+		res.Rows[1][0].String() != "2" || res.Rows[1][1].String() != "y" {
+		t.Errorf("column-list batch insert = %+v", res.Rows)
+	}
+}
+
+func TestMultiRowInsertUpsertLastWins(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create persistenttable KV (k varchar primary key, v integer)`)
+	mustExec(t, e, `insert into KV values ('a', 1), ('b', 2), ('a', 3)`)
+	res := mustExec(t, e, `select k, v from KV where k = 'a'`)
+	if len(res.Rows) != 1 || res.Rows[0][1].String() != "3" {
+		t.Errorf("later duplicate key in batch should win: %+v", res.Rows)
+	}
+}
+
+func TestMultiRowInsertBadRowRejectsWholeBatch(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (v integer)`)
+	execErr(t, e, `insert into T values (1), ('not-an-int'), (3)`)
+	res := mustExec(t, e, `select count(*) as n from T`)
+	if res.Rows[0][0].String() != "0" {
+		t.Errorf("failed batch must not partially apply: %+v", res.Rows)
+	}
+}
+
+func TestMultiRowInsertSyntaxErrors(t *testing.T) {
+	e := newTestEngine()
+	mustExec(t, e, `create table T (v integer)`)
+	execErr(t, e, `insert into T values (1), `)
+	execErr(t, e, `insert into T values (1),, (2)`)
+	execErr(t, e, `insert into T values`)
+}

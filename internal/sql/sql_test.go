@@ -56,6 +56,24 @@ func (e *testEngine) CommitInsert(name string, vals []types.Value) error {
 	return err
 }
 
+func (e *testEngine) CommitBatch(name string, rows [][]types.Value) error {
+	tb, err := e.LookupTable(name)
+	if err != nil {
+		return err
+	}
+	tuples := make([]*types.Tuple, len(rows))
+	for i, vals := range rows {
+		coerced, err := tb.Schema().Coerce(vals)
+		if err != nil {
+			return fmt.Errorf("batch row %d: %w", i, err)
+		}
+		e.seq++
+		e.clock++
+		tuples[i] = &types.Tuple{Seq: e.seq, TS: e.clock, Vals: coerced}
+	}
+	return tb.InsertBatch(tuples)
+}
+
 func (e *testEngine) DeleteRow(name, key string) (bool, error) {
 	tb, err := e.LookupTable(name)
 	if err != nil {

@@ -24,6 +24,12 @@ type Table interface {
 	// existing row with the same primary key is updated in place; replaced
 	// reports whether an update occurred.
 	Insert(t *types.Tuple) (replaced bool, err error)
+	// InsertBatch stores a run of (already coerced) tuples under one lock
+	// acquisition, in slice order. It is the bulk arm of the batch-first
+	// commit pipeline: ephemeral tables advance the ring head once,
+	// persistent tables upsert the whole run inside a single critical
+	// section.
+	InsertBatch(ts []*types.Tuple) error
 	// Len returns the number of rows currently held.
 	Len() int
 	// Scan calls fn for each row in time-of-insertion order (the default
@@ -85,6 +91,42 @@ func (e *Ephemeral) Insert(t *types.Tuple) (bool, error) {
 	e.buf[(e.head+e.n)%len(e.buf)] = t
 	e.n++
 	return false, nil
+}
+
+// InsertBatch implements Table: one lock acquisition and one head advance
+// for the whole run. When the run is at least as large as the ring only the
+// newest capacity-many tuples survive (the older ones would have been
+// evicted anyway).
+func (e *Ephemeral) InsertBatch(ts []*types.Tuple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	for _, t := range ts {
+		if t == nil {
+			return fmt.Errorf("table %s: nil tuple", e.schema.Name)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	capacity := len(e.buf)
+	if len(ts) >= capacity {
+		copy(e.buf, ts[len(ts)-capacity:])
+		e.head = 0
+		e.n = capacity
+		return nil
+	}
+	// Copy in at most two contiguous segments, then advance head/n once.
+	tail := (e.head + e.n) % capacity
+	first := copy(e.buf[tail:], ts)
+	copy(e.buf, ts[first:])
+	total := e.n + len(ts)
+	if total > capacity {
+		e.head = (e.head + total - capacity) % capacity
+		e.n = capacity
+	} else {
+		e.n = total
+	}
+	return nil
 }
 
 // Len implements Table.
@@ -160,9 +202,14 @@ func (p *Persistent) Insert(t *types.Tuple) (bool, error) {
 	if len(t.Vals) != p.schema.NumCols() {
 		return false, fmt.Errorf("table %s: arity mismatch", p.schema.Name)
 	}
-	key := p.KeyOf(t)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.insertLocked(t), nil
+}
+
+// insertLocked performs the keyed upsert with p.mu held.
+func (p *Persistent) insertLocked(t *types.Tuple) bool {
+	key := p.KeyOf(t)
 	_, existed := p.rows[key]
 	p.rows[key] = t
 	p.order = append(p.order, t)
@@ -172,7 +219,30 @@ func (p *Persistent) Insert(t *types.Tuple) (bool, error) {
 			p.compactLocked()
 		}
 	}
-	return existed, nil
+	return existed
+}
+
+// InsertBatch implements Table: the whole run of upserts happens inside a
+// single critical section, in slice order (a later duplicate key in the
+// same batch wins, exactly as sequential Inserts would).
+func (p *Persistent) InsertBatch(ts []*types.Tuple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	for _, t := range ts {
+		if t == nil {
+			return fmt.Errorf("table %s: nil tuple", p.schema.Name)
+		}
+		if len(t.Vals) != p.schema.NumCols() {
+			return fmt.Errorf("table %s: arity mismatch", p.schema.Name)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, t := range ts {
+		p.insertLocked(t)
+	}
+	return nil
 }
 
 // compactLocked rewrites order to contain only current rows.

@@ -338,3 +338,101 @@ func TestPersistentMapEquivalenceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// --- InsertBatch -----------------------------------------------------------
+
+func scanInts(tb Table) []int64 {
+	var out []int64
+	tb.Scan(func(t *types.Tuple) bool {
+		n, _ := t.Vals[len(t.Vals)-1].AsInt()
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+func intTups(from, n int) []*types.Tuple {
+	out := make([]*types.Tuple, n)
+	for i := range out {
+		out[i] = tup(uint64(from+i), types.Timestamp(from+i), types.Int(int64(from+i)))
+	}
+	return out
+}
+
+// TestEphemeralInsertBatch cross-checks InsertBatch against sequential
+// Inserts at every (preload, batch) combination around the ring boundary.
+func TestEphemeralInsertBatch(t *testing.T) {
+	const capacity = 8
+	for preload := 0; preload <= capacity; preload++ {
+		for batch := 0; batch <= 2*capacity+1; batch++ {
+			batched, err := NewEphemeral(streamSchema(t), capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sequential, _ := NewEphemeral(streamSchema(t), capacity)
+			for _, tp := range intTups(1, preload) {
+				_, _ = batched.Insert(tp)
+				_, _ = sequential.Insert(tp)
+			}
+			run := intTups(preload+1, batch)
+			if err := batched.InsertBatch(run); err != nil {
+				t.Fatalf("preload=%d batch=%d: %v", preload, batch, err)
+			}
+			for _, tp := range run {
+				_, _ = sequential.Insert(tp)
+			}
+			got, want := scanInts(batched), scanInts(sequential)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("preload=%d batch=%d: batch scan %v, sequential scan %v",
+					preload, batch, got, want)
+			}
+		}
+	}
+}
+
+func TestEphemeralInsertBatchNilTuple(t *testing.T) {
+	e, err := NewEphemeral(streamSchema(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InsertBatch([]*types.Tuple{tup(1, 1, types.Int(1)), nil}); err == nil {
+		t.Fatal("nil tuple in batch should error")
+	}
+	if e.Len() != 0 {
+		t.Fatalf("failed batch must not partially apply, Len = %d", e.Len())
+	}
+}
+
+// TestPersistentInsertBatch checks that a batch with duplicate keys behaves
+// exactly like sequential upserts: the later row wins and order reflects
+// the latest update.
+func TestPersistentInsertBatch(t *testing.T) {
+	p, err := NewPersistent(kvSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []*types.Tuple{
+		tup(1, 10, types.Str("a"), types.Int(1)),
+		tup(2, 20, types.Str("b"), types.Int(2)),
+		tup(3, 30, types.Str("a"), types.Int(3)),
+	}
+	if err := p.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	row, ok := p.Get("a")
+	if !ok {
+		t.Fatal("key a missing")
+	}
+	if n, _ := row.Vals[1].AsInt(); n != 3 {
+		t.Fatalf("a = %d, want the batch's later value 3", n)
+	}
+	if got := fmt.Sprint(p.Keys()); got != "[b a]" {
+		t.Fatalf("Keys = %v, want [b a] (a refreshed by its update)", got)
+	}
+	if err := p.InsertBatch([]*types.Tuple{tup(4, 40, types.Str("c"))}); err == nil {
+		t.Fatal("arity mismatch in batch should error")
+	}
+}

@@ -127,6 +127,17 @@ func (e *Encoder) Values(vals []types.Value) error {
 	return nil
 }
 
+// Rows appends a u32-counted slice of value rows (a batch insert payload).
+func (e *Encoder) Rows(rows [][]types.Value) error {
+	e.U32(uint32(len(rows)))
+	for _, row := range rows {
+		if err := e.Values(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Result appends a query result.
 func (e *Encoder) Result(r *sql.Result) error {
 	e.U16(uint16(len(r.Cols)))
@@ -343,6 +354,30 @@ func (d *Decoder) Values() ([]types.Value, error) {
 			return nil, err
 		}
 		out[i] = v
+	}
+	return out, nil
+}
+
+// Rows reads a u32-counted slice of value rows.
+func (d *Decoder) Rows() ([][]types.Value, error) {
+	n, err := d.U32()
+	if err != nil {
+		return nil, err
+	}
+	// Each row costs at least its u16 value count on the wire; clamp the
+	// prealloc hint so a corrupt or hostile count cannot force a huge
+	// allocation — decoding still fails cleanly on the truncated payload.
+	capHint := int(n)
+	if limit := d.Remaining() / 2; capHint > limit {
+		capHint = limit
+	}
+	out := make([][]types.Value, 0, capHint)
+	for i := uint32(0); i < n; i++ {
+		row, err := d.Values()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
 	}
 	return out, nil
 }
