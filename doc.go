@@ -10,33 +10,40 @@
 // event patterns over them, publishing derived events back into the cache
 // or send()ing notifications to their registering applications over RPC.
 //
-// # The batch-first commit pipeline
+// # The batch-first, topic-sharded commit pipeline
 //
-// The write path is batch-first: cache.CommitBatch coerces a run of rows,
-// takes the commit mutex once, assigns the batch a contiguous run of
-// global sequence numbers, bulk-inserts it into the table
-// (table.InsertBatch — one ring-buffer head advance for streams, one
-// critical section for persistent upserts) and hands the whole run to each
-// subscriber with a single pubsub.DeliverBatch call (one inbox lock, one
-// condvar signal per batch instead of per event). CommitInsert is a
-// one-row batch. Because sequence assignment, storage and publication stay
-// atomic under the commit mutex, the paper's §5 invariant is preserved
-// verbatim: every subscriber of a topic observes the identical global
-// time-of-insertion order, gap-free per topic; all tuples of a batch share
-// one timestamp (the batch commits at one instant) while their sequence
-// numbers remain unique. Batching feeds in from every layer: multi-row SQL
-// (`insert into T values (1), (2), (3)`) executes as one CommitBatch, the
-// RPC protocol carries an InsertBatch opcode, and rpc.Batcher
+// The write path is batch-first and sharded by topic. Every topic owns a
+// commit domain — a mutex and a per-topic sequence counter — so commits
+// into independent topics never serialise against each other.
+// cache.CommitBatch coerces a run of rows, takes the topic's domain mutex
+// once, assigns the batch a contiguous run of per-topic sequence numbers,
+// bulk-inserts it into the table (table.InsertBatch — one ring-buffer
+// head advance for streams, one critical section for persistent upserts)
+// and hands the whole run to each subscriber with a single
+// pubsub.DeliverBatch call (one inbox lock, one condvar signal per batch
+// instead of per event). CommitInsert is a one-row batch. Because
+// sequence assignment, storage and publication stay atomic under the
+// domain mutex, the paper's §5 invariant is preserved as the paper states
+// it — per stream: every subscriber of a topic observes the identical
+// time-of-insertion order, gap-free and contiguous from 1 in that topic's
+// own sequence space; all tuples of a batch share one timestamp (the
+// batch commits at one instant). There is no global sequence space and no
+// ordering across topics. Batching feeds in from every layer: multi-row
+// SQL (`insert into T values (1), (2), (3)`) executes as one CommitBatch,
+// the RPC protocol carries an InsertBatch opcode, and rpc.Batcher
 // auto-flushes client-side rows on size (MaxRows, default 256) or time
-// (MaxDelay, default 10ms) thresholds; `cachectl load` bulk-loads CSV from
-// stdin through it. The automaton runtime drains its inbox in runs
-// (Inbox.PopBatch) for the same amortisation on the consume side.
-// BenchmarkBatchInsert and BenchmarkBatchFanoutMultiProducer measure the
-// win: ≳2.3x tuples/sec at batch size 256 versus tuple-at-a-time.
+// (MaxDelay, default 10ms) thresholds — rpc.MultiBatcher routes rows to
+// per-table batchers; `cachectl load` bulk-loads CSV from stdin through
+// it. The automaton runtime drains its inbox in runs (Inbox.PopBatch) for
+// the same amortisation on the consume side. BenchmarkBatchInsert
+// measures the batching win (≳2.3x tuples/sec at batch 256 versus
+// tuple-at-a-time); BenchmarkShardedCommitMultiTopic measures the
+// sharding win (a topic stalled by a slow synchronous subscriber no
+// longer drags every other topic down with it).
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-versus-measured record of every evaluation
-// figure. The packages live under internal/; cmd/ holds the daemon
-// (cached), client (cachectl) and experiment runner (benchrunner);
-// examples/ holds five runnable scenarios.
+// See docs/ARCHITECTURE.md for the layer-by-layer tour and the §-to-code
+// map, docs/BENCHMARKS.md for how to run and read the benchmarks, and
+// examples/README.md for the six runnable scenarios. The packages live
+// under internal/; cmd/ holds the daemon (cached), client (cachectl) and
+// experiment runner (benchrunner).
 package unicache

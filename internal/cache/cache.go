@@ -1,10 +1,3 @@
-// Package cache implements the paper's core contribution: a centralised,
-// topic-based publish/subscribe cache unifying stream-database tables with
-// a publish/subscribe infrastructure (§3). Every table doubles as a topic;
-// every insert is published to all subscribed automata; ad hoc SQL queries
-// (with the continuous extensions) can be issued at any time; GAPL automata
-// registered against the cache detect complex event patterns over the
-// cached streams and relations.
 package cache
 
 import (
@@ -12,6 +5,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unicache/internal/automaton"
@@ -49,6 +43,22 @@ type Config struct {
 	AutoCreateStreams bool
 }
 
+// commitDomain is the unit of commit serialisation: one per topic. The
+// domain mutex makes sequence assignment, table insert and topic publish
+// atomic for its topic, which is what guarantees that every subscriber of
+// the topic observes the identical time-of-insertion order (§5). The
+// paper's order invariant is per stream, so the domain is scoped to the
+// topic: commits into different topics take different locks and proceed in
+// parallel.
+type commitDomain struct {
+	name  string
+	table table.Table
+	topic *pubsub.Topic
+
+	mu  sync.Mutex
+	seq uint64 // per-topic sequence; contiguous from 1 under mu
+}
+
 // Cache is a working instance of the unified system.
 type Cache struct {
 	cfg    Config
@@ -56,15 +66,16 @@ type Cache struct {
 	reg    *automaton.Registry
 	clock  func() types.Timestamp
 
-	// commitMu serialises the commit path: sequence assignment, table
-	// insert and topic publish happen atomically, which is what guarantees
-	// that every automaton observes the same global time-of-insertion
-	// order (§5).
-	commitMu sync.Mutex
-	seq      uint64
-
-	tablesMu sync.RWMutex
-	tables   map[string]table.Table
+	// domains maps topic name -> *commitDomain. Reads (every commit) are
+	// lock-free; writes happen only at table-creation time under createMu.
+	domains sync.Map
+	// createMu serialises CreateTable/autoCreateStream so domain creation,
+	// table installation and topic registration stay atomic.
+	createMu sync.Mutex
+	// nextWatcher allocates Watch ids. Watcher ids live in their own
+	// negative id space so they can never collide with automaton ids and
+	// no longer consume commit sequence numbers.
+	nextWatcher atomic.Int64
 
 	timerStop chan struct{}
 	timerDone chan struct{}
@@ -103,7 +114,6 @@ func New(cfg Config) (*Cache, error) {
 		cfg:    cfg,
 		broker: pubsub.NewBroker(),
 		clock:  cfg.Clock,
-		tables: make(map[string]table.Table),
 	}
 	c.reg = automaton.NewRegistry(c, automaton.Config{
 		PrintWriter:    cfg.PrintWriter,
@@ -169,14 +179,15 @@ func (c *Cache) Broker() *pubsub.Broker { return c.broker }
 
 // --- tables & topics ---
 
-// CreateTable installs a table and its topic. Implements sql.Engine.
+// CreateTable installs a table, its topic and its commit domain.
+// Implements sql.Engine.
 func (c *Cache) CreateTable(schema *types.Schema) error {
 	if schema == nil {
 		return fmt.Errorf("cache: nil schema")
 	}
-	c.tablesMu.Lock()
-	defer c.tablesMu.Unlock()
-	if _, dup := c.tables[schema.Name]; dup {
+	c.createMu.Lock()
+	defer c.createMu.Unlock()
+	if _, dup := c.domains.Load(schema.Name); dup {
 		return fmt.Errorf("cache: table %q already exists", schema.Name)
 	}
 	tb, err := table.New(schema, c.cfg.EphemeralCapacity)
@@ -186,19 +197,38 @@ func (c *Cache) CreateTable(schema *types.Schema) error {
 	if err := c.broker.CreateTopic(schema.Name); err != nil {
 		return err
 	}
-	c.tables[schema.Name] = tb
+	topic, err := c.broker.Topic(schema.Name)
+	if err != nil {
+		return err
+	}
+	c.domains.Store(schema.Name, &commitDomain{name: schema.Name, table: tb, topic: topic})
 	return nil
+}
+
+// lookupDomain resolves a topic's commit domain, lock-free on the hit
+// path. A miss rechecks under createMu: CreateTable registers the broker
+// topic before storing the domain, so without the recheck a concurrent
+// creator's table could be observable (Tables, Subscribe) while its
+// domain is still in flight.
+func (c *Cache) lookupDomain(name string) (*commitDomain, error) {
+	if d, ok := c.domains.Load(name); ok {
+		return d.(*commitDomain), nil
+	}
+	c.createMu.Lock()
+	defer c.createMu.Unlock()
+	if d, ok := c.domains.Load(name); ok {
+		return d.(*commitDomain), nil
+	}
+	return nil, fmt.Errorf("cache: no such table %q", name)
 }
 
 // LookupTable implements sql.Engine.
 func (c *Cache) LookupTable(name string) (table.Table, error) {
-	c.tablesMu.RLock()
-	defer c.tablesMu.RUnlock()
-	tb, ok := c.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("cache: no such table %q", name)
+	d, err := c.lookupDomain(name)
+	if err != nil {
+		return nil, err
 	}
-	return tb, nil
+	return d.table, nil
 }
 
 // PersistentTable implements automaton.Services.
@@ -216,12 +246,11 @@ func (c *Cache) PersistentTable(name string) (*table.Persistent, error) {
 
 // Schemas implements automaton.Services.
 func (c *Cache) Schemas() map[string]*types.Schema {
-	c.tablesMu.RLock()
-	defer c.tablesMu.RUnlock()
-	out := make(map[string]*types.Schema, len(c.tables))
-	for name, tb := range c.tables {
-		out[name] = tb.Schema()
-	}
+	out := make(map[string]*types.Schema)
+	c.domains.Range(func(name, d any) bool {
+		out[name.(string)] = d.(*commitDomain).table.Schema()
+		return true
+	})
 	return out
 }
 
@@ -232,29 +261,30 @@ func (c *Cache) Tables() []string { return c.broker.Topics() }
 
 // CommitBatch coerces, stamps, stores and publishes a run of tuples into
 // one table as a single commit: all rows are coerced up front (a bad row
-// fails the batch before anything is stored), the commit mutex is taken
-// once, the batch is assigned a contiguous run of global sequence numbers,
-// the table absorbs it via InsertBatch, and the topic's subscribers each
-// receive the whole run with one DeliverBatch call. Because sequence
-// assignment, storage and publication still happen atomically under
-// commitMu, every subscriber of a topic observes the identical global
-// time-of-insertion order (§5) — batching amortises the locking and
-// signalling cost without weakening that invariant. This is the core write
-// path; CommitInsert is a one-row batch.
+// fails the batch before anything is stored), the topic's commit-domain
+// mutex is taken once, the batch is assigned a contiguous run of per-topic
+// sequence numbers, the table absorbs it via InsertBatch, and the topic's
+// subscribers each receive the whole run with one DeliverBatch call.
+// Because sequence assignment, storage and publication happen atomically
+// under the domain mutex, every subscriber of the topic observes the
+// identical time-of-insertion order (§5) — and because the mutex belongs
+// to the topic, commits into independent topics never serialise against
+// each other. This is the core write path; CommitInsert is a one-row
+// batch.
 func (c *Cache) CommitBatch(tableName string, rows [][]types.Value) error {
 	if len(rows) == 0 {
 		return nil
 	}
-	tb, err := c.LookupTable(tableName)
+	d, err := c.lookupDomain(tableName)
 	if err != nil {
 		if c.cfg.AutoCreateStreams {
-			tb, err = c.autoCreateStream(tableName, rows[0])
+			d, err = c.autoCreateStream(tableName, rows[0])
 		}
 		if err != nil {
 			return err
 		}
 	}
-	schema := tb.Schema()
+	schema := d.table.Schema()
 	// One backing array per batch for tuples and events: the allocator is
 	// visited twice per batch instead of twice per tuple.
 	tupleArr := make([]types.Tuple, len(rows))
@@ -272,25 +302,33 @@ func (c *Cache) CommitBatch(tableName string, rows [][]types.Value) error {
 	}
 	eventArr := make([]types.Event, len(tuples))
 	events := make([]*types.Event, len(tuples))
-	c.commitMu.Lock()
-	defer c.commitMu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	// The batch commits atomically at one instant: all its tuples share
-	// one clock reading, while sequence numbers stay unique and contiguous.
+	// one clock reading, while the topic's sequence numbers stay unique
+	// and contiguous.
 	ts := c.clock()
 	for i, t := range tuples {
-		c.seq++
-		t.Seq = c.seq
+		d.seq++
+		t.Seq = d.seq
 		t.TS = ts
 		eventArr[i] = types.Event{Topic: tableName, Schema: schema, Tuple: t}
 		events[i] = &eventArr[i]
 	}
-	if err := tb.InsertBatch(tuples); err != nil {
+	if err := d.table.InsertBatch(tuples); err != nil {
+		// Nothing was stored or published: return the consumed run so the
+		// topic's sequence space stays contiguous (today unreachable —
+		// coercion pre-validates everything InsertBatch checks — but the
+		// documented invariant must not depend on that).
+		d.seq -= uint64(len(tuples))
 		return err
 	}
 	if len(events) == 1 {
-		return c.broker.Publish(events[0])
+		d.topic.Publish(events[0])
+	} else {
+		d.topic.PublishBatch(events)
 	}
-	return c.broker.PublishBatch(events)
+	return nil
 }
 
 // CommitInsert coerces, stamps, stores and publishes one tuple: a one-row
@@ -302,8 +340,10 @@ func (c *Cache) CommitInsert(tableName string, vals []types.Value) error {
 }
 
 // autoCreateStream implements the §8 "create streams on the fly" extension:
-// infer a schema from the published values.
-func (c *Cache) autoCreateStream(name string, vals []types.Value) (table.Table, error) {
+// infer a schema from the published values. Concurrent publishers racing to
+// create the same stream are benign: the loser of the CreateTable race just
+// resolves the winner's domain.
+func (c *Cache) autoCreateStream(name string, vals []types.Value) (*commitDomain, error) {
 	if len(vals) == 0 {
 		return nil, fmt.Errorf("cache: cannot infer a schema for empty tuple on %q", name)
 	}
@@ -332,17 +372,29 @@ func (c *Cache) autoCreateStream(name string, vals []types.Value) (table.Table, 
 		return nil, err
 	}
 	if err := c.CreateTable(schema); err != nil {
+		if d, lerr := c.lookupDomain(name); lerr == nil {
+			return d, nil
+		}
 		return nil, err
 	}
-	return c.LookupTable(name)
+	return c.lookupDomain(name)
 }
 
-// DeleteRow implements sql.Engine.
+// DeleteRow implements sql.Engine. The delete runs under the topic's
+// commit-domain mutex so it is totally ordered with respect to the topic's
+// commits: a delete can never interleave into the middle of a batch
+// commit on the same table.
 func (c *Cache) DeleteRow(tableName, key string) (bool, error) {
-	pt, err := c.PersistentTable(tableName)
+	d, err := c.lookupDomain(tableName)
 	if err != nil {
 		return false, err
 	}
+	pt, ok := d.table.(*table.Persistent)
+	if !ok {
+		return false, fmt.Errorf("cache: table %q is not persistent", tableName)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return pt.Delete(key), nil
 }
 
@@ -380,12 +432,11 @@ func (c *Cache) Unsubscribe(id int64) { c.broker.Unsubscribe(id) }
 
 // Watch attaches a raw event observer to a topic under a fresh negative id
 // (application-side taps, used by tests and tools). It returns the id for
-// Unsubscribe.
+// Unsubscribe. Watcher ids come from a dedicated counter, not the commit
+// sequence space: registering a watcher touches no commit domain, so it is
+// always safe while any set of topics is committing.
 func (c *Cache) Watch(topic string, fn func(*types.Event)) (int64, error) {
-	c.commitMu.Lock()
-	c.seq++ // reuse the sequence space for watcher ids, negated
-	id := -int64(c.seq)
-	c.commitMu.Unlock()
+	id := -c.nextWatcher.Add(1)
 	if err := c.broker.Subscribe(id, topic, &subscriberFunc{fn: fn}); err != nil {
 		return 0, err
 	}

@@ -1,0 +1,38 @@
+// Package cache implements the paper's core contribution: a centralised,
+// topic-based publish/subscribe cache unifying stream-database tables with
+// a publish/subscribe infrastructure (§3). Every table doubles as a topic;
+// every insert is published to all subscribed automata; ad hoc SQL queries
+// (with the continuous extensions) can be issued at any time; GAPL automata
+// registered against the cache detect complex event patterns over the
+// cached streams and relations.
+//
+// # Concurrency and ordering contract
+//
+// The write path is sharded into per-topic commit domains. Each topic owns
+// a commitDomain — a mutex, a per-topic sequence counter, the topic's
+// table handle and its pubsub.Topic publish handle — created when the
+// table is created and resolved lock-free on every commit. A commitDomain
+// guarantees, for its topic alone:
+//
+//   - Sequence numbers are unique, contiguous from 1, and assigned in
+//     commit order; every tuple of one CommitBatch carries the same
+//     timestamp and a contiguous sequence run.
+//   - Sequence assignment, table insertion and topic publication happen
+//     atomically under the domain mutex, so every subscriber of the topic
+//     observes the identical time-of-insertion order — the paper's §5
+//     invariant, which is a per-stream guarantee.
+//   - DeleteRow on a persistent table takes the same mutex, so deletes are
+//     totally ordered with the topic's commits.
+//
+// Nothing is guaranteed across topics: commits into different topics take
+// different locks and proceed in parallel, and there is no global sequence
+// space. A subscriber attached to several topics still sees each topic's
+// stream in committed order (delivery happens under the publishing
+// domain's lock before CommitBatch returns), but the interleaving between
+// topics is whatever the scheduler produced. Callers that need a
+// cross-topic order must publish into one topic.
+//
+// Watcher ids (Watch) come from a dedicated negative-id counter rather
+// than any sequence space, so watcher registration never touches a commit
+// domain and is safe while any set of topics is committing.
+package cache

@@ -4,19 +4,23 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"unicache/internal/pubsub"
 	"unicache/internal/types"
 )
 
-// TestCommitOrderingInvariant drives the paper's §5 total-order guarantee
-// through both write paths at once: multiple producer goroutines committing
-// single tuples and batches into overlapping topics, with subscribers
-// attached to each topic alone and to both. Every subscriber must observe
-// (1) strictly increasing global sequence numbers, (2) for each topic, the
-// identical gap-free event sequence every other subscriber of that topic
-// observes, and (3) each producer's rows in program order. Run with -race:
-// the concurrency is the point.
+// TestCommitOrderingInvariant drives the paper's §5 order guarantee —
+// per-stream total time-of-insertion order — through both write paths at
+// once: multiple producer goroutines committing single tuples and batches
+// into overlapping topics, with subscribers attached to each topic alone
+// and to both. Every subscriber must observe (1) for each topic, strictly
+// increasing sequence numbers contiguous from 1 (the per-topic commit
+// domain's sequence space has no gaps and no duplicates), (2) for each
+// topic, the identical event sequence every other subscriber of that topic
+// observes, and (3) each producer's rows in program order across topics,
+// because CommitBatch is synchronous through delivery. Run with -race: the
+// concurrency is the point.
 func TestCommitOrderingInvariant(t *testing.T) {
 	const (
 		producers  = 8
@@ -107,16 +111,17 @@ func TestCommitOrderingInvariant(t *testing.T) {
 	drain := func(in *pubsub.Inbox) (map[string][]obs, []obs) {
 		byTopic := make(map[string][]obs)
 		var global []obs
-		lastSeq := uint64(0)
+		lastSeq := make(map[string]uint64) // per-topic: domains have independent sequence spaces
 		for {
 			ev, ok := in.TryPop()
 			if !ok {
 				break
 			}
-			if ev.Tuple.Seq <= lastSeq {
-				t.Fatalf("sequence not strictly increasing: %d after %d", ev.Tuple.Seq, lastSeq)
+			if ev.Tuple.Seq <= lastSeq[ev.Topic] {
+				t.Fatalf("topic %s: sequence not strictly increasing: %d after %d",
+					ev.Topic, ev.Tuple.Seq, lastSeq[ev.Topic])
 			}
-			lastSeq = ev.Tuple.Seq
+			lastSeq[ev.Topic] = ev.Tuple.Seq
 			prod, _ := ev.Tuple.Vals[0].AsInt()
 			n, _ := ev.Tuple.Vals[1].AsInt()
 			o := obs{ev.Tuple.Seq, prod, n}
@@ -138,11 +143,19 @@ func TestCommitOrderingInvariant(t *testing.T) {
 
 	// Canonical per-topic order comes from the first single-topic
 	// subscriber; every other subscriber of that topic must match exactly.
+	// The canonical stream must also be gap-free from sequence 1: each
+	// topic's commit domain allocates its own contiguous sequence run.
 	for _, topic := range topics {
 		canon := observed[topic][0][topic]
 		if len(canon) != perTopicCount[topic] {
 			t.Fatalf("topic %s: canonical subscriber saw %d events, want %d (gap)",
 				topic, len(canon), perTopicCount[topic])
+		}
+		for i := range canon {
+			if canon[i].seq != uint64(i+1) {
+				t.Fatalf("topic %s: sequence not contiguous from 1: position %d carries seq %d",
+					topic, i, canon[i].seq)
+			}
 		}
 		check := func(label string, got []obs) {
 			if len(got) != len(canon) {
@@ -163,7 +176,9 @@ func TestCommitOrderingInvariant(t *testing.T) {
 
 	// Per-producer program order within the AB subscribers' global streams:
 	// a fixed producer's n counter must increase across both topics
-	// combined, because the commit path serialises its commits.
+	// combined, because CommitBatch delivers into every inbox before it
+	// returns — the producer cannot start its next commit (on either topic)
+	// until the previous one is visible everywhere.
 	for _, all := range globals["AB"] {
 		next := make(map[int64]int64)
 		for _, o := range all {
@@ -172,6 +187,222 @@ func TestCommitOrderingInvariant(t *testing.T) {
 					o.prod, o.n, next[o.prod])
 			}
 			next[o.prod] = o.n + 1
+		}
+	}
+}
+
+// gateSub is a Subscriber whose delivery blocks until released: it pins the
+// publishing topic's commit domain inside delivery, which is exactly the
+// situation cross-topic liveness must survive.
+type gateSub struct {
+	entered chan struct{} // closed on first delivery
+	release chan struct{} // delivery returns when closed
+	once    sync.Once
+}
+
+func newGateSub() *gateSub {
+	return &gateSub{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateSub) Deliver(*types.Event) {
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+}
+
+func (g *gateSub) DeliverBatch(evs []*types.Event) { g.Deliver(evs[0]) }
+
+// TestCrossTopicLiveness pins the point of sharding the commit path: a
+// commit stalled inside delivery on one topic (holding that topic's domain
+// lock) must not block commits, watcher registration, or reads on any
+// other topic. Under the pre-shard global commit mutex this test
+// deadlocks; with per-topic domains only the slow topic stalls.
+func TestCrossTopicLiveness(t *testing.T) {
+	c, err := New(Config{TimerPeriod: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, s := range []string{"Slow", "Fast"} {
+		if _, err := c.Exec(fmt.Sprintf(`create table %s (v integer)`, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gate := newGateSub()
+	if err := c.Subscribe(1, "Slow", gate); err != nil {
+		t.Fatal(err)
+	}
+
+	slowDone := make(chan error, 1)
+	go func() {
+		slowDone <- c.CommitInsert("Slow", []types.Value{types.Int(1)})
+	}()
+	select {
+	case <-gate.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Slow commit never reached its subscriber")
+	}
+
+	// Slow's domain lock is now held by a commit parked inside delivery.
+	// Park a subscription change on the stalled topic too: it must wait
+	// for Slow, but must not freeze subscription changes elsewhere.
+	slowSubDone := make(chan error, 1)
+	go func() {
+		slowSubDone <- c.Subscribe(2, "Slow", pubsub.NewInbox())
+	}()
+
+	// Every operation on other topics must still complete.
+	fastDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < 100; i++ {
+			if err := c.CommitInsert("Fast", []types.Value{types.Int(int64(i))}); err != nil {
+				fastDone <- err
+				return
+			}
+		}
+		id, err := c.Watch("Fast", func(*types.Event) {})
+		if err != nil {
+			fastDone <- err
+			return
+		}
+		// Unsubscribing from a healthy topic must not wait for the
+		// stalled one either: the broker detaches an id by visiting only
+		// the topics it is attached to.
+		c.Unsubscribe(id)
+		_, err = c.Exec(`select count(*) from Fast`)
+		fastDone <- err
+	}()
+	select {
+	case err := <-fastDone:
+		if err != nil {
+			t.Fatalf("Fast topic operation failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Fast topic blocked behind a stalled Slow commit: per-topic commit domains are not independent")
+	}
+
+	close(gate.release)
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-slowSubDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription to the stalled topic never completed after release")
+	}
+}
+
+// TestWatchAcrossTopics pins that watcher registration and removal are
+// safe — and ids unique — while other topics commit concurrently. This is
+// the regression guard for moving watcher ids off the global sequence
+// counter: Watch no longer touches any commit domain, so it must never
+// stall behind (or be corrupted by) a busy write path. Run with -race.
+func TestWatchAcrossTopics(t *testing.T) {
+	const (
+		topics   = 4
+		watchers = 25 // per topic, registered while every topic commits
+		rows     = 300
+	)
+	c, err := New(Config{TimerPeriod: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	names := make([]string, topics)
+	for i := range names {
+		names[i] = fmt.Sprintf("W%d", i)
+		if _, err := c.Exec(fmt.Sprintf(`create table %s (v integer)`, names[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var committers sync.WaitGroup
+	for _, name := range names {
+		committers.Add(1)
+		go func(name string) {
+			defer committers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := c.CommitInsert(name, []types.Value{types.Int(int64(i))}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(name)
+	}
+
+	// Concurrently register watchers on every topic, verify each sees its
+	// topic's stream in order, then unsubscribe half of them — all while
+	// the committers above keep every domain hot.
+	var (
+		idMu  sync.Mutex
+		ids   = make(map[int64]bool)
+		watch sync.WaitGroup
+	)
+	for _, name := range names {
+		for w := 0; w < watchers; w++ {
+			watch.Add(1)
+			go func(name string, w int) {
+				defer watch.Done()
+				var last uint64
+				id, err := c.Watch(name, func(ev *types.Event) {
+					// Called under the topic lock: per-topic order must
+					// hold from the first event this watcher sees.
+					if ev.Tuple.Seq <= last {
+						t.Errorf("watcher on %s: seq %d after %d", name, ev.Tuple.Seq, last)
+					}
+					last = ev.Tuple.Seq
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if id >= 0 {
+					t.Errorf("watcher id %d not negative", id)
+				}
+				idMu.Lock()
+				if ids[id] {
+					t.Errorf("watcher id %d allocated twice", id)
+				}
+				ids[id] = true
+				idMu.Unlock()
+				if w%2 == 0 {
+					c.Unsubscribe(id)
+				}
+			}(name, w)
+		}
+	}
+	watch.Wait()
+
+	// Let every topic commit a few more rows under the surviving watchers,
+	// then stop and verify the committers made progress on all topics.
+	for _, name := range names {
+		for i := 0; i < rows/topics; i++ {
+			if err := c.CommitInsert(name, []types.Value{types.Int(-1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	committers.Wait()
+
+	if len(ids) != topics*watchers {
+		t.Fatalf("allocated %d watcher ids, want %d", len(ids), topics*watchers)
+	}
+	for _, name := range names {
+		tb, err := c.LookupTable(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.Len() < rows/topics {
+			t.Errorf("topic %s: only %d rows committed", name, tb.Len())
 		}
 	}
 }

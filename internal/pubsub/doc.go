@@ -1,0 +1,33 @@
+// Package pubsub implements the topic-based publish/subscribe substrate of
+// the unified cache. Every table in the cache corresponds to a topic with
+// the same name; each tuple insertion is published as an event on that
+// topic and delivered to all subscribed automata in strict per-topic
+// time-of-insertion order (§3, §5 of the paper).
+//
+// # Concurrency and ordering contract
+//
+// Each Topic owns one mutex that serialises publications against
+// subscription changes. Publish and PublishBatch run entirely under that
+// lock, so every subscriber of a topic observes the identical event
+// interleaving — this is the mechanism behind the paper's §5 ordering
+// invariant. The contract is scoped to one topic: the broker imposes no
+// ordering between events of different topics, which is what lets the
+// cache's per-topic commit domains publish into independent topics in
+// parallel.
+//
+// DeliverBatch promises subscribers a run of events in commit order, all
+// from one topic, with contiguous per-topic sequence numbers assigned by
+// the committing domain. The slice itself must not be retained or mutated
+// (the same backing array is handed to every subscriber); retaining the
+// *Event pointers is fine. Deliver and DeliverBatch must not block — they
+// are called with the topic lock held, so a blocking subscriber stalls its
+// topic (and only its topic).
+//
+// Subscribers that do real work must therefore be inbox-backed: an
+// unbounded FIFO Inbox absorbs the run without blocking and hands it to
+// the consumer goroutine, which keeps delivery from stalling the
+// publisher and makes publish() from inside an automaton re-entrant — an
+// automaton may publish into a topic it is itself subscribed to without
+// deadlock. A subscriber that instead blocks synchronously inside
+// Deliver/DeliverBatch stalls its topic's commits for the duration.
+package pubsub

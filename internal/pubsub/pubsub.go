@@ -1,13 +1,3 @@
-// Package pubsub implements the topic-based publish/subscribe substrate of
-// the unified cache. Every table in the cache corresponds to a topic with
-// the same name; each tuple insertion is published as an event on that
-// topic and delivered to all subscribed automata in strict
-// time-of-insertion order (§3, §5 of the paper).
-//
-// Delivery never blocks the publisher: each subscriber owns an unbounded
-// FIFO inbox (see Inbox). This is what makes publish() from inside an
-// automaton re-entrant — an automaton may publish into a topic it is itself
-// subscribed to without deadlock.
 package pubsub
 
 import (
@@ -19,11 +9,15 @@ import (
 )
 
 // Subscriber consumes events. Deliver and DeliverBatch must not block
-// (Inbox satisfies this); both are called with the broker's topic lock held
-// so that the global event interleaving is identical for every subscriber.
-// DeliverBatch receives a run of events in commit order and must not retain
-// or mutate the slice itself (the same slice is handed to every
-// subscriber); retaining the *Event pointers is fine.
+// (Inbox satisfies this); both are called with the topic lock held so
+// that the topic's event interleaving is identical for every subscriber.
+// They must also not call Subscribe, Unsubscribe or anything that takes
+// subscription locks — subscription changes from inside delivery can
+// deadlock against concurrent control operations; hand such work to
+// another goroutine (an Inbox consumer) instead. DeliverBatch receives a
+// run of events in commit order and must not retain or mutate the slice
+// itself (the same slice is handed to every subscriber); retaining the
+// *Event pointers is fine.
 type Subscriber interface {
 	Deliver(ev *types.Event)
 	DeliverBatch(evs []*types.Event)
@@ -32,18 +26,41 @@ type Subscriber interface {
 // Broker routes published events to topic subscribers.
 type Broker struct {
 	mu     sync.RWMutex
-	topics map[string]*topic
+	topics map[string]*Topic
+
+	// subMu guards byID, the id -> subscriptions index. It lets
+	// Unsubscribe visit only the topics the id is actually attached to,
+	// holding no broker-wide lock while it takes each topic's mutex — so
+	// detaching from healthy topics never waits on an unrelated stalled
+	// topic and never blocks topic creation. The index records the
+	// Subscriber instance so a detach snapshotted before a concurrent
+	// re-subscribe of the same id skips the newer subscription instead of
+	// wiping it.
+	subMu sync.Mutex
+	byID  map[int64]map[*Topic]Subscriber
 }
 
-type topic struct {
+// Topic is one named event channel. Publishers that own a *Topic handle
+// (the cache's per-topic commit domains) publish through it directly,
+// without touching the broker's topic map; the handle stays valid for the
+// life of the broker. The topic mutex serialises publications against
+// subscription changes, which is what makes every subscriber of the topic
+// observe the identical event interleaving.
+type Topic struct {
 	name string
 	mu   sync.Mutex
 	subs map[int64]Subscriber
 }
 
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
-	return &Broker{topics: make(map[string]*topic)}
+	return &Broker{
+		topics: make(map[string]*Topic),
+		byID:   make(map[int64]map[*Topic]Subscriber),
+	}
 }
 
 // CreateTopic registers a topic name. Creating an existing topic is an
@@ -57,8 +74,21 @@ func (b *Broker) CreateTopic(name string) error {
 	if _, ok := b.topics[name]; ok {
 		return fmt.Errorf("topic %s already exists", name)
 	}
-	b.topics[name] = &topic{name: name, subs: make(map[int64]Subscriber)}
+	b.topics[name] = &Topic{name: name, subs: make(map[int64]Subscriber)}
 	return nil
+}
+
+// Topic returns the publish handle for the named topic. The handle is
+// stable: it may be cached by publishers (the cache caches one per commit
+// domain) and used concurrently with subscription changes.
+func (b *Broker) Topic(name string) (*Topic, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("no such topic %q", name)
+	}
+	return t, nil
 }
 
 // HasTopic reports whether the topic exists.
@@ -83,7 +113,13 @@ func (b *Broker) Topics() []string {
 
 // Subscribe attaches sub to the named topic under the given subscriber id.
 // One id may subscribe to many topics; Unsubscribe(id) detaches it from all
-// of them.
+// of them. No lock is held while waiting for another (the topic is updated
+// first, then the index under subMu), so subscribing to one stalled topic
+// never freezes subscription changes on healthy topics. An Unsubscribe
+// racing a Subscribe of the same id resolves via the index: a snapshot
+// taken before this subscription was indexed simply does not include it
+// (the unsubscribe linearises first), and a snapshotted older subscription
+// is removed by Subscriber instance, never touching this one.
 func (b *Broker) Subscribe(id int64, name string, sub Subscriber) error {
 	if sub == nil {
 		return fmt.Errorf("nil subscriber")
@@ -95,21 +131,39 @@ func (b *Broker) Subscribe(id int64, name string, sub Subscriber) error {
 		return fmt.Errorf("no such topic %q", name)
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if _, dup := t.subs[id]; dup {
+		t.mu.Unlock()
 		return fmt.Errorf("subscriber %d already subscribed to %s", id, name)
 	}
 	t.subs[id] = sub
+	t.mu.Unlock()
+	b.subMu.Lock()
+	if b.byID[id] == nil {
+		b.byID[id] = make(map[*Topic]Subscriber)
+	}
+	b.byID[id][t] = sub
+	b.subMu.Unlock()
 	return nil
 }
 
-// Unsubscribe detaches subscriber id from every topic.
+// Unsubscribe detaches subscriber id from every topic it is attached to.
+// The index is snapshotted and cleared under subMu, but the per-topic
+// detach runs with no broker-wide lock held and takes only the attached
+// topics' locks — so detaching an id neither waits on topics it was not
+// subscribed to nor freezes other ids' subscription changes behind a
+// stalled topic. Each detach removes the subscription only if the topic
+// still holds the snapshotted Subscriber instance, so a Subscribe of the
+// same id that lands after the snapshot survives untouched.
 func (b *Broker) Unsubscribe(id int64) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	for _, t := range b.topics {
+	b.subMu.Lock()
+	attached := b.byID[id]
+	delete(b.byID, id)
+	b.subMu.Unlock()
+	for t, sub := range attached {
 		t.mu.Lock()
-		delete(t.subs, id)
+		if t.subs[id] == sub {
+			delete(t.subs, id)
+		}
 		t.mu.Unlock()
 	}
 }
@@ -127,30 +181,45 @@ func (b *Broker) Subscribers(name string) int {
 	return len(t.subs)
 }
 
-// Publish delivers ev to every subscriber of ev.Topic. The caller (the
+// Publish delivers ev to every subscriber of this topic. The caller (the
 // cache commit path) is responsible for assigning ev.Tuple.Seq before
-// publishing; the per-topic lock guarantees all subscribers observe the
-// same interleaving.
-func (b *Broker) Publish(ev *types.Event) error {
-	b.mu.RLock()
-	t, ok := b.topics[ev.Topic]
-	b.mu.RUnlock()
-	if !ok {
-		return fmt.Errorf("no such topic %q", ev.Topic)
-	}
+// publishing; the topic lock guarantees all subscribers observe the same
+// interleaving.
+func (t *Topic) Publish(ev *types.Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, sub := range t.subs {
 		sub.Deliver(ev)
 	}
+}
+
+// PublishBatch delivers a run of events — all on this topic, already
+// carrying their committed sequence numbers — to every subscriber with one
+// topic-lock acquisition and one DeliverBatch call per subscriber. This is
+// the fan-out arm of the batch commit pipeline: the per-event signalling
+// cost of Publish amortises over the run.
+func (t *Topic) PublishBatch(evs []*types.Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sub := range t.subs {
+		sub.DeliverBatch(evs)
+	}
+}
+
+// Publish delivers ev to every subscriber of ev.Topic, resolving the topic
+// by name. Hot publishers (the cache commit domains) hold a *Topic handle
+// and call its Publish directly instead.
+func (b *Broker) Publish(ev *types.Event) error {
+	t, err := b.Topic(ev.Topic)
+	if err != nil {
+		return err
+	}
+	t.Publish(ev)
 	return nil
 }
 
-// PublishBatch delivers a run of events — all on the same topic, already
-// carrying their committed sequence numbers — to every subscriber of that
-// topic with one topic-lock acquisition and one DeliverBatch call per
-// subscriber. This is the fan-out arm of the batch commit pipeline: the
-// per-event signalling cost of Publish amortises over the run.
+// PublishBatch delivers a run of same-topic events by name; see
+// Topic.PublishBatch for the handle-based hot path.
 func (b *Broker) PublishBatch(evs []*types.Event) error {
 	if len(evs) == 0 {
 		return nil
@@ -161,16 +230,10 @@ func (b *Broker) PublishBatch(evs []*types.Event) error {
 			return fmt.Errorf("publish batch mixes topics %q and %q", name, ev.Topic)
 		}
 	}
-	b.mu.RLock()
-	t, ok := b.topics[name]
-	b.mu.RUnlock()
-	if !ok {
-		return fmt.Errorf("no such topic %q", name)
+	t, err := b.Topic(name)
+	if err != nil {
+		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, sub := range t.subs {
-		sub.DeliverBatch(evs)
-	}
+	t.PublishBatch(evs)
 	return nil
 }

@@ -1,0 +1,28 @@
+// Package rpc implements the RPC mechanism through which applications and
+// the cache interact (§3, §5): SQL execution, fast-path inserts, automaton
+// registration, and the reverse channel carrying send() events from
+// automata back to their registering application.
+//
+// The wire protocol fragments and reassembles every message at 1024-byte
+// boundaries, as the paper's RPC system does (§6.3 notes the linear
+// throughput drop past 1 KiB that Fig. 13 shows).
+//
+// # Concurrency and ordering contract
+//
+// Each connection's requests are processed serially in arrival order (the
+// paper's cache services RPCs in its main thread), so one client's
+// inserts into a table commit in the order it sent them. Different
+// connections proceed concurrently and are serialised only by the
+// cache's per-topic commit domains: two connections inserting into
+// different tables never contend, two inserting into the same table are
+// ordered by that table's domain.
+//
+// A msgInsertBatch message carries rows for exactly one table and commits
+// server-side as one cache.CommitBatch: one contiguous per-topic sequence
+// run, one shared timestamp, one delivery per subscriber. Client-side,
+// Batcher accumulates rows for one table and auto-flushes on size/delay
+// thresholds; MultiBatcher fronts a set of per-table Batchers and routes
+// each row to its table's batcher, so an application feeding many topics
+// still produces per-topic batch commits that land in distinct commit
+// domains.
+package rpc

@@ -1,0 +1,119 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+
+	"unicache/internal/types"
+)
+
+// MultiBatcher routes rows to per-table Batchers created on first use, so
+// one producer feeding many topics still ships per-topic batch commits —
+// the client-side mirror of the cache's per-topic commit domains. Rows for
+// table A and table B coalesce into separate batches that commit in
+// separate domains server-side; a slow or hot table never delays another
+// table's flushes. It is safe for concurrent use.
+type MultiBatcher struct {
+	client *Client
+	cfg    BatcherConfig
+
+	mu       sync.Mutex
+	batchers map[string]*Batcher
+	closed   bool
+}
+
+// NewMultiBatcher returns a table-routing batcher writing through c. The
+// config applies to every per-table batcher it creates; zero-valued fields
+// take the Batcher defaults.
+func (c *Client) NewMultiBatcher(cfg BatcherConfig) *MultiBatcher {
+	return &MultiBatcher{client: c, cfg: cfg, batchers: make(map[string]*Batcher)}
+}
+
+// batcher returns (creating if needed) the batcher owning table's rows.
+func (m *MultiBatcher) batcher(table string) (*Batcher, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errors.New("rpc: multibatcher is closed")
+	}
+	b, ok := m.batchers[table]
+	if !ok {
+		b = m.client.NewBatcher(table, m.cfg)
+		m.batchers[table] = b
+	}
+	return b, nil
+}
+
+// Add buffers one row for the named table, flushing that table's batch if
+// its size threshold trips. Errors are scoped to the table's batcher: a
+// failed flush on one table does not poison the others.
+func (m *MultiBatcher) Add(table string, vals ...types.Value) error {
+	b, err := m.batcher(table)
+	if err != nil {
+		return err
+	}
+	return b.Add(vals...)
+}
+
+// Tables returns the tables this batcher has accepted rows for.
+func (m *MultiBatcher) Tables() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.batchers))
+	for name := range m.batchers {
+		out = append(out, name)
+	}
+	return out
+}
+
+// snapshot returns the current per-table batchers without holding the
+// lock during the (potentially flushing) calls that follow. When
+// markClosed is set the batcher also stops accepting Adds.
+func (m *MultiBatcher) snapshot(markClosed bool) []*Batcher {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if markClosed {
+		if m.closed {
+			return nil
+		}
+		m.closed = true
+	}
+	batchers := make([]*Batcher, 0, len(m.batchers))
+	for _, b := range m.batchers {
+		batchers = append(batchers, b)
+	}
+	return batchers
+}
+
+// Len returns the number of currently buffered rows across all tables.
+func (m *MultiBatcher) Len() int {
+	n := 0
+	for _, b := range m.snapshot(false) {
+		n += b.Len()
+	}
+	return n
+}
+
+// Flush synchronously ships every table's buffered rows, returning the
+// first error encountered (all tables are still attempted).
+func (m *MultiBatcher) Flush() error {
+	var first error
+	for _, b := range m.snapshot(false) {
+		if err := b.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close rejects further Adds, closes every per-table batcher (shipping
+// their remainders) and returns the first error from any of them.
+func (m *MultiBatcher) Close() error {
+	var first error
+	for _, b := range m.snapshot(true) {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

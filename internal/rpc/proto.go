@@ -1,11 +1,3 @@
-// Package rpc implements the RPC mechanism through which applications and
-// the cache interact (§3, §5): SQL execution, fast-path inserts, automaton
-// registration, and the reverse channel carrying send() events from
-// automata back to their registering application.
-//
-// The wire protocol fragments and reassembles every message at 1024-byte
-// boundaries, as the paper's RPC system does (§6.3 notes the linear
-// throughput drop past 1 KiB that Fig. 13 shows).
 package rpc
 
 import (

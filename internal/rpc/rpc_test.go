@@ -537,3 +537,70 @@ func TestBatcherSplitsOversizedFlush(t *testing.T) {
 		t.Errorf("connection should survive the rejected batch: %v", err)
 	}
 }
+
+func TestMultiBatcherRoutesByTable(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	tables := []string{"A", "B", "C"}
+	for _, name := range tables {
+		if _, err := cl.Exec(fmt.Sprintf(`create table %s (src integer, v integer)`, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mb := cl.NewMultiBatcher(BatcherConfig{MaxRows: 8, MaxDelay: -1})
+
+	// Concurrent producers interleave rows across all three tables; every
+	// row must land in its own table, in each producer's program order.
+	const producers, rowsPerTable = 4, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < rowsPerTable; i++ {
+				for _, name := range tables {
+					if err := mb.Add(name, types.Int(int64(p)), types.Int(int64(i))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := len(mb.Tables()); got != len(tables) {
+		t.Errorf("Tables() = %d entries, want %d", got, len(tables))
+	}
+	if err := mb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range tables {
+		res, err := cl.Exec(fmt.Sprintf(`select count(*) as n from %s`, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("%d", producers*rowsPerTable)
+		if res.Rows[0][0].String() != want {
+			t.Errorf("table %s: count = %s, want %s", name, res.Rows[0][0], want)
+		}
+		// Per-producer program order within each table (per-topic batches
+		// must not reorder one producer's rows).
+		res, err = cl.Exec(fmt.Sprintf(`select src, v from %s`, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := make(map[string]int64)
+		for _, row := range res.Rows {
+			src := row[0].String()
+			v, _ := row[1].AsInt()
+			if v != next[src] {
+				t.Fatalf("table %s: producer %s rows out of order: got %d, want %d", name, src, v, next[src])
+			}
+			next[src] = v + 1
+		}
+	}
+	if err := mb.Add("A", types.Int(0), types.Int(0)); err == nil {
+		t.Error("Add after Close should error")
+	}
+}

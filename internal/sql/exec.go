@@ -10,20 +10,27 @@ import (
 
 // Engine is the storage/commit surface the executor runs against. The
 // cache implements it; inserts must flow through the cache commit path so
-// that each stored tuple is also published on the table's topic.
+// that each stored tuple is also published on the table's topic. Every
+// statement in this dialect targets exactly one table, so each statement
+// commits inside exactly one of the engine's per-topic commit domains:
+// concurrent statements against different tables never serialise against
+// each other, while statements against the same table are totally ordered
+// by that table's domain.
 type Engine interface {
 	// LookupTable resolves a table by name.
 	LookupTable(name string) (table.Table, error)
-	// CreateTable installs a new table (and its topic).
+	// CreateTable installs a new table (and its topic and commit domain).
 	CreateTable(schema *types.Schema) error
 	// CommitInsert coerces, stamps, stores and publishes one tuple.
 	CommitInsert(tableName string, vals []types.Value) error
 	// CommitBatch coerces, stamps, stores and publishes a run of tuples as
-	// one commit: contiguous sequence numbers, one publication per
-	// subscriber. Multi-row inserts flow through it.
+	// one commit under the table's commit domain: per-topic contiguous
+	// sequence numbers, one shared timestamp, one publication per
+	// subscriber. Multi-row inserts and update re-commits flow through it.
 	CommitBatch(tableName string, rows [][]types.Value) error
 	// DeleteRow removes a persistent row by key, reporting whether it
-	// existed.
+	// existed. The engine orders the delete within the table's commit
+	// domain.
 	DeleteRow(tableName, key string) (bool, error)
 	// Tables lists the table (= topic) names.
 	Tables() []string

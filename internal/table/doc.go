@@ -1,0 +1,29 @@
+// Package table implements the cache's two storage engines: ephemeral
+// stream tables backed by a circular in-memory buffer (the reason the
+// system is called "the Cache") and persistent relational tables stored in
+// the heap and keyed on a primary-key column with on-duplicate-key-update
+// semantics (§3 of the paper).
+//
+// # Concurrency and ordering contract
+//
+// Both engines are internally thread-safe: every method takes the table's
+// own RWMutex, so raw reads (Scan, Len, Get) may run concurrently with
+// writes from any goroutine. Ordering, however, is NOT this package's job.
+// A table stores tuples in the order Insert/InsertBatch calls reach it;
+// it is the cache's per-topic commit domain — which calls InsertBatch
+// with the domain lock held — that makes this order the topic's committed
+// time-of-insertion order (§5) and keeps it consistent with what
+// subscribers observe. Writing to a table without going through the
+// cache commit path stores data but bypasses sequence assignment and
+// publication, and is only appropriate in tests.
+//
+// InsertBatch is the bulk arm of the batch-first commit pipeline: the
+// whole run is absorbed inside a single critical section — ephemeral
+// rings advance their head once, persistent tables apply the run of
+// upserts in slice order (a later duplicate key in the same batch wins,
+// exactly as sequential Inserts would).
+//
+// Scan and ScanSince iterate over an internal snapshot, so the callback
+// may itself call back into the table (or commit through the cache)
+// without deadlocking.
+package table

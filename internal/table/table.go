@@ -1,8 +1,3 @@
-// Package table implements the cache's two storage engines: ephemeral
-// stream tables backed by a circular in-memory buffer (the reason the
-// system is called "the Cache") and persistent relational tables stored in
-// the heap and keyed on a primary-key column with on-duplicate-key-update
-// semantics (§3 of the paper).
 package table
 
 import (

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: every internal/* package must carry a package comment ("// Package
+# <name> ...", ideally in doc.go) stating what it does — the load-bearing
+# packages also document their concurrency/ordering contract there (see
+# docs/ARCHITECTURE.md, "Concurrency contracts, per package").
+set -u
+fail=0
+for dir in internal/*/; do
+	pkg=$(basename "$dir")
+	if ! grep -qs "^// Package $pkg" "$dir"*.go; then
+		echo "missing package comment: ${dir} (want a '// Package ${pkg} ...' block, ideally in ${dir}doc.go)"
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	echo "package-doc gate failed" >&2
+fi
+exit "$fail"
