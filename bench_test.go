@@ -673,6 +673,60 @@ func BenchmarkShardedCommitMultiTopic(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncDeliverySlowTap measures what the asynchronous delivery
+// pipeline buys on one topic: commit throughput with a 2ms-per-event tap
+// attached, versus the no-tap baseline. Three tap modes:
+//
+//   - tap=none: baseline, two drained inbox subscribers only.
+//   - tap=sync: the pre-PR3 shape — a subscriber that sleeps 2ms inside
+//     Deliver, executing under the topic lock. Throughput collapses to the
+//     tap's rate (~300x at batch 16).
+//   - tap=drop: WatchWith under DropOldest (queue 1024). The tap sheds
+//     what it cannot keep up with; commit throughput must stay within 2x
+//     of tap=none.
+//
+// Block is deliberately absent: with a 2ms tap it runs at full speed
+// exactly until the queue fills and then at the tap's rate forever after —
+// that conversion of overflow into backpressure is its contract, but it
+// makes a fixed-iteration benchmark report whichever regime calibration
+// happened to land in (and a run-sized queue just pins the whole run's
+// events). TestWatchBlockPolicyBackpressure pins the Block semantics
+// instead.
+func BenchmarkAsyncDeliverySlowTap(b *testing.B) {
+	const batch = 16
+	const stall = 2 * time.Millisecond
+	for _, mode := range []string{"none", "sync", "drop"} {
+		b.Run("tap="+mode, func(b *testing.B) {
+			c, stop := batchBenchCache(b, 2)
+			defer stop()
+			switch mode {
+			case "sync":
+				if err := c.Subscribe(999, "T", &stallSub{stall: stall}); err != nil {
+					b.Fatal(err)
+				}
+			case "drop":
+				id, err := c.WatchWith("T", func(*types.Event) { time.Sleep(stall) },
+					cache.WatchOpts{Queue: 1024, Policy: pubsub.DropOldest})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Unsubscribe(id)
+			}
+			rows := batchRows(batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.CommitBatch("T", rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			tuples := float64(b.N) * float64(batch)
+			b.ReportMetric(tuples/b.Elapsed().Seconds(), "tuples/sec")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tuples, "ns/tuple")
+		})
+	}
+}
+
 // --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblationVMInstructionCycle measures the stack machine's

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"unicache/internal/cache"
+	"unicache/internal/pubsub"
 	"unicache/internal/rpc"
 )
 
@@ -33,8 +34,16 @@ func main() {
 	ringCap := flag.Int("ring", 0, "ephemeral table ring-buffer capacity (0 = default)")
 	autoCreate := flag.Bool("auto-create-streams", false,
 		"create streams on the fly when automata publish to unknown topics (§8 extension)")
+	autoQueue := flag.Int("automaton-queue", 0,
+		"bound each automaton's inbox to this many events (0 = unbounded)")
+	autoPolicy := flag.String("automaton-policy", "block",
+		"overflow policy for bounded automaton inboxes: block, dropoldest or fail")
 	flag.Parse()
 
+	policy, err := parsePolicy(*autoPolicy)
+	if err != nil {
+		fail(err)
+	}
 	period := *timer
 	if period == 0 {
 		period = -1
@@ -43,6 +52,8 @@ func main() {
 		TimerPeriod:       period,
 		EphemeralCapacity: *ringCap,
 		AutoCreateStreams: *autoCreate,
+		AutomatonQueue:    *autoQueue,
+		AutomatonPolicy:   policy,
 	})
 	if err != nil {
 		fail(err)
@@ -104,6 +115,16 @@ func splitStatements(src string) []string {
 		}
 	}
 	return out
+}
+
+// parsePolicy maps a flag value to a pubsub overflow policy.
+func parsePolicy(s string) (pubsub.Policy, error) {
+	for _, p := range []pubsub.Policy{pubsub.Block, pubsub.DropOldest, pubsub.Fail} {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown overflow policy %q (want block, dropoldest or fail)", s)
 }
 
 func fail(err error) {

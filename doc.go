@@ -34,12 +34,25 @@
 // auto-flushes client-side rows on size (MaxRows, default 256) or time
 // (MaxDelay, default 10ms) thresholds — rpc.MultiBatcher routes rows to
 // per-table batchers; `cachectl load` bulk-loads CSV from stdin through
-// it. The automaton runtime drains its inbox in runs (Inbox.PopBatch) for
-// the same amortisation on the consume side. BenchmarkBatchInsert
-// measures the batching win (≳2.3x tuples/sec at batch 256 versus
-// tuple-at-a-time); BenchmarkShardedCommitMultiTopic measures the
-// sharding win (a topic stalled by a slow synchronous subscriber no
-// longer drags every other topic down with it).
+// it. BenchmarkBatchInsert measures the batching win (≳2.3x tuples/sec at
+// batch 256 versus tuple-at-a-time).
+//
+// # The asynchronous, backpressure-aware delivery pipeline
+//
+// Delivery under the topic lock is enqueue-only: publication moves the run
+// into each subscriber's inbox in O(1) per subscriber, and consumer code —
+// automaton behaviours, Watch callbacks, RPC send() pushes — runs on
+// dedicated dispatcher goroutines in commit order, off the commit path. An
+// inbox may be bounded with a per-subscription overflow policy
+// (pubsub.Block backpressure, pubsub.DropOldest shedding with counters,
+// pubsub.Fail-and-detach); cache.WatchWith picks per tap, cache.Config
+// per automaton fleet, and rpc.ClientConfig for the client's Events()
+// buffer. The RPC server coalesces backlogged send() pushes into batched
+// frames per connection, preserving per-automaton order.
+// BenchmarkShardedCommitMultiTopic measures the sharding win and
+// BenchmarkAsyncDeliverySlowTap the dispatch win: a 2ms-per-event tap
+// under DropOldest costs its topic almost nothing, where a synchronous
+// subscriber once collapsed it by orders of magnitude.
 //
 // See docs/ARCHITECTURE.md for the layer-by-layer tour and the §-to-code
 // map, docs/BENCHMARKS.md for how to run and read the benchmarks, and

@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"unicache/internal/cache"
+	"unicache/internal/pubsub"
 	"unicache/internal/types"
 )
 
@@ -54,6 +56,18 @@ behavior {
 		log.Fatal(err)
 	}
 
+	// A Watch tap observes the raw topic asynchronously: the commit path
+	// only enqueues into the tap's bounded inbox, and a dispatcher
+	// goroutine runs this callback in commit order — a slow tap can shed
+	// load (DropOldest) instead of ever stalling the Readings stream.
+	var tapped atomic.Int64
+	tapID, err := c.WatchWith("Readings", func(*types.Event) {
+		tapped.Add(1)
+	}, cache.WatchOpts{Queue: 64, Policy: pubsub.DropOldest})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Populate the stream.
 	data := []struct {
 		sensor string
@@ -88,4 +102,9 @@ behavior {
 	for _, row := range res.Rows {
 		fmt.Printf("  %-12s %s\n", row[0], row[1])
 	}
+
+	// Detach the tap: after Unsubscribe returns its callback never runs
+	// again, even if events were still queued.
+	c.Unsubscribe(tapID)
+	fmt.Printf("tap observed %d of %d readings\n", tapped.Load(), len(data))
 }

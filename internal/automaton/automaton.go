@@ -1,7 +1,11 @@
 // Package automaton implements the execution model of §5: each registered
-// automaton is compiled to bytecode, bound to its own goroutine (the Go
-// analogue of the paper's PThread-per-automaton), and driven by an
-// unbounded FIFO inbox fed by the cache's publish path. The runtime
+// automaton is compiled to bytecode, bound to its own dispatcher goroutine
+// (the Go analogue of the paper's PThread-per-automaton), and driven by a
+// FIFO inbox fed by the cache's publish path. The inbox is unbounded by
+// default but may be bounded with an overflow policy (Config.InboxCapacity
+// / InboxPolicy): Block applies backpressure to the publishing topic,
+// DropOldest sheds the oldest queued events, and Fail detaches the
+// automaton on overflow, reporting through OnRuntimeError. The runtime
 // guarantees tuples are delivered to an automaton in strict
 // time-of-insertion order.
 package automaton
@@ -55,6 +59,14 @@ type Config struct {
 	OnRuntimeError func(id int64, err error)
 	// MaxSteps bounds instructions per clause execution (0 = unlimited).
 	MaxSteps int
+	// InboxCapacity bounds each automaton's inbox (0 = unbounded, the
+	// default: an automaton may publish into a topic it subscribes to, and
+	// a bounded Block inbox would deadlock that cycle once full).
+	InboxCapacity int
+	// InboxPolicy is the overflow policy for bounded inboxes. Under Fail,
+	// an overflowing automaton is unregistered and the failure reported
+	// through OnRuntimeError.
+	InboxPolicy pubsub.Policy
 }
 
 // Registry manages the set of live automata for one cache.
@@ -83,17 +95,15 @@ func NewRegistry(svc Services, cfg Config) *Registry {
 
 // Automaton is one registered, running automaton.
 type Automaton struct {
-	id     int64
-	reg    *Registry
-	prog   *gapl.Compiled
-	inbox  *pubsub.Inbox
-	vm     *vm.VM
-	sink   Sink
-	done   chan struct{}
-	busy   atomic.Bool
-	nProc  atomic.Uint64
-	nErr   atomic.Uint64
-	closed atomic.Bool
+	id    int64
+	reg   *Registry
+	prog  *gapl.Compiled
+	inbox *pubsub.Inbox
+	disp  *pubsub.Dispatcher
+	vm    *vm.VM
+	sink  Sink
+	nProc atomic.Uint64
+	nErr  atomic.Uint64
 }
 
 // ID returns the management identifier handed to the registering
@@ -109,7 +119,11 @@ func (a *Automaton) RuntimeErrors() uint64 { return a.nErr.Load() }
 
 // Idle reports whether the automaton has an empty inbox and is not
 // executing its behaviour clause.
-func (a *Automaton) Idle() bool { return a.inbox.Len() == 0 && !a.busy.Load() }
+func (a *Automaton) Idle() bool { return a.inbox.Len() == 0 && !a.disp.Busy() }
+
+// Dropped returns the number of events this automaton's inbox shed
+// (non-zero only for bounded DropOldest/Fail inboxes).
+func (a *Automaton) Dropped() uint64 { return a.inbox.Dropped() }
 
 // Register compiles, binds, initializes and starts an automaton. Compile
 // and bind problems — and initialization-clause failures — are returned to
@@ -139,12 +153,14 @@ func (r *Registry) Register(source string, sink Sink) (*Automaton, error) {
 	r.mu.Unlock()
 
 	a := &Automaton{
-		id:    id,
-		reg:   r,
-		prog:  prog,
-		inbox: pubsub.NewInbox(),
-		sink:  sink,
-		done:  make(chan struct{}),
+		id:   id,
+		reg:  r,
+		prog: prog,
+		inbox: pubsub.NewInboxWith(pubsub.QueueOpts{
+			Capacity: r.cfg.InboxCapacity,
+			Policy:   r.cfg.InboxPolicy,
+		}),
+		sink: sink,
 	}
 	machine, err := vm.New(prog, &host{a: a})
 	if err != nil {
@@ -158,46 +174,62 @@ func (r *Registry) Register(source string, sink Sink) (*Automaton, error) {
 		return nil, fmt.Errorf("automaton: initialization: %w", err)
 	}
 
-	for _, sub := range prog.Subscriptions() {
-		if err := r.svc.Subscribe(id, sub.Topic, a.inbox); err != nil {
-			r.svc.Unsubscribe(id)
-			return nil, fmt.Errorf("automaton: %w", err)
-		}
-	}
-
+	// The dispatcher is the automaton's goroutine: it drains the inbox in
+	// runs and executes the behaviour clause per event, in commit order. A
+	// Fail-policy overflow unregisters the automaton (from the OnFail
+	// goroutine — never the dispatcher's own) and surfaces the detach as a
+	// runtime error. Dispatcher and registry entry exist BEFORE the first
+	// subscription: the inbox cannot overflow until a topic feeds it, and
+	// by then OnFail's Unregister must find the automaton.
+	a.disp = pubsub.NewDispatcher(a.inbox, a.deliver, pubsub.DispatcherConfig{
+		OnFail: func() {
+			r.cfg.OnRuntimeError(id, fmt.Errorf(
+				"automaton: inbox overflowed its %d-event bound (%d dropped); unregistered under the Fail policy",
+				r.cfg.InboxCapacity, a.inbox.Dropped()))
+			_ = r.Unregister(id)
+		},
+	})
 	r.mu.Lock()
 	r.autos[id] = a
 	r.mu.Unlock()
 
-	go a.run()
+	fail := func(err error) (*Automaton, error) {
+		r.mu.Lock()
+		delete(r.autos, id)
+		r.mu.Unlock()
+		// Stop before detaching: the broker detach takes topic locks that
+		// a publisher parked in a full Block inbox may hold, and closing
+		// the inbox (Stop) is what unparks it.
+		a.disp.Stop()
+		r.svc.Unsubscribe(id)
+		return nil, err
+	}
+	for _, sub := range prog.Subscriptions() {
+		if err := r.svc.Subscribe(id, sub.Topic, a.inbox); err != nil {
+			return fail(fmt.Errorf("automaton: %w", err))
+		}
+	}
+	// A Fail-policy overflow racing the subscription loop may already have
+	// detached the automaton; sweep any subscription added after the
+	// detach so no topic keeps feeding the dead inbox.
+	r.mu.Lock()
+	_, live := r.autos[id]
+	r.mu.Unlock()
+	if !live {
+		r.svc.Unsubscribe(id)
+		return nil, fmt.Errorf("automaton: inbox overflowed during registration")
+	}
 	return a, nil
 }
 
-// maxDrainRun bounds how many queued events the drain loop pops per inbox
-// lock acquisition: long enough to amortise the lock/signal cost of
-// tuple-at-a-time delivery, short enough that Unregister and Idle stay
-// responsive under sustained load.
-const maxDrainRun = 256
-
-func (a *Automaton) run() {
-	defer close(a.done)
-	var buf []*types.Event
-	for {
-		batch, ok := a.inbox.PopBatch(maxDrainRun, buf)
-		if !ok {
-			return
-		}
-		a.busy.Store(true)
-		for _, ev := range batch {
-			if err := a.vm.Deliver(ev); err != nil {
-				a.nErr.Add(1)
-				a.reg.cfg.OnRuntimeError(a.id, err)
-			}
-			a.nProc.Add(1)
-		}
-		a.busy.Store(false)
-		buf = batch
+// deliver runs the behaviour clause for one event; it executes on the
+// automaton's dispatcher goroutine.
+func (a *Automaton) deliver(ev *types.Event) {
+	if err := a.vm.Deliver(ev); err != nil {
+		a.nErr.Add(1)
+		a.reg.cfg.OnRuntimeError(a.id, err)
 	}
+	a.nProc.Add(1)
 }
 
 // Get returns the automaton with the given id.
@@ -216,7 +248,10 @@ func (r *Registry) Len() int {
 }
 
 // Unregister detaches and stops the automaton, draining nothing: queued
-// events are discarded. It blocks until the goroutine exits.
+// events are discarded, and an in-flight behaviour execution is the last —
+// the dispatcher abandons the rest of its run. It blocks until the
+// dispatcher goroutine exits; the behaviour clause never runs after
+// Unregister returns.
 func (r *Registry) Unregister(id int64) error {
 	r.mu.Lock()
 	a, ok := r.autos[id]
@@ -225,10 +260,12 @@ func (r *Registry) Unregister(id int64) error {
 	if !ok {
 		return fmt.Errorf("automaton: no automaton %d", id)
 	}
-	a.closed.Store(true)
+	// Stop before detaching: detaching takes topic locks, and a publisher
+	// parked in a full Block inbox holds its topic's lock until the stop
+	// closes the inbox and unparks it. Deliveries landing between stop and
+	// detach drop into the closed inbox — the documented discard.
+	a.disp.Stop()
 	r.svc.Unsubscribe(id)
-	a.inbox.Close()
-	<-a.done
 	return nil
 }
 

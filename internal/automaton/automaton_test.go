@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -455,5 +456,95 @@ behavior { send(f.nbytes); }
 	reg.Close()
 	if reg.Len() != 0 {
 		t.Errorf("Close left %d automata", reg.Len())
+	}
+}
+
+// TestUnregisterDiscardsQueuedEvents pins the async-pipeline unsubscription
+// contract at the automaton layer: Unregister with queued-but-undelivered
+// events must stop delivery promptly, and the behaviour clause never runs
+// after Unregister returns. Run with -race.
+func TestUnregisterDiscardsQueuedEvents(t *testing.T) {
+	svc := newFakeServices(t)
+	reg := NewRegistry(svc, Config{
+		PrintWriter:    &strings.Builder{},
+		OnRuntimeError: func(int64, error) {},
+	})
+	t.Cleanup(reg.Close)
+	var processed atomic.Int64
+	// The busy-loop makes each delivery expensive enough that a burst of
+	// commits leaves a backlog in the inbox.
+	a, err := reg.Register(`
+subscribe f to Flows;
+int i;
+behavior {
+	i = 0;
+	while (i < 20000) { i += 1; }
+	send(f.nbytes);
+}
+`, func([]types.Value) error { processed.Add(1); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const events = 200
+	for i := 0; i < events; i++ {
+		if err := svc.CommitInsert("Flows", flowVals("d", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Unregister(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	atCut := processed.Load()
+	time.Sleep(30 * time.Millisecond)
+	if got := processed.Load(); got != atCut {
+		t.Fatalf("behaviour ran after Unregister returned: %d -> %d", atCut, got)
+	}
+	if atCut == events {
+		t.Logf("automaton drained all %d events before Unregister; discard window not exercised", events)
+	}
+}
+
+// TestAutomatonFailPolicySelfDetaches: with a bounded Fail inbox, an
+// automaton that falls too far behind is unregistered and the overflow
+// reported through OnRuntimeError.
+func TestAutomatonFailPolicySelfDetaches(t *testing.T) {
+	svc := newFakeServices(t)
+	failures := make(chan error, 16)
+	reg := NewRegistry(svc, Config{
+		PrintWriter:    &strings.Builder{},
+		OnRuntimeError: func(_ int64, err error) { failures <- err },
+		InboxCapacity:  8,
+		InboxPolicy:    pubsub.Fail,
+	})
+	t.Cleanup(reg.Close)
+	if _, err := reg.Register(`
+subscribe f to Flows;
+int i;
+behavior {
+	i = 0;
+	while (i < 200000) { i += 1; }
+}
+`, DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := svc.CommitInsert("Flows", flowVals("d", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-failures:
+		if !strings.Contains(err.Error(), "overflowed") {
+			t.Fatalf("unexpected runtime error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("overflow never reported")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("overflowed automaton still registered (len=%d)", reg.Len())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

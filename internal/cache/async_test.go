@@ -1,0 +1,261 @@
+package cache
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unicache/internal/pubsub"
+	"unicache/internal/types"
+)
+
+// TestWatchSlowTapDoesNotStallCommit pins the point of the async delivery
+// pipeline: a Watch tap that is orders of magnitude slower than the commit
+// rate must not stall its topic when registered under DropOldest — the
+// pre-PR3 synchronous tap executed its callback under the topic lock and
+// collapsed commit throughput to the tap's rate.
+func TestWatchSlowTapDoesNotStallCommit(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table T (v integer)`)
+	var seen atomic.Int64
+	id, err := c.WatchWith("T", func(*types.Event) {
+		seen.Add(1)
+		time.Sleep(2 * time.Millisecond) // an fsync-class consumer
+	}, WatchOpts{Queue: 16, Policy: pubsub.DropOldest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2000 commits against a 2ms-per-event tap would take 4s delivered
+	// synchronously; enqueue-only delivery finishes them in milliseconds.
+	start := time.Now()
+	for i := 0; i < 2000; i++ {
+		if err := c.Insert("T", types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("2000 commits took %v behind a slow DropOldest tap", elapsed)
+	}
+	if _, dropped, ok := c.WatchStats(id); !ok || dropped == 0 {
+		t.Errorf("slow tap should have shed events (dropped=%d ok=%v)", dropped, ok)
+	}
+	// Delivery is asynchronous: give the dispatcher a moment to wake.
+	deadline := time.Now().Add(5 * time.Second)
+	for seen.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("tap never saw an event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Unsubscribe(id)
+}
+
+// TestUnsubscribeStopsWatchDelivery pins the unsubscription race of the
+// async pipeline: Unsubscribe while the tap's dispatcher still holds
+// queued-but-undelivered events must stop delivery promptly, and the
+// callback must never run after Unsubscribe returns — even with commits
+// still arriving concurrently. Run with -race.
+func TestUnsubscribeStopsWatchDelivery(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table T (v integer)`)
+
+	var calls atomic.Int64
+	id, err := c.WatchWith("T", func(*types.Event) {
+		calls.Add(1)
+		time.Sleep(100 * time.Microsecond) // keep a queue backlog alive
+	}, WatchOpts{Queue: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	committed := make(chan int64, 1)
+	go func() {
+		var n int64
+		for {
+			select {
+			case <-stop:
+				committed <- n
+				return
+			default:
+			}
+			if err := c.Insert("T", types.Int(n)); err != nil {
+				t.Error(err)
+				committed <- n
+				return
+			}
+			n++
+		}
+	}()
+
+	// Let a backlog build, then detach mid-stream.
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() < 20 {
+		if time.Now().After(deadline) {
+			t.Fatal("tap never got going")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	unsubStart := time.Now()
+	c.Unsubscribe(id)
+	unsubTook := time.Since(unsubStart)
+	atCut := calls.Load()
+
+	// Commits continue after the detach; the callback must not.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	n := <-committed
+	if got := calls.Load(); got != atCut {
+		t.Fatalf("callback ran after Unsubscribe returned: %d -> %d", atCut, got)
+	}
+	if atCut >= n {
+		t.Logf("tap saw every commit (%d of %d) before detach; race window not exercised", atCut, n)
+	}
+	// Prompt means not draining a long backlog: with a 100µs callback and
+	// an unbounded queue the backlog at detach can be thousands deep.
+	if unsubTook > 2*time.Second {
+		t.Fatalf("Unsubscribe took %v (drained instead of discarding?)", unsubTook)
+	}
+	if _, _, ok := c.WatchStats(id); ok {
+		t.Error("WatchStats still reports the detached tap")
+	}
+}
+
+// TestWatchFailPolicyDetachesTap: under the Fail policy an overflowing tap
+// detaches itself instead of stalling the topic or shedding silently.
+func TestWatchFailPolicyDetachesTap(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table T (v integer)`)
+	id, err := c.WatchWith("T", func(*types.Event) {
+		time.Sleep(time.Millisecond) // slow enough to overflow the queue
+	}, WatchOpts{Queue: 8, Policy: pubsub.Fail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the 8-slot queue; commits must never block on the tap.
+	for i := 0; i < 200; i++ {
+		if err := c.Insert("T", types.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, ok := c.WatchStats(id); !ok {
+			break // detached
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("overflowing Fail tap never detached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The topic is healthy after the detach.
+	if err := c.Insert("T", types.Int(-1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchBlockPolicyBackpressure: a bounded Block tap parks the committer
+// once it is Queue events behind — and releases it as the tap drains.
+func TestWatchBlockPolicyBackpressure(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table T (v integer)`)
+	release := make(chan struct{}, 10)
+	var seen atomic.Int64
+	id, err := c.WatchWith("T", func(*types.Event) {
+		seen.Add(1)
+		<-release
+	}, WatchOpts{Queue: 4, Policy: pubsub.Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Unsubscribe(id)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if err := c.Insert("T", types.Int(int64(i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+		close(release) // unpark the tap so cleanup can stop it
+		t.Fatal("10 commits outran a full 4-slot Block tap without parking")
+	case <-time.After(50 * time.Millisecond):
+	}
+	for i := 0; i < 10; i++ {
+		release <- struct{}{} // buffered: hands the tap one token per event
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		close(release)
+		t.Fatal("commits never resumed after the tap drained")
+	}
+	close(release)
+}
+
+// TestUnsubscribeUnderBlockBackpressure pins the detach lock ordering:
+// Unsubscribe stops the tap's dispatcher (closing the inbox, which unparks
+// any committer blocked inside Deliver holding the topic lock) BEFORE
+// asking the broker to detach. With committers continuously parked on a
+// full 1-slot Block inbox and a slow callback, Unsubscribe must still
+// return within about one callback invocation — not after draining the
+// whole stream — and the parked committers must resume into the closed
+// inbox. The in-flight callback is waited for (that is the no-delivery-
+// after-detach contract), so the callback here is slow but terminating.
+// Run with -race.
+func TestUnsubscribeUnderBlockBackpressure(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table T (v integer)`)
+	var seen atomic.Int64
+	id, err := c.WatchWith("T", func(*types.Event) {
+		seen.Add(1)
+		time.Sleep(5 * time.Millisecond)
+	}, WatchOpts{Queue: 1, Policy: pubsub.Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const commits = 400 // ~2s of drain at the callback's rate
+	committed := make(chan struct{})
+	go func() {
+		defer close(committed)
+		for i := 0; i < commits; i++ {
+			if err := c.Insert("T", types.Int(int64(i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Let the backpressure regime establish (committer parked, callback
+	// mid-sleep), then detach.
+	deadline := time.Now().Add(5 * time.Second)
+	for seen.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("tap never got going")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	unsubbed := make(chan struct{})
+	go func() { c.Unsubscribe(id); close(unsubbed) }()
+	select {
+	case <-unsubbed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Unsubscribe stalled behind the backlog instead of discarding it")
+	}
+	atCut := seen.Load()
+	// The unparked committers finish into the closed inbox at full speed.
+	select {
+	case <-committed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked committer never resumed after Unsubscribe")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := seen.Load(); got != atCut {
+		t.Fatalf("callback ran after Unsubscribe returned: %d -> %d", atCut, got)
+	}
+}

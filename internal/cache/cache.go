@@ -41,6 +41,13 @@ type Config struct {
 	// into a topic that does not exist creates the stream on the fly with
 	// a schema inferred from the published values.
 	AutoCreateStreams bool
+	// AutomatonQueue bounds each automaton's inbox (0 = unbounded, the
+	// default: automata may publish into their own topics, and a bounded
+	// Block inbox would deadlock such cycles once full).
+	AutomatonQueue int
+	// AutomatonPolicy is the overflow policy for bounded automaton inboxes
+	// (default pubsub.Block — backpressure to the publishing topic).
+	AutomatonPolicy pubsub.Policy
 }
 
 // commitDomain is the unit of commit serialisation: one per topic. The
@@ -76,6 +83,10 @@ type Cache struct {
 	// negative id space so they can never collide with automaton ids and
 	// no longer consume commit sequence numbers.
 	nextWatcher atomic.Int64
+	// watchMu guards watchers, the id -> Dispatcher index for Watch taps;
+	// Unsubscribe and Close stop a tap's dispatcher through it.
+	watchMu  sync.Mutex
+	watchers map[int64]*pubsub.Dispatcher
 
 	timerStop chan struct{}
 	timerDone chan struct{}
@@ -85,21 +96,7 @@ type Cache struct {
 var (
 	_ sql.Engine         = (*Cache)(nil)
 	_ automaton.Services = (*Cache)(nil)
-	_ pubsub.Subscriber  = (*subscriberFunc)(nil)
 )
-
-// subscriberFunc adapts a function to pubsub.Subscriber (used by Watch).
-type subscriberFunc struct {
-	fn func(*types.Event)
-}
-
-func (s *subscriberFunc) Deliver(ev *types.Event) { s.fn(ev) }
-
-func (s *subscriberFunc) DeliverBatch(evs []*types.Event) {
-	for _, ev := range evs {
-		s.fn(ev)
-	}
-}
 
 // New creates a cache, installs the built-in Timer table/topic and starts
 // the timer.
@@ -111,14 +108,17 @@ func New(cfg Config) (*Cache, error) {
 		cfg.TimerPeriod = time.Second
 	}
 	c := &Cache{
-		cfg:    cfg,
-		broker: pubsub.NewBroker(),
-		clock:  cfg.Clock,
+		cfg:      cfg,
+		broker:   pubsub.NewBroker(),
+		clock:    cfg.Clock,
+		watchers: make(map[int64]*pubsub.Dispatcher),
 	}
 	c.reg = automaton.NewRegistry(c, automaton.Config{
 		PrintWriter:    cfg.PrintWriter,
 		OnRuntimeError: cfg.OnRuntimeError,
 		MaxSteps:       cfg.MaxAutomatonSteps,
+		InboxCapacity:  cfg.AutomatonQueue,
+		InboxPolicy:    cfg.AutomatonPolicy,
 	})
 	timerSchema, err := types.NewSchema(TimerTopic, false, -1,
 		types.Column{Name: "ts", Type: types.ColTstamp})
@@ -157,7 +157,7 @@ func (c *Cache) runTimer(period time.Duration) {
 	}
 }
 
-// Close stops the timer and all automata.
+// Close stops the timer, all automata and all Watch dispatchers.
 func (c *Cache) Close() {
 	c.closeOnce.Do(func() {
 		if c.timerStop != nil {
@@ -165,6 +165,16 @@ func (c *Cache) Close() {
 			<-c.timerDone
 		}
 		c.reg.Close()
+		c.watchMu.Lock()
+		taps := make([]*pubsub.Dispatcher, 0, len(c.watchers))
+		for id, d := range c.watchers {
+			taps = append(taps, d)
+			delete(c.watchers, id)
+		}
+		c.watchMu.Unlock()
+		for _, d := range taps {
+			d.Stop()
+		}
 	})
 }
 
@@ -427,20 +437,97 @@ func (c *Cache) Subscribe(id int64, topic string, sub pubsub.Subscriber) error {
 	return c.broker.Subscribe(id, topic, sub)
 }
 
-// Unsubscribe implements automaton.Services.
-func (c *Cache) Unsubscribe(id int64) { c.broker.Unsubscribe(id) }
+// Unsubscribe implements automaton.Services. For a Watch tap it first
+// stops the tap's dispatcher: queued-but-undelivered events are discarded,
+// and once Unsubscribe returns the callback will never run again. The
+// dispatcher stops BEFORE the broker detach on purpose — detaching takes
+// the topic lock, which a publisher parked in a full Block inbox is
+// holding, and only stopping the dispatcher (closing the inbox) unparks
+// it. Deliveries that land between the stop and the detach fall into the
+// closed inbox and are dropped, which is the discard semantics anyway.
+func (c *Cache) Unsubscribe(id int64) {
+	c.watchMu.Lock()
+	d := c.watchers[id]
+	delete(c.watchers, id)
+	c.watchMu.Unlock()
+	if d != nil {
+		d.Stop()
+	}
+	c.broker.Unsubscribe(id)
+}
 
-// Watch attaches a raw event observer to a topic under a fresh negative id
-// (application-side taps, used by tests and tools). It returns the id for
-// Unsubscribe. Watcher ids come from a dedicated counter, not the commit
-// sequence space: registering a watcher touches no commit domain, so it is
-// always safe while any set of topics is committing.
+// DefaultWatchQueue is the default bound of a Watch tap's inbox.
+const DefaultWatchQueue = 1024
+
+// WatchOpts tunes the bounded inbox behind a Watch tap.
+type WatchOpts struct {
+	// Queue bounds the tap's inbox depth (default DefaultWatchQueue;
+	// negative means unbounded).
+	Queue int
+	// Policy is the overflow policy of a bounded inbox (default
+	// pubsub.Block: the topic stalls rather than lose events once the tap
+	// is Queue events behind; pubsub.DropOldest keeps the topic at full
+	// speed and gives the tap a gapped suffix; pubsub.Fail detaches the
+	// tap on overflow).
+	Policy pubsub.Policy
+}
+
+// Watch attaches an event observer to a topic under a fresh negative id
+// (application-side taps, used by tests and tools) and returns the id for
+// Unsubscribe. Delivery is asynchronous: the commit path enqueues into a
+// bounded inbox (DefaultWatchQueue deep, Block overflow) and a dedicated
+// dispatcher goroutine invokes fn with the topic's events in commit order —
+// a slow fn delays only this tap (until its queue fills) and never executes
+// under the topic lock. fn must not call Unsubscribe for its own id, and a
+// goroutine calling Unsubscribe must not hold a resource fn might be
+// blocked on — Unsubscribe waits for the in-flight fn invocation (that is
+// what makes "never runs after detach" true), so either cycle deadlocks.
+// Watcher ids come from a
+// dedicated counter, not the commit sequence space, so registering a
+// watcher touches no commit domain and is always safe while any set of
+// topics is committing.
 func (c *Cache) Watch(topic string, fn func(*types.Event)) (int64, error) {
+	return c.WatchWith(topic, fn, WatchOpts{})
+}
+
+// WatchWith is Watch with an explicit queue bound and overflow policy.
+func (c *Cache) WatchWith(topic string, fn func(*types.Event), opts WatchOpts) (int64, error) {
+	depth := opts.Queue
+	if depth == 0 {
+		depth = DefaultWatchQueue
+	} else if depth < 0 {
+		depth = 0 // unbounded
+	}
 	id := -c.nextWatcher.Add(1)
-	if err := c.broker.Subscribe(id, topic, &subscriberFunc{fn: fn}); err != nil {
+	in := pubsub.NewInboxWith(pubsub.QueueOpts{Capacity: depth, Policy: opts.Policy})
+	d := pubsub.NewDispatcher(in, fn, pubsub.DispatcherConfig{
+		// A Fail-policy overflow detaches the tap entirely: the dispatcher
+		// drains what was queued, then unsubscribes itself.
+		OnFail: func() { c.Unsubscribe(id) },
+	})
+	c.watchMu.Lock()
+	c.watchers[id] = d
+	c.watchMu.Unlock()
+	if err := c.broker.Subscribe(id, topic, in); err != nil {
+		c.watchMu.Lock()
+		delete(c.watchers, id)
+		c.watchMu.Unlock()
+		d.Stop()
 		return 0, err
 	}
 	return id, nil
+}
+
+// WatchStats reports a live tap's queue depth and dropped-event count; ok
+// is false once the tap is unsubscribed (including a Fail-policy detach).
+func (c *Cache) WatchStats(id int64) (depth int, dropped uint64, ok bool) {
+	c.watchMu.Lock()
+	d := c.watchers[id]
+	c.watchMu.Unlock()
+	if d == nil {
+		return 0, 0, false
+	}
+	return d.Depth(), d.Dropped(), true
 }
 
 // TickTimer publishes one Timer tuple immediately (useful for tests and

@@ -295,11 +295,23 @@ func TestConcurrentInsertersGlobalOrder(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+	// Watch delivery is asynchronous (a dispatcher drains the tap's inbox):
+	// wait for the tap to observe every commit before checking order.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seqs)
+		mu.Unlock()
+		if n == writers*per {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("observed %d events, want %d", n, writers*per)
+		}
+		time.Sleep(time.Millisecond)
+	}
 	mu.Lock()
 	defer mu.Unlock()
-	if len(seqs) != writers*per {
-		t.Fatalf("observed %d events", len(seqs))
-	}
 	for i := 1; i < len(seqs); i++ {
 		if seqs[i] <= seqs[i-1] {
 			t.Fatalf("sequence order violated at %d: %d after %d", i, seqs[i], seqs[i-1])

@@ -27,12 +27,22 @@
 // Nothing is guaranteed across topics: commits into different topics take
 // different locks and proceed in parallel, and there is no global sequence
 // space. A subscriber attached to several topics still sees each topic's
-// stream in committed order (delivery happens under the publishing
-// domain's lock before CommitBatch returns), but the interleaving between
-// topics is whatever the scheduler produced. Callers that need a
-// cross-topic order must publish into one topic.
+// stream in committed order (events are enqueued into every subscriber's
+// inbox under the publishing domain's lock before CommitBatch returns),
+// but the interleaving between topics is whatever the scheduler produced.
+// Callers that need a cross-topic order must publish into one topic.
+//
+// Delivery itself is asynchronous: the commit path only enqueues into
+// per-subscriber inboxes — consumer code (automaton behaviours, Watch
+// callbacks) runs on dedicated dispatcher goroutines, in commit order, off
+// the topic lock. A slow consumer therefore delays only itself until its
+// bounded inbox fills; what happens then is the subscription's overflow
+// policy (pubsub.Block backpressure, pubsub.DropOldest shedding, or
+// pubsub.Fail detach — see WatchOpts and Config.AutomatonQueue/Policy).
 //
 // Watcher ids (Watch) come from a dedicated negative-id counter rather
 // than any sequence space, so watcher registration never touches a commit
-// domain and is safe while any set of topics is committing.
+// domain and is safe while any set of topics is committing. Unsubscribe of
+// a watcher stops its dispatcher: queued-but-undelivered events are
+// discarded and the callback never runs after Unsubscribe returns.
 package cache

@@ -353,8 +353,9 @@ func TestWatchAcrossTopics(t *testing.T) {
 				defer watch.Done()
 				var last uint64
 				id, err := c.Watch(name, func(ev *types.Event) {
-					// Called under the topic lock: per-topic order must
-					// hold from the first event this watcher sees.
+					// Runs on the tap's dispatcher goroutine: per-topic
+					// order must hold from the first event this watcher
+					// sees, and `last` needs no lock (one goroutine).
 					if ev.Tuple.Seq <= last {
 						t.Errorf("watcher on %s: seq %d after %d", name, ev.Tuple.Seq, last)
 					}

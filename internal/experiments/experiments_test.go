@@ -52,17 +52,18 @@ func TestFig7Small(t *testing.T) {
 		}
 		byName[r.Builtin] = r
 	}
-	// Paper shape: every built-in costs at least as much as the bare loop,
-	// and send (an RPC) costs more than publish.
+	// Paper shape: every built-in costs at least as much as the bare loop.
+	// The paper's further observation that send (an RPC) costs more than
+	// publish held while send wrote its message to the socket inside the
+	// behaviour clause; since the push path became asynchronous (PR 3) a
+	// send costs one wire encode plus a bounded-queue push, so at the call
+	// site the two are within noise of each other — the wire cost is paid
+	// by the connection's push dispatcher, off the automaton's goroutine.
 	nothing := byName["nothing"].Cost.P50
 	for _, name := range []string{"seqElement", "insert", "lookup", "Identifier", "publish", "send"} {
 		if byName[name].Cost.P50 < nothing*0.5 {
 			t.Errorf("%s median %.3fus below bare loop %.3fus", name, byName[name].Cost.P50, nothing)
 		}
-	}
-	if byName["send"].Cost.P50 <= byName["publish"].Cost.P50 {
-		t.Errorf("send (%.3fus) should cost more than publish (%.3fus)",
-			byName["send"].Cost.P50, byName["publish"].Cost.P50)
 	}
 }
 

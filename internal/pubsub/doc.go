@@ -19,15 +19,40 @@
 // from one topic, with contiguous per-topic sequence numbers assigned by
 // the committing domain. The slice itself must not be retained or mutated
 // (the same backing array is handed to every subscriber); retaining the
-// *Event pointers is fine. Deliver and DeliverBatch must not block — they
-// are called with the topic lock held, so a blocking subscriber stalls its
-// topic (and only its topic).
+// *Event pointers is fine.
 //
-// Subscribers that do real work must therefore be inbox-backed: an
-// unbounded FIFO Inbox absorbs the run without blocking and hands it to
-// the consumer goroutine, which keeps delivery from stalling the
-// publisher and makes publish() from inside an automaton re-entrant — an
-// automaton may publish into a topic it is itself subscribed to without
-// deadlock. A subscriber that instead blocks synchronously inside
-// Deliver/DeliverBatch stalls its topic's commits for the duration.
+// # Enqueue-only delivery
+//
+// Deliver and DeliverBatch are called with the topic lock held, and their
+// contract is ENQUEUE-ONLY: a subscriber must do no more than move the
+// events into a queue and signal its consumer — O(1) per subscriber, never
+// executing consumer code under the lock. Every subscriber in this
+// codebase is therefore Inbox-backed: the bounded (or unbounded) Inbox
+// absorbs the run, and the consumer — an automaton drain loop or a
+// Dispatcher goroutine — invokes the actual consumer logic in commit order
+// on its own time. This also makes publish() from inside a consumer
+// re-entrant: an automaton may publish into a topic it is itself
+// subscribed to without deadlock, as long as its inbox can absorb the
+// events (see below).
+//
+// # Bounded inboxes and overflow policies
+//
+// An Inbox may be bounded (NewInboxWith) with a per-subscription overflow
+// Policy deciding what a full inbox does with new events:
+//
+//   - Block parks the publisher until the consumer drains. Nothing is
+//     lost, but the publisher holds the topic lock while parked, so a
+//     persistently slow consumer stalls its topic — Block turns overflow
+//     into backpressure. A consumer that publishes back into a topic it is
+//     subscribed to can deadlock against its own full inbox; such cycles
+//     need headroom, an unbounded inbox, or a lossy policy.
+//   - DropOldest evicts the oldest queued events (counted in Dropped) and
+//     never blocks: a slow tap sees a gapped but ordered suffix of the
+//     stream, and the topic never stalls.
+//   - Fail closes the inbox on overflow. The consumer drains what was
+//     queued, observes closure with Failed() == true, and detaches the
+//     subscription (Dispatcher automates this via OnFail) — a persistently
+//     slow consumer becomes an explicit detach instead of silent loss.
+//
+// Depth (Len) and Dropped counters expose the queue state for monitoring.
 package pubsub

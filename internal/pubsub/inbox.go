@@ -1,154 +1,44 @@
 package pubsub
 
 import (
-	"sync"
-
 	"unicache/internal/types"
 )
 
-// Inbox is an unbounded FIFO event queue connecting the cache commit path
-// (producer) to one automaton goroutine (consumer). Enqueueing never
-// blocks; the consumer blocks in Pop until an event arrives or the inbox is
-// closed. It is the Go analogue of the per-automaton PThread mailbox in the
-// paper's runtime (§5).
+// Inbox is a FIFO event queue connecting the cache commit path (producer)
+// to one consumer goroutine — an automaton drain loop or a Dispatcher. It
+// is the Go analogue of the per-automaton PThread mailbox in the paper's
+// runtime (§5), extended with an optional bound and overflow Policy:
+// enqueueing into an unbounded or non-Block inbox never blocks, which is
+// what lets Publish/PublishBatch hand events to every subscriber in O(1)
+// per subscriber without executing consumer code under the topic lock. The
+// consumer blocks in Pop/PopBatch until an event arrives or the inbox is
+// closed.
 type Inbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      []*types.Event
-	head   int
-	closed bool
+	Queue[*types.Event]
 }
 
 var _ Subscriber = (*Inbox)(nil)
 
-// NewInbox returns an empty open inbox.
-func NewInbox() *Inbox {
+// NewInbox returns an empty, open, unbounded inbox.
+func NewInbox() *Inbox { return NewInboxWith(QueueOpts{}) }
+
+// NewInboxWith returns an empty open inbox with the given bound and
+// overflow policy. Capacity <= 0 means unbounded.
+func NewInboxWith(opts QueueOpts) *Inbox {
 	in := &Inbox{}
-	in.cond = sync.NewCond(&in.mu)
+	in.Queue.init(opts)
 	return in
 }
 
-// Deliver implements Subscriber: non-blocking FIFO enqueue. Events
-// delivered to a closed inbox are dropped.
-func (in *Inbox) Deliver(ev *types.Event) {
-	in.mu.Lock()
-	if in.closed {
-		in.mu.Unlock()
-		return
-	}
-	in.q = append(in.q, ev)
-	in.mu.Unlock()
-	in.cond.Signal()
-}
+// Deliver implements Subscriber: FIFO enqueue, applying the inbox's
+// overflow policy when bounded and full (Block parks the publisher —
+// stalling the topic — until the consumer drains; DropOldest evicts;
+// Fail closes the inbox). Events delivered to a closed inbox are dropped.
+func (in *Inbox) Deliver(ev *types.Event) { in.Push(ev) }
 
 // DeliverBatch implements Subscriber: the whole run is enqueued under one
 // lock acquisition and the consumer is signalled once, which is what makes
-// the batch commit pipeline's fan-out cost amortise over the batch.
-func (in *Inbox) DeliverBatch(evs []*types.Event) {
-	if len(evs) == 0 {
-		return
-	}
-	in.mu.Lock()
-	if in.closed {
-		in.mu.Unlock()
-		return
-	}
-	in.q = append(in.q, evs...)
-	in.mu.Unlock()
-	in.cond.Signal()
-}
-
-// compactLocked reclaims the consumed prefix of the backing array once it
-// dominates the queue. Callers hold in.mu.
-func (in *Inbox) compactLocked() {
-	if in.head > 256 && in.head*2 >= len(in.q) {
-		in.q = append(in.q[:0], in.q[in.head:]...)
-		in.head = 0
-	}
-}
-
-// Pop blocks until an event is available and returns it; ok is false once
-// the inbox is closed and drained.
-func (in *Inbox) Pop() (*types.Event, bool) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	for in.head >= len(in.q) && !in.closed {
-		in.cond.Wait()
-	}
-	if in.head >= len(in.q) {
-		return nil, false
-	}
-	ev := in.q[in.head]
-	in.q[in.head] = nil
-	in.head++
-	in.compactLocked()
-	return ev, true
-}
-
-// PopBatch blocks until at least one event is available, then moves a run
-// of up to max queued events (max <= 0 means all) into buf — reusing its
-// backing array — and returns it. Passing buf transfers ownership of its
-// ENTIRE capacity: every slot up to cap(buf) is cleared on entry (so a
-// consumer parked here does not pin its previous batch), so never pass a
-// subslice whose backing array still holds events in use. ok is false once
-// the inbox is closed and drained. One lock acquisition drains the whole
-// run, the batch analogue of Pop.
-func (in *Inbox) PopBatch(max int, buf []*types.Event) ([]*types.Event, bool) {
-	// Release the caller's previous batch before potentially parking in
-	// Wait: a reused buffer must not keep the last run's events reachable
-	// while the consumer sits idle.
-	for i, full := 0, buf[:cap(buf)]; i < len(full); i++ {
-		full[i] = nil
-	}
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	for in.head >= len(in.q) && !in.closed {
-		in.cond.Wait()
-	}
-	n := len(in.q) - in.head
-	if n == 0 {
-		return nil, false
-	}
-	if max > 0 && n > max {
-		n = max
-	}
-	buf = buf[:0]
-	for i := 0; i < n; i++ {
-		buf = append(buf, in.q[in.head])
-		in.q[in.head] = nil
-		in.head++
-	}
-	in.compactLocked()
-	return buf, true
-}
-
-// TryPop returns the next event without blocking; ok is false if none is
-// queued.
-func (in *Inbox) TryPop() (*types.Event, bool) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.head >= len(in.q) {
-		return nil, false
-	}
-	ev := in.q[in.head]
-	in.q[in.head] = nil
-	in.head++
-	in.compactLocked()
-	return ev, true
-}
-
-// Len returns the number of queued events.
-func (in *Inbox) Len() int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return len(in.q) - in.head
-}
-
-// Close marks the inbox closed and wakes the consumer. Pending events may
-// still be drained with Pop; Deliver becomes a no-op.
-func (in *Inbox) Close() {
-	in.mu.Lock()
-	in.closed = true
-	in.mu.Unlock()
-	in.cond.Broadcast()
-}
+// the batch commit pipeline's fan-out cost amortise over the batch. The
+// overflow policy applies as in Deliver; a Block inbox smaller than the
+// run absorbs it in chunks as the consumer drains.
+func (in *Inbox) DeliverBatch(evs []*types.Event) { in.PushBatch(evs) }

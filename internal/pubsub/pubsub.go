@@ -8,16 +8,18 @@ import (
 	"unicache/internal/types"
 )
 
-// Subscriber consumes events. Deliver and DeliverBatch must not block
-// (Inbox satisfies this); both are called with the topic lock held so
-// that the topic's event interleaving is identical for every subscriber.
-// They must also not call Subscribe, Unsubscribe or anything that takes
-// subscription locks — subscription changes from inside delivery can
-// deadlock against concurrent control operations; hand such work to
-// another goroutine (an Inbox consumer) instead. DeliverBatch receives a
-// run of events in commit order and must not retain or mutate the slice
-// itself (the same slice is handed to every subscriber); retaining the
-// *Event pointers is fine.
+// Subscriber consumes events. Deliver and DeliverBatch are enqueue-only:
+// both are called with the topic lock held (so that the topic's event
+// interleaving is identical for every subscriber) and must do no more than
+// queue the events and signal a consumer — never execute consumer logic.
+// An Inbox satisfies this; a bounded Block inbox may park the publisher
+// when full, which is deliberate backpressure, not work. They must also
+// not call Subscribe, Unsubscribe or anything that takes subscription
+// locks — subscription changes from inside delivery can deadlock against
+// concurrent control operations; hand such work to the consumer goroutine
+// (a Dispatcher) instead. DeliverBatch receives a run of events in commit
+// order and must not retain or mutate the slice itself (the same slice is
+// handed to every subscriber); retaining the *Event pointers is fine.
 type Subscriber interface {
 	Deliver(ev *types.Event)
 	DeliverBatch(evs []*types.Event)

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -165,28 +166,33 @@ func (b *Batcher) flush() error {
 	return err
 }
 
-// ship sends the snapshot as one InsertBatch when it fits, splitting it
-// into size-bounded chunks when the encoded rows would exceed the RPC
-// message limit (row count alone does not bound wire size — wide varchar
-// rows can blow the 16 MiB cap). On error the remaining rows are dropped;
-// the sticky error reports the loss.
+// ship sends the snapshot as msgInsertBatch chunks cut incrementally at
+// the byte budget (row count alone does not bound wire size — wide varchar
+// rows can blow the 16 MiB cap). Each row is wire-encoded exactly once,
+// into scratch, and spliced into the chunk under assembly; when a row
+// would push the chunk past the budget the chunk ships and the row opens
+// the next one. On error the remaining rows are dropped; the sticky error
+// reports the loss.
 func (b *Batcher) ship(rows [][]types.Value) error {
+	chunk := wire.NewEncoder(4096)
 	scratch := wire.NewEncoder(256)
-	start, size := 0, 0
+	count := 0
 	for i, row := range rows {
 		scratch.Reset()
-		// Encoding errors surface from InsertBatch on the chunk itself.
-		_ = scratch.Values(row)
-		rowSize := len(scratch.Bytes())
-		if i > start && size+rowSize > batchByteBudget {
-			if err := b.client.InsertBatch(b.table, rows[start:i]); err != nil {
+		if err := scratch.Values(row); err != nil {
+			return fmt.Errorf("rpc: batch row %d: %w", i, err)
+		}
+		if count > 0 && chunk.Len()+scratch.Len() > batchByteBudget {
+			if err := b.client.insertBatchRaw(b.table, count, chunk.Bytes()); err != nil {
 				return err
 			}
-			start, size = i, 0
+			chunk.Reset()
+			count = 0
 		}
-		size += rowSize
+		chunk.Raw(scratch.Bytes())
+		count++
 	}
-	return b.client.InsertBatch(b.table, rows[start:])
+	return b.client.insertBatchRaw(b.table, count, chunk.Bytes())
 }
 
 // timerFlush runs from the MaxDelay timer; it has no caller to return to,

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
+	"unicache/internal/pubsub"
 	"unicache/internal/sql"
 	"unicache/internal/types"
 	"unicache/internal/wire"
@@ -18,10 +20,33 @@ type SendEvent struct {
 	Vals        []types.Value
 }
 
+// ClientConfig tunes a client's event-delivery behaviour.
+type ClientConfig struct {
+	// EventBuffer is the capacity of the Events() channel (default 4096).
+	EventBuffer int
+	// EventPolicy decides what the read loop does when the Events() buffer
+	// is full because the application is not draining it:
+	//
+	//   - pubsub.Block (default): the read loop parks until the
+	//     application consumes an event. Nothing is lost, but while parked
+	//     no RPC replies are processed either — a stalled Events()
+	//     consumer wedges every in-flight call (and, through TCP
+	//     backpressure, eventually the server's push dispatcher).
+	//   - pubsub.DropOldest: the oldest buffered notification is dropped
+	//     (counted in DroppedEvents) and the read loop never blocks, so
+	//     RPC replies keep flowing no matter how far behind the
+	//     application falls.
+	//
+	// Other policies are not meaningful here and behave like Block.
+	EventPolicy pubsub.Policy
+}
+
 // Client is an application-side connection to the cache.
 type Client struct {
-	tr     *transport
-	events chan SendEvent
+	tr        *transport
+	events    chan SendEvent
+	policy    pubsub.Policy
+	evDropped atomic.Uint64
 
 	mu      sync.Mutex
 	nextID  uint32
@@ -29,32 +54,59 @@ type Client struct {
 	err     error
 	closed  bool
 	done    chan struct{}
+	// quit is closed by Close before it waits for the read loop: a read
+	// loop parked in a Block-policy event send must be unblockable, or
+	// Close could never return (closing the transport cannot interrupt a
+	// channel send).
+	quit chan struct{}
 }
 
-// Dial connects to a cache server over TCP.
+// Dial connects to a cache server over TCP with default config.
 func Dial(addr string) (*Client, error) {
+	return DialWith(addr, ClientConfig{})
+}
+
+// DialWith connects to a cache server over TCP.
+func DialWith(addr string, cfg ClientConfig) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	return NewClientWith(conn, cfg), nil
 }
 
-// NewClient wraps an established connection (e.g. one side of net.Pipe).
+// NewClient wraps an established connection (e.g. one side of net.Pipe)
+// with default config.
 func NewClient(conn net.Conn) *Client {
+	return NewClientWith(conn, ClientConfig{})
+}
+
+// NewClientWith wraps an established connection.
+func NewClientWith(conn net.Conn, cfg ClientConfig) *Client {
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 4096
+	}
 	c := &Client{
 		tr:      newTransport(conn),
-		events:  make(chan SendEvent, 4096),
+		events:  make(chan SendEvent, cfg.EventBuffer),
+		policy:  cfg.EventPolicy,
 		pending: make(map[uint32]chan []byte),
 		done:    make(chan struct{}),
+		quit:    make(chan struct{}),
 	}
 	go c.readLoop()
 	return c
 }
 
 // Events returns the channel of send() notifications from automata this
-// client registered. The channel closes when the connection dies.
+// client registered. The channel closes when the connection dies. See
+// ClientConfig.EventPolicy for what happens when the application stops
+// draining it.
 func (c *Client) Events() <-chan SendEvent { return c.events }
+
+// DroppedEvents returns the number of send() notifications shed under the
+// DropOldest event policy.
+func (c *Client) DroppedEvents() uint64 { return c.evDropped.Load() }
 
 // Close tears down the connection; pending calls fail.
 func (c *Client) Close() error {
@@ -65,6 +117,7 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	close(c.quit)
 	err := c.tr.close()
 	<-c.done
 	return err
@@ -81,19 +134,26 @@ func (c *Client) readLoop() {
 		if len(payload) == 0 {
 			continue
 		}
-		if msgID == 0 && payload[0] == msgSendEvent {
+		if msgID == 0 && (payload[0] == msgSendEvent || payload[0] == msgSendEventBatch) {
 			d := wire.NewDecoder(payload[1:])
-			id, err := d.I64()
-			if err != nil {
-				continue
+			n := uint32(1)
+			if payload[0] == msgSendEventBatch {
+				var err error
+				if n, err = d.U32(); err != nil {
+					continue
+				}
 			}
-			vals, err := d.Values()
-			if err != nil {
-				continue
+			for i := uint32(0); i < n; i++ {
+				id, err := d.I64()
+				if err != nil {
+					break
+				}
+				vals, err := d.Values()
+				if err != nil {
+					break
+				}
+				c.deliverEvent(SendEvent{AutomatonID: id, Vals: vals})
 			}
-			// Blocking here applies TCP backpressure to the server if the
-			// application cannot keep up.
-			c.events <- SendEvent{AutomatonID: id, Vals: vals}
 			continue
 		}
 		c.mu.Lock()
@@ -103,6 +163,36 @@ func (c *Client) readLoop() {
 		if ok {
 			ch <- payload
 		}
+	}
+}
+
+// deliverEvent hands one push notification to the Events() channel,
+// applying the configured overflow policy. Only the read loop calls it, so
+// under DropOldest the drop-then-retry loop always terminates: there is no
+// competing sender to steal the freed slot.
+func (c *Client) deliverEvent(ev SendEvent) {
+	if c.policy == pubsub.DropOldest {
+		for {
+			select {
+			case c.events <- ev:
+				return
+			default:
+			}
+			select {
+			case <-c.events:
+				c.evDropped.Add(1)
+			default:
+			}
+		}
+	}
+	// Block: parking here applies TCP backpressure to the server if the
+	// application cannot keep up — and stalls RPC replies on this
+	// connection until the application drains an event. Close unparks the
+	// send via quit (the undelivered event is dropped with the dying
+	// connection).
+	select {
+	case c.events <- ev:
+	case <-c.quit:
 	}
 }
 
@@ -225,14 +315,35 @@ func (c *Client) InsertBatch(table string, rows [][]types.Value) error {
 	if err := e.Rows(rows); err != nil {
 		return err
 	}
-	// Reject oversized batches client-side: the server drops the whole
-	// connection on messages past maxMessageSize, which would take every
-	// in-flight call down with this one.
-	if len(e.Bytes()) > maxMessageSize {
-		return fmt.Errorf("rpc: batch of %d rows encodes to %d bytes, over the %d-byte message limit; flush smaller batches",
-			len(rows), len(e.Bytes()), maxMessageSize)
+	return c.callInsertBatch(e.Bytes(), len(rows))
+}
+
+// insertBatchRaw ships nrows pre-encoded rows — a concatenation of
+// Encoder.Values outputs — as one msgInsertBatch. The Batcher's
+// size-bounded flush uses it so each row is wire-encoded exactly once no
+// matter how the flush is chunked.
+func (c *Client) insertBatchRaw(table string, nrows int, rowsPayload []byte) error {
+	if nrows == 0 {
+		return nil
 	}
-	resp, err := c.call(e.Bytes())
+	e := wire.NewEncoder(16 + len(table) + len(rowsPayload))
+	e.U8(msgInsertBatch)
+	e.Str(table)
+	e.U32(uint32(nrows))
+	e.Raw(rowsPayload)
+	return c.callInsertBatch(e.Bytes(), nrows)
+}
+
+// callInsertBatch performs the msgInsertBatch round trip over an encoded
+// request, enforcing the message limit client-side: the server drops the
+// whole connection on messages past maxMessageSize, which would take every
+// in-flight call down with this one.
+func (c *Client) callInsertBatch(msg []byte, nrows int) error {
+	if len(msg) > maxMessageSize {
+		return fmt.Errorf("rpc: batch of %d rows encodes to %d bytes, over the %d-byte message limit; flush smaller batches",
+			nrows, len(msg), maxMessageSize)
+	}
+	resp, err := c.call(msg)
 	if err != nil {
 		return err
 	}
@@ -243,8 +354,8 @@ func (c *Client) InsertBatch(table string, rows [][]types.Value) error {
 	if err != nil {
 		return err
 	}
-	if int(n) != len(rows) {
-		return fmt.Errorf("rpc: batch committed %d of %d rows", n, len(rows))
+	if int(n) != nrows {
+		return fmt.Errorf("rpc: batch committed %d of %d rows", n, nrows)
 	}
 	return nil
 }

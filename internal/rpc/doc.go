@@ -21,8 +21,29 @@
 // server-side as one cache.CommitBatch: one contiguous per-topic sequence
 // run, one shared timestamp, one delivery per subscriber. Client-side,
 // Batcher accumulates rows for one table and auto-flushes on size/delay
-// thresholds; MultiBatcher fronts a set of per-table Batchers and routes
-// each row to its table's batcher, so an application feeding many topics
-// still produces per-topic batch commits that land in distinct commit
-// domains.
+// thresholds (cutting oversized flushes into byte-bounded chunks with each
+// row wire-encoded exactly once); MultiBatcher fronts a set of per-table
+// Batchers and routes each row to its table's batcher, so an application
+// feeding many topics still produces per-topic batch commits that land in
+// distinct commit domains.
+//
+// # The push path
+//
+// send() notifications flow the other way through a per-connection push
+// dispatcher: an automaton's sink encodes its payload once and enqueues it
+// on a bounded Block queue, and the connection's push writer drains that
+// queue on its own goroutine, coalescing a backlog into one
+// msgSendEventBatch frame per write (single events still go out as
+// msgSendEvent). Order is preserved end to end — sinks enqueue in delivery
+// order, one writer drains FIFO, the client decodes frames in order — so
+// each automaton's sends reach the application in the order they happened.
+// A client that stops reading backpressures the queue, the sinks, and
+// ultimately the publishing topics, rather than growing server memory.
+//
+// Client-side, send() notifications surface on Events(). The buffer's
+// overflow behaviour is configurable (ClientConfig.EventPolicy): Block —
+// the default — parks the read loop when the application stops draining,
+// which also stalls RPC replies on that connection; DropOldest sheds the
+// oldest notification (counted by DroppedEvents) and keeps replies
+// flowing.
 package rpc

@@ -35,6 +35,25 @@ const (
 	msgPingOK        = 12
 	msgInsertBatch   = 13 // str table, rows — one batch commit server-side
 	msgInsertBatchOK = 14 // u32 rows committed
+	// msgSendEventBatch is the coalesced push: u32 count, then count ×
+	// (i64 automaton id, values). The server's per-connection push
+	// dispatcher folds queued msgSendEvent payloads into one of these per
+	// write, preserving per-automaton order; clients decode both forms.
+	msgSendEventBatch = 15
+)
+
+// pushQueueDepth bounds the per-connection queue of encoded send() pushes
+// awaiting the wire. The queue uses the Block policy: when a client stops
+// reading, the sinks (and through their inboxes, ultimately the publishing
+// topics) feel backpressure instead of the server buffering without bound.
+const pushQueueDepth = 4096
+
+// pushMaxRun and pushByteBudget bound one coalesced push write: at most
+// pushMaxRun events and roughly pushByteBudget encoded bytes per
+// msgSendEventBatch, keeping reassembled pushes far under maxMessageSize.
+const (
+	pushMaxRun     = 256
+	pushByteBudget = 256 << 10
 )
 
 // transport frames messages over a net.Conn with fragmentation at FragSize

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"unicache/internal/cache"
+	"unicache/internal/pubsub"
 	"unicache/internal/types"
+	"unicache/internal/wire"
 )
 
 func newServerCache(t *testing.T) *cache.Cache {
@@ -602,5 +604,232 @@ func TestMultiBatcherRoutesByTable(t *testing.T) {
 	}
 	if err := mb.Add("A", types.Int(0), types.Int(0)); err == nil {
 		t.Error("Add after Close should error")
+	}
+}
+
+// TestSendEventBatchDecode hand-builds a msgSendEventBatch push frame and
+// feeds it to the client: both push forms must decode, in order, into
+// Events().
+func TestSendEventBatchDecode(t *testing.T) {
+	cEnd, sEnd := net.Pipe()
+	cl := NewClient(cEnd)
+	t.Cleanup(func() { _ = cl.Close() })
+	tr := newTransport(sEnd)
+
+	e := wire.NewEncoder(256)
+	e.U8(msgSendEventBatch)
+	e.U32(3)
+	for i := int64(1); i <= 3; i++ {
+		e.I64(7) // automaton id
+		if err := e.Values([]types.Value{types.Int(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go func() {
+		if err := tr.writeMessage(0, e.Bytes()); err != nil {
+			t.Error(err)
+		}
+	}()
+	for i := int64(1); i <= 3; i++ {
+		select {
+		case ev := <-cl.Events():
+			if ev.AutomatonID != 7 {
+				t.Errorf("event %d: automaton id = %d", i, ev.AutomatonID)
+			}
+			if n, _ := ev.Vals[0].AsInt(); n != i*10 {
+				t.Errorf("event %d: value %v, want %d (order violated?)", i, ev.Vals[0], i*10)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for batch event %d", i)
+		}
+	}
+}
+
+// TestSendEventsCoalescedEndToEnd drives enough pushes through one
+// connection that the server's push dispatcher coalesces a backlog into
+// msgSendEventBatch frames; every event must arrive, in per-automaton
+// order.
+func TestSendEventsCoalescedEndToEnd(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	if _, err := cl.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.Register(`subscribe t to T; behavior { send(t.v); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	rows := make([][]types.Value, n)
+	for i := range rows {
+		rows[i] = []types.Value{types.Int(int64(i))}
+	}
+	if err := cl.InsertBatch("T", rows); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case ev := <-cl.Events():
+			if ev.AutomatonID != id {
+				t.Fatalf("event %d from automaton %d, want %d", i, ev.AutomatonID, id)
+			}
+			if v, _ := ev.Vals[0].AsInt(); v != int64(i) {
+				t.Fatalf("event %d carries %d: per-automaton order violated", i, v)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out at event %d of %d", i, n)
+		}
+	}
+}
+
+// TestEventsDropOldestKeepsRepliesFlowing pins the satellite fix for the
+// unbounded-blocking send on Client.events: with DropOldest, an application
+// that never drains Events() no longer wedges the read loop — RPC replies
+// keep flowing, and the drop is counted.
+func TestEventsDropOldestKeepsRepliesFlowing(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cEnd, sEnd := net.Pipe()
+	go srv.ServeConn(sEnd)
+	cl := NewClientWith(cEnd, ClientConfig{EventBuffer: 4, EventPolicy: pubsub.DropOldest})
+	t.Cleanup(func() { _ = cl.Close() })
+
+	if _, err := cl.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Register(`subscribe t to T; behavior { send(t.v); }`); err != nil {
+		t.Fatal(err)
+	}
+	// 100 sends against a 4-slot undrained buffer: the old Block-only read
+	// loop would park on the 5th and never process another reply.
+	rows := make([][]types.Value, 100)
+	for i := range rows {
+		rows[i] = []types.Value{types.Int(int64(i))}
+	}
+	if err := cl.InsertBatch("T", rows); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.DroppedEvents() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no events were dropped: buffer never overflowed?")
+		}
+		if err := cl.Ping(); err != nil { // replies must flow throughout
+			t.Fatalf("ping failed while events backlogged: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The surviving buffered events are a suffix of the stream, in order.
+	var last int64 = -1
+	for drained := false; !drained; {
+		select {
+		case ev := <-cl.Events():
+			v, _ := ev.Vals[0].AsInt()
+			if v <= last {
+				t.Fatalf("event order violated after drops: %d after %d", v, last)
+			}
+			last = v
+		default:
+			drained = true
+		}
+	}
+	if last < 0 {
+		t.Fatal("no events survived in the buffer")
+	}
+}
+
+// TestRegisterInitializationSendDoesNotDeadlock: an initialization-clause
+// send() executes on the serve goroutine inside Register, before the
+// automaton id is known. It must go out (with id 0 — the client cannot
+// attribute any id before the Register reply) rather than deadlock the
+// connection.
+func TestRegisterInitializationSendDoesNotDeadlock(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+	if _, err := cl.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var id int64
+	go func() {
+		var err error
+		id, err = cl.Register(`
+subscribe t to T;
+int n;
+initialization { send(n); }
+behavior { send(t.v); }
+`)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Register deadlocked on the initialization-clause send()")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("connection wedged after init send: %v", err)
+	}
+	// The init send arrives with automaton id 0; behaviour sends carry the
+	// real id.
+	select {
+	case ev := <-cl.Events():
+		if ev.AutomatonID != 0 {
+			t.Errorf("init send carried id %d, want 0 (id unknown at init time)", ev.AutomatonID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("initialization send never arrived")
+	}
+	if err := cl.Insert("T", types.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-cl.Events():
+		if ev.AutomatonID != id {
+			t.Errorf("behaviour send carried id %d, want %d", ev.AutomatonID, id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("behaviour send never arrived")
+	}
+}
+
+// TestCloseUnblocksParkedBlockDelivery: under the default Block event
+// policy, Close must return even while the read loop is parked delivering
+// into a full, undrained Events() buffer.
+func TestCloseUnblocksParkedBlockDelivery(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cEnd, sEnd := net.Pipe()
+	go srv.ServeConn(sEnd)
+	cl := NewClientWith(cEnd, ClientConfig{EventBuffer: 2, EventPolicy: pubsub.Block})
+
+	if _, err := cl.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Register(`subscribe t to T; behavior { send(t.v); }`); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]types.Value, 20)
+	for i := range rows {
+		rows[i] = []types.Value{types.Int(int64(i))}
+	}
+	// 20 sends against a 2-slot undrained buffer: the read loop parks on
+	// the 3rd event. InsertBatch's own reply got through before that (the
+	// server commits, replies, and only then the push backlog floods in),
+	// but give the park a moment to establish either way.
+	if err := cl.InsertBatch("T", rows); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	closed := make(chan error, 1)
+	go func() { closed <- cl.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung behind a parked Block-policy event delivery")
 	}
 }

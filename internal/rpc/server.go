@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"unicache/internal/cache"
+	"unicache/internal/pubsub"
 	"unicache/internal/types"
 	"unicache/internal/wire"
 )
@@ -95,7 +97,15 @@ func (s *Server) Close() error {
 // ServeConn serves one already-established connection (used directly with
 // net.Pipe in tests). It returns when the connection dies.
 func (s *Server) ServeConn(conn net.Conn) {
-	sc := &serverConn{srv: s, tr: newTransport(conn)}
+	sc := &serverConn{
+		srv: s,
+		tr:  newTransport(conn),
+		pushes: pubsub.NewQueue[[]byte](pubsub.QueueOpts{
+			Capacity: pushQueueDepth,
+			Policy:   pubsub.Block,
+		}),
+		pushDone: make(chan struct{}),
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -114,6 +124,15 @@ type serverConn struct {
 	srv *Server
 	tr  *transport
 
+	// pushes carries wire-encoded send() payloads (i64 automaton id +
+	// values, encoded once by the sink) from automaton dispatcher
+	// goroutines to the connection's push writer, which coalesces queued
+	// payloads into msgSendEventBatch messages. Bounded with the Block
+	// policy: a client that stops reading backpressures the sinks instead
+	// of growing server memory.
+	pushes   *pubsub.Queue[[]byte]
+	pushDone chan struct{}
+
 	mu    sync.Mutex
 	autos []int64 // automata registered by this connection
 }
@@ -121,7 +140,13 @@ type serverConn struct {
 func (c *serverConn) shutdown() { _ = c.tr.close() }
 
 func (c *serverConn) serve() {
+	go c.pushLoop()
 	defer func() {
+		// Close the transport first: a push writer blocked on a dead peer
+		// errors out, sheds its queue, and frees any sink parked in Push —
+		// without this, Unregister below could wait on an automaton that
+		// is itself waiting on the full push queue.
+		_ = c.tr.close()
 		// A reaction application going away takes its automata with it.
 		c.mu.Lock()
 		autos := append([]int64(nil), c.autos...)
@@ -130,7 +155,8 @@ func (c *serverConn) serve() {
 		for _, id := range autos {
 			_ = c.srv.cache.Unregister(id)
 		}
-		_ = c.tr.close()
+		c.pushes.Close()
+		<-c.pushDone
 	}()
 	for {
 		msgID, payload, err := c.tr.readMessage()
@@ -143,6 +169,55 @@ func (c *serverConn) serve() {
 		}
 		if err := c.dispatch(msgID, payload[0], payload[1:]); err != nil {
 			return // transport write failure: connection is gone
+		}
+	}
+}
+
+// pushLoop is the connection's push dispatcher: it drains the push queue
+// on its own goroutine and writes the queued send() payloads, coalescing a
+// backlog into one msgSendEventBatch per write (bounded by pushMaxRun
+// events and ~pushByteBudget bytes) instead of one round trip per event.
+// Order is preserved end to end: sinks enqueue in delivery order, one
+// writer drains FIFO, and the client decodes batches in order — so each
+// automaton's sends reach the application in the order they happened. On a
+// write failure the connection is gone: the loop sheds the queue so sinks
+// blocked in Push fail fast rather than wedging connection teardown.
+func (c *serverConn) pushLoop() {
+	defer close(c.pushDone)
+	e := wire.NewEncoder(1024)
+	var buf [][]byte
+	for {
+		batch, ok := c.pushes.PopBatch(pushMaxRun, buf)
+		if !ok {
+			return
+		}
+		buf = batch
+		for start := 0; start < len(batch); {
+			n, size := 0, 0
+			for start+n < len(batch) && (n == 0 || size+len(batch[start+n]) <= pushByteBudget) {
+				size += len(batch[start+n])
+				n++
+			}
+			e.Reset()
+			if n == 1 {
+				e.U8(msgSendEvent)
+			} else {
+				e.U8(msgSendEventBatch)
+				e.U32(uint32(n))
+			}
+			for _, p := range batch[start : start+n] {
+				e.Raw(p)
+			}
+			// Pushes use message id 0 (never a request id).
+			if err := c.tr.writeMessage(0, e.Bytes()); err != nil {
+				c.pushes.Close()
+				for {
+					if _, ok := c.pushes.PopBatch(0, buf); !ok {
+						return
+					}
+				}
+			}
+			start += n
 		}
 	}
 }
@@ -220,27 +295,41 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 		if err != nil {
 			return c.replyErr(msgID, err)
 		}
-		var autoID int64
+		// The sink can run before Register returns the id to this
+		// goroutine: an initialization-clause send() executes on this very
+		// goroutine inside Register, and a behaviour send() can fire as
+		// soon as the first subscription lands. The id is therefore an
+		// atomic — those pre-registration sends go out with automaton id
+		// 0, which is pre-PR3 behaviour and loses the client nothing (it
+		// cannot attribute any id before the Register reply delivers it).
+		// The sink must never block on registration completing: it would
+		// deadlock the serve goroutine (init-clause send) or Register's
+		// own failure path (disp.Stop waiting on a parked dispatcher).
+		var autoID atomic.Int64
 		sink := func(vals []types.Value) error {
+			// Encode once, here: the payload (i64 id + values) is what both
+			// push forms carry, so the writer only prepends an opcode and
+			// splices. Encoding errors surface to this sink alone.
 			e := wire.NewEncoder(128)
-			e.U8(msgSendEvent)
-			e.I64(autoID)
+			e.I64(autoID.Load())
 			if err := e.Values(vals); err != nil {
 				return err
 			}
-			// Pushes use message id 0 (never a request id).
-			return c.tr.writeMessage(0, e.Bytes())
+			if !c.pushes.Push(e.Bytes()) {
+				return errors.New("rpc: connection closed")
+			}
+			return nil
 		}
 		a, err := c.srv.cache.Register(src, sink)
 		if err != nil {
 			return c.replyErr(msgID, err)
 		}
-		autoID = a.ID()
+		autoID.Store(a.ID())
 		c.mu.Lock()
-		c.autos = append(c.autos, autoID)
+		c.autos = append(c.autos, a.ID())
 		c.mu.Unlock()
 		return c.reply(msgID, msgRegisterOK, func(e *wire.Encoder) error {
-			e.I64(autoID)
+			e.I64(a.ID())
 			return nil
 		})
 

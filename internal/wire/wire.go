@@ -25,8 +25,16 @@ func NewEncoder(capacity int) *Encoder {
 // Bytes returns the encoded buffer.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
 // Reset clears the buffer for reuse.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Raw appends bytes already encoded elsewhere (chunk assembly: callers that
+// size-bound messages encode each element once into a scratch encoder and
+// splice the result here, instead of re-encoding).
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
 
 // U8 appends one byte.
 func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
