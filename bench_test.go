@@ -727,6 +727,79 @@ func BenchmarkAsyncDeliverySlowTap(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchActivationWindowedAggregate measures what batch activation
+// buys a windowed-aggregate automaton: the same moving-average computation
+// written per-event (append + winAvg once per event — one interpreter
+// activation each) versus batchable (appendRun + winAvg once per drained
+// run). Each op commits one batch of run-length events and waits for the
+// automaton to drain it, so the delivered run length equals the commit
+// batch size exactly; compare events/sec across modes at each run length.
+// At run=1 the two modes do identical work (a batchable behaviour over a
+// one-event run IS a per-event activation); the batch win grows with the
+// run because interpreter dispatch, window eviction and the aggregate
+// recompute happen once per run instead of once per event.
+func BenchmarkBatchActivationWindowedAggregate(b *testing.B) {
+	progs := map[string]string{
+		"perevent": `
+subscribe e to T;
+window w;
+real a;
+initialization { w = Window(int, ROWS, 64); }
+behavior {
+	append(w, e.v);
+	a = winAvg(w);
+}
+`,
+		"batch": `
+subscribe e to T;
+window w;
+real a;
+initialization { w = Window(int, ROWS, 64); }
+behavior {
+	appendRun(w, e.v);
+	a = winAvg(w);
+}
+`,
+	}
+	for _, runLen := range []int{1, 16, 256} {
+		for _, mode := range []string{"perevent", "batch"} {
+			b.Run(fmt.Sprintf("run=%d/mode=%s", runLen, mode), func(b *testing.B) {
+				c, err := cache.New(cache.Config{TimerPeriod: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				if _, err := c.Exec(`create table T (v integer)`); err != nil {
+					b.Fatal(err)
+				}
+				a, err := c.Register(progs[mode], automaton.DiscardSink)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if a.Batchable() != (mode == "batch") {
+					b.Fatalf("mode %s misclassified: Batchable() = %v", mode, a.Batchable())
+				}
+				rows := batchRows(runLen)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.CommitBatch("T", rows); err != nil {
+						b.Fatal(err)
+					}
+					// Lockstep: drain before the next commit so every run
+					// the dispatcher pops is exactly runLen events.
+					for !a.Idle() {
+						runtime.Gosched()
+					}
+				}
+				b.StopTimer()
+				events := float64(b.N) * float64(runLen)
+				b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/events, "ns/event")
+			})
+		}
+	}
+}
+
 // --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblationVMInstructionCycle measures the stack machine's

@@ -2,12 +2,19 @@
 // automaton is compiled to bytecode, bound to its own dispatcher goroutine
 // (the Go analogue of the paper's PThread-per-automaton), and driven by a
 // FIFO inbox fed by the cache's publish path. The inbox is unbounded by
-// default but may be bounded with an overflow policy (Config.InboxCapacity
-// / InboxPolicy): Block applies backpressure to the publishing topic,
-// DropOldest sheds the oldest queued events, and Fail detaches the
-// automaton on overflow, reporting through OnRuntimeError. The runtime
-// guarantees tuples are delivered to an automaton in strict
-// time-of-insertion order.
+// default but may be bounded with an overflow policy — registry-wide via
+// Config.InboxCapacity/InboxPolicy, per automaton via RegisterWith and
+// Options: Block applies backpressure to the publishing topic, DropOldest
+// sheds the oldest queued events, and Fail detaches the automaton on
+// overflow, reporting through OnRuntimeError. The runtime guarantees
+// tuples are delivered to an automaton in strict time-of-insertion order.
+//
+// Activation is batch-aware: the dispatcher drains the inbox in runs, and
+// a behaviour the compiler classified batchable (run-aware and blind to
+// individual events — see gapl.Compiled.BatchableBehavior and docs/GAPL.md)
+// executes once per run via vm.DeliverBatch, amortising interpreter
+// dispatch over the run. Every other behaviour executes once per event, in
+// commit order, with output bit-identical to tuple-at-a-time delivery.
 package automaton
 
 import (
@@ -69,6 +76,23 @@ type Config struct {
 	InboxPolicy pubsub.Policy
 }
 
+// Options tunes one automaton's registration, overriding the registry-wide
+// Config defaults (the PR 3 bound was registry-wide; RegisterWith closes
+// that gap). The zero value means "use the registry defaults".
+type Options struct {
+	// InboxCapacity bounds this automaton's inbox: 0 uses the registry's
+	// Config.InboxCapacity, a positive value bounds the inbox at that
+	// depth, and a negative value forces it unbounded regardless of the
+	// registry default.
+	InboxCapacity int
+	// InboxPolicy is the overflow policy applied when InboxCapacity > 0
+	// (ignored otherwise; the registry default bound keeps the registry
+	// default policy). Block applies backpressure to the publishing topic,
+	// DropOldest sheds the oldest queued events, Fail unregisters the
+	// automaton on overflow.
+	InboxPolicy pubsub.Policy
+}
+
 // Registry manages the set of live automata for one cache.
 type Registry struct {
 	svc    Services
@@ -125,11 +149,22 @@ func (a *Automaton) Idle() bool { return a.inbox.Len() == 0 && !a.disp.Busy() }
 // (non-zero only for bounded DropOldest/Fail inboxes).
 func (a *Automaton) Dropped() uint64 { return a.inbox.Dropped() }
 
-// Register compiles, binds, initializes and starts an automaton. Compile
-// and bind problems — and initialization-clause failures — are returned to
-// the registering application, mirroring the paper's error RPC. On success
-// the returned automaton is already subscribed and processing events.
+// Batchable reports whether the behaviour clause was classified batchable
+// and is therefore activated once per drained run rather than per event.
+func (a *Automaton) Batchable() bool { return a.prog.BatchableBehavior }
+
+// Register compiles, binds, initializes and starts an automaton with the
+// registry-default inbox bound. Compile and bind problems — and
+// initialization-clause failures — are returned to the registering
+// application, mirroring the paper's error RPC. On success the returned
+// automaton is already subscribed and processing events.
 func (r *Registry) Register(source string, sink Sink) (*Automaton, error) {
+	return r.RegisterWith(source, sink, Options{})
+}
+
+// RegisterWith is Register with per-automaton Options (inbox bound and
+// overflow policy).
+func (r *Registry) RegisterWith(source string, sink Sink, opts Options) (*Automaton, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("automaton: nil sink (use DiscardSink)")
 	}
@@ -152,13 +187,20 @@ func (r *Registry) Register(source string, sink Sink) (*Automaton, error) {
 	id := r.nextID
 	r.mu.Unlock()
 
+	capacity, policy := r.cfg.InboxCapacity, r.cfg.InboxPolicy
+	switch {
+	case opts.InboxCapacity > 0:
+		capacity, policy = opts.InboxCapacity, opts.InboxPolicy
+	case opts.InboxCapacity < 0:
+		capacity = 0 // explicitly unbounded
+	}
 	a := &Automaton{
 		id:   id,
 		reg:  r,
 		prog: prog,
 		inbox: pubsub.NewInboxWith(pubsub.QueueOpts{
-			Capacity: r.cfg.InboxCapacity,
-			Policy:   r.cfg.InboxPolicy,
+			Capacity: capacity,
+			Policy:   policy,
 		}),
 		sink: sink,
 	}
@@ -175,20 +217,30 @@ func (r *Registry) Register(source string, sink Sink) (*Automaton, error) {
 	}
 
 	// The dispatcher is the automaton's goroutine: it drains the inbox in
-	// runs and executes the behaviour clause per event, in commit order. A
+	// runs, in commit order. A behaviour the compiler classified batchable
+	// rides the batch dispatcher — each run reaches the VM as ONE
+	// activation, and Stop abandons queued runs whole. Every other
+	// behaviour keeps the per-event dispatcher, preserving the pre-batch
+	// contract exactly: one activation per event, and Stop/Unregister
+	// abandon the remainder of an in-flight run between events. A
 	// Fail-policy overflow unregisters the automaton (from the OnFail
 	// goroutine — never the dispatcher's own) and surfaces the detach as a
 	// runtime error. Dispatcher and registry entry exist BEFORE the first
 	// subscription: the inbox cannot overflow until a topic feeds it, and
 	// by then OnFail's Unregister must find the automaton.
-	a.disp = pubsub.NewDispatcher(a.inbox, a.deliver, pubsub.DispatcherConfig{
+	dcfg := pubsub.DispatcherConfig{
 		OnFail: func() {
 			r.cfg.OnRuntimeError(id, fmt.Errorf(
 				"automaton: inbox overflowed its %d-event bound (%d dropped); unregistered under the Fail policy",
-				r.cfg.InboxCapacity, a.inbox.Dropped()))
+				capacity, a.inbox.Dropped()))
 			_ = r.Unregister(id)
 		},
-	})
+	}
+	if prog.BatchableBehavior {
+		a.disp = pubsub.NewBatchDispatcher(a.inbox, a.deliverRun, dcfg)
+	} else {
+		a.disp = pubsub.NewDispatcher(a.inbox, a.deliver, dcfg)
+	}
 	r.mu.Lock()
 	r.autos[id] = a
 	r.mu.Unlock()
@@ -220,6 +272,19 @@ func (r *Registry) Register(source string, sink Sink) (*Automaton, error) {
 		return nil, fmt.Errorf("automaton: inbox overflowed during registration")
 	}
 	return a, nil
+}
+
+// deliverRun consumes one drained run on a batchable automaton's
+// dispatcher goroutine: the behaviour executes ONCE for the whole run —
+// the batch activation that amortises interpreter dispatch. Per-event
+// automata never come through here; they run deliver on the per-event
+// dispatcher.
+func (a *Automaton) deliverRun(evs []*types.Event) {
+	if err := a.vm.DeliverBatch(evs); err != nil {
+		a.nErr.Add(1)
+		a.reg.cfg.OnRuntimeError(a.id, err)
+	}
+	a.nProc.Add(uint64(len(evs)))
 }
 
 // deliver runs the behaviour clause for one event; it executes on the

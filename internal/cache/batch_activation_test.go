@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unicache/internal/automaton"
+	"unicache/internal/pubsub"
+	"unicache/internal/types"
+)
+
+// collectSink gathers the first value of every send() under a mutex.
+type collectSink struct {
+	mu   sync.Mutex
+	vals []types.Value
+}
+
+func (s *collectSink) sink(vals []types.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals = append(s.vals, vals[0])
+	return nil
+}
+
+func (s *collectSink) snapshot() []types.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]types.Value(nil), s.vals...)
+}
+
+func newBatchTestCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	cfg.TimerPeriod = -1
+	if cfg.OnRuntimeError == nil {
+		cfg.OnRuntimeError = func(id int64, err error) { t.Errorf("automaton %d: %v", id, err) }
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if _, err := c.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func intRows(lo, hi int) [][]types.Value {
+	rows := make([][]types.Value, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		rows = append(rows, []types.Value{types.Int(int64(v))})
+	}
+	return rows
+}
+
+// TestBatchActivationEndToEnd drives a batchable windowed-aggregate
+// automaton through the real commit path and checks that (a) it is
+// classified batchable, (b) whole runs reach the VM as single activations,
+// and (c) the final aggregate is independent of how the stream was split
+// into runs.
+func TestBatchActivationEndToEnd(t *testing.T) {
+	c := newBatchTestCache(t, Config{})
+	var sink collectSink
+	a, err := c.Register(`
+subscribe e to T;
+window w;
+initialization { w = Window(int, ROWS, 4); }
+behavior {
+	appendRun(w, e.v);
+	send(winAvg(w));
+}
+`, sink.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Batchable() {
+		t.Fatal("windowed-aggregate program should be batchable")
+	}
+	const n = 256
+	if err := c.CommitBatch("T", intRows(1, n)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("automaton did not quiesce")
+	}
+	if got := a.Processed(); got != n {
+		t.Fatalf("Processed = %d, want %d", got, n)
+	}
+	sends := sink.snapshot()
+	// One send per ACTIVATION: strictly fewer than per-event delivery
+	// would produce (the whole point), at least one.
+	if len(sends) == 0 || len(sends) >= n {
+		t.Fatalf("got %d sends for %d events; batch activation should produce 1..%d",
+			len(sends), n, n-1)
+	}
+	// The last activation saw the full stream: window holds 253..256.
+	last, _ := sends[len(sends)-1].NumAsReal()
+	if want := float64(253+254+255+256) / 4; last != want {
+		t.Fatalf("final winAvg = %v, want %v", last, want)
+	}
+}
+
+// TestTimeWindowEvictionAcrossCommitBatches pins SECS/MSECS eviction at
+// batch boundaries end to end: entries are stamped with their commit
+// timestamp, and a later run evicts an aged-out earlier run in one step.
+func TestTimeWindowEvictionAcrossCommitBatches(t *testing.T) {
+	var clk atomic.Int64
+	clk.Store(int64(1_000_000_000)) // 1s
+	c := newBatchTestCache(t, Config{
+		Clock: func() types.Timestamp { return types.Timestamp(clk.Load()) },
+	})
+	var sink collectSink
+	if _, err := c.Register(`
+subscribe e to T;
+window w;
+initialization { w = Window(int, MSECS, 10); }
+behavior {
+	appendRun(w, e.v);
+	send(winSize(w));
+}
+`, sink.sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CommitBatch("T", intRows(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("no quiesce after first batch")
+	}
+	// 20ms later the first batch is outside the 10ms span; the next run
+	// must evict it at the batch boundary.
+	clk.Add(int64(20 * time.Millisecond))
+	if err := c.CommitBatch("T", intRows(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("no quiesce after second batch")
+	}
+	sends := sink.snapshot()
+	if len(sends) != 2 {
+		t.Fatalf("got %d sends, want 2 (one per idle-bracketed run)", len(sends))
+	}
+	if n, _ := sends[0].NumAsInt(); n != 3 {
+		t.Fatalf("first run winSize = %d, want 3", n)
+	}
+	if n, _ := sends[1].NumAsInt(); n != 2 {
+		t.Fatalf("second run winSize = %d, want 2 (first batch evicted whole)", n)
+	}
+}
+
+// TestPerEventProgramIdenticalUnderBatchCommit pins the acceptance
+// criterion that per-event programs stay bit-identical: a field-reading
+// behaviour fed one batch of N produces exactly the sends of N single
+// commits, in order.
+func TestPerEventProgramIdenticalUnderBatchCommit(t *testing.T) {
+	const src = `
+subscribe e to T;
+behavior { send(e.v); }
+`
+	run := func(t *testing.T, batch bool) []types.Value {
+		c := newBatchTestCache(t, Config{})
+		var sink collectSink
+		a, err := c.Register(src, sink.sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Batchable() {
+			t.Fatal("field-reading program must stay per-event")
+		}
+		if batch {
+			if err := c.CommitBatch("T", intRows(1, 50)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, row := range intRows(1, 50) {
+				if err := c.CommitInsert("T", row); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !c.Registry().WaitIdle(5 * time.Second) {
+			t.Fatal("no quiesce")
+		}
+		return sink.snapshot()
+	}
+	batched := run(t, true)
+	singles := run(t, false)
+	if len(batched) != 50 || len(singles) != 50 {
+		t.Fatalf("send counts: batch %d, singles %d, want 50/50", len(batched), len(singles))
+	}
+	for i := range batched {
+		b, _ := batched[i].NumAsInt()
+		s, _ := singles[i].NumAsInt()
+		if b != s || b != int64(i+1) {
+			t.Fatalf("send %d: batch %d vs singles %d, want %d", i, b, s, i+1)
+		}
+	}
+}
+
+// TestRegisterWithPerAutomatonBounds pins the per-automaton inbox Options:
+// a DropOldest bound on one automaton sheds its backlog deterministically
+// while a default (unbounded) automaton on the same cache loses nothing.
+func TestRegisterWithPerAutomatonBounds(t *testing.T) {
+	c := newBatchTestCache(t, Config{})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	var bounded collectSink
+	blockingSink := func(vals []types.Value) error {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+		return bounded.sink(vals)
+	}
+	ab, err := c.RegisterWith(`
+subscribe e to T;
+behavior { send(e.v); }
+`, blockingSink, automaton.Options{InboxCapacity: 4, InboxPolicy: pubsub.DropOldest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var free collectSink
+	au, err := c.Register(`
+subscribe e to T;
+behavior { send(e.v); }
+`, free.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First event parks the bounded automaton inside its sink; the burst
+	// then overflows its 4-deep inbox, which must shed all but the newest
+	// 4, while the unbounded automaton absorbs everything.
+	if err := c.CommitInsert("T", []types.Value{types.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := c.CommitBatch("T", intRows(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if got := ab.Dropped(); got != 96 {
+		t.Fatalf("bounded automaton dropped %d, want 96", got)
+	}
+	if got := len(bounded.snapshot()); got != 5 {
+		t.Fatalf("bounded automaton sent %d, want 5 (1 parked + newest 4)", got)
+	}
+	if got, want := au.Processed(), uint64(101); got != want {
+		t.Fatalf("unbounded automaton processed %d, want %d", got, want)
+	}
+	if au.Dropped() != 0 {
+		t.Fatal("default automaton must not shed")
+	}
+}
+
+// TestRegisterWithUnboundedOverride pins the negative-capacity escape
+// hatch: a cache-wide Fail bound can be overridden per automaton.
+func TestRegisterWithUnboundedOverride(t *testing.T) {
+	failures := make(chan error, 16)
+	c := newBatchTestCache(t, Config{
+		AutomatonQueue:  2,
+		AutomatonPolicy: pubsub.Fail,
+		OnRuntimeError:  func(id int64, err error) { failures <- err },
+	})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	var sink collectSink
+	blockingSink := func(vals []types.Value) error {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+		return sink.sink(vals)
+	}
+	a, err := c.RegisterWith(`
+subscribe e to T;
+behavior { send(e.v); }
+`, blockingSink, automaton.Options{InboxCapacity: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CommitInsert("T", []types.Value{types.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := c.CommitBatch("T", intRows(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("no quiesce")
+	}
+	if got := a.Processed(); got != 101 {
+		t.Fatalf("processed %d, want 101 (unbounded override)", got)
+	}
+	select {
+	case err := <-failures:
+		t.Fatalf("unexpected runtime error: %v", err)
+	default:
+	}
+}

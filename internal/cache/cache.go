@@ -429,6 +429,13 @@ func (c *Cache) Register(source string, sink automaton.Sink) (*automaton.Automat
 	return c.reg.Register(source, sink)
 }
 
+// RegisterWith is Register with per-automaton Options: an inbox bound and
+// overflow policy for this automaton alone, overriding the cache-wide
+// Config.AutomatonQueue/AutomatonPolicy defaults.
+func (c *Cache) RegisterWith(source string, sink automaton.Sink, opts automaton.Options) (*automaton.Automaton, error) {
+	return c.reg.RegisterWith(source, sink, opts)
+}
+
 // Unregister stops an automaton by id.
 func (c *Cache) Unregister(id int64) error { return c.reg.Unregister(id) }
 

@@ -1,0 +1,97 @@
+package gapl
+
+import (
+	"strings"
+	"testing"
+
+	"unicache/internal/types"
+)
+
+func TestAppendRunCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"literal-second-arg", `
+subscribe f to Flows;
+window w;
+initialization { w = Window(int, ROWS, 4); }
+behavior { appendRun(w, 1 + 2); }
+`, "subscription variable or attribute"},
+		{"declared-var-second-arg", `
+subscribe f to Flows;
+window w;
+int x;
+initialization { w = Window(int, ROWS, 4); }
+behavior { appendRun(w, x); }
+`, "subscription variable or attribute"},
+		{"undeclared-var", `
+subscribe f to Flows;
+window w;
+initialization { w = Window(int, ROWS, 4); }
+behavior { appendRun(w, nosuch.attr); }
+`, "undeclared variable"},
+		{"arity", `
+subscribe f to Flows;
+window w;
+behavior { appendRun(w); }
+`, "at least 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Compile: got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAppendRunBindResolvesAttribute(t *testing.T) {
+	prog, err := Compile(`
+subscribe f to Flows;
+window w;
+initialization { w = Window(int, ROWS, 4); }
+behavior { appendRun(w, f.nbytes); appendRun(w, f.tstamp); appendRun(w, f); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := types.NewSchema("Flows", false, -1,
+		types.Column{Name: "srcip", Type: types.ColVarchar},
+		types.Column{Name: "nbytes", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Bind(map[string]*types.Schema{"Flows": flows}); err != nil {
+		t.Fatal(err)
+	}
+	var got []int32
+	for _, ins := range prog.Behavior {
+		if ins.Op == OpAppendRun {
+			got = append(got, ins.B)
+		}
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != -1 || got[2] != -2 {
+		t.Fatalf("OpAppendRun operands after bind = %v, want [1 -1 -2]", got)
+	}
+}
+
+func TestAppendRunBindRejectsUnknownAttribute(t *testing.T) {
+	prog, err := Compile(`
+subscribe f to Flows;
+window w;
+behavior { appendRun(w, f.nosuch); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := types.NewSchema("Flows", false, -1,
+		types.Column{Name: "nbytes", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = prog.Bind(map[string]*types.Schema{"Flows": flows})
+	if err == nil || !strings.Contains(err.Error(), "no attribute") {
+		t.Fatalf("Bind: got %v, want no-attribute error", err)
+	}
+}

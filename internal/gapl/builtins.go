@@ -32,6 +32,19 @@ const (
 	BWinSize // winSize(window) -> int
 	BDelete  // delete(aggregate) — advise storage release (clears it)
 
+	BWinSum // winSum(window) -> int|real (0 over an empty window)
+	BWinAvg // winAvg(window) -> real (error over an empty window)
+	BWinMin // winMin(window) -> value (error over an empty window)
+	BWinMax // winMax(window) -> value (error over an empty window)
+
+	// Run-aware builtins: these observe the current activation's run (the
+	// batch of events handed to one behaviour execution). Behaviours that
+	// use them — and never observe an individual event — are classified
+	// batchable and activated once per delivered run instead of once per
+	// event.
+	BAppendRun // appendRun(window, sub.attr | sub) — compiled to OpAppendRun
+	BRunSize   // runSize() -> int (events in the current run; 1 per-event)
+
 	BCurrentTopic // currentTopic() -> string
 	BSend         // send(v...) — RPC to the registering application
 	BPublish      // publish('Topic', v...) — insert into another stream
@@ -92,6 +105,14 @@ var Builtins = map[string]BuiltinSig{
 	"append":  {BAppend, "append", 2, 2, types.KindNil},
 	"winSize": {BWinSize, "winSize", 1, 1, types.KindInt},
 	"delete":  {BDelete, "delete", 1, 1, types.KindNil},
+
+	"winSum": {BWinSum, "winSum", 1, 1, types.KindNil},
+	"winAvg": {BWinAvg, "winAvg", 1, 1, types.KindReal},
+	"winMin": {BWinMin, "winMin", 1, 1, types.KindNil},
+	"winMax": {BWinMax, "winMax", 1, 1, types.KindNil},
+
+	"appendRun": {BAppendRun, "appendRun", 2, 2, types.KindNil},
+	"runSize":   {BRunSize, "runSize", 0, 0, types.KindInt},
 
 	"currentTopic": {BCurrentTopic, "currentTopic", 0, 0, types.KindString},
 	"send":         {BSend, "send", 1, -1, types.KindNil},

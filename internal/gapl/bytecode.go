@@ -36,6 +36,13 @@ const (
 	OpPop
 	OpCall // call builtin A with B args
 	OpHalt
+	// OpAppendRun pops a window and appends one value per event of the
+	// current activation's run whose topic matches subscription slot A:
+	// attribute B of each event (-1 = the tstamp pseudo-attribute, -2 = the
+	// whole event as a sequence), stamped with the event's commit timestamp,
+	// with constraint eviction run once for the whole run. It pushes nil
+	// (appendRun is a statement). Before Bind, B indexes FieldNames.
+	OpAppendRun
 )
 
 var opNames = [...]string{
@@ -44,7 +51,7 @@ var opNames = [...]string{
 	OpMod: "mod", OpNeg: "neg", OpNot: "not", OpEq: "eq", OpNe: "ne",
 	OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge", OpJmp: "jmp", OpJz: "jz",
 	OpJzPeek: "jzpeek", OpJnzPeek: "jnzpeek", OpPop: "pop", OpCall: "call",
-	OpHalt: "halt",
+	OpHalt: "halt", OpAppendRun: "appendrun",
 }
 
 func (o Op) String() string {
@@ -92,6 +99,14 @@ type Compiled struct {
 	FieldNames []string // attribute-name pool for pre-bind OpField operands
 	Init       []Instr
 	Behavior   []Instr
+	// BatchableBehavior reports the compiler's activation classification:
+	// true when the behavior clause is run-aware (calls appendRun or
+	// runSize) AND never observes an individual event (no attribute read,
+	// no use of a subscription variable as a value, no currentTopic()).
+	// Batchable behaviours execute ONCE per delivered run of events;
+	// everything else keeps the per-event activation of the paper, with
+	// output bit-identical to tuple-at-a-time delivery.
+	BatchableBehavior bool
 
 	bound bool
 }
@@ -142,8 +157,11 @@ func (c *Compiled) Bind(schemas map[string]*types.Schema) error {
 	rewrite := func(code []Instr) error {
 		for i := range code {
 			ins := &code[i]
-			if ins.Op != OpField {
+			if ins.Op != OpField && ins.Op != OpAppendRun {
 				continue
+			}
+			if ins.Op == OpAppendRun && ins.B == -2 {
+				continue // whole-event form; nothing to resolve
 			}
 			slot := c.Slots[ins.A]
 			schema := schemas[slot.Topic]

@@ -81,7 +81,40 @@ func (c *compiler) compile(prog *Program) (*Compiled, error) {
 	}
 	c.emit(Instr{Op: OpHalt})
 	c.out.Behavior = c.code
+	c.out.BatchableBehavior = c.classifyBehavior()
 	return c.out, nil
+}
+
+// classifyBehavior decides the behaviour clause's activation mode. A
+// behaviour is batchable — executed once per delivered run instead of once
+// per event — iff it is run-aware (appendRun/runSize appear) and never
+// observes an individual event: no attribute read (OpField), no use of a
+// subscription variable as a value (OpLoad of a SlotSub slot), and no
+// currentTopic() (a run may interleave several subscribed topics). The
+// conservative default is per-event, which is bit-identical to
+// tuple-at-a-time delivery for every pre-existing program.
+func (c *compiler) classifyBehavior() bool {
+	usesRun, observesEvent := false, false
+	for _, ins := range c.out.Behavior {
+		switch ins.Op {
+		case OpAppendRun:
+			usesRun = true
+		case OpField:
+			observesEvent = true
+		case OpLoad:
+			if c.out.Slots[ins.A].Role == SlotSub {
+				observesEvent = true
+			}
+		case OpCall:
+			switch BuiltinID(ins.A) {
+			case BRunSize:
+				usesRun = true
+			case BCurrentTopic:
+				observesEvent = true
+			}
+		}
+	}
+	return usesRun && !observesEvent
 }
 
 func (c *compiler) emit(ins Instr) int {
@@ -433,6 +466,40 @@ func (c *compiler) call(e *CallExpr) (types.Kind, error) {
 		if _, err := c.expr(e.Args[2]); err != nil {
 			return 0, err
 		}
+	case BAppendRun:
+		// appendRun(w, sub.attr) / appendRun(w, sub) lowers to a dedicated
+		// instruction: the event operand is not an expression evaluated once
+		// but a per-run extraction rule (subscription slot + attribute),
+		// applied by the VM to every event of the activation's run.
+		if _, err := c.expr(e.Args[0]); err != nil {
+			return 0, err
+		}
+		var slot int
+		fieldB := int32(-2)
+		switch arg := e.Args[1].(type) {
+		case *FieldRef:
+			s, ok := c.slotByVar[arg.Var]
+			if !ok {
+				return 0, c.errf(arg.Line, "undeclared variable %q", arg.Var)
+			}
+			slot = s
+			fieldB = c.fieldName(arg.Field)
+		case *VarRef:
+			s, ok := c.slotByVar[arg.Name]
+			if !ok {
+				return 0, c.errf(arg.Line, "undeclared variable %q", arg.Name)
+			}
+			slot = s
+		default:
+			return 0, c.errf(e.Line,
+				"appendRun() needs a subscription variable or attribute second, e.g. appendRun(w, e.price)")
+		}
+		if c.out.Slots[slot].Role != SlotSub {
+			return 0, c.errf(e.Line,
+				"appendRun() needs a subscription variable or attribute second, e.g. appendRun(w, e.price)")
+		}
+		c.emit(Instr{Op: OpAppendRun, A: int32(slot), B: fieldB, Line: int32(e.Line)})
+		return types.KindNil, nil
 	default:
 		for _, a := range e.Args {
 			if _, err := c.expr(a); err != nil {

@@ -1,0 +1,147 @@
+package pubsub
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"unicache/internal/types"
+)
+
+func batchEvents(n int, seq0 uint64) []*types.Event {
+	evs := make([]*types.Event, n)
+	for i := range evs {
+		evs[i] = &types.Event{Topic: "T", Tuple: &types.Tuple{Seq: seq0 + uint64(i)}}
+	}
+	return evs
+}
+
+// TestBatchDispatcherDeliversRunsInOrder pins the batch drain mode: every
+// callback receives a whole run, runs preserve commit order, and a run
+// delivered with one DeliverBatch while the consumer is parked arrives as
+// one callback invocation.
+func TestBatchDispatcherDeliversRunsInOrder(t *testing.T) {
+	in := NewInbox()
+	var mu sync.Mutex
+	var runs []int
+	var seqs []uint64
+	started := make(chan struct{})
+	var once sync.Once
+	block := make(chan struct{})
+	d := NewBatchDispatcher(in, func(evs []*types.Event) {
+		once.Do(func() { close(started); <-block })
+		mu.Lock()
+		runs = append(runs, len(evs))
+		for _, ev := range evs {
+			seqs = append(seqs, ev.Tuple.Seq)
+		}
+		mu.Unlock()
+	}, DispatcherConfig{})
+	defer d.Stop()
+
+	// First event wakes the consumer; while its callback is parked, a
+	// whole batch queues behind it and must drain as one run.
+	in.Deliver(batchEvents(1, 1)[0])
+	<-started
+	in.DeliverBatch(batchEvents(5, 2))
+	close(block)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seqs)
+		mu.Unlock()
+		if n == 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d events dispatched", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seqs out of order: %v", seqs)
+		}
+	}
+	if len(runs) != 2 || runs[0] != 1 || runs[1] != 5 {
+		t.Fatalf("runs = %v, want [1 5] (queued batch drained as one run)", runs)
+	}
+}
+
+func TestBatchDispatcherStopDiscardsQueuedRuns(t *testing.T) {
+	in := NewInbox()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var mu sync.Mutex
+	calls := 0
+	d := NewBatchDispatcher(in, func(evs []*types.Event) {
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			close(entered)
+			<-release
+		}
+	}, DispatcherConfig{})
+
+	in.Deliver(batchEvents(1, 1)[0])
+	<-entered
+	in.DeliverBatch(batchEvents(10, 2)) // queued behind the in-flight run
+	go func() { time.Sleep(10 * time.Millisecond); close(release) }()
+	d.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after Stop, want 1 (queued run discarded)", calls)
+	}
+	if d.Busy() {
+		t.Fatal("stopped dispatcher must not report Busy")
+	}
+}
+
+func TestBatchDispatcherMaxRunBound(t *testing.T) {
+	in := NewInbox()
+	var mu sync.Mutex
+	var runs []int
+	started := make(chan struct{})
+	var once sync.Once
+	block := make(chan struct{})
+	d := NewBatchDispatcher(in, func(evs []*types.Event) {
+		once.Do(func() { close(started); <-block })
+		mu.Lock()
+		runs = append(runs, len(evs))
+		mu.Unlock()
+	}, DispatcherConfig{MaxRun: 4})
+	defer d.Stop()
+
+	in.Deliver(batchEvents(1, 1)[0])
+	<-started
+	in.DeliverBatch(batchEvents(10, 2))
+	close(block)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		total := 0
+		if len(runs) > 1 {
+			for _, r := range runs[1:] { // skip the wake-up event's run
+				total += r
+				if r > 4 {
+					mu.Unlock()
+					t.Fatalf("run of %d exceeds MaxRun 4: %v", r, runs)
+				}
+			}
+		}
+		mu.Unlock()
+		if total == 10 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dispatched %d of 10", total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -34,8 +34,13 @@ type DispatcherConfig struct {
 // that waits for the dispatcher, like Cache.Unsubscribe of its own id) —
 // that would deadlock the goroutine against itself.
 type Dispatcher struct {
-	in     *Inbox
-	fn     func(*types.Event)
+	in *Inbox
+	fn func(*types.Event)
+	// bfn, when set (NewBatchDispatcher), receives each drained run whole —
+	// one invocation per PopBatch — instead of fn per event. The slice is
+	// only valid for the duration of the call: the dispatcher reuses its
+	// backing array for the next drain.
+	bfn    func([]*types.Event)
 	onFail func()
 	maxRun int
 	stop   atomic.Bool
@@ -63,6 +68,29 @@ func NewDispatcher(in *Inbox, fn func(*types.Event), cfg DispatcherConfig) *Disp
 	return d
 }
 
+// NewBatchDispatcher starts a dispatcher draining in into fn one RUN at a
+// time: every PopBatch drain (up to MaxRun events, in commit order) is
+// handed to fn as a single invocation, which is what lets a batch-aware
+// consumer (a batchable automaton behaviour) amortise its activation cost
+// over the run. fn must not retain the slice after returning — the
+// dispatcher reuses its backing array for the next drain. Stop semantics
+// are per run: a run whose callback has started is finished, queued runs
+// are discarded, and fn never runs after Stop returns.
+func NewBatchDispatcher(in *Inbox, fn func([]*types.Event), cfg DispatcherConfig) *Dispatcher {
+	if cfg.MaxRun <= 0 {
+		cfg.MaxRun = DefaultDispatchRun
+	}
+	d := &Dispatcher{
+		in:     in,
+		bfn:    fn,
+		onFail: cfg.OnFail,
+		maxRun: cfg.MaxRun,
+		done:   make(chan struct{}),
+	}
+	go d.run()
+	return d
+}
+
 func (d *Dispatcher) run() {
 	defer close(d.done)
 	var buf []*types.Event
@@ -75,6 +103,18 @@ func (d *Dispatcher) run() {
 				go d.onFail()
 			}
 			return
+		}
+		if d.bfn != nil {
+			if d.stop.Load() {
+				// The abandoned run still counts as handled: Busy must
+				// not report a stopped dispatcher as forever in flight.
+				d.processed.Add(uint64(len(batch)))
+				return
+			}
+			d.bfn(batch)
+			d.processed.Add(uint64(len(batch)))
+			buf = batch
+			continue
 		}
 		for i, ev := range batch {
 			if d.stop.Load() {

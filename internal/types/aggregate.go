@@ -272,6 +272,35 @@ func (w *Window) Append(v Value, now Timestamp) error {
 	return nil
 }
 
+// AppendBatch adds a run of values in one operation, evicting once at the
+// end instead of once per value — the primitive behind the VM's batch
+// activation (appendRun). tss, when non-nil, supplies a per-value append
+// timestamp (the commit timestamp of the event the value came from) and
+// must be the same length as vals and non-decreasing; a nil tss stamps
+// every value with now. Kinds are validated up front: a batch with any
+// ill-kinded value is rejected whole, before anything is appended.
+func (w *Window) AppendBatch(vals []Value, tss []Timestamp, now Timestamp) error {
+	if tss != nil && len(tss) != len(vals) {
+		return fmt.Errorf("window batch append: %d values but %d timestamps", len(vals), len(tss))
+	}
+	if w.elem != KindNil {
+		for _, v := range vals {
+			if v.Kind() != w.elem {
+				return fmt.Errorf("window bound to %s cannot hold %s", w.elem, v.Kind())
+			}
+		}
+	}
+	for i, v := range vals {
+		ts := now
+		if tss != nil {
+			ts = tss[i]
+		}
+		w.entries = append(w.entries, windowEntry{ts: ts, v: v})
+	}
+	w.evict(now)
+	return nil
+}
+
 func (w *Window) evict(now Timestamp) {
 	switch w.mode {
 	case WindowRows:

@@ -1,0 +1,77 @@
+package types
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAppendBatchRowsEvictsOnce(t *testing.T) {
+	w, err := NewRowWindow(KindInt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []Value{Int(1), Int(2), Int(3), Int(4), Int(5)}
+	if err := w.AppendBatch(vals, nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if got, _ := w.At(i).AsInt(); got != want {
+			t.Fatalf("At(%d) = %v, want %d", i, w.At(i), want)
+		}
+	}
+}
+
+func TestAppendBatchTimeEvictsAtBatchBoundary(t *testing.T) {
+	w, err := NewTimeWindow(KindInt, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := Timestamp(time.Millisecond)
+	// First batch at t = 0..1ms, evaluated at 2ms: all live.
+	if err := w.AppendBatch([]Value{Int(1), Int(2)}, []Timestamp{0, 1 * ms}, 2*ms); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len after first batch = %d, want 2", w.Len())
+	}
+	// Second batch lands at 12ms: the first batch has aged out and must be
+	// evicted in this single call — eviction happens once per batch, at
+	// the batch boundary.
+	if err := w.AppendBatch([]Value{Int(3)}, []Timestamp{12 * ms}, 12*ms); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len after second batch = %d, want 1", w.Len())
+	}
+	if got, _ := w.At(0).AsInt(); got != 3 {
+		t.Fatalf("survivor = %v, want 3", w.At(0))
+	}
+	// Per-entry timestamps survive into TsAt.
+	if w.TsAt(0) != 12*ms {
+		t.Fatalf("TsAt(0) = %d, want %d", w.TsAt(0), 12*ms)
+	}
+}
+
+func TestAppendBatchValidation(t *testing.T) {
+	w, err := NewRowWindow(KindInt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch with any ill-kinded value is rejected whole.
+	if err := w.AppendBatch([]Value{Int(1), Str("x")}, nil, 1); err == nil {
+		t.Fatal("mixed-kind batch should be rejected")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("rejected batch must not append anything, Len = %d", w.Len())
+	}
+	if err := w.AppendBatch([]Value{Int(1)}, []Timestamp{1, 2}, 1); err == nil {
+		t.Fatal("mismatched timestamp slice should be rejected")
+	}
+	// Empty batch is a no-op.
+	if err := w.AppendBatch(nil, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,441 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"unicache/internal/gapl"
+	"unicache/internal/types"
+)
+
+// urlRun builds a run of n Urls events with ascending seq/commit
+// timestamps starting at ts0.
+func urlRun(t *testing.T, ts0 types.Timestamp, hosts ...string) []*types.Event {
+	t.Helper()
+	run := make([]*types.Event, len(hosts))
+	for i, h := range hosts {
+		run[i] = &types.Event{
+			Topic:  "Urls",
+			Schema: schemas(t)["Urls"],
+			Tuple: &types.Tuple{Seq: uint64(i + 1), TS: ts0 + types.Timestamp(i),
+				Vals: []types.Value{types.Str(h)}},
+		}
+	}
+	return run
+}
+
+func flowRun(t *testing.T, ts0 types.Timestamp, nbytes ...int64) []*types.Event {
+	t.Helper()
+	run := make([]*types.Event, len(nbytes))
+	for i, n := range nbytes {
+		ev := flowEvent(t, uint64(i+1), "10.0.0.1", "10.0.0.2", n)
+		ev.Tuple.TS = ts0 + types.Timestamp(i)
+		run[i] = ev
+	}
+	return run
+}
+
+const progBatchAvg = `
+subscribe f to Flows;
+window w;
+int activations;
+real avg;
+initialization { w = Window(int, ROWS, 4); }
+behavior {
+	appendRun(w, f.nbytes);
+	activations += 1;
+	if (winSize(w) > 0) {
+		avg = winAvg(w);
+	}
+}
+`
+
+func TestDeliverBatchOneActivationPerRun(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, progBatchAvg)
+	if !m.prog.BatchableBehavior {
+		t.Fatal("program should be classified batchable")
+	}
+	run := flowRun(t, 100, 1, 2, 3, 4, 5, 6)
+	if err := m.DeliverBatch(run); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "activations"); got != 1 {
+		t.Fatalf("activations = %d, want 1 for a 6-event run", got)
+	}
+	// ROWS 4 window holds the last four values: 3,4,5,6 -> avg 4.5.
+	v, _ := m.Slot("avg")
+	if f, _ := v.AsReal(); f != 4.5 {
+		t.Fatalf("avg = %v, want 4.5", v)
+	}
+}
+
+// TestBatchMatchesPerEventWindowContents pins the segmentation-independence
+// property: a batchable behaviour leaves the same window state whether its
+// events arrive as one run of N, N runs of 1 (Deliver), or any split.
+func TestBatchMatchesPerEventWindowContents(t *testing.T) {
+	final := func(t *testing.T, deliver func(m *VM, run []*types.Event)) (int64, float64) {
+		h := newFakeHost()
+		m := compileVM(t, h, progBatchAvg)
+		deliver(m, flowRun(t, 100, 10, 20, 30, 40, 50))
+		sum := int64(0)
+		// Recompute the aggregate through the VM to observe window state.
+		v, _ := m.Slot("avg")
+		f, _ := v.AsReal()
+		return sum, f
+	}
+	_, batched := final(t, func(m *VM, run []*types.Event) {
+		if err := m.DeliverBatch(run); err != nil {
+			t.Fatal(err)
+		}
+	})
+	_, perEvent := final(t, func(m *VM, run []*types.Event) {
+		for _, ev := range run {
+			if err := m.Deliver(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	_, split := final(t, func(m *VM, run []*types.Event) {
+		if err := m.DeliverBatch(run[:2]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.DeliverBatch(run[2:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if batched != perEvent || batched != split {
+		t.Fatalf("window contents depend on run segmentation: batch avg %v, per-event %v, split %v",
+			batched, perEvent, split)
+	}
+	if batched != 35 { // last 4 of 10..50 -> (20+30+40+50)/4
+		t.Fatalf("avg = %v, want 35", batched)
+	}
+}
+
+func TestAppendRunWholeEventAndTstamp(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe f to Flows;
+window rows, stamps;
+int n;
+initialization {
+	rows = Window(sequence, ROWS, 8);
+	stamps = Window(tstamp, ROWS, 8);
+}
+behavior {
+	appendRun(rows, f);
+	appendRun(stamps, f.tstamp);
+	n = winSize(rows);
+}
+`)
+	if !m.prog.BatchableBehavior {
+		t.Fatal("program should be batchable")
+	}
+	if err := m.DeliverBatch(flowRun(t, 500, 7, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "n"); got != 2 {
+		t.Fatalf("winSize = %d, want 2", got)
+	}
+	rows, _ := m.Slot("rows")
+	seq := rows.Win().At(0).Seq()
+	if seq == nil || seq.Len() != 4 {
+		t.Fatalf("whole-event append should store the row sequence, got %v", rows.Win().At(0))
+	}
+	stamps, _ := m.Slot("stamps")
+	if ts, _ := stamps.Win().At(1).AsStamp(); ts != 501 {
+		t.Fatalf("tstamp pseudo-attribute append = %v, want 501", stamps.Win().At(1))
+	}
+}
+
+func TestAppendRunFiltersByTopic(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe f to Flows;
+subscribe u to Urls;
+window w;
+int n;
+initialization { w = Window(int, ROWS, 16); }
+behavior {
+	appendRun(w, f.nbytes);
+	n = runSize();
+}
+`)
+	if !m.prog.BatchableBehavior {
+		t.Fatal("program should be batchable")
+	}
+	run := flowRun(t, 100, 1, 2)
+	run = append(run, urlRun(t, 200, "a", "b", "c")...)
+	if err := m.DeliverBatch(run); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "n"); got != 5 {
+		t.Fatalf("runSize = %d, want 5 (whole interleaved run)", got)
+	}
+	w, _ := m.Slot("w")
+	if w.Win().Len() != 2 {
+		t.Fatalf("window holds %d values, want only the 2 Flows events", w.Win().Len())
+	}
+}
+
+func TestRunSizeIsOnePerEvent(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe u to Urls;
+int last;
+behavior { last = runSize(); }
+`)
+	if err := m.Deliver(urlRun(t, 10, "x")[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "last"); got != 1 {
+		t.Fatalf("runSize under Deliver = %d, want 1", got)
+	}
+	if err := m.DeliverBatch(urlRun(t, 10, "x", "y", "z")); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "last"); got != 3 {
+		t.Fatalf("runSize under DeliverBatch = %d, want 3", got)
+	}
+}
+
+func TestDeliverBatchRejectsPerEventProgram(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe u to Urls;
+int n;
+behavior { n += 1; }
+`)
+	if m.prog.BatchableBehavior {
+		t.Fatal("program without run builtins must not be batchable")
+	}
+	err := m.DeliverBatch(urlRun(t, 10, "x", "y"))
+	if err == nil || !strings.Contains(err.Error(), "per-event") {
+		t.Fatalf("DeliverBatch on a per-event program should fail, got %v", err)
+	}
+}
+
+func TestDeliverBatchUnknownTopic(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe u to Urls;
+window w;
+initialization { w = Window(string, ROWS, 4); }
+behavior { appendRun(w, u.host); }
+`)
+	run := []*types.Event{flowRun(t, 1, 42)[0]}
+	if err := m.DeliverBatch(run); err == nil {
+		t.Fatal("DeliverBatch of an unsubscribed topic should fail")
+	}
+	if err := m.DeliverBatch(nil); err != nil {
+		t.Fatalf("empty run should be a no-op, got %v", err)
+	}
+}
+
+func TestWindowedAggregates(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+window ints, reals;
+int sumI, minI;
+real sumR, avg, maxR;
+initialization {
+	ints = Window(int, ROWS, 8);
+	reals = Window(real, ROWS, 8);
+	append(ints, 4); append(ints, 2); append(ints, 9);
+	append(reals, 1.5); append(reals, 2.5);
+}
+behavior {
+	sumI = winSum(ints);
+	minI = winMin(ints);
+	sumR = winSum(reals);
+	avg = winAvg(ints);
+	maxR = winMax(reals);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "sumI"); got != 15 {
+		t.Fatalf("winSum(ints) = %d, want 15", got)
+	}
+	if got := slotInt(t, m, "minI"); got != 2 {
+		t.Fatalf("winMin(ints) = %d, want 2", got)
+	}
+	if v, _ := m.Slot("sumR"); mustReal(t, v) != 4.0 {
+		t.Fatalf("winSum(reals) = %v, want 4.0", v)
+	}
+	if v, _ := m.Slot("avg"); mustReal(t, v) != 5.0 {
+		t.Fatalf("winAvg(ints) = %v, want 5.0", v)
+	}
+	if v, _ := m.Slot("maxR"); mustReal(t, v) != 2.5 {
+		t.Fatalf("winMax(reals) = %v, want 2.5", v)
+	}
+}
+
+func mustReal(t *testing.T, v types.Value) float64 {
+	t.Helper()
+	f, ok := v.NumAsReal()
+	if !ok {
+		t.Fatalf("value %v is not numeric", v)
+	}
+	return f
+}
+
+func TestAggregatesOverEmptyWindow(t *testing.T) {
+	h := newFakeHost()
+	mk := func(call string) error {
+		m := compileVM(t, h, `
+subscribe t to Timer;
+window w;
+real r;
+initialization { w = Window(int, ROWS, 4); }
+behavior { r = float(`+call+`); }
+`)
+		return m.Deliver(timerEvent(t, 1))
+	}
+	// The empty sum is 0; the other aggregates are undefined and must say
+	// so (guard with winSize).
+	if err := mk("winSum(w)"); err != nil {
+		t.Fatalf("winSum over empty window should be 0, got error %v", err)
+	}
+	for _, call := range []string{"winAvg(w)", "winMin(w)", "winMax(w)"} {
+		err := mk(call)
+		if err == nil || !strings.Contains(err.Error(), "empty window") {
+			t.Fatalf("%s over empty window: got %v, want empty-window error", call, err)
+		}
+	}
+	// winSize itself over an empty window is plain 0.
+	m := compileVM(t, h, `
+subscribe t to Timer;
+window w;
+int n;
+initialization { w = Window(int, ROWS, 4); }
+behavior { n = winSize(w); }
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "n"); got != 0 {
+		t.Fatalf("winSize(empty) = %d, want 0", got)
+	}
+}
+
+func TestAggregateErrorsOnNonWindows(t *testing.T) {
+	h := newFakeHost()
+	for _, call := range []string{"winSum(1)", "winAvg(1)", "winMin(1)", "winMax(1)"} {
+		m := compileVM(t, h, `
+subscribe t to Timer;
+int n;
+behavior { n = int(`+call+`); }
+`)
+		if err := m.Deliver(timerEvent(t, 1)); err == nil ||
+			!strings.Contains(err.Error(), "needs a window") {
+			t.Fatalf("%s should fail with needs-a-window, got %v", call, err)
+		}
+	}
+	// Non-numeric elements are rejected by the numeric aggregates.
+	m := compileVM(t, h, `
+subscribe t to Timer;
+window w;
+int n;
+initialization { w = Window(string, ROWS, 4); append(w, 'x'); }
+behavior { n = int(winSum(w)); }
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err == nil ||
+		!strings.Contains(err.Error(), "numeric") {
+		t.Fatalf("winSum over strings: got %v, want numeric-elements error", err)
+	}
+}
+
+// TestTimeWindowEvictionOnceAtRunBoundary pins the batch-append eviction
+// contract: entries carry their event's commit timestamp and the
+// SECS/MSECS constraint is applied once per run against the host clock.
+func TestTimeWindowEvictionOnceAtRunBoundary(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe f to Flows;
+window w;
+int n;
+initialization { w = Window(int, MSECS, 10); }
+behavior {
+	appendRun(w, f.nbytes);
+	n = winSize(w);
+}
+`)
+	ms := types.Timestamp(1_000_000) // 1ms in ns
+	// First run commits at t=1000ms..1001ms; host clock just past them.
+	h.clock = 1002 * ms
+	run := flowRun(t, 1000*ms, 1, 2)
+	run[1].Tuple.TS = 1001 * ms
+	if err := m.DeliverBatch(run); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "n"); got != 2 {
+		t.Fatalf("winSize after first run = %d, want 2", got)
+	}
+	// Second run arrives 10ms later: the first run's entries are now
+	// outside the 10ms span and must be evicted at the run boundary.
+	h.clock = 1012 * ms
+	run2 := flowRun(t, 1010*ms, 3, 4, 5)
+	if err := m.DeliverBatch(run2); err != nil {
+		t.Fatal(err)
+	}
+	if got := slotInt(t, m, "n"); got != 3 {
+		t.Fatalf("winSize after second run = %d, want 3 (old run evicted)", got)
+	}
+}
+
+func TestBatchableClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		batchable bool
+	}{
+		{"append-run-aggregate", progBatchAvg, true},
+		{"run-size-only", `
+subscribe f to Flows;
+int n;
+behavior { n += runSize(); }
+`, true},
+		{"field-read", `
+subscribe f to Flows;
+window w;
+initialization { w = Window(int, ROWS, 4); }
+behavior { append(w, f.nbytes); }
+`, false},
+		{"sub-var-as-value", `
+subscribe f to Flows;
+behavior { publish('Urls', f); }
+`, false},
+		{"current-topic", `
+subscribe f to Flows;
+string s;
+behavior { s = currentTopic(); runSize(); }
+`, false},
+		{"no-run-builtins", `
+subscribe f to Flows;
+int n;
+behavior { n += 1; }
+`, false},
+		{"append-run-plus-field", `
+subscribe f to Flows;
+window w;
+int n;
+initialization { w = Window(int, ROWS, 4); }
+behavior { appendRun(w, f.nbytes); n = f.nbytes; }
+`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := gapl.Compile(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prog.BatchableBehavior != tc.batchable {
+				t.Fatalf("BatchableBehavior = %v, want %v", prog.BatchableBehavior, tc.batchable)
+			}
+		})
+	}
+}

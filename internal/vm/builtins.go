@@ -173,6 +173,16 @@ func (m *VM) callBuiltin(id gapl.BuiltinID, args []types.Value) (types.Value, er
 		w.ExpireAt(m.host.Now())
 		return types.Int(int64(w.Len())), nil
 
+	case gapl.BWinSum, gapl.BWinAvg, gapl.BWinMin, gapl.BWinMax:
+		return m.winAggregate(id, args[0])
+
+	case gapl.BRunSize:
+		return types.Int(int64(len(m.run))), nil
+
+	case gapl.BAppendRun:
+		// Unreachable: the compiler lowers appendRun to OpAppendRun.
+		return types.Nil, fmt.Errorf("appendRun() must be compiled to a dedicated instruction")
+
 	case gapl.BDelete:
 		switch {
 		case args[0].Map() != nil:
@@ -315,6 +325,86 @@ func (m *VM) callBuiltin(id gapl.BuiltinID, args []types.Value) (types.Value, er
 		return lsf(args[0])
 	}
 	return types.Nil, fmt.Errorf("unimplemented builtin %d", id)
+}
+
+// winAggregate implements the windowed aggregate builtins winSum, winAvg,
+// winMin and winMax. Time-constrained windows are expired first, so the
+// aggregate covers exactly the live SECS/MSECS span (or the last ROWS
+// values). winSum over an empty window is int 0 (the empty sum); winAvg,
+// winMin and winMax over an empty window are runtime errors — guard with
+// winSize().
+func (m *VM) winAggregate(id gapl.BuiltinID, arg types.Value) (types.Value, error) {
+	name := winAggName(id)
+	w := arg.Win()
+	if w == nil {
+		return types.Nil, fmt.Errorf("%s() needs a window, got %s", name, arg.Kind())
+	}
+	w.ExpireAt(m.host.Now())
+	n := w.Len()
+	switch id {
+	case gapl.BWinSum, gapl.BWinAvg:
+		if n == 0 {
+			if id == gapl.BWinAvg {
+				return types.Nil, fmt.Errorf("winAvg() over an empty window (guard with winSize)")
+			}
+			return types.Int(0), nil
+		}
+		var sumI int64
+		var sumR float64
+		real := false
+		for i := 0; i < n; i++ {
+			el := w.At(i)
+			switch el.Kind() {
+			case types.KindInt:
+				v, _ := el.AsInt()
+				sumI += v
+				sumR += float64(v)
+			case types.KindReal:
+				v, _ := el.AsReal()
+				sumR += v
+				real = true
+			default:
+				return types.Nil, fmt.Errorf("%s() window elements must be numeric, got %s", name, el.Kind())
+			}
+		}
+		if id == gapl.BWinAvg {
+			return types.Real(sumR / float64(n)), nil
+		}
+		if real {
+			return types.Real(sumR), nil
+		}
+		return types.Int(sumI), nil
+	default: // winMin, winMax
+		if n == 0 {
+			return types.Nil, fmt.Errorf("%s() over an empty window (guard with winSize)", name)
+		}
+		best := w.At(0)
+		for i := 1; i < n; i++ {
+			el := w.At(i)
+			c, err := types.Compare(el, best)
+			if err != nil {
+				return types.Nil, fmt.Errorf("%s(): %w", name, err)
+			}
+			if (id == gapl.BWinMin && c < 0) || (id == gapl.BWinMax && c > 0) {
+				best = el
+			}
+		}
+		return best, nil
+	}
+}
+
+// winAggName resolves a windowed aggregate's source name for error
+// reports without allocating on the aggregate hot path.
+func winAggName(id gapl.BuiltinID) string {
+	switch id {
+	case gapl.BWinSum:
+		return "winSum"
+	case gapl.BWinAvg:
+		return "winAvg"
+	case gapl.BWinMin:
+		return "winMin"
+	}
+	return "winMax"
 }
 
 // --- map / association operations ---

@@ -53,6 +53,17 @@ type VM struct {
 	stack     []types.Value
 	topicSlot map[string]int
 	curTopic  string
+
+	// run is the batch of events bound to the current activation: the
+	// whole drained run for a batchable behaviour under DeliverBatch, a
+	// single event under Deliver. The run-aware builtins (appendRun,
+	// runSize) read it; one holds the per-event case without allocating.
+	run []*types.Event
+	one [1]*types.Event
+	// batchVals/batchTs are scratch buffers reused by OpAppendRun so a
+	// batch append costs no per-activation allocation once warm.
+	batchVals []types.Value
+	batchTs   []types.Timestamp
 }
 
 // New binds a compiled-and-bound automaton to a host.
@@ -115,7 +126,9 @@ func (m *VM) RunInit() error {
 }
 
 // Deliver binds ev to its subscription variable and executes the behavior
-// clause.
+// clause — one activation per event, the paper's semantics. The current
+// run is the single event, so run-aware builtins degenerate correctly
+// (runSize() == 1, appendRun appends one value).
 func (m *VM) Deliver(ev *types.Event) error {
 	slot, ok := m.topicSlot[ev.Topic]
 	if !ok {
@@ -123,6 +136,36 @@ func (m *VM) Deliver(ev *types.Event) error {
 	}
 	m.slots[slot] = types.EventV(ev)
 	m.curTopic = ev.Topic
+	m.one[0] = ev
+	m.run = m.one[:]
+	return m.exec(m.prog.Behavior)
+}
+
+// DeliverBatch binds a whole drained run and executes the behavior clause
+// ONCE for all of it — the batch activation that amortises interpreter
+// dispatch over the run. It is only legal for programs the compiler
+// classified batchable (Compiled.BatchableBehavior): such behaviours never
+// observe an individual event, so executing once per run is their defined
+// semantics. Events of several subscribed topics may interleave in one
+// run; appendRun filters by its subscription's topic. The caller must not
+// mutate evs until DeliverBatch returns; the VM does not retain the slice.
+func (m *VM) DeliverBatch(evs []*types.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if !m.prog.BatchableBehavior {
+		return fmt.Errorf("vm: behaviour is per-event, not batchable; use Deliver")
+	}
+	for _, ev := range evs {
+		if _, ok := m.topicSlot[ev.Topic]; !ok {
+			return fmt.Errorf("vm: not subscribed to topic %q", ev.Topic)
+		}
+	}
+	// Subscription slots stay unbound on purpose: a batchable behaviour is
+	// statically barred from reading them, and skipping the per-event slot
+	// stores is part of the amortisation.
+	m.curTopic = evs[0].Topic
+	m.run = evs
 	return m.exec(m.prog.Behavior)
 }
 
@@ -134,6 +177,47 @@ func (m *VM) Slot(name string) (types.Value, bool) {
 		}
 	}
 	return types.Nil, false
+}
+
+// appendRun implements OpAppendRun: pop a window, then append attribute
+// ins.B (-1 = tstamp pseudo-attribute, -2 = the whole event as a sequence)
+// of every run event whose topic matches subscription slot ins.A. Values
+// are stamped with their event's commit timestamp and the window's
+// ROWS/SECS/MSECS constraint is enforced once for the whole run — the
+// batch-append amortisation.
+func (m *VM) appendRun(ins gapl.Instr) error {
+	w := m.pop().Win()
+	if w == nil {
+		return fmt.Errorf("appendRun() needs a window first")
+	}
+	topic := m.prog.Slots[ins.A].Topic
+	col := int(ins.B)
+	vals := m.batchVals[:0]
+	tss := m.batchTs[:0]
+	for _, ev := range m.run {
+		if ev.Topic != topic {
+			continue
+		}
+		if col == -2 {
+			vals = append(vals, types.SeqV(ev.AsSequence()))
+		} else {
+			vals = append(vals, ev.FieldAt(col))
+		}
+		tss = append(tss, ev.Tuple.TS)
+	}
+	var err error
+	if len(vals) > 0 {
+		err = w.AppendBatch(vals, tss, m.host.Now())
+	}
+	// Keep the grown backing arrays for the next run, but release the
+	// values: a quiescent automaton must not pin the last run's data (the
+	// same rule Queue.PopBatch applies to its reused buffer).
+	for i := range vals {
+		vals[i] = types.Nil
+	}
+	m.batchVals = vals[:0]
+	m.batchTs = tss[:0]
+	return err
 }
 
 func (m *VM) push(v types.Value) { m.stack = append(m.stack, v) }
@@ -278,6 +362,12 @@ func (m *VM) exec(code []gapl.Instr) error {
 				return m.runtimeErr(ins, err)
 			}
 			m.push(v)
+			pc++
+		case gapl.OpAppendRun:
+			if err := m.appendRun(ins); err != nil {
+				return m.runtimeErr(ins, err)
+			}
+			m.push(types.Nil)
 			pc++
 		case gapl.OpHalt:
 			return nil
