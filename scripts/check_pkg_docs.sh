@@ -2,13 +2,21 @@
 # CI gate: every internal/* package must carry a package comment ("// Package
 # <name> ...", ideally in doc.go) stating what it does — the load-bearing
 # packages also document their concurrency/ordering contract there (see
-# docs/ARCHITECTURE.md, "Concurrency contracts, per package").
+# docs/ARCHITECTURE.md, "Concurrency contracts, per package"). A package
+# promoted to having a doc.go is load-bearing by definition, so its doc.go
+# must contain a concurrency contract section ("# Concurrency ..." heading,
+# or at least the word "concurrency") — a doc.go that only restates the
+# package name is a gate failure, not documentation.
 set -u
 fail=0
 for dir in internal/*/; do
 	pkg=$(basename "$dir")
 	if ! grep -qs "^// Package $pkg" "$dir"*.go; then
 		echo "missing package comment: ${dir} (want a '// Package ${pkg} ...' block, ideally in ${dir}doc.go)"
+		fail=1
+	fi
+	if [ -f "${dir}doc.go" ] && ! grep -qsi "concurrency" "${dir}doc.go"; then
+		echo "missing concurrency contract: ${dir}doc.go (want a '# Concurrency ...' section documenting the package's concurrency/ordering contract)"
 		fail=1
 	fi
 done
