@@ -1,7 +1,9 @@
 // Command cachectl is the application-side CLI for a running cached
 // instance. It plays the three application roles of §3: populating tables
 // with events, retrieving data with ad hoc selects, and registering
-// automata to be notified when complex event patterns are detected.
+// automata to be notified when complex event patterns are detected — all
+// through the public unicache.Engine façade, the same API an embedded
+// program uses.
 //
 // Usage:
 //
@@ -11,6 +13,8 @@
 //	cachectl exec "insert into Flows values (1), (2), (3)"   # one batch commit
 //	cachectl load Flows < flows.csv         # bulk load stdin via the RPC batcher
 //	cachectl register bandwidth.gapl        # registers and streams send() events
+//	cachectl watch Flows                    # streams the topic's raw events
+//	cachectl stats                          # per-subscription depth/dropped counters
 //	cachectl tables
 package main
 
@@ -27,8 +31,8 @@ import (
 	"syscall"
 	"time"
 
+	"unicache"
 	"unicache/internal/rpc"
-	"unicache/internal/sql"
 	"unicache/internal/types"
 )
 
@@ -42,22 +46,30 @@ func main() {
 		usage()
 	}
 
-	cl, err := rpc.Dial(*addr)
+	eng, err := unicache.DialRemote(*addr)
 	if err != nil {
 		fail(err)
 	}
-	defer func() { _ = cl.Close() }()
+	defer func() { _ = eng.Close() }()
 
 	switch args[0] {
 	case "exec":
 		if len(args) < 2 {
 			usage()
 		}
-		res, err := cl.Exec(strings.Join(args[1:], " "))
+		res, err := eng.Exec(strings.Join(args[1:], " "))
 		if err != nil {
 			fail(err)
 		}
 		printResult(res)
+	case "tables":
+		tables, err := eng.Tables()
+		if err != nil {
+			fail(err)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
 	case "register":
 		if len(args) != 2 {
 			usage()
@@ -66,44 +78,91 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		id, err := cl.Register(string(src))
+		a, err := eng.Register(string(src))
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("registered automaton %d; streaming send() events (^C to stop)\n", id)
+		fmt.Printf("registered automaton %d; streaming send() events (^C to stop)\n", a.ID())
 		done := make(chan os.Signal, 1)
 		signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
 		for {
 			select {
-			case ev, ok := <-cl.Events():
+			case vals, ok := <-a.Events():
 				if !ok {
 					return
 				}
-				parts := make([]string, len(ev.Vals))
-				for i, v := range ev.Vals {
+				parts := make([]string, len(vals))
+				for i, v := range vals {
 					parts[i] = v.String()
 				}
-				fmt.Printf("[automaton %d] %s\n", ev.AutomatonID, strings.Join(parts, " | "))
+				fmt.Printf("[automaton %d] %s\n", a.ID(), strings.Join(parts, " | "))
 			case <-done:
 				return
 			}
 		}
+	case "watch":
+		if len(args) != 2 {
+			usage()
+		}
+		w, err := eng.Watch(args[1], func(ev *unicache.Event) {
+			parts := make([]string, len(ev.Tuple.Vals))
+			for i, v := range ev.Tuple.Vals {
+				parts[i] = v.String()
+			}
+			fmt.Printf("[%s #%d] %s\n", ev.Topic, ev.Tuple.Seq, strings.Join(parts, " | "))
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("watching %s as %d (^C to stop)\n", args[1], w.ID())
+		done := make(chan os.Signal, 1)
+		signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+		<-done
+		_ = w.Close()
+	case "stats":
+		st, err := eng.Stats()
+		if err != nil {
+			fail(err)
+		}
+		printStats(st)
 	case "load":
 		if len(args) != 2 {
 			usage()
 		}
-		n, err := load(cl, args[1], *batchRows, *batchDelay)
+		n, err := load(eng, args[1], *batchRows, *batchDelay)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("loaded %d row(s) into %s\n", n, args[1])
 	case "ping":
-		if err := cl.Ping(); err != nil {
+		if err := eng.Client().Ping(); err != nil {
 			fail(err)
 		}
 		fmt.Println("ok")
 	default:
 		usage()
+	}
+}
+
+// printStats renders the engine's observability snapshot: every live
+// subscription with its dispatch-pipeline depth and dropped counters, so
+// an operator can see at a glance which subscriptions are behind.
+func printStats(st unicache.Stats) {
+	if len(st.Watches) == 0 && len(st.Automata) == 0 {
+		fmt.Println("no live subscriptions")
+		return
+	}
+	if len(st.Watches) > 0 {
+		fmt.Println("KIND\tID\tTOPIC\tDEPTH\tDROPPED")
+		for _, w := range st.Watches {
+			fmt.Printf("watch\t%d\t%s\t%d\t%d\n", w.ID, w.Topic, w.Depth, w.Dropped)
+		}
+	}
+	if len(st.Automata) > 0 {
+		fmt.Println("KIND\tID\tDEPTH\tDROPPED\tPROCESSED")
+		for _, a := range st.Automata {
+			fmt.Printf("automaton\t%d\t%d\t%d\t%d\n", a.ID, a.Depth, a.Dropped, a.Processed)
+		}
 	}
 }
 
@@ -113,13 +172,15 @@ func main() {
 // (fetched via describe), so `123` loads into a varchar column as the
 // string "123", not a rejected integer. Lines starting with '#' are
 // comments — quote the first field (`"#tag",1`) to load a literal leading
-// '#'.
-func load(cl *rpc.Client, table string, maxRows int, maxDelay time.Duration) (int, error) {
-	colTypes, err := fetchColumnTypes(cl, table)
+// '#'. The batcher is connection-level machinery, so it comes from the
+// engine's underlying RPC client rather than the location-transparent
+// surface.
+func load(eng *unicache.Remote, table string, maxRows int, maxDelay time.Duration) (int, error) {
+	colTypes, err := fetchColumnTypes(eng, table)
 	if err != nil {
 		return 0, err
 	}
-	b := cl.NewBatcher(table, rpc.BatcherConfig{MaxRows: maxRows, MaxDelay: maxDelay})
+	b := eng.Client().NewBatcher(table, rpc.BatcherConfig{MaxRows: maxRows, MaxDelay: maxDelay})
 	r := csv.NewReader(bufio.NewReaderSize(os.Stdin, 1<<20))
 	r.Comment = '#'
 	r.TrimLeadingSpace = true
@@ -153,8 +214,8 @@ func load(cl *rpc.Client, table string, maxRows int, maxDelay time.Duration) (in
 
 // fetchColumnTypes asks the server for the table's schema (describe output:
 // column, type, key) and returns the type name per column in order.
-func fetchColumnTypes(cl *rpc.Client, table string) ([]string, error) {
-	res, err := cl.Exec("describe " + table)
+func fetchColumnTypes(eng unicache.Engine, table string) ([]string, error) {
+	res, err := eng.Exec("describe " + table)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +260,7 @@ func parseValue(s, colType string) (types.Value, error) {
 	}
 }
 
-func printResult(res *sql.Result) {
+func printResult(res *unicache.Result) {
 	if len(res.Cols) == 0 {
 		fmt.Printf("ok (%d row(s) affected)\n", res.Affected)
 		return
@@ -219,6 +280,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cachectl [-addr host:port] exec "<sql>"
   cachectl [-addr host:port] register <file.gapl>
+  cachectl [-addr host:port] watch <topic>
+  cachectl [-addr host:port] stats
+  cachectl [-addr host:port] tables
   cachectl [-addr host:port] load <table>   # CSV rows on stdin ('#' lines are comments)
   cachectl [-addr host:port] ping`)
 	os.Exit(2)

@@ -54,9 +54,45 @@
 // under DropOldest costs its topic almost nothing, where a synchronous
 // subscriber once collapsed it by orders of magnitude.
 //
+// # The location-transparent Engine façade
+//
+// This package is itself the public API: Engine is the canonical surface
+// of the unified system — Exec/Insert/InsertBatch/CreateTable (the
+// stream-database face), Watch (the pub/sub face), Register (the CEP
+// face), Stats and Close — implemented twice. Embedded wraps an
+// in-process cache; Remote wraps an RPC connection to a cached server.
+// The same program text runs on either backend by swapping one
+// constructor (NewEmbedded vs DialRemote), and the conformance suite in
+// conformance_test.go pins that the behavioral contract — watch ordering,
+// per-automaton inbox options, stats counters, sentinel errors — is
+// identical. Watch and Automaton are first-class handles (Stats, Events,
+// Close); the sentinel errors (ErrNoSuchTable, ErrTableExists,
+// ErrBadSchema, ErrClosed, ErrNoSuchAutomaton) keep their errors.Is
+// identity across the wire, carried as numeric codes next to the message.
+//
+// # Concurrency contract
+//
+// Engine implementations are safe for concurrent use by multiple
+// goroutines. A Watch callback runs on one goroutine per tap (Embedded:
+// the tap's dispatcher; Remote: the connection's read loop) and receives
+// the topic's events in commit order; it must not call the handle's own
+// Close (that waits for the in-flight callback) — close from another
+// goroutine instead. A Remote watch callback that blocks stalls RPC
+// replies on its connection, so long-running work belongs on the
+// application's own goroutine. An Automaton handle's Events channel is
+// fed by the engine and sheds its oldest buffered notification when the
+// application stops draining — a full channel never stalls the automaton
+// or the connection. Handle Close and engine Close are idempotent;
+// engine Close detaches every handle it issued, and after it returns
+// every Engine method reports ErrClosed. For Remote, connection death —
+// graceful or not — tears down the connection's server-side watches and
+// automata; the server guarantees no dispatcher goroutine or topic
+// subscriber outlives the connection that created it.
+//
 // See docs/ARCHITECTURE.md for the layer-by-layer tour and the §-to-code
 // map, docs/BENCHMARKS.md for how to run and read the benchmarks, and
-// examples/README.md for the six runnable scenarios. The packages live
-// under internal/; cmd/ holds the daemon (cached), client (cachectl) and
-// experiment runner (benchrunner).
+// examples/README.md for the runnable scenarios (quickstart, movingavg
+// and stocks each take -remote addr to run against a live cached). The
+// implementation packages live under internal/; cmd/ holds the daemon
+// (cached), client (cachectl) and experiment runner (benchrunner).
 package unicache

@@ -1,0 +1,313 @@
+package unicache
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"unicache/internal/automaton"
+	"unicache/internal/cache"
+)
+
+// Embedded is the in-process Engine backend: a thin façade over an
+// internal cache instance. The program owns the cache's goroutines
+// directly — commit, dispatch and automaton execution all happen in this
+// process — and the façade adds only handle bookkeeping, so the embedded
+// hot path is the cache hot path.
+type Embedded struct {
+	c     *cache.Cache
+	owned bool // Close also closes the cache
+
+	mu      sync.Mutex
+	closed  bool
+	watches map[int64]*embeddedWatch
+	autos   map[int64]*embeddedAutomaton
+}
+
+var _ Engine = (*Embedded)(nil)
+
+// NewEmbedded creates an in-process engine over a fresh cache. Closing
+// the engine closes the cache.
+func NewEmbedded(cfg Config) (*Embedded, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := Embed(c)
+	e.owned = true
+	return e, nil
+}
+
+// Embed wraps an existing cache in the Engine façade. The engine does not
+// own the cache: Close detaches the handles created through this engine
+// but leaves the cache (and subscriptions made directly on it) running.
+func Embed(c *cache.Cache) *Embedded {
+	return &Embedded{
+		c:       c,
+		watches: make(map[int64]*embeddedWatch),
+		autos:   make(map[int64]*embeddedAutomaton),
+	}
+}
+
+// Cache exposes the underlying cache for in-process callers that need
+// the full internal surface (benchmarks, the daemon). Remote engines
+// have no equivalent — code that reaches past the façade is embedded-only
+// by construction.
+func (e *Embedded) Cache() *cache.Cache { return e.c }
+
+func (e *Embedded) guard() error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return fmt.Errorf("unicache: %w", ErrClosed)
+	}
+	return nil
+}
+
+// Exec implements Engine.
+func (e *Embedded) Exec(src string) (*Result, error) {
+	if err := e.guard(); err != nil {
+		return nil, err
+	}
+	return e.c.Exec(src)
+}
+
+// Insert implements Engine.
+func (e *Embedded) Insert(table string, vals ...Value) error {
+	if err := e.guard(); err != nil {
+		return err
+	}
+	return e.c.CommitInsert(table, vals)
+}
+
+// InsertBatch implements Engine.
+func (e *Embedded) InsertBatch(table string, rows [][]Value) error {
+	if err := e.guard(); err != nil {
+		return err
+	}
+	return e.c.CommitBatch(table, rows)
+}
+
+// CreateTable implements Engine.
+func (e *Embedded) CreateTable(schema *Schema) error {
+	if err := e.guard(); err != nil {
+		return err
+	}
+	return e.c.CreateTable(schema)
+}
+
+// Tables implements Engine.
+func (e *Embedded) Tables() ([]string, error) {
+	if err := e.guard(); err != nil {
+		return nil, err
+	}
+	return e.c.Tables(), nil
+}
+
+// Watch implements Engine: the callback runs on the tap's dispatcher
+// goroutine in commit order.
+func (e *Embedded) Watch(topic string, fn func(*Event), opts ...WatchOption) (Watch, error) {
+	if err := e.guard(); err != nil {
+		return nil, err
+	}
+	o := applyWatchOptions(opts)
+	id, err := e.c.WatchWith(topic, fn, cache.WatchOpts{Queue: o.queue, Policy: o.policy})
+	if err != nil {
+		return nil, err
+	}
+	w := &embeddedWatch{e: e, id: id, topic: topic}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.c.Unsubscribe(id)
+		return nil, fmt.Errorf("unicache: %w", ErrClosed)
+	}
+	e.watches[id] = w
+	e.mu.Unlock()
+	return w, nil
+}
+
+// Register implements Engine.
+func (e *Embedded) Register(source string, opts ...AutomatonOption) (Automaton, error) {
+	if err := e.guard(); err != nil {
+		return nil, err
+	}
+	o := applyAutomatonOptions(opts)
+	h := &embeddedAutomaton{e: e, events: make(chan []Value, o.eventBuffer)}
+	a, err := e.c.RegisterWith(source, h.deliver, automaton.Options{
+		InboxCapacity: o.inboxCapacity,
+		InboxPolicy:   o.inboxPolicy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.a = a
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		_ = e.c.Unregister(a.ID())
+		close(h.events)
+		return nil, fmt.Errorf("unicache: %w", ErrClosed)
+	}
+	e.autos[a.ID()] = h
+	e.mu.Unlock()
+	return h, nil
+}
+
+// Stats implements Engine: every live tap and automaton on the cache,
+// not only the ones registered through this façade — the same operator
+// view a Remote engine's Stats gives of its server.
+func (e *Embedded) Stats() (Stats, error) {
+	if err := e.guard(); err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	for _, t := range e.c.TapStats() {
+		st.Watches = append(st.Watches, SubscriptionStats{
+			ID: t.ID, Topic: t.Topic, Depth: t.Depth, Dropped: t.Dropped,
+		})
+	}
+	for _, a := range e.c.Registry().Automata() {
+		st.Automata = append(st.Automata, AutomatonStats{
+			ID: a.ID(), Depth: a.Depth(), Dropped: a.Dropped(), Processed: a.Processed(),
+		})
+	}
+	return st, nil
+}
+
+// WaitIdle answers the package-level WaitIdle helper from the registry's
+// precise idle test (empty inboxes, no behaviour clause in flight).
+func (e *Embedded) WaitIdle(timeout time.Duration) bool {
+	return e.c.Registry().WaitIdle(timeout)
+}
+
+// Close implements Engine: detaches every handle created through this
+// engine, then (for NewEmbedded engines) closes the cache itself.
+func (e *Embedded) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	watches := make([]*embeddedWatch, 0, len(e.watches))
+	for _, w := range e.watches {
+		watches = append(watches, w)
+	}
+	autos := make([]*embeddedAutomaton, 0, len(e.autos))
+	for _, a := range e.autos {
+		autos = append(autos, a)
+	}
+	e.watches, e.autos = nil, nil
+	e.mu.Unlock()
+	for _, w := range watches {
+		w.detach()
+	}
+	for _, a := range autos {
+		a.detach()
+	}
+	if e.owned {
+		e.c.Close()
+	}
+	return nil
+}
+
+// embeddedWatch is a Watch handle over a cache tap.
+type embeddedWatch struct {
+	e     *Embedded
+	id    int64
+	topic string
+	once  sync.Once
+}
+
+func (w *embeddedWatch) ID() int64     { return w.id }
+func (w *embeddedWatch) Topic() string { return w.topic }
+
+func (w *embeddedWatch) Stats() (SubscriptionStats, error) {
+	depth, dropped, ok := w.e.c.WatchStats(w.id)
+	if !ok {
+		return SubscriptionStats{}, fmt.Errorf("unicache: watch %d: %w", w.id, ErrClosed)
+	}
+	return SubscriptionStats{ID: w.id, Topic: w.topic, Depth: depth, Dropped: dropped}, nil
+}
+
+func (w *embeddedWatch) Close() error {
+	w.once.Do(func() {
+		w.e.mu.Lock()
+		if w.e.watches != nil {
+			delete(w.e.watches, w.id)
+		}
+		w.e.mu.Unlock()
+		w.e.c.Unsubscribe(w.id)
+	})
+	return nil
+}
+
+// detach is Close minus the map bookkeeping (the engine's Close already
+// emptied the maps).
+func (w *embeddedWatch) detach() {
+	w.once.Do(func() { w.e.c.Unsubscribe(w.id) })
+}
+
+// embeddedAutomaton is an Automaton handle over a registered automaton.
+type embeddedAutomaton struct {
+	e      *Embedded
+	a      *automaton.Automaton
+	events chan []Value
+	once   sync.Once
+}
+
+// deliver is the automaton's sink: it hands each send() to the Events
+// channel, shedding the oldest buffered notification when the
+// application is not draining — the automaton must never stall on its
+// own reporting channel. Sends arrive from one goroutine at a time (the
+// automaton's dispatcher, or the registering goroutine during the
+// initialization clause), so the drop-then-retry loop terminates.
+func (h *embeddedAutomaton) deliver(vals []Value) error {
+	for {
+		select {
+		case h.events <- vals:
+			return nil
+		default:
+		}
+		select {
+		case <-h.events:
+		default:
+		}
+	}
+}
+
+func (h *embeddedAutomaton) ID() int64              { return h.a.ID() }
+func (h *embeddedAutomaton) Events() <-chan []Value { return h.events }
+
+func (h *embeddedAutomaton) Stats() (AutomatonStats, error) {
+	return AutomatonStats{
+		ID:        h.a.ID(),
+		Depth:     h.a.Depth(),
+		Dropped:   h.a.Dropped(),
+		Processed: h.a.Processed(),
+	}, nil
+}
+
+func (h *embeddedAutomaton) Close() error {
+	h.once.Do(func() {
+		h.e.mu.Lock()
+		if h.e.autos != nil {
+			delete(h.e.autos, h.a.ID())
+		}
+		h.e.mu.Unlock()
+		_ = h.e.c.Unregister(h.a.ID())
+		// Unregister waits for the dispatcher to exit, so the sink can
+		// never run again: closing the channel here is race-free.
+		close(h.events)
+	})
+	return nil
+}
+
+func (h *embeddedAutomaton) detach() {
+	h.once.Do(func() {
+		_ = h.e.c.Unregister(h.a.ID())
+		close(h.events)
+	})
+}

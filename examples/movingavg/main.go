@@ -1,4 +1,5 @@
-// Windowed moving average with batch activation (PR 4, docs/GAPL.md).
+// Windowed moving average with batch activation (PR 4, docs/GAPL.md) —
+// embedded or remote with the same program text.
 //
 // Two automata compute the same 20-trade moving average over a synthetic
 // stock stream. One is written per-event (append + winAvg once per trade,
@@ -7,18 +8,21 @@
 // runtime activates the batchable one once per drained run. The stream is
 // committed in batches, so the batchable automaton sees long runs and
 // activates orders of magnitude less often while maintaining the same
-// window contents.
+// window contents. Everything goes through the unicache.Engine façade,
+// so the identical program drives an in-process cache or a cached server.
 //
 // Run with: go run ./examples/movingavg
+// Or:       cached -addr :7654 &  go run ./examples/movingavg -remote 127.0.0.1:7654
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"sync/atomic"
+	"sync"
 	"time"
 
-	"unicache/internal/cache"
+	"unicache"
 	"unicache/internal/types"
 	"unicache/internal/workload"
 )
@@ -47,42 +51,67 @@ behavior {
 }
 `
 
+// watcher drains one automaton's Events channel, counting activations
+// (send() calls with a full window) and keeping the latest aggregates.
+type watcher struct {
+	mu          sync.Mutex
+	activations int64
+	last        []types.Value
+	done        chan struct{}
+}
+
+func drain(a unicache.Automaton) *watcher {
+	w := &watcher{done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		for vals := range a.Events() {
+			w.mu.Lock()
+			w.activations++
+			w.last = vals
+			w.mu.Unlock()
+		}
+	}()
+	return w
+}
+
 func main() {
+	remote := flag.String("remote", "", "cached address; empty runs embedded")
+	flag.Parse()
+
 	trace := workload.StockTrace(workload.StockConfig{
 		Seed: 7, Events: 50_000, Symbols: 10, RunLength: 5, Runs: 50,
 	})
 
-	c, err := cache.New(cache.Config{TimerPeriod: -1})
-	if err != nil {
-		log.Fatal(err)
+	var eng unicache.Engine
+	if *remote != "" {
+		r, err := unicache.DialRemote(*remote)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = r
+	} else {
+		e, err := unicache.NewEmbedded(unicache.Config{TimerPeriod: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = e
 	}
-	defer c.Close()
-	if _, err := c.Exec(`create table Stocks (name varchar, price real, volume integer)`); err != nil {
+	defer func() { _ = eng.Close() }()
+	if _, err := eng.Exec(`create table Stocks (name varchar, price real, volume integer)`); err != nil {
 		log.Fatal(err)
 	}
 
-	type watcher struct {
-		activations atomic.Int64
-		last        atomic.Value // []types.Value of the latest send
-	}
-	sink := func(w *watcher) func([]types.Value) error {
-		return func(vals []types.Value) error {
-			w.activations.Add(1)
-			w.last.Store(append([]types.Value(nil), vals...))
-			return nil
-		}
-	}
-	var perEvent, batched watcher
-	ape, err := c.Register(progPerEvent, sink(&perEvent))
+	// A large event buffer so the activation counts are exact even if the
+	// drain goroutines briefly fall behind the send() rate.
+	ape, err := eng.Register(progPerEvent, unicache.EventBuffer(60_000))
 	if err != nil {
 		log.Fatal(err)
 	}
-	ab, err := c.Register(progBatch, sink(&batched))
+	ab, err := eng.Register(progBatch, unicache.EventBuffer(60_000))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("compiler classification: per-event program batchable=%v, appendRun program batchable=%v\n\n",
-		ape.Batchable(), ab.Batchable())
+	perEvent, batched := drain(ape), drain(ab)
 
 	// Commit the trace in batches of 256, the shape a batching ingest
 	// client (rpc.Batcher) produces; each batch reaches the automata as
@@ -94,31 +123,56 @@ func main() {
 		rows = append(rows, []types.Value{
 			types.Str(ev.Name), types.Real(ev.Price), types.Int(ev.Volume)})
 		if len(rows) == batch || i == len(trace)-1 {
-			if err := c.CommitBatch("Stocks", rows); err != nil {
+			if err := eng.InsertBatch("Stocks", rows); err != nil {
 				log.Fatal(err)
 			}
 			rows = rows[:0]
 		}
 	}
-	if !c.Registry().WaitIdle(time.Minute) {
+	if !unicache.WaitIdle(eng, time.Minute) {
 		log.Fatal("automata did not quiesce")
 	}
 	elapsed := time.Since(start)
+	// The automata are idle, but their last send() notifications may still
+	// be in flight (for -remote: queued on the push path); wait for the
+	// activation counts to stop moving before reporting them.
+	settle := func(w *watcher) {
+		last, stable := int64(-1), 0
+		for stable < 5 {
+			w.mu.Lock()
+			n := w.activations
+			w.mu.Unlock()
+			if n == last {
+				stable++
+			} else {
+				last, stable = n, 0
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	settle(perEvent)
+	settle(batched)
 
-	report := func(name string, w *watcher, processed uint64) {
+	report := func(name string, w *watcher, a unicache.Automaton) {
+		st, err := a.Stats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.mu.Lock()
+		defer w.mu.Unlock()
 		fmt.Printf("%s:\n", name)
 		fmt.Printf("  %d events processed, %d activations with a full window\n",
-			processed, w.activations.Load())
-		if vals, ok := w.last.Load().([]types.Value); ok {
-			avg, _ := vals[0].NumAsReal()
-			min, _ := vals[1].NumAsReal()
-			max, _ := vals[2].NumAsReal()
+			st.Processed, w.activations)
+		if len(w.last) == 3 {
+			avg, _ := w.last[0].NumAsReal()
+			min, _ := w.last[1].NumAsReal()
+			max, _ := w.last[2].NumAsReal()
 			fmt.Printf("  final 20-trade window: avg %.2f, min %.2f, max %.2f\n", avg, min, max)
 		}
 	}
 	fmt.Printf("streamed %d trades in %.3fs (batch %d)\n\n", len(trace), elapsed.Seconds(), batch)
-	report("per-event automaton (append)", &perEvent, ape.Processed())
-	report("batchable automaton (appendRun)", &batched, ab.Processed())
+	report("per-event automaton (append)", perEvent, ape)
+	report("batchable automaton (appendRun)", batched, ab)
 	fmt.Printf("\nSame window contents, same final aggregates — the batchable\n" +
 		"automaton just paid interpreter dispatch, eviction and the aggregate\n" +
 		"sweep once per run instead of once per trade (see docs/GAPL.md).\n")

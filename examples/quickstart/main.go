@@ -1,41 +1,60 @@
-// Quickstart: an in-process cache, one stream table, one automaton.
+// Quickstart: one engine, one stream table, one automaton — embedded or
+// remote with the same program text.
 //
 // The example creates a Readings stream, registers an automaton that
 // watches for readings over a threshold, inserts a handful of tuples, and
 // prints both the automaton's notifications and an ad hoc SQL view of the
-// same stream — the two faces of the unified system.
+// same stream — the two faces of the unified system. Everything goes
+// through the location-transparent unicache.Engine façade: run it
+// in-process (the default) or against a running cached by swapping one
+// constructor.
 //
 // Run with: go run ./examples/quickstart
+// Or:       cached -addr :7654 &  go run ./examples/quickstart -remote 127.0.0.1:7654
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"strings"
 	"sync/atomic"
 	"time"
 
-	"unicache/internal/cache"
-	"unicache/internal/pubsub"
+	"unicache"
 	"unicache/internal/types"
 )
 
 func main() {
-	// A cache with the built-in 1 Hz Timer topic.
-	c, err := cache.New(cache.Config{})
-	if err != nil {
-		log.Fatal(err)
+	remote := flag.String("remote", "", "cached address; empty runs embedded")
+	flag.Parse()
+
+	// The one line that decides where the engine lives: in this process,
+	// or behind a cached server. Every call below is identical either way.
+	var eng unicache.Engine
+	if *remote != "" {
+		r, err := unicache.DialRemote(*remote)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = r
+	} else {
+		e, err := unicache.NewEmbedded(unicache.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = e
 	}
-	defer c.Close()
+	defer func() { _ = eng.Close() }()
 
 	// Tables are topics: every insert is published to subscribed automata.
-	if _, err := c.Exec(`create table Readings (sensor varchar, celsius real)`); err != nil {
+	if _, err := eng.Exec(`create table Readings (sensor varchar, celsius real)`); err != nil {
 		log.Fatal(err)
 	}
 
-	// The automaton detects the complex event "temperature above 30".
-	notifications := make(chan string, 16)
-	_, err = c.Register(`
+	// The automaton detects the complex event "temperature above 30"; its
+	// send() notifications surface on the handle's Events channel.
+	hot, err := eng.Register(`
 subscribe r to Readings;
 int count;
 behavior {
@@ -44,26 +63,19 @@ behavior {
 		send(r.sensor, r.celsius, count);
 	}
 }
-`, func(vals []types.Value) error {
-		parts := make([]string, len(vals))
-		for i, v := range vals {
-			parts[i] = v.String()
-		}
-		notifications <- strings.Join(parts, " ")
-		return nil
-	})
+`)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// A Watch tap observes the raw topic asynchronously: the commit path
-	// only enqueues into the tap's bounded inbox, and a dispatcher
-	// goroutine runs this callback in commit order — a slow tap can shed
-	// load (DropOldest) instead of ever stalling the Readings stream.
+	// only enqueues into the tap's bounded inbox, and the events reach
+	// this callback in commit order — a slow tap can shed load
+	// (DropOldest) instead of ever stalling the Readings stream.
 	var tapped atomic.Int64
-	tapID, err := c.WatchWith("Readings", func(*types.Event) {
+	tap, err := eng.Watch("Readings", func(*unicache.Event) {
 		tapped.Add(1)
-	}, cache.WatchOpts{Queue: 64, Policy: pubsub.DropOldest})
+	}, unicache.WatchQueue(64), unicache.WatchPolicy(unicache.DropOldest))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +89,7 @@ behavior {
 		{"server-room", 41.7}, {"attic", 29.9},
 	}
 	for _, d := range data {
-		if err := c.Insert("Readings", types.Str(d.sensor), types.Real(d.temp)); err != nil {
+		if err := eng.Insert("Readings", types.Str(d.sensor), types.Real(d.temp)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -86,15 +98,19 @@ behavior {
 	fmt.Println("notifications:")
 	for i := 0; i < 2; i++ {
 		select {
-		case n := <-notifications:
-			fmt.Println("  over threshold:", n)
+		case vals := <-hot.Events():
+			parts := make([]string, len(vals))
+			for j, v := range vals {
+				parts[j] = v.String()
+			}
+			fmt.Println("  over threshold:", strings.Join(parts, " "))
 		case <-time.After(5 * time.Second):
 			log.Fatal("timed out waiting for notifications")
 		}
 	}
 
 	// The stream-database face: the same events answer ad hoc queries.
-	res, err := c.Exec(`select sensor, max(celsius) as hottest from Readings group by sensor order by hottest desc`)
+	res, err := eng.Exec(`select sensor, max(celsius) as hottest from Readings group by sensor order by hottest desc`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,8 +119,8 @@ behavior {
 		fmt.Printf("  %-12s %s\n", row[0], row[1])
 	}
 
-	// Detach the tap: after Unsubscribe returns its callback never runs
-	// again, even if events were still queued.
-	c.Unsubscribe(tapID)
+	// Detach the tap: after Close returns its callback never runs again,
+	// even if events were still queued.
+	_ = tap.Close()
 	fmt.Printf("tap observed %d of %d readings\n", tapped.Load(), len(data))
 }

@@ -1,79 +1,126 @@
-// Stock trend analysis: the paper's §6.5 comparison in miniature.
+// Stock trend analysis: the paper's §6.5 comparison in miniature —
+// embedded or remote with the same program text.
 //
 // The example runs the three Cayuga queries — Q1 passthrough publish, Q2
 // double-top (M-shape) detection, Q3 increasing-price runs — on a live
-// cache with GAPL automata, then replays the identical trace through the
-// reimplemented Cayuga NFA engine and prints both engines' match counts
-// and timings.
+// engine with GAPL automata (through the unicache.Engine façade, so the
+// same program drives an in-process cache or a cached server), then
+// replays the identical trace through the reimplemented Cayuga NFA engine
+// and prints both engines' match counts and timings.
 //
 // Run with: go run ./examples/stocks
+// Or:       cached -addr :7654 &  go run ./examples/stocks -remote 127.0.0.1:7654
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
-	"unicache/internal/automaton"
-	"unicache/internal/cache"
+	"unicache"
 	"unicache/internal/cayuga"
 	"unicache/internal/experiments"
 	"unicache/internal/types"
 	"unicache/internal/workload"
 )
 
+// count drains an automaton's Events channel into an atomic counter.
+func count(a unicache.Automaton) *atomic.Int64 {
+	var n atomic.Int64
+	go func() {
+		for range a.Events() {
+			n.Add(1)
+		}
+	}()
+	return &n
+}
+
 func main() {
+	remote := flag.String("remote", "", "cached address; empty runs embedded")
+	flag.Parse()
+
 	trace := workload.StockTrace(workload.StockConfig{
 		Seed: 20120601, Events: 30_000, Symbols: 25,
 		DoubleTops: 60, RunLength: 7, Runs: 120,
 	})
 
-	// --- the Cache: a live cache instance with the three GAPL programs ---
+	// --- the Cache: a live engine with the three GAPL programs ---
 	// (ring capacity sized to hold the whole republished stream so the
-	// count(*) below reflects every Q1 event)
-	c, err := cache.New(cache.Config{TimerPeriod: -1, EphemeralCapacity: 40_000})
-	if err != nil {
-		log.Fatal(err)
+	// count(*) below reflects every Q1 event; for -remote, size the
+	// server's ring with `cached -ring 40000`)
+	var eng unicache.Engine
+	if *remote != "" {
+		r, err := unicache.DialRemote(*remote)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = r
+	} else {
+		e, err := unicache.NewEmbedded(unicache.Config{TimerPeriod: -1, EphemeralCapacity: 40_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = e
 	}
-	defer c.Close()
+	defer func() { _ = eng.Close() }()
 	for _, stmt := range []string{
 		`create table Stocks (name varchar, price real, volume integer)`,
 		`create table T (name varchar, price real, volume integer)`,
 		`create table Runs (name varchar, len integer)`,
 	} {
-		if _, err := c.Exec(stmt); err != nil {
+		if _, err := eng.Exec(stmt); err != nil {
 			log.Fatal(err)
 		}
 	}
-	var doubleTops, runs int
-	countTops := func(vals []types.Value) error { doubleTops++; return nil }
-	countRuns := func(vals []types.Value) error { runs++; return nil }
-	if _, err := c.Register(experiments.ProgQ1, automaton.DiscardSink); err != nil {
+	// Q1 and the Q3 detector only publish back into the cache; their
+	// (empty) Events channels can be ignored — an undrained handle sheds,
+	// it never stalls the automaton.
+	if _, err := eng.Register(experiments.ProgQ1); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := c.Register(experiments.ProgQ2, countTops); err != nil {
+	q2, err := eng.Register(experiments.ProgQ2)
+	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := c.Register(experiments.ProgQ3Detector(3), automaton.DiscardSink); err != nil {
+	if _, err := eng.Register(experiments.ProgQ3Detector(3)); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := c.Register(experiments.ProgQ3Reporter, countRuns); err != nil {
+	q3, err := eng.Register(experiments.ProgQ3Reporter)
+	if err != nil {
 		log.Fatal(err)
 	}
+	doubleTops, runs := count(q2), count(q3)
 
 	start := time.Now()
 	for _, ev := range trace {
-		err := c.Insert("Stocks", types.Str(ev.Name), types.Real(ev.Price), types.Int(ev.Volume))
+		err := eng.Insert("Stocks", types.Str(ev.Name), types.Real(ev.Price), types.Int(ev.Volume))
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	if !c.Registry().WaitIdle(time.Minute) {
+	if !unicache.WaitIdle(eng, time.Minute) {
 		log.Fatal("automata did not quiesce")
 	}
 	cacheElapsed := time.Since(start)
+	// Quiescent automata can still have their last send()s in flight
+	// (for -remote: on the push path); let the counters settle.
+	settle := func(n *atomic.Int64) {
+		last, stable := int64(-1), 0
+		for stable < 5 {
+			if v := n.Load(); v == last {
+				stable++
+			} else {
+				last, stable = v, 0
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	settle(doubleTops)
+	settle(runs)
 
-	res, err := c.Exec(`select count(*) from T`)
+	res, err := eng.Exec(`select count(*) from T`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,29 +128,30 @@ func main() {
 
 	fmt.Printf("Cache (live, %d events): %.3fs\n", len(trace), cacheElapsed.Seconds())
 	fmt.Printf("  Q1 republished %s events into stream T\n", passthrough)
-	fmt.Printf("  Q2 detected %d double-top (M-shaped) patterns\n", doubleTops)
-	fmt.Printf("  Q3 reported %d increasing-price runs (length >= 3)\n", runs)
+	fmt.Printf("  Q2 detected %d double-top (M-shaped) patterns\n", doubleTops.Load())
+	fmt.Printf("  Q3 reported %d increasing-price runs (length >= 3)\n", runs.Load())
 
-	// --- Cayuga: the same queries through the NFA engine ---
-	eng := cayuga.NewEngine()
+	// --- Cayuga: the same queries through the NFA engine (always local:
+	// it is a library replay, not a cache deployment) ---
+	eng2 := cayuga.NewEngine()
 	for _, q := range []*cayuga.Query{
 		cayuga.PassthroughQuery("Stocks", "T"),
 		cayuga.DoubleTopQuery("Stocks", "M"),
 		cayuga.RisingRunQuery("Stocks", "Runs", 3),
 	} {
-		if err := eng.Register(q); err != nil {
+		if err := eng2.Register(q); err != nil {
 			log.Fatal(err)
 		}
 	}
 	start = time.Now()
 	for _, ev := range trace {
-		eng.Process(cayuga.StockEvent(ev))
+		eng2.Process(cayuga.StockEvent(ev))
 	}
 	cayugaElapsed := time.Since(start)
-	st := eng.Stats()
+	st := eng2.Stats()
 	fmt.Printf("Cayuga (NFA engine): %.3fs\n", cayugaElapsed.Seconds())
 	fmt.Printf("  T=%d matches, M=%d matches, Runs=%d matches\n",
-		len(eng.Stream("T")), len(eng.Stream("M")), len(eng.Stream("Runs")))
+		len(eng2.Stream("T")), len(eng2.Stream("M")), len(eng2.Stream("Runs")))
 	fmt.Printf("  engine work: %d instances spawned, %d transitions, %d materialised events\n",
 		st.Spawned, st.Transitions, st.Materialised)
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"unicache/internal/pubsub"
 	"unicache/internal/table"
 	"unicache/internal/types"
+	"unicache/internal/uerr"
 	"unicache/internal/vm"
 )
 
@@ -148,6 +150,10 @@ func (a *Automaton) Idle() bool { return a.inbox.Len() == 0 && !a.disp.Busy() }
 // Dropped returns the number of events this automaton's inbox shed
 // (non-zero only for bounded DropOldest/Fail inboxes).
 func (a *Automaton) Dropped() uint64 { return a.inbox.Dropped() }
+
+// Depth returns the number of events queued in the automaton's inbox,
+// not yet handed to the behaviour clause.
+func (a *Automaton) Depth() int { return a.inbox.Len() }
 
 // Batchable reports whether the behaviour clause was classified batchable
 // and is therefore activated once per drained run rather than per event.
@@ -312,6 +318,20 @@ func (r *Registry) Len() int {
 	return len(r.autos)
 }
 
+// Automata snapshots the live automata in id order (registration order).
+// The returned handles stay valid for stats reads even if an automaton is
+// unregistered concurrently.
+func (r *Registry) Automata() []*Automaton {
+	r.mu.Lock()
+	out := make([]*Automaton, 0, len(r.autos))
+	for _, a := range r.autos {
+		out = append(out, a)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // Unregister detaches and stops the automaton, draining nothing: queued
 // events are discarded, and an in-flight behaviour execution is the last —
 // the dispatcher abandons the rest of its run. It blocks until the
@@ -323,7 +343,7 @@ func (r *Registry) Unregister(id int64) error {
 	delete(r.autos, id)
 	r.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("automaton: no automaton %d", id)
+		return fmt.Errorf("automaton: %w: id %d", uerr.ErrNoSuchAutomaton, id)
 	}
 	// Stop before detaching: detaching takes topic locks, and a publisher
 	// parked in a full Block inbox holds its topic's lock until the stop

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"unicache/internal/sql"
 	"unicache/internal/table"
 	"unicache/internal/types"
+	"unicache/internal/uerr"
 )
 
 // TimerTopic is the built-in topic that delivers a punctuation tuple once
@@ -83,10 +85,11 @@ type Cache struct {
 	// negative id space so they can never collide with automaton ids and
 	// no longer consume commit sequence numbers.
 	nextWatcher atomic.Int64
-	// watchMu guards watchers, the id -> Dispatcher index for Watch taps;
-	// Unsubscribe and Close stop a tap's dispatcher through it.
+	// watchMu guards watchers, the id -> tap index for Watch taps;
+	// Unsubscribe and Close stop a tap's dispatcher through it, and
+	// TapStats enumerates it.
 	watchMu  sync.Mutex
-	watchers map[int64]*pubsub.Dispatcher
+	watchers map[int64]*watchEntry
 
 	timerStop chan struct{}
 	timerDone chan struct{}
@@ -111,7 +114,7 @@ func New(cfg Config) (*Cache, error) {
 		cfg:      cfg,
 		broker:   pubsub.NewBroker(),
 		clock:    cfg.Clock,
-		watchers: make(map[int64]*pubsub.Dispatcher),
+		watchers: make(map[int64]*watchEntry),
 	}
 	c.reg = automaton.NewRegistry(c, automaton.Config{
 		PrintWriter:    cfg.PrintWriter,
@@ -166,14 +169,14 @@ func (c *Cache) Close() {
 		}
 		c.reg.Close()
 		c.watchMu.Lock()
-		taps := make([]*pubsub.Dispatcher, 0, len(c.watchers))
-		for id, d := range c.watchers {
-			taps = append(taps, d)
+		taps := make([]*watchEntry, 0, len(c.watchers))
+		for id, w := range c.watchers {
+			taps = append(taps, w)
 			delete(c.watchers, id)
 		}
 		c.watchMu.Unlock()
-		for _, d := range taps {
-			d.Stop()
+		for _, w := range taps {
+			w.disp.Stop()
 		}
 	})
 }
@@ -193,12 +196,12 @@ func (c *Cache) Broker() *pubsub.Broker { return c.broker }
 // Implements sql.Engine.
 func (c *Cache) CreateTable(schema *types.Schema) error {
 	if schema == nil {
-		return fmt.Errorf("cache: nil schema")
+		return fmt.Errorf("cache: nil schema: %w", uerr.ErrBadSchema)
 	}
 	c.createMu.Lock()
 	defer c.createMu.Unlock()
 	if _, dup := c.domains.Load(schema.Name); dup {
-		return fmt.Errorf("cache: table %q already exists", schema.Name)
+		return fmt.Errorf("cache: table %q: %w", schema.Name, uerr.ErrTableExists)
 	}
 	tb, err := table.New(schema, c.cfg.EphemeralCapacity)
 	if err != nil {
@@ -229,7 +232,7 @@ func (c *Cache) lookupDomain(name string) (*commitDomain, error) {
 	if d, ok := c.domains.Load(name); ok {
 		return d.(*commitDomain), nil
 	}
-	return nil, fmt.Errorf("cache: no such table %q", name)
+	return nil, fmt.Errorf("cache: %w: %q", uerr.ErrNoSuchTable, name)
 }
 
 // LookupTable implements sql.Engine.
@@ -303,9 +306,9 @@ func (c *Cache) CommitBatch(tableName string, rows [][]types.Value) error {
 		coerced, err := schema.Coerce(vals)
 		if err != nil {
 			if len(rows) == 1 {
-				return err
+				return fmt.Errorf("%w: %w", uerr.ErrBadSchema, err)
 			}
-			return fmt.Errorf("batch row %d: %w", i, err)
+			return fmt.Errorf("batch row %d: %w: %w", i, uerr.ErrBadSchema, err)
 		}
 		tupleArr[i].Vals = coerced
 		tuples[i] = &tupleArr[i]
@@ -454,13 +457,20 @@ func (c *Cache) Subscribe(id int64, topic string, sub pubsub.Subscriber) error {
 // closed inbox and are dropped, which is the discard semantics anyway.
 func (c *Cache) Unsubscribe(id int64) {
 	c.watchMu.Lock()
-	d := c.watchers[id]
+	w := c.watchers[id]
 	delete(c.watchers, id)
 	c.watchMu.Unlock()
-	if d != nil {
-		d.Stop()
+	if w != nil {
+		w.disp.Stop()
 	}
 	c.broker.Unsubscribe(id)
+}
+
+// watchEntry is one live Watch tap: its dispatcher plus the topic it is
+// attached to (recorded so TapStats can report where a tap points).
+type watchEntry struct {
+	disp  *pubsub.Dispatcher
+	topic string
 }
 
 // DefaultWatchQueue is the default bound of a Watch tap's inbox.
@@ -513,13 +523,18 @@ func (c *Cache) WatchWith(topic string, fn func(*types.Event), opts WatchOpts) (
 		OnFail: func() { c.Unsubscribe(id) },
 	})
 	c.watchMu.Lock()
-	c.watchers[id] = d
+	c.watchers[id] = &watchEntry{disp: d, topic: topic}
 	c.watchMu.Unlock()
 	if err := c.broker.Subscribe(id, topic, in); err != nil {
 		c.watchMu.Lock()
 		delete(c.watchers, id)
 		c.watchMu.Unlock()
 		d.Stop()
+		if !c.broker.HasTopic(topic) {
+			// Tables are topics: a tap on a missing topic is the same
+			// condition as an insert into a missing table.
+			return 0, fmt.Errorf("cache: %w: %q", uerr.ErrNoSuchTable, topic)
+		}
 		return 0, err
 	}
 	return id, nil
@@ -529,12 +544,35 @@ func (c *Cache) WatchWith(topic string, fn func(*types.Event), opts WatchOpts) (
 // is false once the tap is unsubscribed (including a Fail-policy detach).
 func (c *Cache) WatchStats(id int64) (depth int, dropped uint64, ok bool) {
 	c.watchMu.Lock()
-	d := c.watchers[id]
+	w := c.watchers[id]
 	c.watchMu.Unlock()
-	if d == nil {
+	if w == nil {
 		return 0, 0, false
 	}
-	return d.Depth(), d.Dropped(), true
+	return w.disp.Depth(), w.disp.Dropped(), true
+}
+
+// TapStat is one live Watch tap's observability row: which topic it taps
+// and how far behind it is.
+type TapStat struct {
+	ID      int64
+	Topic   string
+	Depth   int
+	Dropped uint64
+}
+
+// TapStats snapshots every live Watch tap (most recent first — watcher ids
+// grow downward). It is the cache half of the engine Stats surface; the
+// automaton half comes from Registry().Automata().
+func (c *Cache) TapStats() []TapStat {
+	c.watchMu.Lock()
+	out := make([]TapStat, 0, len(c.watchers))
+	for id, w := range c.watchers {
+		out = append(out, TapStat{ID: id, Topic: w.topic, Depth: w.disp.Depth(), Dropped: w.disp.Dropped()})
+	}
+	c.watchMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	return out
 }
 
 // TickTimer publishes one Timer tuple immediately (useful for tests and

@@ -1,15 +1,16 @@
 package rpc
 
 import (
-	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
 
+	"unicache/internal/automaton"
 	"unicache/internal/pubsub"
 	"unicache/internal/sql"
 	"unicache/internal/types"
+	"unicache/internal/uerr"
 	"unicache/internal/wire"
 )
 
@@ -47,6 +48,20 @@ type Client struct {
 	events    chan SendEvent
 	policy    pubsub.Policy
 	evDropped atomic.Uint64
+
+	// deliverMu serialises watch-event delivery: the read loop holds it
+	// while invoking a watch callback (or staging an event whose WatchWith
+	// call has not yet recorded its id), and WatchWith holds it while
+	// installing the callback and replaying staged events — so a tap's
+	// events reach its callback in wire order even across the
+	// registration window.
+	deliverMu sync.Mutex
+	watches   map[int64]*clientWatch
+	staged    map[int64][]*types.Event
+	// retired records ids passed to Unwatch: watcher ids are never
+	// reused, so late events for a retired id are discarded instead of
+	// staged (staging is only for the registration race).
+	retired map[int64]struct{}
 
 	mu      sync.Mutex
 	nextID  uint32
@@ -90,6 +105,9 @@ func NewClientWith(conn net.Conn, cfg ClientConfig) *Client {
 		tr:      newTransport(conn),
 		events:  make(chan SendEvent, cfg.EventBuffer),
 		policy:  cfg.EventPolicy,
+		watches: make(map[int64]*clientWatch),
+		staged:  make(map[int64][]*types.Event),
+		retired: make(map[int64]struct{}),
 		pending: make(map[uint32]chan []byte),
 		done:    make(chan struct{}),
 		quit:    make(chan struct{}),
@@ -128,7 +146,9 @@ func (c *Client) readLoop() {
 	for {
 		msgID, payload, err := c.tr.readMessage()
 		if err != nil {
-			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			// A dead connection is a closed engine from the caller's side:
+			// wrap ErrClosed so errors.Is can classify the failure.
+			c.fail(fmt.Errorf("rpc: connection lost: %v: %w", err, uerr.ErrClosed))
 			return
 		}
 		if len(payload) == 0 {
@@ -147,6 +167,25 @@ func (c *Client) readLoop() {
 				id, err := d.I64()
 				if err != nil {
 					break
+				}
+				if id < 0 {
+					// Watch event: commit timestamp, sequence, tuple values.
+					ts, err := d.I64()
+					if err != nil {
+						break
+					}
+					seq, err := d.U64()
+					if err != nil {
+						break
+					}
+					vals, err := d.Values()
+					if err != nil {
+						break
+					}
+					c.deliverWatchEvent(id, &types.Event{
+						Tuple: &types.Tuple{Seq: seq, TS: types.Timestamp(ts), Vals: vals},
+					})
+					continue
 				}
 				vals, err := d.Values()
 				if err != nil {
@@ -196,6 +235,43 @@ func (c *Client) deliverEvent(ev SendEvent) {
 	}
 }
 
+// clientWatch is one live server-side watch this client registered: the
+// topic it taps (stamped onto reconstructed events) and the application
+// callback.
+type clientWatch struct {
+	topic string
+	fn    func(*types.Event)
+}
+
+// maxStagedPerWatch bounds the registration-race staging buffer: a
+// correct peer cannot exceed it (it matches the server's default tap
+// inbox), and a hostile or broken one must not grow client memory.
+const maxStagedPerWatch = 4096
+
+// deliverWatchEvent routes one pushed watch event to its callback on the
+// read-loop goroutine, preserving wire order. An event whose WatchWith
+// call has not yet recorded its id (the server releases watch events as
+// soon as the msgWatchOK reply is on the wire, which can beat the caller
+// goroutine to the bookkeeping) is staged and replayed, still in order,
+// when WatchWith installs the callback; an event for an Unwatch-retired
+// id is a late in-flight delivery and is discarded, as Unwatch promises.
+func (c *Client) deliverWatchEvent(id int64, ev *types.Event) {
+	c.deliverMu.Lock()
+	w, ok := c.watches[id]
+	if !ok {
+		if _, dead := c.retired[id]; !dead && len(c.staged[id]) < maxStagedPerWatch {
+			c.staged[id] = append(c.staged[id], ev)
+		}
+		c.deliverMu.Unlock()
+		return
+	}
+	ev.Topic = w.topic
+	// Deliver under deliverMu: only the read loop and a WatchWith replay
+	// invoke callbacks, and the lock is what keeps those two in order.
+	w.fn(ev)
+	c.deliverMu.Unlock()
+}
+
 func (c *Client) fail(err error) {
 	c.mu.Lock()
 	if c.err == nil {
@@ -239,17 +315,23 @@ func (c *Client) call(payload []byte) ([]byte, error) {
 		err := c.err
 		c.mu.Unlock()
 		if err == nil {
-			err = errors.New("rpc: connection closed")
+			err = fmt.Errorf("rpc: connection closed: %w", uerr.ErrClosed)
 		}
 		return nil, err
 	}
 	if resp[0] == msgErr {
 		d := wire.NewDecoder(resp[1:])
+		code, err := d.U16()
+		if err != nil {
+			return nil, err
+		}
 		msg, err := d.Str()
 		if err != nil {
 			return nil, err
 		}
-		return nil, errors.New(msg)
+		// The code restores the error's sentinel identity, so errors.Is
+		// answers the same over the wire as it does embedded.
+		return nil, uerr.FromCode(code, msg)
 	}
 	return resp, nil
 }
@@ -376,6 +458,26 @@ func (c *Client) Register(source string) (int64, error) {
 	return wire.NewDecoder(resp[1:]).I64()
 }
 
+// RegisterWith is Register with per-automaton Options carried on the
+// wire: the server registers the automaton with this inbox bound and
+// overflow policy instead of the cache-wide defaults (capacity -1 forces
+// an unbounded inbox even when the server default is bounded).
+func (c *Client) RegisterWith(source string, opts automaton.Options) (int64, error) {
+	e := wire.NewEncoder(80 + len(source))
+	e.U8(msgRegisterWith)
+	e.Str(source)
+	e.I64(int64(opts.InboxCapacity))
+	e.U8(uint8(opts.InboxPolicy))
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	if resp[0] != msgRegisterOK {
+		return 0, fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	return wire.NewDecoder(resp[1:]).I64()
+}
+
 // Unregister stops an automaton previously registered on this connection.
 func (c *Client) Unregister(id int64) error {
 	e := wire.NewEncoder(16)
@@ -389,4 +491,162 @@ func (c *Client) Unregister(id int64) error {
 		return fmt.Errorf("rpc: unexpected reply %d", resp[0])
 	}
 	return nil
+}
+
+// WatchOptions tunes a server-side watch tap (mirrors cache.WatchOpts:
+// Queue 0 means the server default, negative unbounded).
+type WatchOptions struct {
+	Queue  int
+	Policy pubsub.Policy
+}
+
+// Watch attaches a server-side tap to a topic with default options.
+func (c *Client) Watch(topic string, fn func(*types.Event)) (int64, error) {
+	return c.WatchWith(topic, fn, WatchOptions{})
+}
+
+// WatchWith attaches a server-side dispatcher-backed tap to a topic: the
+// server watches the topic on this connection's behalf and pushes each
+// event over the coalesced push path. fn runs on the client's read-loop
+// goroutine in commit order — a blocking fn therefore stalls RPC replies
+// on this connection, the same trade ClientConfig.EventPolicy documents
+// for Events(). Reconstructed events carry the topic, commit timestamp,
+// sequence number and tuple values; the schema stays server-side (Schema
+// is nil). The tap is torn down by Unwatch, Close, or connection death.
+func (c *Client) WatchWith(topic string, fn func(*types.Event), opts WatchOptions) (int64, error) {
+	e := wire.NewEncoder(32 + len(topic))
+	e.U8(msgWatch)
+	e.Str(topic)
+	e.I64(int64(opts.Queue))
+	e.U8(uint8(opts.Policy))
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	if resp[0] != msgWatchOK {
+		return 0, fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	id, err := wire.NewDecoder(resp[1:]).I64()
+	if err != nil {
+		return 0, err
+	}
+	c.deliverMu.Lock()
+	w := &clientWatch{topic: topic, fn: fn}
+	c.watches[id] = w
+	// Replay events that arrived between the reply hitting the read loop
+	// and this bookkeeping, in order; the read loop is parked on deliverMu
+	// if it has more, so order stays intact.
+	for _, ev := range c.staged[id] {
+		ev.Topic = topic
+		fn(ev)
+	}
+	delete(c.staged, id)
+	c.deliverMu.Unlock()
+	return id, nil
+}
+
+// Unwatch tears down a watch previously created on this connection. After
+// it returns, the callback is no longer invoked (events already pushed
+// and in flight are discarded by id).
+func (c *Client) Unwatch(id int64) error {
+	c.deliverMu.Lock()
+	delete(c.watches, id)
+	delete(c.staged, id)
+	c.retired[id] = struct{}{}
+	c.deliverMu.Unlock()
+	e := wire.NewEncoder(16)
+	e.U8(msgUnwatch)
+	e.I64(id)
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return err
+	}
+	if resp[0] != msgUnwatchOK {
+		return fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	return nil
+}
+
+// WatchStat is one watch tap's server-side observability row.
+type WatchStat struct {
+	ID      int64
+	Topic   string
+	Depth   int
+	Dropped uint64
+}
+
+// AutomatonStat is one automaton's server-side observability row.
+type AutomatonStat struct {
+	ID        int64
+	Depth     int
+	Dropped   uint64
+	Processed uint64
+}
+
+// ServerStats is the msgStats reply: every live watch tap and automaton
+// on the server, with their dispatch-pipeline depth and dropped counters.
+type ServerStats struct {
+	Watches  []WatchStat
+	Automata []AutomatonStat
+}
+
+// Stats fetches the server's per-subscription observability counters, so
+// an operator can see which subscriptions are behind.
+func (c *Client) Stats() (ServerStats, error) {
+	e := wire.NewEncoder(8)
+	e.U8(msgStats)
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return ServerStats{}, err
+	}
+	if resp[0] != msgStatsOK {
+		return ServerStats{}, fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	d := wire.NewDecoder(resp[1:])
+	var st ServerStats
+	nw, err := d.U32()
+	if err != nil {
+		return st, err
+	}
+	for i := uint32(0); i < nw; i++ {
+		var w WatchStat
+		if w.ID, err = d.I64(); err != nil {
+			return st, err
+		}
+		if w.Topic, err = d.Str(); err != nil {
+			return st, err
+		}
+		depth, err := d.I64()
+		if err != nil {
+			return st, err
+		}
+		w.Depth = int(depth)
+		if w.Dropped, err = d.U64(); err != nil {
+			return st, err
+		}
+		st.Watches = append(st.Watches, w)
+	}
+	na, err := d.U32()
+	if err != nil {
+		return st, err
+	}
+	for i := uint32(0); i < na; i++ {
+		var a AutomatonStat
+		if a.ID, err = d.I64(); err != nil {
+			return st, err
+		}
+		depth, err := d.I64()
+		if err != nil {
+			return st, err
+		}
+		a.Depth = int(depth)
+		if a.Dropped, err = d.U64(); err != nil {
+			return st, err
+		}
+		if a.Processed, err = d.U64(); err != nil {
+			return st, err
+		}
+		st.Automata = append(st.Automata, a)
+	}
+	return st, nil
 }

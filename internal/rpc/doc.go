@@ -46,4 +46,20 @@
 // which also stalls RPC replies on that connection; DropOldest sheds the
 // oldest notification (counted by DroppedEvents) and keeps replies
 // flowing.
+//
+// # Watches, options and stats on the wire
+//
+// Watch/WatchWith create a server-side dispatcher-backed tap on a topic
+// (msgWatch): the tap's events ride the same coalesced push path as
+// send()s — a negative id marks a watch event, whose payload carries the
+// commit timestamp, sequence number and tuple values — and the client
+// invokes the watch callback on its read-loop goroutine in commit order
+// (so a blocking callback stalls this connection's replies). Unwatch
+// (msgUnwatch) detaches a tap; the server also detaches every watch and
+// unregisters every automaton a connection created when that connection
+// dies, so a crashed client leaves nothing behind. RegisterWith
+// (msgRegisterWith) carries per-automaton inbox options end to end, and
+// Stats (msgStats) returns the server's per-subscription depth/dropped
+// counters. Error replies (msgErr) carry a numeric uerr code next to the
+// message, so sentinel identity (errors.Is) survives the wire.
 package rpc

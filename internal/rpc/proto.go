@@ -23,23 +23,40 @@ const maxMessageSize = 16 << 20
 const (
 	msgExec          = 1 // str sql
 	msgExecOK        = 2 // wire.Result
-	msgErr           = 3 // str error
+	msgErr           = 3 // u16 uerr code, str error
 	msgInsert        = 4 // str table, values
 	msgInsertOK      = 5
 	msgRegister      = 6 // str source
 	msgRegisterOK    = 7 // i64 id
 	msgUnregister    = 8 // i64 id
 	msgUnregOK       = 9
-	msgSendEvent     = 10 // push: i64 automaton id, values
+	msgSendEvent     = 10 // push: i64 id, values (id < 0: watch event)
 	msgPing          = 11
 	msgPingOK        = 12
 	msgInsertBatch   = 13 // str table, rows — one batch commit server-side
 	msgInsertBatchOK = 14 // u32 rows committed
-	// msgSendEventBatch is the coalesced push: u32 count, then count ×
-	// (i64 automaton id, values). The server's per-connection push
-	// dispatcher folds queued msgSendEvent payloads into one of these per
-	// write, preserving per-automaton order; clients decode both forms.
+	// msgSendEventBatch is the coalesced push: u32 count, then count
+	// elements. The server's per-connection push dispatcher folds queued
+	// msgSendEvent payloads into one of these per write, preserving
+	// per-source order; clients decode both forms. Automaton send()s and
+	// watch-tap events share this path, distinguished by the id's sign
+	// (watcher ids live in the cache's negative id space): an element is
+	// either (i64 id > 0, values) — an automaton send — or (i64 id < 0,
+	// i64 commit timestamp, u64 sequence, values) — a watch event, whose
+	// topic the client recalls from its own watch bookkeeping.
 	msgSendEventBatch = 15
+	// msgRegisterWith is msgRegister with per-automaton options on the
+	// wire: str source, i64 inbox capacity (-1 forces unbounded), u8
+	// overflow policy. Reply is msgRegisterOK.
+	msgRegisterWith = 16
+	msgWatch        = 17 // str topic, i64 queue bound, u8 policy
+	msgWatchOK      = 18 // i64 watch id (negative)
+	msgUnwatch      = 19 // i64 watch id
+	msgUnwatchOK    = 20
+	msgStats        = 21 // no body
+	// msgStatsOK: u32 nwatch × (i64 id, str topic, i64 depth, u64 dropped),
+	// then u32 nauto × (i64 id, i64 depth, u64 dropped, u64 processed).
+	msgStatsOK = 22
 )
 
 // pushQueueDepth bounds the per-connection queue of encoded send() pushes

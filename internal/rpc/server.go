@@ -7,9 +7,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"unicache/internal/automaton"
 	"unicache/internal/cache"
 	"unicache/internal/pubsub"
 	"unicache/internal/types"
+	"unicache/internal/uerr"
 	"unicache/internal/wire"
 )
 
@@ -133,8 +135,9 @@ type serverConn struct {
 	pushes   *pubsub.Queue[[]byte]
 	pushDone chan struct{}
 
-	mu    sync.Mutex
-	autos []int64 // automata registered by this connection
+	mu      sync.Mutex
+	autos   []int64 // automata registered by this connection
+	watches []int64 // watch taps registered by this connection
 }
 
 func (c *serverConn) shutdown() { _ = c.tr.close() }
@@ -147,13 +150,19 @@ func (c *serverConn) serve() {
 		// without this, Unregister below could wait on an automaton that
 		// is itself waiting on the full push queue.
 		_ = c.tr.close()
-		// A reaction application going away takes its automata with it.
+		// A reaction application going away takes its automata and watch
+		// taps with it: no dispatcher goroutine or topic subscriber may
+		// outlive the connection that created it.
 		c.mu.Lock()
 		autos := append([]int64(nil), c.autos...)
-		c.autos = nil
+		watches := append([]int64(nil), c.watches...)
+		c.autos, c.watches = nil, nil
 		c.mu.Unlock()
 		for _, id := range autos {
 			_ = c.srv.cache.Unregister(id)
+		}
+		for _, id := range watches {
+			c.srv.cache.Unsubscribe(id)
 		}
 		c.pushes.Close()
 		<-c.pushDone
@@ -233,9 +242,13 @@ func (c *serverConn) reply(msgID uint32, msgType byte, body func(*wire.Encoder) 
 	return c.tr.writeMessage(msgID, e.Bytes())
 }
 
+// replyErr sends the error's message plus its uerr sentinel code, so the
+// client can rebuild an error whose errors.Is identity matches what an
+// embedded caller would have seen.
 func (c *serverConn) replyErr(msgID uint32, err error) error {
 	e := wire.NewEncoder(64)
 	e.U8(msgErr)
+	e.U16(uerr.Code(err))
 	e.Str(err.Error())
 	return c.tr.writeMessage(msgID, e.Bytes())
 }
@@ -295,41 +308,117 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 		if err != nil {
 			return c.replyErr(msgID, err)
 		}
-		// The sink can run before Register returns the id to this
-		// goroutine: an initialization-clause send() executes on this very
-		// goroutine inside Register, and a behaviour send() can fire as
-		// soon as the first subscription lands. The id is therefore an
-		// atomic — those pre-registration sends go out with automaton id
-		// 0, which is pre-PR3 behaviour and loses the client nothing (it
-		// cannot attribute any id before the Register reply delivers it).
-		// The sink must never block on registration completing: it would
-		// deadlock the serve goroutine (init-clause send) or Register's
-		// own failure path (disp.Stop waiting on a parked dispatcher).
-		var autoID atomic.Int64
-		sink := func(vals []types.Value) error {
-			// Encode once, here: the payload (i64 id + values) is what both
-			// push forms carry, so the writer only prepends an opcode and
-			// splices. Encoding errors surface to this sink alone.
-			e := wire.NewEncoder(128)
-			e.I64(autoID.Load())
-			if err := e.Values(vals); err != nil {
-				return err
-			}
-			if !c.pushes.Push(e.Bytes()) {
-				return errors.New("rpc: connection closed")
-			}
-			return nil
-		}
-		a, err := c.srv.cache.Register(src, sink)
+		return c.handleRegister(msgID, src, automaton.Options{})
+
+	case msgRegisterWith:
+		src, err := d.Str()
 		if err != nil {
 			return c.replyErr(msgID, err)
 		}
-		autoID.Store(a.ID())
+		capacity, err := d.I64()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		pol, err := d.U8()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		return c.handleRegister(msgID, src, automaton.Options{
+			InboxCapacity: int(capacity),
+			InboxPolicy:   pubsub.Policy(pol),
+		})
+
+	case msgWatch:
+		topic, err := d.Str()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		queue, err := d.I64()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		pol, err := d.U8()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		// The tap's dispatcher may invoke fn before WatchWith returns the
+		// id to this goroutine; unlike an automaton sink, fn may simply
+		// wait for it — blocking the tap's own dispatcher only delays this
+		// tap's delivery (its inbox absorbs the backlog per its policy),
+		// and on the failure path no event was ever delivered, so Stop
+		// never waits on a parked fn.
+		idReady := make(chan struct{})
+		var watchID int64
+		fn := func(ev *types.Event) {
+			<-idReady
+			// Encode once: i64 id (negative marks a watch event), commit
+			// timestamp, sequence, then the tuple values — what the client
+			// needs to rebuild the event next to its recorded topic.
+			e := wire.NewEncoder(128)
+			e.I64(watchID)
+			e.I64(int64(ev.Tuple.TS))
+			e.U64(ev.Tuple.Seq)
+			if err := e.Values(ev.Tuple.Vals); err != nil {
+				return // unencodable tuple: drop this event, keep the tap
+			}
+			c.pushes.Push(e.Bytes())
+		}
+		id, err := c.srv.cache.WatchWith(topic, fn, cache.WatchOpts{
+			Queue:  int(queue),
+			Policy: pubsub.Policy(pol),
+		})
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		watchID = id
+		close(idReady)
 		c.mu.Lock()
-		c.autos = append(c.autos, a.ID())
+		c.watches = append(c.watches, id)
 		c.mu.Unlock()
-		return c.reply(msgID, msgRegisterOK, func(e *wire.Encoder) error {
-			e.I64(a.ID())
+		return c.reply(msgID, msgWatchOK, func(e *wire.Encoder) error {
+			e.I64(id)
+			return nil
+		})
+
+	case msgUnwatch:
+		id, err := d.I64()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		c.mu.Lock()
+		owned := false
+		for i, w := range c.watches {
+			if w == id {
+				c.watches = append(c.watches[:i], c.watches[i+1:]...)
+				owned = true
+				break
+			}
+		}
+		c.mu.Unlock()
+		if !owned {
+			return c.replyErr(msgID, fmt.Errorf("rpc: watch %d is not registered on this connection", id))
+		}
+		c.srv.cache.Unsubscribe(id)
+		return c.reply(msgID, msgUnwatchOK, nil)
+
+	case msgStats:
+		taps := c.srv.cache.TapStats()
+		autos := c.srv.cache.Registry().Automata()
+		return c.reply(msgID, msgStatsOK, func(e *wire.Encoder) error {
+			e.U32(uint32(len(taps)))
+			for _, t := range taps {
+				e.I64(t.ID)
+				e.Str(t.Topic)
+				e.I64(int64(t.Depth))
+				e.U64(t.Dropped)
+			}
+			e.U32(uint32(len(autos)))
+			for _, a := range autos {
+				e.I64(a.ID())
+				e.I64(int64(a.Depth()))
+				e.U64(a.Dropped())
+				e.U64(a.Processed())
+			}
 			return nil
 		})
 
@@ -349,7 +438,7 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 		}
 		c.mu.Unlock()
 		if !owned {
-			return c.replyErr(msgID, fmt.Errorf("rpc: automaton %d is not registered on this connection", id))
+			return c.replyErr(msgID, fmt.Errorf("rpc: %w: automaton %d is not registered on this connection", uerr.ErrNoSuchAutomaton, id))
 		}
 		if err := c.srv.cache.Unregister(id); err != nil {
 			return c.replyErr(msgID, err)
@@ -357,4 +446,47 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 		return c.reply(msgID, msgUnregOK, nil)
 	}
 	return c.replyErr(msgID, fmt.Errorf("rpc: unknown message type %d", msgType))
+}
+
+// handleRegister registers an automaton (with or without per-automaton
+// options) whose sink pushes send() payloads onto this connection's push
+// queue.
+func (c *serverConn) handleRegister(msgID uint32, src string, opts automaton.Options) error {
+	// The sink can run before RegisterWith returns the id to this
+	// goroutine: an initialization-clause send() executes on this very
+	// goroutine inside RegisterWith, and a behaviour send() can fire as
+	// soon as the first subscription lands. The id is therefore an
+	// atomic — those pre-registration sends go out with automaton id
+	// 0, which is pre-PR3 behaviour and loses the client nothing (it
+	// cannot attribute any id before the Register reply delivers it).
+	// The sink must never block on registration completing: it would
+	// deadlock the serve goroutine (init-clause send) or RegisterWith's
+	// own failure path (disp.Stop waiting on a parked dispatcher).
+	var autoID atomic.Int64
+	sink := func(vals []types.Value) error {
+		// Encode once, here: the payload (i64 id + values) is what both
+		// push forms carry, so the writer only prepends an opcode and
+		// splices. Encoding errors surface to this sink alone.
+		e := wire.NewEncoder(128)
+		e.I64(autoID.Load())
+		if err := e.Values(vals); err != nil {
+			return err
+		}
+		if !c.pushes.Push(e.Bytes()) {
+			return errors.New("rpc: connection closed")
+		}
+		return nil
+	}
+	a, err := c.srv.cache.RegisterWith(src, sink, opts)
+	if err != nil {
+		return c.replyErr(msgID, err)
+	}
+	autoID.Store(a.ID())
+	c.mu.Lock()
+	c.autos = append(c.autos, a.ID())
+	c.mu.Unlock()
+	return c.reply(msgID, msgRegisterOK, func(e *wire.Encoder) error {
+		e.I64(a.ID())
+		return nil
+	})
 }

@@ -1,0 +1,91 @@
+// Package uerr defines the sentinel error taxonomy shared by every engine
+// backend. The public unicache package re-exports these sentinels; the
+// embedded cache wraps them into its error chains directly, and the RPC
+// layer carries their identity over the wire as a numeric code next to the
+// human-readable message, so errors.Is(err, ErrNoSuchTable) holds for a
+// remote engine exactly as it does for an embedded one. The package is a
+// leaf (it imports only the standard library) so any layer may wrap its
+// sentinels without creating an import cycle.
+package uerr
+
+import "errors"
+
+// The sentinel errors. Wrap them with fmt.Errorf("...: %w", Err...) so
+// callers can test identity with errors.Is while still reading a specific
+// message.
+var (
+	// ErrNoSuchTable: the named table/topic does not exist (tables are
+	// topics, so a Watch on a missing topic reports the same sentinel).
+	ErrNoSuchTable = errors.New("no such table")
+	// ErrTableExists: create of a table/topic name already in use.
+	ErrTableExists = errors.New("table already exists")
+	// ErrBadSchema: a row does not fit its table's schema (wrong arity or
+	// an uncoercible column value), or a schema definition is invalid.
+	ErrBadSchema = errors.New("row does not match table schema")
+	// ErrClosed: the engine (or its connection) has been closed.
+	ErrClosed = errors.New("engine closed")
+	// ErrNoSuchAutomaton: the automaton id is not registered (or not owned
+	// by this connection, for a remote engine).
+	ErrNoSuchAutomaton = errors.New("no such automaton")
+)
+
+// Wire codes. Code 0 is reserved for errors with no sentinel identity —
+// the receiver reconstructs those as plain string errors.
+const (
+	codeGeneric uint16 = iota
+	codeNoSuchTable
+	codeTableExists
+	codeBadSchema
+	codeClosed
+	codeNoSuchAutomaton
+)
+
+// Code returns the wire code of the first sentinel in err's chain
+// (codeGeneric if none).
+func Code(err error) uint16 {
+	switch {
+	case errors.Is(err, ErrNoSuchTable):
+		return codeNoSuchTable
+	case errors.Is(err, ErrTableExists):
+		return codeTableExists
+	case errors.Is(err, ErrBadSchema):
+		return codeBadSchema
+	case errors.Is(err, ErrClosed):
+		return codeClosed
+	case errors.Is(err, ErrNoSuchAutomaton):
+		return codeNoSuchAutomaton
+	}
+	return codeGeneric
+}
+
+// FromCode reconstructs an error from its wire form: the message is
+// preserved verbatim, and if the code names a sentinel the result wraps it
+// so errors.Is matches on the receiving side.
+func FromCode(code uint16, msg string) error {
+	var sentinel error
+	switch code {
+	case codeNoSuchTable:
+		sentinel = ErrNoSuchTable
+	case codeTableExists:
+		sentinel = ErrTableExists
+	case codeBadSchema:
+		sentinel = ErrBadSchema
+	case codeClosed:
+		sentinel = ErrClosed
+	case codeNoSuchAutomaton:
+		sentinel = ErrNoSuchAutomaton
+	default:
+		return errors.New(msg)
+	}
+	return &wireError{msg: msg, sentinel: sentinel}
+}
+
+// wireError is a decoded remote error: the remote message with the
+// sentinel identity restored.
+type wireError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.sentinel }

@@ -1,0 +1,401 @@
+package unicache
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"unicache/internal/automaton"
+	"unicache/internal/rpc"
+)
+
+// Remote is the RPC Engine backend: the same Engine surface over a cached
+// server. Watches become server-side dispatcher-backed taps whose events
+// are pushed over the connection's coalesced event-frame path; automaton
+// send()s are demultiplexed from the client's push channel onto
+// per-handle Events channels. Closing the connection — gracefully or by
+// process death — tears down every watch and automaton it created
+// server-side.
+type Remote struct {
+	cl *rpc.Client
+
+	mu      sync.Mutex
+	closed  bool
+	watches map[int64]*remoteWatch
+	autos   map[int64]*remoteAutomaton
+	// stagedSends buffers send() notifications that arrive for an
+	// automaton id before Register's caller has installed the handle
+	// (the server's push writer can beat the reply's consumer to it);
+	// Register drains them, in order, on installation. retiredAutos
+	// records handle-Closed ids — automaton ids are never reused, so a
+	// late in-flight send for a retired id is discarded, not staged.
+	stagedSends  map[int64][][]Value
+	retiredAutos map[int64]struct{}
+
+	demuxDone chan struct{}
+}
+
+var _ Engine = (*Remote)(nil)
+
+// DialRemote connects an Engine to a cached server over TCP.
+func DialRemote(addr string) (*Remote, error) {
+	cl, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return RemoteFromClient(cl), nil
+}
+
+// NewRemote wraps an established connection (e.g. one side of net.Pipe)
+// in the Engine façade.
+func NewRemote(conn net.Conn) *Remote {
+	return RemoteFromClient(rpc.NewClient(conn))
+}
+
+// RemoteFromClient wraps an existing RPC client. The engine takes
+// ownership: Close closes the client.
+func RemoteFromClient(cl *rpc.Client) *Remote {
+	r := &Remote{
+		cl:           cl,
+		watches:      make(map[int64]*remoteWatch),
+		autos:        make(map[int64]*remoteAutomaton),
+		stagedSends:  make(map[int64][][]Value),
+		retiredAutos: make(map[int64]struct{}),
+		demuxDone:    make(chan struct{}),
+	}
+	go r.demux()
+	return r
+}
+
+// Client exposes the underlying RPC client for callers that need the
+// lower-level connection surface (the auto-flushing Batcher, Ping).
+func (r *Remote) Client() *rpc.Client { return r.cl }
+
+// demux routes the connection's send() notifications to their automaton
+// handles. It is the only consumer of the client's Events channel, and it
+// never blocks (handle delivery sheds the oldest buffered notification
+// when full), so the client's read loop is never wedged by a slow
+// application — the hazard ClientConfig.EventPolicy documents cannot
+// arise through this façade.
+func (r *Remote) demux() {
+	defer close(r.demuxDone)
+	for ev := range r.cl.Events() {
+		r.mu.Lock()
+		h := r.autos[ev.AutomatonID]
+		_, dead := r.retiredAutos[ev.AutomatonID]
+		switch {
+		case h != nil:
+			h.deliver(ev.Vals)
+		case r.closed || dead || ev.AutomatonID <= 0:
+			// Dropped: the engine is closed, the handle was Closed (a late
+			// in-flight send), or id 0 marks a pre-registration send
+			// (initialization clause), unattributable by protocol contract.
+		case len(r.stagedSends[ev.AutomatonID]) < DefaultEventBuffer:
+			r.stagedSends[ev.AutomatonID] = append(r.stagedSends[ev.AutomatonID], ev.Vals)
+		}
+		r.mu.Unlock()
+	}
+	// The connection died: no further sends can arrive, so the handles'
+	// channels can close (after removal, so deliver can't race the close).
+	r.mu.Lock()
+	autos := r.autos
+	r.autos = make(map[int64]*remoteAutomaton)
+	r.mu.Unlock()
+	for _, h := range autos {
+		h.closeEvents()
+	}
+}
+
+func (r *Remote) guard() error {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return fmt.Errorf("unicache: %w", ErrClosed)
+	}
+	return nil
+}
+
+// Exec implements Engine.
+func (r *Remote) Exec(src string) (*Result, error) {
+	if err := r.guard(); err != nil {
+		return nil, err
+	}
+	return r.cl.Exec(src)
+}
+
+// Insert implements Engine.
+func (r *Remote) Insert(table string, vals ...Value) error {
+	if err := r.guard(); err != nil {
+		return err
+	}
+	return r.cl.Insert(table, vals...)
+}
+
+// InsertBatch implements Engine.
+func (r *Remote) InsertBatch(table string, rows [][]Value) error {
+	if err := r.guard(); err != nil {
+		return err
+	}
+	return r.cl.InsertBatch(table, rows)
+}
+
+// CreateTable implements Engine: the schema travels as DDL (the protocol
+// already carries SQL; a dedicated opcode would duplicate the grammar).
+func (r *Remote) CreateTable(schema *Schema) error {
+	if err := r.guard(); err != nil {
+		return err
+	}
+	if schema == nil || len(schema.Cols) == 0 {
+		return fmt.Errorf("unicache: nil or empty schema: %w", ErrBadSchema)
+	}
+	var b strings.Builder
+	if schema.Persistent {
+		b.WriteString("create persistent table ")
+	} else {
+		b.WriteString("create table ")
+	}
+	b.WriteString(schema.Name)
+	b.WriteString(" (")
+	for i, col := range schema.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(col.Name)
+		b.WriteByte(' ')
+		b.WriteString(col.Type.String())
+		if schema.Persistent && i == schema.Key {
+			b.WriteString(" primary key")
+		}
+	}
+	b.WriteString(")")
+	_, err := r.cl.Exec(b.String())
+	return err
+}
+
+// Tables implements Engine (topics listed via the SQL catalog statement).
+func (r *Remote) Tables() ([]string, error) {
+	if err := r.guard(); err != nil {
+		return nil, err
+	}
+	res, err := r.cl.Exec("show tables")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		out = append(out, row[0].String())
+	}
+	return out, nil
+}
+
+// Watch implements Engine: a server-side tap on the topic, its events
+// pushed over the connection and handed to fn on the client's read-loop
+// goroutine in commit order. Events carry topic, commit timestamp,
+// sequence and tuple values; Schema is nil (it stays server-side).
+func (r *Remote) Watch(topic string, fn func(*Event), opts ...WatchOption) (Watch, error) {
+	if err := r.guard(); err != nil {
+		return nil, err
+	}
+	o := applyWatchOptions(opts)
+	id, err := r.cl.WatchWith(topic, fn, rpc.WatchOptions{Queue: o.queue, Policy: o.policy})
+	if err != nil {
+		return nil, err
+	}
+	w := &remoteWatch{r: r, id: id, topic: topic}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = r.cl.Unwatch(id)
+		return nil, fmt.Errorf("unicache: %w", ErrClosed)
+	}
+	r.watches[id] = w
+	r.mu.Unlock()
+	return w, nil
+}
+
+// Register implements Engine: the GAPL source and the per-automaton
+// options travel over the wire, and the automaton runs server-side; its
+// send() notifications surface on the handle's Events channel.
+func (r *Remote) Register(source string, opts ...AutomatonOption) (Automaton, error) {
+	if err := r.guard(); err != nil {
+		return nil, err
+	}
+	o := applyAutomatonOptions(opts)
+	id, err := r.cl.RegisterWith(source, automaton.Options{
+		InboxCapacity: o.inboxCapacity,
+		InboxPolicy:   o.inboxPolicy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &remoteAutomaton{r: r, id: id, events: make(chan []Value, o.eventBuffer)}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = r.cl.Unregister(id)
+		close(h.events)
+		return nil, fmt.Errorf("unicache: %w", ErrClosed)
+	}
+	r.autos[id] = h
+	for _, vals := range r.stagedSends[id] {
+		h.deliver(vals)
+	}
+	delete(r.stagedSends, id)
+	r.mu.Unlock()
+	return h, nil
+}
+
+// Stats implements Engine: the server's full observability snapshot
+// (every connection's taps and every automaton), fetched via msgStats.
+func (r *Remote) Stats() (Stats, error) {
+	if err := r.guard(); err != nil {
+		return Stats{}, err
+	}
+	ss, err := r.cl.Stats()
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	for _, w := range ss.Watches {
+		st.Watches = append(st.Watches, SubscriptionStats{
+			ID: w.ID, Topic: w.Topic, Depth: w.Depth, Dropped: w.Dropped,
+		})
+	}
+	for _, a := range ss.Automata {
+		st.Automata = append(st.Automata, AutomatonStats{
+			ID: a.ID, Depth: a.Depth, Dropped: a.Dropped, Processed: a.Processed,
+		})
+	}
+	return st, nil
+}
+
+// Close implements Engine: tears down the connection. The server
+// unregisters this connection's automata and taps when it sees the
+// connection die — the same path that cleans up after a crashed client —
+// so no explicit unwind round trips are needed.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	watches := r.watches
+	r.watches = make(map[int64]*remoteWatch)
+	r.mu.Unlock()
+	for _, w := range watches {
+		w.markClosed()
+	}
+	err := r.cl.Close()
+	<-r.demuxDone // demux closes the automaton handles' channels
+	return err
+}
+
+// remoteWatch is a Watch handle over a server-side tap.
+type remoteWatch struct {
+	r     *Remote
+	id    int64
+	topic string
+	once  sync.Once
+}
+
+func (w *remoteWatch) ID() int64     { return w.id }
+func (w *remoteWatch) Topic() string { return w.topic }
+
+func (w *remoteWatch) Stats() (SubscriptionStats, error) {
+	ss, err := w.r.cl.Stats()
+	if err != nil {
+		return SubscriptionStats{}, err
+	}
+	for _, s := range ss.Watches {
+		if s.ID == w.id {
+			return SubscriptionStats{ID: s.ID, Topic: s.Topic, Depth: s.Depth, Dropped: s.Dropped}, nil
+		}
+	}
+	return SubscriptionStats{}, fmt.Errorf("unicache: watch %d: %w", w.id, ErrClosed)
+}
+
+func (w *remoteWatch) Close() error {
+	var err error
+	w.once.Do(func() {
+		w.r.mu.Lock()
+		delete(w.r.watches, w.id)
+		w.r.mu.Unlock()
+		err = w.r.cl.Unwatch(w.id)
+	})
+	return err
+}
+
+// markClosed makes a later Close a no-op (the engine-level Close tears
+// the whole connection down; no per-watch round trip is needed).
+func (w *remoteWatch) markClosed() { w.once.Do(func() {}) }
+
+// remoteAutomaton is an Automaton handle over a server-side automaton.
+type remoteAutomaton struct {
+	r      *Remote
+	id     int64
+	events chan []Value
+	once   sync.Once
+	chOnce sync.Once
+}
+
+// closeEvents closes the Events channel exactly once, whichever of
+// handle Close and connection-death teardown gets there first.
+func (h *remoteAutomaton) closeEvents() {
+	h.chOnce.Do(func() { close(h.events) })
+}
+
+// deliver hands one send() to the Events channel, shedding the oldest
+// buffered notification when the application is not draining. Only the
+// demux goroutine (under r.mu) calls it, so the drop-then-retry loop
+// terminates.
+func (h *remoteAutomaton) deliver(vals []Value) {
+	for {
+		select {
+		case h.events <- vals:
+			return
+		default:
+		}
+		select {
+		case <-h.events:
+		default:
+		}
+	}
+}
+
+func (h *remoteAutomaton) ID() int64              { return h.id }
+func (h *remoteAutomaton) Events() <-chan []Value { return h.events }
+
+func (h *remoteAutomaton) Stats() (AutomatonStats, error) {
+	ss, err := h.r.cl.Stats()
+	if err != nil {
+		return AutomatonStats{}, err
+	}
+	for _, a := range ss.Automata {
+		if a.ID == h.id {
+			return AutomatonStats{ID: a.ID, Depth: a.Depth, Dropped: a.Dropped, Processed: a.Processed}, nil
+		}
+	}
+	return AutomatonStats{}, fmt.Errorf("unicache: automaton %d: %w", h.id, ErrClosed)
+}
+
+func (h *remoteAutomaton) Close() error {
+	var err error
+	h.once.Do(func() {
+		h.r.mu.Lock()
+		closed := h.r.closed
+		delete(h.r.autos, h.id)
+		delete(h.r.stagedSends, h.id)
+		h.r.retiredAutos[h.id] = struct{}{}
+		h.r.mu.Unlock()
+		if closed {
+			return // engine Close tears the connection down wholesale
+		}
+		err = h.r.cl.Unregister(h.id)
+		// The handle is out of the demux map, so no deliver can race this.
+		h.closeEvents()
+	})
+	return err
+}

@@ -9,6 +9,16 @@
 # package name is a gate failure, not documentation.
 set -u
 fail=0
+# The public façade is load-bearing by definition: the root package's
+# doc.go must document the Engine concurrency contract.
+if ! grep -qs "^// Package unicache" doc.go; then
+	echo "missing package comment: doc.go (want a '// Package unicache ...' block)"
+	fail=1
+fi
+if ! grep -qsi "concurrency" doc.go; then
+	echo "missing concurrency contract: doc.go (want a '# Concurrency ...' section for the public Engine API)"
+	fail=1
+fi
 for dir in internal/*/; do
 	pkg=$(basename "$dir")
 	if ! grep -qs "^// Package $pkg" "$dir"*.go; then

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI gate for the wire path: spawn a cached server, run the quickstart
+# example against it with -remote (the same program text that runs
+# embedded), check the output, and exercise `cachectl stats` while a
+# watch is live. Guards the RPC half of the location-transparent façade —
+# the embedded half is covered by `go test .` (the conformance suite).
+set -eu
+
+ADDR="127.0.0.1:7911"
+DIR="$(mktemp -d)"
+trap 'kill "$CACHED_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/cached" ./cmd/cached
+go build -o "$DIR/cachectl" ./cmd/cachectl
+go build -o "$DIR/quickstart" ./examples/quickstart
+
+"$DIR/cached" -addr "$ADDR" -timer 0 >"$DIR/cached.log" 2>&1 &
+CACHED_PID=$!
+
+# Wait for the server to accept connections.
+for i in $(seq 1 50); do
+	if "$DIR/cachectl" -addr "$ADDR" ping >/dev/null 2>&1; then
+		break
+	fi
+	if [ "$i" -eq 50 ]; then
+		echo "cached did not come up" >&2
+		cat "$DIR/cached.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+out=$("$DIR/quickstart" -remote "$ADDR")
+echo "$out"
+echo "$out" | grep -q "over threshold: attic 33.0 1" || {
+	echo "smoke: quickstart -remote lost the automaton notification" >&2
+	exit 1
+}
+echo "$out" | grep -q "tap observed" || {
+	echo "smoke: quickstart -remote lost the watch tap" >&2
+	exit 1
+}
+
+# The stats opcode: a live server answers with the (now empty) counters.
+"$DIR/cachectl" -addr "$ADDR" stats
+"$DIR/cachectl" -addr "$ADDR" exec "select count(*) from Readings" | grep -q "^5$" || {
+	echo "smoke: remote select lost rows" >&2
+	exit 1
+}
+echo "smoke_remote: ok"
