@@ -915,6 +915,153 @@ func BenchmarkAblationOrderedMap(b *testing.B) {
 	})
 }
 
+// --- Façade load path, event pooling and streaming loads ------------------
+
+// facadeBenchEngine builds an Engine on the requested backend — the same
+// two shapes cmd/loadgen drives, reduced to a benchmark fixture. The
+// remote backend is a real server on a TCP loopback listener, so its rows
+// carry the whole RPC stack.
+func facadeBenchEngine(b *testing.B, backend string, cfg Config) (Engine, func()) {
+	b.Helper()
+	if backend == "embedded" {
+		e, err := NewEmbedded(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e, func() { _ = e.Close() }
+	}
+	c, err := cache.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := rpc.NewServer(c)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	eng, err := DialRemote(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, func() {
+		_ = eng.Close()
+		_ = srv.Close()
+		c.Close()
+	}
+}
+
+// BenchmarkFacadeInsertBatch drives 64-row batches through the public
+// Engine API on each backend, with event pooling off and on — the
+// before/after of the zero-allocation hot path. allocs/op divided by 64
+// is allocs/event; TestSteadyStateInsertAllocFree gates the pooled
+// embedded figure at exactly zero.
+func BenchmarkFacadeInsertBatch(b *testing.B) {
+	for _, backend := range []string{"embedded", "remote"} {
+		for _, pool := range []bool{false, true} {
+			b.Run(fmt.Sprintf("backend=%s/pool=%v", backend, pool), func(b *testing.B) {
+				eng, stop := facadeBenchEngine(b, backend,
+					Config{TimerPeriod: -1, PoolEvents: pool, EphemeralCapacity: 256})
+				defer stop()
+				if _, err := eng.Exec(`create table T (src integer, v integer)`); err != nil {
+					b.Fatal(err)
+				}
+				const batch = 64
+				rows := make([][]Value, batch)
+				vals := make([]Value, 2*batch)
+				for i := range rows {
+					rows[i] = vals[2*i : 2*i+2]
+					rows[i][0] = types.Int(int64(i))
+					rows[i][1] = types.Int(int64(i))
+				}
+				// Warm past the ring so pooled blocks recycle before the
+				// measured window.
+				for i := 0; i < 8; i++ {
+					if err := eng.InsertBatch("T", rows); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := eng.InsertBatch("T", rows); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				events := float64(b.N) * batch
+				b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkStreamLoad pours 4096 rows per op into a server over loopback
+// TCP two ways: per-batch InsertBatch calls of 64 rows (one round trip
+// each) versus one insert stream shipping the same rows as fire-and-forget
+// chunks (two round trips total). Loopback hides most of the latency win —
+// TestStreamBeatsPerBatchRTT pins the >=2x gap under a real 2ms RTT — but
+// the round-trip count still shows.
+func BenchmarkStreamLoad(b *testing.B) {
+	const rowsPerOp, perBatch = 4096, 64
+	for _, mode := range []string{"perbatch", "stream"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			c, err := cache.New(cache.Config{TimerPeriod: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Exec(`create table L (s varchar)`); err != nil {
+				b.Fatal(err)
+			}
+			srv := rpc.NewServer(c)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() { _ = srv.Serve(ln) }()
+			defer func() { _ = srv.Close() }()
+			cl, err := rpc.Dial(ln.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = cl.Close() }()
+			payload := types.Str(strings.Repeat("x", 256))
+			batch := make([][]types.Value, perBatch)
+			for i := range batch {
+				batch[i] = []types.Value{payload}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				switch mode {
+				case "perbatch":
+					for sent := 0; sent < rowsPerOp; sent += perBatch {
+						if err := cl.InsertBatch("L", batch); err != nil {
+							b.Fatal(err)
+						}
+					}
+				case "stream":
+					st, err := cl.NewInsertStream("L")
+					if err != nil {
+						b.Fatal(err)
+					}
+					for j := 0; j < rowsPerOp; j++ {
+						if err := st.Add(payload); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if _, err := st.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			rows := float64(b.N) * rowsPerOp
+			b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/sec")
+		})
+	}
+}
+
 // BenchmarkAblationRingCapacity sweeps the ephemeral ring size; insert
 // cost should be flat (the ring is why lookups stay O(1) regardless of
 // history length).

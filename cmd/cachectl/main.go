@@ -11,7 +11,7 @@
 //	cachectl exec "insert into Flows values (1500)"
 //	cachectl exec "select * from Flows [rows 10]"
 //	cachectl exec "insert into Flows values (1), (2), (3)"   # one batch commit
-//	cachectl load Flows < flows.csv         # bulk load stdin via the RPC batcher
+//	cachectl load Flows < flows.csv         # bulk load stdin via a streaming insert
 //	cachectl register bandwidth.gapl        # registers and streams send() events
 //	cachectl watch Flows                    # streams the topic's raw events
 //	cachectl stats                          # per-subscription depth/dropped counters
@@ -19,27 +19,20 @@
 package main
 
 import (
-	"bufio"
-	"encoding/csv"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
-	"time"
 
 	"unicache"
-	"unicache/internal/rpc"
+	"unicache/internal/csvload"
 	"unicache/internal/types"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "cached address")
-	batchRows := flag.Int("batch-rows", 256, "load: rows per batch commit")
-	batchDelay := flag.Duration("batch-delay", 10*time.Millisecond, "load: max buffering delay before a partial batch flushes")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -129,7 +122,7 @@ func main() {
 		if len(args) != 2 {
 			usage()
 		}
-		n, err := load(eng, args[1], *batchRows, *batchDelay)
+		n, err := load(eng, args[1])
 		if err != nil {
 			fail(err)
 		}
@@ -166,50 +159,32 @@ func printStats(st unicache.Stats) {
 	}
 }
 
-// load bulk-inserts CSV rows from stdin through the auto-flushing RPC
-// batcher: one commit (and one delivery per subscriber) per batch instead
-// of per line. Fields are parsed against the table's declared column types
-// (fetched via describe), so `123` loads into a varchar column as the
-// string "123", not a rejected integer. Lines starting with '#' are
-// comments — quote the first field (`"#tag",1`) to load a literal leading
-// '#'. The batcher is connection-level machinery, so it comes from the
-// engine's underlying RPC client rather than the location-transparent
-// surface.
-func load(eng *unicache.Remote, table string, maxRows int, maxDelay time.Duration) (int, error) {
+// load bulk-inserts CSV rows from stdin through a streaming RPC insert:
+// rows pour down the connection in bounded chunks with no per-chunk round
+// trips, so a multi-MB load costs two round trips total and arbitrarily
+// large files stream in constant memory. Fields are parsed against the
+// table's declared column types (fetched via describe); see
+// internal/csvload for the format. The stream is connection-level
+// machinery, so it comes from the engine's underlying RPC client rather
+// than the location-transparent surface.
+func load(eng *unicache.Remote, table string) (int, error) {
 	colTypes, err := fetchColumnTypes(eng, table)
 	if err != nil {
 		return 0, err
 	}
-	b := eng.Client().NewBatcher(table, rpc.BatcherConfig{MaxRows: maxRows, MaxDelay: maxDelay})
-	r := csv.NewReader(bufio.NewReaderSize(os.Stdin, 1<<20))
-	r.Comment = '#'
-	r.TrimLeadingSpace = true
-	r.FieldsPerRecord = len(colTypes)
-	r.ReuseRecord = true
-	n := 0
-	for {
-		fields, err := r.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return n, err // csv errors carry the input line number
-		}
-		vals := make([]types.Value, len(fields))
-		for i, f := range fields {
-			v, err := parseValue(f, colTypes[i])
-			if err != nil {
-				line, _ := r.FieldPos(i)
-				return n, fmt.Errorf("line %d, column %d: %w", line, i+1, err)
-			}
-			vals[i] = v
-		}
-		if err := b.Add(vals...); err != nil {
-			return n, err
-		}
-		n++
+	st, err := eng.Client().NewInsertStream(table)
+	if err != nil {
+		return 0, err
 	}
-	return n, b.Close()
+	n, err := csvload.Load(os.Stdin, colTypes, func(vals []types.Value) error {
+		return st.Add(vals...)
+	})
+	if err != nil {
+		_, _ = st.Close()
+		return n, err
+	}
+	committed, err := st.Close()
+	return int(committed), err
 }
 
 // fetchColumnTypes asks the server for the table's schema (describe output:
@@ -224,40 +199,6 @@ func fetchColumnTypes(eng unicache.Engine, table string) ([]string, error) {
 		out[i] = row[1].String()
 	}
 	return out, nil
-}
-
-// parseValue parses a CSV field as the column's declared type.
-func parseValue(s, colType string) (types.Value, error) {
-	switch colType {
-	case "integer":
-		i, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			return types.Nil, fmt.Errorf("%q is not an integer", s)
-		}
-		return types.Int(i), nil
-	case "real":
-		f, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return types.Nil, fmt.Errorf("%q is not a real", s)
-		}
-		return types.Real(f), nil
-	case "boolean":
-		switch s {
-		case "true", "1":
-			return types.Bool(true), nil
-		case "false", "0":
-			return types.Bool(false), nil
-		}
-		return types.Nil, fmt.Errorf("%q is not a boolean", s)
-	case "tstamp":
-		i, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			return types.Nil, fmt.Errorf("%q is not a tstamp (nanoseconds since epoch)", s)
-		}
-		return types.Stamp(types.Timestamp(i)), nil
-	default: // varchar; CSV quoting was already resolved by the reader
-		return types.Str(s), nil
-	}
 }
 
 func printResult(res *unicache.Result) {

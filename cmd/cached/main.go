@@ -6,11 +6,16 @@
 // Usage:
 //
 //	cached -addr :7654 -init schema.sql -timer 1s
+//	cached -init schema.sql -load Flows=flows.csv -load Links=links.csv
 //
 // The init file holds one SQL statement per line (or separated by blank
 // lines); '#' and '--' comments are ignored. It typically creates the
 // tables the deployment needs, exactly like the paper's cache
-// initialization from a configuration file (§4.2).
+// initialization from a configuration file (§4.2). Each -load flag then
+// bulk-loads a CSV file (cachectl-load format, see internal/csvload)
+// straight into a table through the embedded batch-commit path, in bounded
+// chunks — no RPC hop, no whole-file buffering — before the daemon starts
+// accepting connections.
 package main
 
 import (
@@ -23,8 +28,10 @@ import (
 	"time"
 
 	"unicache/internal/cache"
+	"unicache/internal/csvload"
 	"unicache/internal/pubsub"
 	"unicache/internal/rpc"
+	"unicache/internal/types"
 )
 
 func main() {
@@ -38,6 +45,8 @@ func main() {
 		"bound each automaton's inbox to this many events (0 = unbounded)")
 	autoPolicy := flag.String("automaton-policy", "block",
 		"overflow policy for bounded automaton inboxes: block, dropoldest or fail")
+	var loads loadSpecs
+	flag.Var(&loads, "load", "bulk-load a CSV file into a table at startup, as table=file.csv (repeatable)")
 	flag.Parse()
 
 	policy, err := parsePolicy(*autoPolicy)
@@ -62,6 +71,11 @@ func main() {
 
 	if *initFile != "" {
 		if err := execInitFile(c, *initFile); err != nil {
+			fail(err)
+		}
+	}
+	for _, spec := range loads {
+		if err := loadCSV(c, spec); err != nil {
 			fail(err)
 		}
 	}
@@ -115,6 +129,61 @@ func splitStatements(src string) []string {
 		}
 	}
 	return out
+}
+
+// loadSpecs collects repeated -load table=file.csv flags in order.
+type loadSpecs []string
+
+func (l *loadSpecs) String() string     { return strings.Join(*l, ",") }
+func (l *loadSpecs) Set(s string) error { *l = append(*l, s); return nil }
+
+// loadCSV bulk-loads one table=file.csv spec through the embedded
+// batch-commit path in bounded chunks, so startup loads of any size run in
+// constant memory with batch-granularity commits (and publications), the
+// same shape `cachectl load` produces over the streaming RPC path.
+func loadCSV(c *cache.Cache, spec string) error {
+	table, path, ok := strings.Cut(spec, "=")
+	if !ok || table == "" || path == "" {
+		return fmt.Errorf("-load wants table=file.csv, got %q", spec)
+	}
+	res, err := c.Exec("describe " + table)
+	if err != nil {
+		return fmt.Errorf("load %s: %w", spec, err)
+	}
+	colTypes := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		colTypes[i] = row[1].String()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("load %s: %w", spec, err)
+	}
+	defer func() { _ = f.Close() }()
+	const chunkRows = 4096
+	chunk := make([][]types.Value, 0, chunkRows)
+	commit := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		err := c.CommitBatch(table, chunk)
+		chunk = chunk[:0]
+		return err
+	}
+	n, err := csvload.Load(f, colTypes, func(vals []types.Value) error {
+		chunk = append(chunk, vals)
+		if len(chunk) == chunkRows {
+			return commit()
+		}
+		return nil
+	})
+	if err == nil {
+		err = commit()
+	}
+	if err != nil {
+		return fmt.Errorf("load %s: %w", spec, err)
+	}
+	fmt.Printf("loaded %d row(s) into %s from %s\n", n, table, path)
+	return nil
 }
 
 // parsePolicy maps a flag value to a pubsub overflow policy.

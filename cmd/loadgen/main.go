@@ -1,0 +1,113 @@
+// Command loadgen drives the façade-level load harness (internal/loadgen)
+// against the embedded and remote backends and prints one markdown table:
+// the same workload grid, through the same public Engine API, measured on
+// both sides of the location-transparency line. The remote backend is a
+// real cached server on a TCP loopback listener, so its rows carry the
+// full RPC stack — framing, batching, push delivery.
+//
+// Usage:
+//
+//	loadgen                 # full grid, both backends
+//	loadgen -quick          # CI smoke: tiny event counts
+//	loadgen -backend remote # one backend only
+//	loadgen -pool=false     # disable event pooling, for before/after rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"unicache"
+	"unicache/internal/cache"
+	"unicache/internal/loadgen"
+	"unicache/internal/rpc"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the smoke-sized grid (CI)")
+	events := flag.Int("events", 0, "override total events per workload")
+	backend := flag.String("backend", "both", "embedded, remote or both")
+	pool := flag.Bool("pool", true, "enable event pooling in the cache under test")
+	vmOnly := flag.Bool("vm", false, "force the bytecode interpreter for automata (disable closure compilation)")
+	flag.Parse()
+	switch *backend {
+	case "embedded", "remote", "both":
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown backend %q (want embedded, remote or both)\n", *backend)
+		os.Exit(2)
+	}
+
+	workloads := loadgen.DefaultWorkloads()
+	if *quick {
+		workloads = loadgen.QuickWorkloads()
+	}
+	if *events > 0 {
+		for i := range workloads {
+			workloads[i].Events = *events
+		}
+	}
+
+	cfg := cache.Config{TimerPeriod: -1, PoolEvents: *pool}
+	if *vmOnly {
+		cfg.CompileMode = unicache.ModeVM
+	}
+
+	var results []loadgen.Result
+	for _, w := range workloads {
+		if *backend != "remote" {
+			r, err := runEmbedded(w, cfg)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, r)
+		}
+		if *backend != "embedded" {
+			r, err := runRemote(w, cfg)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, r)
+		}
+	}
+	fmt.Print(loadgen.Table(results))
+}
+
+// runEmbedded measures one workload on a fresh in-process engine.
+func runEmbedded(w loadgen.Workload, cfg cache.Config) (loadgen.Result, error) {
+	eng, err := unicache.NewEmbedded(cfg)
+	if err != nil {
+		return loadgen.Result{}, err
+	}
+	defer func() { _ = eng.Close() }()
+	return loadgen.Run(eng, "embedded", w)
+}
+
+// runRemote measures one workload through a fresh cached server on a TCP
+// loopback listener — the whole RPC stack in the measured path.
+func runRemote(w loadgen.Workload, cfg cache.Config) (loadgen.Result, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return loadgen.Result{}, err
+	}
+	defer c.Close()
+	srv := rpc.NewServer(c)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return loadgen.Result{}, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+	eng, err := unicache.DialRemote(ln.Addr().String())
+	if err != nil {
+		return loadgen.Result{}, err
+	}
+	defer func() { _ = eng.Close() }()
+	return loadgen.Run(eng, "remote", w)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -76,6 +76,10 @@ type Config struct {
 	// an overflowing automaton is unregistered and the failure reported
 	// through OnRuntimeError.
 	InboxPolicy pubsub.Policy
+	// CompileMode selects the VM execution strategy for every automaton of
+	// this registry: gapl.ModeAuto (default) threads clauses through
+	// compiled closures, gapl.ModeVM forces the switch interpreter.
+	CompileMode gapl.CompileMode
 }
 
 // Options tunes one automaton's registration, overriding the registry-wide
@@ -215,6 +219,7 @@ func (r *Registry) RegisterWith(source string, sink Sink, opts Options) (*Automa
 		return nil, fmt.Errorf("automaton: %w", err)
 	}
 	machine.MaxSteps = r.cfg.MaxSteps
+	machine.Mode = r.cfg.CompileMode
 	a.vm = machine
 
 	// Initialization runs before any event can arrive (we subscribe after).

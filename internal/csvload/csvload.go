@@ -1,0 +1,92 @@
+// Package csvload parses CSV rows into typed values for bulk loading —
+// the shared front half of `cachectl load` (which streams rows over RPC)
+// and cached's -load flag (which commits them straight into the embedded
+// cache). Fields are parsed against the table's declared column types, so
+// `123` loads into a varchar column as the string "123", not a rejected
+// integer.
+//
+// Concurrency: a Load call reads its io.Reader from the calling goroutine
+// only and keeps no state between calls; distinct Load calls are
+// independent. The sink function runs on the caller's goroutine, one row
+// at a time, and owns each row slice it receives.
+package csvload
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"unicache/internal/types"
+)
+
+// Load parses CSV rows from r against colTypes (describe-output type names,
+// one per column) and hands each typed row to sink in input order. Lines
+// starting with '#' are comments — quote the first field (`"#tag",1`) to
+// load a literal leading '#'. It returns the number of rows sink accepted;
+// errors carry the input line and column. The sink owns each row slice.
+func Load(r io.Reader, colTypes []string, sink func(vals []types.Value) error) (int, error) {
+	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<20))
+	cr.Comment = '#'
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = len(colTypes)
+	cr.ReuseRecord = true
+	n := 0
+	for {
+		fields, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err // csv errors carry the input line number
+		}
+		vals := make([]types.Value, len(fields))
+		for i, f := range fields {
+			v, err := ParseValue(f, colTypes[i])
+			if err != nil {
+				line, _ := cr.FieldPos(i)
+				return n, fmt.Errorf("line %d, column %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		if err := sink(vals); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ParseValue parses one CSV field as the column's declared type.
+func ParseValue(s, colType string) (types.Value, error) {
+	switch colType {
+	case "integer":
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return types.Nil, fmt.Errorf("%q is not an integer", s)
+		}
+		return types.Int(i), nil
+	case "real":
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return types.Nil, fmt.Errorf("%q is not a real", s)
+		}
+		return types.Real(f), nil
+	case "boolean":
+		switch s {
+		case "true", "1":
+			return types.Bool(true), nil
+		case "false", "0":
+			return types.Bool(false), nil
+		}
+		return types.Nil, fmt.Errorf("%q is not a boolean", s)
+	case "tstamp":
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return types.Nil, fmt.Errorf("%q is not a tstamp (nanoseconds since epoch)", s)
+		}
+		return types.Stamp(types.Timestamp(i)), nil
+	default: // varchar; CSV quoting was already resolved by the reader
+		return types.Str(s), nil
+	}
+}

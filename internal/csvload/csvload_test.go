@@ -1,0 +1,91 @@
+package csvload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"unicache/internal/types"
+)
+
+func TestLoadParsesTypedRows(t *testing.T) {
+	in := strings.TrimLeft(`
+# comment line
+1,hello,3.5,true,42
+2, spaced,0.25,0,7
+"#tag",x,1,false,0
+`, "\n")
+	var rows [][]types.Value
+	n, err := Load(strings.NewReader(in),
+		[]string{"varchar", "varchar", "real", "boolean", "tstamp"},
+		func(vals []types.Value) error {
+			rows = append(rows, vals)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(rows) != 3 {
+		t.Fatalf("loaded %d rows (%d sunk), want 3", n, len(rows))
+	}
+	// Declared types win over lexical shape: "1" loads into varchar as a
+	// string; a quoted leading '#' is data, not a comment.
+	if rows[0][0] != types.Str("1") || rows[0][2] != types.Real(3.5) ||
+		rows[0][3] != types.Bool(true) || rows[0][4] != types.Stamp(42) {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if rows[1][1] != types.Str("spaced") || rows[1][3] != types.Bool(false) {
+		t.Errorf("row 1 = %v (leading space should be trimmed)", rows[1])
+	}
+	if rows[2][0] != types.Str("#tag") {
+		t.Errorf("row 2 = %v (quoted # is data)", rows[2])
+	}
+}
+
+func TestLoadErrorsCarryPosition(t *testing.T) {
+	n, err := Load(strings.NewReader("1\nx\n3\n"), []string{"integer"},
+		func([]types.Value) error { return nil })
+	if n != 1 {
+		t.Errorf("accepted %d rows before the error, want 1", n)
+	}
+	if err == nil || !strings.Contains(err.Error(), "line 2, column 1") {
+		t.Errorf("err = %v, want line 2, column 1 position", err)
+	}
+	// Arity mismatches surface from the csv layer.
+	if _, err := Load(strings.NewReader("1,2\n"), []string{"integer"},
+		func([]types.Value) error { return nil }); err == nil {
+		t.Error("wrong field count should error")
+	}
+}
+
+func TestLoadStopsOnSinkError(t *testing.T) {
+	sinkErr := errors.New("sink full")
+	calls := 0
+	n, err := Load(strings.NewReader("1\n2\n3\n"), []string{"integer"},
+		func([]types.Value) error {
+			calls++
+			if calls == 2 {
+				return sinkErr
+			}
+			return nil
+		})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("err = %v, want the sink error", err)
+	}
+	if n != 1 || calls != 2 {
+		t.Errorf("n = %d, calls = %d; want 1 accepted, 2 attempted", n, calls)
+	}
+}
+
+func TestParseValueRejections(t *testing.T) {
+	for _, tc := range []struct{ s, typ string }{
+		{"abc", "integer"}, {"abc", "real"}, {"yes", "boolean"}, {"abc", "tstamp"},
+	} {
+		if _, err := ParseValue(tc.s, tc.typ); err == nil {
+			t.Errorf("ParseValue(%q, %s) should fail", tc.s, tc.typ)
+		}
+	}
+	if v, err := ParseValue("anything at all", "varchar"); err != nil || v != types.Str("anything at all") {
+		t.Errorf("varchar passthrough = %v, %v", v, err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package loadgen is the façade-level load harness: it drives identical
+// workloads — a grid of topics × batch size × producers × subscriber mix —
+// against any unicache.Engine through the public API, so the embedded and
+// RPC backends are measured by the same code path an application would
+// use. Run reports end-to-end events/sec, per-InsertBatch p50/p99 commit
+// latency, and client-process heap allocations per event.
+//
+// Concurrency: Run spawns the workload's producer goroutines internally
+// and returns only after they and the engine's subscribers have finished;
+// the Result is then immutable. Run calls on the same engine must not
+// overlap (the allocation counters are process-wide); the harness itself
+// holds no shared state between calls.
+package loadgen
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unicache"
+	"unicache/internal/types"
+)
+
+// Workload is one load-grid row: how many topics share the engine, how
+// rows are batched, how many producers commit concurrently, and what
+// subscriber mix observes the flow.
+type Workload struct {
+	Name      string
+	Topics    int // tables/topics the load spreads across
+	BatchSize int // rows per InsertBatch call
+	Producers int // concurrent producer goroutines
+	Events    int // total rows committed across all producers
+	Watchers  int // watch taps per topic
+	Automata  int // counting automata per topic
+}
+
+// Result is one backend's measurement of one workload.
+type Result struct {
+	Backend      string
+	Workload     Workload
+	Elapsed      time.Duration
+	EventsPerSec float64
+	P50, P99     time.Duration // per-InsertBatch commit latency
+	AllocsPerOp  float64       // client-process heap allocations per event
+	Delivered    uint64        // events observed by watch taps
+	Sent         uint64        // automaton send() notifications drained
+}
+
+// DefaultWorkloads is the standard grid: single topic vs fan-out, small vs
+// large batches, lone producer vs contention, bare commits vs a live
+// subscriber mix.
+func DefaultWorkloads() []Workload {
+	return []Workload{
+		{Name: "1topic-b1-p1-bare", Topics: 1, BatchSize: 1, Producers: 1, Events: 50000},
+		{Name: "1topic-b64-p1-bare", Topics: 1, BatchSize: 64, Producers: 1, Events: 200000},
+		{Name: "4topic-b64-p4-bare", Topics: 4, BatchSize: 64, Producers: 4, Events: 200000},
+		{Name: "1topic-b64-p1-watch", Topics: 1, BatchSize: 64, Producers: 1, Events: 100000, Watchers: 1},
+		{Name: "4topic-b64-p4-mix", Topics: 4, BatchSize: 64, Producers: 4, Events: 100000, Watchers: 1, Automata: 1},
+	}
+}
+
+// QuickWorkloads is the CI smoke grid: the same shapes at a size that
+// finishes in well under a second per backend.
+func QuickWorkloads() []Workload {
+	ws := DefaultWorkloads()
+	for i := range ws {
+		ws[i].Events = 2000
+	}
+	return ws
+}
+
+// Run drives one workload against eng and measures it. The engine must be
+// fresh (no colliding table names); tables are created as T0..Tn-1 with
+// two integer columns. backend labels the result row.
+func Run(eng unicache.Engine, backend string, w Workload) (Result, error) {
+	if w.Topics < 1 || w.BatchSize < 1 || w.Producers < 1 || w.Events < 1 {
+		return Result{}, fmt.Errorf("loadgen: workload %q needs positive topics, batch size, producers and events", w.Name)
+	}
+	tables := make([]string, w.Topics)
+	for i := range tables {
+		tables[i] = fmt.Sprintf("T%d", i)
+		stmt := fmt.Sprintf("create table %s (src integer, v integer)", tables[i])
+		if _, err := eng.Exec(stmt); err != nil {
+			return Result{}, fmt.Errorf("loadgen: %s: %w", stmt, err)
+		}
+	}
+
+	// Subscriber mix: counting watch taps and counting automata, so the
+	// measured path includes dispatch fan-out, not just the commit.
+	var delivered atomic.Uint64
+	watches := make([]unicache.Watch, 0, w.Topics*w.Watchers)
+	for _, tbl := range tables {
+		for i := 0; i < w.Watchers; i++ {
+			wh, err := eng.Watch(tbl, func(*unicache.Event) { delivered.Add(1) })
+			if err != nil {
+				return Result{}, fmt.Errorf("loadgen: watch %s: %w", tbl, err)
+			}
+			watches = append(watches, wh)
+		}
+	}
+	defer func() {
+		for _, wh := range watches {
+			_ = wh.Close()
+		}
+	}()
+	var sent atomic.Uint64
+	var drainers sync.WaitGroup
+	autos := make([]unicache.Automaton, 0, w.Topics*w.Automata)
+	for _, tbl := range tables {
+		for i := 0; i < w.Automata; i++ {
+			src := fmt.Sprintf("subscribe r to %s; int n; behavior { n += 1; if (n %% 1000 == 0) { send(n); } }", tbl)
+			a, err := eng.Register(src)
+			if err != nil {
+				return Result{}, fmt.Errorf("loadgen: register on %s: %w", tbl, err)
+			}
+			autos = append(autos, a)
+			drainers.Add(1)
+			go func(a unicache.Automaton) {
+				defer drainers.Done()
+				for range a.Events() {
+					sent.Add(1)
+				}
+			}(a)
+		}
+	}
+	closeAutos := func() {
+		for _, a := range autos {
+			_ = a.Close()
+		}
+		drainers.Wait()
+	}
+
+	// Producers: each commits its share of batches round-robining across
+	// the topic list, recording one latency sample per InsertBatch. Rows
+	// are rebuilt per batch from a reused backing slice — the harness
+	// itself stays off the allocation profile as far as the public API
+	// allows.
+	perProducer := w.Events / w.Producers
+	batches := make([][]time.Duration, w.Producers)
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for p := 0; p < w.Producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rows := make([][]unicache.Value, 0, w.BatchSize)
+			vals := make([]unicache.Value, 2*w.BatchSize)
+			lat := make([]time.Duration, 0, perProducer/w.BatchSize+1)
+			for done := 0; done < perProducer; {
+				n := w.BatchSize
+				if perProducer-done < n {
+					n = perProducer - done
+				}
+				rows = rows[:0]
+				for i := 0; i < n; i++ {
+					row := vals[2*i : 2*i+2]
+					row[0] = types.Int(int64(p))
+					row[1] = types.Int(int64(done + i))
+					rows = append(rows, row)
+				}
+				tbl := tables[(p+done)%len(tables)]
+				t0 := time.Now()
+				if err := eng.InsertBatch(tbl, rows); err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("loadgen: insert into %s: %w", tbl, err))
+					return
+				}
+				lat = append(lat, time.Since(t0))
+				done += n
+			}
+			batches[p] = lat
+		}(p)
+	}
+	wg.Wait()
+	committed := perProducer * w.Producers
+	if err, _ := firstErr.Load().(error); err != nil {
+		closeAutos()
+		return Result{}, err
+	}
+
+	// Settle: commits have returned, but watch taps and automata drain
+	// asynchronously. Wait for the taps to see every event and the automata
+	// to go idle before stopping the clock — the workload isn't done until
+	// its subscribers are.
+	wantDelivered := uint64(committed) * uint64(w.Watchers)
+	for deadline := time.Now().Add(30 * time.Second); delivered.Load() < wantDelivered; {
+		if time.Now().After(deadline) {
+			closeAutos()
+			return Result{}, fmt.Errorf("loadgen: watch taps saw %d of %d events", delivered.Load(), wantDelivered)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(autos) > 0 && !unicache.WaitIdle(eng, 30*time.Second) {
+		closeAutos()
+		return Result{}, fmt.Errorf("loadgen: automata not idle after 30s")
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	closeAutos()
+
+	var all []time.Duration
+	for _, lat := range batches {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := Result{
+		Backend:      backend,
+		Workload:     w,
+		Elapsed:      elapsed,
+		EventsPerSec: float64(committed) / elapsed.Seconds(),
+		AllocsPerOp:  float64(ms1.Mallocs-ms0.Mallocs) / float64(committed),
+		Delivered:    delivered.Load(),
+		Sent:         sent.Load(),
+	}
+	if len(all) > 0 {
+		res.P50 = all[len(all)/2]
+		res.P99 = all[len(all)*99/100]
+	}
+	return res, nil
+}
+
+// Table renders results as a markdown table, one row per (workload,
+// backend) pair, in the order given.
+func Table(results []Result) string {
+	var b strings.Builder
+	b.WriteString("| workload | backend | events/sec | p50 | p99 | allocs/event |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "| %s | %s | %.0f | %s | %s | %.2f |\n",
+			r.Workload.Name, r.Backend, r.EventsPerSec,
+			r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.AllocsPerOp)
+	}
+	return b.String()
+}

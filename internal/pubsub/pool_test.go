@@ -1,0 +1,146 @@
+package pubsub
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"unicache/internal/types"
+)
+
+// Pooled-event lifecycle across the delivery pipeline: once SetOnDiscard is
+// installed, every event a queue accepts is either handed to the consumer
+// or released by the hook — shedding, rejection and close-time drops
+// included. These tests run under -race in CI; the reference counts double
+// as use-after-release tripwires.
+
+func poolEvent(t *testing.T) *types.Event {
+	t.Helper()
+	s, err := types.NewSchema("S", false, -1, types.Column{Name: "v", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return types.AcquireEvent("S", s, 1)
+}
+
+func TestQueueOnDiscardCoversEverySite(t *testing.T) {
+	var discarded []int
+	hook := func(v int) { discarded = append(discarded, v) }
+
+	// DropOldest: Push evictions and both PushBatch branches.
+	q := NewQueue[int](QueueOpts{Capacity: 2, Policy: DropOldest})
+	q.SetOnDiscard(hook)
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)                   // evicts 1
+	q.PushBatch([]int{4, 5})    // evicts 2, 3
+	q.PushBatch([]int{6, 7, 8}) // whole-run branch: evicts 4, 5 and sheds 6
+	if want := []int{1, 2, 3, 4, 5, 6}; len(discarded) != len(want) {
+		t.Fatalf("discards = %v, want %v", discarded, want)
+	} else {
+		for i, v := range want {
+			if discarded[i] != v {
+				t.Fatalf("discards = %v, want %v", discarded, want)
+			}
+		}
+	}
+	// Survivors reach the consumer, not the hook.
+	if a, _ := q.Pop(); a != 7 {
+		t.Fatalf("pop = %d, want 7", a)
+	}
+
+	// Close-time drops: pushes into a closed queue are discarded.
+	discarded = nil
+	q.Close()
+	q.Push(9)
+	q.PushBatch([]int{10, 11})
+	if len(discarded) != 3 {
+		t.Fatalf("closed-queue discards = %v, want [9 10 11]", discarded)
+	}
+
+	// Fail: the rejected elements are discarded before the queue fails.
+	discarded = nil
+	qf := NewQueue[int](QueueOpts{Capacity: 1, Policy: Fail})
+	qf.SetOnDiscard(hook)
+	qf.Push(1)
+	qf.Push(2) // rejected, fails the queue
+	if len(discarded) != 1 || discarded[0] != 2 {
+		t.Fatalf("fail discards = %v, want [2]", discarded)
+	}
+	discarded = nil
+	qf2 := NewQueue[int](QueueOpts{Capacity: 1, Policy: Fail})
+	qf2.SetOnDiscard(hook)
+	qf2.PushBatch([]int{1, 2}) // whole batch rejected
+	if len(discarded) != 2 {
+		t.Fatalf("fail batch discards = %v, want [1 2]", discarded)
+	}
+}
+
+// TestInboxShedsReleasePooledEvents: an inbox's discard hook releases the
+// publisher-granted reference of every event it sheds, and delivered events
+// keep theirs until the consumer releases them.
+func TestInboxShedsReleasePooledEvents(t *testing.T) {
+	in := NewInboxWith(QueueOpts{Capacity: 1, Policy: DropOldest})
+	first := poolEvent(t)
+	second := poolEvent(t)
+	// Keep one observer reference each so Refs stays readable after the
+	// inbox releases its own.
+	first.Retain() // refs: ours + the one Deliver transfers
+	second.Retain()
+	in.Deliver(first)
+	in.Deliver(second) // sheds first
+	if got := first.Refs(); got != 1 {
+		t.Errorf("shed event refs = %d, want 1 (inbox reference released)", got)
+	}
+	if got := second.Refs(); got != 2 {
+		t.Errorf("queued event refs = %d, want 2 (inbox still holds one)", got)
+	}
+	ev, ok := in.Pop()
+	if !ok || ev != second {
+		t.Fatal("expected the surviving event")
+	}
+	ev.Release() // the popped reference now belongs to the consumer
+	if got := second.Refs(); got != 1 {
+		t.Errorf("after consumer release refs = %d, want 1", got)
+	}
+	first.Release()
+	second.Release()
+}
+
+// TestDispatcherStopReleasesQueuedEvents: events still queued when the
+// dispatcher stops are released by the Stop drain, and the processed
+// counter absorbs them so Busy() reports idle.
+func TestDispatcherStopReleasesQueuedEvents(t *testing.T) {
+	in := NewInbox()
+	block := make(chan struct{})
+	var once sync.Once
+	started := make(chan struct{})
+	d := NewDispatcher(in, func(*types.Event) {
+		once.Do(func() { close(started) })
+		<-block
+	}, DispatcherConfig{})
+
+	events := make([]*types.Event, 8)
+	for i := range events {
+		events[i] = poolEvent(t)
+		events[i].Retain() // observer reference
+		in.Deliver(events[i])
+	}
+	<-started // the first event is in the callback; the rest are queued
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(block)
+	}()
+	d.Stop()
+	for i, ev := range events {
+		if got := ev.Refs(); got != 1 {
+			t.Errorf("event %d refs = %d, want 1 (dispatcher reference released)", i, got)
+		}
+	}
+	if d.Busy() {
+		t.Error("stopped dispatcher should not report busy")
+	}
+	for _, ev := range events {
+		ev.Release()
+	}
+}

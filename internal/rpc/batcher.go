@@ -10,10 +10,12 @@ import (
 	"unicache/internal/wire"
 )
 
-// batchByteBudget bounds the encoded size of one flushed chunk, leaving
-// headroom under maxMessageSize for the opcode, table name and row counts
-// so a size-bounded flush can never kill the connection.
-const batchByteBudget = maxMessageSize - 4096
+// batchByteBudget bounds the encoded size of one flushed msgInsertBatch: a
+// flush at or under it ships as a single round trip; anything larger pours
+// through an insert stream in chunks of the same size. It aliases
+// streamChunkBudget so the commit granularity — and therefore what
+// subscribers see as one publication — is identical on both paths.
+const batchByteBudget = streamChunkBudget
 
 // BatcherConfig tunes a Batcher's flush thresholds.
 type BatcherConfig struct {
@@ -166,24 +168,46 @@ func (b *Batcher) flush() error {
 	return err
 }
 
-// ship sends the snapshot as msgInsertBatch chunks cut incrementally at
-// the byte budget (row count alone does not bound wire size — wide varchar
-// rows can blow the 16 MiB cap). Each row is wire-encoded exactly once,
-// into scratch, and spliced into the chunk under assembly; when a row
-// would push the chunk past the budget the chunk ships and the row opens
-// the next one. On error the remaining rows are dropped; the sticky error
-// reports the loss.
+// ship sends the snapshot, cut incrementally at the byte budget (row count
+// alone does not bound wire size — wide varchar rows add up fast). Each row
+// is wire-encoded exactly once, into scratch, and spliced into the chunk
+// under assembly; when a row would push the chunk past the budget the chunk
+// closes and the row opens the next one. A snapshot that fits one chunk
+// ships as a single msgInsertBatch round trip; a larger one opens an insert
+// stream the moment the first chunk closes and pours every chunk down it
+// without per-chunk acks — two round trips total instead of one per chunk.
+// On error the remaining rows are dropped; the sticky error reports the
+// loss.
 func (b *Batcher) ship(rows [][]types.Value) error {
 	chunk := wire.NewEncoder(4096)
 	scratch := wire.NewEncoder(256)
+	var stream *InsertStream
 	count := 0
+	shipChunk := func() error {
+		if stream == nil {
+			// First overflow: the snapshot spans more than one chunk, so
+			// switch to the streaming path for this flush.
+			st, err := b.client.NewInsertStream(b.table)
+			if err != nil {
+				return err
+			}
+			stream = st
+		}
+		return stream.addChunk(count, chunk.Bytes())
+	}
 	for i, row := range rows {
 		scratch.Reset()
 		if err := scratch.Values(row); err != nil {
+			if stream != nil {
+				_, _ = stream.Close()
+			}
 			return fmt.Errorf("rpc: batch row %d: %w", i, err)
 		}
 		if count > 0 && chunk.Len()+scratch.Len() > batchByteBudget {
-			if err := b.client.insertBatchRaw(b.table, count, chunk.Bytes()); err != nil {
+			if err := shipChunk(); err != nil {
+				if stream != nil {
+					_, _ = stream.Close()
+				}
 				return err
 			}
 			chunk.Reset()
@@ -192,7 +216,15 @@ func (b *Batcher) ship(rows [][]types.Value) error {
 		chunk.Raw(scratch.Bytes())
 		count++
 	}
-	return b.client.insertBatchRaw(b.table, count, chunk.Bytes())
+	if stream == nil {
+		return b.client.insertBatchRaw(b.table, count, chunk.Bytes())
+	}
+	if err := stream.addChunk(count, chunk.Bytes()); err != nil {
+		_, _ = stream.Close()
+		return err
+	}
+	_, err := stream.Close()
+	return err
 }
 
 // timerFlush runs from the MaxDelay timer; it has no caller to return to,

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -48,6 +49,9 @@ type Client struct {
 	events    chan SendEvent
 	policy    pubsub.Policy
 	evDropped atomic.Uint64
+	// nextStream allocates per-connection insert-stream ids. Ids are never
+	// reused, so a server can tell a duplicate open from a stale one.
+	nextStream atomic.Uint64
 
 	// deliverMu serialises watch-event delivery: the read loop holds it
 	// while invoking a watch callback (or staging an event whose WatchWith
@@ -383,21 +387,57 @@ func (c *Client) Insert(table string, vals ...types.Value) error {
 	return nil
 }
 
-// InsertBatch commits a run of rows into one table as a single batch: one
-// RPC round trip, and server-side one commit-mutex acquisition, one
-// contiguous sequence run and one publication per subscriber for the whole
-// batch. Use NewBatcher for automatic size/time-based flushing.
+// InsertBatch commits a run of rows into one table. A batch whose encoding
+// fits one stream chunk ships as a single msgInsertBatch round trip —
+// server-side one commit-mutex acquisition, one contiguous sequence run and
+// one publication per subscriber for the whole batch. A larger batch is
+// poured through an insert stream in streamChunkBudget-sized chunks (each
+// chunk committing as its own batch, in order) so an arbitrarily large load
+// costs two round trips instead of one per chunk and never trips the
+// message size limit. Use NewBatcher for automatic size/time-based
+// flushing, or NewInsertStream to feed rows incrementally without holding
+// them all in memory.
 func (c *Client) InsertBatch(table string, rows [][]types.Value) error {
 	if len(rows) == 0 {
 		return nil
 	}
-	e := wire.NewEncoder(64 * len(rows))
-	e.U8(msgInsertBatch)
-	e.Str(table)
-	if err := e.Rows(rows); err != nil {
+	payload := wire.NewEncoder(64 * len(rows))
+	// chunks records where each chunk's rows start in payload; a new chunk
+	// opens when appending a row would push the current one past the budget.
+	type chunkMark struct{ off, nrows int }
+	chunks := []chunkMark{{0, 0}}
+	for i, vals := range rows {
+		before := payload.Len()
+		if err := payload.Values(vals); err != nil {
+			return fmt.Errorf("rpc: batch row %d: %w", i, err)
+		}
+		cur := &chunks[len(chunks)-1]
+		if cur.nrows > 0 && payload.Len()-cur.off > streamChunkBudget {
+			chunks = append(chunks, chunkMark{before, 1})
+		} else {
+			cur.nrows++
+		}
+	}
+	buf := payload.Bytes()
+	if len(chunks) == 1 {
+		return c.insertBatchRaw(table, len(rows), buf)
+	}
+	st, err := c.NewInsertStream(table)
+	if err != nil {
 		return err
 	}
-	return c.callInsertBatch(e.Bytes(), len(rows))
+	for i, ch := range chunks {
+		end := len(buf)
+		if i+1 < len(chunks) {
+			end = chunks[i+1].off
+		}
+		if err := st.addChunk(ch.nrows, buf[ch.off:end]); err != nil {
+			_, _ = st.Close() // release server-side stream state
+			return err
+		}
+	}
+	_, err = st.Close()
+	return err
 }
 
 // insertBatchRaw ships nrows pre-encoded rows — a concatenation of
@@ -417,12 +457,13 @@ func (c *Client) insertBatchRaw(table string, nrows int, rowsPayload []byte) err
 }
 
 // callInsertBatch performs the msgInsertBatch round trip over an encoded
-// request, enforcing the message limit client-side: the server drops the
-// whole connection on messages past maxMessageSize, which would take every
-// in-flight call down with this one.
+// request. The size guard is defensive: every sender now chunks at
+// streamChunkBudget (far below maxMessageSize) and pours anything larger
+// through an insert stream, so no batch, however big, can reach the
+// server's connection-killing message limit.
 func (c *Client) callInsertBatch(msg []byte, nrows int) error {
 	if len(msg) > maxMessageSize {
-		return fmt.Errorf("rpc: batch of %d rows encodes to %d bytes, over the %d-byte message limit; flush smaller batches",
+		return fmt.Errorf("rpc: batch of %d rows encodes to %d bytes, over the %d-byte message limit",
 			nrows, len(msg), maxMessageSize)
 	}
 	resp, err := c.call(msg)
@@ -440,6 +481,179 @@ func (c *Client) callInsertBatch(msg []byte, nrows int) error {
 		return fmt.Errorf("rpc: batch committed %d of %d rows", n, nrows)
 	}
 	return nil
+}
+
+// InsertStream is an open streaming bulk insert into one table: rows are
+// buffered into streamChunkBudget-sized chunks and poured down the
+// connection without per-chunk acknowledgements (exactly two round trips —
+// open and Close — no matter how many chunks flow between). Each chunk
+// commits server-side as its own batch, in order; the first commit error is
+// recorded on the stream and surfaces from Close, which also confirms the
+// total row count. The stream holds at most one chunk in client memory, so
+// a multi-GB load streams in bounded space, backpressured by TCP (the
+// server commits a chunk before reading the next message).
+//
+// An InsertStream is not safe for concurrent use. Rows accepted after the
+// chunk containing a failed commit are discarded server-side; Close reports
+// how many rows actually committed.
+type InsertStream struct {
+	c     *Client
+	id    uint64
+	table string
+
+	buf     *wire.Encoder // chunk under assembly (concatenated Values payloads)
+	scratch *wire.Encoder // single-row staging, so a too-big row can't split
+	nrows   int           // rows in buf
+	shipped uint64        // rows sent in completed chunks
+	err     error
+	closed  bool
+}
+
+// NewInsertStream opens a streaming bulk insert into table. The open is one
+// round trip; Add then streams without waiting, and Close flushes, confirms
+// the committed row count, and releases the server-side stream state. The
+// table's existence is checked when the first chunk commits, not at open.
+func (c *Client) NewInsertStream(table string) (*InsertStream, error) {
+	id := c.nextStream.Add(1)
+	e := wire.NewEncoder(32 + len(table))
+	e.U8(msgInsertStream)
+	e.U64(id)
+	e.Str(table)
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if resp[0] != msgInsertStreamOK {
+		return nil, fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	return &InsertStream{
+		c:       c,
+		id:      id,
+		table:   table,
+		buf:     wire.NewEncoder(4096),
+		scratch: wire.NewEncoder(256),
+	}, nil
+}
+
+// Add buffers one row, shipping the chunk under assembly when it reaches
+// the chunk budget. A row that cannot be wire-encoded is rejected without
+// poisoning the stream; a transport failure is sticky and also surfaces
+// from Close.
+func (s *InsertStream) Add(vals ...types.Value) error {
+	if s.closed {
+		return errors.New("rpc: insert stream is closed")
+	}
+	if s.err != nil {
+		return s.err
+	}
+	s.scratch.Reset()
+	if err := s.scratch.Values(vals); err != nil {
+		return err
+	}
+	return s.addChunk(1, s.scratch.Bytes())
+}
+
+// addChunk splices nrows pre-encoded rows (concatenated Encoder.Values
+// payloads) into the stream. Internal seam for InsertBatch and the Batcher,
+// whose rows are already encoded: a payload at or past the budget ships
+// directly, without a copy through buf.
+func (s *InsertStream) addChunk(nrows int, payload []byte) error {
+	if s.closed {
+		return errors.New("rpc: insert stream is closed")
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if s.nrows == 0 && len(payload) >= streamChunkBudget {
+		return s.send(nrows, payload)
+	}
+	if s.nrows > 0 && s.buf.Len()+len(payload) > streamChunkBudget {
+		if err := s.flush(); err != nil {
+			return err
+		}
+		if len(payload) >= streamChunkBudget {
+			return s.send(nrows, payload)
+		}
+	}
+	s.buf.Raw(payload)
+	s.nrows += nrows
+	if s.buf.Len() >= streamChunkBudget {
+		return s.flush()
+	}
+	return nil
+}
+
+// flush ships the chunk under assembly, if any.
+func (s *InsertStream) flush() error {
+	if s.nrows == 0 {
+		return nil
+	}
+	err := s.send(s.nrows, s.buf.Bytes())
+	s.nrows = 0
+	s.buf.Reset()
+	return err
+}
+
+// send writes one msgInsertStreamChunk with message id 0: fire-and-forget,
+// no reply slot, no round trip.
+func (s *InsertStream) send(nrows int, rowsPayload []byte) error {
+	e := wire.NewEncoder(16 + len(rowsPayload))
+	e.U8(msgInsertStreamChunk)
+	e.U64(s.id)
+	e.U32(uint32(nrows))
+	e.Raw(rowsPayload)
+	if e.Len() > maxMessageSize {
+		s.err = fmt.Errorf("rpc: stream chunk of %d rows encodes to %d bytes, over the %d-byte message limit",
+			nrows, e.Len(), maxMessageSize)
+		return s.err
+	}
+	if err := s.c.tr.writeMessage(0, e.Bytes()); err != nil {
+		s.err = err
+		return err
+	}
+	s.shipped += uint64(nrows)
+	return nil
+}
+
+// Close flushes the final chunk, ends the stream (the second and last round
+// trip), and returns the number of rows the server committed. The error is
+// the stream's first failure from any source: a chunk commit server-side, a
+// transport write, or a count mismatch. Close always sends the end message
+// when the transport still works, so the server releases its stream state
+// even on an errored stream.
+func (s *InsertStream) Close() (uint64, error) {
+	if s.closed {
+		return s.shipped, s.err
+	}
+	s.closed = true
+	if s.err == nil {
+		_ = s.flush() // failure is sticky in s.err
+	}
+	e := wire.NewEncoder(16)
+	e.U8(msgInsertStreamEnd)
+	e.U64(s.id)
+	resp, err := s.c.call(e.Bytes())
+	if s.err != nil {
+		return s.shipped, s.err
+	}
+	if err != nil {
+		s.err = err
+		return s.shipped, err
+	}
+	if resp[0] != msgInsertStreamEndOK {
+		s.err = fmt.Errorf("rpc: unexpected reply %d", resp[0])
+		return s.shipped, s.err
+	}
+	n, err := wire.NewDecoder(resp[1:]).U64()
+	if err != nil {
+		s.err = err
+		return s.shipped, err
+	}
+	if n != s.shipped {
+		s.err = fmt.Errorf("rpc: stream committed %d of %d rows", n, s.shipped)
+		return n, s.err
+	}
+	return n, nil
 }
 
 // Register submits automaton source code. On success it returns the

@@ -57,7 +57,31 @@ const (
 	// msgStatsOK: u32 nwatch × (i64 id, str topic, i64 depth, u64 dropped),
 	// then u32 nauto × (i64 id, i64 depth, u64 dropped, u64 processed).
 	msgStatsOK = 22
+	// Streaming bulk insert. A multi-MB load as one msgInsertBatch pays its
+	// whole encoded size in client memory and is capped at maxMessageSize;
+	// chunking it into independent msgInsertBatch calls pays one round trip
+	// per chunk. A stream is the middle path: open once, pour bounded chunk
+	// messages down the pipe without waiting for acks, close once. Exactly
+	// two round trips total; TCP flow control bounds both sides' memory
+	// (the server commits each chunk before reading the next message, so a
+	// fast sender backpressures on the socket, not on server buffers).
+	msgInsertStream   = 23 // u64 stream id, str table — open a stream
+	msgInsertStreamOK = 24
+	// msgInsertStreamChunk is fire-and-forget (sent with message id 0, no
+	// reply): u64 stream id, u32 nrows, then nrows Values payloads. The
+	// server commits each chunk as one batch; the first commit error is
+	// recorded on the stream, later chunks are discarded, and the error
+	// surfaces in the msgInsertStreamEnd reply.
+	msgInsertStreamChunk = 25
+	msgInsertStreamEnd   = 26 // u64 stream id — replies EndOK or msgErr
+	msgInsertStreamEndOK = 27 // u64 total rows committed
 )
+
+// streamChunkBudget bounds one msgInsertStreamChunk's encoded rows (256
+// KiB): big enough to amortise framing, small enough that a chunk commits —
+// and publishes to subscribers — promptly, keeping the stream path's
+// batch-commit granularity close to the Batcher's.
+const streamChunkBudget = 256 << 10
 
 // pushQueueDepth bounds the per-connection queue of encoded send() pushes
 // awaiting the wire. The queue uses the Block policy: when a client stops

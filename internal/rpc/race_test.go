@@ -1,0 +1,7 @@
+//go:build race
+
+package rpc
+
+// raceEnabled gates tests whose timing assertions are meaningless under
+// the race detector's instrumentation.
+const raceEnabled = true

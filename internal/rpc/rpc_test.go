@@ -526,17 +526,24 @@ func TestBatcherSplitsOversizedFlush(t *testing.T) {
 	if res.Rows[0][0].String() != "20" {
 		t.Errorf("count = %s, want 20", res.Rows[0][0])
 	}
-	// A direct InsertBatch past the limit errors cleanly and the
-	// connection survives.
+	// A direct InsertBatch past the single-message budget streams instead
+	// of erroring: every row commits and the connection survives.
 	rows := make([][]types.Value, 20)
 	for i := range rows {
 		rows[i] = []types.Value{types.Str(big)}
 	}
-	if err := cl.InsertBatch("T", rows); err == nil {
-		t.Error("oversized direct InsertBatch should error")
+	if err := cl.InsertBatch("T", rows); err != nil {
+		t.Errorf("oversized direct InsertBatch should stream: %v", err)
+	}
+	res, err = cl.Exec(`select count(*) as n from T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != "40" {
+		t.Errorf("count = %s, want 40", res.Rows[0][0])
 	}
 	if err := cl.Ping(); err != nil {
-		t.Errorf("connection should survive the rejected batch: %v", err)
+		t.Errorf("connection should survive the streamed batch: %v", err)
 	}
 }
 

@@ -135,9 +135,23 @@ type serverConn struct {
 	pushes   *pubsub.Queue[[]byte]
 	pushDone chan struct{}
 
+	// streams holds this connection's open insert streams. Only the serve
+	// goroutine touches it (stream opens, chunks and ends are all dispatched
+	// serially there), so it needs no lock; it dies with the connection.
+	streams map[uint64]*serverStream
+
 	mu      sync.Mutex
 	autos   []int64 // automata registered by this connection
 	watches []int64 // watch taps registered by this connection
+}
+
+// serverStream is one open streaming bulk insert: chunks commit as they
+// arrive; the first failure is recorded and later chunks are discarded, so
+// the client's Close sees either the total committed or that first error.
+type serverStream struct {
+	table string
+	total uint64
+	err   error
 }
 
 func (c *serverConn) shutdown() { _ = c.tr.close() }
@@ -300,6 +314,68 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 		}
 		return c.reply(msgID, msgInsertBatchOK, func(e *wire.Encoder) error {
 			e.U32(uint32(len(rows)))
+			return nil
+		})
+
+	case msgInsertStream:
+		id, err := d.U64()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		tbl, err := d.Str()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		if c.streams == nil {
+			c.streams = make(map[uint64]*serverStream)
+		}
+		if _, dup := c.streams[id]; dup {
+			return c.replyErr(msgID, fmt.Errorf("rpc: insert stream %d is already open", id))
+		}
+		c.streams[id] = &serverStream{table: tbl}
+		return c.reply(msgID, msgInsertStreamOK, nil)
+
+	case msgInsertStreamChunk:
+		// Fire-and-forget (message id 0): never reply. A chunk for an
+		// unknown stream is a protocol slip from a dead or buggy client and
+		// is dropped; a chunk after the stream's first error is discarded so
+		// the load stops at the failure point instead of committing a run
+		// with a hole in it.
+		id, err := d.U64()
+		if err != nil {
+			return nil
+		}
+		st := c.streams[id]
+		if st == nil || st.err != nil {
+			return nil
+		}
+		rows, err := d.Rows()
+		if err != nil {
+			st.err = err
+			return nil
+		}
+		if err := c.srv.cache.CommitBatch(st.table, rows); err != nil {
+			st.err = err
+			return nil
+		}
+		st.total += uint64(len(rows))
+		return nil
+
+	case msgInsertStreamEnd:
+		id, err := d.U64()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		st := c.streams[id]
+		if st == nil {
+			return c.replyErr(msgID, fmt.Errorf("rpc: insert stream %d is not open", id))
+		}
+		delete(c.streams, id)
+		if st.err != nil {
+			return c.replyErr(msgID, st.err)
+		}
+		return c.reply(msgID, msgInsertStreamEndOK, func(e *wire.Encoder) error {
+			e.U64(st.total)
 			return nil
 		})
 

@@ -290,10 +290,33 @@ func (w *Window) AppendBatch(vals []Value, tss []Timestamp, now Timestamp) error
 			}
 		}
 	}
-	for i, v := range vals {
+	// Arena-style storage reuse: evict before appending, so the entries
+	// slice never grows past the window bound just to be trimmed again.
+	// For a row window only the last `rows` values of the batch can survive,
+	// and any in-place entries they displace are dropped up front; for a
+	// time window already-expired entries are compacted away first. After
+	// warm-up the backing array is reused verbatim — batch activation
+	// appends with zero allocation.
+	keep := vals
+	keepTss := tss
+	switch w.mode {
+	case WindowRows:
+		if len(keep) >= w.rows {
+			w.entries = w.entries[:0]
+			keep = keep[len(keep)-w.rows:]
+			if keepTss != nil {
+				keepTss = keepTss[len(keepTss)-w.rows:]
+			}
+		} else if n := len(w.entries) + len(keep) - w.rows; n > 0 {
+			w.entries = append(w.entries[:0], w.entries[n:]...)
+		}
+	case WindowTime:
+		w.evict(now)
+	}
+	for i, v := range keep {
 		ts := now
-		if tss != nil {
-			ts = tss[i]
+		if keepTss != nil {
+			ts = keepTss[i]
 		}
 		w.entries = append(w.entries, windowEntry{ts: ts, v: v})
 	}

@@ -1,0 +1,127 @@
+package types
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The steady-state event path (commit → publish → dispatcher → VM) can run
+// without per-event heap allocation by recycling events through a pool.
+// One eventBlock carries everything a committed event needs — the Event, its
+// Tuple and the value storage — so acquiring an event is a single pool Get
+// and releasing it returns all three at once.
+//
+// Ownership is reference-counted. The rules (docs/ARCHITECTURE.md, "Event
+// ownership and pooling"):
+//
+//   - AcquireEvent returns a block with one reference, owned by the caller
+//     (the commit path).
+//   - Every holder that retains the event or its tuple past a function
+//     boundary takes its own reference with Retain and drops it with Release:
+//     the ephemeral table ring for stored tuples, each subscriber inbox for
+//     queued events, the VM for the event bound to a subscription slot, and
+//     table scans for snapshot rows.
+//   - Release on an event that never came from the pool is a no-op, so call
+//     sites are unconditional and unpooled operation is unaffected.
+//
+// When the count hits zero the value storage is zeroed (so pooled blocks do
+// not pin aggregates or strings) and the block is returned for reuse.
+// Releasing past zero panics: a use-after-release bug should fail loudly in
+// tests rather than silently corrupt a recycled event.
+type eventBlock struct {
+	refs atomic.Int32
+	ev   Event
+	tup  Tuple
+	vals []Value
+}
+
+var eventPool = sync.Pool{New: func() any { return new(eventBlock) }}
+
+// AcquireEvent returns a pooled event for the given topic and schema with a
+// value slice of ncols zero values and a reference count of one. The caller
+// owns the reference and must Release it when done; typically the commit
+// path fills Tuple.Vals via Schema.CoerceInto, stamps Seq/TS, publishes, and
+// releases.
+func AcquireEvent(topic string, schema *Schema, ncols int) *Event {
+	b := eventPool.Get().(*eventBlock)
+	b.refs.Store(1)
+	if cap(b.vals) < ncols {
+		b.vals = make([]Value, ncols)
+	}
+	b.vals = b.vals[:ncols]
+	b.tup = Tuple{Vals: b.vals, block: b}
+	b.ev = Event{Topic: topic, Schema: schema, Tuple: &b.tup, block: b}
+	return &b.ev
+}
+
+func (b *eventBlock) retain() { b.refs.Add(1) }
+
+func (b *eventBlock) release() {
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		for i := range b.vals {
+			b.vals[i] = Value{}
+		}
+		b.tup = Tuple{}
+		b.ev = Event{}
+		eventPool.Put(b)
+	case n < 0:
+		panic("types: pooled event released after its reference count hit zero")
+	}
+}
+
+// Retain takes an additional reference on a pooled event. No-op for events
+// that did not come from the pool.
+func (e *Event) Retain() {
+	if e != nil && e.block != nil {
+		e.block.retain()
+	}
+}
+
+// Release drops one reference on a pooled event, recycling the block when
+// the count reaches zero. No-op for events that did not come from the pool.
+func (e *Event) Release() {
+	if e != nil && e.block != nil {
+		e.block.release()
+	}
+}
+
+// Pooled reports whether the event's storage is pool-managed (and therefore
+// only valid while a reference is held).
+func (e *Event) Pooled() bool { return e != nil && e.block != nil }
+
+// Refs returns the current reference count (0 for unpooled events). It is an
+// observability hook for lifecycle tests; production code should never branch
+// on it.
+func (e *Event) Refs() int32 {
+	if e == nil || e.block == nil {
+		return 0
+	}
+	return e.block.refs.Load()
+}
+
+// Retain takes an additional reference on the tuple's pooled block. No-op
+// for tuples that did not come from the pool.
+func (t *Tuple) Retain() {
+	if t != nil && t.block != nil {
+		t.block.retain()
+	}
+}
+
+// Release drops one reference on the tuple's pooled block. No-op for tuples
+// that did not come from the pool.
+func (t *Tuple) Release() {
+	if t != nil && t.block != nil {
+		t.block.release()
+	}
+}
+
+// Pooled reports whether the tuple's storage is pool-managed.
+func (t *Tuple) Pooled() bool { return t != nil && t.block != nil }
+
+// Clone returns an unpooled copy of the event with its own tuple and value
+// storage. Subscribers that need an event past their callback (the only
+// retention the delivery contract allows without Retain) copy it out.
+func (e *Event) Clone() *Event {
+	return &Event{Topic: e.Topic, Schema: e.Schema, Tuple: e.Tuple.Clone()}
+}

@@ -1,0 +1,143 @@
+package types
+
+import "testing"
+
+func poolSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("S", false, -1,
+		Column{Name: "name", Type: ColVarchar},
+		Column{Name: "v", Type: ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAcquireEventLifecycle(t *testing.T) {
+	s := poolSchema(t)
+	ev := AcquireEvent("S", s, 2)
+	if !ev.Pooled() {
+		t.Fatal("acquired event should be pooled")
+	}
+	if got := ev.Refs(); got != 1 {
+		t.Fatalf("fresh event refs = %d, want 1", got)
+	}
+	if len(ev.Tuple.Vals) != 2 {
+		t.Fatalf("vals sized %d, want 2", len(ev.Tuple.Vals))
+	}
+	ev.Retain()
+	ev.Retain()
+	if got := ev.Refs(); got != 3 {
+		t.Fatalf("refs = %d, want 3", got)
+	}
+	ev.Release()
+	ev.Release()
+	if got := ev.Refs(); got != 1 {
+		t.Fatalf("refs = %d, want 1", got)
+	}
+	ev.Release() // back to the pool
+}
+
+func TestReleaseAfterZeroPanics(t *testing.T) {
+	s := poolSchema(t)
+	ev := AcquireEvent("S", s, 2)
+	b := ev.block
+	ev.Release()
+	// The scrub detaches the public Event/Tuple from the block, so a stale
+	// Release through them is absorbed as a no-op...
+	ev.Release()
+	// ...but a release racing the one that hit zero (both saw the block
+	// before the scrub) drives the count negative and must fail loudly
+	// rather than silently corrupt a recycled block.
+	defer func() {
+		if recover() == nil {
+			t.Error("release past zero should panic loudly, not corrupt the pool")
+		}
+	}()
+	b.release()
+}
+
+func TestUnpooledRetainReleaseNoop(t *testing.T) {
+	ev := &Event{Topic: "S", Tuple: &Tuple{Vals: []Value{Int(1)}}}
+	if ev.Pooled() {
+		t.Fatal("heap event should not report pooled")
+	}
+	// Unconditional call sites rely on these being no-ops for heap events.
+	ev.Retain()
+	ev.Release()
+	ev.Release()
+	ev.Tuple.Retain()
+	ev.Tuple.Release()
+	if ev.Tuple.Vals[0] != Int(1) {
+		t.Error("heap event mutated by no-op retain/release")
+	}
+}
+
+func TestPooledCloneIsUnpooled(t *testing.T) {
+	s := poolSchema(t)
+	ev := AcquireEvent("S", s, 2)
+	ev.Tuple.Vals[0] = Str("a")
+	ev.Tuple.Vals[1] = Int(7)
+	clone := ev.Clone()
+	ev.Release()
+	if clone.Pooled() {
+		t.Error("clone must be a plain heap event")
+	}
+	if clone.Tuple.Vals[0] != Str("a") || clone.Tuple.Vals[1] != Int(7) {
+		t.Errorf("clone vals = %v, want [a 7]", clone.Tuple.Vals)
+	}
+}
+
+// TestReleaseScrubsAndRecycles: a released block comes back from the pool
+// scrubbed — no values, schema or topic from its previous life.
+func TestReleaseScrubsAndRecycles(t *testing.T) {
+	s := poolSchema(t)
+	ev := AcquireEvent("S", s, 2)
+	ev.Tuple.Vals[0] = Str("secret")
+	ev.Tuple.Vals[1] = Int(42)
+	ev.Release()
+	// sync.Pool gives no recycling guarantee, so scan a few acquisitions:
+	// none may carry stale values.
+	for i := 0; i < 16; i++ {
+		re := AcquireEvent("S2", s, 2)
+		for j, v := range re.Tuple.Vals {
+			if v != Nil {
+				t.Fatalf("recycled event vals[%d] = %v, want Nil", j, v)
+			}
+		}
+		if re.Topic != "S2" || re.Tuple.Seq != 0 || re.Tuple.TS != 0 {
+			t.Fatalf("recycled event carries stale identity: %+v", re)
+		}
+		re.Release()
+	}
+}
+
+func TestCoerceInto(t *testing.T) {
+	s := poolSchema(t)
+	dst := make([]Value, 2)
+	if err := s.CoerceInto(dst, []Value{Str("a"), Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != Str("a") || dst[1] != Int(1) {
+		t.Errorf("dst = %v, want [a 1]", dst)
+	}
+	// Arity mismatch and uncoercible kinds fail like Coerce does.
+	if err := s.CoerceInto(dst, []Value{Str("a")}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := s.CoerceInto(dst, []Value{Str("a"), Str("nope")}); err == nil {
+		t.Error("uncoercible kind should fail")
+	}
+	// Kinds that convert (int → real) convert in place.
+	rs, err := NewSchema("R", false, -1, Column{Name: "x", Type: ColReal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdst := make([]Value, 1)
+	if err := rs.CoerceInto(rdst, []Value{Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if rdst[0].Kind() != KindReal {
+		t.Errorf("int should coerce to real, got %v", rdst[0].Kind())
+	}
+}

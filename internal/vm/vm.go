@@ -48,6 +48,10 @@ type VM struct {
 	// 0 means unlimited. It protects tests against accidental infinite
 	// loops in behaviour clauses.
 	MaxSteps int
+	// Mode selects the execution strategy: gapl.ModeAuto (default)
+	// threads each clause through compiled closures, gapl.ModeVM forces
+	// the switch interpreter. Set before the first RunInit/Deliver.
+	Mode gapl.CompileMode
 
 	slots     []types.Value
 	stack     []types.Value
@@ -64,6 +68,14 @@ type VM struct {
 	// batch append costs no per-activation allocation once warm.
 	batchVals []types.Value
 	batchTs   []types.Timestamp
+
+	// Compiled closure chains for the two clauses (ModeAuto), built
+	// lazily on first execution; nil with the flag set means the clause
+	// declined compilation and stays on the interpreter.
+	initSteps    []step
+	behSteps     []step
+	initCompiled bool
+	behCompiled  bool
 }
 
 // New binds a compiled-and-bound automaton to a host.
@@ -133,6 +145,14 @@ func (m *VM) Deliver(ev *types.Event) error {
 	slot, ok := m.topicSlot[ev.Topic]
 	if !ok {
 		return fmt.Errorf("vm: not subscribed to topic %q", ev.Topic)
+	}
+	// The subscription slot holds the event across activations (GAPL code
+	// may read f.attr on a later activation of another subscription): take
+	// the VM's own reference on the new event and drop the one on the
+	// event it displaces. No-ops for unpooled events.
+	ev.Retain()
+	if old := m.slots[slot].Event(); old != nil {
+		old.Release()
 	}
 	m.slots[slot] = types.EventV(ev)
 	m.curTopic = ev.Topic
@@ -232,7 +252,18 @@ func (m *VM) runtimeErr(ins gapl.Instr, err error) error {
 	return fmt.Errorf("line %d: %w", ins.Line, err)
 }
 
+// exec routes a clause to the compiled closure chain (ModeAuto) or the
+// switch interpreter (ModeVM, or a clause the closure compiler declined).
 func (m *VM) exec(code []gapl.Instr) error {
+	if m.Mode != gapl.ModeVM && len(code) > 0 {
+		if steps := m.stepsFor(code); steps != nil {
+			return m.execSteps(steps)
+		}
+	}
+	return m.execSwitch(code)
+}
+
+func (m *VM) execSwitch(code []gapl.Instr) error {
 	m.stack = m.stack[:0]
 	pc := 0
 	steps := 0

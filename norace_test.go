@@ -1,0 +1,7 @@
+//go:build !race
+
+package unicache
+
+// raceEnabled gates tests whose measurements (allocation accounting) are
+// meaningless under the race detector's instrumentation.
+const raceEnabled = false

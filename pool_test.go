@@ -1,0 +1,230 @@
+// Pooled-event path tests at the façade level: the end-to-end lifecycle
+// under concurrent load and shedding (run under -race in CI — a pooled
+// event touched after its release is a data race the detector sees), and
+// the allocation gate pinning that the embedded steady-state insert path
+// stays allocation-free per event.
+package unicache
+
+import (
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unicache/internal/types"
+)
+
+// TestPooledLifecycleUnderSheddingLoad drives both backends with event
+// pooling on: concurrent producers, DropOldest watch taps and automata
+// sized to shed most of the stream, subscribers closed mid-flight, and an
+// engine close at the end. Every delivered value must still be coherent —
+// a recycled block observed after release would surface as a wrong value
+// here or as a race under -race.
+func TestPooledLifecycleUnderSheddingLoad(t *testing.T) {
+	forEachBackend(t, Config{PoolEvents: true, EphemeralCapacity: 64}, func(t *testing.T, p backendPair) {
+		e := p.primary
+		if _, err := e.Exec(`create table S (src integer, v integer)`); err != nil {
+			t.Fatal(err)
+		}
+		var delivered, bad atomic.Uint64
+		check := func(ev *Event) {
+			// Touch every value after the callback could have raced with a
+			// release: both columns must still hold coherent integers.
+			if len(ev.Tuple.Vals) != 2 || ev.Tuple.Vals[0].Kind() != types.KindInt || ev.Tuple.Vals[1].Kind() != types.KindInt {
+				bad.Add(1)
+			}
+			delivered.Add(1)
+		}
+		// A tiny DropOldest tap: most of the stream is shed at the inbox,
+		// exercising the discard-release path concurrently with commits.
+		shedding, err := e.Watch("S", check, WatchQueue(4), WatchPolicy(DropOldest))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A roomy tap that sees everything, as the delivery control.
+		keeper, err := e.Watch("S", check, WatchQueue(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An automaton with a tiny shedding inbox, reading fields off the
+		// delivered (pooled) event inside the VM.
+		a, err := e.Register(`subscribe r to S; int n; behavior { n += r.v; if (n % 7 == 0) { send(n); } }`,
+			InboxCapacity(4), InboxPolicy(DropOldest))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var drain sync.WaitGroup
+		drain.Add(1)
+		go func() {
+			defer drain.Done()
+			for range a.Events() {
+			}
+		}()
+
+		const producers, batches, batchSize = 4, 50, 16
+		var wg sync.WaitGroup
+		for pr := 0; pr < producers; pr++ {
+			wg.Add(1)
+			go func(pr int) {
+				defer wg.Done()
+				rows := make([][]Value, batchSize)
+				for i := 0; i < batches; i++ {
+					for j := range rows {
+						rows[j] = []Value{types.Int(int64(pr)), types.Int(int64(i*batchSize + j))}
+					}
+					if err := e.InsertBatch("S", rows); err != nil {
+						t.Errorf("producer %d: %v", pr, err)
+						return
+					}
+					if i == batches/2 && pr == 0 {
+						// Tear a subscriber down mid-stream: its queued
+						// events must be released, not leaked or reused.
+						_ = shedding.Close()
+					}
+				}
+			}(pr)
+		}
+		wg.Wait()
+		total := uint64(producers * batches * batchSize)
+		waitFor(t, 10*time.Second, "keeper tap to drain", func() bool {
+			return delivered.Load() >= total // keeper alone must see every event
+		})
+		if !WaitIdle(e, 10*time.Second) {
+			t.Fatal("automata not idle")
+		}
+		if bad.Load() != 0 {
+			t.Fatalf("%d delivered events were incoherent (use-after-release)", bad.Load())
+		}
+		_ = keeper.Close()
+		_ = a.Close()
+		drain.Wait()
+	})
+}
+
+// TestPooledDeliveryRetainContract: a callback that must keep an event past
+// its return uses Clone (or Retain); the clone stays valid after the pooled
+// original is recycled by later traffic.
+func TestPooledDeliveryRetainContract(t *testing.T) {
+	forEachBackend(t, Config{PoolEvents: true, EphemeralCapacity: 16}, func(t *testing.T, p backendPair) {
+		e := p.primary
+		if _, err := e.Exec(`create table S (v integer)`); err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var kept []*Event
+		w, err := e.Watch("S", func(ev *Event) {
+			mu.Lock()
+			kept = append(kept, ev.Clone())
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 200 // far past the ring, so early blocks recycle
+		for i := 0; i < n; i++ {
+			if err := e.Insert("S", types.Int(int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitFor(t, 10*time.Second, "all events delivered", func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(kept) >= n
+		})
+		mu.Lock()
+		defer mu.Unlock()
+		for i, ev := range kept {
+			if got := ev.Tuple.Vals[0]; got != types.Int(int64(i)) {
+				t.Fatalf("kept[%d] = %v, want %d (clone corrupted by recycling)", i, got, i)
+			}
+		}
+		_ = w.Close()
+	})
+}
+
+// TestSteadyStateInsertAllocFree is the allocation gate: once the
+// ephemeral ring has wrapped (so pooled blocks recycle), the embedded
+// insert path — commit, sequence, ring store, publish — performs zero heap
+// allocations per event. CI runs this without -race and fails the build on
+// regression.
+func TestSteadyStateInsertAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is meaningless under -race instrumentation")
+	}
+	eng, err := NewEmbedded(Config{TimerPeriod: -1, PoolEvents: true, EphemeralCapacity: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = eng.Close() }()
+	if _, err := eng.Exec(`create table T (src integer, v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	const batchSize = 64
+	rows := make([][]Value, batchSize)
+	vals := make([]Value, 2*batchSize)
+	for i := range rows {
+		rows[i] = vals[2*i : 2*i+2]
+		rows[i][0] = types.Int(int64(i))
+		rows[i][1] = types.Int(int64(i))
+	}
+	// Warm up: wrap the ring several times so every block in circulation
+	// comes from the pool and all scratch buffers reach steady-state size.
+	for i := 0; i < 64; i++ {
+		if err := eng.InsertBatch("T", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// GC off during measurement: a collection mid-run would empty the
+	// sync.Pool and charge the refill to the measured path.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var insertErr error
+	perBatch := testing.AllocsPerRun(200, func() {
+		if err := eng.InsertBatch("T", rows); err != nil {
+			insertErr = err
+		}
+	})
+	if insertErr != nil {
+		t.Fatal(insertErr)
+	}
+	if perBatch != 0 {
+		t.Errorf("steady-state InsertBatch allocates %.2f times per %d-row batch (%.4f per event), want 0",
+			perBatch, batchSize, perBatch/batchSize)
+	}
+}
+
+// TestSteadyStateSingleInsertAllocs pins the single-row fast path. Insert
+// wraps the row in a one-element batch, which is the one remaining
+// allocation; the pooled event machinery itself adds none.
+func TestSteadyStateSingleInsertAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is meaningless under -race instrumentation")
+	}
+	eng, err := NewEmbedded(Config{TimerPeriod: -1, PoolEvents: true, EphemeralCapacity: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = eng.Close() }()
+	if _, err := eng.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	row := []Value{types.Int(1)}
+	for i := 0; i < 1024; i++ {
+		if err := eng.Insert("T", row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var insertErr error
+	perOp := testing.AllocsPerRun(200, func() {
+		if err := eng.Insert("T", row...); err != nil {
+			insertErr = err
+		}
+	})
+	if insertErr != nil {
+		t.Fatal(insertErr)
+	}
+	if perOp > 1 {
+		t.Errorf("steady-state Insert allocates %.2f times per event, want <= 1 (the batch wrapper)", perOp)
+	}
+}
