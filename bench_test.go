@@ -1086,3 +1086,94 @@ func BenchmarkAblationRingCapacity(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkWALCommit measures what durability costs on the commit path:
+// the identical batch commit against an in-memory cache, a write-ahead
+// log with group-commit fsync, and a WAL with fsync off, swept over batch
+// size. The group-commit comparison is the interesting one — at batch 1
+// every commit pays (a share of) an fsync, so batching amortises both the
+// commit mutex and the disk barrier.
+func BenchmarkWALCommit(b *testing.B) {
+	modes := []struct {
+		name            string
+		durable, nosync bool
+	}{
+		{"memory", false, false},
+		{"wal", true, false},
+		{"wal-nosync", true, true},
+	}
+	for _, m := range modes {
+		for _, batch := range []int{1, 64, 256} {
+			b.Run(fmt.Sprintf("%s/batch=%d", m.name, batch), func(b *testing.B) {
+				cfg := cache.Config{TimerPeriod: -1, PrintWriter: &strings.Builder{}}
+				if m.durable {
+					cfg.DataDir = b.TempDir()
+					cfg.WALNoSync = m.nosync
+				}
+				c, err := cache.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				if _, err := c.Exec(`create table T (v integer)`); err != nil {
+					b.Fatal(err)
+				}
+				rows := batchRows(batch)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.CommitBatch("T", rows); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				tuples := float64(b.N) * float64(batch)
+				b.ReportMetric(tuples/b.Elapsed().Seconds(), "tuples/sec")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tuples, "ns/tuple")
+				if dur, ok := c.Durability(); ok {
+					b.ReportMetric(float64(dur.Fsyncs)/float64(b.N), "fsyncs/op")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWALCommitGroup is the group-commit payoff: GOMAXPROCS
+// producers committing durably to one topic. Concurrent committers share
+// fsync barriers (the sync leader flushes everyone's bytes), so
+// fsyncs/op drops well below 1 while every committer still gets a
+// durable ack.
+func BenchmarkWALCommitGroup(b *testing.B) {
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			cfg := cache.Config{
+				TimerPeriod: -1,
+				PrintWriter: &strings.Builder{},
+				DataDir:     b.TempDir(),
+			}
+			c, err := cache.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Exec(`create table T (v integer)`); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rows := batchRows(batch)
+				for pb.Next() {
+					if err := c.CommitBatch("T", rows); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			tuples := float64(b.N) * float64(batch)
+			b.ReportMetric(tuples/b.Elapsed().Seconds(), "tuples/sec")
+			if dur, ok := c.Durability(); ok {
+				b.ReportMetric(float64(dur.Fsyncs)/float64(b.N), "fsyncs/op")
+			}
+		})
+	}
+}

@@ -141,9 +141,12 @@ func main() {
 // subscription with its dispatch-pipeline depth and dropped counters, so
 // an operator can see at a glance which subscriptions are behind.
 func printStats(st unicache.Stats) {
-	if len(st.Watches) == 0 && len(st.Automata) == 0 {
+	if len(st.Watches) == 0 && len(st.Automata) == 0 && st.Durability == nil {
 		fmt.Println("no live subscriptions")
 		return
+	}
+	if len(st.Watches) == 0 && len(st.Automata) == 0 {
+		fmt.Println("no live subscriptions")
 	}
 	if len(st.Watches) > 0 {
 		fmt.Println("KIND\tID\tTOPIC\tDEPTH\tDROPPED")
@@ -155,6 +158,16 @@ func printStats(st unicache.Stats) {
 		fmt.Println("KIND\tID\tDEPTH\tDROPPED\tPROCESSED")
 		for _, a := range st.Automata {
 			fmt.Printf("automaton\t%d\t%d\t%d\t%d\n", a.ID, a.Depth, a.Dropped, a.Processed)
+		}
+	}
+	if d := st.Durability; d != nil {
+		fmt.Printf("durable\t%s\twal=%dB\tfsyncs=%d\tsnapshots=%d\treplayed=%d\ttorn=%d\n",
+			d.Dir, d.WALBytes, d.Fsyncs, d.Snapshots, d.Replayed, d.TornTails)
+		if len(d.Domains) > 0 {
+			fmt.Println("DOMAIN\tSEQ\tWAL_BYTES")
+			for _, dd := range d.Domains {
+				fmt.Printf("%s\t%d\t%d\n", dd.Topic, dd.Seq, dd.WALBytes)
+			}
 		}
 	}
 }

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"unicache/internal/pubsub"
 	"unicache/internal/rpc"
 	"unicache/internal/types"
+	"unicache/internal/uerr"
 )
 
 func main() {
@@ -45,6 +47,12 @@ func main() {
 		"bound each automaton's inbox to this many events (0 = unbounded)")
 	autoPolicy := flag.String("automaton-policy", "block",
 		"overflow policy for bounded automaton inboxes: block, dropoldest or fail")
+	dataDir := flag.String("data", "",
+		"data directory for the write-ahead log; empty runs in-memory, a path makes every commit durable and replays it on restart")
+	walNoSync := flag.Bool("wal-nosync", false,
+		"write the WAL without fsync (fast, survives process crashes but not power loss)")
+	snapshotBytes := flag.Int64("snapshot-bytes", 0,
+		"per-domain WAL bytes that trigger a snapshot + log truncation (0 = default 8 MiB)")
 	var loads loadSpecs
 	flag.Var(&loads, "load", "bulk-load a CSV file into a table at startup, as table=file.csv (repeatable)")
 	flag.Parse()
@@ -63,11 +71,21 @@ func main() {
 		AutoCreateStreams: *autoCreate,
 		AutomatonQueue:    *autoQueue,
 		AutomatonPolicy:   policy,
+		DataDir:           *dataDir,
+		WALNoSync:         *walNoSync,
+		SnapshotBytes:     *snapshotBytes,
 	})
 	if err != nil {
 		fail(err)
 	}
 	defer c.Close()
+	if dur, ok := c.Durability(); ok {
+		fmt.Printf("durable: %s (%d record(s) replayed", dur.Dir, dur.Replayed)
+		if dur.TornTails > 0 {
+			fmt.Printf(", %d torn log tail(s) repaired", dur.TornTails)
+		}
+		fmt.Println(")")
+	}
 
 	if *initFile != "" {
 		if err := execInitFile(c, *initFile); err != nil {
@@ -102,6 +120,12 @@ func execInitFile(c *cache.Cache, path string) error {
 	}
 	for _, stmt := range splitStatements(string(data)) {
 		if _, err := c.Exec(stmt); err != nil {
+			// A durable restart recovers its tables from the data
+			// directory before the init file runs; the file's create
+			// statements are then no-ops, not failures.
+			if errors.Is(err, uerr.ErrTableExists) {
+				continue
+			}
 			return fmt.Errorf("init %s: %w", path, err)
 		}
 	}

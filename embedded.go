@@ -173,6 +173,9 @@ func (e *Embedded) Stats() (Stats, error) {
 			ID: a.ID(), Depth: a.Depth(), Dropped: a.Dropped(), Processed: a.Processed(),
 		})
 	}
+	if dur, ok := e.c.Durability(); ok {
+		st.Durability = &dur
+	}
 	return st, nil
 }
 

@@ -163,7 +163,22 @@ type AutomatonStats struct {
 type Stats struct {
 	Watches  []SubscriptionStats
 	Automata []AutomatonStats
+	// Durability is the WAL's counters when the backend runs durably
+	// (Config.DataDir set on an Embedded engine, -data on a cached
+	// server); nil for an in-memory backend.
+	Durability *DurabilityStats
 }
+
+// The durability observability rows, re-exported from the cache layer.
+type (
+	// DurabilityStats is the engine-wide durability snapshot: data
+	// directory, live WAL footprint, fsync/snapshot/recovery counters and
+	// the per-topic domain rows.
+	DurabilityStats = cache.DurabilityStats
+	// DomainDurability is one commit domain's durability row: topic,
+	// sequence high-water mark, live log bytes.
+	DomainDurability = cache.DomainDurability
+)
 
 // WatchOption tunes one Watch subscription.
 type WatchOption func(*watchOptions)

@@ -80,6 +80,16 @@ type Config struct {
 	// this registry: gapl.ModeAuto (default) threads clauses through
 	// compiled closures, gapl.ModeVM forces the switch interpreter.
 	CompileMode gapl.CompileMode
+	// OnRegister, when set, observes every successful registration (the
+	// durable cache logs it to the write-ahead log). It runs after the
+	// automaton is installed but before its subscriptions attach, so a
+	// later OnUnregister for the same id always follows it. Recovery
+	// re-registrations do not fire it.
+	OnRegister func(a *Automaton)
+	// OnUnregister, when set, observes every unregistration — including
+	// Fail-policy self-unregisters — except those of Close: shutdown
+	// stops automata without striking them from the durable record.
+	OnUnregister func(id int64)
 }
 
 // Options tunes one automaton's registration, overriding the registry-wide
@@ -105,9 +115,10 @@ type Registry struct {
 	cfg    Config
 	printM sync.Mutex
 
-	mu     sync.Mutex
-	autos  map[int64]*Automaton
-	nextID int64
+	mu      sync.Mutex
+	autos   map[int64]*Automaton
+	nextID  int64
+	closing bool
 }
 
 // NewRegistry builds an empty registry over the given services.
@@ -125,11 +136,16 @@ func NewRegistry(svc Services, cfg Config) *Registry {
 
 // Automaton is one registered, running automaton.
 type Automaton struct {
-	id    int64
-	reg   *Registry
-	prog  *gapl.Compiled
-	inbox *pubsub.Inbox
-	disp  *pubsub.Dispatcher
+	id     int64
+	reg    *Registry
+	prog   *gapl.Compiled
+	source string
+	opts   Options
+	inbox  *pubsub.Inbox
+	disp   *pubsub.Dispatcher
+	// vmMu serialises behaviour execution against SnapshotVars, so a
+	// durable snapshot never observes a half-executed activation.
+	vmMu  sync.Mutex
 	vm    *vm.VM
 	sink  Sink
 	nProc atomic.Uint64
@@ -163,6 +179,22 @@ func (a *Automaton) Depth() int { return a.inbox.Len() }
 // and is therefore activated once per drained run rather than per event.
 func (a *Automaton) Batchable() bool { return a.prog.BatchableBehavior }
 
+// Source returns the GAPL source the automaton was registered with.
+func (a *Automaton) Source() string { return a.source }
+
+// InboxOptions returns the per-automaton options it was registered with.
+func (a *Automaton) InboxOptions() Options { return a.opts }
+
+// SnapshotVars calls fn with every declared variable and its current
+// value, serialised against behaviour execution: the values form a
+// consistent cut between activations. The durable cache uses it to
+// snapshot automaton state.
+func (a *Automaton) SnapshotVars(fn func(name string, v types.Value)) {
+	a.vmMu.Lock()
+	defer a.vmMu.Unlock()
+	a.vm.VisitVars(fn)
+}
+
 // Register compiles, binds, initializes and starts an automaton with the
 // registry-default inbox bound. Compile and bind problems — and
 // initialization-clause failures — are returned to the registering
@@ -175,6 +207,25 @@ func (r *Registry) Register(source string, sink Sink) (*Automaton, error) {
 // RegisterWith is Register with per-automaton Options (inbox bound and
 // overflow policy).
 func (r *Registry) RegisterWith(source string, sink Sink, opts Options) (*Automaton, error) {
+	return r.register(0, source, sink, opts, nil)
+}
+
+// RegisterRecovered reinstates an automaton from the durable log under
+// its original id: compile, bind and initialise as usual, then restore
+// (when non-nil) reinstates snapshotted variable state on the VM before
+// any event can arrive. The OnRegister hook does not fire — the durable
+// record already carries this automaton.
+func (r *Registry) RegisterRecovered(id int64, source string, sink Sink, opts Options, restore func(m *vm.VM) error) (*Automaton, error) {
+	if id <= 0 {
+		return nil, fmt.Errorf("automaton: recovered id must be positive, got %d", id)
+	}
+	return r.register(id, source, sink, opts, restore)
+}
+
+// register is the shared registration path. A zero forcedID allocates the
+// next id and fires the registration hooks; a positive one reinstates a
+// recovered automaton under its original id, hook-free.
+func (r *Registry) register(forcedID int64, source string, sink Sink, opts Options, restore func(m *vm.VM) error) (*Automaton, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("automaton: nil sink (use DiscardSink)")
 	}
@@ -193,8 +244,19 @@ func (r *Registry) RegisterWith(source string, sink Sink, opts Options) (*Automa
 	}
 
 	r.mu.Lock()
-	r.nextID++
-	id := r.nextID
+	id := forcedID
+	if id == 0 {
+		r.nextID++
+		id = r.nextID
+	} else {
+		if _, dup := r.autos[id]; dup {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("automaton: recovered id %d already registered", id)
+		}
+		if id > r.nextID {
+			r.nextID = id
+		}
+	}
 	r.mu.Unlock()
 
 	capacity, policy := r.cfg.InboxCapacity, r.cfg.InboxPolicy
@@ -205,9 +267,11 @@ func (r *Registry) RegisterWith(source string, sink Sink, opts Options) (*Automa
 		capacity = 0 // explicitly unbounded
 	}
 	a := &Automaton{
-		id:   id,
-		reg:  r,
-		prog: prog,
+		id:     id,
+		reg:    r,
+		prog:   prog,
+		source: source,
+		opts:   opts,
 		inbox: pubsub.NewInboxWith(pubsub.QueueOpts{
 			Capacity: capacity,
 			Policy:   policy,
@@ -225,6 +289,14 @@ func (r *Registry) RegisterWith(source string, sink Sink, opts Options) (*Automa
 	// Initialization runs before any event can arrive (we subscribe after).
 	if err := machine.RunInit(); err != nil {
 		return nil, fmt.Errorf("automaton: initialization: %w", err)
+	}
+	// Recovery reinstates snapshotted variable state on top of the init
+	// clause's — windows keep their init-built eviction policy and merge
+	// the saved contents back in.
+	if restore != nil {
+		if err := restore(machine); err != nil {
+			return nil, fmt.Errorf("automaton: restoring state: %w", err)
+		}
 	}
 
 	// The dispatcher is the automaton's goroutine: it drains the inbox in
@@ -255,11 +327,21 @@ func (r *Registry) RegisterWith(source string, sink Sink, opts Options) (*Automa
 	r.mu.Lock()
 	r.autos[id] = a
 	r.mu.Unlock()
+	// Fire the registration hook before the first subscription attaches:
+	// every unregistration for this id — even a Fail-policy overflow
+	// racing the subscribe loop — happens after, so the durable log never
+	// records an unregister before its register.
+	if forcedID == 0 && r.cfg.OnRegister != nil {
+		r.cfg.OnRegister(a)
+	}
 
 	fail := func(err error) (*Automaton, error) {
 		r.mu.Lock()
 		delete(r.autos, id)
 		r.mu.Unlock()
+		if forcedID == 0 && r.cfg.OnUnregister != nil {
+			r.cfg.OnUnregister(id)
+		}
 		// Stop before detaching: the broker detach takes topic locks that
 		// a publisher parked in a full Block inbox may hold, and closing
 		// the inbox (Stop) is what unparks it.
@@ -291,6 +373,8 @@ func (r *Registry) RegisterWith(source string, sink Sink, opts Options) (*Automa
 // automata never come through here; they run deliver on the per-event
 // dispatcher.
 func (a *Automaton) deliverRun(evs []*types.Event) {
+	a.vmMu.Lock()
+	defer a.vmMu.Unlock()
 	if err := a.vm.DeliverBatch(evs); err != nil {
 		a.nErr.Add(1)
 		a.reg.cfg.OnRuntimeError(a.id, err)
@@ -301,6 +385,8 @@ func (a *Automaton) deliverRun(evs []*types.Event) {
 // deliver runs the behaviour clause for one event; it executes on the
 // automaton's dispatcher goroutine.
 func (a *Automaton) deliver(ev *types.Event) {
+	a.vmMu.Lock()
+	defer a.vmMu.Unlock()
 	if err := a.vm.Deliver(ev); err != nil {
 		a.nErr.Add(1)
 		a.reg.cfg.OnRuntimeError(a.id, err)
@@ -346,9 +432,13 @@ func (r *Registry) Unregister(id int64) error {
 	r.mu.Lock()
 	a, ok := r.autos[id]
 	delete(r.autos, id)
+	notify := ok && !r.closing
 	r.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("automaton: %w: id %d", uerr.ErrNoSuchAutomaton, id)
+	}
+	if notify && r.cfg.OnUnregister != nil {
+		r.cfg.OnUnregister(id)
 	}
 	// Stop before detaching: detaching takes topic locks, and a publisher
 	// parked in a full Block inbox holds its topic's lock until the stop
@@ -359,9 +449,12 @@ func (r *Registry) Unregister(id int64) error {
 	return nil
 }
 
-// Close unregisters every automaton.
+// Close unregisters every automaton. The OnUnregister hook stays silent:
+// shutdown stops automata without striking them from the durable record,
+// so they come back on recovery.
 func (r *Registry) Close() {
 	r.mu.Lock()
+	r.closing = true
 	ids := make([]int64, 0, len(r.autos))
 	for id := range r.autos {
 		ids = append(ids, id)
@@ -370,6 +463,24 @@ func (r *Registry) Close() {
 	for _, id := range ids {
 		_ = r.Unregister(id)
 	}
+}
+
+// NextID returns the id allocator's high-water mark (the last id handed
+// out); the durable snapshot pins it so recovery never reuses an id.
+func (r *Registry) NextID() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextID
+}
+
+// EnsureNextID raises the id allocator to at least n (recovery restores
+// the snapshotted high-water mark before re-registering automata).
+func (r *Registry) EnsureNextID(n int64) {
+	r.mu.Lock()
+	if n > r.nextID {
+		r.nextID = n
+	}
+	r.mu.Unlock()
 }
 
 // WaitIdle blocks until every automaton has drained its inbox (or the

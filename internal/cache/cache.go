@@ -16,6 +16,7 @@ import (
 	"unicache/internal/table"
 	"unicache/internal/types"
 	"unicache/internal/uerr"
+	"unicache/internal/wal"
 )
 
 // TimerTopic is the built-in topic that delivers a punctuation tuple once
@@ -66,6 +67,25 @@ type Config struct {
 	// the bytecode switch interpreter. Outputs are identical; only
 	// dispatch cost differs.
 	CompileMode gapl.CompileMode
+	// DataDir, when non-empty, makes the cache durable: every commit is
+	// appended to a per-domain write-ahead log under this directory
+	// before it is applied, and reopening a cache over the same
+	// directory recovers tables, rows, sequence counters and registered
+	// automata. Empty (the default) keeps the cache purely in-memory.
+	// The built-in Timer topic is never logged: its ticks are synthetic
+	// and its sequence restarts from 1 each run.
+	DataDir string
+	// WALNoSync skips every WAL fsync. Group commit degrades to
+	// OS-scheduled flushing: much faster, but a machine crash may lose
+	// recently acked commits (a process crash alone loses nothing).
+	WALNoSync bool
+	// SnapshotBytes is the per-domain log size that triggers a snapshot
+	// and log truncation (0 = wal.DefaultSnapshotBytes; negative =
+	// snapshot only at Close).
+	SnapshotBytes int64
+	// WALFS overrides the WAL's filesystem (nil = the real one). It is
+	// the fault-injection seam for durability tests.
+	WALFS wal.FS
 }
 
 // commitDomain is the unit of commit serialisation: one per topic. The
@@ -82,6 +102,12 @@ type commitDomain struct {
 
 	mu  sync.Mutex
 	seq uint64 // per-topic sequence; contiguous from 1 under mu
+
+	// wal is the domain's write-ahead log (nil when the cache is
+	// in-memory, and always nil for the Timer domain). Appends happen
+	// under mu, before the table insert; the group-commit fsync happens
+	// after mu is released.
+	wal *wal.Domain
 
 	// Pooled-commit staging, guarded by mu and reused across batches so the
 	// steady-state pooled path allocates nothing per commit. The slices are
@@ -113,6 +139,9 @@ type Cache struct {
 	watchMu  sync.Mutex
 	watchers map[int64]*watchEntry
 
+	// wal is the durability manager (nil for an in-memory cache).
+	wal *wal.Manager
+
 	timerStop chan struct{}
 	timerDone chan struct{}
 	closeOnce sync.Once
@@ -138,14 +167,29 @@ func New(cfg Config) (*Cache, error) {
 		clock:    cfg.Clock,
 		watchers: make(map[int64]*watchEntry),
 	}
-	c.reg = automaton.NewRegistry(c, automaton.Config{
+	regCfg := automaton.Config{
 		PrintWriter:    cfg.PrintWriter,
 		OnRuntimeError: cfg.OnRuntimeError,
 		MaxSteps:       cfg.MaxAutomatonSteps,
 		InboxCapacity:  cfg.AutomatonQueue,
 		InboxPolicy:    cfg.AutomatonPolicy,
 		CompileMode:    cfg.CompileMode,
-	})
+	}
+	if cfg.DataDir != "" {
+		// Registration hooks write the meta log; they fire only after
+		// recovery, so the meta domain is always open by then.
+		regCfg.OnRegister = c.logRegister
+		regCfg.OnUnregister = c.logUnregister
+	}
+	c.reg = automaton.NewRegistry(c, regCfg)
+	if cfg.DataDir != "" {
+		// Recover tables and rows before the Timer exists (the Timer is
+		// never logged, so it cannot collide), and automata after it (a
+		// recovered automaton may subscribe to the Timer).
+		if err := c.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	timerSchema, err := types.NewSchema(TimerTopic, false, -1,
 		types.Column{Name: "ts", Type: types.ColTstamp})
 	if err != nil {
@@ -153,6 +197,11 @@ func New(cfg Config) (*Cache, error) {
 	}
 	if err := c.CreateTable(timerSchema); err != nil {
 		return nil, err
+	}
+	if c.wal != nil {
+		if err := c.recoverAutomata(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.TimerPeriod > 0 {
 		c.timerStop = make(chan struct{})
@@ -183,12 +232,20 @@ func (c *Cache) runTimer(period time.Duration) {
 	}
 }
 
-// Close stops the timer, all automata and all Watch dispatchers.
+// Close stops the timer, all automata and all Watch dispatchers. A
+// durable cache snapshots its state first — automata (with their
+// variables) while they are still alive, each commit domain after event
+// processing stops — so a clean shutdown reopens from snapshots alone.
+// Close does not drain: callers wanting every queued event processed
+// before the snapshot should reach quiescence (WaitIdle) first.
 func (c *Cache) Close() {
 	c.closeOnce.Do(func() {
 		if c.timerStop != nil {
 			close(c.timerStop)
 			<-c.timerDone
+		}
+		if c.wal != nil {
+			c.snapshotMeta()
 		}
 		c.reg.Close()
 		c.watchMu.Lock()
@@ -200,6 +257,20 @@ func (c *Cache) Close() {
 		c.watchMu.Unlock()
 		for _, w := range taps {
 			w.disp.Stop()
+		}
+		if c.wal != nil {
+			c.domains.Range(func(_, v any) bool {
+				d := v.(*commitDomain)
+				if d.wal != nil && d.wal.BeginSnapshot() {
+					if err := c.snapshotDomain(d); err != nil {
+						c.reportWALError(fmt.Errorf("close snapshot of %s: %w", d.name, err))
+					}
+				}
+				return true
+			})
+			if err := c.wal.Close(); err != nil {
+				c.reportWALError(fmt.Errorf("closing wal: %w", err))
+			}
 		}
 	})
 }
@@ -230,6 +301,16 @@ func (c *Cache) CreateTable(schema *types.Schema) error {
 	if err != nil {
 		return err
 	}
+	// Durable table creation precedes visibility: the domain directory and
+	// its schema record are fsynced before the topic exists, so a table a
+	// client ever observed survives a crash. The Timer is never logged.
+	var wd *wal.Domain
+	if c.wal != nil && schema.Name != TimerTopic {
+		wd, err = c.wal.CreateDomain(schema.Name, schema)
+		if err != nil {
+			return fmt.Errorf("cache: creating durable domain %q: %w", schema.Name, err)
+		}
+	}
 	if err := c.broker.CreateTopic(schema.Name); err != nil {
 		return err
 	}
@@ -237,7 +318,7 @@ func (c *Cache) CreateTable(schema *types.Schema) error {
 	if err != nil {
 		return err
 	}
-	c.domains.Store(schema.Name, &commitDomain{name: schema.Name, table: tb, topic: topic})
+	c.domains.Store(schema.Name, &commitDomain{name: schema.Name, table: tb, topic: topic, wal: wd})
 	return nil
 }
 
@@ -342,7 +423,6 @@ func (c *Cache) CommitBatch(tableName string, rows [][]types.Value) error {
 	eventArr := make([]types.Event, len(tuples))
 	events := make([]*types.Event, len(tuples))
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	// The batch commits atomically at one instant: all its tuples share
 	// one clock reading, while the topic's sequence numbers stay unique
 	// and contiguous.
@@ -354,18 +434,58 @@ func (c *Cache) CommitBatch(tableName string, rows [][]types.Value) error {
 		eventArr[i] = types.Event{Topic: tableName, Schema: schema, Tuple: t}
 		events[i] = &eventArr[i]
 	}
+	// Write-ahead: the batch record is appended (under the domain mutex,
+	// so log order equals commit order) before the table absorbs it. A
+	// failed append rolls the sequence run back — nothing was stored,
+	// published or logged.
+	var off wal.Off
+	if d.wal != nil {
+		payload, err := wal.EncodeBatch(tuples[0].Seq, ts, tuples)
+		if err == nil {
+			off, err = d.wal.Append(payload)
+		}
+		if err != nil {
+			d.seq -= uint64(len(tuples))
+			d.mu.Unlock()
+			return fmt.Errorf("cache: wal append: %w", err)
+		}
+	}
 	if err := d.table.InsertBatch(tuples); err != nil {
 		// Nothing was stored or published: return the consumed run so the
 		// topic's sequence space stays contiguous (today unreachable —
 		// coercion pre-validates everything InsertBatch checks — but the
 		// documented invariant must not depend on that).
 		d.seq -= uint64(len(tuples))
+		d.mu.Unlock()
 		return err
 	}
 	if len(events) == 1 {
 		d.topic.Publish(events[0])
 	} else {
 		d.topic.PublishBatch(events)
+	}
+	d.mu.Unlock()
+	return c.syncCommit(d, off)
+}
+
+// syncCommit finishes a durable commit after the domain mutex is
+// released: it group-commits the appended record (many committers share
+// one fsync) and, when the log has outgrown its snapshot threshold,
+// writes a snapshot and truncates the log. In-memory domains return
+// immediately.
+func (c *Cache) syncCommit(d *commitDomain, off wal.Off) error {
+	if d.wal == nil {
+		return nil
+	}
+	if err := d.wal.Sync(off); err != nil {
+		// The commit is applied in memory but not acked durable; the
+		// caller must treat it as failed.
+		return fmt.Errorf("cache: wal fsync: %w", err)
+	}
+	if d.wal.WantsSnapshot() {
+		if err := c.snapshotDomain(d); err != nil {
+			c.reportWALError(fmt.Errorf("snapshot of %s: %w", d.name, err))
+		}
 	}
 	return nil
 }
@@ -386,7 +506,6 @@ func (c *Cache) CommitBatch(tableName string, rows [][]types.Value) error {
 func (c *Cache) commitBatchPooled(d *commitDomain, schema *types.Schema, rows [][]types.Value) error {
 	ncols := schema.NumCols()
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	events := d.evScratch[:0]
 	tuples := d.tupScratch[:0]
 	release := func() {
@@ -405,6 +524,7 @@ func (c *Cache) commitBatchPooled(d *commitDomain, schema *types.Schema, rows []
 		if err := schema.CoerceInto(ev.Tuple.Vals, vals); err != nil {
 			ev.Release()
 			release()
+			d.mu.Unlock()
 			if len(rows) == 1 {
 				return fmt.Errorf("%w: %w", uerr.ErrBadSchema, err)
 			}
@@ -420,6 +540,21 @@ func (c *Cache) commitBatchPooled(d *commitDomain, schema *types.Schema, rows []
 		t.Seq = d.seq
 		t.TS = ts
 	}
+	// Write-ahead, exactly as the heap path; the encoder copies the pooled
+	// values out, so the record stays valid after the pool reclaims them.
+	var off wal.Off
+	if d.wal != nil {
+		payload, err := wal.EncodeBatch(tuples[0].Seq, ts, tuples)
+		if err == nil {
+			off, err = d.wal.Append(payload)
+		}
+		if err != nil {
+			d.seq -= uint64(len(tuples))
+			release()
+			d.mu.Unlock()
+			return fmt.Errorf("cache: wal append: %w", err)
+		}
+	}
 	// The ring takes one reference per stored tuple; it releases on evict.
 	for _, t := range tuples {
 		t.Retain()
@@ -433,6 +568,7 @@ func (c *Cache) commitBatchPooled(d *commitDomain, schema *types.Schema, rows []
 			t.Release()
 		}
 		release()
+		d.mu.Unlock()
 		return err
 	}
 	if len(events) == 1 {
@@ -441,7 +577,8 @@ func (c *Cache) commitBatchPooled(d *commitDomain, schema *types.Schema, rows []
 		d.topic.PublishBatch(events)
 	}
 	release()
-	return nil
+	d.mu.Unlock()
+	return c.syncCommit(d, off)
 }
 
 // CommitInsert coerces, stamps, stores and publishes one tuple: a one-row
@@ -507,8 +644,20 @@ func (c *Cache) DeleteRow(tableName, key string) (bool, error) {
 		return false, fmt.Errorf("cache: table %q is not persistent", tableName)
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	return pt.Delete(key), nil
+	var off wal.Off
+	if d.wal != nil {
+		off, err = d.wal.Append(wal.EncodeDelete(key))
+		if err != nil {
+			d.mu.Unlock()
+			return false, fmt.Errorf("cache: wal append: %w", err)
+		}
+	}
+	existed := pt.Delete(key)
+	d.mu.Unlock()
+	if err := c.syncCommit(d, off); err != nil {
+		return existed, err
+	}
+	return existed, nil
 }
 
 // Insert is the fast-path typed insert used by the RPC layer and

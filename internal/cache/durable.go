@@ -1,0 +1,485 @@
+package cache
+
+// This file is the cache half of the durability subsystem: it interprets
+// the records the wal package stores — recovery rebuilds tables, sequence
+// counters and automata from them, snapshots encode the live state back
+// into them, and the registration hooks keep the meta log current. The
+// consistency model is per-domain prefix consistency: each topic recovers
+// to an exact prefix of its committed history (everything up to the last
+// group commit that reached disk), and independent topics may recover to
+// different cut points. See docs/ARCHITECTURE.md, "Durability".
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"unicache/internal/automaton"
+	"unicache/internal/pubsub"
+	"unicache/internal/table"
+	"unicache/internal/types"
+	"unicache/internal/vm"
+	"unicache/internal/wal"
+)
+
+// snapshotRowsPerRecord bounds how many rows one snapshot record carries,
+// keeping individual records well under the WAL's record-size cap.
+const snapshotRowsPerRecord = 1024
+
+// reportWALError surfaces a non-fatal durability error (snapshot or
+// shutdown failures; commit-path errors are returned to the committer).
+func (c *Cache) reportWALError(err error) {
+	if c.cfg.OnRuntimeError != nil {
+		c.cfg.OnRuntimeError(0, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cache: durability: %v\n", err)
+}
+
+// openDurable opens the data directory and recovers every commit domain:
+// tables are rebuilt, rows reinstated with their original sequence
+// numbers and timestamps, and the per-topic sequence counters positioned
+// so the next commit extends the recovered prefix contiguously.
+func (c *Cache) openDurable() error {
+	m, err := wal.Open(c.cfg.DataDir, wal.Options{
+		FS:            c.cfg.WALFS,
+		NoSync:        c.cfg.WALNoSync,
+		SnapshotBytes: c.cfg.SnapshotBytes,
+	})
+	if err != nil {
+		return err
+	}
+	c.wal = m
+
+	var mu sync.Mutex
+	recovered := make(map[string]*domainRecovery)
+	if err := m.Recover(func(name string) (wal.Sink, error) {
+		r := &domainRecovery{c: c, name: name}
+		mu.Lock()
+		recovered[name] = r
+		mu.Unlock()
+		return r.apply, nil
+	}); err != nil {
+		return err
+	}
+
+	// Install the recovered domains in name order (deterministic topic
+	// registration order for Tables()).
+	names := make([]string, 0, len(recovered))
+	for name := range recovered {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := recovered[name]
+		if r.tb == nil {
+			// A domain directory without a schema record can only be a
+			// crash between directory creation and the schema append; the
+			// table never existed as far as any client knows.
+			continue
+		}
+		if err := r.flushRows(); err != nil {
+			return fmt.Errorf("cache: recovering %q: %w", name, err)
+		}
+		if err := c.broker.CreateTopic(name); err != nil {
+			return err
+		}
+		topic, err := c.broker.Topic(name)
+		if err != nil {
+			return err
+		}
+		c.domains.Store(name, &commitDomain{
+			name:  name,
+			table: r.tb,
+			topic: topic,
+			seq:   r.seq,
+			wal:   m.Domain(name),
+		})
+	}
+	return nil
+}
+
+// domainRecovery stages one commit domain's replay: the snapshot's rows
+// are buffered and flushed (in sequence order, rebuilding the temporal
+// order) before the first log record applies on top of them.
+type domainRecovery struct {
+	c      *Cache
+	name   string
+	tb     table.Table
+	schema *types.Schema
+	seq    uint64
+	// pending buffers snapshot rows until the first log record (or
+	// finalisation) flushes them sorted by sequence number.
+	pending []*types.Tuple
+}
+
+func (r *domainRecovery) apply(rec any, fromSnapshot bool) error {
+	if !fromSnapshot {
+		if err := r.flushRows(); err != nil {
+			return err
+		}
+	}
+	switch rec := rec.(type) {
+	case *wal.SchemaRec:
+		if r.tb != nil {
+			// The schema reappears when a snapshot's superseded segment
+			// escaped its purge; the one already applied wins.
+			return nil
+		}
+		tb, err := table.New(rec.Schema, r.c.cfg.EphemeralCapacity)
+		if err != nil {
+			return err
+		}
+		r.tb = tb
+		r.schema = rec.Schema
+		return nil
+	case *wal.SeqRec:
+		if rec.Seq > r.seq {
+			r.seq = rec.Seq
+		}
+		return nil
+	case *wal.RowsRec:
+		if r.tb == nil {
+			return fmt.Errorf("rows before schema")
+		}
+		r.pending = append(r.pending, rec.Tuples...)
+		for _, t := range rec.Tuples {
+			if t.Seq > r.seq {
+				r.seq = t.Seq
+			}
+		}
+		return nil
+	case *wal.BatchRec:
+		if r.tb == nil {
+			return fmt.Errorf("batch before schema")
+		}
+		tupleArr := make([]types.Tuple, len(rec.Rows))
+		tuples := make([]*types.Tuple, len(rec.Rows))
+		for i, vals := range rec.Rows {
+			tupleArr[i] = types.Tuple{
+				Seq:  rec.FirstSeq + uint64(i),
+				TS:   rec.TS,
+				Vals: vals,
+			}
+			tuples[i] = &tupleArr[i]
+		}
+		if err := r.tb.InsertBatch(tuples); err != nil {
+			return err
+		}
+		if last := rec.FirstSeq + uint64(len(rec.Rows)) - 1; last > r.seq {
+			r.seq = last
+		}
+		return nil
+	case *wal.DeleteRec:
+		pt, ok := r.tb.(*table.Persistent)
+		if !ok {
+			return fmt.Errorf("delete on non-persistent table")
+		}
+		pt.Delete(rec.Key)
+		return nil
+	}
+	return fmt.Errorf("unexpected record %T in domain log", rec)
+}
+
+// flushRows applies the buffered snapshot rows in ascending sequence
+// order: persistent snapshots are written in primary-key order for
+// byte-stability, and re-inserting by sequence number reconstructs the
+// temporal order exactly.
+func (r *domainRecovery) flushRows() error {
+	if len(r.pending) == 0 {
+		return nil
+	}
+	if r.tb == nil {
+		return fmt.Errorf("rows before schema")
+	}
+	sort.Slice(r.pending, func(i, j int) bool { return r.pending[i].Seq < r.pending[j].Seq })
+	err := r.tb.InsertBatch(r.pending)
+	r.pending = nil
+	return err
+}
+
+// --- snapshots ---
+
+// snapshotDomain cuts one domain's state and supersedes its older log
+// segments. The caller must have claimed the domain's snapshot attempt
+// (WantsSnapshot or BeginSnapshot). The cut is atomic: the domain mutex
+// is held across the segment rotation and the state encoding, so every
+// commit is either inside the snapshot or in a post-rotation segment —
+// never both, never neither.
+func (c *Cache) snapshotDomain(d *commitDomain) error {
+	d.mu.Lock()
+	epoch, err := d.wal.Rotate()
+	if err != nil {
+		d.mu.Unlock()
+		d.wal.AbortSnapshot()
+		return err
+	}
+	payloads, err := encodeDomainState(d)
+	d.mu.Unlock()
+	if err != nil {
+		d.wal.AbortSnapshot()
+		return err
+	}
+	return d.wal.WriteSnapshot(epoch, payloads)
+}
+
+// encodeDomainState renders a domain's full state as snapshot record
+// payloads: schema, sequence counter, then the rows in chunks. Persistent
+// tables are walked in primary-key order (ScanOrdered) so identical
+// contents encode to identical bytes regardless of update history;
+// ephemeral rings are walked in ring order (their contents are the
+// order). Called with d.mu held.
+func encodeDomainState(d *commitDomain) ([][]byte, error) {
+	payloads := [][]byte{
+		wal.EncodeSchema(d.table.Schema()),
+		wal.EncodeSeq(d.seq),
+	}
+	var tuples []*types.Tuple
+	var encErr error
+	flush := func() bool {
+		if len(tuples) == 0 {
+			return true
+		}
+		p, err := wal.EncodeRows(tuples)
+		if err != nil {
+			encErr = err
+			return false
+		}
+		payloads = append(payloads, p)
+		tuples = tuples[:0]
+		return true
+	}
+	collect := func(t *types.Tuple) bool {
+		tuples = append(tuples, t)
+		if len(tuples) >= snapshotRowsPerRecord {
+			return flush()
+		}
+		return true
+	}
+	if pt, ok := d.table.(*table.Persistent); ok {
+		pt.ScanOrdered(collect)
+	} else {
+		d.table.Scan(collect)
+	}
+	if encErr == nil {
+		flush()
+	}
+	if encErr != nil {
+		return nil, encErr
+	}
+	return payloads, nil
+}
+
+// --- automata (the meta domain) ---
+
+// logRegister is the registry's OnRegister hook: it makes a successful
+// registration durable before the automaton's subscriptions attach.
+func (c *Cache) logRegister(a *automaton.Automaton) {
+	md := c.wal.Meta()
+	if md == nil {
+		return
+	}
+	opts := a.InboxOptions()
+	payload := wal.EncodeRegister(wal.RegisterRec{
+		ID:            a.ID(),
+		Source:        a.Source(),
+		InboxCapacity: int64(opts.InboxCapacity),
+		InboxPolicy:   uint8(opts.InboxPolicy),
+	})
+	off, err := md.Append(payload)
+	if err == nil {
+		err = md.Sync(off)
+	}
+	if err != nil {
+		c.reportWALError(fmt.Errorf("logging registration of automaton %d: %w", a.ID(), err))
+	}
+}
+
+// logUnregister is the registry's OnUnregister hook (never fired during
+// Close: shutdown keeps automata in the durable record).
+func (c *Cache) logUnregister(id int64) {
+	md := c.wal.Meta()
+	if md == nil {
+		return
+	}
+	off, err := md.Append(wal.EncodeUnregister(id))
+	if err == nil {
+		err = md.Sync(off)
+	}
+	if err != nil {
+		c.reportWALError(fmt.Errorf("logging unregistration of automaton %d: %w", id, err))
+	}
+}
+
+// recoverAutomata replays the meta domain and re-registers the surviving
+// automata under their original ids. Variable state is reinstated from
+// the last meta snapshot (a clean shutdown); registrations and
+// unregistrations since then come from the log. Recovered automata send()
+// into a discard sink — the registering application's connection did not
+// survive the restart — and an automaton whose source no longer compiles
+// is reported through OnRuntimeError and skipped rather than failing the
+// open.
+func (c *Cache) recoverAutomata() error {
+	staged := make(map[int64]*wal.AutomatonRec)
+	var nextID uint64
+	if err := c.wal.RecoverMeta(func(rec any, _ bool) error {
+		switch rec := rec.(type) {
+		case *wal.AutomatonRec:
+			staged[rec.ID] = rec
+		case *wal.RegisterRec:
+			// A register racing the snapshot cut may appear both as an
+			// AutomatonRec and here; the snapshot's variable state wins.
+			if _, dup := staged[rec.ID]; !dup {
+				staged[rec.ID] = &wal.AutomatonRec{RegisterRec: *rec}
+			}
+		case *wal.UnregisterRec:
+			delete(staged, rec.ID)
+		case *wal.NextIDRec:
+			if rec.NextID > nextID {
+				nextID = rec.NextID
+			}
+		default:
+			return fmt.Errorf("unexpected record %T in meta log", rec)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	c.reg.EnsureNextID(int64(nextID))
+
+	ids := make([]int64, 0, len(staged))
+	for id := range staged {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec := staged[id]
+		opts := automaton.Options{
+			InboxCapacity: int(rec.InboxCapacity),
+			InboxPolicy:   pubsub.Policy(rec.InboxPolicy),
+		}
+		restore := func(m *vm.VM) error {
+			now := c.clock()
+			for _, v := range rec.Vars {
+				if err := m.RestoreVar(v.Name, v.Value, now); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if _, err := c.reg.RegisterRecovered(id, rec.Source, automaton.DiscardSink, opts, restore); err != nil {
+			c.reportWALError(fmt.Errorf("recovering automaton %d: %w", id, err))
+		}
+	}
+	return nil
+}
+
+// snapshotMeta writes the meta snapshot: the id allocator's high-water
+// mark and every live automaton with its registration and variable state.
+// Called from Close while automata are still alive.
+func (c *Cache) snapshotMeta() {
+	md := c.wal.Meta()
+	if md == nil || !md.BeginSnapshot() {
+		return
+	}
+	epoch, err := md.Rotate()
+	if err != nil {
+		md.AbortSnapshot()
+		c.reportWALError(fmt.Errorf("meta snapshot: %w", err))
+		return
+	}
+	payloads := [][]byte{wal.EncodeNextID(uint64(c.reg.NextID()))}
+	for _, a := range c.reg.Automata() {
+		var vars []wal.VarState
+		a.SnapshotVars(func(name string, v types.Value) {
+			vars = append(vars, wal.VarState{Name: name, Value: v})
+		})
+		opts := a.InboxOptions()
+		payload, err := wal.EncodeAutomaton(wal.RegisterRec{
+			ID:            a.ID(),
+			Source:        a.Source(),
+			InboxCapacity: int64(opts.InboxCapacity),
+			InboxPolicy:   uint8(opts.InboxPolicy),
+		}, vars)
+		if err != nil {
+			c.reportWALError(fmt.Errorf("meta snapshot: automaton %d: %w", a.ID(), err))
+			continue
+		}
+		payloads = append(payloads, payload)
+	}
+	if err := md.WriteSnapshot(epoch, payloads); err != nil {
+		c.reportWALError(fmt.Errorf("meta snapshot: %w", err))
+	}
+}
+
+// --- stats ---
+
+// DomainDurability is one commit domain's durability row.
+type DomainDurability struct {
+	// Topic is the domain's table/topic name.
+	Topic string
+	// Seq is the domain's current sequence high-water mark.
+	Seq uint64
+	// WALBytes is the domain's live log footprint.
+	WALBytes int64
+}
+
+// DurabilityStats reports the durable cache's write-ahead-log state; the
+// zero value (Dir == "") means the cache is in-memory.
+type DurabilityStats struct {
+	// Dir is the data directory.
+	Dir string
+	// WALBytes is the total live log footprint across all domains.
+	WALBytes int64
+	// Fsyncs counts fsync calls since open (group commit batches many
+	// commits into each).
+	Fsyncs uint64
+	// Snapshots counts snapshots written since open.
+	Snapshots uint64
+	// LastSnapshot is when the most recent snapshot was written (zero if
+	// none this run).
+	LastSnapshot types.Timestamp
+	// Replayed counts records applied during recovery at open.
+	Replayed uint64
+	// TornTails counts log tails dropped during recovery because their
+	// final record was torn or corrupt.
+	TornTails uint64
+	// Domains lists the per-topic rows, in topic-name order.
+	Domains []DomainDurability
+}
+
+// Durability snapshots the durability counters; ok is false for an
+// in-memory cache.
+func (c *Cache) Durability() (DurabilityStats, bool) {
+	if c.wal == nil {
+		return DurabilityStats{}, false
+	}
+	ws := c.wal.ManagerStats()
+	st := DurabilityStats{
+		Dir:          ws.Dir,
+		WALBytes:     ws.WALBytes,
+		Fsyncs:       ws.Fsyncs,
+		Snapshots:    ws.Snapshots,
+		LastSnapshot: ws.LastSnapshot,
+		Replayed:     ws.Replayed,
+		TornTails:    ws.TornTails,
+	}
+	c.domains.Range(func(_, v any) bool {
+		d := v.(*commitDomain)
+		if d.wal == nil {
+			return true
+		}
+		d.mu.Lock()
+		seq := d.seq
+		d.mu.Unlock()
+		st.Domains = append(st.Domains, DomainDurability{
+			Topic:    d.name,
+			Seq:      seq,
+			WALBytes: d.wal.LiveBytes(),
+		})
+		return true
+	})
+	sort.Slice(st.Domains, func(i, j int) bool { return st.Domains[i].Topic < st.Domains[j].Topic })
+	return st, true
+}

@@ -1,0 +1,472 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unicache/internal/automaton"
+	"unicache/internal/types"
+	"unicache/internal/wal"
+)
+
+func newDurableCache(t *testing.T, dir string, mutate func(*Config)) *Cache {
+	t.Helper()
+	cfg := Config{
+		TimerPeriod:       -1,
+		MaxAutomatonSteps: 50_000_000,
+		PrintWriter:       &strings.Builder{},
+		OnRuntimeError: func(id int64, err error) {
+			t.Errorf("runtime error (automaton %d): %v", id, err)
+		},
+		DataDir: dir,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func waitIdle(t *testing.T, c *Cache) {
+	t.Helper()
+	if !c.Registry().WaitIdle(5 * time.Second) {
+		t.Fatal("automata did not quiesce")
+	}
+}
+
+func selectRows(t *testing.T, c *Cache, q string) [][]types.Value {
+	t.Helper()
+	res, err := c.Exec(q)
+	if err != nil {
+		t.Fatalf("exec %q: %v", q, err)
+	}
+	return res.Rows
+}
+
+// accumulator automaton: keeps a running total in an int variable and a
+// ROWS window of the last 3 values, mirroring both into the Totals
+// persistent table after every reading. Variable state surviving a
+// clean restart is only observable if Close snapshots it and reopen
+// restores it.
+const accumulatorSrc = `
+subscribe r to Readings;
+associate tot with Totals;
+int total, wsum;
+window w;
+iterator i;
+identifier key;
+initialization {
+	w = Window(int, ROWS, 3);
+}
+behavior {
+	total += r.v;
+	append(w, r.v);
+	wsum = 0;
+	i = Iterator(w);
+	while (hasNext(i))
+		wsum += next(i);
+	key = Identifier('acc');
+	insert(tot, key, Sequence('acc', total, wsum));
+}
+`
+
+func setupDurableTables(t *testing.T, c *Cache) {
+	t.Helper()
+	mustExec(t, c, `create table Readings (sensor varchar, v integer)`)
+	mustExec(t, c, `create persistenttable Totals (name varchar(8) primary key, total integer, wsum integer)`)
+}
+
+func readTotals(t *testing.T, c *Cache) (total, wsum int64) {
+	t.Helper()
+	rows := selectRows(t, c, `select total, wsum from Totals where name = 'acc'`)
+	if len(rows) != 1 {
+		t.Fatalf("Totals has %d rows for 'acc', want 1", len(rows))
+	}
+	total, _ = rows[0][0].AsInt()
+	wsum, _ = rows[0][1].AsInt()
+	return total, wsum
+}
+
+func domainSeq(t *testing.T, c *Cache, topic string) uint64 {
+	t.Helper()
+	st, ok := c.Durability()
+	if !ok {
+		t.Fatal("Durability() reports not durable")
+	}
+	for _, d := range st.Domains {
+		if d.Topic == topic {
+			return d.Seq
+		}
+	}
+	t.Fatalf("no durability domain for %q in %+v", topic, st.Domains)
+	return 0
+}
+
+// TestDurableReopenEquivalence is the reopen-equivalence case: a cache
+// closed cleanly and reopened from its DataDir behaves as if it never
+// stopped — table contents, per-topic sequence numbers, and automaton
+// variable state (including window contents) all carry over.
+func TestDurableReopenEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	c1 := newDurableCache(t, dir, nil)
+	setupDurableTables(t, c1)
+	if _, err := c1.Register(accumulatorSrc, automaton.DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		mustExec(t, c1, fmt.Sprintf(`insert into Readings values ('s1', %d)`, i*10))
+	}
+	waitIdle(t, c1)
+	total1, wsum1 := readTotals(t, c1)
+	if total1 != 150 || wsum1 != 120 { // 10+..+50; window holds 30,40,50
+		t.Fatalf("pre-close totals = (%d, %d), want (150, 120)", total1, wsum1)
+	}
+	c1.Close()
+
+	c2 := newDurableCache(t, dir, nil)
+	defer c2.Close()
+	// Tables and rows recovered.
+	if got, want := domainSeq(t, c2, "Readings"), uint64(5); got != want {
+		t.Fatalf("recovered Readings seq = %d, want %d", got, want)
+	}
+	if total, wsum := readTotals(t, c2); total != 150 || wsum != 120 {
+		t.Fatalf("recovered totals = (%d, %d), want (150, 120)", total, wsum)
+	}
+	if rows := selectRows(t, c2, `select v from Readings`); len(rows) != 5 {
+		t.Fatalf("recovered Readings has %d rows, want 5", len(rows))
+	}
+	// The automaton came back with its variables: one more reading folds
+	// into the *old* running total and the old window tail.
+	if got := c2.Registry().Len(); got != 1 {
+		t.Fatalf("recovered registry has %d automata, want 1", got)
+	}
+	mustExec(t, c2, `insert into Readings values ('s1', 7)`)
+	waitIdle(t, c2)
+	total2, wsum2 := readTotals(t, c2)
+	if total2 != 157 {
+		t.Fatalf("post-reopen total = %d, want 157 (150 carried over + 7)", total2)
+	}
+	if wsum2 != 97 { // window now 40,50,7
+		t.Fatalf("post-reopen wsum = %d, want 97 (window 40,50,7)", wsum2)
+	}
+	// Sequence numbers continue contiguously, no reuse.
+	if got, want := domainSeq(t, c2, "Readings"), uint64(6); got != want {
+		t.Fatalf("Readings seq after new insert = %d, want %d", got, want)
+	}
+}
+
+// TestDurableCrashReopen abandons the first cache without Close —
+// simulating a crash — and asserts every acked commit survives. Automata
+// re-register from the meta log but restart from initialization state
+// (variable snapshots are written at clean shutdown only).
+func TestDurableCrashReopen(t *testing.T) {
+	dir := t.TempDir()
+	c1 := newDurableCache(t, dir, nil)
+	setupDurableTables(t, c1)
+	if _, err := c1.Register(accumulatorSrc, automaton.DiscardSink); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		mustExec(t, c1, fmt.Sprintf(`insert into Readings values ('s1', %d)`, i))
+	}
+	waitIdle(t, c1)
+	// No Close: c1 is simply abandoned mid-flight.
+
+	c2 := newDurableCache(t, dir, nil)
+	defer c2.Close()
+	if got := domainSeq(t, c2, "Readings"); got != 4 {
+		t.Fatalf("recovered Readings seq = %d, want 4", got)
+	}
+	if rows := selectRows(t, c2, `select v from Readings`); len(rows) != 4 {
+		t.Fatalf("recovered Readings has %d rows, want 4", len(rows))
+	}
+	// Totals rows were committed through the persistent domain by the
+	// automaton, so they are durable even though its variables are not.
+	if total, _ := readTotals(t, c2); total != 10 {
+		t.Fatalf("recovered Totals total = %d, want 10", total)
+	}
+	if got := c2.Registry().Len(); got != 1 {
+		t.Fatalf("recovered registry has %d automata, want 1", got)
+	}
+}
+
+// TestDurableDeleteReplay checks that deletes are part of the log.
+func TestDurableDeleteReplay(t *testing.T) {
+	dir := t.TempDir()
+	c1 := newDurableCache(t, dir, nil)
+	mustExec(t, c1, `create persistenttable KV (k varchar(8) primary key, n integer)`)
+	mustExec(t, c1, `insert into KV values ('a', 1)`)
+	mustExec(t, c1, `insert into KV values ('b', 2)`)
+	if existed, err := c1.DeleteRow("KV", "a"); err != nil || !existed {
+		t.Fatalf("DeleteRow = (%v, %v)", existed, err)
+	}
+	// Crash-style reopen: the delete must replay from the log alone.
+	c2 := newDurableCache(t, dir, nil)
+	defer c2.Close()
+	rows := selectRows(t, c2, `select k from KV`)
+	if len(rows) != 1 || rows[0][0].String() != "b" {
+		t.Fatalf("recovered KV rows = %v, want just 'b'", rows)
+	}
+	_ = c1
+}
+
+// TestDurableSnapshotTruncation drives enough volume through a small
+// SnapshotBytes threshold to force snapshots, then verifies the state
+// still reopens exactly and the log did not grow without bound.
+func TestDurableSnapshotTruncation(t *testing.T) {
+	dir := t.TempDir()
+	c1 := newDurableCache(t, dir, func(cfg *Config) { cfg.SnapshotBytes = 4096 })
+	mustExec(t, c1, `create persistenttable KV (k varchar(16) primary key, n integer)`)
+	mustExec(t, c1, `create table S (v integer)`)
+	const n = 300
+	for i := 0; i < n; i++ {
+		mustExec(t, c1, fmt.Sprintf(`insert into KV values ('key-%04d', %d)`, i%50, i))
+		mustExec(t, c1, fmt.Sprintf(`insert into S values (%d)`, i))
+	}
+	st, ok := c1.Durability()
+	if !ok || st.Snapshots == 0 {
+		t.Fatalf("no snapshots taken (stats %+v)", st)
+	}
+	c1.Close()
+
+	c2 := newDurableCache(t, dir, nil)
+	defer c2.Close()
+	if rows := selectRows(t, c2, `select k, n from KV`); len(rows) != 50 {
+		t.Fatalf("recovered KV has %d rows, want 50", len(rows))
+	}
+	// The last writer wins per key: key-0049 last written at i=299.
+	rows := selectRows(t, c2, `select n from KV where k = 'key-0049'`)
+	if len(rows) != 1 {
+		t.Fatalf("key-0049 rows = %v", rows)
+	}
+	if got, _ := rows[0][0].AsInt(); got != 299 {
+		t.Fatalf("key-0049 n = %d, want 299", got)
+	}
+	// Ephemeral ring: snapshot + replayed tail must not duplicate rows.
+	srows := selectRows(t, c2, `select v from S`)
+	seen := make(map[int64]bool)
+	for _, r := range srows {
+		v, _ := r[0].AsInt()
+		if seen[v] {
+			t.Fatalf("duplicate ring row %d after snapshot replay", v)
+		}
+		seen[v] = true
+	}
+	if got, want := domainSeq(t, c2, "S"), uint64(n); got != want {
+		t.Fatalf("recovered S seq = %d, want %d", got, want)
+	}
+}
+
+// --- fault injection through Config.WALFS ---
+
+// flakyFS arms write or fsync failures on demand; until armed it is the
+// real filesystem.
+type flakyFS struct {
+	mu        sync.Mutex
+	failWrite bool
+	failSync  bool
+}
+
+func (f *flakyFS) arm(write, sync bool) {
+	f.mu.Lock()
+	f.failWrite, f.failSync = write, sync
+	f.mu.Unlock()
+}
+
+func (f *flakyFS) MkdirAll(dir string) error            { return wal.OS.MkdirAll(dir) }
+func (f *flakyFS) ReadFile(path string) ([]byte, error) { return wal.OS.ReadFile(path) }
+func (f *flakyFS) ReadDir(dir string) ([]string, error) { return wal.OS.ReadDir(dir) }
+func (f *flakyFS) Rename(o, n string) error             { return wal.OS.Rename(o, n) }
+func (f *flakyFS) Remove(path string) error             { return wal.OS.Remove(path) }
+func (f *flakyFS) Truncate(p string, s int64) error     { return wal.OS.Truncate(p, s) }
+func (f *flakyFS) SyncDir(dir string) error             { return wal.OS.SyncDir(dir) }
+
+func (f *flakyFS) OpenAppend(path string) (wal.File, error) {
+	inner, err := wal.OS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{fs: f, inner: inner}, nil
+}
+
+type flakyFile struct {
+	fs    *flakyFS
+	inner wal.File
+}
+
+func (ff *flakyFile) Write(b []byte) (int, error) {
+	ff.fs.mu.Lock()
+	fail := ff.fs.failWrite
+	ff.fs.mu.Unlock()
+	if fail {
+		return 0, fmt.Errorf("injected write failure")
+	}
+	return ff.inner.Write(b)
+}
+
+func (ff *flakyFile) Sync() error {
+	ff.fs.mu.Lock()
+	fail := ff.fs.failSync
+	ff.fs.mu.Unlock()
+	if fail {
+		return fmt.Errorf("injected fsync failure")
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *flakyFile) Close() error { return ff.inner.Close() }
+
+// TestDurableWriteFailureRollsBack: when the WAL append fails, the commit
+// reports the error, the in-memory table never sees the batch, and a
+// reopen shows exactly the acked prefix — zero loss, zero phantoms.
+func TestDurableWriteFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &flakyFS{}
+	c1 := newDurableCache(t, dir, func(cfg *Config) { cfg.WALFS = ffs })
+	mustExec(t, c1, `create persistenttable KV (k varchar(8) primary key, n integer)`)
+	mustExec(t, c1, `insert into KV values ('a', 1)`)
+
+	ffs.arm(true, false)
+	if _, err := c1.Exec(`insert into KV values ('b', 2)`); err == nil {
+		t.Fatal("insert with failing WAL write reported no error")
+	}
+	// The failed batch must not be visible in memory either.
+	if rows := selectRows(t, c1, `select k from KV`); len(rows) != 1 {
+		t.Fatalf("in-memory KV rows after failed commit = %v, want just 'a'", rows)
+	}
+	ffs.arm(false, false)
+	// The domain stays usable once the fault clears.
+	mustExec(t, c1, `insert into KV values ('c', 3)`)
+	c1.Close()
+
+	c2 := newDurableCache(t, dir, nil)
+	defer c2.Close()
+	rows := selectRows(t, c2, `select k from KV`)
+	got := make(map[string]bool)
+	for _, r := range rows {
+		got[r[0].String()] = true
+	}
+	if len(got) != 2 || !got["a"] || !got["c"] {
+		t.Fatalf("recovered keys = %v, want {a c}", got)
+	}
+	if seq := domainSeq(t, c2, "KV"); seq != 2 {
+		t.Fatalf("recovered KV seq = %d, want 2 (failed commit's seq rolled back)", seq)
+	}
+}
+
+// TestDurableFsyncFailureSurfaces: the row is written but the ack fails;
+// the committer sees the error (so upstream can retry or fail loudly).
+func TestDurableFsyncFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &flakyFS{}
+	c1 := newDurableCache(t, dir, func(cfg *Config) { cfg.WALFS = ffs })
+	mustExec(t, c1, `create persistenttable KV (k varchar(8) primary key, n integer)`)
+
+	ffs.arm(false, true)
+	if _, err := c1.Exec(`insert into KV values ('a', 1)`); err == nil {
+		t.Fatal("insert with failing fsync reported no error")
+	}
+	ffs.arm(false, false)
+	mustExec(t, c1, `insert into KV values ('b', 2)`)
+	c1.Close()
+
+	// Both rows replay: the fsync failure lost the ack, never the data.
+	c2 := newDurableCache(t, dir, nil)
+	defer c2.Close()
+	if rows := selectRows(t, c2, `select k from KV`); len(rows) != 2 {
+		t.Fatalf("recovered KV has %d rows, want 2", len(rows))
+	}
+}
+
+// TestDurableUnregisterReplay: an unregistered automaton stays gone.
+func TestDurableUnregisterReplay(t *testing.T) {
+	dir := t.TempDir()
+	c1 := newDurableCache(t, dir, nil)
+	setupDurableTables(t, c1)
+	a1, err := c1.Register(accumulatorSrc, automaton.DiscardSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c1.Register(accumulatorSrc, automaton.DiscardSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Unregister(a1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	c2 := newDurableCache(t, dir, nil)
+	defer c2.Close()
+	if got := c2.Registry().Len(); got != 1 {
+		t.Fatalf("recovered registry has %d automata, want 1", got)
+	}
+	if _, ok := c2.Registry().Get(a2.ID()); !ok {
+		t.Fatalf("surviving automaton %d not found after recovery", a2.ID())
+	}
+	// New registrations do not reuse the old ID.
+	a3, err := c2.Register(accumulatorSrc, automaton.DiscardSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.ID() <= a2.ID() {
+		t.Fatalf("new automaton ID %d not above recovered max %d", a3.ID(), a2.ID())
+	}
+}
+
+// TestInMemoryUnchanged: without DataDir nothing touches disk and
+// Durability reports not-durable.
+func TestInMemoryUnchanged(t *testing.T) {
+	c := newTestCache(t)
+	mustExec(t, c, `create table S (v integer)`)
+	mustExec(t, c, `insert into S values (1)`)
+	if _, ok := c.Durability(); ok {
+		t.Fatal("in-memory cache claims to be durable")
+	}
+}
+
+// TestSnapshotEncodingStable pins that encoding a domain's state is
+// byte-deterministic: two encodes of the same state are identical. The
+// persistent path feeds ScanOrdered into the encoder, so this regresses
+// if map-iteration order ever leaks into snapshot bytes.
+func TestSnapshotEncodingStable(t *testing.T) {
+	dir := t.TempDir()
+	c := newDurableCache(t, dir, nil)
+	defer c.Close()
+	mustExec(t, c, `create persistenttable KV (k varchar(8) primary key, n integer)`)
+	mustExec(t, c, `create table S (v integer)`)
+	for i := 0; i < 64; i++ {
+		mustExec(t, c, fmt.Sprintf(`insert into KV values ('k%02d', %d)`, (i*37)%64, i))
+		mustExec(t, c, fmt.Sprintf(`insert into S values (%d)`, i))
+	}
+	for _, topic := range []string{"KV", "S"} {
+		d, err := c.lookupDomain(topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encode := func() []byte {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			payloads, err := encodeDomainState(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var flat []byte
+			for _, p := range payloads {
+				flat = append(flat, p...)
+			}
+			return flat
+		}
+		a, b := encode(), encode()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: two encodes of identical state differ (%d vs %d bytes)", topic, len(a), len(b))
+		}
+	}
+}

@@ -798,10 +798,33 @@ type AutomatonStat struct {
 }
 
 // ServerStats is the msgStats reply: every live watch tap and automaton
-// on the server, with their dispatch-pipeline depth and dropped counters.
+// on the server, with their dispatch-pipeline depth and dropped counters,
+// plus the server's durability counters when it runs with a WAL.
 type ServerStats struct {
 	Watches  []WatchStat
 	Automata []AutomatonStat
+	// Durability is nil when the server runs in-memory (or predates the
+	// durability section of the stats reply).
+	Durability *DurabilityStat
+}
+
+// DurabilityStat mirrors the server cache's durability counters.
+type DurabilityStat struct {
+	Dir          string
+	WALBytes     int64
+	Fsyncs       uint64
+	Snapshots    uint64
+	LastSnapshot int64
+	Replayed     uint64
+	TornTails    uint64
+	Domains      []DomainDurabilityStat
+}
+
+// DomainDurabilityStat is one commit domain's durability row.
+type DomainDurabilityStat struct {
+	Topic    string
+	Seq      uint64
+	WALBytes int64
 }
 
 // Stats fetches the server's per-subscription observability counters, so
@@ -862,5 +885,51 @@ func (c *Client) Stats() (ServerStats, error) {
 		}
 		st.Automata = append(st.Automata, a)
 	}
+	// Optional trailing durability section; absent on in-memory servers
+	// and on servers predating it.
+	present, err := d.U8()
+	if err != nil || present == 0 {
+		return st, nil
+	}
+	var dur DurabilityStat
+	if dur.Dir, err = d.Str(); err != nil {
+		return st, err
+	}
+	if dur.WALBytes, err = d.I64(); err != nil {
+		return st, err
+	}
+	if dur.Fsyncs, err = d.U64(); err != nil {
+		return st, err
+	}
+	if dur.Snapshots, err = d.U64(); err != nil {
+		return st, err
+	}
+	if dur.LastSnapshot, err = d.I64(); err != nil {
+		return st, err
+	}
+	if dur.Replayed, err = d.U64(); err != nil {
+		return st, err
+	}
+	if dur.TornTails, err = d.U64(); err != nil {
+		return st, err
+	}
+	nd, err := d.U32()
+	if err != nil {
+		return st, err
+	}
+	for i := uint32(0); i < nd; i++ {
+		var dd DomainDurabilityStat
+		if dd.Topic, err = d.Str(); err != nil {
+			return st, err
+		}
+		if dd.Seq, err = d.U64(); err != nil {
+			return st, err
+		}
+		if dd.WALBytes, err = d.I64(); err != nil {
+			return st, err
+		}
+		dur.Domains = append(dur.Domains, dd)
+	}
+	st.Durability = &dur
 	return st, nil
 }

@@ -55,7 +55,12 @@ const (
 	msgUnwatchOK    = 20
 	msgStats        = 21 // no body
 	// msgStatsOK: u32 nwatch × (i64 id, str topic, i64 depth, u64 dropped),
-	// then u32 nauto × (i64 id, i64 depth, u64 dropped, u64 processed).
+	// then u32 nauto × (i64 id, i64 depth, u64 dropped, u64 processed),
+	// then an optional durability section: u8 present, and when 1:
+	// str dir, i64 walBytes, u64 fsyncs, u64 snapshots, i64 lastSnapshot,
+	// u64 replayed, u64 tornTails, u32 ndomain × (str topic, u64 seq,
+	// i64 walBytes). Decoders tolerate the section's absence (older
+	// servers end the message after the automaton list).
 	msgStatsOK = 22
 	// Streaming bulk insert. A multi-MB load as one msgInsertBatch pays its
 	// whole encoded size in client memory and is capped at maxMessageSize;

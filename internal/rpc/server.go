@@ -495,6 +495,24 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 				e.U64(a.Dropped())
 				e.U64(a.Processed())
 			}
+			if dur, ok := c.srv.cache.Durability(); ok {
+				e.U8(1)
+				e.Str(dur.Dir)
+				e.I64(dur.WALBytes)
+				e.U64(dur.Fsyncs)
+				e.U64(dur.Snapshots)
+				e.I64(int64(dur.LastSnapshot))
+				e.U64(dur.Replayed)
+				e.U64(dur.TornTails)
+				e.U32(uint32(len(dur.Domains)))
+				for _, dd := range dur.Domains {
+					e.Str(dd.Topic)
+					e.U64(dd.Seq)
+					e.I64(dd.WALBytes)
+				}
+			} else {
+				e.U8(0)
+			}
 			return nil
 		})
 

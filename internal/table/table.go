@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"unicache/internal/types"
@@ -345,6 +346,28 @@ func (p *Persistent) Scan(fn func(*types.Tuple) bool) {
 		}
 	}
 	p.mu.RUnlock()
+	for _, t := range snapshot {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// ScanOrdered calls fn for each current row in ascending primary-key
+// order. Unlike Scan's temporal order — whose byte layout depends on the
+// history of updates and compactions — key order is a pure function of
+// the table's current contents, so durable snapshots built over it are
+// byte-stable across runs. Iteration stops early if fn returns false.
+func (p *Persistent) ScanOrdered(fn func(*types.Tuple) bool) {
+	p.mu.RLock()
+	snapshot := make([]*types.Tuple, 0, len(p.rows))
+	for _, t := range p.rows {
+		snapshot = append(snapshot, t)
+	}
+	p.mu.RUnlock()
+	sort.Slice(snapshot, func(i, j int) bool {
+		return p.KeyOf(snapshot[i]) < p.KeyOf(snapshot[j])
+	})
 	for _, t := range snapshot {
 		if !fn(t) {
 			return

@@ -436,3 +436,72 @@ func TestPersistentInsertBatch(t *testing.T) {
 		t.Fatal("arity mismatch in batch should error")
 	}
 }
+
+// TestScanOrderedDeterministic pins the key-ordered scan that snapshot
+// encoding depends on: whatever order keys were inserted or upserted in,
+// ScanOrdered yields them in ascending key order, and repeated scans of
+// the same state yield identical sequences (no map-iteration leakage).
+func TestScanOrderedDeterministic(t *testing.T) {
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{7, 6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 7, 1, 6, 2, 5, 4},
+	}
+	var dumps []string
+	for _, order := range orders {
+		p, err := NewPersistent(kvSchema(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := uint64(0)
+		for round := 0; round < 2; round++ { // second round upserts every key
+			for _, i := range order {
+				seq++
+				if _, err := p.Insert(tup(seq, types.Timestamp(seq),
+					types.Str(fmt.Sprintf("k%02d", i)), types.Int(int64(100*round+i)))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		var got []string
+		prev := ""
+		p.ScanOrdered(func(tp *types.Tuple) bool {
+			k := p.KeyOf(tp)
+			if prev != "" && k <= prev {
+				t.Fatalf("ScanOrdered out of order: %q after %q", k, prev)
+			}
+			prev = k
+			v, _ := tp.Vals[1].AsInt()
+			got = append(got, fmt.Sprintf("%s=%d", k, v))
+			return true
+		})
+		if len(got) != 8 {
+			t.Fatalf("ScanOrdered visited %d rows, want 8", len(got))
+		}
+		dumps = append(dumps, fmt.Sprint(got))
+	}
+	// Same final logical state regardless of insertion order -> same scan.
+	for i := 1; i < len(dumps); i++ {
+		if dumps[i] != dumps[0] {
+			t.Fatalf("ScanOrdered depends on insertion order:\n%s\nvs\n%s", dumps[0], dumps[i])
+		}
+	}
+}
+
+// TestScanOrderedEarlyStop: returning false stops the scan.
+func TestScanOrderedEarlyStop(t *testing.T) {
+	p, err := NewPersistent(kvSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := p.Insert(tup(uint64(i+1), 1, types.Str(fmt.Sprintf("k%d", i)), types.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	p.ScanOrdered(func(*types.Tuple) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("scan visited %d rows after early stop, want 2", n)
+	}
+}

@@ -1,0 +1,94 @@
+package types
+
+// This file holds the snapshot codecs: stable binary encodings for the
+// durable state the WAL layer persists. They live in types (not wire)
+// because wire depends on sql and is therefore off-limits to the storage
+// layers below it; the encodings here use encoding/binary primitives
+// directly and are part of the on-disk format — changing them invalidates
+// existing data directories.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendSchema appends a stable binary encoding of s to dst:
+// name, persistent flag, key index, then each column's name/type/width.
+func AppendSchema(dst []byte, s *Schema) []byte {
+	dst = appendString(dst, s.Name)
+	if s.Persistent {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(s.Key)))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s.Cols)))
+	for _, c := range s.Cols {
+		dst = appendString(dst, c.Name)
+		dst = append(dst, byte(c.Type))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(c.Width))
+	}
+	return dst
+}
+
+// DecodeSchema decodes a schema produced by AppendSchema, returning the
+// schema and the number of bytes consumed. The schema is revalidated
+// through NewSchema, so a corrupt-but-checksum-valid encoding cannot
+// install an inconsistent schema.
+func DecodeSchema(b []byte) (*Schema, int, error) {
+	pos := 0
+	name, n, err := decodeString(b[pos:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("schema name: %w", err)
+	}
+	pos += n
+	if pos+1+4+2 > len(b) {
+		return nil, 0, fmt.Errorf("schema %s: truncated header", name)
+	}
+	persistent := b[pos] == 1
+	pos++
+	key := int(int32(binary.BigEndian.Uint32(b[pos:])))
+	pos += 4
+	ncols := int(binary.BigEndian.Uint16(b[pos:]))
+	pos += 2
+	cols := make([]Column, 0, ncols)
+	for i := 0; i < ncols; i++ {
+		cname, n, err := decodeString(b[pos:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("schema %s column %d: %w", name, i, err)
+		}
+		pos += n
+		if pos+1+4 > len(b) {
+			return nil, 0, fmt.Errorf("schema %s column %d: truncated", name, i)
+		}
+		ctype := ColType(b[pos])
+		pos++
+		width := int(binary.BigEndian.Uint32(b[pos:]))
+		pos += 4
+		if ctype < ColInt || ctype > ColTstamp {
+			return nil, 0, fmt.Errorf("schema %s column %s: bad column type %d", name, cname, ctype)
+		}
+		cols = append(cols, Column{Name: cname, Type: ctype, Width: width})
+	}
+	s, err := NewSchema(name, persistent, key, cols...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, pos, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func decodeString(b []byte) (string, int, error) {
+	if len(b) < 4 {
+		return "", 0, fmt.Errorf("truncated string length")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if 4+n > len(b) {
+		return "", 0, fmt.Errorf("truncated string body (want %d bytes, have %d)", n, len(b)-4)
+	}
+	return string(b[4 : 4+n]), 4 + n, nil
+}

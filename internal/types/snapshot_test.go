@@ -1,0 +1,72 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSchemaCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		name       string
+		persistent bool
+		key        int
+		cols       []Column
+	}{
+		{"stream", false, -1, []Column{
+			{Name: "v", Type: ColInt},
+		}},
+		{"persistent", true, 0, []Column{
+			{Name: "k", Type: ColVarchar, Width: 16},
+			{Name: "n", Type: ColInt},
+			{Name: "w", Type: ColReal},
+			{Name: "ok", Type: ColBool},
+			{Name: "at", Type: ColTstamp},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSchema("T", tc.persistent, tc.key, tc.cols...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := AppendSchema(nil, s)
+			got, n, err := DecodeSchema(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(buf) {
+				t.Fatalf("DecodeSchema consumed %d of %d bytes", n, len(buf))
+			}
+			if got.Name != s.Name || got.Persistent != s.Persistent || got.Key != s.Key {
+				t.Fatalf("roundtrip header: %+v vs %+v", got, s)
+			}
+			if len(got.Cols) != len(s.Cols) {
+				t.Fatalf("roundtrip cols: %d vs %d", len(got.Cols), len(s.Cols))
+			}
+			for i := range s.Cols {
+				if got.Cols[i] != s.Cols[i] {
+					t.Fatalf("col %d: %+v vs %+v", i, got.Cols[i], s.Cols[i])
+				}
+			}
+			// The encoding is deterministic — snapshots depend on it.
+			if !bytes.Equal(AppendSchema(nil, s), buf) {
+				t.Fatal("AppendSchema is not deterministic")
+			}
+		})
+	}
+}
+
+func TestDecodeSchemaRejectsDamage(t *testing.T) {
+	s, err := NewSchema("T", true, 0,
+		Column{Name: "k", Type: ColVarchar},
+		Column{Name: "n", Type: ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := AppendSchema(nil, s)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeSchema(buf[:cut]); err == nil {
+			t.Fatalf("DecodeSchema accepted a %d-byte truncation of %d", cut, len(buf))
+		}
+	}
+}

@@ -189,6 +189,55 @@ func (m *VM) DeliverBatch(evs []*types.Event) error {
 	return m.exec(m.prog.Behavior)
 }
 
+// VisitVars calls fn with every declared variable slot (SlotVar) and its
+// current value, in slot order. The automaton runtime uses it to cut a
+// durable snapshot of automaton state; the caller must hold whatever lock
+// serialises it against Deliver.
+func (m *VM) VisitVars(fn func(name string, v types.Value)) {
+	for i, s := range m.prog.Slots {
+		if s.Role == gapl.SlotVar {
+			fn(s.Name, m.slots[i])
+		}
+	}
+}
+
+// RestoreVar reinstates a snapshotted variable after RunInit. Scalars
+// replace the slot value. A saved window merges into the window the init
+// clause constructed — the snapshot carries contents (values and their
+// append timestamps), the init clause carries the eviction policy — and
+// the constraint is re-applied at now; if init built no window the saved
+// row-constrained snapshot is installed as-is. Unknown names are ignored:
+// the automaton source may have changed since the snapshot.
+func (m *VM) RestoreVar(name string, v types.Value, now types.Timestamp) error {
+	for i, s := range m.prog.Slots {
+		if s.Role != gapl.SlotVar || s.Name != name {
+			continue
+		}
+		if v.Kind() == types.KindWindow {
+			if cur := m.slots[i].Win(); cur != nil {
+				saved := v.Win()
+				for j := 0; j < saved.Len(); j++ {
+					if err := cur.Append(saved.At(j), saved.TsAt(j)); err != nil {
+						return fmt.Errorf("vm: restoring window %q: %w", name, err)
+					}
+				}
+				cur.ExpireAt(now)
+				return nil
+			}
+		}
+		if s.Kind != types.KindNil && v.Kind() != s.Kind {
+			conv, err := types.ConvertAssign(s.Kind, v)
+			if err != nil {
+				return fmt.Errorf("vm: restoring %q: %w", name, err)
+			}
+			v = conv
+		}
+		m.slots[i] = v
+		return nil
+	}
+	return nil
+}
+
 // Slot returns the current value of the named variable (test hook).
 func (m *VM) Slot(name string) (types.Value, bool) {
 	for i, s := range m.prog.Slots {

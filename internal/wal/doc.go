@@ -1,0 +1,32 @@
+// Package wal provides per-commit-domain write-ahead logging, snapshots,
+// and crash recovery for the cache's durable mode.
+//
+// Each commit domain (one per table, plus one meta domain for automaton
+// registrations) owns a directory of numbered log segments and snapshot
+// files. Records are length-prefixed and CRC32C-checksummed; recovery
+// loads the newest readable snapshot, replays every later segment's
+// longest valid prefix, and truncates a torn tail so appends resume from
+// the last durable record. Snapshots are written to a temporary file,
+// fsynced, renamed into place, and the directory fsynced, so a crash at
+// any point leaves either the old or the new snapshot intact — never a
+// partial one. Group commit batches fsyncs: concurrent committers ride
+// the first waiter's fsync instead of issuing one each.
+//
+// The FS and File interfaces are the fault-injection seam: tests inject
+// filesystems whose writes, fsyncs, or renames fail deterministically and
+// whose files end in torn records; production code uses OS.
+//
+// # Concurrency
+//
+// A Manager is safe for concurrent use. Per Domain, the caller must
+// serialise Append and Rotate (the cache holds its commit-domain mutex
+// around both); Sync may be called concurrently from any goroutine and
+// participates in group commit — it returns once the record behind its
+// token is on stable storage. WantsSnapshot/BeginSnapshot claim a
+// per-domain snapshot attempt with an atomic flag, so at most one
+// snapshot is in flight per domain; WriteSnapshot and AbortSnapshot
+// release the claim. Recover and RecoverMeta must complete before any
+// Append; Recover replays domains in parallel, one goroutine per domain,
+// and each domain's sink is called from that single goroutine only.
+// Manager stats accessors are safe at any time.
+package wal

@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable handle the log appends through. It is the
+// fault-injection surface for write-path failures: tests substitute a File
+// whose Write short-writes or whose Sync fails on the Nth call.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+}
+
+// FS abstracts the filesystem operations the WAL performs, so tests can
+// inject deterministic failures (write, fsync, rename) and torn final
+// records without touching a real disk's failure modes. Production code
+// uses OS.
+type FS interface {
+	// MkdirAll creates dir and its parents.
+	MkdirAll(dir string) error
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir returns the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes (recovery drops a torn tail).
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs a directory, making renames and creates durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

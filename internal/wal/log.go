@@ -1,0 +1,241 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+)
+
+// segmentName renders the on-disk name of a log segment for an epoch.
+func segmentName(epoch uint64) string { return fmt.Sprintf("wal-%08d.log", epoch) }
+
+// snapName renders the on-disk name of a snapshot for an epoch; the
+// snapshot covers every segment with a smaller epoch.
+func snapName(epoch uint64) string { return fmt.Sprintf("snap-%08d", epoch) }
+
+// logMagic opens every segment file; replay refuses files without it.
+var logMagic = []byte("UNIWAL1\n")
+
+// snapMagic opens every snapshot file.
+var snapMagic = []byte("UNISNP1\n")
+
+// log is one domain's append path: the current segment file plus the
+// group-commit machinery. Appends are serialised by the caller (the
+// cache's commit-domain mutex); Sync may be called concurrently by many
+// committers and batches their fsyncs — the first waiter whose records
+// are unsynced becomes the sync leader, fsyncs once for everything
+// appended so far, and wakes the group.
+type log struct {
+	fs     FS
+	dir    string
+	nosync bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       File
+	epoch   uint64
+	size    int64 // bytes appended to the current segment (incl. magic)
+	live    int64 // bytes across all live segments (stats + threshold)
+	synced  int64 // current-segment bytes known durable
+	syncing bool
+	closed  bool
+
+	fsyncs uint64 // fsync calls issued (stats)
+}
+
+// openLogAt opens (creating if needed) the segment for epoch, whose
+// current size on disk is size and which carries prior live bytes from
+// older segments.
+func openLogAt(fs FS, dir string, epoch uint64, size, priorLive int64, nosync bool) (*log, error) {
+	path := filepath.Join(dir, segmentName(epoch))
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	l := &log{fs: fs, dir: dir, nosync: nosync, f: f, epoch: epoch, size: size, live: priorLive + size, synced: size}
+	l.cond = sync.NewCond(&l.mu)
+	if size == 0 {
+		if err := l.writeLocked(logMagic); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// writeLocked writes b fully to the current segment, treating a short
+// write as an error (the torn bytes stay on disk; replay's checksum walk
+// drops them).
+func (l *log) writeLocked(b []byte) error {
+	n, err := l.f.Write(b)
+	l.size += int64(n)
+	l.live += int64(n)
+	if err != nil {
+		return err
+	}
+	if n != len(b) {
+		return fmt.Errorf("wal: short write (%d of %d bytes)", n, len(b))
+	}
+	return nil
+}
+
+// Off is a durability token: the segment epoch and offset a record ends
+// at. Sync(off) returns once everything up to it is on stable storage.
+type Off struct {
+	epoch uint64
+	off   int64
+}
+
+// Append frames payload and appends it to the current segment, returning
+// the durability token Sync waits on.
+func (l *log) Append(payload []byte) (Off, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Off{}, fmt.Errorf("wal: log closed")
+	}
+	if err := l.writeLocked(appendFrame(nil, payload)); err != nil {
+		return Off{}, err
+	}
+	return Off{epoch: l.epoch, off: l.size}, nil
+}
+
+// Sync blocks until the record behind the token is durable (group
+// commit). A token from a rotated-away segment is already durable —
+// Rotate fsyncs the outgoing segment before switching. With nosync it
+// returns immediately: the OS flushes on its own schedule and crash
+// recovery surfaces whatever made it to disk.
+func (l *log) Sync(o Off) error {
+	if l.nosync {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.epoch == o.epoch && l.synced < o.off {
+		if l.closed {
+			return fmt.Errorf("wal: log closed")
+		}
+		if l.syncing {
+			// A leader's fsync is in flight; it may already cover our
+			// records. Wait for its verdict.
+			l.cond.Wait()
+			continue
+		}
+		// Become the sync leader: fsync everything appended so far, so
+		// commits that landed while the previous fsync ran ride this one.
+		l.syncing = true
+		target := l.size
+		f := l.f
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		l.fsyncs++
+		l.cond.Broadcast()
+		if err != nil {
+			return err
+		}
+		if target > l.synced {
+			l.synced = target
+		}
+	}
+	return nil
+}
+
+// Rotate closes the current segment and starts a fresh one at epoch+1.
+// The caller must guarantee no concurrent Append (the cache holds the
+// commit-domain mutex); in-flight Sync waiters are woken and re-resolve
+// against the already-synced watermark.
+func (l *log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	for l.syncing {
+		l.cond.Wait()
+	}
+	// Make the outgoing segment durable before abandoning the handle —
+	// its records are only superseded once the snapshot covering them is
+	// on disk, and that write happens after this rotation.
+	if !l.nosync {
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+		l.fsyncs++
+	}
+	if err := l.f.Close(); err != nil {
+		return 0, err
+	}
+	epoch := l.epoch + 1
+	f, err := l.fs.OpenAppend(filepath.Join(l.dir, segmentName(epoch)))
+	if err != nil {
+		return 0, err
+	}
+	l.f = f
+	l.epoch = epoch
+	l.size = 0
+	// Everything in the old segment is on disk; the new segment starts
+	// clean. Waiters on old offsets are satisfied by construction, but
+	// synced tracks the new segment now.
+	l.synced = 0
+	l.cond.Broadcast()
+	if err := l.writeLocked(logMagic); err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// dropLiveBelow subtracts purged segment bytes from the live counter.
+func (l *log) dropLiveBelow(bytes int64) {
+	l.mu.Lock()
+	l.live -= bytes
+	if l.live < l.size {
+		l.live = l.size
+	}
+	l.mu.Unlock()
+}
+
+// Size returns the current segment's size in bytes.
+func (l *log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// LiveBytes returns the bytes across all live (unpurged) segments.
+func (l *log) LiveBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.live
+}
+
+// Fsyncs returns the number of fsync calls issued.
+func (l *log) Fsyncs() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fsyncs
+}
+
+// Close fsyncs (unless nosync) and closes the segment.
+func (l *log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	for l.syncing {
+		l.cond.Wait()
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	var err error
+	if !l.nosync {
+		err = l.f.Sync()
+		l.fsyncs++
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

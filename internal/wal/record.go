@@ -1,0 +1,401 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"unicache/internal/types"
+	"unicache/internal/wire"
+)
+
+// Record type tags, the first byte of every framed payload. The on-disk
+// format is append-only versioned: new tags may be added, existing tags
+// must never change meaning.
+const (
+	// recSchema carries a types.AppendSchema encoding; it is the first
+	// record of a fresh domain log and of every domain snapshot.
+	recSchema byte = 1
+	// recBatch is one committed batch: firstSeq u64, ts i64, rows (wire
+	// Rows). The commit path appends exactly one per CommitBatch.
+	recBatch byte = 2
+	// recDelete is one keyed delete on a persistent table: key string.
+	recDelete byte = 3
+	// recSeq pins the domain's sequence counter (snapshot only): seq u64.
+	recSeq byte = 4
+	// recRows carries non-contiguous rows with explicit per-row seq/ts
+	// (snapshot only): count u32 × (seq u64, ts i64, values).
+	recRows byte = 5
+	// recRegister is one automaton registration (meta log): id i64,
+	// source str, inbox capacity i64, inbox policy u8.
+	recRegister byte = 6
+	// recUnregister is one automaton unregistration (meta log): id i64.
+	recUnregister byte = 7
+	// recAutomaton is one live automaton with its variable state (meta
+	// snapshot only): the recRegister fields plus count u16 × (name str,
+	// value).
+	recAutomaton byte = 8
+	// recNextID pins the automaton id allocator (meta snapshot only): u64.
+	recNextID byte = 9
+)
+
+// castagnoli is the CRC32C polynomial table (the checksum used by modern
+// storage systems; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the per-record overhead: u32 payload length + u32
+// CRC32C of the payload.
+const frameHeaderSize = 8
+
+// maxRecordSize bounds a single record so a corrupt length prefix cannot
+// drive a huge allocation during replay.
+const maxRecordSize = 64 << 20
+
+// appendFrame appends one length-prefixed, CRC32C-checksummed record.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// parseFrames walks buf record by record, calling fn with each payload.
+// It returns the number of bytes consumed by valid records (the longest
+// valid prefix) and a non-nil error describing the first invalid record,
+// if any — a torn final record, a bad length, or a CRC mismatch. A replay
+// error returned by fn aborts the walk (and is returned as-is with good
+// covering the records already applied plus the failed one's frame).
+func parseFrames(buf []byte, fn func(payload []byte) error) (good int64, err error) {
+	pos := 0
+	for pos < len(buf) {
+		if len(buf)-pos < frameHeaderSize {
+			return int64(pos), fmt.Errorf("wal: torn record header at offset %d (%d trailing bytes)", pos, len(buf)-pos)
+		}
+		n := int(binary.BigEndian.Uint32(buf[pos:]))
+		sum := binary.BigEndian.Uint32(buf[pos+4:])
+		if n > maxRecordSize {
+			return int64(pos), fmt.Errorf("wal: implausible record length %d at offset %d", n, pos)
+		}
+		if pos+frameHeaderSize+n > len(buf) {
+			return int64(pos), fmt.Errorf("wal: torn record at offset %d (want %d payload bytes, have %d)",
+				pos, n, len(buf)-pos-frameHeaderSize)
+		}
+		payload := buf[pos+frameHeaderSize : pos+frameHeaderSize+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return int64(pos), fmt.Errorf("wal: checksum mismatch at offset %d", pos)
+		}
+		if len(payload) == 0 {
+			return int64(pos), fmt.Errorf("wal: empty record at offset %d", pos)
+		}
+		pos += frameHeaderSize + n
+		if err := fn(payload); err != nil {
+			return int64(pos), err
+		}
+	}
+	return int64(pos), nil
+}
+
+// --- typed payload encodings (decoded forms returned by DecodeRecord) ---
+
+// SchemaRec is a decoded recSchema payload.
+type SchemaRec struct{ Schema *types.Schema }
+
+// BatchRec is a decoded recBatch payload: one committed batch whose rows
+// occupy the contiguous sequence run [FirstSeq, FirstSeq+len(Rows)).
+type BatchRec struct {
+	FirstSeq uint64
+	TS       types.Timestamp
+	Rows     [][]types.Value
+}
+
+// DeleteRec is a decoded recDelete payload.
+type DeleteRec struct{ Key string }
+
+// SeqRec pins the domain sequence counter.
+type SeqRec struct{ Seq uint64 }
+
+// RowsRec carries snapshot rows with explicit per-row seq and ts.
+type RowsRec struct{ Tuples []*types.Tuple }
+
+// RegisterRec is a decoded recRegister payload.
+type RegisterRec struct {
+	ID            int64
+	Source        string
+	InboxCapacity int64
+	InboxPolicy   uint8
+}
+
+// UnregisterRec is a decoded recUnregister payload.
+type UnregisterRec struct{ ID int64 }
+
+// VarState is one automaton variable in a meta snapshot.
+type VarState struct {
+	Name  string
+	Value types.Value
+}
+
+// AutomatonRec is a decoded recAutomaton payload: a registration plus the
+// automaton's variable state at snapshot time.
+type AutomatonRec struct {
+	RegisterRec
+	Vars []VarState
+}
+
+// NextIDRec pins the automaton id allocator.
+type NextIDRec struct{ NextID uint64 }
+
+// EncodeSchema builds a recSchema payload.
+func EncodeSchema(s *types.Schema) []byte {
+	return types.AppendSchema([]byte{recSchema}, s)
+}
+
+// EncodeBatch builds a recBatch payload from the commit path's already
+// coerced tuples (their Vals; Seq/TS ride the header, contiguous).
+func EncodeBatch(firstSeq uint64, ts types.Timestamp, tuples []*types.Tuple) ([]byte, error) {
+	e := wire.NewEncoder(64 + 16*len(tuples))
+	e.U8(recBatch)
+	e.U64(firstSeq)
+	e.I64(int64(ts))
+	e.U32(uint32(len(tuples)))
+	for _, t := range tuples {
+		if err := e.Values(t.Vals); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
+// EncodeDelete builds a recDelete payload.
+func EncodeDelete(key string) []byte {
+	e := wire.NewEncoder(16 + len(key))
+	e.U8(recDelete)
+	e.Str(key)
+	return e.Bytes()
+}
+
+// EncodeSeq builds a recSeq payload.
+func EncodeSeq(seq uint64) []byte {
+	e := wire.NewEncoder(9)
+	e.U8(recSeq)
+	e.U64(seq)
+	return e.Bytes()
+}
+
+// EncodeRows builds a recRows payload from snapshot tuples, each carrying
+// its own seq and ts.
+func EncodeRows(tuples []*types.Tuple) ([]byte, error) {
+	e := wire.NewEncoder(64 + 24*len(tuples))
+	e.U8(recRows)
+	e.U32(uint32(len(tuples)))
+	for _, t := range tuples {
+		e.U64(t.Seq)
+		e.I64(int64(t.TS))
+		if err := e.Values(t.Vals); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
+// EncodeRegister builds a recRegister payload.
+func EncodeRegister(r RegisterRec) []byte {
+	e := wire.NewEncoder(32 + len(r.Source))
+	e.U8(recRegister)
+	encodeRegisterBody(e, r)
+	return e.Bytes()
+}
+
+func encodeRegisterBody(e *wire.Encoder, r RegisterRec) {
+	e.I64(r.ID)
+	e.Str(r.Source)
+	e.I64(r.InboxCapacity)
+	e.U8(r.InboxPolicy)
+}
+
+// EncodeUnregister builds a recUnregister payload.
+func EncodeUnregister(id int64) []byte {
+	e := wire.NewEncoder(9)
+	e.U8(recUnregister)
+	e.I64(id)
+	return e.Bytes()
+}
+
+// EncodeAutomaton builds a recAutomaton payload. Variables whose values
+// have no wire encoding (iterators, events, associations) are skipped:
+// associations re-bind at registration, the rest are transient.
+func EncodeAutomaton(r RegisterRec, vars []VarState) ([]byte, error) {
+	e := wire.NewEncoder(64 + len(r.Source))
+	e.U8(recAutomaton)
+	encodeRegisterBody(e, r)
+	kept := make([]VarState, 0, len(vars))
+	for _, v := range vars {
+		switch v.Value.Kind() {
+		case types.KindIterator, types.KindEvent, types.KindAssoc:
+			continue
+		}
+		kept = append(kept, v)
+	}
+	e.U16(uint16(len(kept)))
+	for _, v := range kept {
+		e.Str(v.Name)
+		if err := e.Value(v.Value); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
+// EncodeNextID builds a recNextID payload.
+func EncodeNextID(next uint64) []byte {
+	e := wire.NewEncoder(9)
+	e.U8(recNextID)
+	e.U64(next)
+	return e.Bytes()
+}
+
+// DecodeRecord decodes one framed payload into its typed form: one of
+// *SchemaRec, *BatchRec, *DeleteRec, *SeqRec, *RowsRec, *RegisterRec,
+// *UnregisterRec, *AutomatonRec, *NextIDRec.
+func DecodeRecord(payload []byte) (any, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("wal: empty record")
+	}
+	switch payload[0] {
+	case recSchema:
+		s, _, err := types.DecodeSchema(payload[1:])
+		if err != nil {
+			return nil, fmt.Errorf("wal: schema record: %w", err)
+		}
+		return &SchemaRec{Schema: s}, nil
+	case recBatch:
+		d := wire.NewDecoder(payload[1:])
+		firstSeq, err := d.U64()
+		if err != nil {
+			return nil, err
+		}
+		ts, err := d.I64()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.U32()
+		if err != nil {
+			return nil, err
+		}
+		capHint := int(n)
+		if limit := d.Remaining() / 2; capHint > limit {
+			capHint = limit
+		}
+		rows := make([][]types.Value, 0, capHint)
+		for i := uint32(0); i < n; i++ {
+			row, err := d.Values()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		return &BatchRec{FirstSeq: firstSeq, TS: types.Timestamp(ts), Rows: rows}, nil
+	case recDelete:
+		d := wire.NewDecoder(payload[1:])
+		key, err := d.Str()
+		if err != nil {
+			return nil, err
+		}
+		return &DeleteRec{Key: key}, nil
+	case recSeq:
+		d := wire.NewDecoder(payload[1:])
+		seq, err := d.U64()
+		if err != nil {
+			return nil, err
+		}
+		return &SeqRec{Seq: seq}, nil
+	case recRows:
+		d := wire.NewDecoder(payload[1:])
+		n, err := d.U32()
+		if err != nil {
+			return nil, err
+		}
+		capHint := int(n)
+		if limit := d.Remaining() / 18; capHint > limit {
+			capHint = limit
+		}
+		tuples := make([]*types.Tuple, 0, capHint)
+		for i := uint32(0); i < n; i++ {
+			seq, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			ts, err := d.I64()
+			if err != nil {
+				return nil, err
+			}
+			vals, err := d.Values()
+			if err != nil {
+				return nil, err
+			}
+			tuples = append(tuples, &types.Tuple{Seq: seq, TS: types.Timestamp(ts), Vals: vals})
+		}
+		return &RowsRec{Tuples: tuples}, nil
+	case recRegister:
+		d := wire.NewDecoder(payload[1:])
+		r, err := decodeRegisterBody(d)
+		if err != nil {
+			return nil, err
+		}
+		return &r, nil
+	case recUnregister:
+		d := wire.NewDecoder(payload[1:])
+		id, err := d.I64()
+		if err != nil {
+			return nil, err
+		}
+		return &UnregisterRec{ID: id}, nil
+	case recAutomaton:
+		d := wire.NewDecoder(payload[1:])
+		r, err := decodeRegisterBody(d)
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.U16()
+		if err != nil {
+			return nil, err
+		}
+		out := &AutomatonRec{RegisterRec: r}
+		for i := uint16(0); i < n; i++ {
+			name, err := d.Str()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.Value()
+			if err != nil {
+				return nil, err
+			}
+			out.Vars = append(out.Vars, VarState{Name: name, Value: v})
+		}
+		return out, nil
+	case recNextID:
+		d := wire.NewDecoder(payload[1:])
+		next, err := d.U64()
+		if err != nil {
+			return nil, err
+		}
+		return &NextIDRec{NextID: next}, nil
+	}
+	return nil, fmt.Errorf("wal: unknown record type %d", payload[0])
+}
+
+func decodeRegisterBody(d *wire.Decoder) (RegisterRec, error) {
+	var r RegisterRec
+	var err error
+	if r.ID, err = d.I64(); err != nil {
+		return r, err
+	}
+	if r.Source, err = d.Str(); err != nil {
+		return r, err
+	}
+	if r.InboxCapacity, err = d.I64(); err != nil {
+		return r, err
+	}
+	if r.InboxPolicy, err = d.U8(); err != nil {
+		return r, err
+	}
+	return r, nil
+}

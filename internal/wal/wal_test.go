@@ -1,0 +1,673 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"unicache/internal/types"
+)
+
+// --- fault-injection FS double ---
+
+// faultFS wraps the real filesystem with deterministic failures: each
+// countdown, once it reaches zero, fails every further call of that kind.
+// A negative countdown never fires. shortWriteAt additionally makes the
+// matching write a torn one: half the bytes land before the error.
+type faultFS struct {
+	inner FS
+
+	mu            sync.Mutex
+	writesLeft    int // fail writes after this many succeed (-1 = never)
+	syncsLeft     int
+	renamesLeft   int
+	truncatesLeft int
+	shortWrite    bool // the failing write lands half its bytes first
+}
+
+func newFaultFS() *faultFS {
+	return &faultFS{inner: OS, writesLeft: -1, syncsLeft: -1, renamesLeft: -1, truncatesLeft: -1}
+}
+
+func (f *faultFS) MkdirAll(dir string) error            { return f.inner.MkdirAll(dir) }
+func (f *faultFS) ReadFile(path string) ([]byte, error) { return f.inner.ReadFile(path) }
+func (f *faultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+func (f *faultFS) Remove(path string) error             { return f.inner.Remove(path) }
+func (f *faultFS) SyncDir(dir string) error             { return f.inner.SyncDir(dir) }
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	fail := f.renamesLeft == 0
+	if f.renamesLeft > 0 {
+		f.renamesLeft--
+	}
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("injected rename failure")
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Truncate(path string, size int64) error {
+	f.mu.Lock()
+	fail := f.truncatesLeft == 0
+	if f.truncatesLeft > 0 {
+		f.truncatesLeft--
+	}
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("injected truncate failure")
+	}
+	return f.inner.Truncate(path, size)
+}
+
+func (f *faultFS) OpenAppend(path string) (File, error) {
+	inner, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+type faultFile struct {
+	fs    *faultFS
+	inner File
+}
+
+func (ff *faultFile) Write(b []byte) (int, error) {
+	ff.fs.mu.Lock()
+	fail := ff.fs.writesLeft == 0
+	short := ff.fs.shortWrite
+	if ff.fs.writesLeft > 0 {
+		ff.fs.writesLeft--
+	}
+	ff.fs.mu.Unlock()
+	if fail {
+		if short && len(b) > 1 {
+			n, _ := ff.inner.Write(b[:len(b)/2])
+			return n, fmt.Errorf("injected torn write")
+		}
+		return 0, fmt.Errorf("injected write failure")
+	}
+	return ff.inner.Write(b)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	fail := ff.fs.syncsLeft == 0
+	if ff.fs.syncsLeft > 0 {
+		ff.fs.syncsLeft--
+	}
+	ff.fs.mu.Unlock()
+	if fail {
+		return fmt.Errorf("injected fsync failure")
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }
+
+// --- helpers ---
+
+func testSchema(t *testing.T) *types.Schema {
+	t.Helper()
+	s, err := types.NewSchema("KV", true, 0,
+		types.Column{Name: "k", Type: types.ColVarchar},
+		types.Column{Name: "n", Type: types.ColInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func batchPayload(t *testing.T, firstSeq uint64, key string, n int64) []byte {
+	t.Helper()
+	p, err := EncodeBatch(firstSeq, types.Timestamp(1000+int64(firstSeq)), []*types.Tuple{
+		{Vals: []types.Value{types.Str(key), types.Int(n)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// openAndCommit opens a fresh manager over dir, creates domain KV and
+// appends n one-row batches, syncing each.
+func openAndCommit(t *testing.T, dir string, fs FS, n int) *Manager {
+	t.Helper()
+	m, err := Open(dir, Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.CreateDomain("KV", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		off, err := d.Append(batchPayload(t, uint64(i), fmt.Sprintf("k%03d", i), int64(i)))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if err := d.Sync(off); err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	return m
+}
+
+// replayAll recovers dir and returns the decoded records per domain.
+func replayAll(t *testing.T, dir string, fs FS) (map[string][]any, *Manager) {
+	t.Helper()
+	m, err := Open(dir, Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make(map[string][]any)
+	var mu sync.Mutex
+	if err := m.Recover(func(name string) (Sink, error) {
+		return func(rec any, fromSnapshot bool) error {
+			mu.Lock()
+			recs[name] = append(recs[name], rec)
+			mu.Unlock()
+			return nil
+		}, nil
+	}); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return recs, m
+}
+
+func batchSeqs(recs []any) []uint64 {
+	var out []uint64
+	for _, r := range recs {
+		if b, ok := r.(*BatchRec); ok {
+			out = append(out, b.FirstSeq)
+		}
+	}
+	return out
+}
+
+func segPath(dir string, epoch uint64) string {
+	return filepath.Join(dir, "domains", "KV", segmentName(epoch))
+}
+
+// --- round trip ---
+
+func TestRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := openAndCommit(t, dir, OS, 5)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, m2 := replayAll(t, dir, OS)
+	defer m2.Close()
+	kv := recs["KV"]
+	if len(kv) != 6 { // schema + 5 batches
+		t.Fatalf("replayed %d records, want 6: %#v", len(kv), kv)
+	}
+	if _, ok := kv[0].(*SchemaRec); !ok {
+		t.Fatalf("first record is %T, want *SchemaRec", kv[0])
+	}
+	for i, seq := range batchSeqs(kv) {
+		if seq != uint64(i+1) {
+			t.Fatalf("batch %d has firstSeq %d, want %d", i, seq, i+1)
+		}
+	}
+	if got := m2.ManagerStats().Replayed; got != 6 {
+		t.Fatalf("Replayed = %d, want 6", got)
+	}
+	// The recovered domain accepts further appends.
+	d := m2.Domain("KV")
+	if d == nil {
+		t.Fatal("recovered domain not resolvable")
+	}
+	off, err := d.Append(batchPayload(t, 6, "k006", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainNameEncoding(t *testing.T) {
+	for _, name := range []string{"KV", "weird/name", "ün!côde", "a%b", "..", "UPPER_lower-123"} {
+		enc := encodeName(name)
+		if strings.ContainsAny(enc, "/\\") {
+			t.Fatalf("encodeName(%q) = %q contains a path separator", name, enc)
+		}
+		dec, err := decodeName(enc)
+		if err != nil {
+			t.Fatalf("decodeName(%q): %v", enc, err)
+		}
+		if dec != name {
+			t.Fatalf("roundtrip %q -> %q -> %q", name, enc, dec)
+		}
+	}
+}
+
+// --- torn tails ---
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	m := openAndCommit(t, dir, OS, 4)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final record: drop its last 3 bytes.
+	path := segPath(dir, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, int64(len(data)-3)); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, m2 := replayAll(t, dir, OS)
+	kv := recs["KV"]
+	if got := batchSeqs(kv); len(got) != 3 {
+		t.Fatalf("replayed batches %v, want the 3-batch prefix", got)
+	}
+	st := m2.ManagerStats()
+	if st.TornTails != 1 {
+		t.Fatalf("TornTails = %d, want 1", st.TornTails)
+	}
+	// The tail was truncated away: appends continue cleanly and a second
+	// recovery sees no damage.
+	d := m2.Domain("KV")
+	off, err := d.Append(batchPayload(t, 4, "k004", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs3, m3 := replayAll(t, dir, OS)
+	defer m3.Close()
+	if got := batchSeqs(recs3["KV"]); len(got) != 4 || got[3] != 4 {
+		t.Fatalf("after repair replayed batches %v, want seqs 1..4", got)
+	}
+	if st := m3.ManagerStats(); st.TornTails != 0 {
+		t.Fatalf("TornTails after repair = %d, want 0", st.TornTails)
+	}
+}
+
+func TestTornWriteViaFaultFS(t *testing.T) {
+	dir := t.TempDir()
+	ffs := newFaultFS()
+	m, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.CreateDomain("KV", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		off, err := d.Append(batchPayload(t, uint64(i), fmt.Sprintf("k%03d", i), int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Sync(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The next write tears: half the frame lands, then the error surfaces
+	// to the committer.
+	ffs.mu.Lock()
+	ffs.writesLeft, ffs.shortWrite = 0, true
+	ffs.mu.Unlock()
+	if _, err := d.Append(batchPayload(t, 3, "k003", 3)); err == nil {
+		t.Fatal("torn append reported no error")
+	}
+	ffs.mu.Lock()
+	ffs.writesLeft, ffs.shortWrite = -1, false
+	ffs.mu.Unlock()
+	_ = m.Close()
+
+	// Recovery keeps the two acked batches and drops the torn bytes.
+	recs, m2 := replayAll(t, dir, OS)
+	defer m2.Close()
+	if got := batchSeqs(recs["KV"]); len(got) != 2 {
+		t.Fatalf("replayed batches %v, want the 2-batch acked prefix", got)
+	}
+	if st := m2.ManagerStats(); st.TornTails != 1 {
+		t.Fatalf("TornTails = %d, want 1", st.TornTails)
+	}
+}
+
+// --- corruption corpus ---
+
+// TestCorruptionCorpus flips bits at every interesting frame position of
+// the third record — length field, CRC field, first/middle/last payload
+// byte — and asserts replay always recovers exactly the two-record prefix,
+// without panicking, and truncates so the next open is clean.
+func TestCorruptionCorpus(t *testing.T) {
+	base := t.TempDir()
+	pristine := filepath.Join(base, "pristine")
+	m := openAndCommit(t, pristine, OS, 4)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(segPath(pristine, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Locate the third batch's frame (frame 0 is the schema record).
+	pos := len(logMagic)
+	for skip := 0; skip < 3; skip++ {
+		n := int(uint32(data[pos])<<24 | uint32(data[pos+1])<<16 | uint32(data[pos+2])<<8 | uint32(data[pos+3]))
+		pos += frameHeaderSize + n
+	}
+	recLen := int(uint32(data[pos])<<24 | uint32(data[pos+1])<<16 | uint32(data[pos+2])<<8 | uint32(data[pos+3]))
+
+	cases := []struct {
+		name   string
+		offset int
+		bit    byte
+	}{
+		{"length-low-bit", pos + 3, 0x01},
+		{"length-high-bit", pos + 0, 0x80},
+		{"crc-bit", pos + 4, 0x10},
+		{"payload-first", pos + frameHeaderSize, 0x04},
+		{"payload-middle", pos + frameHeaderSize + recLen/2, 0x40},
+		{"payload-last", pos + frameHeaderSize + recLen - 1, 0x01},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			corrupt := append([]byte(nil), data...)
+			corrupt[tc.offset] ^= tc.bit
+			if err := os.MkdirAll(filepath.Join(dir, "domains", "KV"), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(segPath(dir, 0), corrupt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			recs, m2 := replayAll(t, dir, OS)
+			kv := recs["KV"]
+			// Schema + first two batches survive; the damaged record and
+			// everything after it are gone.
+			if got := batchSeqs(kv); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+				t.Fatalf("replayed batches %v, want seqs [1 2]", got)
+			}
+			if st := m2.ManagerStats(); st.TornTails != 1 {
+				t.Fatalf("TornTails = %d, want 1", st.TornTails)
+			}
+			if err := m2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// The truncation repaired the file: a second recovery is clean.
+			recs2, m3 := replayAll(t, dir, OS)
+			defer m3.Close()
+			if got := batchSeqs(recs2["KV"]); len(got) != 2 {
+				t.Fatalf("post-repair replay %v, want 2 batches", got)
+			}
+			if st := m3.ManagerStats(); st.TornTails != 0 {
+				t.Fatalf("post-repair TornTails = %d, want 0", st.TornTails)
+			}
+		})
+	}
+}
+
+// --- injected write/fsync/rename failures ---
+
+func TestWriteFailureSurfacesToCommitter(t *testing.T) {
+	dir := t.TempDir()
+	ffs := newFaultFS()
+	m, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	d, err := m.CreateDomain("KV", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.mu.Lock()
+	ffs.writesLeft = 0
+	ffs.mu.Unlock()
+	if _, err := d.Append(batchPayload(t, 1, "k001", 1)); err == nil {
+		t.Fatal("append with failing write reported no error")
+	}
+}
+
+func TestFsyncFailureSurfacesToCommitter(t *testing.T) {
+	dir := t.TempDir()
+	ffs := newFaultFS()
+	m, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	d, err := m.CreateDomain("KV", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := d.Append(batchPayload(t, 1, "k001", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.mu.Lock()
+	ffs.syncsLeft = 0
+	ffs.mu.Unlock()
+	if err := d.Sync(off); err == nil {
+		t.Fatal("sync with failing fsync reported no error")
+	}
+	// Later syncs succeed once the fault clears, and the record is never
+	// lost: it was appended, only the ack failed.
+	ffs.mu.Lock()
+	ffs.syncsLeft = -1
+	ffs.mu.Unlock()
+	if err := d.Sync(off); err != nil {
+		t.Fatalf("sync after fault cleared: %v", err)
+	}
+}
+
+func TestSnapshotRenameFailureKeepsLog(t *testing.T) {
+	dir := t.TempDir()
+	ffs := newFaultFS()
+	m, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.CreateDomain("KV", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		off, err := d.Append(batchPayload(t, uint64(i), fmt.Sprintf("k%03d", i), int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Sync(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.BeginSnapshot() {
+		t.Fatal("BeginSnapshot refused")
+	}
+	epoch, err := d.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.mu.Lock()
+	ffs.renamesLeft = 0
+	ffs.mu.Unlock()
+	if err := d.WriteSnapshot(epoch, [][]byte{EncodeSeq(3)}); err == nil {
+		t.Fatal("snapshot with failing rename reported no error")
+	}
+	_ = m.Close()
+
+	// No snapshot landed, the log is intact: recovery replays everything.
+	recs, m2 := replayAll(t, dir, OS)
+	defer m2.Close()
+	if got := batchSeqs(recs["KV"]); len(got) != 3 {
+		t.Fatalf("replayed batches %v, want all 3 from the log", got)
+	}
+	for _, rec := range recs["KV"] {
+		if _, ok := rec.(*SeqRec); ok {
+			t.Fatal("a SeqRec from the failed snapshot leaked into replay")
+		}
+	}
+}
+
+// --- snapshot + truncation lifecycle ---
+
+func TestSnapshotSupersedesLog(t *testing.T) {
+	dir := t.TempDir()
+	m := openAndCommit(t, dir, OS, 3)
+	d := m.Domain("KV")
+
+	if !d.BeginSnapshot() {
+		t.Fatal("BeginSnapshot refused")
+	}
+	epoch, err := d.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := EncodeRows([]*types.Tuple{
+		{Seq: 1, TS: 1001, Vals: []types.Value{types.Str("k001"), types.Int(1)}},
+		{Seq: 2, TS: 1002, Vals: []types.Value{types.Str("k002"), types.Int(2)}},
+		{Seq: 3, TS: 1003, Vals: []types.Value{types.Str("k003"), types.Int(3)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteSnapshot(epoch, [][]byte{EncodeSchema(testSchema(t)), EncodeSeq(3), rows}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(segPath(dir, 0)); !os.IsNotExist(err) {
+		t.Fatal("superseded segment 0 was not purged")
+	}
+	// Post-snapshot commits land in the new segment.
+	off, err := d.Append(batchPayload(t, 4, "k004", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(off); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.ManagerStats(); st.Snapshots != 1 || st.LastSnapshot == 0 {
+		t.Fatalf("stats after snapshot: %+v", st)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: snapshot baseline first, then the post-snapshot batch.
+	recs, m2 := replayAll(t, dir, OS)
+	defer m2.Close()
+	kv := recs["KV"]
+	sawRows, sawSeq := false, false
+	for _, rec := range kv {
+		switch rec := rec.(type) {
+		case *RowsRec:
+			sawRows = true
+			if len(rec.Tuples) != 3 {
+				t.Fatalf("snapshot rows = %d, want 3", len(rec.Tuples))
+			}
+		case *SeqRec:
+			sawSeq = true
+			if rec.Seq != 3 {
+				t.Fatalf("snapshot seq = %d, want 3", rec.Seq)
+			}
+		}
+	}
+	if !sawRows || !sawSeq {
+		t.Fatalf("snapshot baseline missing from replay: %#v", kv)
+	}
+	if got := batchSeqs(kv); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("post-snapshot batches %v, want [4]", got)
+	}
+}
+
+func TestGroupCommitConcurrentSyncs(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	d, err := m.CreateDomain("KV", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	var mu sync.Mutex
+	seq := uint64(0)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			seq++
+			s := seq
+			off, err := d.Append(batchPayload(t, s, fmt.Sprintf("k%03d", s), int64(s)))
+			mu.Unlock()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = d.Sync(off)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d: %v", i, err)
+		}
+	}
+	st := m.ManagerStats()
+	if st.Fsyncs == 0 {
+		t.Fatal("no fsyncs issued")
+	}
+	if st.Fsyncs > n+2 {
+		t.Fatalf("Fsyncs = %d for %d commits; group commit is not batching", st.Fsyncs, n)
+	}
+}
+
+func TestNoSyncSkipsFsync(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.CreateDomain("KV", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := d.Append(batchPayload(t, 1, "k001", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(off); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.ManagerStats(); st.Fsyncs != 0 {
+		t.Fatalf("Fsyncs = %d under NoSync, want 0", st.Fsyncs)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The data still recovers: it reached the OS, just not via fsync.
+	recs, m2 := replayAll(t, dir, OS)
+	defer m2.Close()
+	if got := batchSeqs(recs["KV"]); len(got) != 1 {
+		t.Fatalf("replayed batches %v, want 1", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"unicache/internal/automaton"
 	"unicache/internal/rpc"
+	"unicache/internal/types"
 )
 
 // Remote is the RPC Engine backend: the same Engine surface over a cached
@@ -267,6 +268,23 @@ func (r *Remote) Stats() (Stats, error) {
 		st.Automata = append(st.Automata, AutomatonStats{
 			ID: a.ID, Depth: a.Depth, Dropped: a.Dropped, Processed: a.Processed,
 		})
+	}
+	if d := ss.Durability; d != nil {
+		dur := DurabilityStats{
+			Dir:          d.Dir,
+			WALBytes:     d.WALBytes,
+			Fsyncs:       d.Fsyncs,
+			Snapshots:    d.Snapshots,
+			LastSnapshot: types.Timestamp(d.LastSnapshot),
+			Replayed:     d.Replayed,
+			TornTails:    d.TornTails,
+		}
+		for _, dd := range d.Domains {
+			dur.Domains = append(dur.Domains, DomainDurability{
+				Topic: dd.Topic, Seq: dd.Seq, WALBytes: dd.WALBytes,
+			})
+		}
+		st.Durability = &dur
 	}
 	return st, nil
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate for the durability path: build the daemon, the CLI and the
+# crashtest driver, then SIGKILL a cached server in the middle of a
+# `cachectl load` stream and prove restart recovers exactly the acked
+# prefix and converges back to a crash-free control run. See
+# cmd/crashtest for what is asserted. CRASHTEST_SEED pins the kill point
+# for reproduction; by default each run picks a fresh random one.
+set -eu
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/cached" ./cmd/cached
+go build -o "$DIR/cachectl" ./cmd/cachectl
+go build -o "$DIR/crashtest" ./cmd/crashtest
+
+"$DIR/crashtest" \
+	-cached "$DIR/cached" \
+	-cachectl "$DIR/cachectl" \
+	-rows "${CRASHTEST_ROWS:-100000}" \
+	-seed "${CRASHTEST_SEED:-0}"
