@@ -261,7 +261,10 @@ func (c *Cache) Close() {
 		if c.wal != nil {
 			c.domains.Range(func(_, v any) bool {
 				d := v.(*commitDomain)
-				if d.wal != nil && d.wal.BeginSnapshot() {
+				// A failed (latched) domain is not snapshotted: its memory
+				// may have diverged from the log, and the on-disk log —
+				// re-verified at the next open — is the durable truth.
+				if d.wal != nil && d.wal.Failed() == nil && d.wal.BeginSnapshot() {
 					if err := c.snapshotDomain(d); err != nil {
 						c.reportWALError(fmt.Errorf("close snapshot of %s: %w", d.name, err))
 					}
@@ -311,11 +314,25 @@ func (c *Cache) CreateTable(schema *types.Schema) error {
 			return fmt.Errorf("cache: creating durable domain %q: %w", schema.Name, err)
 		}
 	}
+	// If a later step fails, the durable domain must be dropped again:
+	// left in place it would resurrect a table no client ever observed on
+	// the next open, and a retried CreateTable would find the directory
+	// occupied.
+	dropDomain := func() {
+		if wd == nil {
+			return
+		}
+		if derr := c.wal.DropDomain(schema.Name); derr != nil {
+			c.reportWALError(fmt.Errorf("undoing durable domain %q: %w", schema.Name, derr))
+		}
+	}
 	if err := c.broker.CreateTopic(schema.Name); err != nil {
+		dropDomain()
 		return err
 	}
 	topic, err := c.broker.Topic(schema.Name)
 	if err != nil {
+		dropDomain()
 		return err
 	}
 	c.domains.Store(schema.Name, &commitDomain{name: schema.Name, table: tb, topic: topic, wal: wd})
@@ -451,11 +468,18 @@ func (c *Cache) CommitBatch(tableName string, rows [][]types.Value) error {
 		}
 	}
 	if err := d.table.InsertBatch(tuples); err != nil {
-		// Nothing was stored or published: return the consumed run so the
-		// topic's sequence space stays contiguous (today unreachable —
-		// coercion pre-validates everything InsertBatch checks — but the
-		// documented invariant must not depend on that).
-		d.seq -= uint64(len(tuples))
+		// Nothing was stored or published (today unreachable — coercion
+		// pre-validates everything InsertBatch checks — but the documented
+		// invariants must not depend on that). In-memory the consumed run
+		// is returned so the sequence space stays contiguous; durable, the
+		// batch record is already in the log (possibly durable), so reusing
+		// its sequence numbers would put duplicates on disk — poison the
+		// domain instead, failing every later commit until reopen.
+		if d.wal != nil {
+			d.wal.Poison(err)
+		} else {
+			d.seq -= uint64(len(tuples))
+		}
 		d.mu.Unlock()
 		return err
 	}
@@ -562,8 +586,14 @@ func (c *Cache) commitBatchPooled(d *commitDomain, schema *types.Schema, rows []
 	if err := d.table.InsertBatch(tuples); err != nil {
 		// Unreachable today (coercion pre-validates everything InsertBatch
 		// checks), but the sequence-contiguity invariant and the reference
-		// balance must not depend on that.
-		d.seq -= uint64(len(tuples))
+		// balance must not depend on that. As on the heap path: a durable
+		// domain is poisoned rather than rolled back, since the appended
+		// record may already be on disk with the consumed sequence numbers.
+		if d.wal != nil {
+			d.wal.Poison(err)
+		} else {
+			d.seq -= uint64(len(tuples))
+		}
 		for _, t := range tuples {
 			t.Release()
 		}

@@ -380,7 +380,7 @@ func (c *Cache) recoverAutomata() error {
 // Called from Close while automata are still alive.
 func (c *Cache) snapshotMeta() {
 	md := c.wal.Meta()
-	if md == nil || !md.BeginSnapshot() {
+	if md == nil || md.Failed() != nil || !md.BeginSnapshot() {
 		return
 	}
 	epoch, err := md.Rotate()

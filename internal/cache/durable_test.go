@@ -342,12 +342,20 @@ func TestDurableWriteFailureRollsBack(t *testing.T) {
 		t.Fatalf("in-memory KV rows after failed commit = %v, want just 'a'", rows)
 	}
 	ffs.arm(false, false)
-	// The domain stays usable once the fault clears.
-	mustExec(t, c1, `insert into KV values ('c', 3)`)
+	// The failed write may have left torn bytes at the log's tail, and
+	// replay stops there: a record appended after them could be fsynced
+	// and acked yet be unrecoverable. The domain is latched failed — even
+	// with the fault cleared, commits are refused until reopen.
+	if _, err := c1.Exec(`insert into KV values ('c', 3)`); err == nil {
+		t.Fatal("insert accepted on the same handle after a WAL write failure")
+	}
 	c1.Close()
 
+	// Reopening repairs the tail; exactly the acked prefix survives and
+	// the recovered domain accepts commits again.
 	c2 := newDurableCache(t, dir, nil)
 	defer c2.Close()
+	mustExec(t, c2, `insert into KV values ('c', 3)`)
 	rows := selectRows(t, c2, `select k from KV`)
 	got := make(map[string]bool)
 	for _, r := range rows {
@@ -361,9 +369,12 @@ func TestDurableWriteFailureRollsBack(t *testing.T) {
 	}
 }
 
-// TestDurableFsyncFailureSurfaces: the row is written but the ack fails;
-// the committer sees the error (so upstream can retry or fail loudly).
-func TestDurableFsyncFailureSurfaces(t *testing.T) {
+// TestDurableFsyncFailureLatchesDomain: the row is written but the ack
+// fails; the committer sees the error, and the domain is latched failed —
+// a retried fsync on the same fd can falsely report success after the
+// kernel dropped the dirty pages (fsyncgate), so no later commit may be
+// acked through this handle. Reopening re-verifies from disk and resumes.
+func TestDurableFsyncFailureLatchesDomain(t *testing.T) {
 	dir := t.TempDir()
 	ffs := &flakyFS{}
 	c1 := newDurableCache(t, dir, func(cfg *Config) { cfg.WALFS = ffs })
@@ -374,12 +385,16 @@ func TestDurableFsyncFailureSurfaces(t *testing.T) {
 		t.Fatal("insert with failing fsync reported no error")
 	}
 	ffs.arm(false, false)
-	mustExec(t, c1, `insert into KV values ('b', 2)`)
+	if _, err := c1.Exec(`insert into KV values ('b', 2)`); err == nil {
+		t.Fatal("insert accepted on the same handle after an fsync failure")
+	}
 	c1.Close()
 
-	// Both rows replay: the fsync failure lost the ack, never the data.
+	// The unacked row replays (its write landed; only the ack failed) and
+	// the reopened domain accepts commits again.
 	c2 := newDurableCache(t, dir, nil)
 	defer c2.Close()
+	mustExec(t, c2, `insert into KV values ('b', 2)`)
 	if rows := selectRows(t, c2, `select k from KV`); len(rows) != 2 {
 		t.Fatalf("recovered KV has %d rows, want 2", len(rows))
 	}

@@ -5,8 +5,15 @@
 // registrations) owns a directory of numbered log segments and snapshot
 // files. Records are length-prefixed and CRC32C-checksummed; recovery
 // loads the newest readable snapshot, replays every later segment's
-// longest valid prefix, and truncates a torn tail so appends resume from
-// the last durable record. Snapshots are written to a temporary file,
+// longest valid prefix, truncates damaged segments back to that prefix,
+// and quarantines (renames aside) files it judged unreadable so they can
+// never block replay on a later open — appends always resume from a
+// clean, repaired tail. Any write or fsync failure latches a domain
+// failed: every later Append and Sync returns the latched error until
+// the directory is reopened, because appending past torn tail bytes
+// would ack records replay cannot reach, and a retried fsync can falsely
+// succeed after the kernel drops the dirty pages. Snapshots are written
+// to a temporary file,
 // fsynced, renamed into place, and the directory fsynced, so a crash at
 // any point leaves either the old or the new snapshot intact — never a
 // partial one. Group commit batches fsyncs: concurrent committers ride

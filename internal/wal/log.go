@@ -39,6 +39,7 @@ type log struct {
 	synced  int64 // current-segment bytes known durable
 	syncing bool
 	closed  bool
+	failed  error // latched write/fsync failure; poisons the log until reopen
 
 	fsyncs uint64 // fsync calls issued (stats)
 }
@@ -63,18 +64,33 @@ func openLogAt(fs FS, dir string, epoch uint64, size, priorLive int64, nosync bo
 	return l, nil
 }
 
-// writeLocked writes b fully to the current segment, treating a short
-// write as an error (the torn bytes stay on disk; replay's checksum walk
-// drops them).
+// failLocked latches err as the log's permanent failure and wakes every
+// group-commit waiter. Once latched, Append, Sync and Rotate all fail
+// until the file is reopened (recovery re-verifies the records and drops
+// any torn tail): accepting appends after torn bytes would ack commits
+// that replay can never reach, and retrying an fsync on the same fd can
+// falsely succeed after the kernel dropped the dirty pages.
+func (l *log) failLocked(err error) error {
+	if l.failed == nil {
+		l.failed = fmt.Errorf("wal: log failed: %w", err)
+	}
+	l.cond.Broadcast()
+	return l.failed
+}
+
+// writeLocked writes b fully to the current segment. A write error or
+// short write latches the log failed: the torn bytes stay at the tail,
+// and nothing may be appended after them (replay's checksum walk stops
+// there, so anything past the tear would be acked-but-unrecoverable).
 func (l *log) writeLocked(b []byte) error {
 	n, err := l.f.Write(b)
 	l.size += int64(n)
 	l.live += int64(n)
 	if err != nil {
-		return err
+		return l.failLocked(err)
 	}
 	if n != len(b) {
-		return fmt.Errorf("wal: short write (%d of %d bytes)", n, len(b))
+		return l.failLocked(fmt.Errorf("short write (%d of %d bytes)", n, len(b)))
 	}
 	return nil
 }
@@ -93,6 +109,9 @@ func (l *log) Append(payload []byte) (Off, error) {
 	defer l.mu.Unlock()
 	if l.closed {
 		return Off{}, fmt.Errorf("wal: log closed")
+	}
+	if l.failed != nil {
+		return Off{}, l.failed
 	}
 	if err := l.writeLocked(appendFrame(nil, payload)); err != nil {
 		return Off{}, err
@@ -115,6 +134,12 @@ func (l *log) Sync(o Off) error {
 		if l.closed {
 			return fmt.Errorf("wal: log closed")
 		}
+		if l.failed != nil {
+			// A previous write or fsync failed and the record is not yet
+			// durable. No retry can make it so: the log is poisoned until
+			// reopen.
+			return l.failed
+		}
 		if l.syncing {
 			// A leader's fsync is in flight; it may already cover our
 			// records. Wait for its verdict.
@@ -131,10 +156,14 @@ func (l *log) Sync(o Off) error {
 		l.mu.Lock()
 		l.syncing = false
 		l.fsyncs++
-		l.cond.Broadcast()
 		if err != nil {
-			return err
+			// The kernel may have dropped the dirty pages while marking
+			// them clean; a retried fsync on this fd could report success
+			// for data that is gone. Latch the failure for every waiter
+			// and every later commit (fsyncgate).
+			return l.failLocked(err)
 		}
+		l.cond.Broadcast()
 		if target > l.synced {
 			l.synced = target
 		}
@@ -152,25 +181,33 @@ func (l *log) Rotate() (uint64, error) {
 	if l.closed {
 		return 0, fmt.Errorf("wal: log closed")
 	}
+	if l.failed != nil {
+		return 0, l.failed
+	}
 	for l.syncing {
 		l.cond.Wait()
+	}
+	if l.failed != nil {
+		return 0, l.failed
 	}
 	// Make the outgoing segment durable before abandoning the handle —
 	// its records are only superseded once the snapshot covering them is
 	// on disk, and that write happens after this rotation.
 	if !l.nosync {
 		if err := l.f.Sync(); err != nil {
-			return 0, err
+			return 0, l.failLocked(err)
 		}
 		l.fsyncs++
 	}
 	if err := l.f.Close(); err != nil {
-		return 0, err
+		return 0, l.failLocked(err)
 	}
 	epoch := l.epoch + 1
 	f, err := l.fs.OpenAppend(filepath.Join(l.dir, segmentName(epoch)))
 	if err != nil {
-		return 0, err
+		// The old handle is gone and no new one exists: nothing can be
+		// appended safely until reopen.
+		return 0, l.failLocked(err)
 	}
 	l.f = f
 	l.epoch = epoch
@@ -210,6 +247,13 @@ func (l *log) LiveBytes() int64 {
 	return l.live
 }
 
+// Failed returns the latched failure (nil while the log is healthy).
+func (l *log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
 // Fsyncs returns the number of fsync calls issued.
 func (l *log) Fsyncs() uint64 {
 	l.mu.Lock()
@@ -217,7 +261,19 @@ func (l *log) Fsyncs() uint64 {
 	return l.fsyncs
 }
 
-// Close fsyncs (unless nosync) and closes the segment.
+// poison latches err as the log's permanent failure: every later Append,
+// Sync and Rotate fails until the file is reopened. The owner calls it
+// when memory and log have diverged (a post-append apply failure) so
+// neither side can drift further.
+func (l *log) poison(err error) {
+	l.mu.Lock()
+	_ = l.failLocked(err)
+	l.mu.Unlock()
+}
+
+// Close fsyncs (unless nosync, or when the log is already failed — a
+// retried fsync on a failed fd can falsely succeed) and closes the
+// segment.
 func (l *log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -230,7 +286,7 @@ func (l *log) Close() error {
 	l.closed = true
 	l.cond.Broadcast()
 	var err error
-	if !l.nosync {
+	if !l.nosync && l.failed == nil {
 		err = l.f.Sync()
 		l.fsyncs++
 	}

@@ -15,6 +15,11 @@ import (
 // snapshot + truncation when Options.SnapshotBytes is zero.
 const DefaultSnapshotBytes = 8 << 20
 
+// badSuffix marks a quarantined segment: recovery judged it unreadable
+// and renamed it aside so it can never block replay on a later open. The
+// file is kept for forensics; nothing reads it again.
+const badSuffix = ".bad"
+
 // Options tunes a Manager.
 type Options struct {
 	// FS is the filesystem seam (default OS). Tests inject failing
@@ -215,10 +220,15 @@ func (m *Manager) RecoverMeta(sink Sink) error {
 // recoverDomain loads one domain directory: newest readable snapshot
 // first, then every segment with epoch >= the snapshot's, in order. A
 // torn or corrupt record ends replay — the longest valid prefix wins —
-// and, when it is in the newest segment, the tail is truncated away so
-// appends continue from a clean end. When replay stops early in an older
-// segment, the newer segments are ignored (their records are beyond a
-// gap) and appends move to a fresh segment.
+// the damaged segment is truncated back to that prefix, and any newer
+// segments (whose records lie beyond the gap) are quarantined with
+// badSuffix. A segment with torn or missing magic never held an acked
+// record (records follow a successful magic write, and every ack's fsync
+// covers the magic), so it is truncated to zero when newest and
+// quarantined when mid-chain — replay of the valid newer segments
+// continues past it. Either way recovery leaves a clean chain: appends
+// resume at the repaired tail, and a later open is never blocked by a
+// file this open already judged unreadable.
 func (m *Manager) recoverDomain(name, dir string, sink Sink) (*Domain, error) {
 	entries, err := m.fs.ReadDir(dir)
 	if err != nil {
@@ -268,17 +278,23 @@ func (m *Manager) recoverDomain(name, dir string, sink Sink) (*Domain, error) {
 	var liveBytes, lastSegSize int64
 	lastEpoch := base
 	haveSeg := false
-	stopped := false
+	gap := false
 	for _, epoch := range segs {
 		if epoch < base {
 			continue
 		}
-		if stopped {
-			// Records beyond the stopping point are beyond a gap; leave
-			// the file for forensics but do not replay or append to it.
+		path := filepath.Join(dir, segmentName(epoch))
+		if gap {
+			// Beyond a recovery gap: these records were dropped from the
+			// recovered state. Quarantine the file — leaving it in place
+			// would make a later open stop here again and silently skip
+			// everything acked after this recovery (or, worse, replay
+			// these stale records into the middle of the new history).
+			if rerr := m.fs.Rename(path, path+badSuffix); rerr != nil {
+				return nil, fmt.Errorf("quarantining %s: %w", segmentName(epoch), rerr)
+			}
 			continue
 		}
-		path := filepath.Join(dir, segmentName(epoch))
 		data, err := m.fs.ReadFile(path)
 		if err != nil {
 			return nil, err
@@ -290,8 +306,27 @@ func (m *Manager) recoverDomain(name, dir string, sink Sink) (*Domain, error) {
 				lastEpoch, lastSegSize, haveSeg = epoch, 0, true
 				continue
 			}
+			// Torn or missing magic: no record in this segment was ever
+			// acked (records are appended only after the magic write
+			// succeeds, and every ack's fsync covers the magic), so
+			// discarding it wholesale loses nothing and the segments
+			// after it are not beyond a gap.
 			m.tornTails.Add(1)
-			stopped = true
+			if epoch == segs[len(segs)-1] {
+				// Newest segment (a crash during Rotate's magic write):
+				// truncate it to zero and continue appending into it.
+				if terr := m.fs.Truncate(path, 0); terr != nil {
+					return nil, fmt.Errorf("truncating bad-magic %s: %w", segmentName(epoch), terr)
+				}
+				lastEpoch, lastSegSize, haveSeg = epoch, 0, true
+				continue
+			}
+			// Mid-chain (left by an earlier open, or writes reordered on
+			// the way to disk): quarantine it so it cannot block replay
+			// of the valid newer segments, now or on a later open.
+			if rerr := m.fs.Rename(path, path+badSuffix); rerr != nil {
+				return nil, fmt.Errorf("quarantining %s: %w", segmentName(epoch), rerr)
+			}
 			continue
 		}
 		good, perr := parseFrames(data[len(logMagic):], func(payload []byte) error {
@@ -313,20 +348,21 @@ func (m *Manager) recoverDomain(name, dir string, sink Sink) (*Domain, error) {
 		}
 		if perr != nil {
 			// Framing damage: a torn tail or corrupt record. Keep the
-			// longest valid prefix.
+			// longest valid prefix and truncate the rest away, so appends
+			// — and every later open — continue from a clean end.
 			m.tornTails.Add(1)
 			goodSize := int64(len(logMagic)) + good
-			if epoch == segs[len(segs)-1] {
-				// Newest segment: truncate the tail so appends continue
-				// from the last valid record.
-				if terr := m.fs.Truncate(path, goodSize); terr != nil {
-					return nil, fmt.Errorf("truncating torn tail of %s: %w", segmentName(epoch), terr)
-				}
-				lastEpoch, lastSegSize, haveSeg = epoch, goodSize, true
-				liveBytes += goodSize
-				continue
+			if terr := m.fs.Truncate(path, goodSize); terr != nil {
+				return nil, fmt.Errorf("truncating torn tail of %s: %w", segmentName(epoch), terr)
 			}
-			stopped = true
+			lastEpoch, lastSegSize, haveSeg = epoch, goodSize, true
+			liveBytes += goodSize
+			if epoch != segs[len(segs)-1] {
+				// Damage before the newest segment: the newer segments'
+				// records lie beyond a gap. They are quarantined above
+				// and appends continue here, at the repaired tail.
+				gap = true
+			}
 			continue
 		}
 		lastEpoch, lastSegSize, haveSeg = epoch, int64(len(data)), true
@@ -336,15 +372,16 @@ func (m *Manager) recoverDomain(name, dir string, sink Sink) (*Domain, error) {
 	d := &Domain{m: m, name: name, dir: dir}
 	var l *log
 	switch {
-	case haveSeg && !stopped:
-		// Clean tail: append to the last replayed segment.
+	case haveSeg:
+		// Clean (possibly repaired) tail: append to the last replayed
+		// segment.
 		l, err = openLogAt(m.fs, dir, lastEpoch, lastSegSize, liveBytes-lastSegSize, m.opts.NoSync)
 	case len(segs) == 0 && len(snaps) == 0:
 		// Fresh directory (a crash between mkdir and the first append).
 		l, err = openLogAt(m.fs, dir, 0, 0, 0, m.opts.NoSync)
 	default:
-		// Replay stopped early, or only a snapshot exists: appends go to
-		// a fresh segment past everything we saw.
+		// Only a snapshot (or quarantined segments) remains: appends go
+		// to a fresh segment past everything we saw.
 		maxEpoch := base
 		if len(segs) > 0 && segs[len(segs)-1] > maxEpoch {
 			maxEpoch = segs[len(segs)-1]
@@ -392,11 +429,19 @@ func (m *Manager) readSnapshot(path string) ([]any, error) {
 
 // CreateDomain installs a fresh domain directory whose log opens with
 // the given schema record, made durable before return (table creation
-// must survive an immediate crash).
+// must survive an immediate crash). It refuses a directory that already
+// holds log or snapshot files: opening at offset zero would append a
+// second magic+schema at the existing tail, which replay reads as a torn
+// record. Such a directory belongs to Recover (or DropDomain first).
 func (m *Manager) CreateDomain(name string, schema *types.Schema) (*Domain, error) {
 	dir := filepath.Join(m.dir, "domains", encodeName(name))
 	if err := m.fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if entries, err := m.fs.ReadDir(dir); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	} else if len(entries) > 0 {
+		return nil, fmt.Errorf("wal: domain %q already exists on disk (%d files); recover or drop it first", name, len(entries))
 	}
 	l, err := openLogAt(m.fs, dir, 0, 0, 0, m.opts.NoSync)
 	if err != nil {
@@ -417,6 +462,40 @@ func (m *Manager) CreateDomain(name string, schema *types.Schema) (*Domain, erro
 	m.domains[name] = d
 	m.mu.Unlock()
 	return d, nil
+}
+
+// DropDomain closes a domain's log and deletes its directory. It exists
+// so a caller can undo CreateDomain when a later step of its own
+// multi-part creation fails — without it the half-created table would
+// resurrect on the next open. Dropping an unknown name is a no-op.
+func (m *Manager) DropDomain(name string) error {
+	m.mu.Lock()
+	d := m.domains[name]
+	delete(m.domains, name)
+	m.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	err := d.log.Close()
+	if entries, rerr := m.fs.ReadDir(d.dir); rerr == nil {
+		for _, e := range entries {
+			if rerr := m.fs.Remove(filepath.Join(d.dir, e)); rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+	} else if err == nil {
+		err = rerr
+	}
+	if rerr := m.fs.Remove(d.dir); rerr != nil && err == nil {
+		err = rerr
+	}
+	if serr := m.fs.SyncDir(filepath.Join(m.dir, "domains")); serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: dropping domain %q: %w", name, err)
+	}
+	return nil
 }
 
 // Domain resolves a recovered or created domain by table name.
@@ -494,8 +573,26 @@ func (d *Domain) Name() string { return d.name }
 func (d *Domain) Append(payload []byte) (Off, error) { return d.log.Append(payload) }
 
 // Sync group-commits: it returns once the record behind the token is on
-// stable storage (immediately under NoSync).
+// stable storage (immediately under NoSync). Any write or fsync failure
+// latches the domain failed — every later Append and Sync returns the
+// latched error until the directory is reopened — because a retried
+// fsync can falsely succeed after the kernel dropped the dirty pages,
+// and appends after torn bytes would be acked yet unreachable by replay.
 func (d *Domain) Sync(off Off) error { return d.log.Sync(off) }
+
+// Failed returns the domain's latched failure (nil while healthy). A
+// failed domain must not be snapshotted: its in-memory state is not
+// trustworthy relative to the log, and the log on disk — which recovery
+// re-verifies at the next open — is the durable truth.
+func (d *Domain) Failed() error { return d.log.Failed() }
+
+// Poison latches err as the domain's permanent failure: every later
+// Append and Sync fails until reopen. The owner calls it when its
+// in-memory state and the log have diverged (an apply failure after a
+// successful append) so neither side can drift further — in particular,
+// the consumed sequence numbers must not be handed out again while the
+// log already carries them.
+func (d *Domain) Poison(err error) { d.log.poison(err) }
 
 // WantsSnapshot reports whether the current segment has outgrown the
 // snapshot threshold and no snapshot attempt is already in flight; a true

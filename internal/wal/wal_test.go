@@ -333,6 +333,18 @@ func TestTornWriteViaFaultFS(t *testing.T) {
 	ffs.mu.Lock()
 	ffs.writesLeft, ffs.shortWrite = -1, false
 	ffs.mu.Unlock()
+	// Tear-then-continue: the torn bytes sit at the tail, so any record
+	// appended after them could be fsynced and acked yet be unreachable by
+	// replay (which stops at the tear). The log must be latched failed —
+	// appends and syncs keep failing even though the injected fault is
+	// gone — until a reopen repairs the tail.
+	if _, err := d.Append(batchPayload(t, 3, "k003", 3)); err == nil {
+		t.Fatal("append after a torn write was accepted; it would be acked but unrecoverable")
+	}
+	if err := d.Sync(Off{}); err != nil {
+		// A zero token is already durable; only a latched log may fail it.
+		t.Fatalf("sync of an already-durable token: %v", err)
+	}
 	_ = m.Close()
 
 	// Recovery keeps the two acked batches and drops the torn bytes.
@@ -343,6 +355,168 @@ func TestTornWriteViaFaultFS(t *testing.T) {
 	}
 	if st := m2.ManagerStats(); st.TornTails != 1 {
 		t.Fatalf("TornTails = %d, want 1", st.TornTails)
+	}
+}
+
+// writeSeg writes a raw KV segment file: magic followed by one frame per
+// payload (torn/corrupt variants are built by mangling the result).
+func writeSeg(t *testing.T, dir string, epoch uint64, payloads ...[]byte) {
+	t.Helper()
+	buf := append([]byte(nil), logMagic...)
+	for _, p := range payloads {
+		buf = appendFrame(buf, p)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "domains", "KV"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segPath(dir, epoch), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBadMagicNewestTruncated crashes "during Rotate's magic write": the
+// newest segment holds a partial magic. No record in it was ever acked,
+// so recovery truncates it to zero and reuses it as the append tail —
+// leaving it in place poisoned would block every later open.
+func TestBadMagicNewestTruncated(t *testing.T) {
+	dir := t.TempDir()
+	writeSeg(t, dir, 0, EncodeSchema(testSchema(t)), batchPayload(t, 1, "k001", 1))
+	if err := os.WriteFile(segPath(dir, 1), logMagic[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, m := replayAll(t, dir, OS)
+	if got := batchSeqs(recs["KV"]); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("replayed batches %v, want [1]", got)
+	}
+	if st := m.ManagerStats(); st.TornTails != 1 {
+		t.Fatalf("TornTails = %d, want 1", st.TornTails)
+	}
+	// Appends continue into the repaired segment, and the next open sees a
+	// clean chain with everything acked this run.
+	d := m.Domain("KV")
+	off, err := d.Append(batchPayload(t, 2, "k002", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs2, m2 := replayAll(t, dir, OS)
+	defer m2.Close()
+	if got := batchSeqs(recs2["KV"]); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("post-repair replay %v, want seqs [1 2]", got)
+	}
+	if st := m2.ManagerStats(); st.TornTails != 0 {
+		t.Fatalf("post-repair TornTails = %d, want 0", st.TornTails)
+	}
+}
+
+// TestBadMagicMidChainQuarantined is the double-crash scenario: a
+// bad-magic segment sits between valid ones. Since no record ever acked
+// from it (records only follow a durable magic), the newer segments are
+// not beyond a gap — replay must quarantine the poisoned file and keep
+// going, rather than stop and silently skip the newer acked records.
+func TestBadMagicMidChainQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	writeSeg(t, dir, 0, EncodeSchema(testSchema(t)), batchPayload(t, 1, "k001", 1), batchPayload(t, 2, "k002", 2))
+	if err := os.WriteFile(segPath(dir, 1), logMagic[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeSeg(t, dir, 2, batchPayload(t, 3, "k003", 3), batchPayload(t, 4, "k004", 4))
+
+	recs, m := replayAll(t, dir, OS)
+	if got := batchSeqs(recs["KV"]); len(got) != 4 || got[3] != 4 {
+		t.Fatalf("replayed batches %v, want seqs 1..4 (newer segment skipped?)", got)
+	}
+	if st := m.ManagerStats(); st.TornTails != 1 {
+		t.Fatalf("TornTails = %d, want 1", st.TornTails)
+	}
+	if _, err := os.Stat(segPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatal("poisoned segment left in place; it would block the next open")
+	}
+	if _, err := os.Stat(segPath(dir, 1) + badSuffix); err != nil {
+		t.Fatalf("poisoned segment not quarantined for forensics: %v", err)
+	}
+	d := m.Domain("KV")
+	off, err := d.Append(batchPayload(t, 5, "k005", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs2, m2 := replayAll(t, dir, OS)
+	defer m2.Close()
+	if got := batchSeqs(recs2["KV"]); len(got) != 5 || got[4] != 5 {
+		t.Fatalf("post-repair replay %v, want seqs 1..5", got)
+	}
+	if st := m2.ManagerStats(); st.TornTails != 0 {
+		t.Fatalf("post-repair TornTails = %d, want 0", st.TornTails)
+	}
+}
+
+// TestMidChainTornQuarantinesNewer corrupts a record in a non-newest
+// segment (disk damage): replay keeps the longest valid prefix, truncates
+// the damaged segment back to it, and quarantines the newer segments —
+// their records lie beyond the gap. Crucially, records acked AFTER this
+// recovery must survive the next open, which the old leave-in-place
+// behaviour lost (replay stopped at the same damage again).
+func TestMidChainTornQuarantinesNewer(t *testing.T) {
+	dir := t.TempDir()
+	buf := append([]byte(nil), logMagic...)
+	buf = appendFrame(buf, EncodeSchema(testSchema(t)))
+	buf = appendFrame(buf, batchPayload(t, 1, "k001", 1))
+	frame := appendFrame(nil, batchPayload(t, 2, "k002", 2))
+	buf = append(buf, frame[:len(frame)/2]...)
+	if err := os.MkdirAll(filepath.Join(dir, "domains", "KV"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segPath(dir, 0), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeSeg(t, dir, 1, batchPayload(t, 9, "k009", 9))
+
+	recs, m := replayAll(t, dir, OS)
+	if got := batchSeqs(recs["KV"]); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("replayed batches %v, want [1] (beyond-gap records must not apply)", got)
+	}
+	if st := m.ManagerStats(); st.TornTails != 1 {
+		t.Fatalf("TornTails = %d, want 1", st.TornTails)
+	}
+	if _, err := os.Stat(segPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatal("beyond-gap segment left in place; a later open would replay it out of order")
+	}
+	if _, err := os.Stat(segPath(dir, 1) + badSuffix); err != nil {
+		t.Fatalf("beyond-gap segment not quarantined: %v", err)
+	}
+	d := m.Domain("KV")
+	off, err := d.Append(batchPayload(t, 2, "k002", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs2, m2 := replayAll(t, dir, OS)
+	defer m2.Close()
+	if got := batchSeqs(recs2["KV"]); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("post-repair replay %v, want seqs [1 2]", got)
+	}
+	if st := m2.ManagerStats(); st.TornTails != 0 {
+		t.Fatalf("post-repair TornTails = %d, want 0", st.TornTails)
 	}
 }
 
@@ -444,14 +618,13 @@ func TestWriteFailureSurfacesToCommitter(t *testing.T) {
 	}
 }
 
-func TestFsyncFailureSurfacesToCommitter(t *testing.T) {
+func TestFsyncFailureLatchesLog(t *testing.T) {
 	dir := t.TempDir()
 	ffs := newFaultFS()
 	m, err := Open(dir, Options{FS: ffs})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer m.Close()
 	d, err := m.CreateDomain("KV", testSchema(t))
 	if err != nil {
 		t.Fatal(err)
@@ -466,13 +639,35 @@ func TestFsyncFailureSurfacesToCommitter(t *testing.T) {
 	if err := d.Sync(off); err == nil {
 		t.Fatal("sync with failing fsync reported no error")
 	}
-	// Later syncs succeed once the fault clears, and the record is never
-	// lost: it was appended, only the ack failed.
+	// A failed fsync may have dropped the dirty pages while marking them
+	// clean, so a retry on the same fd can report success for data that is
+	// gone (fsyncgate). The log must stay failed even after the injected
+	// fault clears: no later Sync or Append may be acked until reopen.
 	ffs.mu.Lock()
 	ffs.syncsLeft = -1
 	ffs.mu.Unlock()
-	if err := d.Sync(off); err != nil {
-		t.Fatalf("sync after fault cleared: %v", err)
+	if err := d.Sync(off); err == nil {
+		t.Fatal("sync retried after an fsync failure and reported success")
+	}
+	if _, err := d.Append(batchPayload(t, 2, "k002", 2)); err == nil {
+		t.Fatal("append accepted on a log whose fsync failed")
+	}
+	_ = m.Close()
+
+	// Reopening re-verifies the records from disk: whatever the checksum
+	// walk proves durable is kept, and the domain accepts appends again.
+	recs, m2 := replayAll(t, dir, OS)
+	defer m2.Close()
+	if got := batchSeqs(recs["KV"]); len(got) > 1 {
+		t.Fatalf("replayed batches %v, want at most the one appended record", got)
+	}
+	d2 := m2.Domain("KV")
+	off2, err := d2.Append(batchPayload(t, 2, "k002", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Sync(off2); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -521,6 +716,71 @@ func TestSnapshotRenameFailureKeepsLog(t *testing.T) {
 		if _, ok := rec.(*SeqRec); ok {
 			t.Fatal("a SeqRec from the failed snapshot leaked into replay")
 		}
+	}
+}
+
+// TestCreateDomainRefusesExistingAndDrop pins the creation-undo path:
+// CreateDomain must refuse a directory that already holds log files
+// (opening at offset zero would append a second magic+schema at the
+// tail, which replay reads as a torn record), and DropDomain must remove
+// the domain so a retried creation starts clean.
+func TestCreateDomainRefusesExistingAndDrop(t *testing.T) {
+	dir := t.TempDir()
+	m := openAndCommit(t, dir, OS, 2)
+	if _, err := m.CreateDomain("KV", testSchema(t)); err == nil {
+		t.Fatal("CreateDomain over an existing on-disk domain succeeded")
+	}
+	if err := m.DropDomain("KV"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "domains", "KV")); !os.IsNotExist(err) {
+		t.Fatal("dropped domain directory still on disk")
+	}
+	if m.Domain("KV") != nil {
+		t.Fatal("dropped domain still resolvable")
+	}
+	// Re-creation after the drop starts a fresh, uncorrupted history.
+	d, err := m.CreateDomain("KV", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := d.Append(batchPayload(t, 1, "k001", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, m2 := replayAll(t, dir, OS)
+	defer m2.Close()
+	if got := batchSeqs(recs["KV"]); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("replayed batches %v, want the fresh history [1]", got)
+	}
+	if st := m2.ManagerStats(); st.TornTails != 0 {
+		t.Fatalf("TornTails = %d, want 0 (no doubled magic mid-segment)", st.TornTails)
+	}
+}
+
+// TestPoisonFailsLaterCommits pins the owner-side divergence latch: once
+// memory and log disagree (an apply failure after a successful append),
+// Poison must fail every later Append and Sync so the consumed sequence
+// numbers are never handed out again while the log carries them.
+func TestPoisonFailsLaterCommits(t *testing.T) {
+	dir := t.TempDir()
+	m := openAndCommit(t, dir, OS, 2)
+	defer m.Close()
+	d := m.Domain("KV")
+	d.Poison(fmt.Errorf("apply diverged from log"))
+	if _, err := d.Append(batchPayload(t, 3, "k003", 3)); err == nil {
+		t.Fatal("append accepted on a poisoned domain")
+	}
+	off3 := Off{}
+	if err := d.Sync(off3); err != nil {
+		t.Fatalf("sync of an already-durable token on a poisoned domain: %v", err)
 	}
 }
 
