@@ -1,0 +1,457 @@
+package unicache
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"unicache/internal/cache"
+	"unicache/internal/rpc"
+	"unicache/internal/types"
+)
+
+// clusterHarness is a 3-node loopback cluster with its internals exposed:
+// the per-node caches (for server-side leak assertions), the ring (for
+// picking topics with known owners) and the raw client-side conns (for
+// simulating abrupt client death).
+type clusterHarness struct {
+	eng   Engine
+	cas   []*cache.Cache
+	names []string
+	ring  *rpc.Ring
+	conns []net.Conn
+}
+
+func newClusterHarness(t *testing.T, n int) *clusterHarness {
+	t.Helper()
+	h := &clusterHarness{}
+	clients := make([]*rpc.Client, n)
+	for i := 0; i < n; i++ {
+		c, err := cache.New(cache.Config{
+			TimerPeriod:    -1,
+			PrintWriter:    &strings.Builder{},
+			OnRuntimeError: func(int64, error) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		h.cas = append(h.cas, c)
+		h.names = append(h.names, fmt.Sprintf("node%d", i))
+		srv := rpc.NewServer(c)
+		cEnd, sEnd := net.Pipe()
+		go srv.ServeConn(sEnd)
+		h.conns = append(h.conns, cEnd)
+		clients[i] = rpc.NewClient(cEnd)
+	}
+	h.ring = rpc.NewRing(h.names, 0)
+	h.eng = clusterFromClients(h.names, clients)
+	t.Cleanup(func() { _ = h.eng.Close() })
+	return h
+}
+
+// topicOwnedBy probes generated names until one hashes onto the wanted
+// node — deterministic for a fixed name set, so the same topic lands on
+// the same node in the engine under test.
+func (h *clusterHarness) topicOwnedBy(t *testing.T, node int, prefix string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		if h.ring.Owner(name) == node {
+			return name
+		}
+	}
+	t.Fatalf("no probed topic hashes onto node %d", node)
+	return ""
+}
+
+// TestClusterTopicPlacement pins the partitioning model end to end: a
+// table created through the cluster exists on exactly its ring owner,
+// every data operation routes there, and the merged views (Tables, show
+// tables) present one coherent namespace with node-local topics (Timer)
+// reported once.
+func TestClusterTopicPlacement(t *testing.T) {
+	h := newClusterHarness(t, 3)
+	topics := make([]string, 3)
+	for node := range topics {
+		topic := h.topicOwnedBy(t, node, "Place")
+		topics[node] = topic
+		if _, err := h.eng.Exec(fmt.Sprintf(`create table %s (v integer)`, topic)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for node, topic := range topics {
+		for i, c := range h.cas {
+			has := false
+			for _, name := range c.Tables() {
+				if name == topic {
+					has = true
+				}
+			}
+			if has != (i == node) {
+				t.Errorf("topic %s on node %d: present=%v, want %v", topic, i, has, i == node)
+			}
+		}
+		// Data ops are location-transparent: insert and query through the
+		// cluster without knowing the owner.
+		if err := h.eng.Insert(topic, types.Int(int64(node))); err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.eng.Exec(fmt.Sprintf(`select v from %s`, topic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("select from %s returned %d rows", topic, len(res.Rows))
+		}
+		if v, _ := res.Rows[0][0].AsInt(); v != int64(node) {
+			t.Errorf("%s row = %d, want %d", topic, v, node)
+		}
+	}
+	tables, err := h.eng.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(tables, ",")
+	for _, topic := range topics {
+		if !strings.Contains(joined, topic) {
+			t.Errorf("Tables() = %s, missing %s", joined, topic)
+		}
+	}
+	timerCount := 0
+	for _, name := range tables {
+		if name == TimerTopic {
+			timerCount++
+		}
+	}
+	if timerCount != 1 {
+		t.Errorf("Tables() lists Timer %d times, want once", timerCount)
+	}
+	res, err := h.eng.Exec(`show tables`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for _, row := range res.Rows {
+		seen[row[0].String()]++
+	}
+	if seen[TimerTopic] != 1 {
+		t.Errorf("show tables lists Timer %d times, want once", seen[TimerTopic])
+	}
+	for _, topic := range topics {
+		if seen[topic] != 1 {
+			t.Errorf("show tables lists %s %d times, want once", topic, seen[topic])
+		}
+	}
+}
+
+// TestClusterStatsMergeAndIDUniqueness pins the id remapping scheme:
+// handles living on different nodes never collide, keep their sign
+// convention (watches negative, automata positive), and each handle's ID
+// finds exactly one row in the merged Stats.
+func TestClusterStatsMergeAndIDUniqueness(t *testing.T) {
+	h := newClusterHarness(t, 3)
+	var watchIDs, autoIDs []int64
+	for node := 0; node < 3; node++ {
+		topic := h.topicOwnedBy(t, node, "Ids")
+		if _, err := h.eng.Exec(fmt.Sprintf(`create table %s (v integer)`, topic)); err != nil {
+			t.Fatal(err)
+		}
+		w, err := h.eng.Watch(topic, func(*Event) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.ID() >= 0 {
+			t.Errorf("watch id %d on node %d not negative", w.ID(), node)
+		}
+		watchIDs = append(watchIDs, w.ID())
+		a, err := h.eng.Register(fmt.Sprintf(`subscribe t to %s; behavior { send(t.v); }`, topic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.ID() <= 0 {
+			t.Errorf("automaton id %d on node %d not positive", a.ID(), node)
+		}
+		autoIDs = append(autoIDs, a.ID())
+		// The handle's own Stats must carry the remapped id too.
+		ws, err := w.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ws.ID != w.ID() {
+			t.Errorf("watch handle Stats().ID = %d, handle ID = %d", ws.ID, w.ID())
+		}
+		as, err := a.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if as.ID != a.ID() {
+			t.Errorf("automaton handle Stats().ID = %d, handle ID = %d", as.ID, a.ID())
+		}
+	}
+	all := append(append([]int64{}, watchIDs...), autoIDs...)
+	uniq := make(map[int64]struct{}, len(all))
+	for _, id := range all {
+		if _, dup := uniq[id]; dup {
+			t.Errorf("duplicate cluster id %d (all: %v)", id, all)
+		}
+		uniq[id] = struct{}{}
+	}
+	st, err := h.eng.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range watchIDs {
+		n := 0
+		for _, w := range st.Watches {
+			if w.ID == id {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("watch id %d appears %d times in merged Stats", id, n)
+		}
+	}
+	for _, id := range autoIDs {
+		n := 0
+		for _, a := range st.Automata {
+			if a.ID == id {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("automaton id %d appears %d times in merged Stats", id, n)
+		}
+	}
+}
+
+// TestClusterCrossNodeAutomaton pins the bridge path: an automaton whose
+// source topic lives on one node and whose home (first subscription's
+// owner) is another still observes the source's full commit order — the
+// owner's tap feeds a home-side replica, and the sends arrive in
+// sequence. Closing the automaton tears the bridge down on both nodes.
+func TestClusterCrossNodeAutomaton(t *testing.T) {
+	h := newClusterHarness(t, 3)
+	homeTopic := h.topicOwnedBy(t, 0, "Sink")
+	srcTopic := h.topicOwnedBy(t, 1, "Src")
+	for _, topic := range []string{homeTopic, srcTopic} {
+		if _, err := h.eng.Exec(fmt.Sprintf(`create table %s (v integer)`, topic)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := fmt.Sprintf(`
+subscribe a to %s;
+subscribe b to %s;
+behavior {
+	if (currentTopic() == '%s') {
+		send(b.v);
+	}
+}`, homeTopic, srcTopic, srcTopic)
+	a, err := h.eng.Register(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bridge's machinery is observable server-side: a replica table
+	// on the home node, and a tap on the owner.
+	if _, err := h.cas[0].LookupTable(srcTopic); err != nil {
+		t.Fatalf("home node has no replica of %s: %v", srcTopic, err)
+	}
+	if n := h.cas[1].Broker().Subscribers(srcTopic); n != 1 {
+		t.Errorf("owner node has %d subscribers on %s, want 1 (the bridge tap)", n, srcTopic)
+	}
+
+	const total = 200
+	rows := make([][]Value, total)
+	for i := range rows {
+		rows[i] = []Value{types.Int(int64(i + 1))}
+	}
+	if err := h.eng.InsertBatch(srcTopic, rows); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	deadline := time.After(30 * time.Second)
+	for len(got) < total {
+		select {
+		case vals := <-a.Events():
+			if len(vals) != 1 {
+				t.Fatalf("send payload = %v", vals)
+			}
+			v, _ := vals[0].AsInt()
+			got = append(got, v)
+		case <-deadline:
+			t.Fatalf("received %d/%d bridged sends", len(got), total)
+		}
+	}
+	for i, v := range got {
+		if v != int64(i+1) {
+			t.Fatalf("bridged send %d = %d, want %d (order not preserved: %v...)", i, v, i+1, got[:i+1])
+		}
+	}
+
+	if err := a.Close(); err != nil {
+		t.Fatalf("automaton close: %v", err)
+	}
+	waitFor(t, 10*time.Second, "bridge teardown", func() bool {
+		return h.cas[1].Broker().Subscribers(srcTopic) == 0 &&
+			len(h.cas[1].TapStats()) == 0 &&
+			h.cas[0].Registry().Len() == 0
+	})
+}
+
+// TestClusterWaitIdleExact pins cluster quiescence for home-local work:
+// once InsertBatch returns, every event is in the automaton's inbox on
+// its home node, so a true WaitIdle means the registry drained — the
+// processed counter must equal the inserted count exactly, no polling
+// slack.
+func TestClusterWaitIdleExact(t *testing.T) {
+	h := newClusterHarness(t, 3)
+	topic := h.topicOwnedBy(t, 2, "Quiet")
+	if _, err := h.eng.Exec(fmt.Sprintf(`create table %s (v integer)`, topic)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.eng.Register(fmt.Sprintf(`subscribe t to %s; behavior { send(t.v); }`, topic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { // drain sends so the pipeline never wedges
+		for range a.Events() {
+		}
+	}()
+	const total = 500
+	rows := make([][]Value, total)
+	for i := range rows {
+		rows[i] = []Value{types.Int(int64(i))}
+	}
+	if err := h.eng.InsertBatch(topic, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !WaitIdle(h.eng, 30*time.Second) {
+		t.Fatal("cluster WaitIdle timed out")
+	}
+	st, err := a.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Processed != total {
+		t.Errorf("processed = %d after idle WaitIdle, want exactly %d", st.Processed, total)
+	}
+}
+
+// TestClusterTeardownOnAbruptClientDeath pins the leak contract the
+// ROADMAP's scale-out item demands: when a cluster client dies without
+// closing anything — taps, automata and cross-node bridges all live —
+// every node notices its connection drop and unwinds every subscriber,
+// tap and automaton it held for that client. No server-side state may
+// survive the client.
+func TestClusterTeardownOnAbruptClientDeath(t *testing.T) {
+	h := newClusterHarness(t, 3)
+	topics := make([]string, 3)
+	for node := range topics {
+		topics[node] = h.topicOwnedBy(t, node, "Death")
+		if _, err := h.eng.Exec(fmt.Sprintf(`create table %s (v integer)`, topics[node])); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.eng.Watch(topics[node], func(*Event) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A cross-node automaton: homed on topics[0]'s owner, bridged from
+	// topics[1]'s owner — its teardown spans two nodes.
+	if _, err := h.eng.Register(fmt.Sprintf(
+		`subscribe a to %s; subscribe b to %s; behavior { send(1); }`,
+		topics[0], topics[1])); err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, c := range h.cas {
+		busy += c.Broker().Subscribers(topics[0]) + c.Broker().Subscribers(topics[1]) + c.Broker().Subscribers(topics[2])
+	}
+	if busy == 0 {
+		t.Fatal("harness bug: no live subscribers before the kill")
+	}
+
+	// Abrupt death: sever every connection at the transport, no unwind
+	// round trips, exactly like a SIGKILLed client process.
+	for _, conn := range h.conns {
+		_ = conn.Close()
+	}
+	waitFor(t, 10*time.Second, "all nodes to unwind the dead client", func() bool {
+		for _, c := range h.cas {
+			if len(c.TapStats()) != 0 || c.Registry().Len() != 0 {
+				return false
+			}
+			for _, topic := range topics {
+				if c.Broker().Subscribers(topic) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// TestClusterBatcherRoutes pins the bulk-load surface: rows for tables
+// owned by different nodes, poured through one ClusterBatcher, all land
+// on their owners.
+func TestClusterBatcherRoutes(t *testing.T) {
+	h := newClusterHarness(t, 3)
+	topics := make([]string, 3)
+	for node := range topics {
+		topics[node] = h.topicOwnedBy(t, node, "Bulk")
+		if _, err := h.eng.Exec(fmt.Sprintf(`create table %s (v integer)`, topics[node])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := h.eng.(interface{ Batcher() *ClusterBatcher }).Batcher()
+	const perTopic = 600
+	for i := 0; i < perTopic; i++ {
+		for _, topic := range topics {
+			if err := b.Add(topic, types.Int(int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, topic := range topics {
+		res, err := h.eng.Exec(fmt.Sprintf(`select count(*) from %s`, topic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := res.Rows[0][0].AsInt(); n != perTopic {
+			t.Errorf("count(%s) = %d, want %d", topic, n, perTopic)
+		}
+	}
+}
+
+// TestClusterSentinelErrorsAcrossNodes pins that uerr sentinels survive
+// routing to any node: errors.Is answers identically no matter which
+// node produced the error.
+func TestClusterSentinelErrorsAcrossNodes(t *testing.T) {
+	h := newClusterHarness(t, 3)
+	for node := 0; node < 3; node++ {
+		missing := h.topicOwnedBy(t, node, "Missing")
+		err := h.eng.Insert(missing, types.Int(1))
+		if !errors.Is(err, ErrNoSuchTable) {
+			t.Errorf("Insert(%s) on node %d = %v, want ErrNoSuchTable", missing, node, err)
+		}
+		topic := h.topicOwnedBy(t, node, "Dup")
+		if _, err := h.eng.Exec(fmt.Sprintf(`create table %s (v integer)`, topic)); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.eng.Insert(topic, types.Int(1)); err != nil {
+			t.Fatal(err)
+		}
+		err = func() error {
+			_, e := h.eng.Exec(fmt.Sprintf(`create table %s (v integer)`, topic))
+			return e
+		}()
+		if !errors.Is(err, ErrTableExists) {
+			t.Errorf("duplicate create on node %d = %v, want ErrTableExists", node, err)
+		}
+	}
+}

@@ -16,6 +16,13 @@
 //	cachectl watch Flows                    # streams the topic's raw events
 //	cachectl stats                          # per-subscription depth/dropped counters
 //	cachectl tables
+//
+// -addr also accepts a comma-separated node list; cachectl then speaks to
+// the whole partitioned cluster through unicache.Cluster, with every verb
+// unchanged — exec/load route to each table's owner node, tables/stats
+// merge all nodes, ping checks every node:
+//
+//	cachectl -addr 127.0.0.1:7654,127.0.0.1:7655,127.0.0.1:7656 tables
 package main
 
 import (
@@ -32,14 +39,14 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7654", "cached address")
+	addr := flag.String("addr", "127.0.0.1:7654", "cached address, or a comma-separated cluster node list")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
 
-	eng, err := unicache.DialRemote(*addr)
+	eng, err := unicache.Dial(*addr)
 	if err != nil {
 		fail(err)
 	}
@@ -128,7 +135,7 @@ func main() {
 		}
 		fmt.Printf("loaded %d row(s) into %s\n", n, args[1])
 	case "ping":
-		if err := eng.Client().Ping(); err != nil {
+		if err := ping(eng); err != nil {
 			fail(err)
 		}
 		fmt.Println("ok")
@@ -172,32 +179,56 @@ func printStats(st unicache.Stats) {
 	}
 }
 
-// load bulk-inserts CSV rows from stdin through a streaming RPC insert:
-// rows pour down the connection in bounded chunks with no per-chunk round
+// load bulk-inserts CSV rows from stdin. Against a single node the rows
+// pour down a streaming RPC insert — bounded chunks, no per-chunk round
 // trips, so a multi-MB load costs two round trips total and arbitrarily
-// large files stream in constant memory. Fields are parsed against the
-// table's declared column types (fetched via describe); see
+// large files stream in constant memory. Against a cluster the rows go
+// through a ClusterBatcher, which routes them to the table's owner node
+// and escalates to the same streaming path per node. Fields are parsed
+// against the table's declared column types (fetched via describe); see
 // internal/csvload for the format. The stream is connection-level
 // machinery, so it comes from the engine's underlying RPC client rather
 // than the location-transparent surface.
-func load(eng *unicache.Remote, table string) (int, error) {
+func load(eng unicache.Engine, table string) (int, error) {
 	colTypes, err := fetchColumnTypes(eng, table)
 	if err != nil {
 		return 0, err
 	}
-	st, err := eng.Client().NewInsertStream(table)
-	if err != nil {
-		return 0, err
+	if r, ok := eng.(*unicache.Remote); ok {
+		st, err := r.Client().NewInsertStream(table)
+		if err != nil {
+			return 0, err
+		}
+		n, err := csvload.Load(os.Stdin, colTypes, func(vals []types.Value) error {
+			return st.Add(vals...)
+		})
+		if err != nil {
+			_, _ = st.Close()
+			return n, err
+		}
+		committed, err := st.Close()
+		return int(committed), err
 	}
+	b := eng.(interface {
+		Batcher() *unicache.ClusterBatcher
+	}).Batcher()
 	n, err := csvload.Load(os.Stdin, colTypes, func(vals []types.Value) error {
-		return st.Add(vals...)
+		return b.Add(table, vals...)
 	})
 	if err != nil {
-		_, _ = st.Close()
+		_ = b.Close()
 		return n, err
 	}
-	committed, err := st.Close()
-	return int(committed), err
+	return n, b.Close()
+}
+
+// ping round-trips every node the engine speaks to: one connection for a
+// Remote, all of them for a Cluster.
+func ping(eng unicache.Engine) error {
+	if r, ok := eng.(*unicache.Remote); ok {
+		return r.Client().Ping()
+	}
+	return eng.(interface{ Ping() error }).Ping()
 }
 
 // fetchColumnTypes asks the server for the table's schema (describe output:
@@ -232,13 +263,15 @@ func printResult(res *unicache.Result) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  cachectl [-addr host:port] exec "<sql>"
-  cachectl [-addr host:port] register <file.gapl>
-  cachectl [-addr host:port] watch <topic>
-  cachectl [-addr host:port] stats
-  cachectl [-addr host:port] tables
-  cachectl [-addr host:port] load <table>   # CSV rows on stdin ('#' lines are comments)
-  cachectl [-addr host:port] ping`)
+  cachectl [-addr host:port[,host:port...]] exec "<sql>"
+  cachectl [-addr ...] register <file.gapl>
+  cachectl [-addr ...] watch <topic>
+  cachectl [-addr ...] stats
+  cachectl [-addr ...] tables
+  cachectl [-addr ...] load <table>   # CSV rows on stdin ('#' lines are comments)
+  cachectl [-addr ...] ping
+
+-addr with a comma-separated list addresses a partitioned cluster.`)
 	os.Exit(2)
 }
 

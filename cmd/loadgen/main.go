@@ -11,6 +11,13 @@
 //	loadgen -quick          # CI smoke: tiny event counts
 //	loadgen -backend remote # one backend only
 //	loadgen -pool=false     # disable event pooling, for before/after rows
+//	loadgen -cluster 3      # grid against a 3-node loopback cluster
+//
+// -cluster n replaces the backend grid with a partitioned cluster of n
+// in-process cached nodes on TCP loopback listeners, driven through
+// unicache.Cluster — the row label is "cluster<n>". Comparing -cluster 1
+// against -cluster 3 on a multi-topic workload shows how throughput moves
+// as topics spread across nodes.
 package main
 
 import (
@@ -31,6 +38,7 @@ func main() {
 	backend := flag.String("backend", "both", "embedded, remote or both")
 	pool := flag.Bool("pool", true, "enable event pooling in the cache under test")
 	vmOnly := flag.Bool("vm", false, "force the bytecode interpreter for automata (disable closure compilation)")
+	cluster := flag.Int("cluster", 0, "measure an n-node loopback cluster instead of the embedded/remote grid")
 	flag.Parse()
 	switch *backend {
 	case "embedded", "remote", "both":
@@ -55,6 +63,17 @@ func main() {
 	}
 
 	var results []loadgen.Result
+	if *cluster > 0 {
+		for _, w := range workloads {
+			r, err := runCluster(w, cfg, *cluster)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, r)
+		}
+		fmt.Print(loadgen.Table(results))
+		return
+	}
 	for _, w := range workloads {
 		if *backend != "remote" {
 			r, err := runEmbedded(w, cfg)
@@ -105,6 +124,35 @@ func runRemote(w loadgen.Workload, cfg cache.Config) (loadgen.Result, error) {
 	}
 	defer func() { _ = eng.Close() }()
 	return loadgen.Run(eng, "remote", w)
+}
+
+// runCluster measures one workload through n fresh cached nodes on TCP
+// loopback listeners behind one unicache.Cluster engine — consistent-hash
+// routing, per-node batching and cross-node stat merging all inside the
+// measured path.
+func runCluster(w loadgen.Workload, cfg cache.Config, n int) (loadgen.Result, error) {
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		c, err := cache.New(cfg)
+		if err != nil {
+			return loadgen.Result{}, err
+		}
+		defer c.Close()
+		srv := rpc.NewServer(c)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return loadgen.Result{}, err
+		}
+		go func() { _ = srv.Serve(ln) }()
+		defer func() { _ = srv.Close() }()
+		addrs[i] = ln.Addr().String()
+	}
+	eng, err := unicache.Cluster(addrs...)
+	if err != nil {
+		return loadgen.Result{}, err
+	}
+	defer func() { _ = eng.Close() }()
+	return loadgen.Run(eng, fmt.Sprintf("cluster%d", n), w)
 }
 
 func fail(err error) {

@@ -1,9 +1,10 @@
 // The backend-parameterized conformance suite: every behavioral test runs
-// against both Engine implementations — Embedded (in-process cache) and
-// Remote (RPC client against a served cache) — pinning that the façade is
-// location-transparent: watch ordering, per-automaton inbox options,
-// stats counters and sentinel-error identity are identical across
-// backends.
+// against all Engine implementations — Embedded (in-process cache), the
+// same durable (WAL-backed), Remote (RPC client against a served cache),
+// and Cluster (hash-partitioned across three served caches) — pinning
+// that the façade is location-transparent: watch ordering, per-automaton
+// inbox options, stats counters and sentinel-error identity are identical
+// across backends.
 package unicache
 
 import (
@@ -80,6 +81,35 @@ func forEachBackend(t *testing.T, cfg Config, fn func(t *testing.T, p backendPai
 			r := NewRemote(cEnd)
 			t.Cleanup(func() { _ = r.Close() })
 			return r
+		}
+		fn(t, backendPair{primary: dial(), secondary: dial()})
+	})
+	t.Run("cluster", func(t *testing.T) {
+		// Three served caches behind one hash-partitioned Engine: the
+		// whole behavioral contract must be location-transparent across
+		// node boundaries too.
+		const nNodes = 3
+		servers := make([]*rpc.Server, nNodes)
+		names := make([]string, nNodes)
+		for i := range servers {
+			c, err := cache.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(c.Close)
+			servers[i] = rpc.NewServer(c)
+			names[i] = fmt.Sprintf("node%d", i)
+		}
+		dial := func() Engine {
+			clients := make([]*rpc.Client, nNodes)
+			for i, srv := range servers {
+				cEnd, sEnd := net.Pipe()
+				go srv.ServeConn(sEnd)
+				clients[i] = rpc.NewClient(cEnd)
+			}
+			e := clusterFromClients(names, clients)
+			t.Cleanup(func() { _ = e.Close() })
+			return e
 		}
 		fn(t, backendPair{primary: dial(), secondary: dial()})
 	})
@@ -175,10 +205,20 @@ func TestConformanceWatchOrdering(t *testing.T) {
 		newTap := func() (*tapLog, func(*Event)) {
 			l := &tapLog{}
 			return l, func(ev *Event) {
-				v, _ := ev.Tuple.Vals[0].AsInt()
+				// Events are self-describing on every backend: remote and
+				// cluster watches resolve the schema through the
+				// connection's describe cache.
+				if ev.Schema == nil || ev.Schema.ColIndex("v") != 0 {
+					t.Errorf("watch event schema = %+v, want column v", ev.Schema)
+				}
+				v, err := ev.Field("v")
+				if err != nil {
+					t.Errorf("Field(v): %v", err)
+				}
+				n, _ := v.AsInt()
 				l.mu.Lock()
 				l.seqs = append(l.seqs, ev.Tuple.Seq)
-				l.vals = append(l.vals, v)
+				l.vals = append(l.vals, n)
 				l.mu.Unlock()
 			}
 		}

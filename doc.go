@@ -59,14 +59,21 @@
 // This package is itself the public API: Engine is the canonical surface
 // of the unified system — Exec/Insert/InsertBatch/CreateTable (the
 // stream-database face), Watch (the pub/sub face), Register (the CEP
-// face), Stats and Close — implemented twice. Embedded wraps an
-// in-process cache; Remote wraps an RPC connection to a cached server.
-// The same program text runs on either backend by swapping one
-// constructor (NewEmbedded vs DialRemote), and the conformance suite in
-// conformance_test.go pins that the behavioral contract — watch ordering,
-// per-automaton inbox options, stats counters, sentinel errors — is
-// identical. Watch and Automaton are first-class handles (Stats, Events,
-// Close); the sentinel errors (ErrNoSuchTable, ErrTableExists,
+// face), Stats and Close — implemented three times. Embedded wraps an
+// in-process cache; Remote wraps an RPC connection to a cached server;
+// Cluster hash-partitions the topic space across several cached servers
+// with a consistent-hash ring (each topic wholly owned by one node, so
+// the §5 per-stream ordering invariant holds per topic exactly as on one
+// node) and routes every call to the owner — inserts through per-node
+// batchers, watches to the owner's tap, cross-node automata through a
+// bridge that replays the source topic onto the automaton's home node in
+// commit order. The same program text runs on any backend by swapping
+// one constructor (NewEmbedded vs DialRemote vs Cluster — or Dial, which
+// picks Remote or Cluster from the address spec), and the conformance
+// suite in conformance_test.go pins that the behavioral contract — watch
+// ordering, per-automaton inbox options, stats counters, sentinel errors
+// — is identical. Watch and Automaton are first-class handles (Stats,
+// Events, Close); the sentinel errors (ErrNoSuchTable, ErrTableExists,
 // ErrBadSchema, ErrClosed, ErrNoSuchAutomaton) keep their errors.Is
 // identity across the wire, carried as numeric codes next to the message.
 //
@@ -87,7 +94,13 @@
 // every Engine method reports ErrClosed. For Remote, connection death —
 // graceful or not — tears down the connection's server-side watches and
 // automata; the server guarantees no dispatcher goroutine or topic
-// subscriber outlives the connection that created it.
+// subscriber outlives the connection that created it. A Cluster engine
+// inherits that per-connection guarantee node by node: when the client
+// dies, every node unwinds its own share (watches, automata, bridge
+// taps) independently. Cluster ordering is per topic — one topic's
+// events arrive in its owner's commit order everywhere, including
+// through a bridge, but no order holds across topics (exactly the
+// single-node contract; the paper has no cross-topic order either).
 //
 // See docs/ARCHITECTURE.md for the layer-by-layer tour and the §-to-code
 // map, docs/BENCHMARKS.md for how to run and read the benchmarks, and

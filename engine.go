@@ -21,7 +21,9 @@ type (
 	Value = types.Value
 	// Event is one committed tuple on a topic, carrying its per-topic
 	// sequence number and commit timestamp. Events observed through a
-	// Remote engine carry a nil Schema (the schema stays server-side).
+	// Remote or Cluster engine carry the topic's schema resolved through
+	// the connection's describe cache, so fields resolve by name exactly
+	// as embedded; Schema is nil only if that resolution failed.
 	Event = types.Event
 	// Schema describes a table/topic: name, persistence, key, columns.
 	Schema = types.Schema
@@ -257,14 +259,22 @@ func applyAutomatonOptions(opts []AutomatonOption) automatonOptions {
 
 // WaitIdle blocks until the engine's automata appear quiescent (depth 0
 // and processed counts stable across consecutive snapshots) or the
-// timeout elapses, reporting whether quiescence was reached. An Embedded
-// engine answers from the registry's precise idle test; a Remote engine
-// polls Stats. Tools and examples use it to bracket complete processing
-// of a workload.
+// timeout elapses, reporting whether quiescence was reached. Every
+// shipped backend answers exactly: Embedded from the registry's idle
+// test, Remote and Cluster through the quiesce opcode (falling back to
+// Stats polling against a server predating it). Tools and examples use
+// it to bracket complete processing of a workload.
 func WaitIdle(e Engine, timeout time.Duration) bool {
 	if w, ok := e.(interface{ WaitIdle(time.Duration) bool }); ok {
 		return w.WaitIdle(timeout)
 	}
+	return pollIdle(e, timeout)
+}
+
+// pollIdle is the stats-polling quiescence fallback for engines without a
+// precise WaitIdle: best-effort by nature (an inbox can refill between
+// the snapshot and the return).
+func pollIdle(e Engine, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	var last []AutomatonStats
 	havePrev := false

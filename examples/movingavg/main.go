@@ -75,7 +75,7 @@ func drain(a unicache.Automaton) *watcher {
 }
 
 func main() {
-	remote := flag.String("remote", "", "cached address; empty runs embedded")
+	remote := flag.String("remote", "", "cached address or comma-separated cluster list; empty runs embedded")
 	flag.Parse()
 
 	trace := workload.StockTrace(workload.StockConfig{
@@ -84,7 +84,7 @@ func main() {
 
 	var eng unicache.Engine
 	if *remote != "" {
-		r, err := unicache.DialRemote(*remote)
+		r, err := unicache.Dial(*remote)
 		if err != nil {
 			log.Fatal(err)
 		}

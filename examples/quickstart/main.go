@@ -11,6 +11,9 @@
 //
 // Run with: go run ./examples/quickstart
 // Or:       cached -addr :7654 &  go run ./examples/quickstart -remote 127.0.0.1:7654
+// Or, against a partitioned cluster (comma-separated node list):
+//
+//	go run ./examples/quickstart -remote 127.0.0.1:7654,127.0.0.1:7655,127.0.0.1:7656
 package main
 
 import (
@@ -26,14 +29,15 @@ import (
 )
 
 func main() {
-	remote := flag.String("remote", "", "cached address; empty runs embedded")
+	remote := flag.String("remote", "", "cached address or comma-separated cluster list; empty runs embedded")
 	flag.Parse()
 
 	// The one line that decides where the engine lives: in this process,
-	// or behind a cached server. Every call below is identical either way.
+	// behind one cached server, or spread across a cluster of them. Every
+	// call below is identical in all three cases.
 	var eng unicache.Engine
 	if *remote != "" {
-		r, err := unicache.DialRemote(*remote)
+		r, err := unicache.Dial(*remote)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -38,7 +38,7 @@ func count(a unicache.Automaton) *atomic.Int64 {
 }
 
 func main() {
-	remote := flag.String("remote", "", "cached address; empty runs embedded")
+	remote := flag.String("remote", "", "cached address or comma-separated cluster list; empty runs embedded")
 	flag.Parse()
 
 	trace := workload.StockTrace(workload.StockConfig{
@@ -52,7 +52,7 @@ func main() {
 	// server's ring with `cached -ring 40000`)
 	var eng unicache.Engine
 	if *remote != "" {
-		r, err := unicache.DialRemote(*remote)
+		r, err := unicache.Dial(*remote)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -67,6 +67,11 @@ type Client struct {
 	// staged (staging is only for the registration race).
 	retired map[int64]struct{}
 
+	// schemaMu guards schemas, the per-connection describe cache that
+	// makes watch events self-describing (see Client.Schema).
+	schemaMu sync.Mutex
+	schemas  map[string]*types.Schema
+
 	mu      sync.Mutex
 	nextID  uint32
 	pending map[uint32]chan []byte
@@ -112,6 +117,7 @@ func NewClientWith(conn net.Conn, cfg ClientConfig) *Client {
 		watches: make(map[int64]*clientWatch),
 		staged:  make(map[int64][]*types.Event),
 		retired: make(map[int64]struct{}),
+		schemas: make(map[string]*types.Schema),
 		pending: make(map[uint32]chan []byte),
 		done:    make(chan struct{}),
 		quit:    make(chan struct{}),
@@ -240,11 +246,13 @@ func (c *Client) deliverEvent(ev SendEvent) {
 }
 
 // clientWatch is one live server-side watch this client registered: the
-// topic it taps (stamped onto reconstructed events) and the application
-// callback.
+// topic it taps (stamped onto reconstructed events), the topic's schema
+// as of watch creation (stamped likewise; nil if it could not be
+// resolved), and the application callback.
 type clientWatch struct {
-	topic string
-	fn    func(*types.Event)
+	topic  string
+	schema *types.Schema
+	fn     func(*types.Event)
 }
 
 // maxStagedPerWatch bounds the registration-race staging buffer: a
@@ -270,6 +278,7 @@ func (c *Client) deliverWatchEvent(id int64, ev *types.Event) {
 		return
 	}
 	ev.Topic = w.topic
+	ev.Schema = w.schema
 	// Deliver under deliverMu: only the read loop and a WatchWith replay
 	// invoke callbacks, and the lock is what keeps those two in order.
 	w.fn(ev)
@@ -379,7 +388,7 @@ func (c *Client) Insert(table string, vals ...types.Value) error {
 	}
 	resp, err := c.call(e.Bytes())
 	if err != nil {
-		return err
+		return c.noteTableErr(table, err)
 	}
 	if resp[0] != msgInsertOK {
 		return fmt.Errorf("rpc: unexpected reply %d", resp[0])
@@ -453,7 +462,7 @@ func (c *Client) insertBatchRaw(table string, nrows int, rowsPayload []byte) err
 	e.Str(table)
 	e.U32(uint32(nrows))
 	e.Raw(rowsPayload)
-	return c.callInsertBatch(e.Bytes(), nrows)
+	return c.noteTableErr(table, c.callInsertBatch(e.Bytes(), nrows))
 }
 
 // callInsertBatch performs the msgInsertBatch round trip over an encoded
@@ -634,11 +643,11 @@ func (s *InsertStream) Close() (uint64, error) {
 	e.U64(s.id)
 	resp, err := s.c.call(e.Bytes())
 	if s.err != nil {
-		return s.shipped, s.err
+		return s.shipped, s.c.noteTableErr(s.table, s.err)
 	}
 	if err != nil {
 		s.err = err
-		return s.shipped, err
+		return s.shipped, s.c.noteTableErr(s.table, err)
 	}
 	if resp[0] != msgInsertStreamEndOK {
 		s.err = fmt.Errorf("rpc: unexpected reply %d", resp[0])
@@ -725,8 +734,9 @@ func (c *Client) Watch(topic string, fn func(*types.Event)) (int64, error) {
 // goroutine in commit order — a blocking fn therefore stalls RPC replies
 // on this connection, the same trade ClientConfig.EventPolicy documents
 // for Events(). Reconstructed events carry the topic, commit timestamp,
-// sequence number and tuple values; the schema stays server-side (Schema
-// is nil). The tap is torn down by Unwatch, Close, or connection death.
+// sequence number, tuple values, and the topic's schema resolved through
+// the connection's describe cache (Schema is nil only if that resolution
+// failed). The tap is torn down by Unwatch, Close, or connection death.
 func (c *Client) WatchWith(topic string, fn func(*types.Event), opts WatchOptions) (int64, error) {
 	e := wire.NewEncoder(32 + len(topic))
 	e.U8(msgWatch)
@@ -744,14 +754,20 @@ func (c *Client) WatchWith(topic string, fn func(*types.Event), opts WatchOption
 	if err != nil {
 		return 0, err
 	}
+	// Resolve the topic's schema so pushed events are self-describing.
+	// Best-effort by design: the watch is already live server-side, and a
+	// failed describe (e.g. a concurrent drop) must not tear it down —
+	// events then carry a nil Schema, the pre-cache contract.
+	schema, _ := c.Schema(topic)
 	c.deliverMu.Lock()
-	w := &clientWatch{topic: topic, fn: fn}
+	w := &clientWatch{topic: topic, schema: schema, fn: fn}
 	c.watches[id] = w
 	// Replay events that arrived between the reply hitting the read loop
 	// and this bookkeeping, in order; the read loop is parked on deliverMu
 	// if it has more, so order stays intact.
 	for _, ev := range c.staged[id] {
 		ev.Topic = topic
+		ev.Schema = schema
 		fn(ev)
 	}
 	delete(c.staged, id)

@@ -62,4 +62,27 @@
 // Stats (msgStats) returns the server's per-subscription depth/dropped
 // counters. Error replies (msgErr) carry a numeric uerr code next to the
 // message, so sentinel identity (errors.Is) survives the wire.
+//
+// # Quiesce, schema cache and the cluster ring
+//
+// Quiesce (msgQuiesce) asks the server's automaton registry to report
+// exact idleness — every inbox empty and every behaviour between events —
+// within a client-supplied timeout (clamped server-side); only the
+// requesting connection's serve loop parks, so other connections and the
+// push path keep flowing. Client.Schema resolves a topic's schema through
+// a per-connection describe cache: one `describe` round trip per topic
+// per connection, after which every watch event delivered on that
+// connection is stamped with the cached *types.Schema (field access by
+// name, no extra wire cost); the cache entry is invalidated when any
+// operation on the table reports ErrNoSuchTable, so a drop/recreate
+// re-resolves. The cache is guarded by its own mutex and safe for
+// concurrent use.
+//
+// Ring is the client-side consistent-hash ring the cluster façade routes
+// with: each node contributes VirtualNodes points (FNV-1a of name#replica
+// finished with a splitmix64-style mixer, so short similar names spread),
+// and a topic belongs to the first point clockwise of its hash. A ring is
+// immutable after construction — lookups are lock-free and safe from any
+// goroutine — and adding or removing one node moves only the topics that
+// land on (or leave) that node's points.
 package rpc

@@ -80,7 +80,21 @@ const (
 	msgInsertStreamChunk = 25
 	msgInsertStreamEnd   = 26 // u64 stream id — replies EndOK or msgErr
 	msgInsertStreamEndOK = 27 // u64 total rows committed
+	// msgQuiesce asks the server to block until its automaton registry is
+	// precisely idle (every inbox empty, no behaviour clause in flight) or
+	// the i64 timeout (nanoseconds, clamped server-side) elapses. The
+	// reply reports which: u8 1 = idle, 0 = timed out. This makes a remote
+	// WaitIdle exact — the same registry test an embedded engine uses —
+	// instead of inferring quiescence from polled stats snapshots. The
+	// wait parks only the requesting connection's serve loop; pushes keep
+	// flowing and other connections are unaffected.
+	msgQuiesce   = 28
+	msgQuiesceOK = 29
 )
+
+// maxQuiesceWait caps how long one msgQuiesce may park its connection's
+// serve loop. Clients wanting longer waits re-issue the request.
+const maxQuiesceWait = 5 * 60 * 1_000_000_000 // 5 minutes in nanoseconds
 
 // streamChunkBudget bounds one msgInsertStreamChunk's encoded rows (256
 // KiB): big enough to amortise framing, small enough that a chunk commits —

@@ -1,0 +1,116 @@
+package rpc
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the number of ring points each node contributes
+// when the caller does not choose: enough that a 3–10 node ring spreads
+// topics within a few percent of even, small enough that building the
+// ring stays trivial.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash map from topic names onto a fixed set of
+// nodes. Each node contributes many virtual points, placed by hashing
+// the node's NAME (not its index), so the mapping depends only on the
+// set of names: adding a node moves onto it exactly the topics it now
+// owns and moves nothing between surviving nodes, and removing a node
+// redistributes only that node's topics. Topic→node resolution is
+// deterministic across processes — every client of the same node list
+// routes identically, which is what makes a cluster of independent
+// caches coherent without any coordination.
+//
+// Concurrency: a Ring is immutable after New; all methods are safe for
+// concurrent use.
+type Ring struct {
+	names  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// NewRing builds a ring over the named nodes with vnodes virtual points
+// per node (<= 0 means DefaultVirtualNodes). Node names must be distinct:
+// a duplicated name would double that node's share while adding no
+// capacity, so duplicates collapse to the first occurrence.
+func NewRing(names []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{}
+	seen := make(map[string]struct{}, len(names))
+	for _, name := range names {
+		if _, dup := seen[name]; dup {
+			continue
+		}
+		seen[name] = struct{}{}
+		node := len(r.names)
+		r.names = append(r.names, name)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(name, v), node: node})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties (vanishingly rare) break by name so the order — and
+		// therefore the routing — never depends on input order.
+		return r.names[a.node] < r.names[b.node]
+	})
+	return r
+}
+
+// Nodes returns the number of distinct nodes on the ring.
+func (r *Ring) Nodes() int { return len(r.names) }
+
+// Name returns the name of node i (the order nodes were first given).
+func (r *Ring) Name(i int) string { return r.names[i] }
+
+// Owner returns the index of the node owning topic: the first ring point
+// clockwise from the topic's hash.
+func (r *Ring) Owner(topic string) int {
+	if len(r.points) == 0 {
+		return 0
+	}
+	h := topicHash(topic)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point to the lowest
+	}
+	return r.points[i].node
+}
+
+// pointHash places one virtual point for a node. The name is hashed with
+// a per-replica suffix so each node scatters across the whole ring.
+func pointHash(name string, replica int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	_, _ = h.Write([]byte{'#', byte(replica), byte(replica >> 8), byte(replica >> 16), byte(replica >> 24)})
+	return mix64(h.Sum64())
+}
+
+func topicHash(topic string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(topic))
+	return mix64(h.Sum64())
+}
+
+// mix64 finalizes a raw FNV value with a splitmix64-style avalanche. Raw
+// FNV of short, similar keys ("n1#0", "n1#1", …) clusters badly in the
+// upper bits, which a ring position — an absolute place on the full
+// 64-bit circle — is entirely made of; the finalizer spreads every input
+// bit across all output bits so arcs even out.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,113 @@
+package rpc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testTopics returns a deterministic population of topic names.
+func testTopics(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("Topic%d", i)
+	}
+	return out
+}
+
+// TestRingDeterministicRouting pins that topic→node mapping is a pure
+// function of the node-name set: two rings built from the same names
+// agree on every topic, regardless of the order the names were given.
+func TestRingDeterministicRouting(t *testing.T) {
+	names := []string{"10.0.0.1:7654", "10.0.0.2:7654", "10.0.0.3:7654"}
+	a := NewRing(names, 0)
+	b := NewRing(names, 0)
+	shuffled := []string{names[2], names[0], names[1]}
+	c := NewRing(shuffled, 0)
+	for _, topic := range testTopics(500) {
+		if a.Owner(topic) != b.Owner(topic) {
+			t.Fatalf("same ring disagrees on %s", topic)
+		}
+		if a.Name(a.Owner(topic)) != c.Name(c.Owner(topic)) {
+			t.Fatalf("ring routing depends on name order for %s: %s vs %s",
+				topic, a.Name(a.Owner(topic)), c.Name(c.Owner(topic)))
+		}
+	}
+}
+
+// TestRingBalance sanity-checks the virtual-node spread: no node of a
+// 3-node ring owns a wildly outsized share of a large topic population.
+func TestRingBalance(t *testing.T) {
+	names := []string{"n1", "n2", "n3"}
+	r := NewRing(names, 0)
+	counts := make([]int, len(names))
+	topics := testTopics(3000)
+	for _, topic := range topics {
+		counts[r.Owner(topic)]++
+	}
+	for i, c := range counts {
+		share := float64(c) / float64(len(topics))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.0f%% of topics (counts=%v)", names[i], share*100, counts)
+		}
+	}
+}
+
+// TestRingAddNodeRedistribution pins consistent hashing's defining
+// property: growing the ring by one node moves topics ONLY onto the new
+// node — no topic moves between surviving nodes — and the moved fraction
+// is bounded near 1/(n+1).
+func TestRingAddNodeRedistribution(t *testing.T) {
+	before := NewRing([]string{"n1", "n2", "n3"}, 0)
+	after := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	topics := testTopics(4000)
+	moved := 0
+	for _, topic := range topics {
+		was, is := before.Name(before.Owner(topic)), after.Name(after.Owner(topic))
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "n4" {
+			t.Fatalf("topic %s moved %s -> %s: adding a node must only move topics onto it", topic, was, is)
+		}
+	}
+	frac := float64(moved) / float64(len(topics))
+	if moved == 0 {
+		t.Fatal("adding a node moved no topics at all")
+	}
+	// Expected share is 1/4; allow generous variance but catch a broken
+	// ring that reshuffles half the keyspace.
+	if frac > 0.45 {
+		t.Errorf("adding 1 node to 3 moved %.0f%% of topics (want ~25%%)", frac*100)
+	}
+}
+
+// TestRingRemoveNodeRedistribution is the mirror property: removing a
+// node moves only the topics it owned, and every survivor keeps its own.
+func TestRingRemoveNodeRedistribution(t *testing.T) {
+	before := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	after := NewRing([]string{"n1", "n2", "n3"}, 0)
+	for _, topic := range testTopics(4000) {
+		was, is := before.Name(before.Owner(topic)), after.Name(after.Owner(topic))
+		if was != "n4" && was != is {
+			t.Fatalf("topic %s moved %s -> %s though its owner survived", topic, was, is)
+		}
+		if was == "n4" && is == "n4" {
+			t.Fatalf("topic %s still routed to the removed node", topic)
+		}
+	}
+}
+
+// TestRingDuplicateNamesCollapse pins that a repeated node name does not
+// double that node's share: the duplicate collapses to one node.
+func TestRingDuplicateNamesCollapse(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n1"}, 0)
+	if r.Nodes() != 2 {
+		t.Fatalf("Nodes() = %d, want 2 (duplicate collapsed)", r.Nodes())
+	}
+	for _, topic := range testTopics(100) {
+		if o := r.Owner(topic); o < 0 || o >= 2 {
+			t.Fatalf("Owner(%s) = %d out of range", topic, o)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"unicache/internal/sql"
+	"unicache/internal/types"
+	"unicache/internal/uerr"
+	"unicache/internal/wire"
+)
+
+// Schema resolves a topic's schema through the connection's describe
+// cache. The first call per topic round-trips a `describe` statement and
+// reconstructs a *types.Schema from its rows; later calls return the
+// cached pointer without touching the wire. WatchWith uses it to stamp
+// pushed watch events with their schema, so remote events are
+// self-describing like embedded ones.
+//
+// The cache is invalidated when an operation on the topic reports
+// ErrNoSuchTable (the table was dropped — or dropped and recreated with a
+// different shape — since the cache entry was taken); the next Schema
+// call re-resolves. Events already stamped keep the schema that was
+// current when their watch was created.
+//
+// Concurrency: safe for concurrent use with all other Client methods.
+func (c *Client) Schema(topic string) (*types.Schema, error) {
+	c.schemaMu.Lock()
+	if s, ok := c.schemas[topic]; ok {
+		c.schemaMu.Unlock()
+		return s, nil
+	}
+	c.schemaMu.Unlock()
+
+	// Resolve outside the lock: a describe is a full round trip and must
+	// not serialise unrelated Schema calls. Concurrent misses for the same
+	// topic both fetch; last store wins with an identical value.
+	res, err := c.Exec("describe " + topic)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := schemaFromDescribe(topic, res)
+	if err != nil {
+		return nil, err
+	}
+	c.schemaMu.Lock()
+	c.schemas[topic] = schema
+	c.schemaMu.Unlock()
+	return schema, nil
+}
+
+// invalidateSchema drops a topic's cached schema.
+func (c *Client) invalidateSchema(topic string) {
+	c.schemaMu.Lock()
+	delete(c.schemas, topic)
+	c.schemaMu.Unlock()
+}
+
+// noteTableErr forwards err, first invalidating table's cached schema if
+// the error says the table no longer exists.
+func (c *Client) noteTableErr(table string, err error) error {
+	if err != nil && errors.Is(err, uerr.ErrNoSuchTable) {
+		c.invalidateSchema(table)
+	}
+	return err
+}
+
+// schemaFromDescribe rebuilds a *types.Schema from a `describe` result
+// (rows of column name, type name, key marker).
+func schemaFromDescribe(topic string, res *sql.Result) (*types.Schema, error) {
+	cols := make([]types.Column, 0, len(res.Rows))
+	key, persistent := -1, false
+	for i, row := range res.Rows {
+		if len(row) < 3 {
+			return nil, fmt.Errorf("rpc: describe %s: row %d has %d fields", topic, i, len(row))
+		}
+		name, ok := row[0].AsStr()
+		if !ok {
+			return nil, fmt.Errorf("rpc: describe %s: row %d: column name is %s", topic, i, row[0].Kind())
+		}
+		typeName, ok := row[1].AsStr()
+		if !ok {
+			return nil, fmt.Errorf("rpc: describe %s: row %d: type is %s", topic, i, row[1].Kind())
+		}
+		ct, ok := colTypeByName(typeName)
+		if !ok {
+			return nil, fmt.Errorf("rpc: describe %s: unknown column type %q", topic, typeName)
+		}
+		if marker, ok := row[2].AsStr(); ok && marker == "primary key" {
+			key, persistent = i, true
+		}
+		cols = append(cols, types.Column{Name: name, Type: ct})
+	}
+	return types.NewSchema(topic, persistent, key, cols...)
+}
+
+// colTypeByName inverts types.ColType.String.
+func colTypeByName(name string) (types.ColType, bool) {
+	for _, t := range []types.ColType{
+		types.ColInt, types.ColReal, types.ColVarchar, types.ColBool, types.ColTstamp,
+	} {
+		if t.String() == name {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// Quiesce blocks until the server's automaton registry is precisely idle
+// — every inbox empty and no behaviour clause mid-flight, the same test
+// an embedded engine's WaitIdle runs — or the timeout elapses, reporting
+// which as (idle, nil). The server clamps excessive timeouts; callers
+// wanting unbounded waits should re-issue. Unlike a stats-polling
+// quiescence check, a true reply cannot race a still-draining inbox.
+//
+// Concurrency: safe for concurrent use; the wait parks only this
+// request, not the connection's push delivery.
+func (c *Client) Quiesce(timeout time.Duration) (bool, error) {
+	e := wire.NewEncoder(16)
+	e.U8(msgQuiesce)
+	e.I64(int64(timeout))
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return false, err
+	}
+	if resp[0] != msgQuiesceOK {
+		return false, fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	v, err := wire.NewDecoder(resp[1:]).U8()
+	if err != nil {
+		return false, err
+	}
+	return v == 1, nil
+}

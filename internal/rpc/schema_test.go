@@ -1,0 +1,213 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"unicache/internal/pubsub"
+	"unicache/internal/types"
+	"unicache/internal/uerr"
+)
+
+// TestSchemaCacheResolvesAndReuses pins the describe-cache contract: the
+// first Schema call reconstructs the topic's full schema over the wire,
+// and repeat calls return the identical cached pointer without another
+// round trip.
+func TestSchemaCacheResolvesAndReuses(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+
+	if _, err := cl.Exec(`create table S (sym varchar, px real, n integer, ok boolean, at tstamp)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`create persistenttable KV (k varchar primary key, v integer)`); err != nil {
+		t.Fatal(err)
+	}
+
+	s1, err := cl.Schema("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []struct {
+		name string
+		typ  types.ColType
+	}{
+		{"sym", types.ColVarchar}, {"px", types.ColReal}, {"n", types.ColInt},
+		{"ok", types.ColBool}, {"at", types.ColTstamp},
+	}
+	if s1.Name != "S" || s1.Persistent || s1.Key != -1 || len(s1.Cols) != len(wantCols) {
+		t.Fatalf("schema = %+v", s1)
+	}
+	for i, w := range wantCols {
+		if s1.Cols[i].Name != w.name || s1.Cols[i].Type != w.typ {
+			t.Errorf("col %d = %+v, want %s %s", i, s1.Cols[i], w.name, w.typ)
+		}
+	}
+
+	s2, err := cl.Schema("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("second Schema call did not return the cached pointer")
+	}
+
+	kv, err := cl.Schema("KV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kv.Persistent || kv.Key != 0 || kv.ColIndex("v") != 1 {
+		t.Errorf("persistent schema = %+v", kv)
+	}
+}
+
+// TestSchemaCacheInvalidation pins both halves of the invalidation
+// contract: an ErrNoSuchTable on a table operation drops that topic's
+// cache entry (the next Schema call re-resolves rather than returning the
+// stale pointer), and errors for other topics or of other kinds leave the
+// entry alone.
+func TestSchemaCacheInvalidation(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+
+	if _, err := cl.Exec(`create table T (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := cl.Schema("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing-table inserts surface ErrNoSuchTable through every insert
+	// shape and invalidate only that topic's entry.
+	if err := cl.Insert("Gone", types.Int(1)); !errors.Is(err, uerr.ErrNoSuchTable) {
+		t.Fatalf("Insert(Gone) = %v, want ErrNoSuchTable", err)
+	}
+	if s2, _ := cl.Schema("T"); s2 != s1 {
+		t.Error("unrelated table's error evicted T's cache entry")
+	}
+
+	// A no-such-table error attributed to T itself evicts the entry.
+	_ = cl.noteTableErr("T", fmt.Errorf("wrapped: %w", uerr.ErrNoSuchTable))
+	s3, err := cl.Schema("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Error("Schema returned the evicted pointer: cache was not invalidated")
+	}
+
+	// Non-sentinel errors do not evict.
+	_ = cl.noteTableErr("T", errors.New("transient"))
+	if s4, _ := cl.Schema("T"); s4 != s3 {
+		t.Error("non-ErrNoSuchTable error evicted the cache entry")
+	}
+}
+
+// TestWatchEventsCarrySchema pins the satellite's user-visible payoff:
+// events pushed to a remote watch arrive with a non-nil Schema naming the
+// topic's columns, so remote consumers can address fields by name exactly
+// like embedded ones.
+func TestWatchEventsCarrySchema(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+	cl := pipeClient(t, srv)
+
+	if _, err := cl.Exec(`create table W (sym varchar, px real)`); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *types.Event, 1)
+	if _, err := cl.Watch("W", func(ev *types.Event) { got <- ev }); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert("W", types.Str("ibm"), types.Real(42.5)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-got:
+		if ev.Schema == nil {
+			t.Fatal("watch event arrived with nil Schema")
+		}
+		if ev.Schema.ColIndex("px") != 1 {
+			t.Errorf("schema = %+v", ev.Schema)
+		}
+		v, err := ev.Field("px")
+		if err != nil {
+			t.Fatalf("Field(px) not resolvable on remote event: %v", err)
+		}
+		if f, _ := v.AsReal(); f != 42.5 {
+			t.Errorf("px = %v", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch event not delivered")
+	}
+}
+
+// TestQuiesceExact pins the quiesce opcode end to end. The automaton
+// owner's Events channel is left undrained (capacity 1, Block policy), so
+// once the server's push queue fills, the automaton's sink parks and its
+// inbox holds a backlog no amount of waiting can clear: Quiesce must
+// report not-idle — a stats-free, race-free "busy" observation. Draining
+// the channel releases the pipeline and a bounded Quiesce then reports
+// idle, which is exact: it cannot return before the inbox is empty.
+func TestQuiesceExact(t *testing.T) {
+	c := newServerCache(t)
+	srv := NewServer(c)
+
+	ownerEnd, srvEnd := net.Pipe()
+	go srv.ServeConn(srvEnd)
+	owner := NewClientWith(ownerEnd, ClientConfig{EventBuffer: 1, EventPolicy: pubsub.Block})
+	defer func() { _ = owner.Close() }()
+	ctl := pipeClient(t, srv) // separate connection: its replies never park behind owner's
+
+	if _, err := ctl.Exec(`create table Q (v integer)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Register(`subscribe t to Q; behavior { send(t.v); }`); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+
+	// More events than the push pipeline can absorb (server push queue +
+	// client buffer), so the sink wedges with the inbox still backlogged.
+	const n = pushQueueDepth + 2000
+	rows := make([][]types.Value, n)
+	for i := range rows {
+		rows[i] = []types.Value{types.Int(int64(i))}
+	}
+	if err := ctl.InsertBatch("Q", rows); err != nil {
+		t.Fatal(err)
+	}
+	if idle, err := ctl.Quiesce(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	} else if idle {
+		t.Error("Quiesce reported idle while the automaton sink was wedged with a backlog")
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		seen := 0
+		for range owner.Events() {
+			if seen++; seen == n {
+				return
+			}
+		}
+	}()
+	idle, err := ctl.Quiesce(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idle {
+		t.Error("bounded Quiesce did not observe the drained registry")
+	}
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("events never fully delivered")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"unicache/internal/automaton"
 	"unicache/internal/cache"
@@ -510,6 +511,31 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 					e.U64(dd.Seq)
 					e.I64(dd.WALBytes)
 				}
+			} else {
+				e.U8(0)
+			}
+			return nil
+		})
+
+	case msgQuiesce:
+		ns, err := d.I64()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		if ns < 0 {
+			ns = 0
+		}
+		if ns > maxQuiesceWait {
+			ns = maxQuiesceWait
+		}
+		// This parks the serve goroutine, so only this connection's
+		// requests wait; pushes ride their own dispatcher goroutine and
+		// other connections keep committing (which is exactly what the
+		// registry's idle test observes).
+		idle := c.srv.cache.Registry().WaitIdle(time.Duration(ns))
+		return c.reply(msgID, msgQuiesceOK, func(e *wire.Encoder) error {
+			if idle {
+				e.U8(1)
 			} else {
 				e.U8(0)
 			}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"unicache/internal/automaton"
 	"unicache/internal/rpc"
@@ -194,7 +195,8 @@ func (r *Remote) Tables() ([]string, error) {
 // Watch implements Engine: a server-side tap on the topic, its events
 // pushed over the connection and handed to fn on the client's read-loop
 // goroutine in commit order. Events carry topic, commit timestamp,
-// sequence and tuple values; Schema is nil (it stays server-side).
+// sequence, tuple values, and the topic's schema resolved once through
+// the connection's describe cache (nil only if that resolution failed).
 func (r *Remote) Watch(topic string, fn func(*Event), opts ...WatchOption) (Watch, error) {
 	if err := r.guard(); err != nil {
 		return nil, err
@@ -287,6 +289,38 @@ func (r *Remote) Stats() (Stats, error) {
 		st.Durability = &dur
 	}
 	return st, nil
+}
+
+// WaitIdle blocks until the server's automaton registry is precisely
+// idle or the timeout elapses, reporting which. It rides the dedicated
+// quiesce opcode — the registry's own idle test, not a stats-snapshot
+// inference — so a true return means every inbox was empty serverside.
+// Against a server predating the opcode (whose reply shape won't match)
+// it falls back to the best-effort stats-polling loop.
+func (r *Remote) WaitIdle(timeout time.Duration) bool {
+	if err := r.guard(); err != nil {
+		return false
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain < 0 {
+			remain = 0
+		}
+		idle, err := r.cl.Quiesce(remain)
+		if err != nil {
+			// Connection death yields false below; an unexpected-reply
+			// error (pre-quiesce server) degrades to polling.
+			if r.guard() != nil {
+				return false
+			}
+			return pollIdle(r, remain)
+		}
+		if idle || time.Now().After(deadline) {
+			return idle
+		}
+		// Not idle with time left: the server clamped our timeout; ask again.
+	}
 }
 
 // Close implements Engine: tears down the connection. The server

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# CI gate for the partitioned cluster: spawn three cached nodes, drive
+# them as one engine through the comma-separated -addr/-remote specs
+# (cachectl verbs, a CSV bulk load, the quickstart example), and run the
+# cluster conformance backend under the race detector. Guards the
+# consistent-hash routing, the per-node bulk path and the merged
+# operator views — the single-node wire path is covered by
+# smoke_remote.sh.
+set -eu
+
+ADDRS="127.0.0.1:7921,127.0.0.1:7922,127.0.0.1:7923"
+DIR="$(mktemp -d)"
+PIDS=""
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/cached" ./cmd/cached
+go build -o "$DIR/cachectl" ./cmd/cachectl
+go build -o "$DIR/quickstart" ./examples/quickstart
+
+for port in 7921 7922 7923; do
+	"$DIR/cached" -addr "127.0.0.1:$port" -timer 0 >"$DIR/cached-$port.log" 2>&1 &
+	PIDS="$PIDS $!"
+done
+
+# Wait until every node answers; cachectl ping against the cluster spec
+# round-trips all three connections.
+for i in $(seq 1 50); do
+	if "$DIR/cachectl" -addr "$ADDRS" ping >/dev/null 2>&1; then
+		break
+	fi
+	if [ "$i" -eq 50 ]; then
+		echo "cluster nodes did not come up" >&2
+		cat "$DIR"/cached-*.log >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+# The quickstart runs unchanged against the cluster: same program text,
+# three nodes behind the façade.
+out=$("$DIR/quickstart" -remote "$ADDRS")
+echo "$out"
+echo "$out" | grep -q "over threshold: attic 33.0 1" || {
+	echo "smoke: quickstart against the cluster lost the automaton notification" >&2
+	exit 1
+}
+
+# Location transparency for the CLI: create tables without knowing (or
+# caring) which node owns them, bulk-load one, and read everything back
+# through the merged views.
+"$DIR/cachectl" -addr "$ADDRS" exec "create table Flows (nbytes integer)" >/dev/null
+"$DIR/cachectl" -addr "$ADDRS" exec "create table Alarms (sev integer)" >/dev/null
+printf '1500\n64\n900\n' | "$DIR/cachectl" -addr "$ADDRS" load Flows | grep -q "loaded 3 row(s)" || {
+	echo "smoke: cluster bulk load failed" >&2
+	exit 1
+}
+"$DIR/cachectl" -addr "$ADDRS" exec "select count(*) from Flows" | grep -q "^3$" || {
+	echo "smoke: cluster select lost rows" >&2
+	exit 1
+}
+tables=$("$DIR/cachectl" -addr "$ADDRS" tables)
+for t in Flows Alarms Readings; do
+	echo "$tables" | grep -q "^$t$" || {
+		echo "smoke: cluster tables view is missing $t" >&2
+		exit 1
+	}
+done
+"$DIR/cachectl" -addr "$ADDRS" stats >/dev/null
+
+# The cluster conformance backend under the race detector: the same
+# behavioral suite the embedded and remote backends pass, routed across
+# three nodes.
+go test . -race -count=1 -run 'TestCluster|TestConformance' -timeout 600s
+
+echo "smoke_cluster: ok"
