@@ -800,6 +800,85 @@ behavior {
 	}
 }
 
+// patternProg builds a single-topic sequence pattern of the given depth:
+// depth subscription variables over T, correlated on the key column, with
+// skip-till-next-match keeping at most one open partial per key per step.
+func patternProg(depth int) string {
+	var sb strings.Builder
+	for i := 1; i <= depth; i++ {
+		fmt.Fprintf(&sb, "subscribe s%d to T;\n", i)
+	}
+	sb.WriteString("pattern {\n\tmatch s1")
+	for i := 2; i <= depth; i++ {
+		fmt.Fprintf(&sb, " then s%d", i)
+	}
+	sb.WriteString(" within 3600 SECS;\n")
+	if depth > 1 {
+		sb.WriteString("\twhere s2.k == s1.k")
+		for i := 3; i <= depth; i++ {
+			fmt.Fprintf(&sb, " && s%d.k == s1.k", i)
+		}
+		sb.WriteString(";\n")
+	}
+	sb.WriteString("\temit s1.k, s1.v;\n}\n")
+	return sb.String()
+}
+
+// BenchmarkPatternMatch is the cost of the CEP NFA on the batch activation
+// path (PR 9): a sequence pattern of swept depth over a single topic,
+// driven with commit batches of swept run length. Single-topic patterns
+// self-advance their watermark, so the measured path is the full
+// reorder-buffer + NFA-step pipeline with no timer involvement. Keys
+// round-robin over 32 values, so skip-till-next-match holds the open
+// partial-match population at a steady ~32×depth.
+func BenchmarkPatternMatch(b *testing.B) {
+	const keys = 32
+	for _, depth := range []int{2, 4} {
+		prog := patternProg(depth)
+		for _, runLen := range []int{64, 256} {
+			b.Run(fmt.Sprintf("depth=%d/run=%d", depth, runLen), func(b *testing.B) {
+				c, err := cache.New(cache.Config{TimerPeriod: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				if _, err := c.Exec(`create table T (k integer, v integer)`); err != nil {
+					b.Fatal(err)
+				}
+				a, err := c.Register(prog, automaton.DiscardSink)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !a.Batchable() {
+					b.Fatal("pattern automaton not on the batch path")
+				}
+				rows := make([][]types.Value, runLen)
+				for i := range rows {
+					rows[i] = []types.Value{
+						types.Int(int64(i % keys)), types.Int(int64(i)),
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.CommitBatch("T", rows); err != nil {
+						b.Fatal(err)
+					}
+					// Lockstep with the dispatcher, as the activation
+					// bench does, so runs have a fixed length.
+					for !a.Idle() {
+						runtime.Gosched()
+					}
+				}
+				b.StopTimer()
+				events := float64(b.N) * float64(runLen)
+				b.ReportMetric(events/b.Elapsed().Seconds(), "events/sec")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/events, "ns/event")
+				b.ReportMetric(float64(a.Matches())/float64(b.N), "matches/op")
+			})
+		}
+	}
+}
+
 // --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblationVMInstructionCycle measures the stack machine's

@@ -53,6 +53,8 @@ func main() {
 		"write the WAL without fsync (fast, survives process crashes but not power loss)")
 	snapshotBytes := flag.Int64("snapshot-bytes", 0,
 		"per-domain WAL bytes that trigger a snapshot + log truncation (0 = default 8 MiB)")
+	checkpoint := flag.Duration("checkpoint", 0,
+		"period between automaton-state checkpoints on a durable cache (0 = default 30s, negative disables)")
 	var loads loadSpecs
 	flag.Var(&loads, "load", "bulk-load a CSV file into a table at startup, as table=file.csv (repeatable)")
 	flag.Parse()
@@ -74,6 +76,7 @@ func main() {
 		DataDir:           *dataDir,
 		WALNoSync:         *walNoSync,
 		SnapshotBytes:     *snapshotBytes,
+		CheckpointPeriod:  *checkpoint,
 	})
 	if err != nil {
 		fail(err)

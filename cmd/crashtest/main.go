@@ -25,6 +25,13 @@
 //   - after the idempotent reload, the KV dump is identical to the
 //     crash-free control dump.
 //
+// A third phase proves periodic checkpoints: a CEP pattern automaton
+// holding a half-completed sequence match is SIGKILLed after a
+// -checkpoint interval elapses (no clean shutdown snapshot runs), and on
+// restart the recovered partial completes when the second half of the
+// sequence arrives — the partial-match state a crash can lose is bounded
+// by the checkpoint period, not by the last clean shutdown.
+//
 // Usage: crashtest [-rows N] [-seed S] [-keep] (builds nothing itself;
 // scripts/crash_recovery.sh builds the binaries and runs this).
 package main
@@ -109,6 +116,9 @@ func main() {
 	if err := crashRun(work, initPath, csvPath, control, rng); err != nil {
 		fatal(fmt.Errorf("crash run: %w", err))
 	}
+	if err := checkpointRun(work); err != nil {
+		fatal(fmt.Errorf("checkpoint run: %w", err))
+	}
 	fmt.Println("crashtest: ok")
 }
 
@@ -132,13 +142,14 @@ type server struct {
 	log  *os.File
 }
 
-func startServer(work, name, addr, dataDir, initPath string) (*server, error) {
+func startServer(work, name, addr, dataDir, initPath string, extraArgs ...string) (*server, error) {
 	logf, err := os.Create(filepath.Join(work, name+".log"))
 	if err != nil {
 		return nil, err
 	}
-	cmd := exec.Command(*cachedBin,
-		"-addr", addr, "-timer", "0", "-init", initPath, "-data", dataDir)
+	args := []string{"-addr", addr, "-timer", "0", "-init", initPath, "-data", dataDir}
+	args = append(args, extraArgs...) // later flags win, so extras may override -timer
+	cmd := exec.Command(*cachedBin, args...)
 	cmd.Stdout = logf
 	cmd.Stderr = logf
 	if err := cmd.Start(); err != nil {
@@ -440,6 +451,160 @@ func crashRun(work, initPath, csvPath string, control []string, rng *rand.Rand) 
 	}
 	fmt.Println("crash: recovered automaton is live")
 	return nil
+}
+
+// Pattern-checkpoint phase: schema, pattern and harness.
+const patternSchemaSQL = `
+create table PA (u integer, v integer);
+create table PB (u integer, v integer);
+create table PMatches (u integer, av integer, bv integer);
+`
+
+// patternGAPL is a two-step sequence with a correlation predicate; its
+// half-completed partial (an unmatched PA event) is exactly the state a
+// periodic checkpoint must carry across a SIGKILL.
+const patternGAPL = `
+subscribe a to PA;
+subscribe b to PB;
+pattern { match a then b within 600 SECS; where b.u == a.u; emit a.u, a.v, b.v into PMatches; }
+`
+
+// checkpointRun proves timer-driven automaton checkpoints: feed half a
+// sequence match, wait for a periodic checkpoint to land strictly after
+// it, SIGKILL (no shutdown snapshot), restart, feed the other half and
+// require the match — it can only exist if the checkpoint persisted the
+// partial.
+func checkpointRun(work string) error {
+	dataDir := filepath.Join(work, "data-ckpt")
+	initPath := filepath.Join(work, "pattern.sql")
+	if err := os.WriteFile(initPath, []byte(patternSchemaSQL), 0o644); err != nil {
+		return err
+	}
+	ckptArgs := []string{"-timer", "50ms", "-checkpoint", "200ms"}
+	srv, err := startServer(work, "ckpt", "127.0.0.1:7934", dataDir, initPath, ckptArgs...)
+	if err != nil {
+		return err
+	}
+	eng, err := unicache.DialRemote(srv.addr)
+	if err != nil {
+		_ = srv.kill()
+		return err
+	}
+	a, err := eng.Register(patternGAPL)
+	if err != nil {
+		_ = srv.kill()
+		return fmt.Errorf("register pattern: %w", err)
+	}
+	if err := eng.Insert("PA", types.Int(7), types.Int(70)); err != nil {
+		_ = srv.kill()
+		return err
+	}
+	// The partial exists once the PA event has reached the machine.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := a.Stats()
+		if err != nil {
+			_ = srv.kill()
+			return err
+		}
+		if st.Depth == 0 && st.Processed >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = srv.kill()
+			return fmt.Errorf("PA event never reached the pattern machine")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Wait for a checkpoint that started strictly after the partial
+	// existed: the snapshot counter must move twice (the first increment
+	// may be a checkpoint cut just before our event landed).
+	snaps0, err := snapshotCount(eng)
+	if err != nil {
+		_ = srv.kill()
+		return err
+	}
+	for {
+		n, err := snapshotCount(eng)
+		if err != nil {
+			_ = srv.kill()
+			return err
+		}
+		if n >= snaps0+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = srv.kill()
+			return fmt.Errorf("no periodic checkpoint observed (snapshots %d -> %d)", snaps0, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := srv.kill(); err != nil { // SIGKILL: no shutdown snapshot
+		return err
+	}
+	_ = eng.Close()
+	fmt.Println("checkpoint: SIGKILL with a checkpointed half-match on disk")
+
+	srv2, err := startServer(work, "ckpt-restart", "127.0.0.1:7935", dataDir, initPath, ckptArgs...)
+	if err != nil {
+		return err
+	}
+	defer srv2.kill()
+	eng2, err := unicache.DialRemote(srv2.addr)
+	if err != nil {
+		return err
+	}
+	defer eng2.Close()
+	st, err := eng2.Stats()
+	if err != nil {
+		return err
+	}
+	if len(st.Automata) != 1 {
+		return fmt.Errorf("recovered %d automata, want the pattern automaton", len(st.Automata))
+	}
+	res, err := eng2.Exec(`select u from PMatches`)
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) != 0 {
+		return fmt.Errorf("PMatches has %d rows before the closing event", len(res.Rows))
+	}
+	if err := eng2.Insert("PB", types.Int(7), types.Int(700)); err != nil {
+		return err
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		res, err := eng2.Exec(`select u, av, bv from PMatches`)
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 1 {
+			if got := fmt.Sprint(res.Rows[0]); got != "[7 70 700]" {
+				return fmt.Errorf("recovered match = %s, want [7 70 700]", got)
+			}
+			break
+		}
+		if len(res.Rows) > 1 {
+			return fmt.Errorf("PMatches has %d rows, want 1", len(res.Rows))
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("checkpointed partial never completed after restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Println("checkpoint: partial match survived SIGKILL and completed after restart")
+	return nil
+}
+
+func snapshotCount(eng *unicache.Remote) (uint64, error) {
+	st, err := eng.Stats()
+	if err != nil {
+		return 0, err
+	}
+	if st.Durability == nil {
+		return 0, fmt.Errorf("server reports no durability stats")
+	}
+	return st.Durability.Snapshots, nil
 }
 
 func mirrorCount(eng *unicache.Remote) (int64, error) {

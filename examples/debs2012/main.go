@@ -1,17 +1,23 @@
 // DEBS 2012 Grand Challenge, query 1: manufacturing-equipment monitoring
-// (§5.1 of the paper and reference [23]).
+// (§5.1 of the paper and reference [23]), rebuilt on the CEP pattern
+// layer.
 //
-// The paper's point is operator fusion: where a stream-algebra engine
-// needs 15 scheduled operators and duplicated state, the imperative
-// automaton below merges the whole pipeline into one program —
+// The original example fused the whole pipeline into one imperative
+// automaton. This version shows the declarative style the pattern layer
+// recovers, as a pub/sub pipeline of three automata — each stage an
+// independently registered subscriber, composed through topics exactly as
+// the paper's unification story prescribes:
 //
-//   - operators 1/4: detect valve state transitions on the raw sensor
-//     stream (events S5 and S8),
-//   - operator 7: correlate an S5 with the following S8 into an S58
-//     measurement (the equipment cycle delay),
-//   - operator 10: a least-squares fit over a 24-hour window of delays,
-//   - operator 11: raise an alarm when the trend slope shows the delay
-//     increasing (equipment degradation).
+//   - transitions (behaviour): detects valve state changes on the raw
+//     sensor stream and publishes them as S5 / S8 event streams
+//     (operators 1/4 of the reference query plan);
+//   - correlate (pattern): `match s5 then s8 within 60 SECS` — the
+//     operator-7 sequence correlation, expressed as a declarative SEQ
+//     pattern and compiled to an NFA instead of hand-rolled flag
+//     variables; each matched pair is published into S58;
+//   - trend (behaviour): least-squares fit over a 24-hour window of the
+//     matched cycle delays, alarming when the slope shows the delay
+//     increasing (operators 10/11).
 //
 // Run with: go run ./examples/debs2012
 package main
@@ -26,45 +32,50 @@ import (
 	"unicache/internal/workload"
 )
 
-// The merged query-1 automaton: transition detection, sequence correlation
-// and trend analysis under a single execution thread.
-const debsAutomaton = `
+// transitionsGAPL turns raw measurements into S5/S8 transition events.
+const transitionsGAPL = `
 subscribe m to Measurements;
-bool prev1, prev2, have1, have2, haveS5;
-tstamp s5ts;
-window delays;        # (ts, delay-ns) pairs across a 24h window
-sequence fit;
-real slope;
-int reports;
-initialization {
-	delays = Window(sequence, SECS, 86400);
-}
+bool prev1, prev2, have1, have2;
 behavior {
-	# Operators 1/4: valve state transitions define S5 and S8 events.
-	if (have1 && m.valve1 != prev1) {
-		# S5: valve1 toggled.
-		s5ts = m.ts;
-		haveS5 = true;
-	}
-	if (have2 && m.valve2 != prev2 && haveS5) {
-		# Operator 7: S5 followed by S8 -> S58 cycle delay.
-		append(delays, Sequence(int(m.ts), tstampDiff(m.ts, s5ts)));
-		haveS5 = false;
-		# Operators 10/11: trend over the shared 24h window; one copy of
-		# the state serves both the fit and the alarm.
-		if (winSize(delays) >= 10) {
-			fit = lsf(delays);
-			slope = seqElement(fit, 0);
-			if (slope > 0.0) {
-				reports += 1;
-				send('ALARM: cycle delay increasing', slope, winSize(delays));
-			}
-		}
-	}
+	if (have1 && m.valve1 != prev1) publish('S5', m.ts);
+	if (have2 && m.valve2 != prev2) publish('S8', m.ts);
 	prev1 = m.valve1;
 	prev2 = m.valve2;
 	have1 = true;
 	have2 = true;
+}
+`
+
+// correlateGAPL is the operator-7 sequence: an S5 followed by the next S8
+// within the window. Skip-till-next-match pairs each S5 with the first
+// following S8 — on this alternating feed, exactly the equipment cycles.
+// The window rides commit time (the feed replays in real time scaled
+// down, so 60 wall-clock seconds comfortably covers every cycle).
+const correlateGAPL = `
+subscribe s5 to S5;
+subscribe s8 to S8;
+pattern { match s5 then s8 within 60 SECS; emit s5.ts, s8.ts into S58; }
+`
+
+// trendGAPL fits the delay trend over the matched pairs and raises the
+// degradation alarm.
+const trendGAPL = `
+subscribe d to S58;
+window delays;        # (ts, delay-ns) pairs across a 24h window
+sequence fit;
+real slope;
+initialization {
+	delays = Window(sequence, SECS, 86400);
+}
+behavior {
+	append(delays, Sequence(int(d.s8ts), tstampDiff(d.s8ts, d.s5ts)));
+	if (winSize(delays) >= 10) {
+		fit = lsf(delays);
+		slope = seqElement(fit, 0);
+		if (slope > 0.0) {
+			send('ALARM: cycle delay increasing', slope, winSize(delays));
+		}
+	}
 }
 `
 
@@ -74,8 +85,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Exec(`create table Measurements (ts tstamp, valve1 boolean, valve2 boolean, sensor real)`); err != nil {
-		log.Fatal(err)
+	for _, ddl := range []string{
+		`create table Measurements (ts tstamp, valve1 boolean, valve2 boolean, sensor real)`,
+		`create table S5 (ts tstamp)`,
+		`create table S8 (ts tstamp)`,
+		`create table S58 (s5ts tstamp, s8ts tstamp)`,
+	} {
+		if _, err := c.Exec(ddl); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	alarms := 0
@@ -85,8 +103,18 @@ func main() {
 		lastSlope = vals[1].String()
 		return nil
 	}
-	if _, err := c.Register(debsAutomaton, sink); err != nil {
-		log.Fatal(err)
+	discard := func([]types.Value) error { return nil }
+	for _, stage := range []struct {
+		src  string
+		sink func([]types.Value) error
+	}{
+		{transitionsGAPL, discard},
+		{correlateGAPL, discard},
+		{trendGAPL, sink},
+	} {
+		if _, err := c.Register(stage.src, stage.sink); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// The synthetic feed drifts the valve2 transition delay upwards, so
@@ -101,7 +129,15 @@ func main() {
 		}
 	}
 	if !c.Registry().WaitIdle(time.Minute) {
-		log.Fatal("automaton did not quiesce")
+		log.Fatal("pipeline did not quiesce")
+	}
+	// A final punctuation advances the pattern watermark past the last
+	// transition so the tail pair is released too.
+	if err := c.TickTimer(); err != nil {
+		log.Fatal(err)
+	}
+	if !c.Registry().WaitIdle(time.Minute) {
+		log.Fatal("pipeline did not quiesce after punctuation")
 	}
 
 	fmt.Printf("processed %d sensor events\n", len(trace))

@@ -1,16 +1,29 @@
 // Linear Road: the stream benchmark the paper names as its next
-// comparative target (§8, reference [25]).
+// comparative target (§8, reference [25]), rebuilt on the CEP pattern
+// layer.
 //
-// A simplified variant of the benchmark's continuous queries runs as one
-// merged GAPL automaton — the operator-fusion style of §5.1:
+// The original example fused everything into one imperative automaton;
+// this version decomposes it into a pub/sub pipeline whose centrepiece is
+// a declarative accident pattern:
 //
-//   - accident detection: a car reporting speed 0 from the same position
-//     for 4 consecutive reports marks its segment as having an accident;
-//   - segment statistics: per-segment car counts and average speeds over
-//     the current reporting interval;
-//   - toll notification: when a car enters a congested segment (average
-//     speed < 40 and ≥ 5 cars) with no accident, it is assessed a toll and
-//     notified; cars entering an accident segment are notified to exit.
+//   - filter (behaviour): projects stopped cars out of the raw position
+//     stream onto a Stopped topic;
+//   - accidents (pattern): `match s1 then s2 then s3 then s4 within
+//     60 SECS` over Stopped, correlated on car and position — four
+//     successive stopped reports from one car at one spot. Skip-till-
+//     next-match emits a match for every 4-report window of a stop
+//     streak; the downstream stage treats the stream as idempotent
+//     segment-level state, so the duplicates collapse;
+//   - tolls (behaviour): subscribes to both Position and Accidents
+//     (branching on currentTopic()), keeps per-segment statistics, and
+//     assesses tolls on segment entry — exit advice for accident
+//     segments, congestion tolls otherwise.
+//
+// The pattern stage replaces the original's hand-rolled stop counters
+// (stopCount/stopPos maps) with a compiled NFA; accident state crosses
+// stages as events, so detection and reaction are asynchronous — the
+// price of decomposition that §5.1's fusion argument is about, here
+// harmless because reactions key off segment state, not event identity.
 //
 // Run with: go run ./examples/linearroad
 package main
@@ -25,12 +38,40 @@ import (
 	"unicache/internal/workload"
 )
 
-const lrAutomaton = `
+// filterGAPL projects stopped cars onto the Stopped topic.
+const filterGAPL = `
 subscribe p to Position;
+behavior {
+	if (p.speed == 0) publish('Stopped', p.car, p.seg, p.pos);
+}
+`
+
+// accidentGAPL is the accident detector: four stopped reports from the
+// same car at the same position inside the window. Four subscription
+// variables over one topic give the four sequence steps; the where
+// clause pins every later step to the first report's car and position.
+const accidentGAPL = `
+subscribe s1 to Stopped;
+subscribe s2 to Stopped;
+subscribe s3 to Stopped;
+subscribe s4 to Stopped;
+pattern {
+	match s1 then s2 then s3 then s4 within 60 SECS;
+	where s2.car == s1.car && s2.pos == s1.pos
+	   && s3.car == s1.car && s3.pos == s1.pos
+	   && s4.car == s1.car && s4.pos == s1.pos;
+	emit s1.car, s1.seg, s1.pos into Accidents;
+}
+`
+
+// tollGAPL reacts to both raw positions and detected accidents: segment
+// statistics, accident bookkeeping (deduplicating the pattern's sliding
+// matches per segment) and toll notification on segment entry.
+const tollGAPL = `
+subscribe p to Position;
+subscribe acc to Accidents;
 map carSeg;       # car -> current segment
-map stopCount;    # car -> consecutive stopped reports
-map stopPos;      # car -> position of the stop streak
-map accident;     # segment -> remaining clear-down counter
+map accident;     # segment -> accident recorded
 map segCars;      # segment -> cars seen this interval
 map segSpeed;     # segment -> (count, speed-sum) this interval
 identifier car, seg;
@@ -39,58 +80,47 @@ int n, cnt;
 real avg;
 initialization {
 	carSeg = Map(int);
-	stopCount = Map(int);
-	stopPos = Map(int);
 	accident = Map(int);
 	segCars = Map(int);
 	segSpeed = Map(sequence);
 }
 behavior {
-	car = Identifier(p.car);
-	seg = Identifier(p.seg);
-
-	# --- accident detection: 4 consecutive stopped reports at one spot ---
-	if (p.speed == 0) {
-		if (hasEntry(stopCount, car) && lookup(stopPos, car) == p.pos)
-			insert(stopCount, car, lookup(stopCount, car) + 1);
-		else {
-			insert(stopCount, car, 1);
-			insert(stopPos, car, p.pos);
-		}
-		if (lookup(stopCount, car) == 4) {
-			insert(accident, seg, 10);
-			send('ACCIDENT', p.seg, p.pos);
+	if (currentTopic() == 'Accidents') {
+		seg = Identifier(acc.seg);
+		if (!hasEntry(accident, seg)) {
+			insert(accident, seg, 1);
+			send('ACCIDENT', acc.seg, acc.pos);
 		}
 	} else {
-		remove(stopCount, car);
-		remove(stopPos, car);
-	}
+		car = Identifier(p.car);
+		seg = Identifier(p.seg);
 
-	# --- segment statistics for the current interval ---
-	if (hasEntry(segCars, seg))
-		insert(segCars, seg, lookup(segCars, seg) + 1);
-	else
-		insert(segCars, seg, 1);
-	if (hasEntry(segSpeed, seg)) {
-		ss = lookup(segSpeed, seg);
-		seqSet(ss, 0, seqElement(ss, 0) + 1);
-		seqSet(ss, 1, seqElement(ss, 1) + p.speed);
-	} else
-		insert(segSpeed, seg, Sequence(1, p.speed));
-
-	# --- toll notification on segment entry ---
-	if (!hasEntry(carSeg, car) || lookup(carSeg, car) != p.seg) {
-		insert(carSeg, car, p.seg);
-		if (hasEntry(accident, seg)) {
-			send('EXIT-ADVICE', p.car, p.seg);
-		} else if (hasEntry(segSpeed, seg)) {
+		# --- segment statistics for the current interval ---
+		if (hasEntry(segCars, seg))
+			insert(segCars, seg, lookup(segCars, seg) + 1);
+		else
+			insert(segCars, seg, 1);
+		if (hasEntry(segSpeed, seg)) {
 			ss = lookup(segSpeed, seg);
-			cnt = seqElement(ss, 0);
-			if (cnt >= 5) {
-				avg = float(seqElement(ss, 1)) / float(cnt);
-				if (avg < 40.0) {
-					n = int((40.0 - avg) * (40.0 - avg) / 10.0);
-					send('TOLL', p.car, p.seg, n);
+			seqSet(ss, 0, seqElement(ss, 0) + 1);
+			seqSet(ss, 1, seqElement(ss, 1) + p.speed);
+		} else
+			insert(segSpeed, seg, Sequence(1, p.speed));
+
+		# --- toll notification on segment entry ---
+		if (!hasEntry(carSeg, car) || lookup(carSeg, car) != p.seg) {
+			insert(carSeg, car, p.seg);
+			if (hasEntry(accident, seg)) {
+				send('EXIT-ADVICE', p.car, p.seg);
+			} else if (hasEntry(segSpeed, seg)) {
+				ss = lookup(segSpeed, seg);
+				cnt = seqElement(ss, 0);
+				if (cnt >= 5) {
+					avg = float(seqElement(ss, 1)) / float(cnt);
+					if (avg < 40.0) {
+						n = int((40.0 - avg) * (40.0 - avg) / 10.0);
+						send('TOLL', p.car, p.seg, n);
+					}
 				}
 			}
 		}
@@ -104,8 +134,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Exec(`create table Position (tick integer, car integer, speed integer, seg integer, pos integer)`); err != nil {
-		log.Fatal(err)
+	for _, ddl := range []string{
+		`create table Position (tick integer, car integer, speed integer, seg integer, pos integer)`,
+		`create table Stopped (car integer, seg integer, pos integer)`,
+		`create table Accidents (car integer, seg integer, pos integer)`,
+	} {
+		if _, err := c.Exec(ddl); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var accidents, tolls, exits int
@@ -124,8 +160,18 @@ func main() {
 		}
 		return nil
 	}
-	if _, err := c.Register(lrAutomaton, sink); err != nil {
-		log.Fatal(err)
+	discard := func([]types.Value) error { return nil }
+	for _, stage := range []struct {
+		src  string
+		sink func([]types.Value) error
+	}{
+		{filterGAPL, discard},
+		{accidentGAPL, discard},
+		{tollGAPL, sink},
+	} {
+		if _, err := c.Register(stage.src, stage.sink); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	trace := workload.LRTrace(workload.DefaultLRConfig(7))
@@ -139,7 +185,7 @@ func main() {
 		}
 	}
 	if !c.Registry().WaitIdle(time.Minute) {
-		log.Fatal("automaton did not quiesce")
+		log.Fatal("pipeline did not quiesce")
 	}
 	elapsed := time.Since(start)
 

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unicache/internal/cep"
 	"unicache/internal/gapl"
 	"unicache/internal/pubsub"
 	"unicache/internal/table"
@@ -145,8 +146,11 @@ type Automaton struct {
 	disp   *pubsub.Dispatcher
 	// vmMu serialises behaviour execution against SnapshotVars, so a
 	// durable snapshot never observes a half-executed activation.
-	vmMu  sync.Mutex
+	vmMu sync.Mutex
+	// Exactly one of vm and pm is set: behaviour automata run the
+	// bytecode VM, pattern automata the CEP machine.
 	vm    *vm.VM
+	pm    *cep.Machine
 	sink  Sink
 	nProc atomic.Uint64
 	nErr  atomic.Uint64
@@ -175,9 +179,25 @@ func (a *Automaton) Dropped() uint64 { return a.inbox.Dropped() }
 // not yet handed to the behaviour clause.
 func (a *Automaton) Depth() int { return a.inbox.Len() }
 
-// Batchable reports whether the behaviour clause was classified batchable
-// and is therefore activated once per drained run rather than per event.
-func (a *Automaton) Batchable() bool { return a.prog.BatchableBehavior }
+// Batchable reports whether the automaton is activated once per drained
+// run rather than per event: behaviour clauses the compiler classified
+// batchable, and every pattern automaton (a run feeds the NFA in one
+// activation).
+func (a *Automaton) Batchable() bool { return a.pm != nil || a.prog.BatchableBehavior }
+
+// Pattern reports whether this is a declarative CEP pattern automaton.
+func (a *Automaton) Pattern() bool { return a.pm != nil }
+
+// Matches returns the number of pattern matches emitted (0 for
+// behaviour automata).
+func (a *Automaton) Matches() uint64 {
+	if a.pm == nil {
+		return 0
+	}
+	a.vmMu.Lock()
+	defer a.vmMu.Unlock()
+	return a.pm.Matches()
+}
 
 // Source returns the GAPL source the automaton was registered with.
 func (a *Automaton) Source() string { return a.source }
@@ -188,11 +208,41 @@ func (a *Automaton) InboxOptions() Options { return a.opts }
 // SnapshotVars calls fn with every declared variable and its current
 // value, serialised against behaviour execution: the values form a
 // consistent cut between activations. The durable cache uses it to
-// snapshot automaton state.
+// snapshot automaton state. A pattern automaton yields a single
+// reserved variable (cep.StateVar) holding the machine's serialised
+// matching state — watermark, reorder buffer and partial matches.
 func (a *Automaton) SnapshotVars(fn func(name string, v types.Value)) {
 	a.vmMu.Lock()
 	defer a.vmMu.Unlock()
+	if a.pm != nil {
+		v, err := a.pm.Snapshot()
+		if err != nil {
+			a.reg.cfg.OnRuntimeError(a.id, fmt.Errorf("snapshotting pattern state: %w", err))
+			return
+		}
+		fn(cep.StateVar, v)
+		return
+	}
 	a.vm.VisitVars(fn)
+}
+
+// StateRestorer reinstates one snapshotted variable; vm.VM implements it
+// for behaviour automata and the registry adapts pattern machines to it.
+// Unknown names are ignored (the source may have changed since the
+// snapshot).
+type StateRestorer interface {
+	RestoreVar(name string, v types.Value, now types.Timestamp) error
+}
+
+// patternRestorer adapts a cep.Machine to StateRestorer: the reserved
+// cep.StateVar carries the whole machine state.
+type patternRestorer struct{ pm *cep.Machine }
+
+func (p patternRestorer) RestoreVar(name string, v types.Value, _ types.Timestamp) error {
+	if name != cep.StateVar {
+		return nil
+	}
+	return p.pm.Restore(v)
 }
 
 // Register compiles, binds, initializes and starts an automaton with the
@@ -212,10 +262,11 @@ func (r *Registry) RegisterWith(source string, sink Sink, opts Options) (*Automa
 
 // RegisterRecovered reinstates an automaton from the durable log under
 // its original id: compile, bind and initialise as usual, then restore
-// (when non-nil) reinstates snapshotted variable state on the VM before
-// any event can arrive. The OnRegister hook does not fire — the durable
-// record already carries this automaton.
-func (r *Registry) RegisterRecovered(id int64, source string, sink Sink, opts Options, restore func(m *vm.VM) error) (*Automaton, error) {
+// (when non-nil) reinstates snapshotted variable state — behaviour
+// variables on the VM, pattern matching state on the CEP machine —
+// before any event can arrive. The OnRegister hook does not fire — the
+// durable record already carries this automaton.
+func (r *Registry) RegisterRecovered(id int64, source string, sink Sink, opts Options, restore func(st StateRestorer) error) (*Automaton, error) {
 	if id <= 0 {
 		return nil, fmt.Errorf("automaton: recovered id must be positive, got %d", id)
 	}
@@ -225,7 +276,7 @@ func (r *Registry) RegisterRecovered(id int64, source string, sink Sink, opts Op
 // register is the shared registration path. A zero forcedID allocates the
 // next id and fires the registration hooks; a positive one reinstates a
 // recovered automaton under its original id, hook-free.
-func (r *Registry) register(forcedID int64, source string, sink Sink, opts Options, restore func(m *vm.VM) error) (*Automaton, error) {
+func (r *Registry) register(forcedID int64, source string, sink Sink, opts Options, restore func(st StateRestorer) error) (*Automaton, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("automaton: nil sink (use DiscardSink)")
 	}
@@ -278,24 +329,66 @@ func (r *Registry) register(forcedID int64, source string, sink Sink, opts Optio
 		}),
 		sink: sink,
 	}
-	machine, err := vm.New(prog, &host{a: a})
-	if err != nil {
-		return nil, fmt.Errorf("automaton: %w", err)
-	}
-	machine.MaxSteps = r.cfg.MaxSteps
-	machine.Mode = r.cfg.CompileMode
-	a.vm = machine
+	if prog.Pattern != nil {
+		// Pattern programs bypass the VM entirely: the declarative clause
+		// compiles to an NFA run by a cep.Machine on the batch-activation
+		// path.
+		pat, err := cep.CompilePattern(prog, r.svc.Schemas())
+		if err != nil {
+			return nil, fmt.Errorf("automaton: pattern: %w", err)
+		}
+		if pat.Into != "" {
+			sch, ok := r.svc.Schemas()[pat.Into]
+			if !ok {
+				return nil, fmt.Errorf("automaton: pattern: into topic %q has no schema", pat.Into)
+			}
+			if sch.NumCols() != len(pat.Emit) {
+				return nil, fmt.Errorf("automaton: pattern: emit arity %d does not match into topic %q (%d columns)",
+					len(pat.Emit), pat.Into, sch.NumCols())
+			}
+		}
+		pm := cep.NewMachine(pat)
+		pm.OnMatch = func(vals []types.Value) error {
+			if pat.Into != "" {
+				if err := r.svc.CommitInsert(pat.Into, vals); err != nil {
+					return fmt.Errorf("pattern emit into %s: %w", pat.Into, err)
+				}
+			}
+			return a.sink(vals)
+		}
+		pm.OnError = func(err error) {
+			a.nErr.Add(1)
+			r.cfg.OnRuntimeError(id, err)
+		}
+		a.pm = pm
+		// Recovery reinstates the snapshotted matching state (watermark,
+		// reorder buffer, partial matches) before any event can arrive.
+		if restore != nil {
+			if err := restore(patternRestorer{pm: pm}); err != nil {
+				return nil, fmt.Errorf("automaton: restoring state: %w", err)
+			}
+		}
+	} else {
+		machine, err := vm.New(prog, &host{a: a})
+		if err != nil {
+			return nil, fmt.Errorf("automaton: %w", err)
+		}
+		machine.MaxSteps = r.cfg.MaxSteps
+		machine.Mode = r.cfg.CompileMode
+		a.vm = machine
 
-	// Initialization runs before any event can arrive (we subscribe after).
-	if err := machine.RunInit(); err != nil {
-		return nil, fmt.Errorf("automaton: initialization: %w", err)
-	}
-	// Recovery reinstates snapshotted variable state on top of the init
-	// clause's — windows keep their init-built eviction policy and merge
-	// the saved contents back in.
-	if restore != nil {
-		if err := restore(machine); err != nil {
-			return nil, fmt.Errorf("automaton: restoring state: %w", err)
+		// Initialization runs before any event can arrive (we subscribe
+		// after).
+		if err := machine.RunInit(); err != nil {
+			return nil, fmt.Errorf("automaton: initialization: %w", err)
+		}
+		// Recovery reinstates snapshotted variable state on top of the init
+		// clause's — windows keep their init-built eviction policy and merge
+		// the saved contents back in.
+		if restore != nil {
+			if err := restore(machine); err != nil {
+				return nil, fmt.Errorf("automaton: restoring state: %w", err)
+			}
 		}
 	}
 
@@ -319,9 +412,12 @@ func (r *Registry) register(forcedID int64, source string, sink Sink, opts Optio
 			_ = r.Unregister(id)
 		},
 	}
-	if prog.BatchableBehavior {
+	switch {
+	case a.pm != nil:
+		a.disp = pubsub.NewBatchDispatcher(a.inbox, a.deliverPatternRun, dcfg)
+	case prog.BatchableBehavior:
 		a.disp = pubsub.NewBatchDispatcher(a.inbox, a.deliverRun, dcfg)
-	} else {
+	default:
 		a.disp = pubsub.NewDispatcher(a.inbox, a.deliver, dcfg)
 	}
 	r.mu.Lock()
@@ -349,8 +445,23 @@ func (r *Registry) register(forcedID int64, source string, sink Sink, opts Optio
 		r.svc.Unsubscribe(id)
 		return nil, err
 	}
+	// Pattern steps may share a topic (distinct variables over one
+	// stream), so the subscription set is deduped; patterns additionally
+	// subscribe to the Timer topic for the punctuation that advances the
+	// watermark past stalled streams and fires deadline completions.
+	subTopics := make([]string, 0, len(prog.Subscriptions())+1)
+	seen := make(map[string]bool, len(prog.Subscriptions())+1)
 	for _, sub := range prog.Subscriptions() {
-		if err := r.svc.Subscribe(id, sub.Topic, a.inbox); err != nil {
+		if !seen[sub.Topic] {
+			seen[sub.Topic] = true
+			subTopics = append(subTopics, sub.Topic)
+		}
+	}
+	if a.pm != nil && !seen[types.TimerTopic] {
+		subTopics = append(subTopics, types.TimerTopic)
+	}
+	for _, topic := range subTopics {
+		if err := r.svc.Subscribe(id, topic, a.inbox); err != nil {
 			return fail(fmt.Errorf("automaton: %w", err))
 		}
 	}
@@ -379,6 +490,17 @@ func (a *Automaton) deliverRun(evs []*types.Event) {
 		a.nErr.Add(1)
 		a.reg.cfg.OnRuntimeError(a.id, err)
 	}
+	a.nProc.Add(uint64(len(evs)))
+}
+
+// deliverPatternRun feeds one drained run to the CEP machine on the
+// automaton's dispatcher goroutine: buffering, watermark advance and
+// match emission all happen inside ObserveBatch, under vmMu so a durable
+// snapshot never sees a half-applied run.
+func (a *Automaton) deliverPatternRun(evs []*types.Event) {
+	a.vmMu.Lock()
+	defer a.vmMu.Unlock()
+	a.pm.ObserveBatch(evs)
 	a.nProc.Add(uint64(len(evs)))
 }
 

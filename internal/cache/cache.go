@@ -20,8 +20,15 @@ import (
 )
 
 // TimerTopic is the built-in topic that delivers a punctuation tuple once
-// per period (§4.2); its schema is Timer(ts tstamp).
-const TimerTopic = "Timer"
+// per period (§4.2); its schema is Timer(ts tstamp). It aliases
+// types.TimerTopic so low-level packages (the CEP pattern runtime) can
+// name it without importing the cache.
+const TimerTopic = types.TimerTopic
+
+// DefaultCheckpointPeriod is the durable cache's default interval between
+// periodic automaton-state checkpoints (meta snapshots). See
+// Config.CheckpointPeriod.
+const DefaultCheckpointPeriod = 30 * time.Second
 
 // Config tunes a Cache.
 type Config struct {
@@ -86,6 +93,14 @@ type Config struct {
 	// WALFS overrides the WAL's filesystem (nil = the real one). It is
 	// the fault-injection seam for durability tests.
 	WALFS wal.FS
+	// CheckpointPeriod is the interval between periodic automaton-state
+	// checkpoints on a durable cache: each checkpoint writes a meta
+	// snapshot (every live automaton with its variable or pattern-match
+	// state), so a crash loses at most one period of automaton state
+	// rather than everything since the last clean shutdown. Zero means
+	// DefaultCheckpointPeriod; negative disables periodic checkpoints
+	// (state is still snapshotted at Close). Ignored by in-memory caches.
+	CheckpointPeriod time.Duration
 }
 
 // commitDomain is the unit of commit serialisation: one per topic. The
@@ -141,9 +156,16 @@ type Cache struct {
 
 	// wal is the durability manager (nil for an in-memory cache).
 	wal *wal.Manager
+	// metaMu serialises all meta-log writers — the registration hooks'
+	// appends and snapshotMeta's rotate-and-write — because the meta
+	// domain's Rotate is not safe against a concurrent Append. Close-time
+	// and periodic checkpoints share the same path.
+	metaMu sync.Mutex
 
 	timerStop chan struct{}
 	timerDone chan struct{}
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
 	closeOnce sync.Once
 }
 
@@ -208,7 +230,33 @@ func New(cfg Config) (*Cache, error) {
 		c.timerDone = make(chan struct{})
 		go c.runTimer(cfg.TimerPeriod)
 	}
+	if c.wal != nil && cfg.CheckpointPeriod >= 0 {
+		period := cfg.CheckpointPeriod
+		if period == 0 {
+			period = DefaultCheckpointPeriod
+		}
+		c.ckptStop = make(chan struct{})
+		c.ckptDone = make(chan struct{})
+		go c.runCheckpointer(period)
+	}
 	return c, nil
+}
+
+// runCheckpointer writes a meta snapshot every period, bounding how much
+// automaton state (behaviour variables, pattern partial matches) a crash
+// can lose.
+func (c *Cache) runCheckpointer(period time.Duration) {
+	defer close(c.ckptDone)
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.ckptStop:
+			return
+		case <-tick.C:
+			c.snapshotMeta()
+		}
+	}
 }
 
 func (c *Cache) runTimer(period time.Duration) {
@@ -243,6 +291,10 @@ func (c *Cache) Close() {
 		if c.timerStop != nil {
 			close(c.timerStop)
 			<-c.timerDone
+		}
+		if c.ckptStop != nil {
+			close(c.ckptStop)
+			<-c.ckptDone
 		}
 		if c.wal != nil {
 			c.snapshotMeta()

@@ -19,7 +19,6 @@ import (
 	"unicache/internal/pubsub"
 	"unicache/internal/table"
 	"unicache/internal/types"
-	"unicache/internal/vm"
 	"unicache/internal/wal"
 )
 
@@ -280,6 +279,8 @@ func (c *Cache) logRegister(a *automaton.Automaton) {
 	if md == nil {
 		return
 	}
+	c.metaMu.Lock()
+	defer c.metaMu.Unlock()
 	opts := a.InboxOptions()
 	payload := wal.EncodeRegister(wal.RegisterRec{
 		ID:            a.ID(),
@@ -303,6 +304,8 @@ func (c *Cache) logUnregister(id int64) {
 	if md == nil {
 		return
 	}
+	c.metaMu.Lock()
+	defer c.metaMu.Unlock()
 	off, err := md.Append(wal.EncodeUnregister(id))
 	if err == nil {
 		err = md.Sync(off)
@@ -359,10 +362,10 @@ func (c *Cache) recoverAutomata() error {
 			InboxCapacity: int(rec.InboxCapacity),
 			InboxPolicy:   pubsub.Policy(rec.InboxPolicy),
 		}
-		restore := func(m *vm.VM) error {
+		restore := func(st automaton.StateRestorer) error {
 			now := c.clock()
 			for _, v := range rec.Vars {
-				if err := m.RestoreVar(v.Name, v.Value, now); err != nil {
+				if err := st.RestoreVar(v.Name, v.Value, now); err != nil {
 					return err
 				}
 			}
@@ -376,13 +379,18 @@ func (c *Cache) recoverAutomata() error {
 }
 
 // snapshotMeta writes the meta snapshot: the id allocator's high-water
-// mark and every live automaton with its registration and variable state.
-// Called from Close while automata are still alive.
+// mark and every live automaton with its registration and variable state
+// (pattern automata contribute their serialised matching state under
+// cep.StateVar). Called from Close while automata are still alive, and
+// periodically by the checkpointer. metaMu makes the rotate-and-write
+// atomic against the registration hooks' concurrent appends.
 func (c *Cache) snapshotMeta() {
 	md := c.wal.Meta()
 	if md == nil || md.Failed() != nil || !md.BeginSnapshot() {
 		return
 	}
+	c.metaMu.Lock()
+	defer c.metaMu.Unlock()
 	epoch, err := md.Rotate()
 	if err != nil {
 		md.AbortSnapshot()

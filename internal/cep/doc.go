@@ -1,0 +1,49 @@
+// Package cep is the complex-event-processing pattern layer: it compiles
+// the GAPL `pattern { ... }` clause (sequence, negation, Kleene
+// iteration — ROADMAP item 3, after Bucchi et al.'s Foundations of CEP
+// and Barga et al.'s CEDR temporal model) into an NFA-style machine that
+// the automaton registry runs in place of the bytecode VM.
+//
+// # Semantics
+//
+// Events are totally ordered by the canonical key (application
+// timestamp, topic, per-topic commit sequence). Selection is
+// skip-till-next-match: every event that qualifies for the first step
+// opens its own partial match, each partial match extends with the first
+// qualifying event per step, and irrelevant events are skipped, never
+// consumed. Kleene steps are greedy with close-on-next-step priority; a
+// negated step guards the gap it occupies and kills the partial match
+// when a qualifying event arrives there. `within` is an application-time
+// window anchored at the first matched event (span ≤ bound, inclusive);
+// matches that end in trailing negation or Kleene steps complete when
+// the watermark passes their deadline. Matches emit in completion order:
+// the canonical key of the closing event, or the deadline for
+// punctuation-completed matches.
+//
+// Out-of-order arrival is handled CEDR-style: fed events are buffered
+// until the watermark — min over the step topics of max(latest event
+// time, Timer heartbeat) — promises completeness, then released in
+// canonical order. Events at or before the watermark are late and run
+// through the machine immediately, best-effort. The built-in Timer topic
+// is the punctuation vehicle: pattern automata subscribe to it
+// implicitly and its tuples retire expired partial matches even when the
+// step topics fall silent.
+//
+// The brute-force reference oracle in oracle_test.go restates these
+// rules declaratively (an independent forward scan per candidate start
+// event); the differential harness holds the machine bit-identical to it
+// across thousands of randomized patterns, streams, segmentations and
+// arrival orders.
+//
+// # Concurrency
+//
+// A Machine is NOT safe for concurrent use: it has no internal locking.
+// The automaton registry serialises all access — ObserveBatch runs on
+// the automaton's single dispatcher goroutine, and Snapshot/Restore are
+// called under the same mutex that stops the dispatcher's delivery
+// callback (automaton.SnapshotVars / registration-time restore). The
+// OnMatch and OnError callbacks are invoked synchronously from inside
+// ObserveBatch/AdvanceTo and must not call back into the Machine.
+// CompilePattern and the resulting Pattern are immutable after
+// construction and may be shared.
+package cep

@@ -1,0 +1,210 @@
+package cep
+
+import (
+	"fmt"
+
+	"unicache/internal/gapl"
+	"unicache/internal/types"
+)
+
+// env is the evaluation environment for pattern predicates and emit
+// expressions: the events bound so far, per step. For a Kleene step,
+// bind holds the most recent instance and insts every collected one.
+type env struct {
+	p     *Pattern
+	bind  []*types.Event
+	insts [][]*types.Event
+}
+
+// eventOf resolves the event a plain var.field reference sees for step i:
+// the bound event, or the last collected instance of a Kleene step.
+func (v *env) eventOf(i int) *types.Event {
+	if ev := v.bind[i]; ev != nil {
+		return ev
+	}
+	if n := len(v.insts[i]); n > 0 {
+		return v.insts[i][n-1]
+	}
+	return nil
+}
+
+// instancesOf returns the instance list an aggregate ranges over: all
+// Kleene instances, or the single bound event.
+func (v *env) instancesOf(i int) []*types.Event {
+	if len(v.insts[i]) > 0 {
+		return v.insts[i]
+	}
+	if v.bind[i] != nil {
+		return []*types.Event{v.bind[i]}
+	}
+	return nil
+}
+
+// evalBool evaluates a predicate conjunct. A non-bool result or an
+// evaluation error (e.g. a type mismatch) makes the candidate fail the
+// filter — the reference oracle applies the identical rule.
+func (v *env) evalBool(e gapl.Expr) bool {
+	val, err := v.eval(e)
+	if err != nil {
+		return false
+	}
+	b, ok := val.AsBool()
+	return ok && b
+}
+
+func (v *env) eval(e gapl.Expr) (types.Value, error) {
+	switch x := e.(type) {
+	case *gapl.IntLit:
+		return types.Int(x.V), nil
+	case *gapl.RealLit:
+		return types.Real(x.V), nil
+	case *gapl.StrLit:
+		return types.Str(x.V), nil
+	case *gapl.BoolLit:
+		return types.Bool(x.V), nil
+	case *gapl.FieldRef:
+		i, ok := v.p.stepOf[x.Var]
+		if !ok {
+			return types.Nil, fmt.Errorf("unknown pattern variable %q", x.Var)
+		}
+		ev := v.eventOf(i)
+		if ev == nil {
+			return types.Nil, fmt.Errorf("pattern variable %q is not bound", x.Var)
+		}
+		return ev.Field(x.Field)
+	case *gapl.UnaryExpr:
+		val, err := v.eval(x.X)
+		if err != nil {
+			return types.Nil, err
+		}
+		if x.Op == "-" {
+			return types.Neg(val)
+		}
+		return types.Not(val)
+	case *gapl.BinaryExpr:
+		return v.evalBinary(x)
+	case *gapl.CallExpr:
+		return v.evalAggregate(x)
+	default:
+		return types.Nil, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+func (v *env) evalBinary(x *gapl.BinaryExpr) (types.Value, error) {
+	if x.Op == "&&" || x.Op == "||" {
+		lv, err := v.eval(x.L)
+		if err != nil {
+			return types.Nil, err
+		}
+		lb, ok := lv.AsBool()
+		if !ok {
+			return types.Nil, fmt.Errorf("operator %s needs bool operands", x.Op)
+		}
+		if (x.Op == "&&" && !lb) || (x.Op == "||" && lb) {
+			return types.Bool(lb), nil
+		}
+		rv, err := v.eval(x.R)
+		if err != nil {
+			return types.Nil, err
+		}
+		rb, ok := rv.AsBool()
+		if !ok {
+			return types.Nil, fmt.Errorf("operator %s needs bool operands", x.Op)
+		}
+		return types.Bool(rb), nil
+	}
+	lv, err := v.eval(x.L)
+	if err != nil {
+		return types.Nil, err
+	}
+	rv, err := v.eval(x.R)
+	if err != nil {
+		return types.Nil, err
+	}
+	switch x.Op {
+	case "+":
+		return types.Add(lv, rv)
+	case "-":
+		return types.Sub(lv, rv)
+	case "*":
+		return types.Mul(lv, rv)
+	case "/":
+		return types.Div(lv, rv)
+	case "%":
+		return types.Mod(lv, rv)
+	default:
+		return types.CompareOp(x.Op, lv, rv)
+	}
+}
+
+// evalAggregate evaluates count/sum/avg/min/max/first/last over a
+// (Kleene) variable's collected instances. avg always yields a real.
+func (v *env) evalAggregate(x *gapl.CallExpr) (types.Value, error) {
+	var i int
+	field := ""
+	switch a := x.Args[0].(type) {
+	case *gapl.VarRef:
+		i = v.p.stepOf[a.Name]
+	case *gapl.FieldRef:
+		i = v.p.stepOf[a.Var]
+		field = a.Field
+	}
+	insts := v.instancesOf(i)
+	if x.Name == "count" {
+		return types.Int(int64(len(insts))), nil
+	}
+	if len(insts) == 0 {
+		return types.Nil, fmt.Errorf("%s(): pattern variable %q has no instances", x.Name, v.p.Steps[i].Var)
+	}
+	switch x.Name {
+	case "first":
+		return insts[0].Field(field)
+	case "last":
+		return insts[len(insts)-1].Field(field)
+	}
+	acc, err := insts[0].Field(field)
+	if err != nil {
+		return types.Nil, err
+	}
+	for _, ev := range insts[1:] {
+		fv, err := ev.Field(field)
+		if err != nil {
+			return types.Nil, err
+		}
+		switch x.Name {
+		case "sum", "avg":
+			if acc, err = types.Add(acc, fv); err != nil {
+				return types.Nil, err
+			}
+		case "min", "max":
+			c, err := types.Compare(fv, acc)
+			if err != nil {
+				return types.Nil, err
+			}
+			if (x.Name == "min" && c < 0) || (x.Name == "max" && c > 0) {
+				acc = fv
+			}
+		}
+	}
+	if x.Name == "avg" {
+		f, ok := acc.NumAsReal()
+		if !ok {
+			return types.Nil, fmt.Errorf("avg(): non-numeric attribute")
+		}
+		return types.Real(f / float64(len(insts))), nil
+	}
+	return acc, nil
+}
+
+// evalEmit evaluates the emit list into a match tuple.
+func (v *env) evalEmit(emit []gapl.Expr) ([]types.Value, error) {
+	out := make([]types.Value, len(emit))
+	for i, e := range emit {
+		val, err := v.eval(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = val
+	}
+	return out, nil
+}

@@ -1,0 +1,548 @@
+package cep
+
+// The reference-semantics oracle and the differential harness. The
+// oracle restates the pattern semantics declaratively: for each
+// candidate start event of the canonically ordered stream it runs one
+// independent forward scan (no partial-match bookkeeping, no buffering,
+// no watermark) and decides — match, kill, or expiry. Because selection
+// is skip-till-next-match, partial matches never interact, so the
+// per-start scan is a complete specification. The harness generates
+// thousands of random (pattern, stream, segmentation, arrival-order)
+// cases and requires the incremental NFA machine, fed in shuffled order
+// and segmented arbitrarily — with snapshot/restore round trips
+// mid-stream — to be bit-identical to the oracle.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"unicache/internal/gapl"
+	"unicache/internal/types"
+)
+
+// oracleMatch is one completed match with its completion-order key.
+type oracleMatch struct {
+	ts       types.Timestamp // closing event time, or the deadline
+	phase    int             // 0 = closed by an event, 1 = completed at the deadline
+	topic    string          // closing event key (phase 0)
+	seq      uint64
+	startIdx int // canonical index of the start event
+	vals     []types.Value
+}
+
+// oracleMatches computes every match of pat over the stream, assuming a
+// final watermark at horizon. The stream may be in any order; the oracle
+// sorts it canonically first.
+func oracleMatches(pat *Pattern, stream []*types.Event, horizon types.Timestamp) [][]types.Value {
+	evs := append([]*types.Event(nil), stream...)
+	sort.Slice(evs, func(i, j int) bool { return evLess(evs[i], evs[j]) })
+	var out []oracleMatch
+	for si, start := range evs {
+		if start.Tuple.TS > horizon {
+			break
+		}
+		if m, ok := oracleScan(pat, evs, si, horizon); ok {
+			m.startIdx = si
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.phase != b.phase {
+			return a.phase < b.phase
+		}
+		if a.phase == 0 {
+			if a.topic != b.topic {
+				return a.topic < b.topic
+			}
+			if a.seq != b.seq {
+				return a.seq < b.seq
+			}
+		}
+		return a.startIdx < b.startIdx
+	})
+	vals := make([][]types.Value, 0, len(out))
+	for _, m := range out {
+		vals = append(vals, m.vals)
+	}
+	return vals
+}
+
+// oracleScan runs the declarative forward scan for one candidate start.
+func oracleScan(pat *Pattern, evs []*types.Event, si int, horizon types.Timestamp) (oracleMatch, bool) {
+	none := oracleMatch{}
+	start := evs[si]
+	if start.Topic != pat.Steps[0].Topic {
+		return none, false
+	}
+	n := len(pat.Steps)
+	bind := make([]*types.Event, n)
+	insts := make([][]*types.Event, n)
+	pass := func(i int, ev *types.Event) bool {
+		st := &pat.Steps[i]
+		if len(st.Filters) == 0 {
+			return true
+		}
+		old := bind[i]
+		bind[i] = ev
+		e := env{p: pat, bind: bind, insts: insts}
+		ok := true
+		for _, f := range st.Filters {
+			if !e.evalBool(f) {
+				ok = false
+				break
+			}
+		}
+		bind[i] = old
+		return ok
+	}
+	if !pass(0, start) {
+		return none, false
+	}
+	deadline := types.Timestamp(int64(^uint64(0) >> 1))
+	if pat.Within > 0 {
+		deadline = start.Tuple.TS + types.Timestamp(pat.Within)
+	}
+	at, open := 0, false
+	emitAt := func(ts types.Timestamp, phase int, topic string, seq uint64) (oracleMatch, bool) {
+		e := env{p: pat, bind: bind, insts: insts}
+		vals, err := e.evalEmit(pat.Emit)
+		if err != nil {
+			return none, false // same rule as Machine.emit
+		}
+		return oracleMatch{ts: ts, phase: phase, topic: topic, seq: seq, vals: vals}, true
+	}
+	if pat.Steps[0].Kleene {
+		insts[0] = append(insts[0], start)
+		open = true
+	} else {
+		bind[0] = start
+		if np := pat.nextPos[0]; np >= 0 {
+			at = np
+		} else if pat.trailing {
+			at = n
+		} else {
+			return emitAt(start.Tuple.TS, 0, start.Topic, start.Tuple.Seq)
+		}
+	}
+	for _, e := range evs[si+1:] {
+		if e.Tuple.TS > deadline || e.Tuple.TS > horizon {
+			break
+		}
+		// Active negation guards: between the last bound positive step
+		// and the next expected one.
+		var lo, hi int
+		switch {
+		case at >= n:
+			lo, hi = pat.lastPos, n
+		case open:
+			lo, hi = at, pat.nextPos[at]
+			if hi < 0 {
+				hi = n
+			}
+		default:
+			lo, hi = pat.prevPos[at], at
+		}
+		killed := false
+		for g := lo + 1; g < hi; g++ {
+			st := &pat.Steps[g]
+			if st.Negated && e.Topic == st.Topic && pass(g, e) {
+				killed = true
+				break
+			}
+		}
+		if killed {
+			return none, false
+		}
+		if at >= n {
+			continue // pending behind trailing negation
+		}
+		cur := &pat.Steps[at]
+		if open {
+			if np := pat.nextPos[at]; np >= 0 {
+				nst := &pat.Steps[np]
+				if e.Topic == nst.Topic && pass(np, e) {
+					bind[np] = e
+					if np2 := pat.nextPos[np]; np2 >= 0 {
+						at, open = np2, false
+					} else if pat.trailing {
+						at, open = n, false
+					} else {
+						return emitAt(e.Tuple.TS, 0, e.Topic, e.Tuple.Seq)
+					}
+					continue
+				}
+			}
+			if e.Topic == cur.Topic && pass(at, e) {
+				insts[at] = append(insts[at], e)
+			}
+			continue
+		}
+		if e.Topic == cur.Topic && pass(at, e) {
+			if cur.Kleene {
+				insts[at] = append(insts[at], e)
+				open = true
+				continue
+			}
+			bind[at] = e
+			if np := pat.nextPos[at]; np >= 0 {
+				at = np
+			} else if pat.trailing {
+				at = n
+			} else {
+				return emitAt(e.Tuple.TS, 0, e.Topic, e.Tuple.Seq)
+			}
+		}
+	}
+	// Stream exhausted (or the window closed): the match completes at
+	// its deadline iff every positive step is bound and the watermark
+	// passed the deadline.
+	completable := at >= n || (open && pat.nextPos[at] < 0)
+	if completable && deadline <= horizon {
+		return emitAt(deadline, 1, "", 0)
+	}
+	return none, false
+}
+
+// ---------------------------------------------------------------------
+// Random generation
+// ---------------------------------------------------------------------
+
+var oracleTopics = []string{"A", "B", "C"}
+
+func oracleSchemas() map[string]*types.Schema {
+	schemas := make(map[string]*types.Schema)
+	for _, name := range oracleTopics {
+		s, err := types.NewSchema(name, false, -1,
+			types.Column{Name: "u", Type: types.ColInt},
+			types.Column{Name: "v", Type: types.ColInt})
+		if err != nil {
+			panic(err)
+		}
+		schemas[name] = s
+	}
+	return schemas
+}
+
+// genPattern builds a random valid pattern source. The shape mirrors the
+// grammar: 1–4 steps with negation and Kleene sprinkled in, per-step
+// predicates that reference earlier positive steps, and emit lists that
+// mix attributes, arithmetic and aggregates.
+func genPattern(rng *rand.Rand) string {
+	nsteps := 1 + rng.Intn(4)
+	type stepSpec struct {
+		v       string
+		topic   string
+		neg, kl bool
+	}
+	steps := make([]stepSpec, nsteps)
+	for i := range steps {
+		steps[i] = stepSpec{
+			v:     fmt.Sprintf("s%d", i),
+			topic: oracleTopics[rng.Intn(len(oracleTopics))],
+		}
+		if i > 0 && rng.Intn(4) == 0 {
+			steps[i].neg = true
+		} else if rng.Intn(4) == 0 {
+			steps[i].kl = true
+		}
+	}
+	// At least one positive step.
+	positives := 0
+	for _, s := range steps {
+		if !s.neg {
+			positives++
+		}
+	}
+	if positives == 0 {
+		steps[0].neg, steps[0].kl = false, false
+	}
+	last := steps[nsteps-1]
+	within := ""
+	if last.neg || last.kl || rng.Intn(5) > 0 {
+		within = fmt.Sprintf(" within %d SECS", 1+rng.Intn(12))
+	}
+
+	var b strings.Builder
+	for _, s := range steps {
+		fmt.Fprintf(&b, "subscribe %s to %s;\n", s.v, s.topic)
+	}
+	b.WriteString("pattern {\n\tmatch ")
+	for i, s := range steps {
+		if i > 0 {
+			b.WriteString(" then ")
+		}
+		if s.neg {
+			b.WriteByte('!')
+		}
+		b.WriteString(s.v)
+		if s.kl {
+			b.WriteByte('+')
+		}
+	}
+	b.WriteString(within)
+	b.WriteString(";\n")
+
+	// Predicates: per-step conjuncts comparing this step's attributes to
+	// constants or to earlier positive steps (valid placement by
+	// construction: the conjunct's latest variable is its own step).
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	var conjs []string
+	for i, s := range steps {
+		if rng.Intn(3) != 0 {
+			continue
+		}
+		field := []string{"u", "v"}[rng.Intn(2)]
+		lhs := fmt.Sprintf("%s.%s", s.v, field)
+		rhs := fmt.Sprintf("%d", rng.Intn(4))
+		for j := i - 1; j >= 0; j-- {
+			if !steps[j].neg && rng.Intn(2) == 0 {
+				rhs = fmt.Sprintf("%s.%s", steps[j].v, field)
+				break
+			}
+		}
+		conjs = append(conjs, fmt.Sprintf("%s %s %s", lhs, ops[rng.Intn(len(ops))], rhs))
+	}
+	if len(conjs) > 0 {
+		fmt.Fprintf(&b, "\twhere %s;\n", strings.Join(conjs, " && "))
+	}
+
+	// Emit: attributes of positive steps, aggregates, arithmetic.
+	var emits []string
+	for _, s := range steps {
+		if s.neg {
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0:
+			emits = append(emits, fmt.Sprintf("%s.v", s.v))
+		case 1:
+			emits = append(emits, fmt.Sprintf("count(%s)", s.v))
+		case 2:
+			fn := []string{"sum", "min", "max", "first", "last", "avg"}[rng.Intn(6)]
+			emits = append(emits, fmt.Sprintf("%s(%s.v)", fn, s.v))
+		case 3:
+			emits = append(emits, fmt.Sprintf("%s.u + %s.v * 2", s.v, s.v))
+		}
+	}
+	if len(emits) == 0 {
+		emits = append(emits, "1")
+	}
+	fmt.Fprintf(&b, "\temit %s;\n}\n", strings.Join(emits, ", "))
+	return b.String()
+}
+
+// genStream builds a random stream over the topic pool: mostly strictly
+// increasing timestamps with occasional ties (the canonical key breaks
+// them), per-topic commit sequences.
+func genStream(rng *rand.Rand, schemas map[string]*types.Schema) []*types.Event {
+	n := 5 + rng.Intn(36)
+	evs := make([]*types.Event, 0, n)
+	ts := int64(1e12)
+	seqs := map[string]uint64{}
+	for i := 0; i < n; i++ {
+		if rng.Intn(8) != 0 {
+			ts += int64(1+rng.Intn(30)) * 1e8 // 0.1s..3s
+		} // else: timestamp tie
+		topic := oracleTopics[rng.Intn(len(oracleTopics))]
+		seqs[topic]++
+		evs = append(evs, &types.Event{
+			Topic:  topic,
+			Schema: schemas[topic],
+			Tuple: &types.Tuple{
+				Seq: seqs[topic],
+				TS:  types.Timestamp(ts),
+				Vals: []types.Value{
+					types.Int(int64(rng.Intn(4))),
+					types.Int(int64(rng.Intn(10))),
+				},
+			},
+		})
+	}
+	return evs
+}
+
+func valsKey(ms [][]types.Value) string {
+	var b strings.Builder
+	for _, vals := range ms {
+		b.WriteByte('[')
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(v.Kind().String())
+			b.WriteByte(':')
+			b.WriteString(v.String())
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// TestDifferentialOracle is the headline proof: ≥2000 randomized
+// (pattern, stream, segmentation, arrival-order) cases where the NFA
+// machine must be bit-identical to the brute-force oracle — including
+// cases with a snapshot/restore round trip in the middle of the stream.
+func TestDifferentialOracle(t *testing.T) {
+	const cases = 2500
+	schemas := oracleSchemas()
+	compiled := 0
+	for c := 0; c < cases; c++ {
+		seed := int64(0xCE9) + int64(c)
+		rng := rand.New(rand.NewSource(seed))
+		src := genPattern(rng)
+		prog, err := gapl.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated pattern does not compile: %v\n%s", seed, err, src)
+		}
+		pat, err := CompilePattern(prog, schemas)
+		if err != nil {
+			t.Fatalf("seed %d: CompilePattern: %v\n%s", seed, err, src)
+		}
+		compiled++
+		stream := genStream(rng, schemas)
+		maxTS := stream[0].Tuple.TS
+		for _, e := range stream {
+			if e.Tuple.TS > maxTS {
+				maxTS = e.Tuple.TS
+			}
+		}
+		horizon := maxTS + types.Timestamp(pat.Within) + 1
+
+		want := valsKey(oracleMatches(pat, stream, horizon))
+
+		// Drive the machine: shuffled arrival order, random chunking,
+		// watermark advances that never exceed the unfed minimum, and an
+		// optional snapshot/restore round trip at a chunk boundary.
+		m := NewMachine(pat)
+		var got [][]types.Value
+		onMatch := func(vals []types.Value) error {
+			got = append(got, vals)
+			return nil
+		}
+		m.OnMatch = onMatch
+
+		order := rng.Perm(len(stream))
+		snapAt := -1
+		if rng.Intn(3) == 0 {
+			snapAt = rng.Intn(len(order))
+		}
+		for i, idx := range order {
+			if i == snapAt {
+				snap, err := m.Snapshot()
+				if err != nil {
+					t.Fatalf("seed %d: snapshot: %v", seed, err)
+				}
+				m = NewMachine(pat)
+				if err := m.Restore(snap); err != nil {
+					t.Fatalf("seed %d: restore: %v", seed, err)
+				}
+				m.OnMatch = onMatch
+			}
+			m.Feed(stream[idx])
+			if rng.Intn(4) == 0 {
+				// A valid watermark promise: strictly below every event
+				// not yet fed.
+				unfed := horizon
+				for _, j := range order[i+1:] {
+					if stream[j].Tuple.TS < unfed {
+						unfed = stream[j].Tuple.TS
+					}
+				}
+				m.AdvanceTo(unfed - 1)
+			}
+		}
+		m.AdvanceTo(horizon)
+
+		if gk := valsKey(got); gk != want {
+			t.Fatalf("seed %d: machine diverged from oracle\npattern:\n%s\nstream: %s\noracle:  %s\nmachine: %s",
+				seed, src, streamKey(stream), want, gk)
+		}
+	}
+	if compiled < cases {
+		t.Fatalf("only %d/%d generated patterns compiled", compiled, cases)
+	}
+	t.Logf("%d randomized cases, machine bit-identical to oracle", compiled)
+}
+
+// TestDifferentialOracleInOrder drives the same differential through
+// ObserveBatch — the system entry point — with canonical arrival order,
+// random run segmentation and interleaved Timer punctuation.
+func TestDifferentialOracleInOrder(t *testing.T) {
+	const cases = 600
+	schemas := oracleSchemas()
+	timerSchema, err := types.NewSchema(types.TimerTopic, false, -1,
+		types.Column{Name: "ts", Type: types.ColTstamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < cases; c++ {
+		seed := int64(0xBEEF) + int64(c)
+		rng := rand.New(rand.NewSource(seed))
+		src := genPattern(rng)
+		prog, err := gapl.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		pat, err := CompilePattern(prog, schemas)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		stream := genStream(rng, schemas)
+		sorted := append([]*types.Event(nil), stream...)
+		sort.Slice(sorted, func(i, j int) bool { return evLess(sorted[i], sorted[j]) })
+		maxTS := sorted[len(sorted)-1].Tuple.TS
+		horizon := maxTS + types.Timestamp(pat.Within) + 1
+
+		want := valsKey(oracleMatches(pat, stream, horizon))
+
+		m := NewMachine(pat)
+		var got [][]types.Value
+		m.OnMatch = func(vals []types.Value) error {
+			got = append(got, vals)
+			return nil
+		}
+		tick := func(ts types.Timestamp) *types.Event {
+			return &types.Event{Topic: types.TimerTopic, Schema: timerSchema,
+				Tuple: &types.Tuple{TS: ts, Vals: []types.Value{types.Stamp(ts)}}}
+		}
+		i := 0
+		for i < len(sorted) {
+			n := 1 + rng.Intn(6)
+			if i+n > len(sorted) {
+				n = len(sorted) - i
+			}
+			batch := append([]*types.Event(nil), sorted[i:i+n]...)
+			tieAhead := i+n < len(sorted) && sorted[i+n].Tuple.TS == sorted[i+n-1].Tuple.TS
+			if rng.Intn(2) == 0 && !tieAhead {
+				// The node's timer fires between runs; its commit time is
+				// ≥ every event already committed (a heartbeat at t
+				// promises no later event ≤ t, so never tick into a
+				// timestamp tie that is still in flight).
+				batch = append(batch, tick(sorted[i+n-1].Tuple.TS))
+			}
+			m.ObserveBatch(batch)
+			i += n
+		}
+		m.ObserveBatch([]*types.Event{tick(horizon)})
+
+		if gk := valsKey(got); gk != want {
+			t.Fatalf("seed %d: ObserveBatch diverged from oracle\npattern:\n%s\nstream: %s\noracle:  %s\nmachine: %s",
+				seed, src, streamKey(stream), want, gk)
+		}
+	}
+}
+
+func streamKey(evs []*types.Event) string {
+	var b strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&b, "%s@%d(%s,%s) ", e.Topic, e.Tuple.TS, e.Tuple.Vals[0], e.Tuple.Vals[1])
+	}
+	return b.String()
+}

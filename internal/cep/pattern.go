@@ -1,0 +1,278 @@
+package cep
+
+import (
+	"fmt"
+
+	"unicache/internal/gapl"
+	"unicache/internal/types"
+)
+
+// Step is one compiled pattern step: a subscription variable bound to a
+// topic, optionally negated or Kleene-iterated, plus the predicate
+// conjuncts that qualify a candidate event for this step.
+type Step struct {
+	Var     string
+	Topic   string
+	Schema  *types.Schema
+	Negated bool
+	Kleene  bool
+	// Filters are the `where` conjuncts whose latest-bound variable is
+	// this step: they are evaluated when a candidate event for the step
+	// arrives, with the candidate temporarily bound.
+	Filters []gapl.Expr
+}
+
+// Pattern is a compiled CEP pattern, ready to instantiate Machines.
+type Pattern struct {
+	Steps  []Step
+	Within int64 // application-time window in ns; 0 = unbounded
+	Emit   []gapl.Expr
+	Into   string // optional output topic for match tuples
+
+	stepOf   map[string]int // subscription var -> step index
+	schemaOf map[string]*types.Schema
+	// nextPos[i] is the index of the next positive (non-negated) step
+	// after i, or -1; prevPos[i] the previous positive step before i, or
+	// -1. lastPos is the index of the last positive step.
+	nextPos []int
+	prevPos []int
+	lastPos int
+	// trailing reports whether negated steps follow the last positive
+	// step (the match then completes at its deadline, not at an event).
+	trailing bool
+}
+
+// Topics returns the distinct step topics in declaration order.
+func (p *Pattern) Topics() []string {
+	seen := make(map[string]bool, len(p.Steps))
+	var out []string
+	for _, s := range p.Steps {
+		if !seen[s.Topic] {
+			seen[s.Topic] = true
+			out = append(out, s.Topic)
+		}
+	}
+	return out
+}
+
+// aggFns are the aggregate builtins usable in emit expressions over a
+// Kleene variable's collected instances (count takes the bare variable,
+// the rest take var.field).
+var aggFns = map[string]bool{
+	"count": true, "sum": true, "avg": true,
+	"min": true, "max": true, "first": true, "last": true,
+}
+
+// CompilePattern checks a parsed pattern clause against the program's
+// subscriptions and the cache's schemas and returns the executable form.
+// gapl.Compile has already enforced the structural rules (steps are
+// distinct subscription variables, first step positive, negated steps not
+// Kleene, trailing negation/Kleene requires within).
+func CompilePattern(prog *gapl.Compiled, schemas map[string]*types.Schema) (*Pattern, error) {
+	decl := prog.Pattern
+	if decl == nil {
+		return nil, fmt.Errorf("program has no pattern clause")
+	}
+	topicOf := make(map[string]string)
+	for _, s := range prog.Subscriptions() {
+		topicOf[s.Name] = s.Topic
+	}
+	p := &Pattern{
+		Within:   decl.Within,
+		Emit:     decl.Emit,
+		Into:     decl.Into,
+		stepOf:   make(map[string]int, len(decl.Steps)),
+		schemaOf: make(map[string]*types.Schema),
+		lastPos:  -1,
+	}
+	for i, st := range decl.Steps {
+		topic := topicOf[st.Var]
+		schema := schemas[topic]
+		if schema == nil {
+			return nil, fmt.Errorf("line %d: pattern step %q: no such topic %q", st.Line, st.Var, topic)
+		}
+		p.Steps = append(p.Steps, Step{
+			Var: st.Var, Topic: topic, Schema: schema,
+			Negated: st.Negated, Kleene: st.Kleene,
+		})
+		p.stepOf[st.Var] = i
+		p.schemaOf[topic] = schema
+		if !st.Negated {
+			p.lastPos = i
+		}
+	}
+	p.trailing = p.lastPos < len(p.Steps)-1
+	p.nextPos = make([]int, len(p.Steps))
+	p.prevPos = make([]int, len(p.Steps))
+	for i := range p.Steps {
+		p.nextPos[i], p.prevPos[i] = -1, -1
+		for j := i + 1; j < len(p.Steps); j++ {
+			if !p.Steps[j].Negated {
+				p.nextPos[i] = j
+				break
+			}
+		}
+		for j := i - 1; j >= 0; j-- {
+			if !p.Steps[j].Negated {
+				p.prevPos[i] = j
+				break
+			}
+		}
+	}
+
+	if decl.Where != nil {
+		for _, conj := range conjuncts(decl.Where) {
+			if err := p.placeConjunct(conj); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range decl.Emit {
+		if err := p.checkEmitExpr(e); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// conjuncts splits an expression on top-level && so each conjunct can be
+// evaluated at the earliest step where all its variables are bound.
+func conjuncts(e gapl.Expr) []gapl.Expr {
+	if b, ok := e.(*gapl.BinaryExpr); ok && b.Op == "&&" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []gapl.Expr{e}
+}
+
+// placeConjunct validates one where-conjunct and attaches it to the step
+// at which it becomes evaluable (the latest step it references).
+func (p *Pattern) placeConjunct(conj gapl.Expr) error {
+	refs := map[int]bool{}
+	if err := p.walkRefs(conj, refs, false); err != nil {
+		return err
+	}
+	at := 0
+	var negs []int
+	for i := range refs {
+		if i > at {
+			at = i
+		}
+		if p.Steps[i].Negated {
+			negs = append(negs, i)
+		}
+	}
+	if len(negs) > 1 || (len(negs) == 1 && (negs[0] != at)) {
+		return fmt.Errorf("pattern predicate references negated variable %q before it could be bound",
+			p.Steps[negs[0]].Var)
+	}
+	p.Steps[at].Filters = append(p.Steps[at].Filters, conj)
+	return nil
+}
+
+// checkEmitExpr validates an emit expression: aggregates only here, no
+// references to negated variables (they are never bound in a match).
+func (p *Pattern) checkEmitExpr(e gapl.Expr) error {
+	refs := map[int]bool{}
+	if err := p.walkRefs(e, refs, true); err != nil {
+		return err
+	}
+	for i := range refs {
+		if p.Steps[i].Negated {
+			return fmt.Errorf("emit expression references negated variable %q, which is never bound",
+				p.Steps[i].Var)
+		}
+	}
+	return nil
+}
+
+// walkRefs records which steps an expression references and enforces the
+// expression subset patterns support: step variables appear only as
+// var.field (or as aggregate arguments when aggs is true), calls are
+// aggregates-in-emit only.
+func (p *Pattern) walkRefs(e gapl.Expr, refs map[int]bool, aggs bool) error {
+	switch x := e.(type) {
+	case *gapl.IntLit, *gapl.RealLit, *gapl.StrLit, *gapl.BoolLit:
+		return nil
+	case *gapl.VarRef:
+		if i, ok := p.stepOf[x.Name]; ok {
+			return fmt.Errorf("line %d: pattern variable %q can only be used as %s.attr or inside an aggregate",
+				x.Line, x.Name, p.Steps[i].Var)
+		}
+		return fmt.Errorf("line %d: unknown variable %q in pattern expression", x.Line, x.Name)
+	case *gapl.FieldRef:
+		i, ok := p.stepOf[x.Var]
+		if !ok {
+			return fmt.Errorf("line %d: unknown pattern variable %q", x.Line, x.Var)
+		}
+		if p.Steps[i].Schema.ColIndex(x.Field) < 0 && !eqFold(x.Field, "tstamp") {
+			return fmt.Errorf("line %d: topic %s has no attribute %q", x.Line, p.Steps[i].Topic, x.Field)
+		}
+		refs[i] = true
+		return nil
+	case *gapl.UnaryExpr:
+		return p.walkRefs(x.X, refs, aggs)
+	case *gapl.BinaryExpr:
+		if err := p.walkRefs(x.L, refs, aggs); err != nil {
+			return err
+		}
+		return p.walkRefs(x.R, refs, aggs)
+	case *gapl.CallExpr:
+		if !aggs {
+			return fmt.Errorf("line %d: calls are not allowed in pattern predicates", x.Line)
+		}
+		if !aggFns[x.Name] {
+			return fmt.Errorf("line %d: %s() is not a pattern aggregate (count/sum/avg/min/max/first/last)",
+				x.Line, x.Name)
+		}
+		if len(x.Args) != 1 {
+			return fmt.Errorf("line %d: %s() takes exactly one argument", x.Line, x.Name)
+		}
+		var i int
+		switch a := x.Args[0].(type) {
+		case *gapl.VarRef:
+			if x.Name != "count" {
+				return fmt.Errorf("line %d: %s() needs a var.attr argument", x.Line, x.Name)
+			}
+			var ok bool
+			if i, ok = p.stepOf[a.Name]; !ok {
+				return fmt.Errorf("line %d: unknown pattern variable %q", a.Line, a.Name)
+			}
+		case *gapl.FieldRef:
+			if x.Name == "count" {
+				return fmt.Errorf("line %d: count() takes the bare variable, not an attribute", x.Line)
+			}
+			var ok bool
+			if i, ok = p.stepOf[a.Var]; !ok {
+				return fmt.Errorf("line %d: unknown pattern variable %q", a.Line, a.Var)
+			}
+			if p.Steps[i].Schema.ColIndex(a.Field) < 0 && !eqFold(a.Field, "tstamp") {
+				return fmt.Errorf("line %d: topic %s has no attribute %q", a.Line, p.Steps[i].Topic, a.Field)
+			}
+		default:
+			return fmt.Errorf("line %d: %s() needs a pattern variable argument", x.Line, x.Name)
+		}
+		refs[i] = true
+		return nil
+	default:
+		return fmt.Errorf("unsupported expression %T in pattern", e)
+	}
+}
+
+func eqFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

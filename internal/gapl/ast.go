@@ -3,13 +3,43 @@ package gapl
 import "unicache/internal/types"
 
 // Program is a parsed automaton: subscriptions, associations, variable
-// declarations and the two clauses.
+// declarations and the clauses. Exactly one of Behav and Pattern is set:
+// a program is either an imperative behaviour automaton or a declarative
+// CEP pattern automaton.
 type Program struct {
-	Subs   []SubDecl
-	Assocs []AssocDecl
-	Decls  []VarDecl
-	Init   *Block // may be nil
-	Behav  *Block // required
+	Subs    []SubDecl
+	Assocs  []AssocDecl
+	Decls   []VarDecl
+	Init    *Block       // may be nil
+	Behav   *Block       // required unless Pattern is set
+	Pattern *PatternDecl // CEP pattern clause; mutually exclusive with Behav
+}
+
+// PatternDecl is the `pattern { ... }` clause: an ordered list of steps
+// over subscription variables, an optional application-time window, an
+// optional predicate and the emitted expressions.
+//
+//	pattern {
+//		match a then b+ then !c within 5 SECS;
+//		where b.v > a.v;
+//		emit a.v, count(b) into Matches;
+//	}
+type PatternDecl struct {
+	Steps  []PatternStep
+	Within int64  // application-time window in ns; 0 = unbounded
+	Where  Expr   // may be nil
+	Emit   []Expr // at least one
+	Into   string // optional topic the match tuple is committed to
+	Line   int
+}
+
+// PatternStep is one term of the match statement: a subscription
+// variable, optionally negated (`!b`) or Kleene-iterated (`b+`).
+type PatternStep struct {
+	Var     string
+	Negated bool
+	Kleene  bool
+	Line    int
 }
 
 // SubDecl is `subscribe var to Topic;`.

@@ -133,6 +133,11 @@ type Compiled struct {
 	// everything else keeps the per-event activation of the paper, with
 	// output bit-identical to tuple-at-a-time delivery.
 	BatchableBehavior bool
+	// Pattern is the CEP pattern clause for declarative pattern automata.
+	// When set, Init/Behavior are empty and the program is executed by the
+	// NFA machine in internal/cep instead of the VM; Slots still carries
+	// the subscription (and association) declarations.
+	Pattern *PatternDecl
 
 	bound bool
 }

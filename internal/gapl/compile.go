@@ -67,6 +67,14 @@ func (c *compiler) compile(prog *Program) (*Compiled, error) {
 		}
 	}
 
+	if prog.Pattern != nil {
+		if err := c.checkPattern(prog); err != nil {
+			return nil, err
+		}
+		c.out.Pattern = prog.Pattern
+		return c.out, nil
+	}
+
 	if prog.Init != nil {
 		c.code = nil
 		if err := c.stmt(prog.Init); err != nil {
@@ -83,6 +91,56 @@ func (c *compiler) compile(prog *Program) (*Compiled, error) {
 	c.out.Behavior = c.code
 	c.out.BatchableBehavior = c.classifyBehavior()
 	return c.out, nil
+}
+
+// checkPattern enforces the structural rules of the pattern clause. The
+// deeper semantic checks (predicate placement, attribute existence,
+// aggregate arguments) live in internal/cep, which compiles the pattern
+// against the cache's schemas at registration time.
+func (c *compiler) checkPattern(prog *Program) error {
+	pat := prog.Pattern
+	if len(prog.Decls) > 0 {
+		return c.errf(prog.Decls[0].Line, "pattern automata declare no variables")
+	}
+	if prog.Init != nil {
+		return c.errf(pat.Line, "pattern automata have no initialization clause")
+	}
+	if len(prog.Assocs) > 0 {
+		return c.errf(prog.Assocs[0].Line, "pattern automata have no associations; use `emit ... into Topic` instead")
+	}
+	seen := make(map[string]bool, len(pat.Steps))
+	positives := 0
+	for i, st := range pat.Steps {
+		slot, ok := c.slotByVar[st.Var]
+		if !ok || c.out.Slots[slot].Role != SlotSub {
+			return c.errf(st.Line, "pattern step %q is not a subscription variable", st.Var)
+		}
+		if seen[st.Var] {
+			return c.errf(st.Line, "pattern step variable %q used twice", st.Var)
+		}
+		seen[st.Var] = true
+		if st.Negated && st.Kleene {
+			return c.errf(st.Line, "pattern step %q cannot be both negated and Kleene-iterated", st.Var)
+		}
+		if i == 0 && st.Negated {
+			return c.errf(st.Line, "the first pattern step cannot be negated")
+		}
+		if !st.Negated {
+			positives++
+		}
+	}
+	if positives == 0 {
+		return c.errf(pat.Line, "pattern needs at least one positive step")
+	}
+	last := pat.Steps[len(pat.Steps)-1]
+	if (last.Negated || last.Kleene) && pat.Within == 0 {
+		return c.errf(last.Line, "a trailing %s step needs a `within` bound to complete",
+			map[bool]string{true: "negated", false: "Kleene"}[last.Negated])
+	}
+	if len(pat.Emit) == 0 {
+		return c.errf(pat.Line, "pattern needs at least one emit expression")
+	}
+	return nil
 }
 
 // classifyBehavior decides the behaviour clause's activation mode. A

@@ -1,0 +1,41 @@
+package gapl
+
+import (
+	"testing"
+)
+
+// FuzzPatternParse fuzzes the parser, with pattern-clause sources
+// seeding the corpus: the parser must never panic, and for every source
+// it accepts, Print must produce source the parser accepts again with a
+// structurally identical result (print ∘ parse is a fixpoint).
+func FuzzPatternParse(f *testing.F) {
+	seeds := []string{
+		"subscribe a to A;\npattern { match a; emit a.v; }",
+		"subscribe a to A;\nsubscribe b to B;\npattern { match a then b within 5 SECS; where b.u == a.u; emit a.v, b.v; }",
+		"subscribe a to A;\nsubscribe b to B;\npattern { match a then !b within 300 MSECS; emit a.u; }",
+		"subscribe s to T;\nsubscribe m to T2;\nsubscribe e to T3;\npattern { match s then m+ then e within 60 SECS; where m.v > s.v; emit s.v, count(m), sum(m.v) into Out; }",
+		"subscribe a to A;\nsubscribe b to B;\nsubscribe c to C;\npattern { match a then !b then c+ within 2 SECS; where (a.v + 1) * 2 <= c.v && b.u != a.u; emit first(c.v), last(c.v), avg(c.v); }",
+		"subscribe f to Flows;\nint n;\nbehavior { n += 1; if (n > 2) { publish(Alerts, f.src); } }",
+		"subscribe a to A;\npattern { match a then within; emit; }",
+		"pattern pattern pattern",
+		"subscribe a to A;\npattern { match !a+; emit 1; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src) // must not panic
+		if err != nil {
+			return
+		}
+		printed := Print(prog)
+		prog2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed source does not re-parse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		printed2 := Print(prog2)
+		if printed2 != printed {
+			t.Fatalf("print is not a fixpoint\ninput: %q\nfirst: %q\nsecond: %q", src, printed, printed2)
+		}
+	})
+}

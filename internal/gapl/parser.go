@@ -170,18 +170,132 @@ clauses:
 				return nil, err
 			}
 			prog.Behav = b
+		case t.Kind == TokKeyword && t.Text == "pattern":
+			p.pos++
+			if prog.Pattern != nil {
+				return nil, p.errf(t.Line, "duplicate pattern clause")
+			}
+			pat, err := p.parsePatternClause(t.Line)
+			if err != nil {
+				return nil, err
+			}
+			prog.Pattern = pat
 		case t.Kind == TokEOF:
-			if prog.Behav == nil {
-				return nil, p.errf(t.Line, "automaton needs a behavior clause")
+			if prog.Behav == nil && prog.Pattern == nil {
+				return nil, p.errf(t.Line, "automaton needs a behavior or pattern clause")
+			}
+			if prog.Behav != nil && prog.Pattern != nil {
+				return nil, p.errf(t.Line, "automaton cannot have both a behavior and a pattern clause")
 			}
 			if len(prog.Subs) == 0 {
 				return nil, p.errf(t.Line, "automaton must subscribe to at least one topic")
 			}
 			return prog, nil
 		default:
-			return nil, p.errf(t.Line, "expected initialization or behavior clause, got %q", t.Text)
+			return nil, p.errf(t.Line, "expected initialization, behavior or pattern clause, got %q", t.Text)
 		}
 	}
+}
+
+// parsePatternClause parses the body of `pattern { ... }`:
+//
+//	match Term (then Term)* [within IntLit (SECS|MSECS)];
+//	[where Expr;]
+//	emit Expr (, Expr)* [into Topic];
+//
+// where Term is `[!] var [+]`.
+func (p *parser) parsePatternClause(line int) (*PatternDecl, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	pat := &PatternDecl{Line: line}
+	if err := p.expectKeyword("match"); err != nil {
+		return nil, err
+	}
+	for {
+		step := PatternStep{Line: p.peek().Line}
+		if p.acceptPunct("!") {
+			step.Negated = true
+		}
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		step.Var = v.Text
+		if p.acceptPunct("+") {
+			step.Kleene = true
+		}
+		pat.Steps = append(pat.Steps, step)
+		if p.acceptKeyword("then") {
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("within") {
+		t := p.peek()
+		if t.Kind != TokInt {
+			return nil, p.errf(t.Line, "expected an integer after 'within', got %q", t.Text)
+		}
+		p.pos++
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t.Line, "bad integer literal %q", t.Text)
+		}
+		unit := p.peek()
+		if unit.Kind != TokIdent || (unit.Text != "SECS" && unit.Text != "MSECS") {
+			return nil, p.errf(unit.Line, "expected SECS or MSECS after the within bound, got %q", unit.Text)
+		}
+		p.pos++
+		mul := int64(1e6) // MSECS
+		if unit.Text == "SECS" {
+			mul = 1e9
+		}
+		if n <= 0 || n > (1<<62)/mul {
+			return nil, p.errf(t.Line, "within bound %d %s out of range", n, unit.Text)
+		}
+		pat.Within = n * mul
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("where") {
+		x, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		pat.Where = x
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("emit"); err != nil {
+		return nil, err
+	}
+	for {
+		x, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		pat.Emit = append(pat.Emit, x)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("into") {
+		topic, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		pat.Into = topic.Text
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return pat, nil
 }
 
 func (p *parser) parseBlock() (*Block, error) {

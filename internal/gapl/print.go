@@ -1,0 +1,209 @@
+package gapl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"unicache/internal/types"
+)
+
+// Print renders a parsed Program back to GAPL source. The output is
+// canonical: binary and unary expressions are fully parenthesised, so
+// Parse(Print(p)) yields a structurally identical program and printing
+// is a fixpoint (print ∘ parse ∘ print = print). The fuzz harness leans
+// on this to prove the parser and printer agree.
+func Print(prog *Program) string {
+	var b strings.Builder
+	for _, s := range prog.Subs {
+		fmt.Fprintf(&b, "subscribe %s to %s;\n", s.Var, s.Topic)
+	}
+	for _, a := range prog.Assocs {
+		fmt.Fprintf(&b, "associate %s with %s;\n", a.Var, a.Table)
+	}
+	for _, d := range prog.Decls {
+		fmt.Fprintf(&b, "%s %s;\n", wordOfKind(d.Kind), d.Name)
+	}
+	if prog.Init != nil {
+		b.WriteString("initialization ")
+		printBlock(&b, prog.Init, 0)
+		b.WriteByte('\n')
+	}
+	if prog.Behav != nil {
+		b.WriteString("behavior ")
+		printBlock(&b, prog.Behav, 0)
+		b.WriteByte('\n')
+	}
+	if prog.Pattern != nil {
+		printPattern(&b, prog.Pattern)
+	}
+	return b.String()
+}
+
+func printPattern(b *strings.Builder, pat *PatternDecl) {
+	b.WriteString("pattern {\n\tmatch ")
+	for i, st := range pat.Steps {
+		if i > 0 {
+			b.WriteString(" then ")
+		}
+		if st.Negated {
+			b.WriteByte('!')
+		}
+		b.WriteString(st.Var)
+		if st.Kleene {
+			b.WriteByte('+')
+		}
+	}
+	if pat.Within > 0 {
+		if pat.Within%1e9 == 0 {
+			fmt.Fprintf(b, " within %d SECS", pat.Within/1e9)
+		} else {
+			fmt.Fprintf(b, " within %d MSECS", pat.Within/1e6)
+		}
+	}
+	b.WriteString(";\n")
+	if pat.Where != nil {
+		b.WriteString("\twhere ")
+		printExpr(b, pat.Where)
+		b.WriteString(";\n")
+	}
+	b.WriteString("\temit ")
+	for i, e := range pat.Emit {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		printExpr(b, e)
+	}
+	if pat.Into != "" {
+		b.WriteString(" into ")
+		b.WriteString(pat.Into)
+	}
+	b.WriteString(";\n}\n")
+}
+
+func printBlock(b *strings.Builder, blk *Block, depth int) {
+	b.WriteString("{\n")
+	for _, st := range blk.Stmts {
+		printIndent(b, depth+1)
+		printStmt(b, st, depth+1)
+		b.WriteByte('\n')
+	}
+	printIndent(b, depth)
+	b.WriteByte('}')
+}
+
+func printIndent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteByte('\t')
+	}
+}
+
+func printStmt(b *strings.Builder, st Stmt, depth int) {
+	switch s := st.(type) {
+	case *Block:
+		printBlock(b, s, depth)
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s %s ", s.Name, s.Op)
+		printExpr(b, s.X)
+		b.WriteByte(';')
+	case *IfStmt:
+		b.WriteString("if (")
+		printExpr(b, s.Cond)
+		b.WriteString(") ")
+		printStmt(b, s.Then, depth)
+		if s.Else != nil {
+			b.WriteString(" else ")
+			printStmt(b, s.Else, depth)
+		}
+	case *WhileStmt:
+		b.WriteString("while (")
+		printExpr(b, s.Cond)
+		b.WriteString(") ")
+		printStmt(b, s.Body, depth)
+	case *ExprStmt:
+		printExpr(b, s.X)
+		b.WriteByte(';')
+	default:
+		fmt.Fprintf(b, "/*?stmt %T*/", st)
+	}
+}
+
+func printExpr(b *strings.Builder, x Expr) {
+	switch e := x.(type) {
+	case *IntLit:
+		fmt.Fprintf(b, "%d", e.V)
+	case *RealLit:
+		s := strconv.FormatFloat(e.V, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case *StrLit:
+		b.WriteByte('\'')
+		for i := 0; i < len(e.V); i++ {
+			switch c := e.V[i]; c {
+			case '\n':
+				b.WriteString("\\n")
+			case '\t':
+				b.WriteString("\\t")
+			case '\\':
+				b.WriteString("\\\\")
+			case '\'':
+				b.WriteString("\\'")
+			default:
+				b.WriteByte(c)
+			}
+		}
+		b.WriteByte('\'')
+	case *BoolLit:
+		if e.V {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case *VarRef:
+		b.WriteString(e.Name)
+	case *FieldRef:
+		fmt.Fprintf(b, "%s.%s", e.Var, e.Field)
+	case *UnaryExpr:
+		b.WriteByte('(')
+		b.WriteString(e.Op)
+		printExpr(b, e.X)
+		b.WriteByte(')')
+	case *BinaryExpr:
+		b.WriteByte('(')
+		printExpr(b, e.L)
+		fmt.Fprintf(b, " %s ", e.Op)
+		printExpr(b, e.R)
+		b.WriteByte(')')
+	case *CallExpr:
+		b.WriteString(e.Name)
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *TypeArg:
+		b.WriteString(wordOfKind(e.Kind))
+	case *ModeArg:
+		b.WriteString(e.Mode)
+	default:
+		fmt.Fprintf(b, "/*?expr %T*/", x)
+	}
+}
+
+// wordOfKind is the inverse of KindOfTypeWord.
+func wordOfKind(k types.Kind) string {
+	for _, w := range []string{
+		"int", "real", "bool", "string", "tstamp",
+		"sequence", "map", "window", "identifier", "iterator",
+	} {
+		if kk, ok := KindOfTypeWord(w); ok && kk == k {
+			return w
+		}
+	}
+	return "int"
+}

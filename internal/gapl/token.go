@@ -44,6 +44,8 @@ type Token struct {
 var keywords = map[string]bool{
 	"subscribe": true, "to": true, "associate": true, "with": true,
 	"initialization": true, "behavior": true,
+	"pattern": true, "match": true, "then": true, "within": true,
+	"where": true, "emit": true, "into": true,
 	"if": true, "else": true, "while": true,
 	"true": true, "false": true,
 	"int": true, "real": true, "bool": true, "string": true, "tstamp": true,

@@ -1,0 +1,8 @@
+package types
+
+// TimerTopic is the name of the built-in punctuation topic: the cache
+// commits one `Timer(ts tstamp)` tuple per configured period. It lives in
+// package types (rather than cache) so low-level packages — notably the
+// CEP machine, which treats Timer events as watermark heartbeats — can
+// name it without importing the cache.
+const TimerTopic = "Timer"

@@ -1,0 +1,254 @@
+// Pattern-clause conformance: the CEP layer's observable behaviour —
+// match tuples, their values and their completion order — must be
+// identical on every backend (embedded, durable, remote, cluster), and a
+// durable cache must carry partial-match state across a close/reopen.
+// The Timer runs at a short period in these tests: pattern automata lean
+// on its punctuation to advance the watermark past stalled streams and to
+// fire deadline completions.
+package unicache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unicache/internal/types"
+)
+
+// collectMatches drains n match tuples from the automaton's event channel,
+// rendering each as a print-style row.
+func collectMatches(t *testing.T, a Automaton, n int, timeout time.Duration) []string {
+	t.Helper()
+	var got []string
+	deadline := time.After(timeout)
+	for len(got) < n {
+		select {
+		case vals, ok := <-a.Events():
+			if !ok {
+				t.Fatalf("events channel closed early; got %v", got)
+			}
+			got = append(got, fmt.Sprint(vals))
+		case <-deadline:
+			t.Fatalf("timed out after %d/%d matches: %v", len(got), n, got)
+		}
+	}
+	return got
+}
+
+// TestConformancePatternSequence pins SEQ semantics across backends: a
+// two-step sequence with a correlation predicate, closed out of arrival
+// order, emits the same tuples in the same completion order everywhere.
+func TestConformancePatternSequence(t *testing.T) {
+	forEachBackend(t, Config{TimerPeriod: 50 * time.Millisecond}, func(t *testing.T, p backendPair) {
+		e := p.primary
+		for _, ddl := range []string{
+			`create table A (u integer, v integer)`,
+			`create table B (u integer, v integer)`,
+		} {
+			if _, err := e.Exec(ddl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, err := e.Register(`
+subscribe a to A;
+subscribe b to B;
+pattern { match a then b within 60 SECS; where b.u == a.u; emit a.u, a.v, b.v; }
+`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		type row struct {
+			topic string
+			u, v  int64
+		}
+		for _, r := range []row{
+			{"A", 1, 10}, {"A", 2, 20}, {"B", 2, 200}, {"B", 1, 100}, {"B", 1, 101},
+		} {
+			if err := e.Insert(r.topic, types.Int(r.u), types.Int(r.v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Skip-till-next-match: each A starts its own partial, each closes
+		// on the first correlated B, and B(1,101) finds no live partial.
+		// Completion order follows the closing events' time order.
+		got := collectMatches(t, a, 2, 20*time.Second)
+		want := []string{"[2 20 200]", "[1 10 100]"}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("matches = %v, want %v", got, want)
+		}
+	})
+}
+
+// TestConformancePatternNegation pins trailing negation: the match
+// completes only when the window expires without a correlated negative
+// event, driven by Timer punctuation — identically on every backend.
+func TestConformancePatternNegation(t *testing.T) {
+	forEachBackend(t, Config{TimerPeriod: 50 * time.Millisecond}, func(t *testing.T, p backendPair) {
+		e := p.primary
+		for _, ddl := range []string{
+			`create table A (u integer, v integer)`,
+			`create table B (u integer, v integer)`,
+		} {
+			if _, err := e.Exec(ddl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, err := e.Register(`
+subscribe a to A;
+subscribe b to B;
+pattern { match a then !b within 1500 MSECS; where b.u == a.u; emit a.u, a.v; }
+`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		// B(1,5) kills A(1,10)'s partial inside the window; nothing
+		// correlates with A(2,20), so its absence-match fires at the
+		// deadline.
+		for _, r := range [][3]any{{"A", 1, 10}, {"B", 1, 5}, {"A", 2, 20}} {
+			if err := e.Insert(r[0].(string), types.Int(int64(r[1].(int))), types.Int(int64(r[2].(int)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := collectMatches(t, a, 1, 20*time.Second)
+		if got[0] != "[2 20]" {
+			t.Fatalf("match = %v, want [2 20]", got[0])
+		}
+		// The killed partial must stay dead: its deadline precedes the
+		// emitted one, so any spurious completion would already have
+		// arrived; a short grace period pins the channel empty.
+		select {
+		case vals := <-a.Events():
+			t.Fatalf("unexpected extra match %v", vals)
+		case <-time.After(200 * time.Millisecond):
+		}
+	})
+}
+
+// TestConformancePatternKleene pins same-topic Kleene-plus with
+// aggregates: two subscription variables over one stream, greedy
+// accumulation under a per-instance predicate, close-on-next-step, and
+// count/sum evaluated over the collected instances.
+func TestConformancePatternKleene(t *testing.T) {
+	forEachBackend(t, Config{TimerPeriod: 50 * time.Millisecond}, func(t *testing.T, p backendPair) {
+		e := p.primary
+		for _, ddl := range []string{
+			`create table S (v integer)`,
+			`create table E (v integer)`,
+		} {
+			if _, err := e.Exec(ddl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, err := e.Register(`
+subscribe s0 to S;
+subscribe s to S;
+subscribe e to E;
+pattern { match s0 then s+ then e within 60 SECS; where s.v > s0.v; emit s0.v, count(s), sum(s.v); }
+`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		for _, v := range []int64{1, 5, 3, 7} {
+			if err := e.Insert("S", types.Int(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Insert("E", types.Int(0)); err != nil {
+			t.Fatal(err)
+		}
+		// Every S starts a partial; each accumulates the later S events
+		// that exceed its own anchor and closes on E. S(7) collects no
+		// instance, so Kleene-plus leaves it incomplete. Three partials
+		// complete on the same closing event — creation order breaks the
+		// tie.
+		got := collectMatches(t, a, 3, 20*time.Second)
+		want := []string{"[1 3 15]", "[5 1 7]", "[3 1 7]"}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("matches = %v, want %v", got, want)
+		}
+	})
+}
+
+// TestConformancePatternDurableReopen proves partial-match state rides
+// the WAL meta log: an automaton holding a half-completed sequence is
+// closed cleanly, reopened, and the match completes from the recovered
+// partial when the second half arrives in the new process.
+func TestConformancePatternDurableReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		TimerPeriod: 50 * time.Millisecond,
+		PrintWriter: &strings.Builder{},
+		DataDir:     dir,
+	}
+
+	e1, err := NewEmbedded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ddl := range []string{
+		`create table A (u integer, v integer)`,
+		`create table B (u integer, v integer)`,
+		`create table Matches (u integer, av integer, bv integer)`,
+	} {
+		if _, err := e1.Exec(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := e1.Register(`
+subscribe a to A;
+subscribe b to B;
+pattern { match a then b within 60 SECS; where b.u == a.u; emit a.u, a.v, b.v into Matches; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Insert("A", types.Int(7), types.Int(70)); err != nil {
+		t.Fatal(err)
+	}
+	// The A event must reach the machine before the close-time snapshot:
+	// Close does not drain inboxes.
+	waitFor(t, 10*time.Second, "the half-match to reach the machine", func() bool {
+		st, err := a.Stats()
+		return err == nil && st.Depth == 0 && st.Processed >= 1
+	})
+	// Close the cache, not the engine handle: Engine.Close detaches the
+	// handles created through it — an explicit Unregister that strikes the
+	// automaton from the durable record. The cache's own Close is the
+	// clean-shutdown path that snapshots live automata for recovery.
+	e1.Cache().Close()
+
+	e2, err := NewEmbedded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e2.Close() })
+	var mu sync.Mutex
+	var rows []string
+	w, err := e2.Watch("Matches", func(ev *Event) {
+		mu.Lock()
+		rows = append(rows, fmt.Sprint(ev.Tuple.Vals))
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := e2.Insert("B", types.Int(7), types.Int(700)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 20*time.Second, "the recovered partial to complete", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(rows) >= 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if rows[0] != "[7 70 700]" {
+		t.Fatalf("recovered match = %v, want [7 70 700]", rows[0])
+	}
+}
