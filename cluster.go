@@ -58,13 +58,21 @@ const TimerTopic = "Timer"
 // its handles; per-topic event ordering follows the owning node's
 // guarantees.
 func Cluster(addrs ...string) (Engine, error) {
+	return ClusterWith(addrs)
+}
+
+// ClusterWith is Cluster with dial options: WithToken authenticates every
+// node connection with the same tenant token, so the whole cluster engine
+// is the tenant's namespaced, quota-checked view (each node enforces its
+// own partition's quotas from its identical tenants config).
+func ClusterWith(addrs []string, opts ...DialOption) (Engine, error) {
 	names := dedupeAddrs(addrs)
 	if len(names) == 0 {
 		return nil, errors.New("unicache: cluster needs at least one node address")
 	}
 	nodes := make([]*Remote, 0, len(names))
 	for _, addr := range names {
-		r, err := DialRemote(addr)
+		r, err := DialRemote(addr, opts...)
 		if err != nil {
 			for _, n := range nodes {
 				_ = n.Close()
@@ -79,13 +87,14 @@ func Cluster(addrs ...string) (Engine, error) {
 // Dial returns an Engine for an address spec: a single "host:port" dials
 // one node (a Remote), a comma-separated list forms a Cluster over all of
 // them. Tools accept user-supplied -remote/-addr flags through this one
-// entry point, so pointing them at a cluster is purely a flag change.
-func Dial(spec string) (Engine, error) {
+// entry point, so pointing them at a cluster is purely a flag change —
+// and WithToken makes either shape a tenant-bound engine.
+func Dial(spec string, opts ...DialOption) (Engine, error) {
 	addrs := dedupeAddrs(strings.Split(spec, ","))
 	if len(addrs) == 1 {
-		return DialRemote(addrs[0])
+		return DialRemote(addrs[0], opts...)
 	}
-	return Cluster(addrs...)
+	return ClusterWith(addrs, opts...)
 }
 
 // dedupeAddrs trims whitespace and drops empty and repeated entries,
@@ -402,6 +411,24 @@ func (c *clusterEngine) Stats() (Stats, error) {
 		for _, a := range st.Automata {
 			a.ID = c.mapAutoID(a.ID, i)
 			out.Automata = append(out.Automata, a)
+		}
+		// On a tenant-bound cluster every node reports the same tenant;
+		// resource and event counters sum across the partitions, while the
+		// quota (enforced per node) is the common configured limit.
+		if t := st.Tenant; t != nil {
+			if out.Tenant == nil {
+				cp := *t
+				out.Tenant = &cp
+			} else {
+				out.Tenant.Tables += t.Tables
+				out.Tenant.Automata += t.Automata
+				out.Tenant.Watches += t.Watches
+				out.Tenant.Events += t.Events
+				out.Tenant.EventsPerSec += t.EventsPerSec
+				out.Tenant.Dropped += t.Dropped
+				out.Tenant.Rejected += t.Rejected
+				out.Tenant.WALBytes += t.WALBytes
+			}
 		}
 	}
 	return out, nil

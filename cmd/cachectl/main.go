@@ -40,13 +40,18 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "cached address, or a comma-separated cluster node list")
+	token := flag.String("token", "", "tenant token for a multi-tenant cached (empty for single-tenant servers)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
 
-	eng, err := unicache.Dial(*addr)
+	var opts []unicache.DialOption
+	if *token != "" {
+		opts = append(opts, unicache.WithToken(*token))
+	}
+	eng, err := unicache.Dial(*addr, opts...)
 	if err != nil {
 		fail(err)
 	}
@@ -125,6 +130,15 @@ func main() {
 			fail(err)
 		}
 		printStats(st)
+	case "tenant":
+		st, err := eng.Stats()
+		if err != nil {
+			fail(err)
+		}
+		if st.Tenant == nil {
+			fail(fmt.Errorf("no tenant bound to this connection (dial a multi-tenant cached with -token)"))
+		}
+		printTenant(*st.Tenant)
 	case "load":
 		if len(args) != 2 {
 			usage()
@@ -177,6 +191,27 @@ func printStats(st unicache.Stats) {
 			}
 		}
 	}
+}
+
+// printTenant renders one tenant's accounting rollup with quota headroom
+// (a limit of 0 means unlimited).
+func printTenant(t unicache.TenantStats) {
+	limit := func(n int64) string {
+		if n <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	fmt.Printf("tenant\t%s\n", t.Name)
+	fmt.Println("RESOURCE\tUSED\tLIMIT")
+	fmt.Printf("tables\t%d\t%s\n", t.Tables, limit(int64(t.Quota.MaxTables)))
+	fmt.Printf("automata\t%d\t%s\n", t.Automata, limit(int64(t.Quota.MaxAutomata)))
+	fmt.Printf("watches\t%d\t-\n", t.Watches)
+	fmt.Printf("wal_bytes\t%d\t%s\n", t.WALBytes, limit(t.Quota.MaxWALBytes))
+	fmt.Printf("events\t%d\t%s/s\n", t.Events, limit(int64(t.Quota.MaxEventsPerSec)))
+	fmt.Printf("events_per_sec\t%.1f\n", t.EventsPerSec)
+	fmt.Printf("dropped\t%d\n", t.Dropped)
+	fmt.Printf("rejected\t%d\n", t.Rejected)
 }
 
 // load bulk-inserts CSV rows from stdin. Against a single node the rows
@@ -263,15 +298,17 @@ func printResult(res *unicache.Result) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  cachectl [-addr host:port[,host:port...]] exec "<sql>"
+  cachectl [-addr host:port[,host:port...]] [-token t] exec "<sql>"
   cachectl [-addr ...] register <file.gapl>
   cachectl [-addr ...] watch <topic>
   cachectl [-addr ...] stats
+  cachectl [-addr ...] tenant         # the bound tenant's usage vs quota (-token required)
   cachectl [-addr ...] tables
   cachectl [-addr ...] load <table>   # CSV rows on stdin ('#' lines are comments)
   cachectl [-addr ...] ping
 
--addr with a comma-separated list addresses a partitioned cluster.`)
+-addr with a comma-separated list addresses a partitioned cluster.
+-token authenticates to a multi-tenant cached (run with -tenants).`)
 	os.Exit(2)
 }
 

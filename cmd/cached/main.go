@@ -32,8 +32,10 @@ import (
 	"unicache/internal/csvload"
 	"unicache/internal/pubsub"
 	"unicache/internal/rpc"
+	"unicache/internal/tenant"
 	"unicache/internal/types"
 	"unicache/internal/uerr"
+	"unicache/internal/wal"
 )
 
 func main() {
@@ -55,6 +57,10 @@ func main() {
 		"per-domain WAL bytes that trigger a snapshot + log truncation (0 = default 8 MiB)")
 	checkpoint := flag.Duration("checkpoint", 0,
 		"period between automaton-state checkpoints on a durable cache (0 = default 30s, negative disables)")
+	fsyncPolicy := flag.String("fsync-error-policy", "poison",
+		"what a failed WAL fsync does: poison latches the domain until restart; latch-retry additionally tries to restore it by snapshotting past the suspect segment")
+	tenantsFile := flag.String("tenants", "",
+		"tenants.json declaring tenant names, tokens and quotas; when set, every connection must authenticate and sees only its tenant's namespace")
 	var loads loadSpecs
 	flag.Var(&loads, "load", "bulk-load a CSV file into a table at startup, as table=file.csv (repeatable)")
 	flag.Parse()
@@ -62,6 +68,16 @@ func main() {
 	policy, err := parsePolicy(*autoPolicy)
 	if err != nil {
 		fail(err)
+	}
+	fsp, err := parseFsyncPolicy(*fsyncPolicy)
+	if err != nil {
+		fail(err)
+	}
+	var tenants *tenant.Registry
+	if *tenantsFile != "" {
+		if tenants, err = tenant.Load(*tenantsFile); err != nil {
+			fail(err)
+		}
 	}
 	period := *timer
 	if period == 0 {
@@ -77,6 +93,8 @@ func main() {
 		WALNoSync:         *walNoSync,
 		SnapshotBytes:     *snapshotBytes,
 		CheckpointPeriod:  *checkpoint,
+		FsyncErrorPolicy:  fsp,
+		Tenants:           tenants,
 	})
 	if err != nil {
 		fail(err)
@@ -110,6 +128,9 @@ func main() {
 		_ = srv.Close()
 	}()
 
+	if tenants != nil {
+		fmt.Printf("multi-tenant: %d tenant(s); connections must authenticate\n", tenants.Len())
+	}
 	fmt.Printf("cached listening on %s (tables: %s)\n", *addr, strings.Join(c.Tables(), ", "))
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fail(err)
@@ -211,6 +232,17 @@ func loadCSV(c *cache.Cache, spec string) error {
 	}
 	fmt.Printf("loaded %d row(s) into %s from %s\n", n, table, path)
 	return nil
+}
+
+// parseFsyncPolicy maps the -fsync-error-policy flag to the WAL knob.
+func parseFsyncPolicy(s string) (wal.FsyncErrorPolicy, error) {
+	switch s {
+	case "poison":
+		return wal.FsyncPoison, nil
+	case "latch-retry":
+		return wal.FsyncLatchRetry, nil
+	}
+	return 0, fmt.Errorf("unknown fsync error policy %q (want poison or latch-retry)", s)
 }
 
 // parsePolicy maps a flag value to a pubsub overflow policy.

@@ -18,6 +18,14 @@
 // unicache.Cluster — the row label is "cluster<n>". Comparing -cluster 1
 // against -cluster 3 on a multi-topic workload shows how throughput moves
 // as topics spread across nodes.
+//
+// -tenants n replaces the grid with a fairness check: one multi-tenant
+// cached on a loopback listener, n authenticated connections (tenants
+// t0..t(n-1)) each driving the full workload concurrently through their
+// own namespace. One row per tenant, labelled "tenant<i>/<n>" — near-equal
+// events/sec across the rows means the namespacing layer shares the cache
+// fairly. The allocs/event column is process-wide, so under concurrent
+// tenants it reports the sum across all of them.
 package main
 
 import (
@@ -25,11 +33,13 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sync"
 
 	"unicache"
 	"unicache/internal/cache"
 	"unicache/internal/loadgen"
 	"unicache/internal/rpc"
+	"unicache/internal/tenant"
 )
 
 func main() {
@@ -39,6 +49,7 @@ func main() {
 	pool := flag.Bool("pool", true, "enable event pooling in the cache under test")
 	vmOnly := flag.Bool("vm", false, "force the bytecode interpreter for automata (disable closure compilation)")
 	cluster := flag.Int("cluster", 0, "measure an n-node loopback cluster instead of the embedded/remote grid")
+	tenants := flag.Int("tenants", 0, "run the grid as n concurrent tenants of one multi-tenant cached (fairness check)")
 	flag.Parse()
 	switch *backend {
 	case "embedded", "remote", "both":
@@ -63,6 +74,17 @@ func main() {
 	}
 
 	var results []loadgen.Result
+	if *tenants > 0 {
+		for _, w := range workloads {
+			rs, err := runTenants(w, cfg, *tenants)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, rs...)
+		}
+		fmt.Print(loadgen.Table(results))
+		return
+	}
 	if *cluster > 0 {
 		for _, w := range workloads {
 			r, err := runCluster(w, cfg, *cluster)
@@ -153,6 +175,61 @@ func runCluster(w loadgen.Workload, cfg cache.Config, n int) (loadgen.Result, er
 	}
 	defer func() { _ = eng.Close() }()
 	return loadgen.Run(eng, fmt.Sprintf("cluster%d", n), w)
+}
+
+// runTenants measures one workload run concurrently by n tenants of a
+// single multi-tenant cached on a loopback listener. Each tenant dials its
+// own authenticated connection and drives the full workload in its own
+// namespace — the table names collide only apparently; the tenant prefix
+// keeps them disjoint. The returned rows (one per tenant) expose fairness:
+// with identical workloads, events/sec should be near-equal across tenants.
+func runTenants(w loadgen.Workload, cfg cache.Config, n int) ([]loadgen.Result, error) {
+	specs := make([]tenant.Spec, n)
+	for i := range specs {
+		specs[i] = tenant.Spec{Name: fmt.Sprintf("t%d", i), Token: fmt.Sprintf("tok%d", i)}
+	}
+	reg, err := tenant.NewRegistry(specs...)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Tenants = reg
+	c, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	srv := rpc.NewServer(c)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+
+	results := make([]loadgen.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng, err := unicache.DialRemote(ln.Addr().String(),
+				unicache.WithToken(specs[i].Token))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer func() { _ = eng.Close() }()
+			results[i], errs[i] = loadgen.Run(eng, fmt.Sprintf("tenant%d/%d", i, n), w)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 func fail(err error) {

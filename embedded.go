@@ -18,13 +18,41 @@ type Embedded struct {
 	c     *cache.Cache
 	owned bool // Close also closes the cache
 
+	// core is what engine calls dispatch into: the cache itself, or a
+	// tenant's scoped view for a Tenant() sub-engine — the same seam the
+	// RPC server uses, so embedded and remote tenancy share one mechanism.
+	core  embeddedCore
+	scope *cache.Scoped // non-nil iff this engine is tenant-bound
+
 	mu      sync.Mutex
 	closed  bool
 	watches map[int64]*embeddedWatch
 	autos   map[int64]*embeddedAutomaton
 }
 
-var _ Engine = (*Embedded)(nil)
+// embeddedCore is the cache surface the façade dispatches into, satisfied
+// by both *cache.Cache and *cache.Scoped.
+type embeddedCore interface {
+	Exec(src string) (*Result, error)
+	CommitInsert(table string, vals []Value) error
+	CommitBatch(table string, rows [][]Value) error
+	CreateTable(schema *Schema) error
+	Tables() []string
+	WatchWith(topic string, fn func(*Event), opts cache.WatchOpts) (int64, error)
+	Unsubscribe(id int64)
+	WatchStats(id int64) (depth int, dropped uint64, ok bool)
+	RegisterWith(source string, sink automaton.Sink, opts automaton.Options) (*automaton.Automaton, error)
+	Unregister(id int64) error
+	TapStats() []cache.TapStat
+	Automata() []*automaton.Automaton
+	Durability() (DurabilityStats, bool)
+}
+
+var (
+	_ Engine       = (*Embedded)(nil)
+	_ embeddedCore = (*cache.Cache)(nil)
+	_ embeddedCore = (*cache.Scoped)(nil)
+)
 
 // NewEmbedded creates an in-process engine over a fresh cache. Closing
 // the engine closes the cache.
@@ -44,9 +72,36 @@ func NewEmbedded(cfg Config) (*Embedded, error) {
 func Embed(c *cache.Cache) *Embedded {
 	return &Embedded{
 		c:       c,
+		core:    c,
 		watches: make(map[int64]*embeddedWatch),
 		autos:   make(map[int64]*embeddedAutomaton),
 	}
+}
+
+// Tenant returns a tenant-scoped engine over the same cache: every table,
+// automaton and watch created (or named) through it lives in the tenant's
+// namespace, its quotas are enforced, and its Stats report only the
+// tenant's resources — the embedded twin of dialing a multi-tenant server
+// WithToken. The sub-engine never owns the cache; closing it detaches only
+// the handles created through it. It fails unless the cache was built with
+// Config.Tenants naming the tenant.
+func (e *Embedded) Tenant(name string) (*Embedded, error) {
+	if err := e.guard(); err != nil {
+		return nil, err
+	}
+	reg := e.c.TenantRegistry()
+	if reg == nil {
+		return nil, fmt.Errorf("unicache: %w: engine has no tenants configured", ErrUnauthorized)
+	}
+	t, ok := reg.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("unicache: %w: unknown tenant %q", ErrUnauthorized, name)
+	}
+	s := e.c.Scope(t)
+	sub := Embed(e.c)
+	sub.core = s
+	sub.scope = s
+	return sub, nil
 }
 
 // Cache exposes the underlying cache for in-process callers that need
@@ -70,7 +125,7 @@ func (e *Embedded) Exec(src string) (*Result, error) {
 	if err := e.guard(); err != nil {
 		return nil, err
 	}
-	return e.c.Exec(src)
+	return e.core.Exec(src)
 }
 
 // Insert implements Engine.
@@ -78,7 +133,7 @@ func (e *Embedded) Insert(table string, vals ...Value) error {
 	if err := e.guard(); err != nil {
 		return err
 	}
-	return e.c.CommitInsert(table, vals)
+	return e.core.CommitInsert(table, vals)
 }
 
 // InsertBatch implements Engine.
@@ -86,7 +141,7 @@ func (e *Embedded) InsertBatch(table string, rows [][]Value) error {
 	if err := e.guard(); err != nil {
 		return err
 	}
-	return e.c.CommitBatch(table, rows)
+	return e.core.CommitBatch(table, rows)
 }
 
 // CreateTable implements Engine.
@@ -94,7 +149,7 @@ func (e *Embedded) CreateTable(schema *Schema) error {
 	if err := e.guard(); err != nil {
 		return err
 	}
-	return e.c.CreateTable(schema)
+	return e.core.CreateTable(schema)
 }
 
 // Tables implements Engine.
@@ -102,7 +157,7 @@ func (e *Embedded) Tables() ([]string, error) {
 	if err := e.guard(); err != nil {
 		return nil, err
 	}
-	return e.c.Tables(), nil
+	return e.core.Tables(), nil
 }
 
 // Watch implements Engine: the callback runs on the tap's dispatcher
@@ -112,7 +167,7 @@ func (e *Embedded) Watch(topic string, fn func(*Event), opts ...WatchOption) (Wa
 		return nil, err
 	}
 	o := applyWatchOptions(opts)
-	id, err := e.c.WatchWith(topic, fn, cache.WatchOpts{Queue: o.queue, Policy: o.policy})
+	id, err := e.core.WatchWith(topic, fn, cache.WatchOpts{Queue: o.queue, Policy: o.policy})
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +175,7 @@ func (e *Embedded) Watch(topic string, fn func(*Event), opts ...WatchOption) (Wa
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		e.c.Unsubscribe(id)
+		e.core.Unsubscribe(id)
 		return nil, fmt.Errorf("unicache: %w", ErrClosed)
 	}
 	e.watches[id] = w
@@ -135,7 +190,7 @@ func (e *Embedded) Register(source string, opts ...AutomatonOption) (Automaton, 
 	}
 	o := applyAutomatonOptions(opts)
 	h := &embeddedAutomaton{e: e, events: make(chan []Value, o.eventBuffer)}
-	a, err := e.c.RegisterWith(source, h.deliver, automaton.Options{
+	a, err := e.core.RegisterWith(source, h.deliver, automaton.Options{
 		InboxCapacity: o.inboxCapacity,
 		InboxPolicy:   o.inboxPolicy,
 	})
@@ -146,7 +201,7 @@ func (e *Embedded) Register(source string, opts ...AutomatonOption) (Automaton, 
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		_ = e.c.Unregister(a.ID())
+		_ = e.core.Unregister(a.ID())
 		close(h.events)
 		return nil, fmt.Errorf("unicache: %w", ErrClosed)
 	}
@@ -163,18 +218,24 @@ func (e *Embedded) Stats() (Stats, error) {
 		return Stats{}, err
 	}
 	var st Stats
-	for _, t := range e.c.TapStats() {
+	for _, t := range e.core.TapStats() {
 		st.Watches = append(st.Watches, SubscriptionStats{
 			ID: t.ID, Topic: t.Topic, Depth: t.Depth, Dropped: t.Dropped,
 		})
 	}
-	for _, a := range e.c.Registry().Automata() {
+	for _, a := range e.core.Automata() {
 		st.Automata = append(st.Automata, AutomatonStats{
 			ID: a.ID(), Depth: a.Depth(), Dropped: a.Dropped(), Processed: a.Processed(),
 		})
 	}
-	if dur, ok := e.c.Durability(); ok {
+	if dur, ok := e.core.Durability(); ok {
 		st.Durability = &dur
+	}
+	if e.scope != nil {
+		ts := e.scope.TenantStats()
+		st.Tenant = &ts
+	} else {
+		st.Tenants = e.c.TenantStatsAll()
 	}
 	return st, nil
 }
@@ -228,7 +289,7 @@ func (w *embeddedWatch) ID() int64     { return w.id }
 func (w *embeddedWatch) Topic() string { return w.topic }
 
 func (w *embeddedWatch) Stats() (SubscriptionStats, error) {
-	depth, dropped, ok := w.e.c.WatchStats(w.id)
+	depth, dropped, ok := w.e.core.WatchStats(w.id)
 	if !ok {
 		return SubscriptionStats{}, fmt.Errorf("unicache: watch %d: %w", w.id, ErrClosed)
 	}
@@ -242,7 +303,7 @@ func (w *embeddedWatch) Close() error {
 			delete(w.e.watches, w.id)
 		}
 		w.e.mu.Unlock()
-		w.e.c.Unsubscribe(w.id)
+		w.e.core.Unsubscribe(w.id)
 	})
 	return nil
 }
@@ -250,7 +311,7 @@ func (w *embeddedWatch) Close() error {
 // detach is Close minus the map bookkeeping (the engine's Close already
 // emptied the maps).
 func (w *embeddedWatch) detach() {
-	w.once.Do(func() { w.e.c.Unsubscribe(w.id) })
+	w.once.Do(func() { w.e.core.Unsubscribe(w.id) })
 }
 
 // embeddedAutomaton is an Automaton handle over a registered automaton.
@@ -300,7 +361,7 @@ func (h *embeddedAutomaton) Close() error {
 			delete(h.e.autos, h.a.ID())
 		}
 		h.e.mu.Unlock()
-		_ = h.e.c.Unregister(h.a.ID())
+		_ = h.e.core.Unregister(h.a.ID())
 		// Unregister waits for the dispatcher to exit, so the sink can
 		// never run again: closing the channel here is race-free.
 		close(h.events)
@@ -310,7 +371,7 @@ func (h *embeddedAutomaton) Close() error {
 
 func (h *embeddedAutomaton) detach() {
 	h.once.Do(func() {
-		_ = h.e.c.Unregister(h.a.ID())
+		_ = h.e.core.Unregister(h.a.ID())
 		close(h.events)
 	})
 }

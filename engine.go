@@ -7,6 +7,7 @@ import (
 	"unicache/internal/gapl"
 	"unicache/internal/pubsub"
 	"unicache/internal/sql"
+	"unicache/internal/tenant"
 	"unicache/internal/types"
 	"unicache/internal/uerr"
 )
@@ -70,7 +71,34 @@ var (
 	ErrBadSchema       = uerr.ErrBadSchema
 	ErrClosed          = uerr.ErrClosed
 	ErrNoSuchAutomaton = uerr.ErrNoSuchAutomaton
+	// ErrQuotaExceeded marks an operation a tenant quota refused — table,
+	// automaton or watch admission, the events/sec token bucket, or the
+	// WAL-bytes bound. Identical across backends: a Remote engine's quota
+	// rejection answers errors.Is exactly as an Embedded one.
+	ErrQuotaExceeded = uerr.ErrQuotaExceeded
+	// ErrUnauthorized marks a request on a multi-tenant server whose
+	// connection has not (or wrongly) authenticated.
+	ErrUnauthorized = uerr.ErrUnauthorized
 )
+
+// The tenancy vocabulary, re-exported from the tenant layer. A cache with
+// Config.Tenants set partitions its whole surface — tables, automata,
+// watches, stats — into per-tenant namespaces; see docs/ARCHITECTURE.md.
+type (
+	// TenantQuota is one tenant's resource limits (zero fields unlimited).
+	TenantQuota = tenant.Quota
+	// TenantSpec declares one tenant: name, shared-secret token, quota.
+	TenantSpec = tenant.Spec
+	// TenantStats is one tenant's accounting rollup.
+	TenantStats = tenant.Stats
+)
+
+// LoadTenants reads a tenants.json registry ({"tenants": [{"name": ...,
+// "token": ..., "quota": {...}}, ...]}) for Config.Tenants.
+func LoadTenants(path string) (*tenant.Registry, error) { return tenant.Load(path) }
+
+// ParseTenants parses a tenants.json document for Config.Tenants.
+func ParseTenants(data []byte) (*tenant.Registry, error) { return tenant.Parse(data) }
 
 // Engine is the canonical, location-transparent API of the unified
 // system: one surface over pub/sub subscriptions (Watch), stream-database
@@ -169,6 +197,14 @@ type Stats struct {
 	// (Config.DataDir set on an Embedded engine, -data on a cached
 	// server); nil for an in-memory backend.
 	Durability *DurabilityStats
+	// Tenant is the engine's own tenant rollup when the engine is
+	// tenant-bound (an Embedded.Tenant sub-engine, or a Remote/Cluster
+	// dialed WithToken); nil otherwise.
+	Tenant *TenantStats
+	// Tenants is the all-tenants rollup, name-sorted — the operator view,
+	// available only on an unscoped multi-tenant Embedded engine (a
+	// tenant-bound engine sees exactly its own rollup).
+	Tenants []TenantStats
 }
 
 // The durability observability rows, re-exported from the cache layer.

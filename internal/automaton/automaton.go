@@ -137,8 +137,13 @@ func NewRegistry(svc Services, cfg Config) *Registry {
 
 // Automaton is one registered, running automaton.
 type Automaton struct {
-	id     int64
-	reg    *Registry
+	id  int64
+	reg *Registry
+	// svc is the cache surface this automaton runs against: the registry
+	// default, or a tenant-scoped view handed to RegisterIn that prefixes
+	// every table/topic name with the tenant namespace.
+	svc    Services
+	ns     string
 	prog   *gapl.Compiled
 	source string
 	opts   Options
@@ -159,6 +164,10 @@ type Automaton struct {
 // ID returns the management identifier handed to the registering
 // application.
 func (a *Automaton) ID() int64 { return a.id }
+
+// Namespace returns the tenant namespace the automaton was registered
+// under ("" for the default, unscoped namespace).
+func (a *Automaton) Namespace() string { return a.ns }
 
 // Processed returns the number of events whose behaviour execution has
 // completed.
@@ -257,7 +266,17 @@ func (r *Registry) Register(source string, sink Sink) (*Automaton, error) {
 // RegisterWith is Register with per-automaton Options (inbox bound and
 // overflow policy).
 func (r *Registry) RegisterWith(source string, sink Sink, opts Options) (*Automaton, error) {
-	return r.register(0, source, sink, opts, nil)
+	return r.register(0, source, sink, opts, nil, nil, "")
+}
+
+// RegisterIn registers an automaton against an alternative Services — a
+// tenant-scoped view that prefixes every table/topic with the ns
+// namespace. The automaton's whole lifecycle (bind, subscriptions,
+// publishes, associations, teardown) runs through svc, so its programs see
+// only the namespace's tables; ns is recorded on the automaton for
+// filtering and durable re-registration.
+func (r *Registry) RegisterIn(svc Services, ns string, source string, sink Sink, opts Options) (*Automaton, error) {
+	return r.register(0, source, sink, opts, nil, svc, ns)
 }
 
 // RegisterRecovered reinstates an automaton from the durable log under
@@ -266,30 +285,36 @@ func (r *Registry) RegisterWith(source string, sink Sink, opts Options) (*Automa
 // variables on the VM, pattern matching state on the CEP machine —
 // before any event can arrive. The OnRegister hook does not fire — the
 // durable record already carries this automaton.
-func (r *Registry) RegisterRecovered(id int64, source string, sink Sink, opts Options, restore func(st StateRestorer) error) (*Automaton, error) {
+// A namespaced automaton recovers with the same svc/ns pair it was
+// registered with (svc nil means the registry default).
+func (r *Registry) RegisterRecovered(id int64, source string, sink Sink, opts Options, svc Services, ns string, restore func(st StateRestorer) error) (*Automaton, error) {
 	if id <= 0 {
 		return nil, fmt.Errorf("automaton: recovered id must be positive, got %d", id)
 	}
-	return r.register(id, source, sink, opts, restore)
+	return r.register(id, source, sink, opts, restore, svc, ns)
 }
 
 // register is the shared registration path. A zero forcedID allocates the
 // next id and fires the registration hooks; a positive one reinstates a
-// recovered automaton under its original id, hook-free.
-func (r *Registry) register(forcedID int64, source string, sink Sink, opts Options, restore func(st StateRestorer) error) (*Automaton, error) {
+// recovered automaton under its original id, hook-free. A nil svc uses the
+// registry default (the unscoped cache).
+func (r *Registry) register(forcedID int64, source string, sink Sink, opts Options, restore func(st StateRestorer) error, svc Services, ns string) (*Automaton, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("automaton: nil sink (use DiscardSink)")
+	}
+	if svc == nil {
+		svc = r.svc
 	}
 	prog, err := gapl.Compile(source)
 	if err != nil {
 		return nil, fmt.Errorf("automaton: compile: %w", err)
 	}
-	if err := prog.Bind(r.svc.Schemas()); err != nil {
+	if err := prog.Bind(svc.Schemas()); err != nil {
 		return nil, fmt.Errorf("automaton: bind: %w", err)
 	}
 	// Validate associations against persistent tables up front.
 	for _, as := range prog.Associations() {
-		if _, err := r.svc.PersistentTable(as.Table); err != nil {
+		if _, err := svc.PersistentTable(as.Table); err != nil {
 			return nil, fmt.Errorf("automaton: association %s: %w", as.Name, err)
 		}
 	}
@@ -320,6 +345,8 @@ func (r *Registry) register(forcedID int64, source string, sink Sink, opts Optio
 	a := &Automaton{
 		id:     id,
 		reg:    r,
+		svc:    svc,
+		ns:     ns,
 		prog:   prog,
 		source: source,
 		opts:   opts,
@@ -333,12 +360,12 @@ func (r *Registry) register(forcedID int64, source string, sink Sink, opts Optio
 		// Pattern programs bypass the VM entirely: the declarative clause
 		// compiles to an NFA run by a cep.Machine on the batch-activation
 		// path.
-		pat, err := cep.CompilePattern(prog, r.svc.Schemas())
+		pat, err := cep.CompilePattern(prog, svc.Schemas())
 		if err != nil {
 			return nil, fmt.Errorf("automaton: pattern: %w", err)
 		}
 		if pat.Into != "" {
-			sch, ok := r.svc.Schemas()[pat.Into]
+			sch, ok := svc.Schemas()[pat.Into]
 			if !ok {
 				return nil, fmt.Errorf("automaton: pattern: into topic %q has no schema", pat.Into)
 			}
@@ -350,7 +377,7 @@ func (r *Registry) register(forcedID int64, source string, sink Sink, opts Optio
 		pm := cep.NewMachine(pat)
 		pm.OnMatch = func(vals []types.Value) error {
 			if pat.Into != "" {
-				if err := r.svc.CommitInsert(pat.Into, vals); err != nil {
+				if err := svc.CommitInsert(pat.Into, vals); err != nil {
 					return fmt.Errorf("pattern emit into %s: %w", pat.Into, err)
 				}
 			}
@@ -442,7 +469,7 @@ func (r *Registry) register(forcedID int64, source string, sink Sink, opts Optio
 		// a publisher parked in a full Block inbox may hold, and closing
 		// the inbox (Stop) is what unparks it.
 		a.disp.Stop()
-		r.svc.Unsubscribe(id)
+		svc.Unsubscribe(id)
 		return nil, err
 	}
 	// Pattern steps may share a topic (distinct variables over one
@@ -461,7 +488,7 @@ func (r *Registry) register(forcedID int64, source string, sink Sink, opts Optio
 		subTopics = append(subTopics, types.TimerTopic)
 	}
 	for _, topic := range subTopics {
-		if err := r.svc.Subscribe(id, topic, a.inbox); err != nil {
+		if err := svc.Subscribe(id, topic, a.inbox); err != nil {
 			return fail(fmt.Errorf("automaton: %w", err))
 		}
 	}
@@ -472,7 +499,7 @@ func (r *Registry) register(forcedID int64, source string, sink Sink, opts Optio
 	_, live := r.autos[id]
 	r.mu.Unlock()
 	if !live {
-		r.svc.Unsubscribe(id)
+		svc.Unsubscribe(id)
 		return nil, fmt.Errorf("automaton: inbox overflowed during registration")
 	}
 	return a, nil
@@ -567,7 +594,7 @@ func (r *Registry) Unregister(id int64) error {
 	// closes the inbox and unparks it. Deliveries landing between stop and
 	// detach drop into the closed inbox — the documented discard.
 	a.disp.Stop()
-	r.svc.Unsubscribe(id)
+	a.svc.Unsubscribe(id)
 	return nil
 }
 
@@ -637,10 +664,10 @@ type host struct {
 
 var _ vm.Host = (*host)(nil)
 
-func (h *host) Now() types.Timestamp { return h.a.reg.svc.Now() }
+func (h *host) Now() types.Timestamp { return h.a.svc.Now() }
 
 func (h *host) Publish(topic string, vals []types.Value) error {
-	return h.a.reg.svc.CommitInsert(topic, vals)
+	return h.a.svc.CommitInsert(topic, vals)
 }
 
 func (h *host) Send(vals []types.Value) error {
@@ -655,7 +682,7 @@ func (h *host) Print(s string) {
 }
 
 func (h *host) AssocLookup(tbl, key string) (types.Value, bool, error) {
-	pt, err := h.a.reg.svc.PersistentTable(tbl)
+	pt, err := h.a.svc.PersistentTable(tbl)
 	if err != nil {
 		return types.Nil, false, err
 	}
@@ -670,7 +697,7 @@ func (h *host) AssocLookup(tbl, key string) (types.Value, bool, error) {
 // the update is published on the table's topic. v may be a sequence (the
 // full row) or, for two-column tables, a scalar value paired with the key.
 func (h *host) AssocInsert(tbl, key string, v types.Value) error {
-	pt, err := h.a.reg.svc.PersistentTable(tbl)
+	pt, err := h.a.svc.PersistentTable(tbl)
 	if err != nil {
 		return err
 	}
@@ -695,11 +722,11 @@ func (h *host) AssocInsert(tbl, key string, v types.Value) error {
 		return fmt.Errorf("insert() into %s: key %q does not match row's primary key %q",
 			tbl, key, got)
 	}
-	return h.a.reg.svc.CommitInsert(tbl, row)
+	return h.a.svc.CommitInsert(tbl, row)
 }
 
 func (h *host) AssocHas(tbl, key string) (bool, error) {
-	pt, err := h.a.reg.svc.PersistentTable(tbl)
+	pt, err := h.a.svc.PersistentTable(tbl)
 	if err != nil {
 		return false, err
 	}
@@ -707,7 +734,7 @@ func (h *host) AssocHas(tbl, key string) (bool, error) {
 }
 
 func (h *host) AssocRemove(tbl, key string) (bool, error) {
-	pt, err := h.a.reg.svc.PersistentTable(tbl)
+	pt, err := h.a.svc.PersistentTable(tbl)
 	if err != nil {
 		return false, err
 	}
@@ -715,7 +742,7 @@ func (h *host) AssocRemove(tbl, key string) (bool, error) {
 }
 
 func (h *host) AssocSize(tbl string) (int, error) {
-	pt, err := h.a.reg.svc.PersistentTable(tbl)
+	pt, err := h.a.svc.PersistentTable(tbl)
 	if err != nil {
 		return 0, err
 	}

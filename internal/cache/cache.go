@@ -14,6 +14,7 @@ import (
 	"unicache/internal/pubsub"
 	"unicache/internal/sql"
 	"unicache/internal/table"
+	"unicache/internal/tenant"
 	"unicache/internal/types"
 	"unicache/internal/uerr"
 	"unicache/internal/wal"
@@ -101,6 +102,18 @@ type Config struct {
 	// DefaultCheckpointPeriod; negative disables periodic checkpoints
 	// (state is still snapshotted at Close). Ignored by in-memory caches.
 	CheckpointPeriod time.Duration
+	// FsyncErrorPolicy selects what a failed commit-path fsync does to its
+	// domain: wal.FsyncPoison (the default) latches the domain failed until
+	// reopen, wal.FsyncLatchRetry lets later commits retry the sync and
+	// un-latch the domain if the disk recovered. See wal.Options.
+	FsyncErrorPolicy wal.FsyncErrorPolicy
+	// Tenants, when non-nil, activates multi-tenancy: each tenant's
+	// operations run through a Scope view that prefixes its table/topic
+	// space and enforces its quotas. Nil (the default) keeps the cache
+	// single-tenant with the namespace-free behaviour of prior releases.
+	// Recovery uses the registry to reinstate namespaced automata under
+	// their tenants' scoped views.
+	Tenants *tenant.Registry
 }
 
 // commitDomain is the unit of commit serialisation: one per topic. The
@@ -153,6 +166,10 @@ type Cache struct {
 	// TapStats enumerates it.
 	watchMu  sync.Mutex
 	watchers map[int64]*watchEntry
+	// scopes interns the per-tenant Scoped views (tenant name -> *Scoped)
+	// so every connection of one tenant shares one view and one set of
+	// quota gates.
+	scopes sync.Map
 
 	// wal is the durability manager (nil for an in-memory cache).
 	wal *wal.Manager
@@ -336,6 +353,11 @@ func (c *Cache) Now() types.Timestamp { return c.clock() }
 // Registry exposes the automaton registry (for WaitIdle etc.).
 func (c *Cache) Registry() *automaton.Registry { return c.reg }
 
+// Automata lists every live automaton, id-sorted. It mirrors
+// Scoped.Automata so tenant-scoped and whole-cache views answer the same
+// question through the same method set.
+func (c *Cache) Automata() []*automaton.Automaton { return c.reg.Automata() }
+
 // Broker exposes the pub/sub broker (read-only uses).
 func (c *Cache) Broker() *pubsub.Broker { return c.broker }
 
@@ -469,6 +491,9 @@ func (c *Cache) CommitBatch(tableName string, rows [][]types.Value) error {
 		if err != nil {
 			return err
 		}
+	}
+	if d.wal != nil && c.cfg.FsyncErrorPolicy == wal.FsyncLatchRetry && d.wal.FailedRetryable() {
+		c.retryLatched(d)
 	}
 	schema := d.table.Schema()
 	if c.cfg.PoolEvents && !schema.Persistent {
@@ -725,6 +750,9 @@ func (c *Cache) DeleteRow(tableName, key string) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("cache: table %q is not persistent", tableName)
 	}
+	if d.wal != nil && c.cfg.FsyncErrorPolicy == wal.FsyncLatchRetry && d.wal.FailedRetryable() {
+		c.retryLatched(d)
+	}
 	d.mu.Lock()
 	var off wal.Off
 	if d.wal != nil {
@@ -798,10 +826,12 @@ func (c *Cache) Unsubscribe(id int64) {
 }
 
 // watchEntry is one live Watch tap: its dispatcher plus the topic it is
-// attached to (recorded so TapStats can report where a tap points).
+// attached to (recorded so TapStats can report where a tap points) and the
+// tenant namespace that owns it ("" for the unscoped cache).
 type watchEntry struct {
 	disp  *pubsub.Dispatcher
 	topic string
+	ns    string
 }
 
 // DefaultWatchQueue is the default bound of a Watch tap's inbox.
@@ -840,6 +870,12 @@ func (c *Cache) Watch(topic string, fn func(*types.Event)) (int64, error) {
 
 // WatchWith is Watch with an explicit queue bound and overflow policy.
 func (c *Cache) WatchWith(topic string, fn func(*types.Event), opts WatchOpts) (int64, error) {
+	return c.watchWithNS(topic, fn, opts, "")
+}
+
+// watchWithNS is WatchWith recording the owning tenant namespace on the
+// tap ("" for the unscoped cache); topic is already physical.
+func (c *Cache) watchWithNS(topic string, fn func(*types.Event), opts WatchOpts, ns string) (int64, error) {
 	depth := opts.Queue
 	if depth == 0 {
 		depth = DefaultWatchQueue
@@ -854,7 +890,7 @@ func (c *Cache) WatchWith(topic string, fn func(*types.Event), opts WatchOpts) (
 		OnFail: func() { c.Unsubscribe(id) },
 	})
 	c.watchMu.Lock()
-	c.watchers[id] = &watchEntry{disp: d, topic: topic}
+	c.watchers[id] = &watchEntry{disp: d, topic: topic, ns: ns}
 	c.watchMu.Unlock()
 	if err := c.broker.Subscribe(id, topic, in); err != nil {
 		c.watchMu.Lock()
@@ -899,6 +935,21 @@ func (c *Cache) TapStats() []TapStat {
 	c.watchMu.Lock()
 	out := make([]TapStat, 0, len(c.watchers))
 	for id, w := range c.watchers {
+		out = append(out, TapStat{ID: id, Topic: w.topic, Depth: w.disp.Depth(), Dropped: w.disp.Dropped()})
+	}
+	c.watchMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	return out
+}
+
+// tapStatsNS snapshots the taps owned by one tenant namespace.
+func (c *Cache) tapStatsNS(ns string) []TapStat {
+	c.watchMu.Lock()
+	out := make([]TapStat, 0, len(c.watchers))
+	for id, w := range c.watchers {
+		if w.ns != ns {
+			continue
+		}
 		out = append(out, TapStat{ID: id, Topic: w.topic, Depth: w.disp.Depth(), Dropped: w.disp.Dropped()})
 	}
 	c.watchMu.Unlock()

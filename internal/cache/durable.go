@@ -18,6 +18,7 @@ import (
 	"unicache/internal/automaton"
 	"unicache/internal/pubsub"
 	"unicache/internal/table"
+	"unicache/internal/tenant"
 	"unicache/internal/types"
 	"unicache/internal/wal"
 )
@@ -42,9 +43,10 @@ func (c *Cache) reportWALError(err error) {
 // so the next commit extends the recovered prefix contiguously.
 func (c *Cache) openDurable() error {
 	m, err := wal.Open(c.cfg.DataDir, wal.Options{
-		FS:            c.cfg.WALFS,
-		NoSync:        c.cfg.WALNoSync,
-		SnapshotBytes: c.cfg.SnapshotBytes,
+		FS:               c.cfg.WALFS,
+		NoSync:           c.cfg.WALNoSync,
+		SnapshotBytes:    c.cfg.SnapshotBytes,
+		FsyncErrorPolicy: c.cfg.FsyncErrorPolicy,
 	})
 	if err != nil {
 		return err
@@ -270,6 +272,40 @@ func encodeDomainState(d *commitDomain) ([][]byte, error) {
 	return payloads, nil
 }
 
+// retryLatched attempts to restore a domain latched by a retryable fsync
+// failure (Config.FsyncErrorPolicy == wal.FsyncLatchRetry). The suspect
+// segment is abandoned, a fresh snapshot of the in-memory state — the
+// authoritative state; every acked commit is in it — is written past it,
+// and only once that snapshot is durable is the latch lifted. Ordering
+// matters: clearing first would let new acked records land beyond a
+// possibly-torn mid-chain segment, where recovery's gap quarantine would
+// drop them. Failures leave the domain latched; the next commit retries.
+func (c *Cache) retryLatched(d *commitDomain) {
+	if !d.wal.BeginSnapshot() {
+		return
+	}
+	d.mu.Lock()
+	epoch, err := d.wal.RotateRetry()
+	if err != nil {
+		d.mu.Unlock()
+		d.wal.AbortSnapshot()
+		c.reportWALError(fmt.Errorf("retrying latched domain %s: %w", d.name, err))
+		return
+	}
+	payloads, err := encodeDomainState(d)
+	d.mu.Unlock()
+	if err != nil {
+		d.wal.AbortSnapshot()
+		c.reportWALError(fmt.Errorf("retrying latched domain %s: %w", d.name, err))
+		return
+	}
+	if err := d.wal.WriteSnapshot(epoch, payloads); err != nil {
+		c.reportWALError(fmt.Errorf("retrying latched domain %s: %w", d.name, err))
+		return
+	}
+	d.wal.ClearFailure()
+}
+
 // --- automata (the meta domain) ---
 
 // logRegister is the registry's OnRegister hook: it makes a successful
@@ -287,6 +323,7 @@ func (c *Cache) logRegister(a *automaton.Automaton) {
 		Source:        a.Source(),
 		InboxCapacity: int64(opts.InboxCapacity),
 		InboxPolicy:   uint8(opts.InboxPolicy),
+		Namespace:     a.Namespace(),
 	})
 	off, err := md.Append(payload)
 	if err == nil {
@@ -371,7 +408,24 @@ func (c *Cache) recoverAutomata() error {
 			}
 			return nil
 		}
-		if _, err := c.reg.RegisterRecovered(id, rec.Source, automaton.DiscardSink, opts, restore); err != nil {
+		// A namespaced automaton recovers through its tenant's scoped view
+		// so its publishes stay metered and its names stay prefixed; a
+		// tenant struck from the config leaves its automata behind (they
+		// come back if the tenant does).
+		var svc automaton.Services
+		if rec.Namespace != "" {
+			var t *tenant.Tenant
+			ok := false
+			if c.cfg.Tenants != nil {
+				t, ok = c.cfg.Tenants.Get(rec.Namespace)
+			}
+			if !ok {
+				c.reportWALError(fmt.Errorf("recovering automaton %d: tenant %q not configured; skipped", id, rec.Namespace))
+				continue
+			}
+			svc = c.Scope(t)
+		}
+		if _, err := c.reg.RegisterRecovered(id, rec.Source, automaton.DiscardSink, opts, svc, rec.Namespace, restore); err != nil {
 			c.reportWALError(fmt.Errorf("recovering automaton %d: %w", id, err))
 		}
 	}
@@ -409,6 +463,7 @@ func (c *Cache) snapshotMeta() {
 			Source:        a.Source(),
 			InboxCapacity: int64(opts.InboxCapacity),
 			InboxPolicy:   uint8(opts.InboxPolicy),
+			Namespace:     a.Namespace(),
 		}, vars)
 		if err != nil {
 			c.reportWALError(fmt.Errorf("meta snapshot: automaton %d: %w", a.ID(), err))

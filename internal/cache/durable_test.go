@@ -400,6 +400,67 @@ func TestDurableFsyncFailureLatchesDomain(t *testing.T) {
 	}
 }
 
+// TestFsyncLatchRetryRecoversWithoutRestart: under FsyncErrorPolicy ==
+// wal.FsyncLatchRetry an fsync failure still fails the commit and latches
+// the domain, but once the fault clears the next commit restores the
+// domain in place — suspect segment abandoned, covering snapshot of the
+// in-memory state written past it, latch lifted — with no reopen. While
+// the fault persists, recovery attempts fail and the latch stays on.
+func TestFsyncLatchRetryRecoversWithoutRestart(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &flakyFS{}
+	c1 := newDurableCache(t, dir, func(cfg *Config) {
+		cfg.WALFS = ffs
+		cfg.FsyncErrorPolicy = wal.FsyncLatchRetry
+		// Failed recovery attempts report through the WAL error hook;
+		// here they are the injected fault doing its job, not a bug.
+		cfg.OnRuntimeError = func(int64, error) {}
+	})
+	defer c1.Close()
+	mustExec(t, c1, `create persistenttable KV (k varchar(8) primary key, n integer)`)
+	mustExec(t, c1, `insert into KV values ('a', 1)`)
+
+	ffs.arm(false, true)
+	if _, err := c1.Exec(`insert into KV values ('b', 2)`); err == nil {
+		t.Fatal("insert with failing fsync reported no error")
+	}
+	// The fault persists: the retry's covering snapshot cannot be made
+	// durable either, so the commit fails and the domain stays latched.
+	if _, err := c1.Exec(`insert into KV values ('c', 3)`); err == nil {
+		t.Fatal("insert acked while the covering snapshot cannot be fsynced")
+	}
+
+	// Fault cleared: the next commit rotates past the suspect segment,
+	// snapshots the authoritative in-memory state and lifts the latch —
+	// same handle, no restart. 'b' was applied in memory before its ack
+	// failed (exactly the row that replays after a reopen under poison),
+	// so the covering snapshot carries it; 'c' never committed — the
+	// failed retry latched its commit before the append.
+	ffs.arm(false, false)
+	mustExec(t, c1, `insert into KV values ('d', 4)`)
+	want := map[string]bool{"a": true, "b": true, "d": true}
+	keys := func(c *Cache) map[string]bool {
+		got := make(map[string]bool)
+		for _, r := range selectRows(t, c, `select k from KV`) {
+			got[r[0].String()] = true
+		}
+		return got
+	}
+	if got := keys(c1); len(got) != len(want) || !got["a"] || !got["b"] || !got["d"] {
+		t.Fatalf("post-recovery keys = %v, want {a b d}", got)
+	}
+
+	// Restart replays snapshot + post-recovery segment: nothing beyond the
+	// covering snapshot resurfaces from the abandoned segment, everything
+	// the snapshot covered survives.
+	c1.Close()
+	c2 := newDurableCache(t, dir, nil)
+	defer c2.Close()
+	if got := keys(c2); len(got) != len(want) || !got["a"] || !got["b"] || !got["d"] {
+		t.Fatalf("recovered keys = %v, want {a b d}", got)
+	}
+}
+
 // TestDurableUnregisterReplay: an unregistered automaton stays gone.
 func TestDurableUnregisterReplay(t *testing.T) {
 	dir := t.TempDir()

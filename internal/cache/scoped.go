@@ -1,0 +1,517 @@
+package cache
+
+// This file is the cache half of multi-tenancy: a Scoped view wraps one
+// Cache for one tenant, mapping the tenant's logical table/topic names onto
+// a physical "<ns>/<name>" prefix and enforcing the tenant's quotas at the
+// four admission points (CreateTable, Register, Watch inbox bounds, the
+// commit path). Everything name-shaped — SQL via sql.Engine, automata via
+// automaton.Services, watches, stats — flows through the view, so the
+// layers above (RPC connections, the façade's per-tenant engines) get
+// tenancy without knowing how names are spelled on disk. The shared Timer
+// topic passes through unprefixed and uncounted. See
+// docs/ARCHITECTURE.md, "Tenancy".
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"unicache/internal/automaton"
+	"unicache/internal/pubsub"
+	"unicache/internal/sql"
+	"unicache/internal/table"
+	"unicache/internal/tenant"
+	"unicache/internal/types"
+	"unicache/internal/uerr"
+)
+
+// Scoped is one tenant's view of a Cache. It implements the same engine
+// surface as the Cache itself (sql.Engine, automaton.Services, tables,
+// commits, watches, stats), with every table/topic name interpreted in the
+// tenant's namespace and every operation subject to the tenant's quotas.
+// There is exactly one Scoped per (cache, tenant) pair — Scope interns them
+// — so admission checks can serialise on the view.
+type Scoped struct {
+	c  *Cache
+	t  *tenant.Tenant
+	ns string
+
+	// admitMu serialises this tenant's count-and-admit checks (MaxTables,
+	// MaxAutomata) so concurrent creators cannot jointly overshoot a limit.
+	admitMu sync.Mutex
+}
+
+var (
+	_ sql.Engine         = (*Scoped)(nil)
+	_ automaton.Services = (*Scoped)(nil)
+)
+
+// Scope returns the tenant's scoped view of this cache, creating it on
+// first use. Views are interned per tenant name: every connection of one
+// tenant shares one view, and through it one set of quota gates.
+func (c *Cache) Scope(t *tenant.Tenant) *Scoped {
+	if v, ok := c.scopes.Load(t.Name()); ok {
+		return v.(*Scoped)
+	}
+	v, _ := c.scopes.LoadOrStore(t.Name(), &Scoped{c: c, t: t, ns: t.Name()})
+	return v.(*Scoped)
+}
+
+// TenantRegistry returns the tenant registry the cache was configured with
+// (nil when the cache is single-tenant).
+func (c *Cache) TenantRegistry() *tenant.Registry { return c.cfg.Tenants }
+
+// Tenant returns the tenant this view is scoped to.
+func (s *Scoped) Tenant() *tenant.Tenant { return s.t }
+
+// Namespace returns the tenant's namespace prefix.
+func (s *Scoped) Namespace() string { return s.ns }
+
+// Cache returns the underlying cache (shared, unscoped).
+func (s *Scoped) Cache() *Cache { return s.c }
+
+// Now implements sql.Engine and automaton.Services.
+func (s *Scoped) Now() types.Timestamp { return s.c.clock() }
+
+// --- tables ---
+
+// qualify maps a logical name into the namespace.
+func (s *Scoped) qualify(name string) string { return tenant.Qualify(s.ns, name) }
+
+// admitTable enforces MaxTables against the tenant's current table count.
+// Callers hold admitMu when the subsequent create must not race another of
+// this tenant's creates.
+func (s *Scoped) admitTable() error {
+	max := s.t.Quota().MaxTables
+	if max <= 0 {
+		return nil
+	}
+	if s.countTables() >= max {
+		s.t.NoteRejected()
+		return fmt.Errorf("tenant %s: %w: tables (limit %d)", s.ns, uerr.ErrQuotaExceeded, max)
+	}
+	return nil
+}
+
+// countTables counts the tenant's tables (the shared Timer is not counted).
+func (s *Scoped) countTables() int {
+	n := 0
+	prefix := s.ns + "/"
+	s.c.domains.Range(func(k, _ any) bool {
+		if strings.HasPrefix(k.(string), prefix) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// CreateTable installs the table under its physical name, subject to
+// MaxTables. Implements sql.Engine.
+func (s *Scoped) CreateTable(schema *types.Schema) error {
+	if schema == nil {
+		return s.c.CreateTable(nil)
+	}
+	if phys := s.qualify(schema.Name); phys != schema.Name {
+		sc := *schema
+		sc.Name = phys
+		schema = &sc
+	}
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if err := s.admitTable(); err != nil {
+		return err
+	}
+	return s.c.CreateTable(schema)
+}
+
+// LookupTable implements sql.Engine.
+func (s *Scoped) LookupTable(name string) (table.Table, error) {
+	return s.c.LookupTable(s.qualify(name))
+}
+
+// PersistentTable implements automaton.Services.
+func (s *Scoped) PersistentTable(name string) (*table.Persistent, error) {
+	return s.c.PersistentTable(s.qualify(name))
+}
+
+// Schemas implements automaton.Services: the tenant's tables (plus the
+// shared Timer) under their logical names. Renamed schemas are shallow
+// clones; the column slices are shared, read-only.
+func (s *Scoped) Schemas() map[string]*types.Schema {
+	out := make(map[string]*types.Schema)
+	s.c.domains.Range(func(k, d any) bool {
+		logical, ok := tenant.Logical(s.ns, k.(string))
+		if !ok {
+			return true
+		}
+		schema := d.(*commitDomain).table.Schema()
+		if logical != schema.Name {
+			sc := *schema
+			sc.Name = logical
+			schema = &sc
+		}
+		out[logical] = schema
+		return true
+	})
+	return out
+}
+
+// Tables returns the tenant's table names (including the shared Timer) in
+// sorted logical-name order.
+func (s *Scoped) Tables() []string {
+	var out []string
+	for _, phys := range s.c.broker.Topics() {
+		if logical, ok := tenant.Logical(s.ns, phys); ok {
+			out = append(out, logical)
+		}
+	}
+	return out
+}
+
+// --- commit path ---
+
+// admitCommit runs the commit-path quota gates: the events/sec token
+// bucket, then — on a durable cache with a WAL quota — the live log
+// footprint. The footprint is recomputed from the domains' live bytes, so
+// snapshot truncation frees quota the moment it happens.
+func (s *Scoped) admitCommit(n int) error {
+	if err := s.t.AllowEvents(s.c.clock(), n); err != nil {
+		return err
+	}
+	if s.c.wal != nil && s.t.Quota().MaxWALBytes > 0 {
+		s.t.SetWAL(s.walBytes())
+		if err := s.t.CheckWAL(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walBytes sums the live WAL footprint of the tenant's domains.
+func (s *Scoped) walBytes() int64 {
+	var total int64
+	prefix := s.ns + "/"
+	s.c.domains.Range(func(k, v any) bool {
+		if d := v.(*commitDomain); d.wal != nil && strings.HasPrefix(k.(string), prefix) {
+			total += d.wal.LiveBytes()
+		}
+		return true
+	})
+	return total
+}
+
+// CommitBatch commits rows into the tenant's table, subject to the
+// events/sec and WAL-byte quotas. Implements sql.Engine.
+func (s *Scoped) CommitBatch(tableName string, rows [][]types.Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	phys := s.qualify(tableName)
+	if s.c.cfg.AutoCreateStreams && phys != tableName {
+		// Publishing into a missing topic creates the stream on the fly;
+		// that creation is a table the quota must see.
+		if _, ok := s.c.domains.Load(phys); !ok {
+			if err := s.admitTable(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.admitCommit(len(rows)); err != nil {
+		return err
+	}
+	if err := s.c.CommitBatch(phys, rows); err != nil {
+		return err
+	}
+	s.t.NoteCommitted(s.c.clock(), len(rows))
+	return nil
+}
+
+// CommitInsert is a one-row CommitBatch. Implements sql.Engine and
+// automaton.Services.
+func (s *Scoped) CommitInsert(tableName string, vals []types.Value) error {
+	return s.CommitBatch(tableName, [][]types.Value{vals})
+}
+
+// Insert is the fast-path typed insert, mirroring Cache.Insert.
+func (s *Scoped) Insert(tableName string, vals ...types.Value) error {
+	return s.CommitInsert(tableName, vals)
+}
+
+// DeleteRow implements sql.Engine. Deletes append to the WAL, so the
+// WAL-byte quota applies; they carry no events, so the token bucket does
+// not.
+func (s *Scoped) DeleteRow(tableName, key string) (bool, error) {
+	if s.c.wal != nil && s.t.Quota().MaxWALBytes > 0 {
+		s.t.SetWAL(s.walBytes())
+		if err := s.t.CheckWAL(); err != nil {
+			return false, err
+		}
+	}
+	return s.c.DeleteRow(s.qualify(tableName), key)
+}
+
+// Exec parses and executes one SQL statement in the tenant's namespace.
+func (s *Scoped) Exec(src string) (*sql.Result, error) {
+	return sql.ExecString(s, src)
+}
+
+// --- pub/sub ---
+
+// renameSub rewrites each delivered event's physical topic back to the
+// tenant-logical name before handing it on: automata and watch callbacks
+// key their dispatch on ev.Topic and must see the name they subscribed
+// under. The rewrite is a shallow copy — the copy shares the original's
+// refcounted block, so the publisher's per-subscriber Retain and the
+// consumer's Release stay balanced — and DeliverBatch builds a fresh slice
+// because the publisher's slice is shared across subscribers and must not
+// be mutated.
+type renameSub struct {
+	inner   pubsub.Subscriber
+	logical string
+}
+
+func (r renameSub) Deliver(ev *types.Event) {
+	ev2 := *ev
+	ev2.Topic = r.logical
+	r.inner.Deliver(&ev2)
+}
+
+func (r renameSub) DeliverBatch(evs []*types.Event) {
+	copies := make([]types.Event, len(evs))
+	out := make([]*types.Event, len(evs))
+	for i, ev := range evs {
+		copies[i] = *ev
+		copies[i].Topic = r.logical
+		out[i] = &copies[i]
+	}
+	r.inner.DeliverBatch(out)
+}
+
+// Subscribe implements automaton.Services: the subscription attaches to
+// the physical topic, with delivered events renamed back to the logical
+// name. The shared Timer passes through un-renamed.
+func (s *Scoped) Subscribe(id int64, topic string, sub pubsub.Subscriber) error {
+	phys := s.qualify(topic)
+	if phys != topic {
+		sub = renameSub{inner: sub, logical: topic}
+	}
+	return s.c.broker.Subscribe(id, phys, sub)
+}
+
+// Unsubscribe implements automaton.Services and detaches Watch taps. A
+// negative id (a Watch tap) is checked for ownership: another tenant's tap
+// id is a silent no-op, exactly as an unknown id is.
+func (s *Scoped) Unsubscribe(id int64) {
+	if id < 0 {
+		s.c.watchMu.Lock()
+		w := s.c.watchers[id]
+		s.c.watchMu.Unlock()
+		if w == nil || w.ns != s.ns {
+			return
+		}
+	}
+	s.c.Unsubscribe(id)
+}
+
+// --- watches ---
+
+// Watch attaches an observer to the tenant's topic; see Cache.Watch for
+// the delivery contract.
+func (s *Scoped) Watch(topic string, fn func(*types.Event)) (int64, error) {
+	return s.WatchWith(topic, fn, WatchOpts{})
+}
+
+// WatchWith is Watch with an explicit queue bound and overflow policy. The
+// bound is clamped to the tenant's MaxInboxDepth quota — including
+// "unbounded" requests, which become MaxInboxDepth-deep — and the
+// requested overflow policy does the shedding from there.
+func (s *Scoped) WatchWith(topic string, fn func(*types.Event), opts WatchOpts) (int64, error) {
+	if s.t.Quota().MaxInboxDepth > 0 {
+		eff := opts.Queue
+		if eff == 0 {
+			eff = DefaultWatchQueue
+		} else if eff < 0 {
+			eff = 0
+		}
+		if clamped, did := s.t.ClampInbox(eff); did {
+			opts.Queue = clamped
+		} else {
+			opts.Queue = eff
+		}
+	}
+	phys := s.qualify(topic)
+	if phys != topic {
+		inner := fn
+		logical := topic
+		fn = func(ev *types.Event) {
+			ev2 := *ev
+			ev2.Topic = logical
+			inner(&ev2)
+		}
+	}
+	return s.c.watchWithNS(phys, fn, opts, s.ns)
+}
+
+// WatchStats reports a live tap's queue depth and dropped-event count; a
+// tap owned by another tenant reports ok == false.
+func (s *Scoped) WatchStats(id int64) (depth int, dropped uint64, ok bool) {
+	s.c.watchMu.Lock()
+	w := s.c.watchers[id]
+	s.c.watchMu.Unlock()
+	if w == nil || w.ns != s.ns {
+		return 0, 0, false
+	}
+	return w.disp.Depth(), w.disp.Dropped(), true
+}
+
+// TapStats snapshots the tenant's live Watch taps, topics in logical form.
+func (s *Scoped) TapStats() []TapStat {
+	all := s.c.tapStatsNS(s.ns)
+	for i := range all {
+		if logical, ok := tenant.Logical(s.ns, all[i].Topic); ok {
+			all[i].Topic = logical
+		}
+	}
+	return all
+}
+
+// --- automata ---
+
+// Register compiles and starts an automaton in the tenant's namespace.
+func (s *Scoped) Register(source string, sink automaton.Sink) (*automaton.Automaton, error) {
+	return s.RegisterWith(source, sink, automaton.Options{})
+}
+
+// RegisterWith is Register with per-automaton Options, subject to the
+// MaxAutomata quota and the MaxInboxDepth clamp.
+func (s *Scoped) RegisterWith(source string, sink automaton.Sink, opts automaton.Options) (*automaton.Automaton, error) {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if max := s.t.Quota().MaxAutomata; max > 0 {
+		n := 0
+		for _, a := range s.c.reg.Automata() {
+			if a.Namespace() == s.ns {
+				n++
+			}
+		}
+		if n >= max {
+			s.t.NoteRejected()
+			return nil, fmt.Errorf("tenant %s: %w: automata (limit %d)", s.ns, uerr.ErrQuotaExceeded, max)
+		}
+	}
+	return s.c.reg.RegisterIn(s, s.ns, source, sink, s.clampOpts(opts))
+}
+
+// clampOpts applies the MaxInboxDepth quota to an automaton's requested
+// inbox bound: the effective bound (per-automaton, or the cache-wide
+// default when unset, with 0 meaning unbounded) is clamped to the quota
+// depth.
+func (s *Scoped) clampOpts(opts automaton.Options) automaton.Options {
+	if s.t.Quota().MaxInboxDepth <= 0 {
+		return opts
+	}
+	eff := opts.InboxCapacity
+	if eff == 0 {
+		eff = s.c.cfg.AutomatonQueue
+	} else if eff < 0 {
+		eff = 0
+	}
+	if clamped, did := s.t.ClampInbox(eff); did {
+		opts.InboxCapacity = clamped
+	} else if eff > 0 {
+		opts.InboxCapacity = eff
+	}
+	return opts
+}
+
+// Unregister stops one of the tenant's automata; another tenant's id is
+// ErrNoSuchAutomaton, indistinguishable from an unknown id.
+func (s *Scoped) Unregister(id int64) error {
+	a, ok := s.c.reg.Get(id)
+	if !ok || a.Namespace() != s.ns {
+		return fmt.Errorf("automaton: %w: id %d", uerr.ErrNoSuchAutomaton, id)
+	}
+	return s.c.reg.Unregister(id)
+}
+
+// Automata snapshots the tenant's live automata in id order.
+func (s *Scoped) Automata() []*automaton.Automaton {
+	var out []*automaton.Automaton
+	for _, a := range s.c.reg.Automata() {
+		if a.Namespace() == s.ns {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// --- stats ---
+
+// TenantStats assembles the tenant's accounting rollup: the tenant-owned
+// counters (events, rate, rejections) plus the live resource counts only
+// the cache knows.
+func (s *Scoped) TenantStats() tenant.Stats {
+	if s.c.wal != nil {
+		s.t.SetWAL(s.walBytes())
+	}
+	st := s.t.StatsSnapshot(s.c.clock())
+	st.Tables = s.countTables()
+	var dropped uint64
+	for _, a := range s.Automata() {
+		st.Automata++
+		dropped += a.Dropped()
+	}
+	s.c.watchMu.Lock()
+	for _, w := range s.c.watchers {
+		if w.ns == s.ns {
+			st.Watches++
+			dropped += w.disp.Dropped()
+		}
+	}
+	s.c.watchMu.Unlock()
+	st.Dropped = dropped
+	return st
+}
+
+// Durability reports the tenant's slice of the durability stats: its
+// domains under logical names, WALBytes summed over them alone. The
+// cache-wide counters (fsyncs, snapshots, recovery) are shared and
+// reported as-is; ok is false for an in-memory cache.
+func (s *Scoped) Durability() (DurabilityStats, bool) {
+	st, ok := s.c.Durability()
+	if !ok {
+		return st, false
+	}
+	var own []DomainDurability
+	var total int64
+	for _, d := range st.Domains {
+		logical, in := tenant.Logical(s.ns, d.Topic)
+		if !in || logical == d.Topic {
+			// Timer and unprefixed domains are shared, not the tenant's.
+			if s.ns != "" {
+				continue
+			}
+		}
+		d.Topic = logical
+		own = append(own, d)
+		total += d.WALBytes
+	}
+	st.Domains = own
+	st.WALBytes = total
+	return st, true
+}
+
+// TenantStatsAll assembles every tenant's rollup (admin surface: `cachectl
+// tenant`). Nil when the cache is single-tenant.
+func (c *Cache) TenantStatsAll() []tenant.Stats {
+	if c.cfg.Tenants == nil {
+		return nil
+	}
+	out := make([]tenant.Stats, 0, c.cfg.Tenants.Len())
+	for _, t := range c.cfg.Tenants.Tenants() {
+		out = append(out, c.Scope(t).TenantStats())
+	}
+	tenant.SortStats(out)
+	return out
+}

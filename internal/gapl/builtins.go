@@ -32,10 +32,12 @@ const (
 	BWinSize // winSize(window) -> int
 	BDelete  // delete(aggregate) — advise storage release (clears it)
 
-	BWinSum // winSum(window) -> int|real (0 over an empty window)
-	BWinAvg // winAvg(window) -> real (error over an empty window)
-	BWinMin // winMin(window) -> value (error over an empty window)
-	BWinMax // winMax(window) -> value (error over an empty window)
+	BWinSum    // winSum(window) -> int|real (0 over an empty window)
+	BWinAvg    // winAvg(window) -> real (error over an empty window)
+	BWinMin    // winMin(window) -> value (error over an empty window)
+	BWinMax    // winMax(window) -> value (error over an empty window)
+	BWinStddev // winStddev(window) -> real population std dev (error over an empty window)
+	BWinMedian // winMedian(window) -> real (error over an empty window)
 
 	// Run-aware builtins: these observe the current activation's run (the
 	// batch of events handed to one behaviour execution). Behaviours that
@@ -106,10 +108,12 @@ var Builtins = map[string]BuiltinSig{
 	"winSize": {BWinSize, "winSize", 1, 1, types.KindInt},
 	"delete":  {BDelete, "delete", 1, 1, types.KindNil},
 
-	"winSum": {BWinSum, "winSum", 1, 1, types.KindNil},
-	"winAvg": {BWinAvg, "winAvg", 1, 1, types.KindReal},
-	"winMin": {BWinMin, "winMin", 1, 1, types.KindNil},
-	"winMax": {BWinMax, "winMax", 1, 1, types.KindNil},
+	"winSum":    {BWinSum, "winSum", 1, 1, types.KindNil},
+	"winAvg":    {BWinAvg, "winAvg", 1, 1, types.KindReal},
+	"winMin":    {BWinMin, "winMin", 1, 1, types.KindNil},
+	"winMax":    {BWinMax, "winMax", 1, 1, types.KindNil},
+	"winStddev": {BWinStddev, "winStddev", 1, 1, types.KindReal},
+	"winMedian": {BWinMedian, "winMedian", 1, 1, types.KindReal},
 
 	"appendRun": {BAppendRun, "appendRun", 2, 2, types.KindNil},
 	"runSize":   {BRunSize, "runSize", 0, 0, types.KindInt},

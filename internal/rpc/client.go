@@ -41,6 +41,11 @@ type ClientConfig struct {
 	//
 	// Other policies are not meaningful here and behave like Block.
 	EventPolicy pubsub.Policy
+	// Token authenticates the connection to a multi-tenant server: when
+	// non-empty, DialWith performs the msgAuth handshake before returning,
+	// so the client comes back already bound to its tenant (or an
+	// ErrUnauthorized error). Leave empty for single-tenant servers.
+	Token string
 }
 
 // Client is an application-side connection to the cache.
@@ -90,13 +95,21 @@ func Dial(addr string) (*Client, error) {
 	return DialWith(addr, ClientConfig{})
 }
 
-// DialWith connects to a cache server over TCP.
+// DialWith connects to a cache server over TCP. With a Token configured it
+// also runs the tenant auth handshake, closing the connection on failure.
 func DialWith(addr string, cfg ClientConfig) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClientWith(conn, cfg), nil
+	c := NewClientWith(conn, cfg)
+	if cfg.Token != "" {
+		if _, err := c.Auth(cfg.Token); err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // NewClient wraps an established connection (e.g. one side of net.Pipe)
@@ -361,6 +374,24 @@ func (c *Client) Ping() error {
 		return fmt.Errorf("rpc: unexpected reply %d", resp[0])
 	}
 	return nil
+}
+
+// Auth binds the connection to the tenant owning token and returns the
+// tenant's name. On a multi-tenant server every request except Ping fails
+// with uerr.ErrUnauthorized until Auth succeeds; a server without tenants
+// rejects Auth outright. A connection authenticates at most once.
+func (c *Client) Auth(token string) (string, error) {
+	e := wire.NewEncoder(16 + len(token))
+	e.U8(msgAuth)
+	e.Str(token)
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return "", err
+	}
+	if resp[0] != msgAuthOK {
+		return "", fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	return wire.NewDecoder(resp[1:]).Str()
 }
 
 // Exec runs one SQL statement and returns its result.
@@ -822,6 +853,76 @@ type ServerStats struct {
 	// Durability is nil when the server runs in-memory (or predates the
 	// durability section of the stats reply).
 	Durability *DurabilityStat
+	// Tenant is the connection's own tenant rollup; nil unless the
+	// connection is tenant-bound.
+	Tenant *TenantStat
+}
+
+// TenantStat is one tenant's accounting rollup: live resource counts,
+// cumulative commit/drop/reject counters, WAL footprint, and the
+// configured quota (zero fields mean unlimited).
+type TenantStat struct {
+	Name         string
+	Tables       int64
+	Automata     int64
+	Watches      int64
+	Events       uint64
+	EventsPerSec float64
+	Dropped      uint64
+	Rejected     uint64
+	WALBytes     int64
+
+	MaxTables       int64
+	MaxAutomata     int64
+	MaxInboxDepth   int64
+	MaxEventsPerSec int64
+	MaxWALBytes     int64
+}
+
+func decodeTenantStat(d *wire.Decoder) (TenantStat, error) {
+	var ts TenantStat
+	var err error
+	if ts.Name, err = d.Str(); err != nil {
+		return ts, err
+	}
+	for _, p := range []*int64{&ts.Tables, &ts.Automata, &ts.Watches} {
+		if *p, err = d.I64(); err != nil {
+			return ts, err
+		}
+	}
+	if ts.Events, err = d.U64(); err != nil {
+		return ts, err
+	}
+	if ts.EventsPerSec, err = d.F64(); err != nil {
+		return ts, err
+	}
+	if ts.Dropped, err = d.U64(); err != nil {
+		return ts, err
+	}
+	if ts.Rejected, err = d.U64(); err != nil {
+		return ts, err
+	}
+	for _, p := range []*int64{&ts.WALBytes, &ts.MaxTables, &ts.MaxAutomata, &ts.MaxInboxDepth, &ts.MaxEventsPerSec, &ts.MaxWALBytes} {
+		if *p, err = d.I64(); err != nil {
+			return ts, err
+		}
+	}
+	return ts, nil
+}
+
+// TenantStats fetches the connection's tenant rollup. It fails with
+// uerr.ErrUnauthorized on a server without tenants.
+func (c *Client) TenantStats() (TenantStat, error) {
+	e := wire.NewEncoder(8)
+	e.U8(msgTenantStats)
+	resp, err := c.call(e.Bytes())
+	if err != nil {
+		return TenantStat{}, err
+	}
+	if resp[0] != msgTenantStatsOK {
+		return TenantStat{}, fmt.Errorf("rpc: unexpected reply %d", resp[0])
+	}
+	return decodeTenantStat(wire.NewDecoder(resp[1:]))
 }
 
 // DurabilityStat mirrors the server cache's durability counters.
@@ -901,51 +1002,73 @@ func (c *Client) Stats() (ServerStats, error) {
 		}
 		st.Automata = append(st.Automata, a)
 	}
-	// Optional trailing durability section; absent on in-memory servers
-	// and on servers predating it.
+	// Optional trailing durability section: the flag itself is absent on
+	// servers predating it, and 0 on in-memory servers (which may still
+	// append the tenant section after it).
 	present, err := d.U8()
-	if err != nil || present == 0 {
+	if err != nil {
 		return st, nil
 	}
-	var dur DurabilityStat
-	if dur.Dir, err = d.Str(); err != nil {
+	if present == 1 {
+		if err := decodeDurability(d, &st); err != nil {
+			return st, err
+		}
+	}
+	// Optional trailing tenant section, present only on a tenant-bound
+	// connection.
+	tpresent, err := d.U8()
+	if err != nil || tpresent == 0 {
+		return st, nil
+	}
+	ts, err := decodeTenantStat(d)
+	if err != nil {
 		return st, err
+	}
+	st.Tenant = &ts
+	return st, nil
+}
+
+func decodeDurability(d *wire.Decoder, st *ServerStats) error {
+	var dur DurabilityStat
+	var err error
+	if dur.Dir, err = d.Str(); err != nil {
+		return err
 	}
 	if dur.WALBytes, err = d.I64(); err != nil {
-		return st, err
+		return err
 	}
 	if dur.Fsyncs, err = d.U64(); err != nil {
-		return st, err
+		return err
 	}
 	if dur.Snapshots, err = d.U64(); err != nil {
-		return st, err
+		return err
 	}
 	if dur.LastSnapshot, err = d.I64(); err != nil {
-		return st, err
+		return err
 	}
 	if dur.Replayed, err = d.U64(); err != nil {
-		return st, err
+		return err
 	}
 	if dur.TornTails, err = d.U64(); err != nil {
-		return st, err
+		return err
 	}
 	nd, err := d.U32()
 	if err != nil {
-		return st, err
+		return err
 	}
 	for i := uint32(0); i < nd; i++ {
 		var dd DomainDurabilityStat
 		if dd.Topic, err = d.Str(); err != nil {
-			return st, err
+			return err
 		}
 		if dd.Seq, err = d.U64(); err != nil {
-			return st, err
+			return err
 		}
 		if dd.WALBytes, err = d.I64(); err != nil {
-			return st, err
+			return err
 		}
 		dur.Domains = append(dur.Domains, dd)
 	}
 	st.Durability = &dur
-	return st, nil
+	return nil
 }

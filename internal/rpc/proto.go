@@ -60,7 +60,11 @@ const (
 	// str dir, i64 walBytes, u64 fsyncs, u64 snapshots, i64 lastSnapshot,
 	// u64 replayed, u64 tornTails, u32 ndomain × (str topic, u64 seq,
 	// i64 walBytes). Decoders tolerate the section's absence (older
-	// servers end the message after the automaton list).
+	// servers end the message after the automaton list). A tenant-bound
+	// connection gets one more optional trailing section — u8 present,
+	// and when 1 the msgTenantStatsOK row for its own tenant — absent on
+	// servers without tenants, keeping the no-tenant reply byte-identical
+	// to earlier releases.
 	msgStatsOK = 22
 	// Streaming bulk insert. A multi-MB load as one msgInsertBatch pays its
 	// whole encoded size in client memory and is capped at maxMessageSize;
@@ -90,6 +94,21 @@ const (
 	// flowing and other connections are unaffected.
 	msgQuiesce   = 28
 	msgQuiesceOK = 29
+	// msgAuth binds the connection to a tenant: str token. On a server with
+	// no tenant registry it fails (there is nothing to bind to); on a
+	// multi-tenant server every other request except msgPing fails with
+	// ErrUnauthorized until a msgAuth succeeds, after which the
+	// connection's whole request surface — tables, automata, watches,
+	// stats — is the tenant's namespaced, quota-checked view.
+	msgAuth   = 30 // str token
+	msgAuthOK = 31 // str tenant name
+	// msgTenantStats fetches the authenticated tenant's accounting rollup.
+	// Reply: str name, i64 tables, i64 automata, i64 watches, u64 events,
+	// f64 events/sec, u64 dropped, u64 rejected, i64 walBytes, then the
+	// quota: i64 maxTables, i64 maxAutomata, i64 maxInboxDepth,
+	// i64 maxEventsPerSec, i64 maxWALBytes (0 = unlimited).
+	msgTenantStats   = 32 // no body
+	msgTenantStatsOK = 33
 )
 
 // maxQuiesceWait caps how long one msgQuiesce may park its connection's

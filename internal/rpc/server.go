@@ -11,9 +11,35 @@ import (
 	"unicache/internal/automaton"
 	"unicache/internal/cache"
 	"unicache/internal/pubsub"
+	"unicache/internal/sql"
+	"unicache/internal/tenant"
 	"unicache/internal/types"
 	"unicache/internal/uerr"
 	"unicache/internal/wire"
+)
+
+// engineCore is the request surface a connection dispatches into. Both the
+// whole cache and a tenant-scoped view satisfy it, so the dispatch switch
+// is tenancy-blind: on a server without tenants every connection's core is
+// the cache itself; on a multi-tenant server the core starts nil and a
+// successful msgAuth installs the tenant's scoped view, which namespaces
+// every table, automaton and watch and enforces the tenant's quotas.
+type engineCore interface {
+	Exec(src string) (*sql.Result, error)
+	Insert(table string, vals ...types.Value) error
+	CommitBatch(table string, rows [][]types.Value) error
+	RegisterWith(source string, sink automaton.Sink, opts automaton.Options) (*automaton.Automaton, error)
+	Unregister(id int64) error
+	WatchWith(topic string, fn func(*types.Event), opts cache.WatchOpts) (int64, error)
+	Unsubscribe(id int64)
+	TapStats() []cache.TapStat
+	Automata() []*automaton.Automaton
+	Durability() (cache.DurabilityStats, bool)
+}
+
+var (
+	_ engineCore = (*cache.Cache)(nil)
+	_ engineCore = (*cache.Scoped)(nil)
 )
 
 // Server exposes a cache over the RPC protocol. Each connection's requests
@@ -109,6 +135,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}),
 		pushDone: make(chan struct{}),
 	}
+	if s.cache.TenantRegistry() == nil {
+		// No tenants configured: the connection speaks to the whole cache,
+		// exactly as before tenancy existed. With tenants, core stays nil
+		// until msgAuth binds the connection to one.
+		sc.core = s.cache
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -135,6 +167,13 @@ type serverConn struct {
 	// of growing server memory.
 	pushes   *pubsub.Queue[[]byte]
 	pushDone chan struct{}
+
+	// core is what requests dispatch into: the cache itself on a server
+	// without tenants, a tenant's scoped view after msgAuth, nil before.
+	// scope is the same view when (and only when) the connection is
+	// tenant-bound. Both are touched only by the serve goroutine.
+	core  engineCore
+	scope *cache.Scoped
 
 	// streams holds this connection's open insert streams. Only the serve
 	// goroutine touches it (stream opens, chunks and ends are all dispatched
@@ -173,11 +212,15 @@ func (c *serverConn) serve() {
 		watches := append([]int64(nil), c.watches...)
 		c.autos, c.watches = nil, nil
 		c.mu.Unlock()
-		for _, id := range autos {
-			_ = c.srv.cache.Unregister(id)
-		}
-		for _, id := range watches {
-			c.srv.cache.Unsubscribe(id)
+		// core is nil only on a never-authenticated multi-tenant
+		// connection, which cannot have registered anything.
+		if c.core != nil {
+			for _, id := range autos {
+				_ = c.core.Unregister(id)
+			}
+			for _, id := range watches {
+				c.core.Unsubscribe(id)
+			}
 		}
 		c.pushes.Close()
 		<-c.pushDone
@@ -270,16 +313,59 @@ func (c *serverConn) replyErr(msgID uint32, err error) error {
 
 func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 	d := wire.NewDecoder(body)
+	if c.core == nil && msgType != msgPing && msgType != msgAuth {
+		if msgType == msgInsertStreamChunk {
+			return nil // fire-and-forget: no reply slot to carry the error
+		}
+		return c.replyErr(msgID, fmt.Errorf("rpc: %w: authenticate first", uerr.ErrUnauthorized))
+	}
 	switch msgType {
 	case msgPing:
 		return c.reply(msgID, msgPingOK, nil)
+
+	case msgAuth:
+		token, err := d.Str()
+		if err != nil {
+			return c.replyErr(msgID, err)
+		}
+		reg := c.srv.cache.TenantRegistry()
+		if reg == nil {
+			return c.replyErr(msgID, fmt.Errorf("rpc: %w: server has no tenants configured", uerr.ErrUnauthorized))
+		}
+		if c.scope != nil {
+			// Rebinding would orphan resources registered under the first
+			// tenant (teardown unregisters through the current scope).
+			return c.replyErr(msgID, fmt.Errorf("rpc: %w: connection is already authenticated as tenant %q",
+				uerr.ErrUnauthorized, c.scope.Tenant().Name()))
+		}
+		t, ok := reg.Resolve(token)
+		if !ok {
+			return c.replyErr(msgID, fmt.Errorf("rpc: %w: unknown token", uerr.ErrUnauthorized))
+		}
+		sc := c.srv.cache.Scope(t)
+		c.scope = sc
+		c.core = sc
+		return c.reply(msgID, msgAuthOK, func(e *wire.Encoder) error {
+			e.Str(t.Name())
+			return nil
+		})
+
+	case msgTenantStats:
+		if c.scope == nil {
+			return c.replyErr(msgID, fmt.Errorf("rpc: %w: server has no tenants configured", uerr.ErrUnauthorized))
+		}
+		ts := c.scope.TenantStats()
+		return c.reply(msgID, msgTenantStatsOK, func(e *wire.Encoder) error {
+			encodeTenantStats(e, ts)
+			return nil
+		})
 
 	case msgExec:
 		src, err := d.Str()
 		if err != nil {
 			return c.replyErr(msgID, err)
 		}
-		res, err := c.srv.cache.Exec(src)
+		res, err := c.core.Exec(src)
 		if err != nil {
 			return c.replyErr(msgID, err)
 		}
@@ -296,7 +382,7 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 		if err != nil {
 			return c.replyErr(msgID, err)
 		}
-		if err := c.srv.cache.Insert(tbl, vals...); err != nil {
+		if err := c.core.Insert(tbl, vals...); err != nil {
 			return c.replyErr(msgID, err)
 		}
 		return c.reply(msgID, msgInsertOK, nil)
@@ -310,7 +396,7 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 		if err != nil {
 			return c.replyErr(msgID, err)
 		}
-		if err := c.srv.cache.CommitBatch(tbl, rows); err != nil {
+		if err := c.core.CommitBatch(tbl, rows); err != nil {
 			return c.replyErr(msgID, err)
 		}
 		return c.reply(msgID, msgInsertBatchOK, func(e *wire.Encoder) error {
@@ -355,7 +441,7 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 			st.err = err
 			return nil
 		}
-		if err := c.srv.cache.CommitBatch(st.table, rows); err != nil {
+		if err := c.core.CommitBatch(st.table, rows); err != nil {
 			st.err = err
 			return nil
 		}
@@ -440,7 +526,7 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 			}
 			c.pushes.Push(e.Bytes())
 		}
-		id, err := c.srv.cache.WatchWith(topic, fn, cache.WatchOpts{
+		id, err := c.core.WatchWith(topic, fn, cache.WatchOpts{
 			Queue:  int(queue),
 			Policy: pubsub.Policy(pol),
 		})
@@ -475,12 +561,12 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 		if !owned {
 			return c.replyErr(msgID, fmt.Errorf("rpc: watch %d is not registered on this connection", id))
 		}
-		c.srv.cache.Unsubscribe(id)
+		c.core.Unsubscribe(id)
 		return c.reply(msgID, msgUnwatchOK, nil)
 
 	case msgStats:
-		taps := c.srv.cache.TapStats()
-		autos := c.srv.cache.Registry().Automata()
+		taps := c.core.TapStats()
+		autos := c.core.Automata()
 		return c.reply(msgID, msgStatsOK, func(e *wire.Encoder) error {
 			e.U32(uint32(len(taps)))
 			for _, t := range taps {
@@ -496,7 +582,7 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 				e.U64(a.Dropped())
 				e.U64(a.Processed())
 			}
-			if dur, ok := c.srv.cache.Durability(); ok {
+			if dur, ok := c.core.Durability(); ok {
 				e.U8(1)
 				e.Str(dur.Dir)
 				e.I64(dur.WALBytes)
@@ -513,6 +599,12 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 				}
 			} else {
 				e.U8(0)
+			}
+			// Tenant section only on a tenant-bound connection, so the
+			// no-tenant reply stays byte-identical to earlier releases.
+			if c.scope != nil {
+				e.U8(1)
+				encodeTenantStats(e, c.scope.TenantStats())
 			}
 			return nil
 		})
@@ -560,12 +652,31 @@ func (c *serverConn) dispatch(msgID uint32, msgType byte, body []byte) error {
 		if !owned {
 			return c.replyErr(msgID, fmt.Errorf("rpc: %w: automaton %d is not registered on this connection", uerr.ErrNoSuchAutomaton, id))
 		}
-		if err := c.srv.cache.Unregister(id); err != nil {
+		if err := c.core.Unregister(id); err != nil {
 			return c.replyErr(msgID, err)
 		}
 		return c.reply(msgID, msgUnregOK, nil)
 	}
 	return c.replyErr(msgID, fmt.Errorf("rpc: unknown message type %d", msgType))
+}
+
+// encodeTenantStats writes one msgTenantStatsOK row (also the stats
+// reply's trailing tenant section).
+func encodeTenantStats(e *wire.Encoder, ts tenant.Stats) {
+	e.Str(ts.Name)
+	e.I64(int64(ts.Tables))
+	e.I64(int64(ts.Automata))
+	e.I64(int64(ts.Watches))
+	e.U64(ts.Events)
+	e.F64(ts.EventsPerSec)
+	e.U64(ts.Dropped)
+	e.U64(ts.Rejected)
+	e.I64(ts.WALBytes)
+	e.I64(int64(ts.Quota.MaxTables))
+	e.I64(int64(ts.Quota.MaxAutomata))
+	e.I64(int64(ts.Quota.MaxInboxDepth))
+	e.I64(int64(ts.Quota.MaxEventsPerSec))
+	e.I64(ts.Quota.MaxWALBytes)
 }
 
 // handleRegister registers an automaton (with or without per-automaton
@@ -597,7 +708,7 @@ func (c *serverConn) handleRegister(msgID uint32, src string, opts automaton.Opt
 		}
 		return nil
 	}
-	a, err := c.srv.cache.RegisterWith(src, sink, opts)
+	a, err := c.core.RegisterWith(src, sink, opts)
 	if err != nil {
 		return c.replyErr(msgID, err)
 	}

@@ -1,0 +1,35 @@
+// Package tenant is the multi-tenancy policy layer: named tenants with
+// shared-secret tokens, per-tenant resource quotas, and per-tenant usage
+// accounting. It is pure policy — it holds no cache state and imports no
+// engine packages — so every layer (the embedded cache's scoped views, the
+// RPC listener's auth handshake, the façade's per-tenant engines) can share
+// one Tenant object as the single source of truth for what a tenant may do
+// and what it has done.
+//
+// A tenant's namespace is a prefix on the topic space: tenant "acme" sees
+// table T as T while the cache stores it as "acme/T" (Qualify/Logical are
+// the two directions). The Timer punctuation topic is deliberately shared:
+// it carries only timestamps, every tenant's pattern automata need it to
+// advance watermarks, and it is never counted against any quota.
+//
+// Quotas are enforced at four points by the cache's scoped views:
+// CreateTable (MaxTables), Register (MaxAutomata), Watch/Register inbox
+// bounds (MaxInboxDepth, a soft limit applied by clamping the requested
+// bound — the PR 3 overflow policies then do the shedding), and the commit
+// path (MaxEventsPerSec via a token bucket, MaxWALBytes against the live
+// write-ahead-log footprint). Every rejection wraps uerr.ErrQuotaExceeded,
+// which survives the wire.
+//
+// # Concurrency
+//
+// A Registry is immutable after construction; Resolve/Get/Tenants may be
+// called from any goroutine without synchronisation. A Tenant is shared by
+// every connection and scoped view of that tenant: the token bucket and the
+// events/sec window are guarded by internal mutexes, the usage counters are
+// atomics, and all methods are safe for concurrent use. AllowEvents both
+// checks and consumes budget in one critical section, so concurrent
+// committers cannot jointly overshoot the bucket; the WAL byte counter is
+// maintained by the cache's commit/truncation paths and read lock-free, so
+// a commit racing a snapshot may transiently observe the pre-truncation
+// footprint — quota enforcement is conservative, never unsound.
+package tenant

@@ -1,0 +1,346 @@
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"unicache/internal/types"
+	"unicache/internal/uerr"
+)
+
+// Quota bounds one tenant's resource use. Zero values mean unlimited, so
+// the zero Quota is "no limits" and a config may set only the dimensions it
+// cares about.
+type Quota struct {
+	// MaxTables bounds the tenant's tables/topics (the shared Timer topic
+	// is not counted).
+	MaxTables int `json:"max_tables,omitempty"`
+	// MaxAutomata bounds registered automata, behaviour and pattern alike.
+	MaxAutomata int `json:"max_automata,omitempty"`
+	// MaxInboxDepth clamps the inbox bound of every watch and automaton
+	// the tenant registers: requests for a deeper — or unbounded — inbox
+	// are silently bounded at this depth, and the requested overflow
+	// policy (Block by default) does the shedding from there.
+	MaxInboxDepth int `json:"max_inbox_depth,omitempty"`
+	// MaxEventsPerSec rate-limits the tenant's commit path with a token
+	// bucket of this sustained rate and a one-second burst. A single batch
+	// larger than the burst can never pass and is rejected outright.
+	MaxEventsPerSec int `json:"max_events_per_sec,omitempty"`
+	// MaxWALBytes bounds the tenant's live write-ahead-log footprint on a
+	// durable cache (ignored on an in-memory cache).
+	MaxWALBytes int64 `json:"max_wal_bytes,omitempty"`
+}
+
+// Spec declares one tenant: its name (the namespace prefix), the
+// shared-secret token the RPC handshake resolves, and its quota.
+type Spec struct {
+	Name  string `json:"name"`
+	Token string `json:"token"`
+	Quota Quota  `json:"quota"`
+}
+
+// Stats is one tenant's accounting rollup, the per-tenant row of the
+// engine Stats surface.
+type Stats struct {
+	// Name is the tenant name.
+	Name string
+	// Tables/Automata/Watches count the tenant's live resources.
+	Tables   int
+	Automata int
+	Watches  int
+	// Events counts events committed by the tenant since start.
+	Events uint64
+	// EventsPerSec is the commit rate over the last completed second.
+	EventsPerSec float64
+	// Dropped counts events shed from the tenant's watch and automaton
+	// inboxes (bounded DropOldest/Fail inboxes only).
+	Dropped uint64
+	// Rejected counts operations the tenant's quotas refused.
+	Rejected uint64
+	// WALBytes is the tenant's live write-ahead-log footprint.
+	WALBytes int64
+	// Quota echoes the configured limits so clients can compute headroom.
+	Quota Quota
+}
+
+// Tenant is one live tenant: identity, quota, and usage accounting shared
+// by every connection and scoped view bound to it.
+type Tenant struct {
+	name  string
+	token string
+	quota Quota
+
+	// Token bucket for MaxEventsPerSec, refilled on demand from the cache
+	// clock so virtual-clock tests are deterministic.
+	bucketMu sync.Mutex
+	tokens   float64
+	lastFill types.Timestamp
+	started  bool
+
+	committed atomic.Uint64
+	rejected  atomic.Uint64
+	walBytes  atomic.Int64
+
+	// Events/sec over per-second buckets of the cache clock: cur counts
+	// the in-progress second, prev the last completed one (the reported
+	// rate).
+	rateMu   sync.Mutex
+	rateSec  int64
+	rateCur  uint64
+	ratePrev uint64
+}
+
+// Name returns the tenant name (its namespace prefix).
+func (t *Tenant) Name() string { return t.name }
+
+// Token returns the tenant's shared-secret token.
+func (t *Tenant) Token() string { return t.token }
+
+// Quota returns the tenant's configured limits.
+func (t *Tenant) Quota() Quota { return t.quota }
+
+// AllowEvents asks the token bucket for n events' worth of budget at the
+// given clock reading, consuming it when granted. With no MaxEventsPerSec
+// quota it always grants. A refusal wraps uerr.ErrQuotaExceeded and is
+// counted in Rejected.
+func (t *Tenant) AllowEvents(now types.Timestamp, n int) error {
+	rate := t.quota.MaxEventsPerSec
+	if rate <= 0 || n <= 0 {
+		return nil
+	}
+	t.bucketMu.Lock()
+	if !t.started {
+		t.started = true
+		t.tokens = float64(rate)
+		t.lastFill = now
+	}
+	if elapsed := now.Sub(t.lastFill).Seconds(); elapsed > 0 {
+		t.tokens += elapsed * float64(rate)
+		if t.tokens > float64(rate) {
+			t.tokens = float64(rate)
+		}
+	}
+	if now > t.lastFill {
+		t.lastFill = now
+	}
+	ok := t.tokens >= float64(n)
+	if ok {
+		t.tokens -= float64(n)
+	}
+	t.bucketMu.Unlock()
+	if !ok {
+		t.rejected.Add(1)
+		return fmt.Errorf("tenant %s: %w: events/sec (limit %d)", t.name, uerr.ErrQuotaExceeded, rate)
+	}
+	return nil
+}
+
+// NoteCommitted records n committed events at the given clock reading.
+func (t *Tenant) NoteCommitted(now types.Timestamp, n int) {
+	t.committed.Add(uint64(n))
+	sec := int64(now) / int64(types.Timestamp(1e9))
+	t.rateMu.Lock()
+	switch {
+	case sec == t.rateSec:
+		t.rateCur += uint64(n)
+	case sec == t.rateSec+1:
+		t.ratePrev, t.rateSec, t.rateCur = t.rateCur, sec, uint64(n)
+	case sec > t.rateSec:
+		t.ratePrev, t.rateSec, t.rateCur = 0, sec, uint64(n)
+	}
+	t.rateMu.Unlock()
+}
+
+// NoteRejected counts one quota refusal recorded outside AllowEvents.
+func (t *Tenant) NoteRejected() { t.rejected.Add(1) }
+
+// NoteWAL adjusts the tenant's live WAL footprint by delta bytes (appends
+// positive, snapshot truncations negative).
+func (t *Tenant) NoteWAL(delta int64) { t.walBytes.Add(delta) }
+
+// SetWAL pins the tenant's live WAL footprint (recovery seeds it from the
+// replayed domains).
+func (t *Tenant) SetWAL(v int64) { t.walBytes.Store(v) }
+
+// WALBytes returns the tenant's live WAL footprint.
+func (t *Tenant) WALBytes() int64 { return t.walBytes.Load() }
+
+// CheckWAL enforces MaxWALBytes before a commit appends to the log. The
+// check is against the current footprint, so a commit may overshoot by at
+// most its own batch — conservative bookkeeping, never unbounded.
+func (t *Tenant) CheckWAL() error {
+	max := t.quota.MaxWALBytes
+	if max <= 0 {
+		return nil
+	}
+	if t.walBytes.Load() >= max {
+		t.rejected.Add(1)
+		return fmt.Errorf("tenant %s: %w: WAL bytes (limit %d)", t.name, uerr.ErrQuotaExceeded, max)
+	}
+	return nil
+}
+
+// ClampInbox applies the MaxInboxDepth soft limit to a requested inbox
+// bound: capacity 0 or negative (unbounded) and requests beyond the quota
+// are clamped to the quota depth. The returned capacity is what the inbox
+// should be created with; clamped reports whether the quota bit.
+func (t *Tenant) ClampInbox(capacity int) (int, bool) {
+	max := t.quota.MaxInboxDepth
+	if max <= 0 {
+		return capacity, false
+	}
+	if capacity <= 0 || capacity > max {
+		return max, true
+	}
+	return capacity, false
+}
+
+// StatsSnapshot returns the accounting rollup. The resource counts
+// (tables, automata, watches, dropped) are the caller's — the cache's
+// scoped view knows them — so this fills only the tenant-owned counters.
+func (t *Tenant) StatsSnapshot(now types.Timestamp) Stats {
+	sec := int64(now) / int64(types.Timestamp(1e9))
+	t.rateMu.Lock()
+	var rate uint64
+	switch sec {
+	case t.rateSec:
+		rate = t.ratePrev
+	case t.rateSec + 1:
+		rate = t.rateCur
+	}
+	t.rateMu.Unlock()
+	return Stats{
+		Name:         t.name,
+		Events:       t.committed.Load(),
+		EventsPerSec: float64(rate),
+		Rejected:     t.rejected.Load(),
+		WALBytes:     t.walBytes.Load(),
+		Quota:        t.quota,
+	}
+}
+
+// Registry resolves tokens and names to tenants. It is immutable after
+// construction.
+type Registry struct {
+	byName  map[string]*Tenant
+	byToken map[string]*Tenant
+	order   []string
+}
+
+// NewRegistry validates the specs and builds a registry. Names must be
+// non-empty, unique, free of '/' (the namespace separator) and must not
+// collide with the Timer topic; tokens must be non-empty and unique.
+func NewRegistry(specs ...Spec) (*Registry, error) {
+	r := &Registry{
+		byName:  make(map[string]*Tenant, len(specs)),
+		byToken: make(map[string]*Tenant, len(specs)),
+	}
+	for _, s := range specs {
+		switch {
+		case s.Name == "":
+			return nil, fmt.Errorf("tenant: empty tenant name")
+		case strings.Contains(s.Name, "/"):
+			return nil, fmt.Errorf("tenant: name %q contains the namespace separator '/'", s.Name)
+		case s.Name == types.TimerTopic:
+			return nil, fmt.Errorf("tenant: name %q collides with the Timer topic", s.Name)
+		case s.Token == "":
+			return nil, fmt.Errorf("tenant %s: empty token", s.Name)
+		}
+		if _, dup := r.byName[s.Name]; dup {
+			return nil, fmt.Errorf("tenant: duplicate name %q", s.Name)
+		}
+		if _, dup := r.byToken[s.Token]; dup {
+			return nil, fmt.Errorf("tenant %s: token already in use by another tenant", s.Name)
+		}
+		t := &Tenant{name: s.Name, token: s.Token, quota: s.Quota}
+		r.byName[s.Name] = t
+		r.byToken[s.Token] = t
+		r.order = append(r.order, s.Name)
+	}
+	return r, nil
+}
+
+// Resolve returns the tenant owning the token.
+func (r *Registry) Resolve(token string) (*Tenant, bool) {
+	t, ok := r.byToken[token]
+	return t, ok
+}
+
+// Get returns the tenant by name.
+func (r *Registry) Get(name string) (*Tenant, bool) {
+	t, ok := r.byName[name]
+	return t, ok
+}
+
+// Len returns the number of tenants.
+func (r *Registry) Len() int { return len(r.order) }
+
+// Tenants returns the tenants in declaration order.
+func (r *Registry) Tenants() []*Tenant {
+	out := make([]*Tenant, len(r.order))
+	for i, name := range r.order {
+		out[i] = r.byName[name]
+	}
+	return out
+}
+
+// configFile is the JSON shape of `cached -tenants tenants.json`.
+type configFile struct {
+	Tenants []Spec `json:"tenants"`
+}
+
+// Parse builds a registry from JSON config bytes. An empty tenant list is
+// an error — the way to run without tenants is to not configure them.
+func Parse(data []byte) (*Registry, error) {
+	var cfg configFile
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("tenant config: %w", err)
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("tenant config: no tenants declared")
+	}
+	return NewRegistry(cfg.Tenants...)
+}
+
+// Load reads and parses a tenants.json config file.
+func Load(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant config: %w", err)
+	}
+	return Parse(data)
+}
+
+// Qualify maps a tenant-logical table/topic name to its physical name:
+// "<ns>/<name>". The empty namespace is the identity, and the Timer topic
+// is shared across tenants, never prefixed.
+func Qualify(ns, name string) string {
+	if ns == "" || name == types.TimerTopic {
+		return name
+	}
+	return ns + "/" + name
+}
+
+// Logical maps a physical name back into a namespace: the Timer topic is
+// visible to everyone, a "<ns>/"-prefixed name is stripped, and anything
+// else is outside the namespace (ok == false). The empty namespace sees
+// every physical name as-is.
+func Logical(ns, physical string) (string, bool) {
+	if ns == "" || physical == types.TimerTopic {
+		return physical, true
+	}
+	if rest, ok := strings.CutPrefix(physical, ns+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// SortStats orders rollup rows by tenant name for stable display.
+func SortStats(rows []Stats) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+}

@@ -1,0 +1,242 @@
+package tenant
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"unicache/internal/types"
+	"unicache/internal/uerr"
+)
+
+func TestRegistryValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []Spec
+	}{
+		{"empty name", []Spec{{Name: "", Token: "x"}}},
+		{"separator in name", []Spec{{Name: "a/b", Token: "x"}}},
+		{"timer collision", []Spec{{Name: types.TimerTopic, Token: "x"}}},
+		{"empty token", []Spec{{Name: "a", Token: ""}}},
+		{"duplicate name", []Spec{{Name: "a", Token: "x"}, {Name: "a", Token: "y"}}},
+		{"duplicate token", []Spec{{Name: "a", Token: "x"}, {Name: "b", Token: "x"}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewRegistry(tc.specs...); err == nil {
+			t.Errorf("%s: NewRegistry accepted invalid specs", tc.name)
+		}
+	}
+}
+
+func TestRegistryResolution(t *testing.T) {
+	r, err := NewRegistry(
+		Spec{Name: "acme", Token: "tok-a", Quota: Quota{MaxTables: 2}},
+		Spec{Name: "bravo", Token: "tok-b"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	a, ok := r.Resolve("tok-a")
+	if !ok || a.Name() != "acme" {
+		t.Fatalf("Resolve(tok-a) = %v, %v", a, ok)
+	}
+	if a.Quota().MaxTables != 2 {
+		t.Fatalf("acme MaxTables = %d, want 2", a.Quota().MaxTables)
+	}
+	if _, ok := r.Resolve("nope"); ok {
+		t.Fatal("Resolve accepted an unknown token")
+	}
+	b, ok := r.Get("bravo")
+	if !ok || b.Token() != "tok-b" {
+		t.Fatalf("Get(bravo) = %v, %v", b, ok)
+	}
+	names := make([]string, 0, 2)
+	for _, tn := range r.Tenants() {
+		names = append(names, tn.Name())
+	}
+	if names[0] != "acme" || names[1] != "bravo" {
+		t.Fatalf("Tenants order = %v, want declaration order", names)
+	}
+}
+
+func TestParseAndLoad(t *testing.T) {
+	cfg := `{"tenants": [
+		{"name": "acme", "token": "tok-a", "quota": {"max_tables": 3, "max_events_per_sec": 100}},
+		{"name": "bravo", "token": "tok-b"}
+	]}`
+	r, err := Parse([]byte(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Get("acme")
+	if q := a.Quota(); q.MaxTables != 3 || q.MaxEventsPerSec != 100 {
+		t.Fatalf("parsed quota = %+v", q)
+	}
+	if _, err := Parse([]byte(`{"tenants": []}`)); err == nil {
+		t.Fatal("Parse accepted an empty tenant list")
+	}
+	if _, err := Parse([]byte(`{`)); err == nil {
+		t.Fatal("Parse accepted malformed JSON")
+	}
+
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Load accepted a missing file")
+	}
+}
+
+func TestQualifyLogical(t *testing.T) {
+	if got := Qualify("acme", "Flows"); got != "acme/Flows" {
+		t.Fatalf("Qualify = %q", got)
+	}
+	if got := Qualify("", "Flows"); got != "Flows" {
+		t.Fatalf("Qualify with empty ns = %q", got)
+	}
+	if got := Qualify("acme", types.TimerTopic); got != types.TimerTopic {
+		t.Fatalf("Qualify(Timer) = %q, want shared unprefixed Timer", got)
+	}
+	if name, ok := Logical("acme", "acme/Flows"); !ok || name != "Flows" {
+		t.Fatalf("Logical = %q, %v", name, ok)
+	}
+	if name, ok := Logical("acme", types.TimerTopic); !ok || name != types.TimerTopic {
+		t.Fatalf("Logical(Timer) = %q, %v", name, ok)
+	}
+	if _, ok := Logical("acme", "bravo/Flows"); ok {
+		t.Fatal("Logical leaked another tenant's physical name")
+	}
+	if _, ok := Logical("acme", "Flows"); ok {
+		t.Fatal("Logical leaked an unprefixed physical name")
+	}
+}
+
+// TestAllowEventsTokenBucket drives the rate limiter with explicit
+// timestamps: a burst up to the rate passes, the next event is refused
+// and counted, and elapsed time refills the bucket at the rate.
+func TestAllowEventsTokenBucket(t *testing.T) {
+	r, err := NewRegistry(Spec{Name: "acme", Token: "x", Quota: Quota{MaxEventsPerSec: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := r.Get("acme")
+	t0 := types.Timestamp(1e9)
+	if err := tn.AllowEvents(t0, 10); err != nil {
+		t.Fatalf("burst at the limit refused: %v", err)
+	}
+	err = tn.AllowEvents(t0, 1)
+	if !errors.Is(err, uerr.ErrQuotaExceeded) {
+		t.Fatalf("over-budget event: got %v, want ErrQuotaExceeded", err)
+	}
+	// Half a second refills half the bucket.
+	t1 := t0 + types.Timestamp(500*time.Millisecond)
+	if err := tn.AllowEvents(t1, 5); err != nil {
+		t.Fatalf("refilled budget refused: %v", err)
+	}
+	if err := tn.AllowEvents(t1, 1); !errors.Is(err, uerr.ErrQuotaExceeded) {
+		t.Fatalf("drained bucket granted: %v", err)
+	}
+	// A single batch larger than the burst can never pass.
+	t2 := t1 + types.Timestamp(time.Hour)
+	if err := tn.AllowEvents(t2, 11); !errors.Is(err, uerr.ErrQuotaExceeded) {
+		t.Fatalf("oversized batch granted: %v", err)
+	}
+	if got := tn.StatsSnapshot(t2).Rejected; got != 3 {
+		t.Fatalf("Rejected = %d, want 3", got)
+	}
+	// No quota: always granted.
+	r2, _ := NewRegistry(Spec{Name: "free", Token: "y"})
+	free, _ := r2.Get("free")
+	if err := free.AllowEvents(t0, 1<<30); err != nil {
+		t.Fatalf("unquota'd tenant refused: %v", err)
+	}
+}
+
+func TestCheckWAL(t *testing.T) {
+	r, err := NewRegistry(Spec{Name: "acme", Token: "x", Quota: Quota{MaxWALBytes: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := r.Get("acme")
+	if err := tn.CheckWAL(); err != nil {
+		t.Fatalf("empty WAL refused: %v", err)
+	}
+	tn.NoteWAL(99)
+	if err := tn.CheckWAL(); err != nil {
+		t.Fatalf("under-limit WAL refused: %v", err)
+	}
+	tn.NoteWAL(1)
+	if err := tn.CheckWAL(); !errors.Is(err, uerr.ErrQuotaExceeded) {
+		t.Fatalf("at-limit WAL granted: %v", err)
+	}
+	tn.SetWAL(10)
+	if err := tn.CheckWAL(); err != nil {
+		t.Fatalf("truncated WAL refused: %v", err)
+	}
+}
+
+func TestClampInbox(t *testing.T) {
+	r, err := NewRegistry(Spec{Name: "acme", Token: "x", Quota: Quota{MaxInboxDepth: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := r.Get("acme")
+	for _, tc := range []struct {
+		req, want int
+		clamped   bool
+	}{
+		{0, 8, true},   // unbounded request -> quota depth
+		{-1, 8, true},  // negative -> quota depth
+		{100, 8, true}, // beyond quota -> quota depth
+		{4, 4, false},  // within quota -> untouched
+		{8, 8, false},  // exactly at quota -> untouched
+	} {
+		got, clamped := tn.ClampInbox(tc.req)
+		if got != tc.want || clamped != tc.clamped {
+			t.Errorf("ClampInbox(%d) = %d, %v; want %d, %v", tc.req, got, clamped, tc.want, tc.clamped)
+		}
+	}
+	// No quota: identity.
+	r2, _ := NewRegistry(Spec{Name: "free", Token: "y"})
+	free, _ := r2.Get("free")
+	if got, clamped := free.ClampInbox(0); got != 0 || clamped {
+		t.Fatalf("unquota'd ClampInbox(0) = %d, %v", got, clamped)
+	}
+}
+
+// TestRateBuckets pins the events/sec rollup: the reported rate is the
+// last completed second of the cache clock.
+func TestRateBuckets(t *testing.T) {
+	r, err := NewRegistry(Spec{Name: "acme", Token: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := r.Get("acme")
+	sec := func(s int64) types.Timestamp { return types.Timestamp(s * 1e9) }
+	tn.NoteCommitted(sec(10), 40)
+	tn.NoteCommitted(sec(10), 2)
+	if got := tn.StatsSnapshot(sec(10)).EventsPerSec; got != 0 {
+		t.Fatalf("rate mid-first-second = %v, want 0 (no completed second yet)", got)
+	}
+	tn.NoteCommitted(sec(11), 7)
+	if got := tn.StatsSnapshot(sec(11)).EventsPerSec; got != 42 {
+		t.Fatalf("rate after rollover = %v, want 42", got)
+	}
+	if got := tn.StatsSnapshot(sec(11)).Events; got != 49 {
+		t.Fatalf("Events = %d, want 49", got)
+	}
+	// A gap of several idle seconds zeroes the completed-second rate.
+	tn.NoteCommitted(sec(20), 1)
+	if got := tn.StatsSnapshot(sec(20)).EventsPerSec; got != 0 {
+		t.Fatalf("rate after idle gap = %v, want 0", got)
+	}
+}

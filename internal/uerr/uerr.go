@@ -27,6 +27,12 @@ var (
 	// ErrNoSuchAutomaton: the automaton id is not registered (or not owned
 	// by this connection, for a remote engine).
 	ErrNoSuchAutomaton = errors.New("no such automaton")
+	// ErrQuotaExceeded: a tenant quota (tables, automata, inbox depth,
+	// events/sec or WAL bytes) rejected the operation.
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
+	// ErrUnauthorized: the connection presented no valid tenant token for
+	// an operation that requires one, or the token was unknown.
+	ErrUnauthorized = errors.New("unauthorized")
 )
 
 // Wire codes. Code 0 is reserved for errors with no sentinel identity —
@@ -38,6 +44,8 @@ const (
 	codeBadSchema
 	codeClosed
 	codeNoSuchAutomaton
+	codeQuotaExceeded
+	codeUnauthorized
 )
 
 // Code returns the wire code of the first sentinel in err's chain
@@ -54,6 +62,10 @@ func Code(err error) uint16 {
 		return codeClosed
 	case errors.Is(err, ErrNoSuchAutomaton):
 		return codeNoSuchAutomaton
+	case errors.Is(err, ErrQuotaExceeded):
+		return codeQuotaExceeded
+	case errors.Is(err, ErrUnauthorized):
+		return codeUnauthorized
 	}
 	return codeGeneric
 }
@@ -74,6 +86,10 @@ func FromCode(code uint16, msg string) error {
 		sentinel = ErrClosed
 	case codeNoSuchAutomaton:
 		sentinel = ErrNoSuchAutomaton
+	case codeQuotaExceeded:
+		sentinel = ErrQuotaExceeded
+	case codeUnauthorized:
+		sentinel = ErrUnauthorized
 	default:
 		return errors.New(msg)
 	}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -274,6 +275,56 @@ behavior {
 	}
 }
 
+// TestWinStddevMedian pins the dispersion aggregates: winStddev is the
+// population standard deviation (a window is the whole population the
+// automaton observes), winMedian averages the two middle values on even
+// counts, and both promote mixed int/real windows to real.
+func TestWinStddevMedian(t *testing.T) {
+	h := newFakeHost()
+	m := compileVM(t, h, `
+subscribe t to Timer;
+window odd, even, one, mixed;
+real sdOdd, sdOne, medOdd, medEven, medMixed;
+initialization {
+	odd = Window(int, ROWS, 8);
+	append(odd, 2); append(odd, 4); append(odd, 9);
+	even = Window(int, ROWS, 8);
+	append(even, 1); append(even, 3); append(even, 8); append(even, 10);
+	one = Window(int, ROWS, 8);
+	append(one, 7);
+	mixed = Window(real, ROWS, 8);
+	append(mixed, 1.5); append(mixed, 2.5); append(mixed, 10.0);
+}
+behavior {
+	sdOdd = winStddev(odd);
+	sdOne = winStddev(one);
+	medOdd = winMedian(odd);
+	medEven = winMedian(even);
+	medMixed = winMedian(mixed);
+}
+`)
+	if err := m.Deliver(timerEvent(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Population stddev of {2, 4, 9}: mean 5, variance (9+1+16)/3.
+	want := math.Sqrt(26.0 / 3.0)
+	if v, _ := m.Slot("sdOdd"); math.Abs(mustReal(t, v)-want) > 1e-12 {
+		t.Fatalf("winStddev({2,4,9}) = %v, want %v", v, want)
+	}
+	if v, _ := m.Slot("sdOne"); mustReal(t, v) != 0 {
+		t.Fatalf("winStddev of one element = %v, want 0", v)
+	}
+	if v, _ := m.Slot("medOdd"); mustReal(t, v) != 4 {
+		t.Fatalf("winMedian({2,4,9}) = %v, want 4", v)
+	}
+	if v, _ := m.Slot("medEven"); mustReal(t, v) != 5.5 {
+		t.Fatalf("winMedian({1,3,8,10}) = %v, want 5.5", v)
+	}
+	if v, _ := m.Slot("medMixed"); mustReal(t, v) != 2.5 {
+		t.Fatalf("winMedian({1.5,2.5,10}) = %v, want 2.5", v)
+	}
+}
+
 func mustReal(t *testing.T, v types.Value) float64 {
 	t.Helper()
 	f, ok := v.NumAsReal()
@@ -300,7 +351,7 @@ behavior { r = float(`+call+`); }
 	if err := mk("winSum(w)"); err != nil {
 		t.Fatalf("winSum over empty window should be 0, got error %v", err)
 	}
-	for _, call := range []string{"winAvg(w)", "winMin(w)", "winMax(w)"} {
+	for _, call := range []string{"winAvg(w)", "winMin(w)", "winMax(w)", "winStddev(w)", "winMedian(w)"} {
 		err := mk(call)
 		if err == nil || !strings.Contains(err.Error(), "empty window") {
 			t.Fatalf("%s over empty window: got %v, want empty-window error", call, err)
@@ -324,7 +375,7 @@ behavior { n = winSize(w); }
 
 func TestAggregateErrorsOnNonWindows(t *testing.T) {
 	h := newFakeHost()
-	for _, call := range []string{"winSum(1)", "winAvg(1)", "winMin(1)", "winMax(1)"} {
+	for _, call := range []string{"winSum(1)", "winAvg(1)", "winMin(1)", "winMax(1)", "winStddev(1)", "winMedian(1)"} {
 		m := compileVM(t, h, `
 subscribe t to Timer;
 int n;

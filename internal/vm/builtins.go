@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -173,7 +174,8 @@ func (m *VM) callBuiltin(id gapl.BuiltinID, args []types.Value) (types.Value, er
 		w.ExpireAt(m.host.Now())
 		return types.Int(int64(w.Len())), nil
 
-	case gapl.BWinSum, gapl.BWinAvg, gapl.BWinMin, gapl.BWinMax:
+	case gapl.BWinSum, gapl.BWinAvg, gapl.BWinMin, gapl.BWinMax,
+		gapl.BWinStddev, gapl.BWinMedian:
 		return m.winAggregate(id, args[0])
 
 	case gapl.BRunSize:
@@ -335,11 +337,11 @@ func (m *VM) callBuiltin(id gapl.BuiltinID, args []types.Value) (types.Value, er
 }
 
 // winAggregate implements the windowed aggregate builtins winSum, winAvg,
-// winMin and winMax. Time-constrained windows are expired first, so the
-// aggregate covers exactly the live SECS/MSECS span (or the last ROWS
-// values). winSum over an empty window is int 0 (the empty sum); winAvg,
-// winMin and winMax over an empty window are runtime errors — guard with
-// winSize().
+// winMin, winMax, winStddev and winMedian. Time-constrained windows are
+// expired first, so the aggregate covers exactly the live SECS/MSECS span
+// (or the last ROWS values). winSum over an empty window is int 0 (the
+// empty sum); every other aggregate over an empty window is a runtime
+// error — guard with winSize().
 func (m *VM) winAggregate(id gapl.BuiltinID, arg types.Value) (types.Value, error) {
 	name := winAggName(id)
 	w := arg.Win()
@@ -381,6 +383,49 @@ func (m *VM) winAggregate(id gapl.BuiltinID, arg types.Value) (types.Value, erro
 			return types.Real(sumR), nil
 		}
 		return types.Int(sumI), nil
+	case gapl.BWinStddev:
+		if n == 0 {
+			return types.Nil, fmt.Errorf("winStddev() over an empty window (guard with winSize)")
+		}
+		var sum float64
+		xs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			f, ok := w.At(i).NumAsReal()
+			if !ok {
+				return types.Nil, fmt.Errorf("%s() window elements must be numeric, got %s", name, w.At(i).Kind())
+			}
+			xs[i] = f
+			sum += f
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			d := x - mean
+			ss += d * d
+		}
+		// Population standard deviation: a window is the whole population
+		// the automaton observes, not a sample of one. One element -> 0.
+		return types.Real(math.Sqrt(ss / float64(n))), nil
+
+	case gapl.BWinMedian:
+		if n == 0 {
+			return types.Nil, fmt.Errorf("winMedian() over an empty window (guard with winSize)")
+		}
+		xs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			f, ok := w.At(i).NumAsReal()
+			if !ok {
+				return types.Nil, fmt.Errorf("%s() window elements must be numeric, got %s", name, w.At(i).Kind())
+			}
+			xs[i] = f
+		}
+		sort.Float64s(xs)
+		if n%2 == 1 {
+			return types.Real(xs[n/2]), nil
+		}
+		// Even count: the mean of the two middle values.
+		return types.Real((xs[n/2-1] + xs[n/2]) / 2), nil
+
 	default: // winMin, winMax
 		if n == 0 {
 			return types.Nil, fmt.Errorf("%s() over an empty window (guard with winSize)", name)
@@ -410,6 +455,10 @@ func winAggName(id gapl.BuiltinID) string {
 		return "winAvg"
 	case gapl.BWinMin:
 		return "winMin"
+	case gapl.BWinStddev:
+		return "winStddev"
+	case gapl.BWinMedian:
+		return "winMedian"
 	}
 	return "winMax"
 }

@@ -29,6 +29,7 @@ type log struct {
 	fs     FS
 	dir    string
 	nosync bool
+	policy FsyncErrorPolicy
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -40,6 +41,11 @@ type log struct {
 	syncing bool
 	closed  bool
 	failed  error // latched write/fsync failure; poisons the log until reopen
+	// retryable marks the latched failure recoverable: a failed fsync under
+	// FsyncLatchRetry, where the file holds no torn bytes we wrote — only
+	// pages the kernel may have dropped. rotateRetry/clearFailure can then
+	// restore the log; write errors and short writes are never retryable.
+	retryable bool
 
 	fsyncs uint64 // fsync calls issued (stats)
 }
@@ -47,13 +53,13 @@ type log struct {
 // openLogAt opens (creating if needed) the segment for epoch, whose
 // current size on disk is size and which carries prior live bytes from
 // older segments.
-func openLogAt(fs FS, dir string, epoch uint64, size, priorLive int64, nosync bool) (*log, error) {
+func openLogAt(fs FS, dir string, epoch uint64, size, priorLive int64, nosync bool, policy FsyncErrorPolicy) (*log, error) {
 	path := filepath.Join(dir, segmentName(epoch))
 	f, err := fs.OpenAppend(path)
 	if err != nil {
 		return nil, err
 	}
-	l := &log{fs: fs, dir: dir, nosync: nosync, f: f, epoch: epoch, size: size, live: priorLive + size, synced: size}
+	l := &log{fs: fs, dir: dir, nosync: nosync, policy: policy, f: f, epoch: epoch, size: size, live: priorLive + size, synced: size}
 	l.cond = sync.NewCond(&l.mu)
 	if size == 0 {
 		if err := l.writeLocked(logMagic); err != nil {
@@ -73,6 +79,20 @@ func openLogAt(fs FS, dir string, epoch uint64, size, priorLive int64, nosync bo
 func (l *log) failLocked(err error) error {
 	if l.failed == nil {
 		l.failed = fmt.Errorf("wal: log failed: %w", err)
+		l.retryable = false
+	}
+	l.cond.Broadcast()
+	return l.failed
+}
+
+// failSyncLocked latches a group-commit fsync failure. Under
+// FsyncLatchRetry the latch is marked retryable — the file carries no torn
+// bytes of ours, only pages the kernel may have dropped, so abandoning the
+// segment and snapshotting past it can restore the log.
+func (l *log) failSyncLocked(err error) error {
+	if l.failed == nil {
+		l.failed = fmt.Errorf("wal: log failed: %w", err)
+		l.retryable = l.policy == FsyncLatchRetry
 	}
 	l.cond.Broadcast()
 	return l.failed
@@ -160,8 +180,9 @@ func (l *log) Sync(o Off) error {
 			// The kernel may have dropped the dirty pages while marking
 			// them clean; a retried fsync on this fd could report success
 			// for data that is gone. Latch the failure for every waiter
-			// and every later commit (fsyncgate).
-			return l.failLocked(err)
+			// and every later commit (fsyncgate) — recoverably so under
+			// FsyncLatchRetry.
+			return l.failSyncLocked(err)
 		}
 		l.cond.Broadcast()
 		if target > l.synced {
@@ -259,6 +280,74 @@ func (l *log) Fsyncs() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.fsyncs
+}
+
+// failedRetryable reports whether the log is latched with a recoverable
+// fsync failure.
+func (l *log) failedRetryable() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed != nil && l.retryable
+}
+
+// rotateRetry abandons the suspect segment of a retryably-latched log and
+// opens a fresh one at the next epoch, returning that epoch. The latch
+// stays on — appends keep failing — until clearFailure, which the owner
+// calls only once a snapshot covering the abandoned segment is durable:
+// clearing earlier would let acked records land beyond a possibly-torn
+// mid-chain segment, where recovery's gap quarantine would drop them. The
+// suspect segment itself is left on disk: its acked prefix is still the
+// durable truth until the snapshot supersedes it. Any failure here makes
+// the latch permanent.
+func (l *log) rotateRetry() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	if l.failed == nil {
+		return 0, fmt.Errorf("wal: log is not failed")
+	}
+	if !l.retryable {
+		return 0, l.failed
+	}
+	for l.syncing {
+		l.cond.Wait()
+	}
+	// The fd is distrusted; its close verdict does not matter.
+	_ = l.f.Close()
+	epoch := l.epoch + 1
+	f, err := l.fs.OpenAppend(filepath.Join(l.dir, segmentName(epoch)))
+	if err != nil {
+		l.retryable = false
+		return 0, l.failed
+	}
+	l.f = f
+	l.epoch = epoch
+	l.size = 0
+	l.synced = 0
+	n, werr := l.f.Write(logMagic)
+	l.size += int64(n)
+	l.live += int64(n)
+	if werr != nil || n != len(logMagic) {
+		l.retryable = false
+		return 0, l.failed
+	}
+	return epoch, nil
+}
+
+// clearFailure lifts a retryable latch after the owner made a covering
+// snapshot durable; it reports whether the log is healthy afterwards.
+func (l *log) clearFailure() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil && !l.retryable {
+		return false
+	}
+	l.failed = nil
+	l.retryable = false
+	l.cond.Broadcast()
+	return true
 }
 
 // poison latches err as the log's permanent failure: every later Append,

@@ -20,6 +20,26 @@ const DefaultSnapshotBytes = 8 << 20
 // file is kept for forensics; nothing reads it again.
 const badSuffix = ".bad"
 
+// FsyncErrorPolicy selects what a failed group-commit fsync does to its
+// log.
+type FsyncErrorPolicy uint8
+
+const (
+	// FsyncPoison (the default) latches the log failed until the directory
+	// is reopened: a retried fsync on the same fd can falsely succeed after
+	// the kernel dropped the dirty pages (fsyncgate), so no later commit is
+	// acked against a file in unknown state. Maximum safety, minimum
+	// availability: the domain is down until restart.
+	FsyncPoison FsyncErrorPolicy = iota
+	// FsyncLatchRetry latches the failure as retryable: the domain still
+	// fails every commit, but the owner may later abandon the suspect
+	// segment, write a fresh snapshot of its in-memory state past it, and
+	// clear the latch — restoring availability without a restart if the
+	// disk recovered. Only fsync failures are retryable; write errors and
+	// short writes leave torn bytes at the tail and stay permanent.
+	FsyncLatchRetry
+)
+
 // Options tunes a Manager.
 type Options struct {
 	// FS is the filesystem seam (default OS). Tests inject failing
@@ -33,6 +53,9 @@ type Options struct {
 	// the owner should snapshot and truncate (0 = DefaultSnapshotBytes,
 	// < 0 = never suggest; snapshots then happen only at Close).
 	SnapshotBytes int64
+	// FsyncErrorPolicy selects the failure mode of a failed group-commit
+	// fsync: FsyncPoison (default) or FsyncLatchRetry.
+	FsyncErrorPolicy FsyncErrorPolicy
 }
 
 // Stats is the manager-wide durability counter snapshot.
@@ -375,10 +398,10 @@ func (m *Manager) recoverDomain(name, dir string, sink Sink) (*Domain, error) {
 	case haveSeg:
 		// Clean (possibly repaired) tail: append to the last replayed
 		// segment.
-		l, err = openLogAt(m.fs, dir, lastEpoch, lastSegSize, liveBytes-lastSegSize, m.opts.NoSync)
+		l, err = openLogAt(m.fs, dir, lastEpoch, lastSegSize, liveBytes-lastSegSize, m.opts.NoSync, m.opts.FsyncErrorPolicy)
 	case len(segs) == 0 && len(snaps) == 0:
 		// Fresh directory (a crash between mkdir and the first append).
-		l, err = openLogAt(m.fs, dir, 0, 0, 0, m.opts.NoSync)
+		l, err = openLogAt(m.fs, dir, 0, 0, 0, m.opts.NoSync, m.opts.FsyncErrorPolicy)
 	default:
 		// Only a snapshot (or quarantined segments) remains: appends go
 		// to a fresh segment past everything we saw.
@@ -386,7 +409,7 @@ func (m *Manager) recoverDomain(name, dir string, sink Sink) (*Domain, error) {
 		if len(segs) > 0 && segs[len(segs)-1] > maxEpoch {
 			maxEpoch = segs[len(segs)-1]
 		}
-		l, err = openLogAt(m.fs, dir, maxEpoch+1, 0, liveBytes, m.opts.NoSync)
+		l, err = openLogAt(m.fs, dir, maxEpoch+1, 0, liveBytes, m.opts.NoSync, m.opts.FsyncErrorPolicy)
 	}
 	if err != nil {
 		return nil, err
@@ -443,7 +466,7 @@ func (m *Manager) CreateDomain(name string, schema *types.Schema) (*Domain, erro
 	} else if len(entries) > 0 {
 		return nil, fmt.Errorf("wal: domain %q already exists on disk (%d files); recover or drop it first", name, len(entries))
 	}
-	l, err := openLogAt(m.fs, dir, 0, 0, 0, m.opts.NoSync)
+	l, err := openLogAt(m.fs, dir, 0, 0, 0, m.opts.NoSync, m.opts.FsyncErrorPolicy)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -593,6 +616,22 @@ func (d *Domain) Failed() error { return d.log.Failed() }
 // the consumed sequence numbers must not be handed out again while the
 // log already carries them.
 func (d *Domain) Poison(err error) { d.log.poison(err) }
+
+// FailedRetryable reports whether the domain is latched with a
+// recoverable fsync failure (Options.FsyncErrorPolicy ==
+// FsyncLatchRetry). The owner may then attempt RotateRetry + snapshot +
+// ClearFailure to restore availability without a restart.
+func (d *Domain) FailedRetryable() bool { return d.log.failedRetryable() }
+
+// RotateRetry abandons a retryably-latched domain's suspect segment and
+// opens a fresh one, returning the epoch a covering snapshot must be
+// written at (WriteSnapshot). The latch stays on until ClearFailure; the
+// caller must hold its commit mutex, exactly as for Rotate.
+func (d *Domain) RotateRetry() (uint64, error) { return d.log.rotateRetry() }
+
+// ClearFailure lifts a retryable latch once the covering snapshot is
+// durable; it reports whether the domain is healthy afterwards.
+func (d *Domain) ClearFailure() bool { return d.log.clearFailure() }
 
 // WantsSnapshot reports whether the current segment has outgrown the
 // snapshot threshold and no snapshot attempt is already in flight; a true

@@ -37,6 +37,13 @@ const (
 	recAutomaton byte = 8
 	// recNextID pins the automaton id allocator (meta snapshot only): u64.
 	recNextID byte = 9
+	// recRegisterNS is recRegister with the automaton's tenant namespace
+	// appended (str). Written only for namespaced automata, so tenant-free
+	// logs stay byte-identical to earlier versions.
+	recRegisterNS byte = 10
+	// recAutomatonNS is recAutomaton with the namespace str between the
+	// register body and the variable count.
+	recAutomatonNS byte = 11
 )
 
 // castagnoli is the CRC32C polynomial table (the checksum used by modern
@@ -116,12 +123,15 @@ type SeqRec struct{ Seq uint64 }
 // RowsRec carries snapshot rows with explicit per-row seq and ts.
 type RowsRec struct{ Tuples []*types.Tuple }
 
-// RegisterRec is a decoded recRegister payload.
+// RegisterRec is a decoded recRegister/recRegisterNS payload.
 type RegisterRec struct {
 	ID            int64
 	Source        string
 	InboxCapacity int64
 	InboxPolicy   uint8
+	// Namespace is the tenant namespace the automaton was registered
+	// under ("" for the default namespace; recovery re-scopes it).
+	Namespace string
 }
 
 // UnregisterRec is a decoded recUnregister payload.
@@ -196,11 +206,18 @@ func EncodeRows(tuples []*types.Tuple) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
-// EncodeRegister builds a recRegister payload.
+// EncodeRegister builds a recRegister payload (recRegisterNS when the
+// automaton is namespaced).
 func EncodeRegister(r RegisterRec) []byte {
-	e := wire.NewEncoder(32 + len(r.Source))
-	e.U8(recRegister)
-	encodeRegisterBody(e, r)
+	e := wire.NewEncoder(32 + len(r.Source) + len(r.Namespace))
+	if r.Namespace != "" {
+		e.U8(recRegisterNS)
+		encodeRegisterBody(e, r)
+		e.Str(r.Namespace)
+	} else {
+		e.U8(recRegister)
+		encodeRegisterBody(e, r)
+	}
 	return e.Bytes()
 }
 
@@ -223,9 +240,15 @@ func EncodeUnregister(id int64) []byte {
 // have no wire encoding (iterators, events, associations) are skipped:
 // associations re-bind at registration, the rest are transient.
 func EncodeAutomaton(r RegisterRec, vars []VarState) ([]byte, error) {
-	e := wire.NewEncoder(64 + len(r.Source))
-	e.U8(recAutomaton)
-	encodeRegisterBody(e, r)
+	e := wire.NewEncoder(64 + len(r.Source) + len(r.Namespace))
+	if r.Namespace != "" {
+		e.U8(recAutomatonNS)
+		encodeRegisterBody(e, r)
+		e.Str(r.Namespace)
+	} else {
+		e.U8(recAutomaton)
+		encodeRegisterBody(e, r)
+	}
 	kept := make([]VarState, 0, len(vars))
 	for _, v := range vars {
 		switch v.Value.Kind() {
@@ -334,11 +357,16 @@ func DecodeRecord(payload []byte) (any, error) {
 			tuples = append(tuples, &types.Tuple{Seq: seq, TS: types.Timestamp(ts), Vals: vals})
 		}
 		return &RowsRec{Tuples: tuples}, nil
-	case recRegister:
+	case recRegister, recRegisterNS:
 		d := wire.NewDecoder(payload[1:])
 		r, err := decodeRegisterBody(d)
 		if err != nil {
 			return nil, err
+		}
+		if payload[0] == recRegisterNS {
+			if r.Namespace, err = d.Str(); err != nil {
+				return nil, err
+			}
 		}
 		return &r, nil
 	case recUnregister:
@@ -348,11 +376,16 @@ func DecodeRecord(payload []byte) (any, error) {
 			return nil, err
 		}
 		return &UnregisterRec{ID: id}, nil
-	case recAutomaton:
+	case recAutomaton, recAutomatonNS:
 		d := wire.NewDecoder(payload[1:])
 		r, err := decodeRegisterBody(d)
 		if err != nil {
 			return nil, err
+		}
+		if payload[0] == recAutomatonNS {
+			if r.Namespace, err = d.Str(); err != nil {
+				return nil, err
+			}
 		}
 		n, err := d.U16()
 		if err != nil {

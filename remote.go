@@ -40,9 +40,34 @@ type Remote struct {
 
 var _ Engine = (*Remote)(nil)
 
+// DialOption tunes DialRemote / Dial / Cluster connections.
+type DialOption func(*dialOptions)
+
+type dialOptions struct {
+	token string
+}
+
+// WithToken authenticates each dialed connection to its multi-tenant
+// server with the tenant's shared-secret token: the engine comes back
+// already bound to the tenant's namespaced, quota-checked view (or the
+// dial fails with ErrUnauthorized). Servers without tenants reject
+// tokens; omit the option for them.
+func WithToken(token string) DialOption {
+	return func(o *dialOptions) { o.token = token }
+}
+
+func applyDialOptions(opts []DialOption) dialOptions {
+	var o dialOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
 // DialRemote connects an Engine to a cached server over TCP.
-func DialRemote(addr string) (*Remote, error) {
-	cl, err := rpc.Dial(addr)
+func DialRemote(addr string, opts ...DialOption) (*Remote, error) {
+	o := applyDialOptions(opts)
+	cl, err := rpc.DialWith(addr, rpc.ClientConfig{Token: o.token})
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +98,17 @@ func RemoteFromClient(cl *rpc.Client) *Remote {
 // Client exposes the underlying RPC client for callers that need the
 // lower-level connection surface (the auto-flushing Batcher, Ping).
 func (r *Remote) Client() *rpc.Client { return r.cl }
+
+// Auth binds the connection to the tenant owning token, returning the
+// tenant's name — for engines built over pre-established connections
+// (NewRemote); DialRemote WithToken performs it automatically. A
+// connection authenticates at most once.
+func (r *Remote) Auth(token string) (string, error) {
+	if err := r.guard(); err != nil {
+		return "", err
+	}
+	return r.cl.Auth(token)
+}
 
 // demux routes the connection's send() notifications to their automaton
 // handles. It is the only consumer of the client's Events channel, and it
@@ -288,7 +324,33 @@ func (r *Remote) Stats() (Stats, error) {
 		}
 		st.Durability = &dur
 	}
+	if t := ss.Tenant; t != nil {
+		ts := tenantStatsFromWire(t)
+		st.Tenant = &ts
+	}
 	return st, nil
+}
+
+// tenantStatsFromWire converts the RPC tenant row to the façade type.
+func tenantStatsFromWire(t *rpc.TenantStat) TenantStats {
+	return TenantStats{
+		Name:         t.Name,
+		Tables:       int(t.Tables),
+		Automata:     int(t.Automata),
+		Watches:      int(t.Watches),
+		Events:       t.Events,
+		EventsPerSec: t.EventsPerSec,
+		Dropped:      t.Dropped,
+		Rejected:     t.Rejected,
+		WALBytes:     t.WALBytes,
+		Quota: TenantQuota{
+			MaxTables:       int(t.MaxTables),
+			MaxAutomata:     int(t.MaxAutomata),
+			MaxInboxDepth:   int(t.MaxInboxDepth),
+			MaxEventsPerSec: int(t.MaxEventsPerSec),
+			MaxWALBytes:     t.MaxWALBytes,
+		},
+	}
 }
 
 // WaitIdle blocks until the server's automaton registry is precisely

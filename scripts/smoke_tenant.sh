@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# CI gate for multi-tenancy on a real deployment: spawn one cached with
+# a two-tenant tenants.json, then prove over the wire that (1) auth is
+# mandatory and wrong tokens are refused, (2) the tenants' namespaces
+# are disjoint — identical logical table names coexist and neither side
+# sees the other's tables or rows, (3) the events/sec quota refuses an
+# oversized batch with a quota error while the unquota'd tenant sails
+# through, and (4) per-tenant accounting reaches cachectl. The same
+# properties are pinned in-process by tenancy_test.go; this script
+# guards the cached/cachectl binaries and the tenants.json loading path.
+set -eu
+
+ADDR="127.0.0.1:7913"
+DIR="$(mktemp -d)"
+trap 'kill "$CACHED_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/cached" ./cmd/cached
+go build -o "$DIR/cachectl" ./cmd/cachectl
+
+cat >"$DIR/tenants.json" <<'EOF'
+{"tenants": [
+  {"name": "acme",  "token": "tok-acme",
+   "quota": {"max_tables": 4, "max_events_per_sec": 8}},
+  {"name": "bravo", "token": "tok-bravo"}
+]}
+EOF
+
+"$DIR/cached" -addr "$ADDR" -timer 0 -tenants "$DIR/tenants.json" \
+	>"$DIR/cached.log" 2>&1 &
+CACHED_PID=$!
+
+ctl() { # ctl <token> <args...>
+	local tok="$1"
+	shift
+	"$DIR/cachectl" -addr "$ADDR" -token "$tok" "$@"
+}
+
+# Wait for the server to accept connections (ping is the one pre-auth op).
+for i in $(seq 1 50); do
+	if "$DIR/cachectl" -addr "$ADDR" -token tok-acme ping >/dev/null 2>&1; then
+		break
+	fi
+	if [ "$i" -eq 50 ]; then
+		echo "cached did not come up" >&2
+		cat "$DIR/cached.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+# Auth is mandatory: no token and a wrong token are both refused.
+if "$DIR/cachectl" -addr "$ADDR" exec "show tables" >/dev/null 2>&1; then
+	echo "smoke_tenant: tokenless connection was served" >&2
+	exit 1
+fi
+if ctl tok-wrong exec "show tables" >/dev/null 2>&1; then
+	echo "smoke_tenant: wrong token was accepted" >&2
+	exit 1
+fi
+
+# Disjoint namespaces: the same logical name on both sides, plus a
+# bravo-only table acme must not see or read.
+ctl tok-acme exec "create table Flows (src varchar, bytes integer)" >/dev/null
+ctl tok-bravo exec "create table Flows (src varchar, bytes integer)" >/dev/null
+ctl tok-bravo exec "create table Secret (v integer)" >/dev/null
+ctl tok-acme exec "insert into Flows values ('a', 1)" >/dev/null
+ctl tok-bravo exec "insert into Flows values ('b', 2)" >/dev/null
+ctl tok-bravo exec "insert into Flows values ('b', 3)" >/dev/null
+
+acme_tables=$(ctl tok-acme exec "show tables")
+echo "$acme_tables" | grep -q "Flows" || {
+	echo "smoke_tenant: acme lost its own table" >&2
+	exit 1
+}
+if echo "$acme_tables" | grep -q "Secret"; then
+	echo "smoke_tenant: acme can see bravo's Secret table" >&2
+	exit 1
+fi
+if ctl tok-acme exec "select v from Secret" >/dev/null 2>&1; then
+	echo "smoke_tenant: acme read bravo's Secret rows" >&2
+	exit 1
+fi
+ctl tok-acme exec "select count(*) from Flows" | grep -q "^1$" || {
+	echo "smoke_tenant: acme's Flows count is not its own" >&2
+	exit 1
+}
+ctl tok-bravo exec "select count(*) from Flows" | grep -q "^2$" || {
+	echo "smoke_tenant: bravo's Flows count is not its own" >&2
+	exit 1
+}
+
+# The events/sec quota: acme's bucket holds 8, so a 9-row batch must be
+# refused as a quota error — and change nothing. Bravo has no quota.
+batch="insert into Flows values ('q',1)"
+for i in $(seq 2 9); do batch="$batch, ('q',$i)"; done
+if out=$(ctl tok-acme exec "$batch" 2>&1); then
+	echo "smoke_tenant: oversized batch slipped past the quota" >&2
+	exit 1
+else
+	echo "$out" | grep -qi "quota" || {
+		echo "smoke_tenant: quota refusal lost its error identity: $out" >&2
+		exit 1
+	}
+fi
+ctl tok-acme exec "select count(*) from Flows" | grep -q "^1$" || {
+	echo "smoke_tenant: refused batch left rows behind" >&2
+	exit 1
+}
+ctl tok-bravo exec "$batch" >/dev/null || {
+	echo "smoke_tenant: unquota'd tenant was refused" >&2
+	exit 1
+}
+
+# Accounting: the bound tenant's rollup reaches cachectl.
+ctl tok-acme tenant | grep -q "acme" || {
+	echo "smoke_tenant: cachectl tenant lost the rollup" >&2
+	exit 1
+}
+
+echo "smoke_tenant: ok"

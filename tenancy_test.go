@@ -1,0 +1,691 @@
+// The tenancy conformance suite: two tenants ("acme" and "bravo") drive
+// every Engine backend — Embedded.Tenant sub-engines, a durable variant,
+// authenticated Remote connections, and an authenticated 3-node Cluster —
+// pinning zero cross-tenant visibility, quota enforcement on every
+// dimension with wire-surviving sentinel identity, and the auth
+// handshake's failure paths.
+package unicache
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unicache/internal/cache"
+	"unicache/internal/rpc"
+	"unicache/internal/tenant"
+	"unicache/internal/types"
+)
+
+const (
+	acmeToken  = "tok-acme"
+	bravoToken = "tok-bravo"
+)
+
+// twoTenantRegistry builds a fresh acme+bravo registry, both under the
+// same quota. Each cache instance gets its own registry — the same shape
+// a per-node tenants.json gives a real cluster.
+func twoTenantRegistry(t *testing.T, quota TenantQuota) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.NewRegistry(
+		TenantSpec{Name: "acme", Token: acmeToken, Quota: quota},
+		TenantSpec{Name: "bravo", Token: bravoToken, Quota: quota},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// tenantPair is one backend's harness: an engine bound to each tenant,
+// over the same underlying cache (or cluster of caches).
+type tenantPair struct {
+	acme  Engine
+	bravo Engine
+}
+
+// forEachTenantBackend runs fn once per backend with a two-tenant cache
+// underneath. quota applies to both tenants.
+func forEachTenantBackend(t *testing.T, cfg Config, quota TenantQuota, fn func(t *testing.T, p tenantPair)) {
+	t.Helper()
+	if cfg.TimerPeriod == 0 {
+		cfg.TimerPeriod = -1
+	}
+	if cfg.PrintWriter == nil {
+		cfg.PrintWriter = &strings.Builder{}
+	}
+	if cfg.OnRuntimeError == nil {
+		cfg.OnRuntimeError = func(int64, error) {}
+	}
+	t.Run("embedded", func(t *testing.T) {
+		ecfg := cfg
+		ecfg.Tenants = twoTenantRegistry(t, quota)
+		e, err := NewEmbedded(ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = e.Close() })
+		a, err := e.Tenant("acme")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Tenant("bravo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, tenantPair{acme: a, bravo: b})
+	})
+	t.Run("durable", func(t *testing.T) {
+		dcfg := cfg
+		dcfg.DataDir = t.TempDir()
+		dcfg.Tenants = twoTenantRegistry(t, quota)
+		e, err := NewEmbedded(dcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = e.Close() })
+		a, err := e.Tenant("acme")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Tenant("bravo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, tenantPair{acme: a, bravo: b})
+	})
+	t.Run("remote", func(t *testing.T) {
+		rcfg := cfg
+		rcfg.Tenants = twoTenantRegistry(t, quota)
+		c, err := cache.New(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		srv := rpc.NewServer(c)
+		fn(t, tenantPair{
+			acme:  dialTenantRemote(t, srv, acmeToken),
+			bravo: dialTenantRemote(t, srv, bravoToken),
+		})
+	})
+	t.Run("cluster", func(t *testing.T) {
+		const nNodes = 3
+		servers := make([]*rpc.Server, nNodes)
+		names := make([]string, nNodes)
+		for i := range servers {
+			ncfg := cfg
+			ncfg.Tenants = twoTenantRegistry(t, quota)
+			c, err := cache.New(ncfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(c.Close)
+			servers[i] = rpc.NewServer(c)
+			names[i] = fmt.Sprintf("node%d", i)
+		}
+		dial := func(token string) Engine {
+			clients := make([]*rpc.Client, nNodes)
+			for i, srv := range servers {
+				cEnd, sEnd := net.Pipe()
+				go srv.ServeConn(sEnd)
+				cl := rpc.NewClient(cEnd)
+				if _, err := cl.Auth(token); err != nil {
+					t.Fatal(err)
+				}
+				clients[i] = cl
+			}
+			e := clusterFromClients(names, clients)
+			t.Cleanup(func() { _ = e.Close() })
+			return e
+		}
+		fn(t, tenantPair{acme: dial(acmeToken), bravo: dial(bravoToken)})
+	})
+}
+
+// dialTenantRemote opens an authenticated in-memory connection to srv.
+func dialTenantRemote(t *testing.T, srv *rpc.Server, token string) *Remote {
+	t.Helper()
+	cEnd, sEnd := net.Pipe()
+	go srv.ServeConn(sEnd)
+	r := NewRemote(cEnd)
+	t.Cleanup(func() { _ = r.Close() })
+	if _, err := r.Auth(token); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestTenantNamespaceIsolation: two tenants use the same logical table
+// names over one cache and never see each other — not in rows, not in
+// table listings, not in watch deliveries, not in stats.
+func TestTenantNamespaceIsolation(t *testing.T) {
+	forEachTenantBackend(t, Config{}, TenantQuota{}, func(t *testing.T, p tenantPair) {
+		mustExecT(t, p.acme, `create table Flows (v integer)`)
+		mustExecT(t, p.bravo, `create table Flows (v integer)`)
+		mustExecT(t, p.bravo, `create table Secret (v integer)`)
+
+		// Watches attach before the commits so each tenant's deliveries
+		// are countable; each must observe only its own events, under the
+		// logical topic name.
+		var acmeSeen, bravoSeen, crossTopic int64
+		var mu sync.Mutex
+		wa, err := p.acme.Watch("Flows", func(ev *Event) {
+			mu.Lock()
+			acmeSeen++
+			if ev.Topic != "Flows" {
+				crossTopic++
+			}
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = wa.Close() }()
+		wb, err := p.bravo.Watch("Flows", func(ev *Event) {
+			mu.Lock()
+			bravoSeen++
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = wb.Close() }()
+
+		for i := 0; i < 2; i++ {
+			mustExecT(t, p.acme, fmt.Sprintf(`insert into Flows values (%d)`, i))
+		}
+		for i := 0; i < 3; i++ {
+			mustExecT(t, p.bravo, fmt.Sprintf(`insert into Flows values (%d)`, 100+i))
+		}
+
+		// Rows are disjoint per namespace.
+		if rows := selectRowsT(t, p.acme, `select v from Flows`); len(rows) != 2 {
+			t.Fatalf("acme Flows has %d rows, want 2", len(rows))
+		}
+		if rows := selectRowsT(t, p.bravo, `select v from Flows`); len(rows) != 3 {
+			t.Fatalf("bravo Flows has %d rows, want 3", len(rows))
+		}
+
+		// Table listings are disjoint too.
+		at, err := p.acme.Tables()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range at {
+			if name == "Secret" || strings.Contains(name, "/") {
+				t.Fatalf("acme table listing leaked %q (all: %v)", name, at)
+			}
+		}
+		if _, err := p.acme.Exec(`select v from Secret`); err == nil {
+			t.Fatal("acme read bravo's Secret table")
+		}
+		if _, err := p.acme.Watch("Secret", func(*Event) {}); err == nil {
+			t.Fatal("acme watched bravo's Secret topic")
+		}
+		// The physical spelling of another namespace is not addressable
+		// either: it just re-qualifies into the caller's own namespace.
+		if _, err := p.acme.Exec(`select v from "bravo/Flows"`); err == nil {
+			t.Fatal("acme addressed bravo's physical table name")
+		}
+
+		waitFor(t, 5*time.Second, "watch deliveries", func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return acmeSeen >= 2 && bravoSeen >= 3
+		})
+		time.Sleep(20 * time.Millisecond) // a leaked delivery would still be in flight
+		mu.Lock()
+		a, b, cross := acmeSeen, bravoSeen, crossTopic
+		mu.Unlock()
+		if a != 2 || b != 3 || cross != 0 {
+			t.Fatalf("deliveries acme=%d bravo=%d crossTopic=%d, want 2/3/0", a, b, cross)
+		}
+
+		// Each engine's Stats rollup is its own tenant's.
+		st, err := p.acme.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Tenant == nil || st.Tenant.Name != "acme" {
+			t.Fatalf("acme Stats.Tenant = %+v, want the acme rollup", st.Tenant)
+		}
+		if st.Tenant.Events != 2 {
+			t.Fatalf("acme Tenant.Events = %d, want 2", st.Tenant.Events)
+		}
+		if st.Tenant.Tables != 1 {
+			t.Fatalf("acme Tenant.Tables = %d, want 1", st.Tenant.Tables)
+		}
+		for _, w := range st.Watches {
+			if strings.Contains(w.Topic, "/") {
+				t.Fatalf("acme watch stats leaked physical topic %q", w.Topic)
+			}
+		}
+		stb, err := p.bravo.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stb.Tenant == nil || stb.Tenant.Name != "bravo" || stb.Tenant.Tables != 2 {
+			t.Fatalf("bravo Stats.Tenant = %+v, want bravo with 2 tables", stb.Tenant)
+		}
+	})
+}
+
+// TestTenantAutomatonIsolation: automata registered by one tenant run in
+// its namespace — they subscribe to and publish into the tenant's own
+// topics, and the other tenant's identically-named topics never hear them.
+func TestTenantAutomatonIsolation(t *testing.T) {
+	forEachTenantBackend(t, Config{}, TenantQuota{}, func(t *testing.T, p tenantPair) {
+		mustExecT(t, p.acme, `create table In (v integer)`)
+		mustExecT(t, p.acme, `create table Out (v integer)`)
+		mustExecT(t, p.bravo, `create table In (v integer)`)
+		mustExecT(t, p.bravo, `create table Out (v integer)`)
+
+		a, err := p.acme.Register(`subscribe e to In; behavior { publish('Out', e.v); send(e.v); }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = a.Close() }()
+
+		mustExecT(t, p.acme, `insert into In values (7)`)
+		mustExecT(t, p.bravo, `insert into In values (8)`)
+
+		select {
+		case vals := <-a.Events():
+			if n, _ := vals[0].AsInt(); n != 7 {
+				t.Fatalf("acme automaton saw %v, want its own event 7", vals)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("acme automaton never fired")
+		}
+		waitFor(t, 5*time.Second, "acme publish", func() bool {
+			return len(selectRowsT(t, p.acme, `select v from Out`)) == 1
+		})
+		// The automaton must not have heard bravo's insert, nor published
+		// into bravo's Out.
+		select {
+		case vals := <-a.Events():
+			t.Fatalf("acme automaton fired for bravo's event: %v", vals)
+		case <-time.After(50 * time.Millisecond):
+		}
+		if rows := selectRowsT(t, p.bravo, `select v from Out`); len(rows) != 0 {
+			t.Fatalf("bravo Out has %d rows, want 0 (acme's publish leaked)", len(rows))
+		}
+
+		// Stats see exactly one automaton, on acme's side only.
+		sta, _ := p.acme.Stats()
+		stb, _ := p.bravo.Stats()
+		if len(sta.Automata) != 1 || len(stb.Automata) != 0 {
+			t.Fatalf("automata visible acme=%d bravo=%d, want 1/0", len(sta.Automata), len(stb.Automata))
+		}
+	})
+}
+
+// TestQuotaEventsPerSecAcrossBackends trips the events/sec token bucket on
+// every backend: a single batch larger than the one-second burst is
+// rejected outright, the sentinel survives the wire with errors.Is
+// identity, and the other tenant is untouched.
+func TestQuotaEventsPerSecAcrossBackends(t *testing.T) {
+	quota := TenantQuota{MaxEventsPerSec: 4}
+	forEachTenantBackend(t, Config{}, quota, func(t *testing.T, p tenantPair) {
+		mustExecT(t, p.acme, `create table Flows (v integer)`)
+		mustExecT(t, p.bravo, `create table Flows (v integer)`)
+		rows := make([][]Value, 5)
+		for i := range rows {
+			rows[i] = []Value{types.Int(int64(i))}
+		}
+		err := p.acme.InsertBatch("Flows", rows)
+		if !errors.Is(err, ErrQuotaExceeded) {
+			t.Fatalf("oversized batch: got %v, want errors.Is ErrQuotaExceeded", err)
+		}
+		// The refusal is counted, and bravo's bucket is its own.
+		st, _ := p.acme.Stats()
+		if st.Tenant == nil || st.Tenant.Rejected == 0 {
+			t.Fatalf("acme Rejected = %+v, want > 0", st.Tenant)
+		}
+		if err := p.bravo.InsertBatch("Flows", rows[:4]); err != nil {
+			t.Fatalf("bravo within its own budget refused: %v", err)
+		}
+	})
+}
+
+// TestQuotaDimensions trips the table, automaton, WAL-byte and inbox-depth
+// quotas on an embedded and a remote backend, checking sentinel identity
+// and that the sibling tenant keeps its full allowance.
+func TestQuotaDimensions(t *testing.T) {
+	t.Run("tables", func(t *testing.T) {
+		quota := TenantQuota{MaxTables: 2}
+		eachEmbeddedRemote(t, Config{}, quota, false, func(t *testing.T, p tenantPair) {
+			mustExecT(t, p.acme, `create table A (v integer)`)
+			mustExecT(t, p.acme, `create table B (v integer)`)
+			_, err := p.acme.Exec(`create table C (v integer)`)
+			if !errors.Is(err, ErrQuotaExceeded) {
+				t.Fatalf("third table: got %v, want ErrQuotaExceeded", err)
+			}
+			// bravo's count is independent.
+			mustExecT(t, p.bravo, `create table A (v integer)`)
+			// Dropping is not supported; the quota frees only on restart.
+			// But the refusal is counted.
+			st, _ := p.acme.Stats()
+			if st.Tenant == nil || st.Tenant.Rejected == 0 {
+				t.Fatal("table refusal not counted in Rejected")
+			}
+		})
+	})
+	t.Run("automata", func(t *testing.T) {
+		quota := TenantQuota{MaxAutomata: 1}
+		eachEmbeddedRemote(t, Config{}, quota, false, func(t *testing.T, p tenantPair) {
+			mustExecT(t, p.acme, `create table In (v integer)`)
+			mustExecT(t, p.bravo, `create table In (v integer)`)
+			src := `subscribe e to In; behavior { send(e.v); }`
+			a1, err := p.acme.Register(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = a1.Close() }()
+			if _, err := p.acme.Register(src); !errors.Is(err, ErrQuotaExceeded) {
+				t.Fatalf("second automaton: got %v, want ErrQuotaExceeded", err)
+			}
+			b1, err := p.bravo.Register(src)
+			if err != nil {
+				t.Fatalf("bravo's first automaton refused: %v", err)
+			}
+			defer func() { _ = b1.Close() }()
+		})
+	})
+	t.Run("wal-bytes", func(t *testing.T) {
+		quota := TenantQuota{MaxWALBytes: 2048}
+		eachEmbeddedRemote(t, Config{}, quota, true, func(t *testing.T, p tenantPair) {
+			mustExecT(t, p.acme, `create table KV (v integer)`)
+			mustExecT(t, p.bravo, `create table KV (v integer)`)
+			var tripErr error
+			for i := 0; i < 10000; i++ {
+				if _, err := p.acme.Exec(fmt.Sprintf(`insert into KV values (%d)`, i)); err != nil {
+					tripErr = err
+					break
+				}
+			}
+			if !errors.Is(tripErr, ErrQuotaExceeded) {
+				t.Fatalf("WAL quota never tripped (last err %v)", tripErr)
+			}
+			// bravo's footprint is summed over its own domains only.
+			if _, err := p.bravo.Exec(`insert into KV values (1)`); err != nil {
+				t.Fatalf("bravo insert refused after acme's WAL trip: %v", err)
+			}
+			st, _ := p.acme.Stats()
+			if st.Tenant == nil || st.Tenant.WALBytes == 0 {
+				t.Fatalf("acme Tenant.WALBytes = %+v, want > 0", st.Tenant)
+			}
+		})
+	})
+	t.Run("inbox-clamp", func(t *testing.T) {
+		// MaxInboxDepth turns an "unbounded" watch inbox into a bounded
+		// one; with DropOldest and a stalled consumer, drops prove the
+		// clamp bit. Embedded only: the remote variant would need the
+		// stalled connection itself to answer the stats poll.
+		quota := TenantQuota{MaxInboxDepth: 2}
+		cfg := Config{TimerPeriod: -1, PrintWriter: &strings.Builder{}, OnRuntimeError: func(int64, error) {}}
+		cfg.Tenants = twoTenantRegistry(t, quota)
+		e, err := NewEmbedded(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = e.Close() }()
+		acme, err := e.Tenant("acme")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustExecT(t, acme, `create table Flows (v integer)`)
+		release := make(chan struct{})
+		var once sync.Once
+		w, err := acme.Watch("Flows", func(*Event) {
+			<-release
+		}, WatchQueue(-1), WatchPolicy(DropOldest))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = w.Close() }()
+		defer once.Do(func() { close(release) })
+		for i := 0; i < 20; i++ {
+			mustExecT(t, acme, fmt.Sprintf(`insert into Flows values (%d)`, i))
+		}
+		// Without the clamp the unbounded inbox would never shed; 20
+		// events against a depth-2 DropOldest inbox must.
+		waitFor(t, 5*time.Second, "clamped inbox drops", func() bool {
+			st, err := w.Stats()
+			return err == nil && st.Dropped > 0
+		})
+		once.Do(func() { close(release) })
+	})
+}
+
+// eachEmbeddedRemote runs fn for an embedded two-tenant pair and a remote
+// (authenticated RPC) one; durable adds a WAL under both.
+func eachEmbeddedRemote(t *testing.T, cfg Config, quota TenantQuota, durable bool, fn func(t *testing.T, p tenantPair)) {
+	t.Helper()
+	if cfg.TimerPeriod == 0 {
+		cfg.TimerPeriod = -1
+	}
+	if cfg.PrintWriter == nil {
+		cfg.PrintWriter = &strings.Builder{}
+	}
+	if cfg.OnRuntimeError == nil {
+		cfg.OnRuntimeError = func(int64, error) {}
+	}
+	t.Run("embedded", func(t *testing.T) {
+		ecfg := cfg
+		if durable {
+			ecfg.DataDir = t.TempDir()
+		}
+		ecfg.Tenants = twoTenantRegistry(t, quota)
+		e, err := NewEmbedded(ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = e.Close() })
+		a, err := e.Tenant("acme")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Tenant("bravo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, tenantPair{acme: a, bravo: b})
+	})
+	t.Run("remote", func(t *testing.T) {
+		rcfg := cfg
+		if durable {
+			rcfg.DataDir = t.TempDir()
+		}
+		rcfg.Tenants = twoTenantRegistry(t, quota)
+		c, err := cache.New(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		srv := rpc.NewServer(c)
+		fn(t, tenantPair{
+			acme:  dialTenantRemote(t, srv, acmeToken),
+			bravo: dialTenantRemote(t, srv, bravoToken),
+		})
+	})
+}
+
+// TestTenantAuthHandshake pins the RPC auth protocol's failure paths: no
+// token, wrong token, re-auth, and a token offered to a single-tenant
+// server.
+func TestTenantAuthHandshake(t *testing.T) {
+	cfg := Config{TimerPeriod: -1, PrintWriter: &strings.Builder{}, OnRuntimeError: func(int64, error) {}}
+	mtCfg := cfg
+	mtCfg.Tenants = twoTenantRegistry(t, TenantQuota{})
+	mt, err := cache.New(mtCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mt.Close)
+	mtSrv := rpc.NewServer(mt)
+	dial := func(srv *rpc.Server) *Remote {
+		cEnd, sEnd := net.Pipe()
+		go srv.ServeConn(sEnd)
+		r := NewRemote(cEnd)
+		t.Cleanup(func() { _ = r.Close() })
+		return r
+	}
+
+	t.Run("unauthenticated connection is refused", func(t *testing.T) {
+		r := dial(mtSrv)
+		if _, err := r.Exec(`create table T (v integer)`); !errors.Is(err, ErrUnauthorized) {
+			t.Fatalf("exec without auth: got %v, want ErrUnauthorized", err)
+		}
+		if _, err := r.Tables(); !errors.Is(err, ErrUnauthorized) {
+			t.Fatalf("tables without auth: got %v, want ErrUnauthorized", err)
+		}
+		if _, err := r.Watch("T", func(*Event) {}); !errors.Is(err, ErrUnauthorized) {
+			t.Fatalf("watch without auth: got %v, want ErrUnauthorized", err)
+		}
+		// Ping stays open pre-auth: it is the liveness probe.
+		if err := r.Client().Ping(); err != nil {
+			t.Fatalf("ping without auth refused: %v", err)
+		}
+	})
+	t.Run("unknown token is refused", func(t *testing.T) {
+		r := dial(mtSrv)
+		if _, err := r.Auth("nope"); !errors.Is(err, ErrUnauthorized) {
+			t.Fatalf("bad token: got %v, want ErrUnauthorized", err)
+		}
+		// Still unauthenticated afterwards.
+		if _, err := r.Tables(); !errors.Is(err, ErrUnauthorized) {
+			t.Fatalf("tables after failed auth: got %v, want ErrUnauthorized", err)
+		}
+	})
+	t.Run("auth binds the tenant", func(t *testing.T) {
+		r := dial(mtSrv)
+		name, err := r.Auth(acmeToken)
+		if err != nil || name != "acme" {
+			t.Fatalf("Auth = %q, %v; want acme", name, err)
+		}
+		mustExecT(t, r, `create table T (v integer)`)
+		if _, err := r.Auth(bravoToken); err == nil {
+			t.Fatal("re-auth on a bound connection succeeded")
+		}
+	})
+	t.Run("single-tenant server refuses tokens", func(t *testing.T) {
+		st, err := cache.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(st.Close)
+		r := dial(rpc.NewServer(st))
+		if _, err := r.Auth(acmeToken); !errors.Is(err, ErrUnauthorized) {
+			t.Fatalf("auth on single-tenant server: got %v, want ErrUnauthorized", err)
+		}
+		// And stays fully usable without one — the PR-9 behavior.
+		mustExecT(t, r, `create table T (v integer)`)
+	})
+	t.Run("embedded engine without tenants refuses Tenant()", func(t *testing.T) {
+		e, err := NewEmbedded(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = e.Close() })
+		if _, err := e.Tenant("acme"); !errors.Is(err, ErrUnauthorized) {
+			t.Fatalf("Tenant() without registry: got %v, want ErrUnauthorized", err)
+		}
+	})
+	t.Run("unknown tenant name refused", func(t *testing.T) {
+		ecfg := cfg
+		ecfg.Tenants = twoTenantRegistry(t, TenantQuota{})
+		e, err := NewEmbedded(ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = e.Close() })
+		if _, err := e.Tenant("mallory"); !errors.Is(err, ErrUnauthorized) {
+			t.Fatalf("unknown tenant: got %v, want ErrUnauthorized", err)
+		}
+	})
+}
+
+// TestTenantConcurrentIsolation hammers two tenants concurrently over one
+// embedded cache — creates, commits, watches on colliding logical names —
+// and checks the counts stayed disjoint. Run under -race this also proves
+// the scoped views' admission paths are data-race free.
+func TestTenantConcurrentIsolation(t *testing.T) {
+	cfg := Config{TimerPeriod: -1, PrintWriter: &strings.Builder{}, OnRuntimeError: func(int64, error) {}}
+	cfg.Tenants = twoTenantRegistry(t, TenantQuota{})
+	e, err := NewEmbedded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = e.Close() }()
+
+	const perTenant = 200
+	var wg sync.WaitGroup
+	counts := make([]int64, 2)
+	var mu sync.Mutex
+	for i, name := range []string{"acme", "bravo"} {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			eng, err := e.Tenant(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := eng.Exec(`create table Flows (v integer)`); err != nil {
+				t.Error(err)
+				return
+			}
+			w, err := eng.Watch("Flows", func(*Event) {
+				mu.Lock()
+				counts[i]++
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer func() { _ = w.Close() }()
+			for n := 0; n < perTenant; n++ {
+				if err := eng.Insert("Flows", types.Int(int64(n))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			waitFor(t, 10*time.Second, name+" deliveries", func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return counts[i] >= perTenant
+			})
+		}(i, name)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[0] != perTenant || counts[1] != perTenant {
+		t.Fatalf("deliveries = %v, want exactly %d each (no cross-tenant leakage)", counts, perTenant)
+	}
+}
+
+// --- small helpers (the conformance suite's mustExec/selectRows work on
+// *cache.Cache; these are their Engine-facade twins) ---
+
+func mustExecT(t *testing.T, eng Engine, src string) {
+	t.Helper()
+	if _, err := eng.Exec(src); err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+}
+
+func selectRowsT(t *testing.T, eng Engine, q string) [][]Value {
+	t.Helper()
+	res, err := eng.Exec(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return res.Rows
+}
